@@ -1,0 +1,93 @@
+//! Ablation benchmarks: the runtime cost of the design choices the
+//! reproduction makes (DESIGN.md §5), each toggled against a baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eps_bench::mini;
+use eps_gossip::{AlgorithmKind, GossipConfig};
+use eps_harness::{run_scenario, ScenarioConfig};
+
+/// Publisher-based pull pays for route recording in every event
+/// message; subscriber pull does not. Comparing the two bounds the
+/// cost of the `Routes` machinery.
+fn route_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/route_recording");
+    group.sample_size(10);
+    group.bench_function("with_routes_publisher_pull", |b| {
+        let config = mini(AlgorithmKind::PublisherPull);
+        b.iter(|| run_scenario(black_box(&config)))
+    });
+    group.bench_function("without_routes_subscriber_pull", |b| {
+        let config = mini(AlgorithmKind::SubscriberPull);
+        b.iter(|| run_scenario(black_box(&config)))
+    });
+    group.finish();
+}
+
+/// The negative-digest size cap trades per-message work for more
+/// rounds.
+fn digest_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/digest_cap");
+    group.sample_size(10);
+    for cap in [16usize, 128, 1024] {
+        group.bench_function(format!("cap{cap}"), |b| {
+            let config = ScenarioConfig {
+                gossip: GossipConfig {
+                    digest_max: cap,
+                    ..GossipConfig::default()
+                },
+                ..mini(AlgorithmKind::CombinedPull)
+            };
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+/// Giving up on hopeless `Lost` entries bounds gossip work; a huge
+/// attempt budget shows the cost of never giving up.
+fn retry_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/retry_budget");
+    group.sample_size(10);
+    for attempts in [3u32, 20, 1000] {
+        group.bench_function(format!("attempts{attempts}"), |b| {
+            let config = ScenarioConfig {
+                buffer_size: 100, // starve the caches so entries linger
+                gossip: GossipConfig {
+                    max_attempts: attempts,
+                    ..GossipConfig::default()
+                },
+                ..mini(AlgorithmKind::CombinedPull)
+            };
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+/// `P_forward` controls gossip fan-out and with it the message count.
+fn forward_probability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/p_forward");
+    group.sample_size(10);
+    for p in [0.25, 0.5, 1.0] {
+        group.bench_function(format!("p{}", (p * 100.0) as u32), |b| {
+            let config = ScenarioConfig {
+                gossip: GossipConfig {
+                    p_forward: p,
+                    ..GossipConfig::default()
+                },
+                ..mini(AlgorithmKind::Push)
+            };
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = route_recording, digest_cap, retry_budget, forward_probability
+);
+criterion_main!(ablations);

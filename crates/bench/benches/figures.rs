@@ -1,0 +1,161 @@
+//! One benchmark per paper figure, running a miniature of that
+//! figure's distinctive configuration. The paper-scale regeneration
+//! lives in the `repro` binary (`cargo run -p eps-harness --bin repro`);
+//! these benches keep every experiment code path exercised and track
+//! simulator performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eps_bench::{mini, mini_reconfig};
+use eps_gossip::AlgorithmKind;
+use eps_harness::{run_scenario, ScenarioConfig};
+use eps_sim::SimTime;
+
+fn fig3a_lossy_links(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a");
+    for kind in [AlgorithmKind::NoRecovery, AlgorithmKind::Push, AlgorithmKind::CombinedPull] {
+        group.bench_function(kind.name(), |b| {
+            let config = mini(kind);
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+fn fig3b_reconfigurations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b");
+    for (label, rho) in [("rho200ms", 200u64), ("rho30ms", 30)] {
+        group.bench_function(label, |b| {
+            let config = mini_reconfig(AlgorithmKind::CombinedPull, SimTime::from_millis(rho));
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+fn fig4_buffer_and_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    for beta in [100usize, 1500] {
+        group.bench_function(format!("beta{beta}"), |b| {
+            let config = ScenarioConfig {
+                buffer_size: beta,
+                ..mini(AlgorithmKind::CombinedPull)
+            };
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    for t_ms in [10u64, 55] {
+        group.bench_function(format!("t{t_ms}ms"), |b| {
+            let config = ScenarioConfig {
+                gossip_interval: SimTime::from_millis(t_ms),
+                ..mini(AlgorithmKind::CombinedPull)
+            };
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+fn fig5_interplay(c: &mut Criterion) {
+    c.bench_function("fig5/small_buffer_fast_gossip", |b| {
+        let config = ScenarioConfig {
+            buffer_size: 500,
+            gossip_interval: SimTime::from_millis(10),
+            ..mini(AlgorithmKind::CombinedPull)
+        };
+        b.iter(|| run_scenario(black_box(&config)))
+    });
+}
+
+fn fig6_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for n in [20usize, 60] {
+        group.bench_function(format!("n{n}"), |b| {
+            let config = ScenarioConfig {
+                nodes: n,
+                ..mini(AlgorithmKind::Push)
+            };
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+fn fig7_receivers(c: &mut Criterion) {
+    c.bench_function("fig7/pi_max10", |b| {
+        let config = ScenarioConfig {
+            pi_max: 10,
+            link_error_rate: 0.0,
+            ..mini(AlgorithmKind::NoRecovery)
+        };
+        b.iter(|| run_scenario(black_box(&config)))
+    });
+}
+
+fn fig8_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for (label, rate) in [("low_load", 5.0), ("high_load", 25.0)] {
+        group.bench_function(label, |b| {
+            let config = ScenarioConfig {
+                pi_max: 10,
+                publish_rate: rate,
+                buffer_size: 4000,
+                ..mini(AlgorithmKind::CombinedPull)
+            };
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+fn fig9_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("push_n40", |b| {
+        let config = ScenarioConfig {
+            nodes: 40,
+            ..mini(AlgorithmKind::Push)
+        };
+        b.iter(|| run_scenario(black_box(&config)))
+    });
+    group.bench_function("combined_pi_max8", |b| {
+        let config = ScenarioConfig {
+            pi_max: 8,
+            ..mini(AlgorithmKind::CombinedPull)
+        };
+        b.iter(|| run_scenario(black_box(&config)))
+    });
+    group.finish();
+}
+
+fn fig10_error_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    for eps in [0.01, 0.1] {
+        group.bench_function(format!("eps{}", (eps * 100.0) as u32), |b| {
+            let config = ScenarioConfig {
+                link_error_rate: eps,
+                ..mini(AlgorithmKind::Push)
+            };
+            b.iter(|| run_scenario(black_box(&config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig3a_lossy_links,
+        fig3b_reconfigurations,
+        fig4_buffer_and_interval,
+        fig5_interplay,
+        fig6_scalability,
+        fig7_receivers,
+        fig8_load,
+        fig9_overhead,
+        fig10_error_sweep
+);
+criterion_main!(figures);

@@ -1,0 +1,297 @@
+//! The recovery-algorithm abstraction and the no-recovery baseline.
+
+use std::fmt;
+use std::str::FromStr;
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Dispatcher, Event, EventId, LossRecord};
+use rand::RngCore;
+
+use crate::config::GossipConfig;
+use crate::message::{GossipAction, GossipMessage};
+use crate::pull_combined::CombinedPull;
+use crate::pull_publisher::PublisherPull;
+use crate::pull_random::RandomPull;
+use crate::pull_subscriber::SubscriberPull;
+use crate::push::PushGossip;
+
+/// The recovery strategies evaluated in the paper (Section IV).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AlgorithmKind {
+    /// Best-effort dispatching only — the paper's baseline.
+    NoRecovery,
+    /// Proactive gossip push with positive digests.
+    Push,
+    /// Reactive pull with negative digests steered towards subscribers.
+    SubscriberPull,
+    /// Reactive pull with negative digests steered towards publishers.
+    PublisherPull,
+    /// Publisher-based pull with probability `P_source`, otherwise
+    /// subscriber-based (the paper's best pull configuration).
+    CombinedPull,
+    /// Negative digests routed entirely at random — the paper's
+    /// "is directed routing worth the effort?" comparator.
+    RandomPull,
+}
+
+impl AlgorithmKind {
+    /// All kinds, in the order the paper's figures list them.
+    pub const ALL: [AlgorithmKind; 6] = [
+        AlgorithmKind::NoRecovery,
+        AlgorithmKind::RandomPull,
+        AlgorithmKind::Push,
+        AlgorithmKind::SubscriberPull,
+        AlgorithmKind::CombinedPull,
+        AlgorithmKind::PublisherPull,
+    ];
+
+    /// Short, stable name used in CSV headers and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::NoRecovery => "no-recovery",
+            AlgorithmKind::Push => "push",
+            AlgorithmKind::SubscriberPull => "subscriber-pull",
+            AlgorithmKind::PublisherPull => "publisher-pull",
+            AlgorithmKind::CombinedPull => "combined-pull",
+            AlgorithmKind::RandomPull => "random-pull",
+        }
+    }
+
+    /// Whether this strategy requires publishers to cache their own
+    /// events (publisher-based and combined pull do).
+    pub fn needs_publisher_cache(self) -> bool {
+        matches!(
+            self,
+            AlgorithmKind::PublisherPull | AlgorithmKind::CombinedPull
+        )
+    }
+
+    /// Whether this strategy requires event messages to record their
+    /// route (publisher-based and combined pull do).
+    pub fn needs_route_recording(self) -> bool {
+        self.needs_publisher_cache()
+    }
+
+    /// Builds a fresh per-dispatcher instance of this strategy.
+    pub fn build(self, config: GossipConfig) -> Box<dyn RecoveryAlgorithm> {
+        config.validate();
+        match self {
+            AlgorithmKind::NoRecovery => Box::new(NoRecovery),
+            AlgorithmKind::Push => Box::new(PushGossip::new(config)),
+            AlgorithmKind::SubscriberPull => Box::new(SubscriberPull::new(config)),
+            AlgorithmKind::PublisherPull => Box::new(PublisherPull::new(config)),
+            AlgorithmKind::CombinedPull => Box::new(CombinedPull::new(config)),
+            AlgorithmKind::RandomPull => Box::new(RandomPull::new(config)),
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an [`AlgorithmKind`] from a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAlgorithmError(String);
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown algorithm '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl FromStr for AlgorithmKind {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgorithmKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| ParseAlgorithmError(s.to_owned()))
+    }
+}
+
+/// One dispatcher's recovery strategy: reacts to gossip rounds, loss
+/// detections, and incoming gossip traffic by emitting
+/// [`GossipAction`]s for the simulation harness to carry out.
+///
+/// Implementations never mutate the dispatcher: recovered events are
+/// applied by the harness through
+/// [`Dispatcher::on_recovered_event`], keeping algorithms pure and
+/// independently testable.
+pub trait RecoveryAlgorithm: fmt::Debug + Send {
+    /// Which strategy this is.
+    fn kind(&self) -> AlgorithmKind;
+
+    /// Called every gossip interval `T`: start a new gossip round.
+    fn on_round(
+        &mut self,
+        node: &Dispatcher,
+        neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction>;
+
+    /// A gossip message arrived from tree neighbor `from`.
+    fn on_gossip(
+        &mut self,
+        node: &Dispatcher,
+        from: NodeId,
+        msg: GossipMessage,
+        neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction>;
+
+    /// The dispatcher's loss detector found gaps (pull strategies
+    /// record them in their `Lost` buffer).
+    fn on_losses(&mut self, losses: &[LossRecord]) {
+        let _ = losses;
+    }
+
+    /// An event was received (on the tree or via recovery); pull
+    /// strategies clear the covered `Lost` entries.
+    fn on_event_received(&mut self, event: &Event) {
+        let _ = event;
+    }
+
+    /// An out-of-band request for specific cached events arrived (the
+    /// reaction to a push digest). The default implementation answers
+    /// from the cache and is shared by all strategies; push also uses
+    /// this as its activity signal for adaptive gossip.
+    fn on_request(&mut self, node: &Dispatcher, from: NodeId, ids: &[EventId]) -> Vec<GossipAction> {
+        let events: Vec<Event> = ids
+            .iter()
+            .filter_map(|&id| node.cache().get(id).cloned())
+            .collect();
+        if events.is_empty() {
+            Vec::new()
+        } else {
+            vec![GossipAction::Reply { to: from, events }]
+        }
+    }
+
+    /// Number of outstanding `Lost` entries (0 for strategies without
+    /// a `Lost` buffer). Exposed for metrics and tests.
+    fn outstanding_losses(&self) -> usize {
+        0
+    }
+
+    /// `true` when the strategy currently sees no evidence of recovery
+    /// work — the signal adaptive gossip scheduling (paper Sec. IV-E,
+    /// ref \[14\]) uses to back the interval off. Pull strategies are
+    /// idle when their `Lost` buffer is empty (the default); push
+    /// overrides this with "nobody requested anything since my last
+    /// round".
+    fn is_idle(&self) -> bool {
+        self.outstanding_losses() == 0
+    }
+}
+
+/// The baseline: no recovery at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoRecovery;
+
+impl RecoveryAlgorithm for NoRecovery {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::NoRecovery
+    }
+
+    fn on_round(
+        &mut self,
+        _node: &Dispatcher,
+        _neighbors: &[NodeId],
+        _rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        Vec::new()
+    }
+
+    fn on_gossip(
+        &mut self,
+        _node: &Dispatcher,
+        _from: NodeId,
+        _msg: GossipMessage,
+        _neighbors: &[NodeId],
+        _rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_pubsub::DispatcherConfig;
+    use eps_sim::RngFactory;
+
+    #[test]
+    fn names_roundtrip_through_fromstr() {
+        for kind in AlgorithmKind::ALL {
+            let parsed: AlgorithmKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("bogus".parse::<AlgorithmKind>().is_err());
+    }
+
+    #[test]
+    fn requirements_match_the_paper() {
+        assert!(AlgorithmKind::PublisherPull.needs_publisher_cache());
+        assert!(AlgorithmKind::CombinedPull.needs_route_recording());
+        assert!(!AlgorithmKind::Push.needs_publisher_cache());
+        assert!(!AlgorithmKind::SubscriberPull.needs_route_recording());
+        assert!(!AlgorithmKind::NoRecovery.needs_publisher_cache());
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        for kind in AlgorithmKind::ALL {
+            let algo = kind.build(GossipConfig::default());
+            assert_eq!(algo.kind(), kind);
+            assert_eq!(algo.outstanding_losses(), 0);
+        }
+    }
+
+    #[test]
+    fn no_recovery_does_nothing() {
+        let mut algo = NoRecovery;
+        let node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        assert!(algo.on_round(&node, &[], &mut rng).is_empty());
+        assert!(algo
+            .on_gossip(
+                &node,
+                NodeId::new(1),
+                GossipMessage::RandomPull {
+                    gossiper: NodeId::new(1),
+                    lost: vec![],
+                    ttl: 1
+                },
+                &[],
+                &mut rng
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn default_request_handler_replies_from_cache() {
+        use eps_pubsub::{EventId as EId, PatternId};
+        let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        node.subscribe_local(PatternId::new(1), &[]);
+        let (event, _) = node.publish(vec![PatternId::new(1)]);
+        let mut algo = NoRecovery;
+        let actions = algo.on_request(&node, NodeId::new(9), &[event.id()]);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            GossipAction::Reply { to, events } => {
+                assert_eq!(*to, NodeId::new(9));
+                assert_eq!(events[0].id(), event.id());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown ids produce no reply.
+        let none = algo.on_request(&node, NodeId::new(9), &[EId::new(NodeId::new(5), 99)]);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Configuration of the gossip layer.
+
+/// Tunables shared by the epidemic recovery algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use eps_gossip::GossipConfig;
+///
+/// let config = GossipConfig::default();
+/// assert_eq!(config.p_forward, 0.5);
+/// assert_eq!(config.p_source, 0.5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GossipConfig {
+    /// Probability that a gossip message is forwarded to each matching
+    /// neighbor at every hop (the paper's `P_forward`; the paper does
+    /// not report the value used — 0.5 reproduces its curves).
+    pub p_forward: f64,
+    /// Probability that a combined-pull round uses the
+    /// publisher-based variant instead of the subscriber-based one
+    /// (the paper's `P_source`).
+    pub p_source: f64,
+    /// Maximum number of entries carried by one negative digest. The
+    /// paper assumes gossip messages are the same size as event
+    /// messages, which bounds how much a digest can carry.
+    pub digest_max: usize,
+    /// Hop budget for the random-pull baseline, which has no routing
+    /// information to decide when to stop.
+    pub random_ttl: u32,
+    /// A `Lost` entry is given up after being gossiped this many times
+    /// without the event being recovered (it has likely been evicted
+    /// from every cache).
+    pub max_attempts: u32,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            p_forward: 0.5,
+            p_source: 0.5,
+            digest_max: 128,
+            random_ttl: 8,
+            max_attempts: 20,
+        }
+    }
+}
+
+impl GossipConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are outside `[0, 1]`, the digest is
+    /// empty, or the TTL is zero.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.p_forward),
+            "p_forward out of range: {}",
+            self.p_forward
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.p_source),
+            "p_source out of range: {}",
+            self.p_source
+        );
+        assert!(self.digest_max > 0, "digest_max must be positive");
+        assert!(self.random_ttl > 0, "random_ttl must be positive");
+        assert!(self.max_attempts > 0, "max_attempts must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        GossipConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_panics() {
+        GossipConfig {
+            p_forward: 1.5,
+            ..GossipConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_digest_panics() {
+        GossipConfig {
+            digest_max: 0,
+            ..GossipConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,60 @@
+//! # eps-gossip — epidemic recovery for content-based publish-subscribe
+//!
+//! The primary contribution of *“Epidemic Algorithms for Reliable
+//! Content-Based Publish-Subscribe: An Evaluation”* (Costa, Migliavacca,
+//! Picco, Cugola — ICDCS 2004), reproduced in full:
+//!
+//! - [`PushGossip`] — proactive gossip with positive digests, labelled
+//!   with a pattern drawn from the whole subscription table and routed
+//!   like an event (with per-hop forwarding probability `P_forward`);
+//! - [`SubscriberPull`] — reactive gossip with negative digests built
+//!   from sequence-gap loss detection, steered towards subscribers;
+//! - [`PublisherPull`] — negative digests steered back towards
+//!   publishers along routes recorded in event messages;
+//! - [`CombinedPull`] — publisher-based with probability `P_source`,
+//!   otherwise subscriber-based: the two complement each other and the
+//!   paper shows they perform best combined;
+//! - [`RandomPull`] — digests routed entirely at random (TTL-bounded),
+//!   the paper's check that directed routing is worth the effort;
+//! - [`NoRecovery`] — the best-effort baseline.
+//!
+//! All strategies implement [`RecoveryAlgorithm`]: they react to gossip
+//! rounds, detected losses, and incoming gossip by emitting
+//! [`GossipAction`]s, which the simulation harness (or a real
+//! transport) carries out. Algorithms never touch the network and never
+//! mutate the dispatcher, so each is unit-testable in isolation.
+//!
+//! # Examples
+//!
+//! ```
+//! use eps_gossip::{AlgorithmKind, GossipConfig};
+//!
+//! // Build one instance per dispatcher.
+//! let mut algo = AlgorithmKind::CombinedPull.build(GossipConfig::default());
+//! assert_eq!(algo.kind().name(), "combined-pull");
+//! assert_eq!(algo.outstanding_losses(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod algorithm;
+mod config;
+mod lost;
+mod message;
+mod pull_combined;
+mod pull_publisher;
+mod pull_random;
+mod pull_subscriber;
+mod push;
+mod rounds;
+
+pub use algorithm::{AlgorithmKind, NoRecovery, ParseAlgorithmError, RecoveryAlgorithm};
+pub use config::GossipConfig;
+pub use lost::LostBuffer;
+pub use message::{GossipAction, GossipMessage};
+pub use pull_combined::CombinedPull;
+pub use pull_publisher::PublisherPull;
+pub use pull_random::RandomPull;
+pub use pull_subscriber::SubscriberPull;
+pub use push::PushGossip;

@@ -1,0 +1,262 @@
+//! The `Lost` buffer of the pull algorithms: the set of events a
+//! dispatcher knows it missed, identified by (source, pattern, seq).
+
+use std::collections::BTreeMap;
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Event, LossRecord, PatternId};
+
+/// The buffer of detected-but-not-yet-recovered events.
+///
+/// Entries are keyed by [`LossRecord`] and carry an attempt counter so
+/// that hopeless entries (events evicted from every cache) are
+/// eventually given up, bounding gossip overhead.
+///
+/// # Examples
+///
+/// ```
+/// use eps_gossip::LostBuffer;
+/// use eps_pubsub::{LossRecord, PatternId};
+/// use eps_overlay::NodeId;
+///
+/// let mut lost = LostBuffer::new(20);
+/// let rec = LossRecord { source: NodeId::new(0), pattern: PatternId::new(1), seq: 3 };
+/// lost.add(rec);
+/// assert_eq!(lost.len(), 1);
+/// assert_eq!(lost.for_pattern(PatternId::new(1), 10), vec![rec]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LostBuffer {
+    entries: BTreeMap<LossRecord, u32>,
+    max_attempts: u32,
+    added_total: u64,
+    recovered_total: u64,
+    abandoned_total: u64,
+}
+
+impl LostBuffer {
+    /// Creates an empty buffer; entries are dropped after
+    /// `max_attempts` unsuccessful gossip rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn new(max_attempts: u32) -> Self {
+        assert!(max_attempts > 0, "max_attempts must be positive");
+        LostBuffer {
+            entries: BTreeMap::new(),
+            max_attempts,
+            added_total: 0,
+            recovered_total: 0,
+            abandoned_total: 0,
+        }
+    }
+
+    /// Number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries ever added.
+    pub fn added_total(&self) -> u64 {
+        self.added_total
+    }
+
+    /// Total entries cleared because the event arrived.
+    pub fn recovered_total(&self) -> u64 {
+        self.recovered_total
+    }
+
+    /// Total entries dropped after exhausting their attempts.
+    pub fn abandoned_total(&self) -> u64 {
+        self.abandoned_total
+    }
+
+    /// Records a detected loss. Duplicate records are ignored.
+    pub fn add(&mut self, record: LossRecord) {
+        if self.entries.insert(record, 0).is_none() {
+            self.added_total += 1;
+        }
+    }
+
+    /// Clears every entry covered by a received event: for each
+    /// (pattern, seq) the event carries, the entry
+    /// (event.source, pattern, seq) is recovered.
+    pub fn clear_for_event(&mut self, event: &Event) {
+        for &(pattern, seq) in event.pattern_seqs() {
+            let record = LossRecord {
+                source: event.source(),
+                pattern,
+                seq,
+            };
+            if self.entries.remove(&record).is_some() {
+                self.recovered_total += 1;
+            }
+        }
+    }
+
+    /// `true` if the record is still outstanding.
+    pub fn contains(&self, record: &LossRecord) -> bool {
+        self.entries.contains_key(record)
+    }
+
+    /// The distinct patterns with outstanding entries, in order.
+    pub fn patterns(&self) -> Vec<PatternId> {
+        let mut out: Vec<PatternId> = self.entries.keys().map(|r| r.pattern).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The distinct sources with outstanding entries, in order.
+    pub fn sources(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.entries.keys().map(|r| r.source).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Selects up to `limit` outstanding entries for `pattern`,
+    /// charging one attempt to each selected entry and dropping the
+    /// ones that exhausted their budget (they are *not* returned).
+    pub fn for_pattern(&mut self, pattern: PatternId, limit: usize) -> Vec<LossRecord> {
+        let keys: Vec<LossRecord> = self
+            .entries
+            .keys()
+            .filter(|r| r.pattern == pattern)
+            .take(limit)
+            .copied()
+            .collect();
+        self.charge(keys)
+    }
+
+    /// Selects up to `limit` outstanding entries from `source`,
+    /// charging attempts as in [`LostBuffer::for_pattern`].
+    pub fn for_source(&mut self, source: NodeId, limit: usize) -> Vec<LossRecord> {
+        let keys: Vec<LossRecord> = self
+            .entries
+            .keys()
+            .filter(|r| r.source == source)
+            .take(limit)
+            .copied()
+            .collect();
+        self.charge(keys)
+    }
+
+    /// Selects up to `limit` outstanding entries regardless of pattern
+    /// or source (used by random pull), charging attempts.
+    pub fn any(&mut self, limit: usize) -> Vec<LossRecord> {
+        let keys: Vec<LossRecord> = self.entries.keys().take(limit).copied().collect();
+        self.charge(keys)
+    }
+
+    fn charge(&mut self, keys: Vec<LossRecord>) -> Vec<LossRecord> {
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let attempts = self
+                .entries
+                .get_mut(&key)
+                .expect("selected keys are present");
+            *attempts += 1;
+            if *attempts >= self.max_attempts {
+                self.entries.remove(&key);
+                self.abandoned_total += 1;
+            }
+            out.push(key);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_pubsub::EventId;
+
+    fn rec(source: u32, pattern: u16, seq: u64) -> LossRecord {
+        LossRecord {
+            source: NodeId::new(source),
+            pattern: PatternId::new(pattern),
+            seq,
+        }
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut lost = LostBuffer::new(10);
+        lost.add(rec(0, 1, 2));
+        lost.add(rec(0, 1, 2));
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost.added_total(), 1);
+    }
+
+    #[test]
+    fn clear_for_event_removes_covered_entries() {
+        let mut lost = LostBuffer::new(10);
+        lost.add(rec(0, 1, 2));
+        lost.add(rec(0, 2, 5));
+        lost.add(rec(0, 1, 3));
+        let event = Event::new(
+            EventId::new(NodeId::new(0), 9),
+            vec![(PatternId::new(1), 2), (PatternId::new(2), 5)],
+        );
+        lost.clear_for_event(&event);
+        assert_eq!(lost.len(), 1);
+        assert!(lost.contains(&rec(0, 1, 3)));
+        assert_eq!(lost.recovered_total(), 2);
+    }
+
+    #[test]
+    fn selection_by_pattern_and_source() {
+        let mut lost = LostBuffer::new(10);
+        lost.add(rec(0, 1, 0));
+        lost.add(rec(0, 2, 0));
+        lost.add(rec(3, 1, 4));
+        assert_eq!(
+            lost.for_pattern(PatternId::new(1), 10),
+            vec![rec(0, 1, 0), rec(3, 1, 4)]
+        );
+        assert_eq!(lost.for_source(NodeId::new(3), 10), vec![rec(3, 1, 4)]);
+        assert_eq!(lost.patterns(), vec![PatternId::new(1), PatternId::new(2)]);
+        assert_eq!(lost.sources(), vec![NodeId::new(0), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn limit_caps_selection() {
+        let mut lost = LostBuffer::new(100);
+        for seq in 0..10 {
+            lost.add(rec(0, 1, seq));
+        }
+        assert_eq!(lost.for_pattern(PatternId::new(1), 3).len(), 3);
+        assert_eq!(lost.any(4).len(), 4);
+    }
+
+    #[test]
+    fn entries_are_abandoned_after_max_attempts() {
+        let mut lost = LostBuffer::new(3);
+        lost.add(rec(0, 1, 0));
+        for _ in 0..2 {
+            assert_eq!(lost.for_pattern(PatternId::new(1), 10).len(), 1);
+            assert_eq!(lost.len(), 1);
+        }
+        // Third attempt exhausts the budget: entry still returned but
+        // dropped afterwards.
+        assert_eq!(lost.for_pattern(PatternId::new(1), 10).len(), 1);
+        assert!(lost.is_empty());
+        assert_eq!(lost.abandoned_total(), 1);
+    }
+
+    #[test]
+    fn recovered_entries_stop_being_selected() {
+        let mut lost = LostBuffer::new(10);
+        lost.add(rec(0, 1, 0));
+        let event = Event::new(EventId::new(NodeId::new(0), 0), vec![(PatternId::new(1), 0)]);
+        lost.clear_for_event(&event);
+        assert!(lost.for_pattern(PatternId::new(1), 10).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Gossip wire messages and the actions algorithms emit.
+
+use std::sync::Arc;
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Event, EventId, LossRecord, PatternId};
+
+/// A gossip message travelling the dispatching tree.
+///
+/// The paper assumes gossip messages have (at most) the same size as
+/// event messages; [`GossipMessage::wire_bits`] reflects that.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GossipMessage {
+    /// Push: a positive digest of cached events matching `pattern`,
+    /// routed like an event matching `pattern` and forwarded to a
+    /// random subset of matching neighbors.
+    PushDigest {
+        /// The dispatcher that started the round; requests go straight
+        /// back to it out-of-band.
+        gossiper: NodeId,
+        /// The pattern the digest (and its routing) is labelled with.
+        pattern: PatternId,
+        /// Identifiers of *all* the gossiper's cached events matching
+        /// `pattern` (shared, since the digest is forwarded unchanged
+        /// along the tree).
+        ids: Arc<Vec<EventId>>,
+    },
+    /// Subscriber-based pull: a negative digest labelled with a
+    /// locally subscribed pattern, routed like a push digest.
+    PullDigest {
+        /// The dispatcher missing the events.
+        gossiper: NodeId,
+        /// The locally subscribed pattern the round is about.
+        pattern: PatternId,
+        /// The missing events, identified by (source, pattern, seq).
+        lost: Vec<LossRecord>,
+    },
+    /// Publisher-based pull: a negative digest steered back towards
+    /// the publisher along a recorded route.
+    SourcePull {
+        /// The dispatcher missing the events.
+        gossiper: NodeId,
+        /// The publisher the digest is steered towards.
+        source: NodeId,
+        /// The missing events from that publisher.
+        lost: Vec<LossRecord>,
+        /// Remaining hops to traverse (next hop first).
+        route: Vec<NodeId>,
+    },
+    /// Random pull: a negative digest forwarded to random neighbors
+    /// with a hop budget, the paper's "is routing worth it?" baseline.
+    RandomPull {
+        /// The dispatcher missing the events.
+        gossiper: NodeId,
+        /// The missing events.
+        lost: Vec<LossRecord>,
+        /// Remaining hop budget.
+        ttl: u32,
+    },
+}
+
+impl GossipMessage {
+    /// The dispatcher that initiated this gossip round.
+    pub fn gossiper(&self) -> NodeId {
+        match *self {
+            GossipMessage::PushDigest { gossiper, .. }
+            | GossipMessage::PullDigest { gossiper, .. }
+            | GossipMessage::SourcePull { gossiper, .. }
+            | GossipMessage::RandomPull { gossiper, .. } => gossiper,
+        }
+    }
+
+    /// Approximate wire size in bits. Per the paper's accounting
+    /// assumption, a gossip message costs the same as an event message
+    /// (`payload_bits`); this is an upper bound for real digests.
+    pub fn wire_bits(&self, payload_bits: u64) -> u64 {
+        match self {
+            GossipMessage::SourcePull { route, .. } => {
+                payload_bits + 32 * route.len() as u64
+            }
+            _ => payload_bits,
+        }
+    }
+}
+
+/// What a recovery algorithm wants done, interpreted by the harness.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GossipAction {
+    /// Send a gossip message to a tree neighbor (travels on the
+    /// overlay link, subject to its loss and queueing).
+    Forward {
+        /// The neighboring dispatcher to hand the message to.
+        to: NodeId,
+        /// The message.
+        msg: GossipMessage,
+    },
+    /// Ask `to`, out-of-band, for copies of the identified events
+    /// (reaction to a positive push digest).
+    Request {
+        /// The dispatcher believed to hold the events (the gossiper).
+        to: NodeId,
+        /// The events to retransmit.
+        ids: Vec<EventId>,
+    },
+    /// Send copies of cached events to `to` out-of-band (reaction to a
+    /// negative digest or to a [`GossipAction::Request`]).
+    Reply {
+        /// The dispatcher that is missing the events.
+        to: NodeId,
+        /// The event copies.
+        events: Vec<Event>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossiper_is_exposed_for_all_kinds() {
+        let g = NodeId::new(3);
+        let msgs = [
+            GossipMessage::PushDigest {
+                gossiper: g,
+                pattern: PatternId::new(0),
+                ids: Arc::new(vec![]),
+            },
+            GossipMessage::PullDigest {
+                gossiper: g,
+                pattern: PatternId::new(0),
+                lost: vec![],
+            },
+            GossipMessage::SourcePull {
+                gossiper: g,
+                source: NodeId::new(1),
+                lost: vec![],
+                route: vec![],
+            },
+            GossipMessage::RandomPull {
+                gossiper: g,
+                lost: vec![],
+                ttl: 3,
+            },
+        ];
+        assert!(msgs.iter().all(|m| m.gossiper() == g));
+    }
+
+    #[test]
+    fn wire_bits_default_to_event_size() {
+        let m = GossipMessage::PushDigest {
+            gossiper: NodeId::new(0),
+            pattern: PatternId::new(0),
+            ids: Arc::new(vec![]),
+        };
+        assert_eq!(m.wire_bits(1000), 1000);
+        let s = GossipMessage::SourcePull {
+            gossiper: NodeId::new(0),
+            source: NodeId::new(1),
+            lost: vec![],
+            route: vec![NodeId::new(2); 3],
+        };
+        assert_eq!(s.wire_bits(1000), 1096);
+    }
+}

@@ -1,0 +1,266 @@
+//! The combined pull algorithm (paper, Section IV): per round,
+//! publisher-based with probability `P_source`, otherwise
+//! subscriber-based.
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Dispatcher, Event, LossRecord};
+use rand::{Rng, RngCore};
+
+use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
+use crate::config::GossipConfig;
+use crate::lost::LostBuffer;
+use crate::message::{GossipAction, GossipMessage};
+use crate::rounds::{
+    handle_pull_digest, handle_source_pull, publisher_round, subscriber_round,
+};
+
+/// Combined pull: the two pull variants complement each other — with
+/// few subscribers per pattern the subscriber-based variant has nobody
+/// to gossip with, while with many the publisher-based one involves
+/// too small a fraction of dispatchers — and "perform best when
+/// combined". One `Lost` buffer is shared; each round a biased coin
+/// (`P_source`) picks which steering to use.
+#[derive(Clone, Debug)]
+pub struct CombinedPull {
+    config: GossipConfig,
+    lost: LostBuffer,
+    publisher_rounds: u64,
+    subscriber_rounds: u64,
+}
+
+impl CombinedPull {
+    /// Creates a combined-pull instance.
+    pub fn new(config: GossipConfig) -> Self {
+        CombinedPull {
+            lost: LostBuffer::new(config.max_attempts),
+            config,
+            publisher_rounds: 0,
+            subscriber_rounds: 0,
+        }
+    }
+
+    /// Rounds that used the publisher-based variant.
+    pub fn publisher_rounds(&self) -> u64 {
+        self.publisher_rounds
+    }
+
+    /// Rounds that used the subscriber-based variant.
+    pub fn subscriber_rounds(&self) -> u64 {
+        self.subscriber_rounds
+    }
+}
+
+impl RecoveryAlgorithm for CombinedPull {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::CombinedPull
+    }
+
+    fn on_round(
+        &mut self,
+        node: &Dispatcher,
+        _neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        if self.lost.is_empty() {
+            return Vec::new();
+        }
+        if rng.random_bool(self.config.p_source) {
+            self.publisher_rounds += 1;
+            let actions = publisher_round(&mut self.lost, node, &self.config, rng);
+            if !actions.is_empty() {
+                return actions;
+            }
+            // No route known towards any missing source: fall back to
+            // the subscriber variant rather than wasting the round.
+            self.subscriber_rounds += 1;
+            subscriber_round(&mut self.lost, node, &self.config, rng)
+        } else {
+            self.subscriber_rounds += 1;
+            subscriber_round(&mut self.lost, node, &self.config, rng)
+        }
+    }
+
+    fn on_gossip(
+        &mut self,
+        node: &Dispatcher,
+        from: NodeId,
+        msg: GossipMessage,
+        _neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        match msg {
+            GossipMessage::PullDigest {
+                gossiper,
+                pattern,
+                lost,
+            } => handle_pull_digest(node, &self.config, from, gossiper, pattern, lost, rng),
+            GossipMessage::SourcePull {
+                gossiper,
+                source,
+                lost,
+                route,
+            } => handle_source_pull(node, gossiper, source, lost, route),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_losses(&mut self, losses: &[LossRecord]) {
+        for &record in losses {
+            self.lost.add(record);
+        }
+    }
+
+    fn on_event_received(&mut self, event: &Event) {
+        self.lost.clear_for_event(event);
+    }
+
+    fn outstanding_losses(&self) -> usize {
+        self.lost.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_pubsub::{DispatcherConfig, Event, EventId, PatternId};
+    use eps_sim::RngFactory;
+
+    fn record(source: u32, pattern: u16, seq: u64) -> LossRecord {
+        LossRecord {
+            source: NodeId::new(source),
+            pattern: PatternId::new(pattern),
+            seq,
+        }
+    }
+
+    fn node_with_route_and_subscription() -> Dispatcher {
+        let mut node = Dispatcher::new(
+            NodeId::new(5),
+            DispatcherConfig {
+                cache_own_published: true,
+                record_routes: true,
+                ..DispatcherConfig::default()
+            },
+        );
+        node.subscribe_local(PatternId::new(1), &[]);
+        node.on_subscribe(PatternId::new(1), NodeId::new(3), &[]);
+        let mut e = Event::new(EventId::new(NodeId::new(0), 0), vec![(PatternId::new(1), 0)]);
+        e.record_hop(NodeId::new(3));
+        node.on_event(e, Some(NodeId::new(3)));
+        node
+    }
+
+    #[test]
+    fn mixes_both_variants_over_many_rounds() {
+        let node = node_with_route_and_subscription();
+        let mut algo = CombinedPull::new(GossipConfig {
+            p_forward: 1.0,
+            p_source: 0.5,
+            max_attempts: u32::MAX,
+            ..GossipConfig::default()
+        });
+        let mut rng = RngFactory::new(9).stream("gossip");
+        let mut saw_pull = false;
+        let mut saw_source = false;
+        for seq in 0..200u64 {
+            algo.on_losses(&[record(0, 1, seq + 1)]);
+            for action in algo.on_round(&node, &[], &mut rng) {
+                match action {
+                    GossipAction::Forward {
+                        msg: GossipMessage::PullDigest { .. },
+                        ..
+                    } => saw_pull = true,
+                    GossipAction::Forward {
+                        msg: GossipMessage::SourcePull { .. },
+                        ..
+                    } => saw_source = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_pull, "subscriber variant never used");
+        assert!(saw_source, "publisher variant never used");
+        assert!(algo.publisher_rounds() > 0 && algo.subscriber_rounds() > 0);
+    }
+
+    #[test]
+    fn p_source_one_always_steers_to_publisher() {
+        let node = node_with_route_and_subscription();
+        let mut algo = CombinedPull::new(GossipConfig {
+            p_forward: 1.0,
+            p_source: 1.0,
+            ..GossipConfig::default()
+        });
+        algo.on_losses(&[record(0, 1, 5)]);
+        let mut rng = RngFactory::new(9).stream("gossip");
+        let actions = algo.on_round(&node, &[], &mut rng);
+        assert!(matches!(
+            actions[0],
+            GossipAction::Forward {
+                msg: GossipMessage::SourcePull { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn falls_back_to_subscriber_without_routes() {
+        // Node with a subscription but no route knowledge.
+        let mut node = Dispatcher::new(NodeId::new(5), DispatcherConfig::default());
+        node.subscribe_local(PatternId::new(1), &[]);
+        node.on_subscribe(PatternId::new(1), NodeId::new(3), &[]);
+        let mut algo = CombinedPull::new(GossipConfig {
+            p_forward: 1.0,
+            p_source: 1.0, // always tries publisher first
+            ..GossipConfig::default()
+        });
+        algo.on_losses(&[record(0, 1, 5)]);
+        let mut rng = RngFactory::new(9).stream("gossip");
+        let actions = algo.on_round(&node, &[], &mut rng);
+        assert!(
+            matches!(
+                actions[0],
+                GossipAction::Forward {
+                    msg: GossipMessage::PullDigest { .. },
+                    ..
+                }
+            ),
+            "expected subscriber fallback, got {actions:?}"
+        );
+    }
+
+    #[test]
+    fn handles_both_digest_kinds() {
+        let node = node_with_route_and_subscription();
+        let mut algo = CombinedPull::new(GossipConfig {
+            p_forward: 1.0,
+            ..GossipConfig::default()
+        });
+        let mut rng = RngFactory::new(9).stream("gossip");
+        // It holds (0, p1, 0) in cache: both digests get served.
+        let pull = GossipMessage::PullDigest {
+            gossiper: NodeId::new(9),
+            pattern: PatternId::new(1),
+            lost: vec![record(0, 1, 0)],
+        };
+        let a1 = algo.on_gossip(&node, NodeId::new(3), pull, &[], &mut rng);
+        assert!(matches!(a1[0], GossipAction::Reply { .. }));
+        let source = GossipMessage::SourcePull {
+            gossiper: NodeId::new(9),
+            source: NodeId::new(0),
+            lost: vec![record(0, 1, 0)],
+            route: vec![NodeId::new(3)],
+        };
+        let a2 = algo.on_gossip(&node, NodeId::new(3), source, &[], &mut rng);
+        assert!(matches!(a2[0], GossipAction::Reply { .. }));
+    }
+
+    #[test]
+    fn empty_lost_buffer_skips_round() {
+        let node = node_with_route_and_subscription();
+        let mut algo = CombinedPull::new(GossipConfig::default());
+        let mut rng = RngFactory::new(9).stream("gossip");
+        assert!(algo.on_round(&node, &[], &mut rng).is_empty());
+        assert_eq!(algo.publisher_rounds() + algo.subscriber_rounds(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The publisher-based pull algorithm (paper, Section III-B).
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Dispatcher, Event, LossRecord};
+use rand::RngCore;
+
+use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
+use crate::config::GossipConfig;
+use crate::lost::LostBuffer;
+use crate::message::{GossipAction, GossipMessage};
+use crate::rounds::{handle_source_pull, publisher_round};
+
+/// Reactive pull with negative digests steered towards *publishers*.
+///
+/// Requires published events to be cached at their source
+/// ([`AlgorithmKind::needs_publisher_cache`]) and event messages to
+/// record the dispatchers they traverse
+/// ([`AlgorithmKind::needs_route_recording`]). Each round the gossiper
+/// picks a source among its `Lost` entries, and steers the digest back
+/// towards that publisher along the reverse of the most recently
+/// recorded route (the `Routes` buffer). The route may be stale after
+/// a reconfiguration — the two paths "share at least the first
+/// portion or, in the worst case, the publisher" — so intermediate
+/// caches often short-circuit the recovery.
+#[derive(Clone, Debug)]
+pub struct PublisherPull {
+    config: GossipConfig,
+    lost: LostBuffer,
+}
+
+impl PublisherPull {
+    /// Creates a publisher-pull instance.
+    pub fn new(config: GossipConfig) -> Self {
+        PublisherPull {
+            lost: LostBuffer::new(config.max_attempts),
+            config,
+        }
+    }
+
+    /// Read access to the `Lost` buffer (for tests and metrics).
+    pub fn lost(&self) -> &LostBuffer {
+        &self.lost
+    }
+}
+
+impl RecoveryAlgorithm for PublisherPull {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::PublisherPull
+    }
+
+    fn on_round(
+        &mut self,
+        node: &Dispatcher,
+        _neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        publisher_round(&mut self.lost, node, &self.config, rng)
+    }
+
+    fn on_gossip(
+        &mut self,
+        node: &Dispatcher,
+        _from: NodeId,
+        msg: GossipMessage,
+        _neighbors: &[NodeId],
+        _rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        match msg {
+            GossipMessage::SourcePull {
+                gossiper,
+                source,
+                lost,
+                route,
+            } => handle_source_pull(node, gossiper, source, lost, route),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_losses(&mut self, losses: &[LossRecord]) {
+        for &record in losses {
+            self.lost.add(record);
+        }
+    }
+
+    fn on_event_received(&mut self, event: &Event) {
+        self.lost.clear_for_event(event);
+    }
+
+    fn outstanding_losses(&self) -> usize {
+        self.lost.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_pubsub::{DispatcherConfig, Event, EventId, PatternId};
+    use eps_sim::RngFactory;
+
+    fn publisher_cfg() -> DispatcherConfig {
+        DispatcherConfig {
+            cache_own_published: true,
+            record_routes: true,
+            ..DispatcherConfig::default()
+        }
+    }
+
+    fn record(source: u32, pattern: u16, seq: u64) -> LossRecord {
+        LossRecord {
+            source: NodeId::new(source),
+            pattern: PatternId::new(pattern),
+            seq,
+        }
+    }
+
+    /// Builds a node that received an event from source 0 via hop 3,
+    /// so its Routes buffer knows the way back.
+    fn node_with_route() -> Dispatcher {
+        let mut node = Dispatcher::new(NodeId::new(5), publisher_cfg());
+        node.subscribe_local(PatternId::new(1), &[]);
+        let mut e = Event::new(EventId::new(NodeId::new(0), 0), vec![(PatternId::new(1), 0)]);
+        e.record_hop(NodeId::new(3));
+        node.on_event(e, Some(NodeId::new(3)));
+        node
+    }
+
+    #[test]
+    fn round_steers_digest_along_reverse_route() {
+        let node = node_with_route();
+        let mut algo = PublisherPull::new(GossipConfig::default());
+        // A *different* event from source 0 was lost.
+        algo.on_losses(&[record(0, 1, 5)]);
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let actions = algo.on_round(&node, &[], &mut rng);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            GossipAction::Forward { to, msg } => {
+                assert_eq!(*to, NodeId::new(3), "first hop back towards the source");
+                match msg {
+                    GossipMessage::SourcePull { source, route, lost, .. } => {
+                        assert_eq!(*source, NodeId::new(0));
+                        assert_eq!(route, &vec![NodeId::new(0)]);
+                        assert_eq!(lost, &vec![record(0, 1, 5)]);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_skips_sources_without_routes() {
+        let node = Dispatcher::new(NodeId::new(5), publisher_cfg());
+        let mut algo = PublisherPull::new(GossipConfig::default());
+        algo.on_losses(&[record(7, 1, 0)]); // never received anything from 7
+        let mut rng = RngFactory::new(1).stream("gossip");
+        assert!(algo.on_round(&node, &[], &mut rng).is_empty());
+        // The entry stays outstanding for later (e.g. combined pull).
+        assert_eq!(algo.outstanding_losses(), 1);
+    }
+
+    #[test]
+    fn publisher_serves_its_own_cached_event() {
+        // Source 0 publishes and caches its own event.
+        let mut source = Dispatcher::new(NodeId::new(0), publisher_cfg());
+        let (event, _) = source.publish(vec![PatternId::new(1)]);
+        let mut algo = PublisherPull::new(GossipConfig::default());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let msg = GossipMessage::SourcePull {
+            gossiper: NodeId::new(5),
+            source: NodeId::new(0),
+            lost: vec![record(0, 1, 0)],
+            route: vec![],
+        };
+        let actions = algo.on_gossip(&source, NodeId::new(3), msg, &[], &mut rng);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            GossipAction::Reply { to, events } => {
+                assert_eq!(*to, NodeId::new(5));
+                assert_eq!(events[0].id(), event.id());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_route_with_unserved_digest_dies_out() {
+        let node = Dispatcher::new(NodeId::new(3), publisher_cfg());
+        let mut algo = PublisherPull::new(GossipConfig::default());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let msg = GossipMessage::SourcePull {
+            gossiper: NodeId::new(5),
+            source: NodeId::new(0),
+            lost: vec![record(0, 1, 0)],
+            route: vec![], // stale route ended early
+        };
+        assert!(algo.on_gossip(&node, NodeId::new(5), msg, &[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn losses_clear_on_event_arrival() {
+        let mut algo = PublisherPull::new(GossipConfig::default());
+        algo.on_losses(&[record(0, 1, 5)]);
+        let e = Event::new(EventId::new(NodeId::new(0), 9), vec![(PatternId::new(1), 5)]);
+        algo.on_event_received(&e);
+        assert_eq!(algo.outstanding_losses(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The random pull comparator (paper, Section IV): negative digests
+//! "where routing of gossip messages is performed entirely at random",
+//! used to test whether directed gossip routing is worth the effort.
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Dispatcher, Event, LossRecord};
+use rand::RngCore;
+
+use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
+use crate::config::GossipConfig;
+use crate::lost::LostBuffer;
+use crate::message::{GossipAction, GossipMessage};
+use crate::rounds::{handle_random_pull, random_round};
+
+/// Random pull: loss detection and negative digests exactly as in the
+/// directed pull variants, but digests hop to random neighbors with a
+/// TTL budget, ignoring subscription tables and recorded routes.
+#[derive(Clone, Debug)]
+pub struct RandomPull {
+    config: GossipConfig,
+    lost: LostBuffer,
+}
+
+impl RandomPull {
+    /// Creates a random-pull instance.
+    pub fn new(config: GossipConfig) -> Self {
+        RandomPull {
+            lost: LostBuffer::new(config.max_attempts),
+            config,
+        }
+    }
+
+    /// Read access to the `Lost` buffer (for tests and metrics).
+    pub fn lost(&self) -> &LostBuffer {
+        &self.lost
+    }
+}
+
+impl RecoveryAlgorithm for RandomPull {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::RandomPull
+    }
+
+    fn on_round(
+        &mut self,
+        node: &Dispatcher,
+        neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        random_round(&mut self.lost, node, neighbors, &self.config, rng)
+    }
+
+    fn on_gossip(
+        &mut self,
+        node: &Dispatcher,
+        from: NodeId,
+        msg: GossipMessage,
+        neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        match msg {
+            GossipMessage::RandomPull {
+                gossiper,
+                lost,
+                ttl,
+            } => handle_random_pull(
+                node,
+                &self.config,
+                from,
+                gossiper,
+                lost,
+                ttl,
+                neighbors,
+                rng,
+            ),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_losses(&mut self, losses: &[LossRecord]) {
+        for &record in losses {
+            self.lost.add(record);
+        }
+    }
+
+    fn on_event_received(&mut self, event: &Event) {
+        self.lost.clear_for_event(event);
+    }
+
+    fn outstanding_losses(&self) -> usize {
+        self.lost.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_pubsub::{DispatcherConfig, EventId, PatternId};
+    use eps_sim::RngFactory;
+
+    fn record(source: u32, pattern: u16, seq: u64) -> LossRecord {
+        LossRecord {
+            source: NodeId::new(source),
+            pattern: PatternId::new(pattern),
+            seq,
+        }
+    }
+
+    #[test]
+    fn round_sends_to_random_neighbors_with_full_lost_set() {
+        let node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let mut algo = RandomPull::new(GossipConfig {
+            p_forward: 1.0,
+            ..GossipConfig::default()
+        });
+        algo.on_losses(&[record(1, 1, 0), record(2, 3, 4)]);
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let nbrs = [NodeId::new(1), NodeId::new(2)];
+        let actions = algo.on_round(&node, &nbrs, &mut rng);
+        assert_eq!(actions.len(), 2);
+        for action in &actions {
+            match action {
+                GossipAction::Forward { msg, .. } => match msg {
+                    GossipMessage::RandomPull { lost, ttl, .. } => {
+                        assert_eq!(lost.len(), 2);
+                        assert_eq!(*ttl, GossipConfig::default().random_ttl);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_skips_with_no_losses_or_no_neighbors() {
+        let node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let mut algo = RandomPull::new(GossipConfig::default());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        assert!(algo
+            .on_round(&node, &[NodeId::new(1)], &mut rng)
+            .is_empty());
+        algo.on_losses(&[record(1, 1, 0)]);
+        assert!(algo.on_round(&node, &[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn served_entries_are_not_forwarded() {
+        let mut node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        node.subscribe_local(PatternId::new(1), &[]);
+        let e = eps_pubsub::Event::new(
+            EventId::new(NodeId::new(7), 0),
+            vec![(PatternId::new(1), 0)],
+        );
+        node.on_event(e, Some(NodeId::new(0)));
+        let mut algo = RandomPull::new(GossipConfig {
+            p_forward: 1.0,
+            ..GossipConfig::default()
+        });
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let msg = GossipMessage::RandomPull {
+            gossiper: NodeId::new(9),
+            lost: vec![record(7, 1, 0)],
+            ttl: 5,
+        };
+        let actions = algo.on_gossip(
+            &node,
+            NodeId::new(0),
+            msg,
+            &[NodeId::new(0), NodeId::new(2)],
+            &mut rng,
+        );
+        // Everything was served: only a reply, no forwarding.
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], GossipAction::Reply { .. }));
+    }
+
+    #[test]
+    fn unserved_entries_keep_walking_until_ttl() {
+        let node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let mut algo = RandomPull::new(GossipConfig {
+            p_forward: 1.0,
+            ..GossipConfig::default()
+        });
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let msg = GossipMessage::RandomPull {
+            gossiper: NodeId::new(9),
+            lost: vec![record(7, 1, 0)],
+            ttl: 3,
+        };
+        let actions = algo.on_gossip(
+            &node,
+            NodeId::new(0),
+            msg,
+            &[NodeId::new(0), NodeId::new(2)],
+            &mut rng,
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            GossipAction::Forward { to, msg } => {
+                assert_eq!(*to, NodeId::new(2), "never bounce back to the sender");
+                assert!(matches!(msg, GossipMessage::RandomPull { ttl: 2, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

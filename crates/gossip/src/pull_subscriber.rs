@@ -1,0 +1,215 @@
+//! The subscriber-based pull algorithm (paper, Section III-B).
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Dispatcher, Event, LossRecord};
+use rand::RngCore;
+
+use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
+use crate::config::GossipConfig;
+use crate::lost::LostBuffer;
+use crate::message::{GossipAction, GossipMessage};
+use crate::rounds::{handle_pull_digest, subscriber_round};
+
+/// Reactive pull with negative digests steered towards *subscribers*.
+///
+/// Losses are detected from the per-(source, pattern) sequence numbers
+/// in event identifiers and accumulate in the `Lost` buffer. Each
+/// round the gossiper picks a pattern among its *locally issued*
+/// subscriptions (unlike push — the goal is retrieving events relevant
+/// to the gossiper, not disseminating knowledge), packs the matching
+/// `Lost` entries in a digest, and routes it like a push digest.
+/// Dispatchers along the way serve what their caches hold, replying
+/// out-of-band.
+#[derive(Clone, Debug)]
+pub struct SubscriberPull {
+    config: GossipConfig,
+    lost: LostBuffer,
+}
+
+impl SubscriberPull {
+    /// Creates a subscriber-pull instance.
+    pub fn new(config: GossipConfig) -> Self {
+        SubscriberPull {
+            lost: LostBuffer::new(config.max_attempts),
+            config,
+        }
+    }
+
+    /// Read access to the `Lost` buffer (for tests and metrics).
+    pub fn lost(&self) -> &LostBuffer {
+        &self.lost
+    }
+}
+
+impl RecoveryAlgorithm for SubscriberPull {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::SubscriberPull
+    }
+
+    fn on_round(
+        &mut self,
+        node: &Dispatcher,
+        _neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        subscriber_round(&mut self.lost, node, &self.config, rng)
+    }
+
+    fn on_gossip(
+        &mut self,
+        node: &Dispatcher,
+        from: NodeId,
+        msg: GossipMessage,
+        _neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        match msg {
+            GossipMessage::PullDigest {
+                gossiper,
+                pattern,
+                lost,
+            } => handle_pull_digest(node, &self.config, from, gossiper, pattern, lost, rng),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_losses(&mut self, losses: &[LossRecord]) {
+        for &record in losses {
+            self.lost.add(record);
+        }
+    }
+
+    fn on_event_received(&mut self, event: &Event) {
+        self.lost.clear_for_event(event);
+    }
+
+    fn outstanding_losses(&self) -> usize {
+        self.lost.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_pubsub::{DispatcherConfig, EventId, PatternId};
+    use eps_sim::RngFactory;
+
+    fn cfg() -> GossipConfig {
+        GossipConfig {
+            p_forward: 1.0,
+            ..GossipConfig::default()
+        }
+    }
+
+    fn record(source: u32, pattern: u16, seq: u64) -> LossRecord {
+        LossRecord {
+            source: NodeId::new(source),
+            pattern: PatternId::new(pattern),
+            seq,
+        }
+    }
+
+    #[test]
+    fn losses_accumulate_and_clear_on_arrival() {
+        let mut algo = SubscriberPull::new(cfg());
+        algo.on_losses(&[record(0, 1, 3), record(0, 1, 4)]);
+        assert_eq!(algo.outstanding_losses(), 2);
+        let e = Event::new(EventId::new(NodeId::new(0), 9), vec![(PatternId::new(1), 3)]);
+        algo.on_event_received(&e);
+        assert_eq!(algo.outstanding_losses(), 1);
+    }
+
+    #[test]
+    fn round_targets_pattern_subscribers() {
+        let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        node.subscribe_local(p, &[]);
+        node.on_subscribe(p, NodeId::new(2), &[]);
+        let mut algo = SubscriberPull::new(cfg());
+        algo.on_losses(&[record(7, 1, 0)]);
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let actions = algo.on_round(&node, &[], &mut rng);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            GossipAction::Forward { to, msg } => {
+                assert_eq!(*to, NodeId::new(2));
+                match msg {
+                    GossipMessage::PullDigest { pattern, lost, .. } => {
+                        assert_eq!(*pattern, p);
+                        assert_eq!(lost, &vec![record(7, 1, 0)]);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_skips_when_nothing_lost() {
+        let node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let mut algo = SubscriberPull::new(cfg());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        assert!(algo.on_round(&node, &[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn receiver_serves_cached_events() {
+        let mut node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        node.subscribe_local(p, &[]);
+        let e = Event::new(EventId::new(NodeId::new(7), 0), vec![(p, 0)]);
+        node.on_event(e.clone(), Some(NodeId::new(0)));
+        let mut algo = SubscriberPull::new(cfg());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let msg = GossipMessage::PullDigest {
+            gossiper: NodeId::new(9),
+            pattern: p,
+            lost: vec![record(7, 1, 0)],
+        };
+        let actions = algo.on_gossip(&node, NodeId::new(0), msg, &[], &mut rng);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            GossipAction::Reply { to, events } => {
+                assert_eq!(*to, NodeId::new(9));
+                assert_eq!(events[0].id(), e.id());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unserved_digest_is_forwarded() {
+        let mut node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        node.on_subscribe(p, NodeId::new(2), &[]);
+        let mut algo = SubscriberPull::new(cfg());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let msg = GossipMessage::PullDigest {
+            gossiper: NodeId::new(9),
+            pattern: p,
+            lost: vec![record(7, 1, 0)],
+        };
+        let actions = algo.on_gossip(&node, NodeId::new(3), msg, &[], &mut rng);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            GossipAction::Forward { to, .. } if to == NodeId::new(2)
+        ));
+    }
+
+    #[test]
+    fn foreign_message_kinds_are_ignored() {
+        let node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let mut algo = SubscriberPull::new(cfg());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let msg = GossipMessage::PushDigest {
+            gossiper: NodeId::new(9),
+            pattern: PatternId::new(1),
+            ids: std::sync::Arc::new(vec![]),
+        };
+        assert!(algo
+            .on_gossip(&node, NodeId::new(3), msg, &[], &mut rng)
+            .is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! The push algorithm: proactive gossip with positive digests
+//! (paper, Section III-B, "Push").
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Dispatcher, Event, EventId};
+use rand::seq::IndexedRandom;
+use rand::RngCore;
+
+use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
+use crate::config::GossipConfig;
+use crate::message::{GossipAction, GossipMessage};
+use crate::rounds::pattern_forward_targets;
+
+/// Proactive push gossip.
+///
+/// Every round the gossiper draws a pattern `p` from its *whole*
+/// subscription table (not only local subscriptions — being on the
+/// route towards a subscriber is enough, which speeds up convergence),
+/// builds a positive digest of the cached event identifiers matching
+/// `p`, and routes it along the dispatching tree as if it were an
+/// event matching `p`, except that each hop forwards it only to a
+/// random subset of the matching neighbors (`P_forward`).
+///
+/// A dispatcher subscribed to `p` that receives the digest compares it
+/// with the events it has seen and requests the missing ones from the
+/// gossiper out-of-band.
+#[derive(Clone, Debug)]
+pub struct PushGossip {
+    config: GossipConfig,
+    requested: HashSet<EventId>,
+    rounds_started: u64,
+    rounds_skipped: u64,
+    requests_since_round: u64,
+    idle_rounds: u32,
+}
+
+impl PushGossip {
+    /// Creates a push instance.
+    pub fn new(config: GossipConfig) -> Self {
+        PushGossip {
+            config,
+            requested: HashSet::new(),
+            rounds_started: 0,
+            rounds_skipped: 0,
+            requests_since_round: 0,
+            idle_rounds: 0,
+        }
+    }
+
+    /// Rounds that produced a digest.
+    pub fn rounds_started(&self) -> u64 {
+        self.rounds_started
+    }
+
+    /// Rounds skipped because the chosen pattern had no cached events.
+    pub fn rounds_skipped(&self) -> u64 {
+        self.rounds_skipped
+    }
+}
+
+impl RecoveryAlgorithm for PushGossip {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Push
+    }
+
+    fn on_round(
+        &mut self,
+        node: &Dispatcher,
+        _neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        if self.requests_since_round > 0 {
+            self.idle_rounds = 0;
+        } else {
+            self.idle_rounds = self.idle_rounds.saturating_add(1);
+        }
+        self.requests_since_round = 0;
+        let patterns: Vec<_> = node.table().all_patterns().collect();
+        let Some(&pattern) = patterns.choose(rng) else {
+            self.rounds_skipped += 1;
+            return Vec::new();
+        };
+        // "All the cached events matching p" — the positive digest is
+        // not truncated (the paper's overhead accounting charges every
+        // gossip message one event-size regardless).
+        let ids = node.cache().ids_matching(pattern);
+        if ids.is_empty() {
+            // Nothing to announce for this pattern: an empty digest
+            // would be pure overhead.
+            self.rounds_skipped += 1;
+            return Vec::new();
+        }
+        self.rounds_started += 1;
+        let msg = GossipMessage::PushDigest {
+            gossiper: node.id(),
+            pattern,
+            ids: Arc::new(ids),
+        };
+        pattern_forward_targets(node, pattern, None, self.config.p_forward, rng)
+            .into_iter()
+            .map(|to| GossipAction::Forward {
+                to,
+                msg: msg.clone(),
+            })
+            .collect()
+    }
+
+    fn on_event_received(&mut self, event: &Event) {
+        // The event arrived (via the tree or a reply): stop tracking
+        // its id so the set stays bounded by the in-flight requests.
+        self.requested.remove(&event.id());
+    }
+
+    fn on_request(&mut self, node: &Dispatcher, from: NodeId, ids: &[EventId]) -> Vec<GossipAction> {
+        // Someone is missing events: evidence that proactive rounds
+        // are earning their keep (adaptive-gossip activity signal).
+        self.requests_since_round += 1;
+        let events: Vec<Event> = ids
+            .iter()
+            .filter_map(|&id| node.cache().get(id).cloned())
+            .collect();
+        if events.is_empty() {
+            Vec::new()
+        } else {
+            vec![GossipAction::Reply { to: from, events }]
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        // A single request-free interval is common noise (requests
+        // only come back when *this* node's digest found a gap at a
+        // subscriber); require a streak before slowing down.
+        self.idle_rounds >= 3 && self.requests_since_round == 0
+    }
+
+    fn on_gossip(
+        &mut self,
+        node: &Dispatcher,
+        from: NodeId,
+        msg: GossipMessage,
+        _neighbors: &[NodeId],
+        rng: &mut dyn RngCore,
+    ) -> Vec<GossipAction> {
+        let GossipMessage::PushDigest {
+            gossiper,
+            pattern,
+            ids,
+        } = msg
+        else {
+            return Vec::new(); // Not ours (mixed deployments ignore).
+        };
+        let mut actions = Vec::new();
+        // Subscribed? Compare the digest with what we have seen,
+        // skipping ids already requested (a previous reply may still
+        // be in flight).
+        if gossiper != node.id() && node.table().has_local(pattern) {
+            let missing: Vec<EventId> = ids
+                .iter()
+                .copied()
+                .filter(|&id| !node.has_seen(id) && !self.requested.contains(&id))
+                .collect();
+            if !missing.is_empty() {
+                self.requested.extend(missing.iter().copied());
+                actions.push(GossipAction::Request {
+                    to: gossiper,
+                    ids: missing,
+                });
+            }
+        }
+        // Keep propagating along the pattern's routes.
+        let fwd = GossipMessage::PushDigest {
+            gossiper,
+            pattern,
+            ids,
+        };
+        for to in pattern_forward_targets(node, pattern, Some(from), self.config.p_forward, rng) {
+            actions.push(GossipAction::Forward {
+                to,
+                msg: fwd.clone(),
+            });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_pubsub::{DispatcherConfig, Event, EventId, PatternId};
+    use eps_sim::RngFactory;
+
+    fn full_forward() -> GossipConfig {
+        GossipConfig {
+            p_forward: 1.0,
+            ..GossipConfig::default()
+        }
+    }
+
+    #[test]
+    fn round_announces_cached_events() {
+        let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        node.subscribe_local(p, &[]);
+        node.on_subscribe(p, NodeId::new(1), &[]);
+        let (event, _) = node.publish(vec![p]);
+        let mut algo = PushGossip::new(full_forward());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let actions = algo.on_round(&node, &[], &mut rng);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            GossipAction::Forward { to, msg } => {
+                assert_eq!(*to, NodeId::new(1));
+                match msg {
+                    GossipMessage::PushDigest { ids, pattern, .. } => {
+                        assert_eq!(*pattern, p);
+                        assert_eq!(**ids, vec![event.id()]);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(algo.rounds_started(), 1);
+    }
+
+    #[test]
+    fn round_skips_with_empty_cache() {
+        let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        node.subscribe_local(PatternId::new(1), &[]);
+        let mut algo = PushGossip::new(full_forward());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        assert!(algo.on_round(&node, &[], &mut rng).is_empty());
+        assert_eq!(algo.rounds_skipped(), 1);
+    }
+
+    #[test]
+    fn digest_announces_all_cached_events() {
+        let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        node.subscribe_local(p, &[]);
+        node.on_subscribe(p, NodeId::new(1), &[]);
+        for _ in 0..10 {
+            node.publish(vec![p]);
+        }
+        let mut algo = PushGossip::new(full_forward());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let actions = algo.on_round(&node, &[], &mut rng);
+        match &actions[0] {
+            GossipAction::Forward {
+                msg: GossipMessage::PushDigest { ids, .. },
+                ..
+            } => {
+                // "All the cached events matching p": no truncation.
+                assert_eq!(ids.len(), 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requested_ids_are_not_requested_twice() {
+        let mut node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        node.subscribe_local(p, &[]);
+        let mut algo = PushGossip::new(full_forward());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let digest = GossipMessage::PushDigest {
+            gossiper: NodeId::new(5),
+            pattern: p,
+            ids: Arc::new(vec![EventId::new(NodeId::new(0), 1)]),
+        };
+        let first = algo.on_gossip(&node, NodeId::new(0), digest.clone(), &[], &mut rng);
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, GossipAction::Request { .. })));
+        // The same digest again: the request is still in flight.
+        let second = algo.on_gossip(&node, NodeId::new(0), digest.clone(), &[], &mut rng);
+        assert!(!second
+            .iter()
+            .any(|a| matches!(a, GossipAction::Request { .. })));
+        // Once the event arrives, the tracking entry is released.
+        let e = Event::new(EventId::new(NodeId::new(0), 1), vec![(p, 1)]);
+        algo.on_event_received(&e);
+        assert!(algo.requested.is_empty());
+    }
+
+    #[test]
+    fn receiver_requests_missing_events() {
+        let mut node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        node.subscribe_local(p, &[]);
+        // It has seen event #0 but not #1.
+        let seen = Event::new(EventId::new(NodeId::new(0), 0), vec![(p, 0)]);
+        node.on_event(seen, Some(NodeId::new(0)));
+        let mut algo = PushGossip::new(full_forward());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let digest = GossipMessage::PushDigest {
+            gossiper: NodeId::new(5),
+            pattern: p,
+            ids: Arc::new(vec![
+                EventId::new(NodeId::new(0), 0),
+                EventId::new(NodeId::new(0), 1),
+            ]),
+        };
+        let actions = algo.on_gossip(&node, NodeId::new(0), digest, &[], &mut rng);
+        let requests: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                GossipAction::Request { to, ids } => Some((to, ids)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(requests.len(), 1);
+        assert_eq!(*requests[0].0, NodeId::new(5));
+        assert_eq!(requests[0].1, &vec![EventId::new(NodeId::new(0), 1)]);
+    }
+
+    #[test]
+    fn non_subscriber_forwards_without_requesting() {
+        let mut node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        // Knows p only via a neighbor (on the route, not subscribed).
+        node.on_subscribe(p, NodeId::new(2), &[]);
+        let mut algo = PushGossip::new(full_forward());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let digest = GossipMessage::PushDigest {
+            gossiper: NodeId::new(5),
+            pattern: p,
+            ids: Arc::new(vec![EventId::new(NodeId::new(0), 0)]),
+        };
+        let actions = algo.on_gossip(&node, NodeId::new(3), digest, &[], &mut rng);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            GossipAction::Forward { to, .. } if to == NodeId::new(2)
+        ));
+    }
+
+    #[test]
+    fn gossiper_does_not_request_from_itself() {
+        let mut node = Dispatcher::new(NodeId::new(5), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        node.subscribe_local(p, &[]);
+        let mut algo = PushGossip::new(full_forward());
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let digest = GossipMessage::PushDigest {
+            gossiper: NodeId::new(5),
+            pattern: p,
+            ids: Arc::new(vec![EventId::new(NodeId::new(0), 7)]),
+        };
+        let actions = algo.on_gossip(&node, NodeId::new(3), digest, &[], &mut rng);
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, GossipAction::Request { .. })));
+    }
+}

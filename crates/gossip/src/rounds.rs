@@ -1,0 +1,481 @@
+//! Shared building blocks of the gossip strategies: digest routing on
+//! the tree, cache lookups for negative digests, and the round bodies
+//! reused by the combined-pull variant.
+
+use eps_overlay::NodeId;
+use eps_pubsub::{Dispatcher, Event, LossRecord, PatternId};
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngCore};
+
+use crate::config::GossipConfig;
+use crate::lost::LostBuffer;
+use crate::message::{GossipAction, GossipMessage};
+
+/// The neighbors a pattern-labelled gossip message is forwarded to:
+/// the neighbors subscribed to `pattern` (excluding the arrival
+/// interface), each kept with probability `p_forward` — the paper's
+/// "random subset of the neighbors subscribed to p".
+///
+/// If every coin flip comes up empty while candidates exist, one
+/// random candidate is used instead: `P_forward` prunes *fan-out* to
+/// limit overhead, but a digest on a single-path route would otherwise
+/// die off as `P_forward^hops` and never reach a subscriber more than
+/// a couple of hops away. (The paper does not report its `P_forward`
+/// value or the exact subset rule; this interpretation reproduces its
+/// delivery curves.)
+pub(crate) fn pattern_forward_targets(
+    node: &Dispatcher,
+    pattern: PatternId,
+    from: Option<NodeId>,
+    p_forward: f64,
+    rng: &mut dyn RngCore,
+) -> Vec<NodeId> {
+    let candidates = node.table().neighbors_for(pattern, from);
+    if candidates.is_empty() {
+        return candidates;
+    }
+    let picked: Vec<NodeId> = candidates
+        .iter()
+        .copied()
+        .filter(|_| p_forward >= 1.0 || rng.random_bool(p_forward))
+        .collect();
+    if picked.is_empty() {
+        vec![candidates[rng.random_range(0..candidates.len())]]
+    } else {
+        picked
+    }
+}
+
+/// Splits a negative digest into the events this dispatcher can serve
+/// from its cache and the remainder it cannot.
+pub(crate) fn serve_from_cache(
+    node: &Dispatcher,
+    lost: &[LossRecord],
+) -> (Vec<Event>, Vec<LossRecord>) {
+    let mut found = Vec::new();
+    let mut remainder = Vec::new();
+    for &record in lost {
+        match node
+            .cache()
+            .get_by_pattern_seq(record.source, record.pattern, record.seq)
+        {
+            Some(event) => found.push(event.clone()),
+            None => remainder.push(record),
+        }
+    }
+    // One event can cover several records (it matches several
+    // patterns); do not send duplicates.
+    found.sort_by_key(|e| e.id());
+    found.dedup_by_key(|e| e.id());
+    (found, remainder)
+}
+
+/// The subscriber-based pull round body (paper, Section III-B): pick a
+/// locally subscribed pattern with outstanding losses, build a negative
+/// digest, and steer it towards that pattern's subscribers.
+pub(crate) fn subscriber_round(
+    lost: &mut LostBuffer,
+    node: &Dispatcher,
+    config: &GossipConfig,
+    rng: &mut dyn RngCore,
+) -> Vec<GossipAction> {
+    let patterns = lost.patterns();
+    let Some(&pattern) = patterns.choose(rng) else {
+        return Vec::new(); // Nothing missing: pull skips the round.
+    };
+    let entries = lost.for_pattern(pattern, config.digest_max);
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let msg = GossipMessage::PullDigest {
+        gossiper: node.id(),
+        pattern,
+        lost: entries,
+    };
+    pattern_forward_targets(node, pattern, None, config.p_forward, rng)
+        .into_iter()
+        .map(|to| GossipAction::Forward {
+            to,
+            msg: msg.clone(),
+        })
+        .collect()
+}
+
+/// Handles an incoming subscriber-pull digest: serve what the cache
+/// holds, forward the remainder along the pattern's routes. A
+/// dispatcher holding everything "short-circuits" the propagation.
+pub(crate) fn handle_pull_digest(
+    node: &Dispatcher,
+    config: &GossipConfig,
+    from: NodeId,
+    gossiper: NodeId,
+    pattern: PatternId,
+    lost: Vec<LossRecord>,
+    rng: &mut dyn RngCore,
+) -> Vec<GossipAction> {
+    let (found, remainder) = serve_from_cache(node, &lost);
+    let mut actions = Vec::new();
+    if !found.is_empty() {
+        actions.push(GossipAction::Reply {
+            to: gossiper,
+            events: found,
+        });
+    }
+    if !remainder.is_empty() {
+        let msg = GossipMessage::PullDigest {
+            gossiper,
+            pattern,
+            lost: remainder,
+        };
+        for to in pattern_forward_targets(node, pattern, Some(from), config.p_forward, rng) {
+            actions.push(GossipAction::Forward {
+                to,
+                msg: msg.clone(),
+            });
+        }
+    }
+    actions
+}
+
+/// The publisher-based pull round body: pick a source with outstanding
+/// losses, build a negative digest, and steer it back towards the
+/// publisher along the reverse of the most recently recorded route.
+pub(crate) fn publisher_round(
+    lost: &mut LostBuffer,
+    node: &Dispatcher,
+    config: &GossipConfig,
+    rng: &mut dyn RngCore,
+) -> Vec<GossipAction> {
+    let sources = lost.sources();
+    // Only sources we know a route back to are actionable this round.
+    let routable: Vec<NodeId> = sources
+        .into_iter()
+        .filter(|&s| node.routes().route_to(s).is_some())
+        .collect();
+    let Some(&source) = routable.choose(rng) else {
+        return Vec::new();
+    };
+    let entries = lost.for_source(source, config.digest_max);
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let route = node
+        .routes()
+        .route_to(source)
+        .expect("source was filtered for a known route");
+    let (next, rest) = route
+        .split_first()
+        .expect("route_to never returns an empty route");
+    vec![GossipAction::Forward {
+        to: *next,
+        msg: GossipMessage::SourcePull {
+            gossiper: node.id(),
+            source,
+            lost: entries,
+            route: rest.to_vec(),
+        },
+    }]
+}
+
+/// Handles an incoming publisher-bound digest: serve what the cache
+/// holds, pass the remainder one hop further along the recorded route.
+/// The route may be stale — if the next hop is no longer a neighbor
+/// the harness drops the message, exactly as a real unicast would
+/// fail.
+pub(crate) fn handle_source_pull(
+    node: &Dispatcher,
+    gossiper: NodeId,
+    source: NodeId,
+    lost: Vec<LossRecord>,
+    route: Vec<NodeId>,
+) -> Vec<GossipAction> {
+    let (found, remainder) = serve_from_cache(node, &lost);
+    let mut actions = Vec::new();
+    if !found.is_empty() {
+        actions.push(GossipAction::Reply {
+            to: gossiper,
+            events: found,
+        });
+    }
+    if !remainder.is_empty() {
+        if let Some((next, rest)) = route.split_first() {
+            actions.push(GossipAction::Forward {
+                to: *next,
+                msg: GossipMessage::SourcePull {
+                    gossiper,
+                    source,
+                    lost: remainder,
+                    route: rest.to_vec(),
+                },
+            });
+        }
+    }
+    actions
+}
+
+/// The random-pull round body: a negative digest handed to a random
+/// subset of neighbors with a hop budget, no routing intelligence.
+pub(crate) fn random_round(
+    lost: &mut LostBuffer,
+    node: &Dispatcher,
+    neighbors: &[NodeId],
+    config: &GossipConfig,
+    rng: &mut dyn RngCore,
+) -> Vec<GossipAction> {
+    if lost.is_empty() || neighbors.is_empty() {
+        return Vec::new();
+    }
+    let entries = lost.any(config.digest_max);
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let msg = GossipMessage::RandomPull {
+        gossiper: node.id(),
+        lost: entries,
+        ttl: config.random_ttl,
+    };
+    random_forward_targets(neighbors, None, config.p_forward, rng)
+        .into_iter()
+        .map(|to| GossipAction::Forward {
+            to,
+            msg: msg.clone(),
+        })
+        .collect()
+}
+
+/// Handles an incoming random-pull digest: serve, then forward the
+/// remainder to random neighbors while the hop budget lasts.
+#[allow(clippy::too_many_arguments)] // mirrors the wire message fields
+pub(crate) fn handle_random_pull(
+    node: &Dispatcher,
+    config: &GossipConfig,
+    from: NodeId,
+    gossiper: NodeId,
+    lost: Vec<LossRecord>,
+    ttl: u32,
+    neighbors: &[NodeId],
+    rng: &mut dyn RngCore,
+) -> Vec<GossipAction> {
+    let (found, remainder) = serve_from_cache(node, &lost);
+    let mut actions = Vec::new();
+    if !found.is_empty() {
+        actions.push(GossipAction::Reply {
+            to: gossiper,
+            events: found,
+        });
+    }
+    if !remainder.is_empty() && ttl > 1 {
+        let msg = GossipMessage::RandomPull {
+            gossiper,
+            lost: remainder,
+            ttl: ttl - 1,
+        };
+        for to in random_forward_targets(neighbors, Some(from), config.p_forward, rng) {
+            actions.push(GossipAction::Forward {
+                to,
+                msg: msg.clone(),
+            });
+        }
+    }
+    actions
+}
+
+/// Random forwarding ignores subscription tables entirely: every
+/// neighbor except the arrival interface is kept with probability
+/// `p_forward`; if the coin flips all come up empty, one random
+/// neighbor is used so a round is never silently wasted.
+fn random_forward_targets(
+    neighbors: &[NodeId],
+    from: Option<NodeId>,
+    p_forward: f64,
+    rng: &mut dyn RngCore,
+) -> Vec<NodeId> {
+    let candidates: Vec<NodeId> = neighbors
+        .iter()
+        .copied()
+        .filter(|&n| Some(n) != from)
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let picked: Vec<NodeId> = candidates
+        .iter()
+        .copied()
+        .filter(|_| p_forward >= 1.0 || rng.random_bool(p_forward))
+        .collect();
+    if picked.is_empty() {
+        vec![candidates[rng.random_range(0..candidates.len())]]
+    } else {
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_pubsub::{DispatcherConfig, EventId};
+    use eps_sim::RngFactory;
+
+    fn node_with_cached_event() -> (Dispatcher, Event) {
+        let mut d = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        d.subscribe_local(PatternId::new(1), &[]);
+        let e = Event::new(EventId::new(NodeId::new(0), 0), vec![(PatternId::new(1), 4)]);
+        d.on_event(e.clone(), Some(NodeId::new(0)));
+        (d, e)
+    }
+
+    #[test]
+    fn serve_from_cache_splits_found_and_missing() {
+        let (d, e) = node_with_cached_event();
+        let hit = LossRecord {
+            source: NodeId::new(0),
+            pattern: PatternId::new(1),
+            seq: 4,
+        };
+        let miss = LossRecord {
+            source: NodeId::new(0),
+            pattern: PatternId::new(1),
+            seq: 7,
+        };
+        let (found, remainder) = serve_from_cache(&d, &[hit, miss]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id(), e.id());
+        assert_eq!(remainder, vec![miss]);
+    }
+
+    #[test]
+    fn serve_from_cache_dedups_multi_pattern_events() {
+        let mut d = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        d.subscribe_local(PatternId::new(1), &[]);
+        let e = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(1), 0), (PatternId::new(2), 0)],
+        );
+        d.on_event(e, Some(NodeId::new(0)));
+        let records = [
+            LossRecord {
+                source: NodeId::new(0),
+                pattern: PatternId::new(1),
+                seq: 0,
+            },
+            LossRecord {
+                source: NodeId::new(0),
+                pattern: PatternId::new(2),
+                seq: 0,
+            },
+        ];
+        let (found, remainder) = serve_from_cache(&d, &records);
+        assert_eq!(found.len(), 1, "same event must be sent once");
+        assert!(remainder.is_empty());
+    }
+
+    #[test]
+    fn pattern_targets_respect_probability_extremes() {
+        let mut d = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let p = PatternId::new(1);
+        d.on_subscribe(p, NodeId::new(1), &[]);
+        d.on_subscribe(p, NodeId::new(2), &[]);
+        let mut rng = RngFactory::new(1).stream("gossip");
+        let all = pattern_forward_targets(&d, p, None, 1.0, &mut rng);
+        assert_eq!(all.len(), 2);
+        // Even at p_forward = 0 a digest keeps moving along one route.
+        let min_one = pattern_forward_targets(&d, p, None, 0.0, &mut rng);
+        assert_eq!(min_one.len(), 1);
+        let excl = pattern_forward_targets(&d, p, Some(NodeId::new(1)), 1.0, &mut rng);
+        assert_eq!(excl, vec![NodeId::new(2)]);
+        // No candidates -> no targets, guarantee-one does not invent.
+        let q = PatternId::new(9);
+        assert!(pattern_forward_targets(&d, q, None, 1.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_targets_never_include_sender_and_never_empty() {
+        let mut rng = RngFactory::new(2).stream("gossip");
+        let nbrs = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        for _ in 0..100 {
+            let t = random_forward_targets(&nbrs, Some(NodeId::new(2)), 0.3, &mut rng);
+            assert!(!t.is_empty());
+            assert!(!t.contains(&NodeId::new(2)));
+        }
+    }
+
+    #[test]
+    fn subscriber_round_skips_when_nothing_lost() {
+        let (d, _) = node_with_cached_event();
+        let mut lost = LostBuffer::new(10);
+        let mut rng = RngFactory::new(3).stream("gossip");
+        let actions = subscriber_round(&mut lost, &d, &GossipConfig::default(), &mut rng);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn handle_source_pull_short_circuits_when_served() {
+        let (d, _) = node_with_cached_event();
+        let rec = LossRecord {
+            source: NodeId::new(0),
+            pattern: PatternId::new(1),
+            seq: 4,
+        };
+        let actions = handle_source_pull(
+            &d,
+            NodeId::new(9),
+            NodeId::new(0),
+            vec![rec],
+            vec![NodeId::new(5)],
+        );
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], GossipAction::Reply { .. }));
+    }
+
+    #[test]
+    fn handle_source_pull_forwards_remainder_along_route() {
+        let d = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let rec = LossRecord {
+            source: NodeId::new(0),
+            pattern: PatternId::new(1),
+            seq: 4,
+        };
+        let actions = handle_source_pull(
+            &d,
+            NodeId::new(9),
+            NodeId::new(0),
+            vec![rec],
+            vec![NodeId::new(5), NodeId::new(0)],
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            GossipAction::Forward { to, msg } => {
+                assert_eq!(*to, NodeId::new(5));
+                match msg {
+                    GossipMessage::SourcePull { route, .. } => {
+                        assert_eq!(route, &vec![NodeId::new(0)]);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_pull_ttl_expires() {
+        let d = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let rec = LossRecord {
+            source: NodeId::new(0),
+            pattern: PatternId::new(1),
+            seq: 4,
+        };
+        let mut rng = RngFactory::new(4).stream("gossip");
+        let actions = handle_random_pull(
+            &d,
+            &GossipConfig::default(),
+            NodeId::new(2),
+            NodeId::new(9),
+            vec![rec],
+            1,
+            &[NodeId::new(2), NodeId::new(3)],
+            &mut rng,
+        );
+        assert!(actions.is_empty(), "ttl=1 must not forward further");
+    }
+}

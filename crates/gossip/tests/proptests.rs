@@ -1,0 +1,149 @@
+//! Property-based tests of the recovery algorithms.
+
+use eps_gossip::{AlgorithmKind, GossipAction, GossipConfig, LostBuffer};
+use eps_overlay::NodeId;
+use eps_pubsub::{Dispatcher, DispatcherConfig, Event, EventId, LossRecord, PatternId};
+use eps_sim::RngFactory;
+use proptest::prelude::*;
+
+fn record((source, pattern, seq): (u32, u16, u64)) -> LossRecord {
+    LossRecord {
+        source: NodeId::new(source),
+        pattern: PatternId::new(pattern),
+        seq,
+    }
+}
+
+proptest! {
+    /// The Lost buffer's outstanding count equals |added \ cleared|,
+    /// for arbitrary interleavings.
+    #[test]
+    fn lost_buffer_bookkeeping(
+        adds in prop::collection::vec((0u32..5, 0u16..5, 0u64..10), 0..100),
+        clears in prop::collection::vec((0u32..5, 0u16..5, 0u64..10), 0..100),
+    ) {
+        let mut lost = LostBuffer::new(u32::MAX);
+        let mut model = std::collections::BTreeSet::new();
+        for &t in &adds {
+            lost.add(record(t));
+            model.insert(record(t));
+        }
+        for &(source, pattern, seq) in &clears {
+            let event = Event::new(
+                EventId::new(NodeId::new(source), seq),
+                vec![(PatternId::new(pattern), seq)],
+            );
+            lost.clear_for_event(&event);
+            model.remove(&record((source, pattern, seq)));
+        }
+        prop_assert_eq!(lost.len(), model.len());
+        for rec in &model {
+            prop_assert!(lost.contains(rec));
+        }
+    }
+
+    /// Selection never returns entries that were recovered, and
+    /// repeated selection eventually abandons everything.
+    #[test]
+    fn lost_buffer_selection_respects_attempts(
+        entries in prop::collection::btree_set((0u32..4, 0u16..4, 0u64..20), 1..40),
+        max_attempts in 1u32..6,
+    ) {
+        let mut lost = LostBuffer::new(max_attempts);
+        for &t in &entries {
+            lost.add(record(t));
+        }
+        let mut total_selected = 0usize;
+        // Selecting everything max_attempts times drains the buffer.
+        for _ in 0..max_attempts {
+            total_selected += lost.any(entries.len()).len();
+        }
+        prop_assert!(lost.is_empty(), "buffer should be exhausted");
+        prop_assert_eq!(total_selected, entries.len() * max_attempts as usize);
+        prop_assert_eq!(lost.abandoned_total(), entries.len() as u64);
+    }
+
+    /// For every algorithm: feeding losses then the matching events
+    /// always returns the outstanding count to zero, and rounds after
+    /// that emit nothing (pull variants) or only push digests.
+    #[test]
+    fn losses_reconcile_for_every_algorithm(
+        kind_idx in 0usize..AlgorithmKind::ALL.len(),
+        tuples in prop::collection::btree_set((0u32..4, 0u16..4, 0u64..20), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let kind = AlgorithmKind::ALL[kind_idx];
+        let mut algo = kind.build(GossipConfig::default());
+        let losses: Vec<LossRecord> = tuples.iter().map(|&t| record(t)).collect();
+        algo.on_losses(&losses);
+        if kind != AlgorithmKind::NoRecovery && kind != AlgorithmKind::Push {
+            prop_assert_eq!(algo.outstanding_losses(), losses.len());
+        }
+        for rec in &losses {
+            let event = Event::new(
+                EventId::new(rec.source, rec.seq),
+                vec![(rec.pattern, rec.seq)],
+            );
+            algo.on_event_received(&event);
+        }
+        prop_assert_eq!(algo.outstanding_losses(), 0);
+        // With nothing outstanding and an empty cache, a round emits
+        // nothing.
+        let node = Dispatcher::new(NodeId::new(9), DispatcherConfig::default());
+        let mut rng = RngFactory::new(seed).stream("gossip");
+        let actions = algo.on_round(&node, &[NodeId::new(1)], &mut rng);
+        prop_assert!(actions.is_empty(), "{kind}: unexpected {actions:?}");
+    }
+
+    /// Gossip actions never target the node itself, and replies only
+    /// carry events the node actually has cached.
+    #[test]
+    fn actions_are_well_formed(
+        kind_idx in 0usize..AlgorithmKind::ALL.len(),
+        cached_seqs in prop::collection::btree_set(0u64..30, 0..20),
+        lost_seqs in prop::collection::btree_set(0u64..30, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let kind = AlgorithmKind::ALL[kind_idx];
+        let p = PatternId::new(1);
+        let src = NodeId::new(0);
+        let me = NodeId::new(2);
+        let mut node = Dispatcher::new(me, DispatcherConfig::default());
+        node.subscribe_local(p, &[]);
+        node.on_subscribe(p, NodeId::new(3), &[]);
+        for &seq in &cached_seqs {
+            node.on_event(
+                Event::new(EventId::new(src, seq), vec![(p, seq)]),
+                Some(NodeId::new(1)),
+            );
+        }
+        let mut algo = kind.build(GossipConfig::default());
+        algo.on_losses(
+            &lost_seqs.iter().map(|&s| record((0, 1, s + 100))).collect::<Vec<_>>(),
+        );
+        let mut rng = RngFactory::new(seed).stream("gossip");
+        let neighbors = [NodeId::new(1), NodeId::new(3)];
+        let mut actions = algo.on_round(&node, &neighbors, &mut rng);
+        // Also exercise the digest-handling path with a foreign pull
+        // digest covering the cached range.
+        let digest = eps_gossip::GossipMessage::PullDigest {
+            gossiper: NodeId::new(7),
+            pattern: p,
+            lost: (0..30).map(|s| record((0, 1, s))).collect(),
+        };
+        actions.extend(algo.on_gossip(&node, NodeId::new(1), digest, &neighbors, &mut rng));
+        for action in &actions {
+            match action {
+                GossipAction::Forward { to, .. } => prop_assert!(*to != me),
+                GossipAction::Request { to, .. } => prop_assert!(*to != me),
+                GossipAction::Reply { to, events } => {
+                    prop_assert!(*to != me);
+                    for e in events {
+                        prop_assert!(node.cache().contains(e.id()),
+                            "{kind} replied with an uncached event");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! `simulate` — run a single scenario from command-line flags and
+//! print a full report. Useful for exploring the parameter space
+//! beyond the paper's figures.
+//!
+//! ```text
+//! simulate --algorithm combined-pull --nodes 100 --eps 0.1 \
+//!          --beta 1500 --gossip-interval 0.03 --duration 25 [--adaptive]
+//! ```
+
+use std::process::ExitCode;
+
+use eps_gossip::AlgorithmKind;
+use eps_harness::{run_scenario, AdaptiveGossip, ScenarioConfig};
+use eps_sim::SimTime;
+
+fn main() -> ExitCode {
+    let mut config = ScenarioConfig::default();
+    let mut algorithms: Vec<AlgorithmKind> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || iter.next().cloned().ok_or(format!("{arg} needs a value"));
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--algorithm" | "-a" => {
+                    algorithms.push(value()?.parse().map_err(|e| format!("{e}"))?)
+                }
+                "--nodes" | "-n" => config.nodes = parse(&value()?)?,
+                "--seed" => config.seed = parse(&value()?)?,
+                "--eps" => config.link_error_rate = parse(&value()?)?,
+                "--beta" => config.buffer_size = parse(&value()?)?,
+                "--pi-max" => config.pi_max = parse(&value()?)?,
+                "--publish-rate" => config.publish_rate = parse(&value()?)?,
+                "--gossip-interval" => {
+                    config.gossip_interval = SimTime::from_secs_f64(parse(&value()?)?)
+                }
+                "--duration" => config.duration = SimTime::from_secs_f64(parse(&value()?)?),
+                "--rho" => {
+                    config.reconfig_interval =
+                        Some(SimTime::from_secs_f64(parse(&value()?)?))
+                }
+                "--p-forward" => config.gossip.p_forward = parse(&value()?)?,
+                "--p-source" => config.gossip.p_source = parse(&value()?)?,
+                "--adaptive" => {
+                    config.adaptive_gossip =
+                        Some(AdaptiveGossip::around(config.gossip_interval))
+                }
+                "--churn" => {
+                    config.churn_interval =
+                        Some(SimTime::from_secs_f64(parse(&value()?)?))
+                }
+                "--help" | "-h" => {
+                    print_usage();
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(err) = result {
+            eprintln!("error: {err}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    if algorithms.is_empty() {
+        algorithms.push(AlgorithmKind::CombinedPull);
+    }
+    // Short runs: shrink the default measurement margins so the
+    // window stays non-empty.
+    if config.warmup + config.cooldown >= config.duration {
+        config.warmup = config.duration.mul_f64(0.125);
+        config.cooldown = config.duration.mul_f64(0.25);
+    }
+
+    for kind in algorithms {
+        let config = config.with_algorithm(kind);
+        config.validate();
+        let started = std::time::Instant::now();
+        let r = run_scenario(&config);
+        println!("== {} ==", kind.name());
+        println!("  delivery rate (window) {:>10.3}", r.delivery_rate);
+        println!("  delivery rate (whole)  {:>10.3}", r.overall_delivery_rate);
+        println!("  worst bin rate         {:>10.3}", r.min_bin_rate);
+        println!("  events published       {:>10}", r.events_published);
+        println!("  receivers per event    {:>10.2}", r.receivers_per_event);
+        println!("  event messages         {:>10}", r.event_msgs);
+        println!("  gossip messages        {:>10}", r.gossip_msgs);
+        println!("  gossip per dispatcher  {:>10.1}", r.gossip_per_dispatcher);
+        println!("  gossip / event ratio   {:>10.3}", r.gossip_event_ratio);
+        println!("  oob requests / replies {:>6} / {}", r.requests, r.replies);
+        println!("  events recovered       {:>10}", r.events_recovered);
+        println!(
+            "  recovery latency       {:>7.3}s mean / {:.3}s p95",
+            r.recovery_latency_mean, r.recovery_latency_p95
+        );
+        println!("  outstanding losses     {:>10}", r.outstanding_losses);
+        println!("  reconfigurations       {:>10}", r.reconfigurations);
+        if r.churn_events > 0 {
+            println!("  subscription swaps     {:>10}", r.churn_events);
+            println!("  subscription messages  {:>10}", r.subscription_msgs);
+        }
+        println!("  wall time              {:>9.1}s", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse '{s}'"))
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: simulate [--algorithm NAME]... [--nodes N] [--eps E] [--beta B]\n\
+         \t[--pi-max P] [--publish-rate R] [--gossip-interval T] [--duration D]\n\
+         \t[--rho RHO] [--churn C] [--p-forward P] [--p-source P] [--seed S] [--adaptive]\n\
+         algorithms: {}",
+        AlgorithmKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

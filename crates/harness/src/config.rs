@@ -1,0 +1,291 @@
+//! Scenario configuration: the paper's Figure 2 parameters plus the
+//! knobs the evaluation sweeps.
+
+use eps_gossip::{AlgorithmKind, GossipConfig};
+use eps_overlay::OutOfBandSpec;
+use eps_pubsub::EvictionPolicy;
+use eps_sim::SimTime;
+
+/// Adaptive gossip-interval control (an extension the paper suggests
+/// in Section IV-E, citing its reference \[14\]): a dispatcher whose
+/// gossip round had nothing to do backs off exponentially up to
+/// `max_interval`; as soon as a round produces traffic it snaps back
+/// to `min_interval`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveGossip {
+    /// The interval used while there is recovery work to do.
+    pub min_interval: SimTime,
+    /// The ceiling reached after repeated idle rounds.
+    pub max_interval: SimTime,
+    /// Multiplicative backoff applied per idle round (> 1).
+    pub backoff: f64,
+}
+
+impl AdaptiveGossip {
+    /// A reasonable default around the paper's `T`: idle dispatchers
+    /// back off from `t` to `8·t`, doubling per idle round.
+    pub fn around(t: SimTime) -> Self {
+        AdaptiveGossip {
+            min_interval: t,
+            max_interval: t.saturating_mul(8),
+            backoff: 2.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive intervals, an inverted range, or a
+    /// backoff not greater than 1.
+    pub fn validate(&self) {
+        assert!(self.min_interval > SimTime::ZERO, "min interval must be positive");
+        assert!(
+            self.max_interval >= self.min_interval,
+            "max interval below min"
+        );
+        assert!(self.backoff > 1.0, "backoff must exceed 1");
+    }
+}
+
+/// Full description of one simulation run.
+///
+/// Defaults reproduce the paper's Figure 2: `N` = 100 dispatchers,
+/// `π_max` = 2 subscriptions per dispatcher over `Π` = 70 patterns,
+/// 50 publish/s per dispatcher, link error rate `ε` = 0.1, no
+/// reconfigurations, buffer `β` = 1500, gossip interval `T` = 0.03 s,
+/// 25 s of virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use eps_harness::ScenarioConfig;
+/// use eps_gossip::AlgorithmKind;
+///
+/// let config = ScenarioConfig {
+///     algorithm: AlgorithmKind::CombinedPull,
+///     ..ScenarioConfig::default()
+/// };
+/// config.validate();
+/// assert_eq!(config.nodes, 100);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioConfig {
+    /// Master seed for all random streams.
+    pub seed: u64,
+    /// Number of dispatchers `N`.
+    pub nodes: usize,
+    /// Maximum overlay degree (4 in every paper configuration).
+    pub max_degree: usize,
+    /// Pattern universe size `Π`.
+    pub pattern_universe: u16,
+    /// Maximum patterns matched by one event (3 in the paper).
+    pub max_patterns_per_event: usize,
+    /// Subscriptions per dispatcher `π_max`.
+    pub pi_max: usize,
+    /// Publish rate per dispatcher, events/second (Poisson process).
+    pub publish_rate: f64,
+    /// Per-link, per-message loss probability `ε`.
+    pub link_error_rate: f64,
+    /// Interval `ρ` between topological reconfigurations
+    /// (`None` = `ρ` = ∞, the lossy-link scenarios).
+    pub reconfig_interval: Option<SimTime>,
+    /// Time to repair a broken link (0.1 s in the paper).
+    pub repair_delay: SimTime,
+    /// Event-cache capacity `β`.
+    pub buffer_size: usize,
+    /// Gossip interval `T`.
+    pub gossip_interval: SimTime,
+    /// The recovery strategy under test.
+    pub algorithm: AlgorithmKind,
+    /// Gossip-layer tunables (`P_forward`, `P_source`, …).
+    pub gossip: GossipConfig,
+    /// Virtual-time length of the run.
+    pub duration: SimTime,
+    /// Events published before this instant are excluded from the
+    /// summary delivery rate (routing warm-up).
+    pub warmup: SimTime,
+    /// Events published within this long of the end are excluded from
+    /// the summary delivery rate (they get no fair recovery window).
+    pub cooldown: SimTime,
+    /// Nominal wire size of an event message, in bits; the paper
+    /// assumes gossip messages cost the same.
+    pub event_payload_bits: u64,
+    /// The out-of-band unicast channel used for recovery traffic.
+    pub out_of_band: OutOfBandSpec,
+    /// Bin width of the delivery-rate time series.
+    pub series_bin: SimTime,
+    /// Buffer replacement policy (the paper uses FIFO).
+    pub eviction: EvictionPolicy,
+    /// Optional adaptive gossip-interval control; `None` keeps the
+    /// paper's fixed interval `T`.
+    pub adaptive_gossip: Option<AdaptiveGossip>,
+    /// Optional subscription churn: every interval, a random
+    /// dispatcher swaps one of its subscriptions for a fresh pattern,
+    /// propagating the (un)subscriptions through the overlay. The
+    /// paper's evaluation keeps subscriptions stable; this exercises
+    /// the dynamics of its companion problem (reference \[7\]).
+    pub churn_interval: Option<SimTime>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 1,
+            nodes: 100,
+            max_degree: 4,
+            pattern_universe: 70,
+            max_patterns_per_event: 3,
+            pi_max: 2,
+            publish_rate: 50.0,
+            link_error_rate: 0.1,
+            reconfig_interval: None,
+            repair_delay: SimTime::from_millis(100),
+            buffer_size: 1500,
+            gossip_interval: SimTime::from_millis(30),
+            algorithm: AlgorithmKind::NoRecovery,
+            gossip: GossipConfig::default(),
+            duration: SimTime::from_secs(25),
+            warmup: SimTime::from_secs(2),
+            cooldown: SimTime::from_secs(2),
+            event_payload_bits: 1024,
+            out_of_band: OutOfBandSpec::default(),
+            series_bin: SimTime::from_millis(100),
+            eviction: EvictionPolicy::Fifo,
+            adaptive_gossip: None,
+            churn_interval: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated constraint.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "need at least one dispatcher");
+        assert!(self.max_degree >= 2, "degree bound must be at least 2");
+        assert!(self.pattern_universe > 0, "need a pattern universe");
+        assert!(
+            self.pi_max <= self.pattern_universe as usize,
+            "pi_max cannot exceed the pattern universe"
+        );
+        assert!(self.max_patterns_per_event > 0, "events must carry patterns");
+        assert!(
+            self.publish_rate >= 0.0 && self.publish_rate.is_finite(),
+            "publish rate must be a finite non-negative number"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.link_error_rate),
+            "link error rate out of range"
+        );
+        assert!(
+            self.gossip_interval > SimTime::ZERO,
+            "gossip interval must be positive"
+        );
+        assert!(self.duration > SimTime::ZERO, "duration must be positive");
+        assert!(
+            self.warmup + self.cooldown < self.duration,
+            "measurement window is empty"
+        );
+        assert!(self.series_bin > SimTime::ZERO, "series bin must be positive");
+        assert!(self.event_payload_bits > 0, "events must have a size");
+        self.gossip.validate();
+        if let Some(adaptive) = &self.adaptive_gossip {
+            adaptive.validate();
+        }
+        if let Some(rho) = self.reconfig_interval {
+            assert!(rho > SimTime::ZERO, "reconfiguration interval must be positive");
+        }
+        if let Some(churn) = self.churn_interval {
+            assert!(churn > SimTime::ZERO, "churn interval must be positive");
+            assert!(
+                (self.pi_max as u16) < self.pattern_universe,
+                "churn needs a spare pattern to swap in"
+            );
+        }
+    }
+
+    /// The summary measurement window: events published in
+    /// `[warmup, duration - cooldown)` count towards the headline
+    /// delivery rate.
+    pub fn measure_window(&self) -> (SimTime, SimTime) {
+        (self.warmup, self.duration.saturating_sub(self.cooldown))
+    }
+
+    /// Expected subscribers per pattern `N_π = N·π_max/Π`
+    /// (2.85 at the defaults, as the paper notes).
+    pub fn subscribers_per_pattern(&self) -> f64 {
+        (self.nodes * self.pi_max) as f64 / self.pattern_universe as f64
+    }
+
+    /// A copy configured for a different recovery strategy.
+    pub fn with_algorithm(&self, algorithm: AlgorithmKind) -> Self {
+        ScenarioConfig {
+            algorithm,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_figure_2() {
+        let c = ScenarioConfig::default();
+        c.validate();
+        assert_eq!(c.nodes, 100);
+        assert_eq!(c.pi_max, 2);
+        assert_eq!(c.pattern_universe, 70);
+        assert!((c.publish_rate - 50.0).abs() < f64::EPSILON);
+        assert!((c.link_error_rate - 0.1).abs() < f64::EPSILON);
+        assert_eq!(c.reconfig_interval, None);
+        assert_eq!(c.buffer_size, 1500);
+        assert_eq!(c.gossip_interval, SimTime::from_millis(30));
+        assert!((c.subscribers_per_pattern() - 2.857).abs() < 0.01);
+    }
+
+    #[test]
+    fn measure_window_excludes_edges() {
+        let c = ScenarioConfig::default();
+        let (start, end) = c.measure_window();
+        assert_eq!(start, SimTime::from_secs(2));
+        assert_eq!(end, SimTime::from_secs(23));
+    }
+
+    #[test]
+    fn with_algorithm_changes_only_the_algorithm() {
+        let base = ScenarioConfig::default();
+        let push = base.with_algorithm(AlgorithmKind::Push);
+        assert_eq!(push.algorithm, AlgorithmKind::Push);
+        assert_eq!(push.nodes, base.nodes);
+        assert_eq!(push.seed, base.seed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_measure_window_is_rejected() {
+        ScenarioConfig {
+            duration: SimTime::from_secs(3),
+            warmup: SimTime::from_secs(2),
+            cooldown: SimTime::from_secs(2),
+            ..ScenarioConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversubscribed_pi_max_is_rejected() {
+        ScenarioConfig {
+            pattern_universe: 5,
+            pi_max: 6,
+            ..ScenarioConfig::default()
+        }
+        .validate();
+    }
+}

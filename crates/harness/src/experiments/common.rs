@@ -1,0 +1,115 @@
+//! Shared plumbing for the experiment drivers.
+
+use std::path::PathBuf;
+
+use eps_gossip::AlgorithmKind;
+use eps_metrics::CsvTable;
+use eps_sim::SimTime;
+
+use crate::config::ScenarioConfig;
+
+/// Options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct ExperimentOptions {
+    /// Quick mode: shorter runs and coarser sweeps — same shapes,
+    /// minutes instead of an hour. Full mode uses the paper's 25 s
+    /// runs and fine-grained sweeps.
+    pub quick: bool,
+    /// Directory that receives `<figure-id>/<table>.csv` files.
+    pub out_dir: PathBuf,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            quick: true,
+            out_dir: PathBuf::from("results"),
+            seed: 1,
+        }
+    }
+}
+
+/// What an experiment produced: named CSV tables (written by the
+/// runner) and human-readable text (series + charts + commentary).
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// The figure id (`fig3a`, …).
+    pub id: &'static str,
+    /// The paper artifact reproduced.
+    pub title: &'static str,
+    /// Named result tables.
+    pub tables: Vec<(String, CsvTable)>,
+    /// Rendered report text for the terminal.
+    pub text: String,
+}
+
+/// The baseline configuration every experiment starts from: the
+/// paper's Figure 2 defaults, shortened in quick mode.
+pub fn base_config(opts: &ExperimentOptions) -> ScenarioConfig {
+    let mut config = ScenarioConfig {
+        seed: opts.seed,
+        ..ScenarioConfig::default()
+    };
+    if opts.quick {
+        config.duration = SimTime::from_secs(8);
+        config.warmup = SimTime::from_secs(1);
+        config.cooldown = SimTime::from_secs(2);
+    }
+    config
+}
+
+/// The algorithms the delivery figures compare, in the paper's legend
+/// order.
+pub fn delivery_algorithms() -> [AlgorithmKind; 6] {
+    AlgorithmKind::ALL
+}
+
+/// The two best algorithms, compared in the overhead figures.
+pub fn overhead_algorithms() -> [AlgorithmKind; 2] {
+    [AlgorithmKind::Push, AlgorithmKind::CombinedPull]
+}
+
+/// Picks the quick or full variant of a sweep grid.
+pub fn grid<T: Copy>(opts: &ExperimentOptions, quick: &[T], full: &[T]) -> Vec<T> {
+    if opts.quick {
+        quick.to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
+/// Formats a float with three decimals for tables.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_shortens_runs() {
+        let quick = base_config(&ExperimentOptions::default());
+        let full = base_config(&ExperimentOptions {
+            quick: false,
+            ..ExperimentOptions::default()
+        });
+        assert!(quick.duration < full.duration);
+        assert_eq!(full.duration, SimTime::from_secs(25));
+        quick.validate();
+        full.validate();
+    }
+
+    #[test]
+    fn grid_selects_by_mode() {
+        let opts = ExperimentOptions::default();
+        assert_eq!(grid(&opts, &[1], &[1, 2, 3]), vec![1]);
+        let full = ExperimentOptions {
+            quick: false,
+            ..opts
+        };
+        assert_eq!(grid(&full, &[1], &[1, 2, 3]), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 9: gossip overhead versus system size (a) and subscriptions
+//! per dispatcher (b), in absolute and relative terms.
+
+use eps_metrics::{ascii_chart, CsvTable, Series};
+use eps_sim::SimTime;
+
+use super::common::{
+    base_config, grid, overhead_algorithms, ExperimentOptions, ExperimentOutput,
+};
+use crate::experiments::fig6::buffer_for_persistence;
+use crate::scenario::run_scenario;
+
+/// Figure 9(a): overhead vs. N for push and combined pull —
+/// gossip messages per dispatcher (left) and the gossip/event message
+/// ratio (right).
+pub fn run_nodes(opts: &ExperimentOptions) -> ExperimentOutput {
+    let sizes = grid(opts, &[40usize, 80, 120, 160, 200], &[20, 40, 60, 80, 100, 120, 140, 160, 180, 200]);
+    let (tables, text) = overhead_sweep(
+        opts,
+        "N (number of dispatchers)",
+        &sizes.iter().map(|&n| n as f64).collect::<Vec<_>>(),
+        |config, &x| {
+            config.nodes = x as usize;
+            config.buffer_size = buffer_for_persistence(config, x as usize, 4.0);
+        },
+        "Figure 9(a) — overhead vs system size\n\
+         (paper: gossip msgs/dispatcher grows well below linearly;\n\
+         the gossip/event ratio falls from ~28% at N=40 to ~20% at N=200)\n\n",
+    );
+    ExperimentOutput {
+        id: "fig9a",
+        title: "Figure 9(a): overhead vs system size",
+        tables,
+        text,
+    }
+}
+
+/// Figure 9(b): overhead vs. π_max for push and combined pull.
+pub fn run_pi_max(opts: &ExperimentOptions) -> ExperimentOutput {
+    let pi_values = grid(opts, &[2usize, 6, 12, 20, 30], &[1, 2, 4, 6, 8, 12, 16, 20, 25, 30]);
+    let (tables, text) = overhead_sweep(
+        opts,
+        "pi_max (subscriptions per dispatcher)",
+        &pi_values.iter().map(|&p| p as f64).collect::<Vec<_>>(),
+        |config, &x| {
+            config.pi_max = x as usize;
+            config.buffer_size = 4000;
+            if opts_is_quick(config.duration) {
+                config.duration = SimTime::from_secs(6);
+            }
+        },
+        "Figure 9(b) — overhead vs subscriptions per dispatcher\n\
+         (paper: msgs/dispatcher only marginally affected, decreasing\n\
+         slightly; the gossip/event ratio decreases markedly since the\n\
+         number of event messages rises much faster)\n\n",
+    );
+    ExperimentOutput {
+        id: "fig9b",
+        title: "Figure 9(b): overhead vs pi_max",
+        tables,
+        text,
+    }
+}
+
+/// `true` when the configured duration is the quick-mode one (helper
+/// so the closure does not need to capture the options).
+fn opts_is_quick(duration: SimTime) -> bool {
+    duration < SimTime::from_secs(25)
+}
+
+type NamedTables = Vec<(String, CsvTable)>;
+
+/// Runs push and combined pull over a sweep, reporting both overhead
+/// views.
+fn overhead_sweep<F: Fn(&mut crate::config::ScenarioConfig, &f64)>(
+    opts: &ExperimentOptions,
+    x_label: &str,
+    xs: &[f64],
+    apply: F,
+    intro: &str,
+) -> (NamedTables, String) {
+    let algorithms = overhead_algorithms();
+    let mut headers = vec![x_label.to_owned()];
+    for kind in &algorithms {
+        headers.push(format!("{}_msgs_per_dispatcher", kind.name()));
+        headers.push(format!("{}_gossip_event_ratio", kind.name()));
+    }
+    let mut table = CsvTable::new(headers);
+    let mut per_dispatcher: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+    for &x in xs {
+        let mut row = vec![format!("{x}")];
+        for (i, kind) in algorithms.iter().enumerate() {
+            let mut config = base_config(opts).with_algorithm(*kind);
+            apply(&mut config, &x);
+            let result = run_scenario(&config);
+            row.push(format!("{:.1}", result.gossip_per_dispatcher));
+            row.push(format!("{:.4}", result.gossip_event_ratio));
+            per_dispatcher[i].push(result.gossip_per_dispatcher);
+            ratios[i].push(result.gossip_event_ratio);
+        }
+        table.push_row(row);
+    }
+    let mut text = intro.to_owned();
+    let max_abs = per_dispatcher
+        .iter()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1.0);
+    text.push_str(&ascii_chart(
+        &format!("gossip msgs per dispatcher vs {x_label}"),
+        &algorithms
+            .iter()
+            .zip(&per_dispatcher)
+            .map(|(kind, values)| Series {
+                name: kind.name().to_owned(),
+                values: values.clone(),
+            })
+            .collect::<Vec<_>>(),
+        0.0,
+        max_abs * 1.1,
+    ));
+    let max_ratio = ratios
+        .iter()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(0.01);
+    text.push_str(&ascii_chart(
+        &format!("gossip msgs / event msgs vs {x_label}"),
+        &algorithms
+            .iter()
+            .zip(&ratios)
+            .map(|(kind, values)| Series {
+                name: kind.name().to_owned(),
+                values: values.clone(),
+            })
+            .collect::<Vec<_>>(),
+        0.0,
+        max_ratio * 1.1,
+    ));
+    for (i, kind) in algorithms.iter().enumerate() {
+        let abs: Vec<String> = per_dispatcher[i].iter().map(|v| format!("{v:.0}")).collect();
+        let rel: Vec<String> = ratios[i].iter().map(|v| format!("{v:.3}")).collect();
+        text.push_str(&format!(
+            "  {:<14} msgs/dispatcher [{}]  ratio [{}]\n",
+            kind.name(),
+            abs.join(", "),
+            rel.join(", ")
+        ));
+    }
+    (vec![("overhead".into(), table)], text)
+}

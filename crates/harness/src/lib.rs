@@ -1,0 +1,33 @@
+//! # eps-harness — the experiment harness
+//!
+//! Assembles the kernel (`eps-sim`), overlay (`eps-overlay`),
+//! publish-subscribe substrate (`eps-pubsub`), recovery algorithms
+//! (`eps-gossip`) and metrics (`eps-metrics`) into runnable scenarios,
+//! and regenerates every figure of the paper's evaluation section.
+//!
+//! - [`ScenarioConfig`] — one run's parameters (defaults = the paper's
+//!   Figure 2);
+//! - [`run_scenario`] — executes a run deterministically and returns a
+//!   [`ScenarioResult`];
+//! - [`experiments`] — one driver per paper figure (3a, 3b, 4, 5, 6,
+//!   7, 8, 9, 10), each printing the series the paper plots and
+//!   writing CSVs under `results/`.
+//!
+//! The `repro` binary exposes all of this on the command line:
+//!
+//! ```text
+//! cargo run --release -p eps-harness --bin repro -- all --quick
+//! cargo run --release -p eps-harness --bin repro -- fig3a
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+pub mod experiments;
+mod scenario;
+mod trace;
+
+pub use config::{AdaptiveGossip, ScenarioConfig};
+pub use scenario::{run_scenario, run_scenario_traced, ScenarioResult};
+pub use trace::{ScenarioTrace, TraceRecord};

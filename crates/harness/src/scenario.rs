@@ -1,0 +1,821 @@
+//! The scenario runner: wires the simulation kernel, the overlay, the
+//! dispatchers, a recovery algorithm, and the metrics into one
+//! deterministic run.
+
+use eps_gossip::{GossipAction, GossipMessage, RecoveryAlgorithm};
+use eps_metrics::{DeliveryTracker, MessageCounters};
+use eps_overlay::{
+    plan_reconnection, LinkSpec, LinkTable, NodeId, Topology, Transmission,
+};
+use eps_pubsub::{
+    flood_subscriptions, install_local_subscriptions, Dispatcher, DispatcherConfig, Event,
+    EventId, PatternId, PatternSpace, PubSubMessage, rebuild_subscription_routes,
+};
+use eps_sim::{Engine, RngFactory, SimTime};
+use rand::rngs::SmallRng;
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::config::ScenarioConfig;
+use crate::trace::{ScenarioTrace, TraceRecord};
+
+/// What one simulation run measured. All delivery rates are in
+/// `[0, 1]`; the headline [`ScenarioResult::delivery_rate`] is
+/// restricted to events published inside the measurement window.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Delivery rate over the measurement window.
+    pub delivery_rate: f64,
+    /// Delivery rate over the full run.
+    pub overall_delivery_rate: f64,
+    /// Worst per-bin delivery rate inside the measurement window (the
+    /// paper's "negative spikes").
+    pub min_bin_rate: f64,
+    /// Delivery-rate time series: (bin start in seconds, rate).
+    pub series: Vec<(f64, f64)>,
+    /// Mean intended receivers per published event (Figure 7).
+    pub receivers_per_event: f64,
+    /// Events published during the run.
+    pub events_published: u64,
+    /// Event messages sent on overlay links.
+    pub event_msgs: u64,
+    /// Gossip messages sent on overlay links.
+    pub gossip_msgs: u64,
+    /// Mean gossip messages sent per dispatcher.
+    pub gossip_per_dispatcher: f64,
+    /// Gossip messages divided by event messages, system-wide.
+    pub gossip_event_ratio: f64,
+    /// Out-of-band retransmission requests sent.
+    pub requests: u64,
+    /// Out-of-band replies sent.
+    pub replies: u64,
+    /// Event copies carried by replies.
+    pub events_retransmitted: u64,
+    /// Deliveries that happened through recovery (the event was new to
+    /// the receiver when the reply arrived).
+    pub events_recovered: u64,
+    /// Mean recovery latency in seconds (publish → recovered
+    /// delivery), or 0.0 when nothing was recovered.
+    pub recovery_latency_mean: f64,
+    /// 95th-percentile recovery latency in seconds, or 0.0.
+    pub recovery_latency_p95: f64,
+    /// `Lost` entries still outstanding at the end, summed over nodes.
+    pub outstanding_losses: u64,
+    /// Topological reconfigurations performed.
+    pub reconfigurations: u64,
+    /// Subscription swaps performed (churn).
+    pub churn_events: u64,
+    /// Subscription/unsubscription messages sent on overlay links.
+    pub subscription_msgs: u64,
+    /// Deliveries to dispatchers that subscribed after the event was
+    /// published (possible only under churn; not counted in rates).
+    pub unexpected_deliveries: u64,
+}
+
+/// Runs one scenario to completion.
+///
+/// Deterministic: the same configuration (including seed) produces the
+/// same result, bit for bit.
+///
+/// # Examples
+///
+/// ```
+/// use eps_harness::{run_scenario, ScenarioConfig};
+/// use eps_gossip::AlgorithmKind;
+/// use eps_sim::SimTime;
+///
+/// let config = ScenarioConfig {
+///     nodes: 20,
+///     duration: SimTime::from_secs(3),
+///     warmup: SimTime::from_millis(500),
+///     cooldown: SimTime::from_millis(500),
+///     algorithm: AlgorithmKind::Push,
+///     ..ScenarioConfig::default()
+/// };
+/// let result = run_scenario(&config);
+/// assert!(result.delivery_rate > 0.0 && result.delivery_rate <= 1.0);
+/// ```
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
+    config.validate();
+    Scenario::new(config).run().0
+}
+
+/// Like [`run_scenario`], but also collects a bounded
+/// [`ScenarioTrace`] of publishes, deliveries, detections, and
+/// reconfigurations — for debugging and white-box tests. Tracing does
+/// not perturb the simulation: the traced run is identical to the
+/// untraced one.
+pub fn run_scenario_traced(
+    config: &ScenarioConfig,
+    trace_capacity: usize,
+) -> (ScenarioResult, ScenarioTrace) {
+    config.validate();
+    let mut scenario = Scenario::new(config);
+    scenario.trace = Some(ScenarioTrace::new(trace_capacity));
+    let (result, trace) = scenario.run();
+    (result, trace.expect("trace was installed"))
+}
+
+enum LinkPayload {
+    PubSub(PubSubMessage),
+    Gossip(GossipMessage),
+}
+
+impl LinkPayload {
+    fn wire_bits(&self, payload_bits: u64) -> u64 {
+        match self {
+            LinkPayload::PubSub(m) => m.wire_bits(payload_bits),
+            LinkPayload::Gossip(m) => m.wire_bits(payload_bits),
+        }
+    }
+}
+
+enum OobPayload {
+    Request(Vec<EventId>),
+    Reply(Vec<Event>),
+}
+
+enum SimEvent {
+    Link {
+        from: NodeId,
+        to: NodeId,
+        payload: LinkPayload,
+    },
+    Oob {
+        from: NodeId,
+        to: NodeId,
+        payload: OobPayload,
+    },
+    PublishTick(NodeId),
+    GossipTick(NodeId),
+    ChurnTick,
+    Break,
+    Repair,
+}
+
+struct Scenario {
+    config: ScenarioConfig,
+    engine: Engine<SimEvent>,
+    topology: Topology,
+    link_spec: LinkSpec,
+    links: LinkTable,
+    dispatchers: Vec<Dispatcher>,
+    algorithms: Vec<Box<dyn RecoveryAlgorithm>>,
+    space: PatternSpace,
+    subscriptions: Vec<Vec<PatternId>>,
+    subscribers_of: Vec<Vec<NodeId>>,
+    tracker: DeliveryTracker,
+    counters: MessageCounters,
+    workload_rngs: Vec<SmallRng>,
+    gossip_delays: Vec<SimTime>,
+    loss_rng: SmallRng,
+    oob_rng: SmallRng,
+    gossip_rng: SmallRng,
+    reconfig_rng: SmallRng,
+    churn_rng: SmallRng,
+    reconfigurations: u64,
+    churn_events: u64,
+    trace: Option<ScenarioTrace>,
+}
+
+impl Scenario {
+    fn new(config: &ScenarioConfig) -> Self {
+        let factory = RngFactory::new(config.seed);
+        let topology = Topology::random_tree(
+            config.nodes,
+            config.max_degree,
+            &mut factory.stream("topology"),
+        );
+        let space = PatternSpace::new(config.pattern_universe, config.max_patterns_per_event);
+
+        // Paper, Section IV-A: "each dispatcher caches only events for
+        // which it is either the publisher or a subscriber" — the
+        // publisher side of the buffering policy applies to every
+        // algorithm, not just publisher-based pull (which *requires*
+        // it). Route recording is only paid for when needed.
+        let dispatcher_config = DispatcherConfig {
+            cache_capacity: config.buffer_size,
+            cache_own_published: true,
+            record_routes: config.algorithm.needs_route_recording(),
+            eviction: config.eviction,
+        };
+        let mut dispatchers: Vec<Dispatcher> = topology
+            .nodes()
+            .map(|id| Dispatcher::new(id, dispatcher_config))
+            .collect();
+
+        // Stable subscriptions, flooded to quiescence before the
+        // workload starts (the paper's setting).
+        let mut subs_rng = factory.stream("subscriptions");
+        let subscriptions: Vec<Vec<PatternId>> = (0..config.nodes)
+            .map(|_| space.random_subscriptions(config.pi_max, &mut subs_rng))
+            .collect();
+        install_local_subscriptions(&mut dispatchers, &subscriptions);
+        flood_subscriptions(&mut dispatchers, &topology);
+
+        let mut subscribers_of: Vec<Vec<NodeId>> =
+            vec![Vec::new(); config.pattern_universe as usize];
+        for (i, subs) in subscriptions.iter().enumerate() {
+            for &p in subs {
+                subscribers_of[p.index()].push(NodeId::new(i as u32));
+            }
+        }
+
+        let algorithms: Vec<Box<dyn RecoveryAlgorithm>> = (0..config.nodes)
+            .map(|_| config.algorithm.build(config.gossip))
+            .collect();
+
+        let workload_rngs: Vec<SmallRng> = (0..config.nodes)
+            .map(|i| factory.indexed_stream("workload", i as u64))
+            .collect();
+
+        let gossip_delays = vec![config.gossip_interval; config.nodes];
+
+        Scenario {
+            engine: Engine::new(),
+            link_spec: LinkSpec {
+                bandwidth_bps: 10_000_000,
+                propagation: SimTime::from_micros(50),
+                loss_rate: config.link_error_rate,
+            },
+            links: LinkTable::new(),
+            topology,
+            dispatchers,
+            algorithms,
+            space,
+            subscriptions,
+            subscribers_of,
+            tracker: if config.churn_interval.is_some() {
+                // Churn makes "subscribed after publish, delivered on
+                // arrival" legitimate; don't treat it as a bug.
+                DeliveryTracker::new_tolerant()
+            } else {
+                DeliveryTracker::new()
+            },
+            counters: MessageCounters::new(config.nodes),
+            workload_rngs,
+            gossip_delays,
+            loss_rng: factory.stream("loss"),
+            oob_rng: factory.stream("oob"),
+            gossip_rng: factory.stream("gossip"),
+            reconfig_rng: factory.stream("reconfig"),
+            churn_rng: factory.stream("churn"),
+            reconfigurations: 0,
+            churn_events: 0,
+            trace: None,
+            config: config.clone(),
+        }
+    }
+
+    fn record(&mut self, record: TraceRecord) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(record);
+        }
+    }
+
+    fn run(mut self) -> (ScenarioResult, Option<ScenarioTrace>) {
+        // Seed the periodic processes.
+        let nodes: Vec<NodeId> = self.topology.nodes().collect();
+        for node in nodes {
+            if self.config.publish_rate > 0.0 {
+                let delay = self.next_publish_delay(node);
+                self.engine.schedule(delay, SimEvent::PublishTick(node));
+            }
+            // Stagger gossip phases uniformly over one interval.
+            let phase = self
+                .config
+                .gossip_interval
+                .mul_f64(self.gossip_rng.random_range(0.0..1.0));
+            self.engine.schedule(phase, SimEvent::GossipTick(node));
+        }
+        if let Some(rho) = self.config.reconfig_interval {
+            if rho < self.config.duration {
+                self.engine.schedule(rho, SimEvent::Break);
+            }
+        }
+        if let Some(churn) = self.config.churn_interval {
+            if churn < self.config.duration {
+                self.engine.schedule(churn, SimEvent::ChurnTick);
+            }
+        }
+
+        // Main loop: ticks stop renewing at `duration`; afterwards the
+        // queue drains so in-flight recoveries complete.
+        while let Some((_, event)) = self.engine.pop() {
+            self.handle(event);
+        }
+        self.finish()
+    }
+
+    fn handle(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::PublishTick(node) => self.handle_publish_tick(node),
+            SimEvent::GossipTick(node) => self.handle_gossip_tick(node),
+            SimEvent::Link { from, to, payload } => self.handle_link(from, to, payload),
+            SimEvent::Oob { from, to, payload } => self.handle_oob(from, to, payload),
+            SimEvent::ChurnTick => self.handle_churn(),
+            SimEvent::Break => self.handle_break(),
+            SimEvent::Repair => self.handle_repair(),
+        }
+    }
+
+    fn next_publish_delay(&mut self, node: NodeId) -> SimTime {
+        // Poisson process: exponential inter-arrival times.
+        let u: f64 = self.workload_rngs[node.index()].random_range(0.0..1.0);
+        SimTime::from_secs_f64(-(1.0 - u).ln() / self.config.publish_rate)
+    }
+
+    fn handle_publish_tick(&mut self, node: NodeId) {
+        let content = self.space.random_content(&mut self.workload_rngs[node.index()]);
+        let expected = self.count_subscribers(&content);
+        let (event, receipt) = self.dispatchers[node.index()].publish(content);
+        self.tracker
+            .published(event.id(), self.engine.now(), expected);
+        self.record(TraceRecord::Publish {
+            at: self.engine.now(),
+            node,
+            event: event.id(),
+            expected,
+        });
+        if receipt.delivered {
+            self.tracker.delivered(event.id(), node);
+            self.record(TraceRecord::Deliver {
+                at: self.engine.now(),
+                node,
+                event: event.id(),
+                recovered: false,
+            });
+        }
+        for fwd in receipt.forwards {
+            self.send_link(node, fwd.to, LinkPayload::PubSub(fwd.msg));
+        }
+        // Renew the process.
+        let delay = self.next_publish_delay(node);
+        if self.engine.now() + delay < self.config.duration {
+            self.engine.schedule(delay, SimEvent::PublishTick(node));
+        }
+    }
+
+    fn count_subscribers(&self, content: &[PatternId]) -> u32 {
+        let mut nodes: Vec<NodeId> = content
+            .iter()
+            .flat_map(|p| self.subscribers_of[p.index()].iter().copied())
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes.len() as u32
+    }
+
+    fn handle_gossip_tick(&mut self, node: NodeId) {
+        let neighbors = self.topology.neighbors(node).to_vec();
+        let actions = self.algorithms[node.index()].on_round(
+            &self.dispatchers[node.index()],
+            &neighbors,
+            &mut self.gossip_rng,
+        );
+        // Adaptive interval (extension, paper Sec. IV-E): while the
+        // strategy sees no evidence of recovery work (empty Lost
+        // buffer for pull, no incoming requests for push), the timer
+        // backs off exponentially; any sign of work snaps it back.
+        let next = match &self.config.adaptive_gossip {
+            None => self.config.gossip_interval,
+            Some(adaptive) => {
+                let current = self.gossip_delays[node.index()];
+                let next = if self.algorithms[node.index()].is_idle() {
+                    current.mul_f64(adaptive.backoff).min(adaptive.max_interval)
+                } else {
+                    adaptive.min_interval
+                };
+                self.gossip_delays[node.index()] = next;
+                next
+            }
+        };
+        self.apply_actions(node, actions);
+        if self.engine.now() + next < self.config.duration {
+            self.engine.schedule(next, SimEvent::GossipTick(node));
+        }
+    }
+
+    fn handle_link(&mut self, from: NodeId, to: NodeId, payload: LinkPayload) {
+        match payload {
+            LinkPayload::PubSub(PubSubMessage::Event(event)) => {
+                self.deliver_event(to, from, event);
+            }
+            LinkPayload::PubSub(PubSubMessage::Subscribe(p)) => {
+                let neighbors = self.topology.neighbors(to).to_vec();
+                let forwards =
+                    self.dispatchers[to.index()].on_subscribe(p, from, &neighbors);
+                for fwd in forwards {
+                    self.send_link(to, fwd.to, LinkPayload::PubSub(fwd.msg));
+                }
+            }
+            LinkPayload::PubSub(PubSubMessage::Unsubscribe(p)) => {
+                let neighbors = self.topology.neighbors(to).to_vec();
+                let forwards =
+                    self.dispatchers[to.index()].on_unsubscribe(p, from, &neighbors);
+                for fwd in forwards {
+                    self.send_link(to, fwd.to, LinkPayload::PubSub(fwd.msg));
+                }
+            }
+            LinkPayload::Gossip(msg) => {
+                let neighbors = self.topology.neighbors(to).to_vec();
+                let actions = self.algorithms[to.index()].on_gossip(
+                    &self.dispatchers[to.index()],
+                    from,
+                    msg,
+                    &neighbors,
+                    &mut self.gossip_rng,
+                );
+                self.apply_actions(to, actions);
+            }
+        }
+    }
+
+    fn deliver_event(&mut self, to: NodeId, from: NodeId, event: Event) {
+        let receipt = self.dispatchers[to.index()].on_event(event.clone(), Some(from));
+        if receipt.duplicate {
+            return;
+        }
+        if receipt.delivered {
+            self.tracker.delivered(event.id(), to);
+            self.record(TraceRecord::Deliver {
+                at: self.engine.now(),
+                node: to,
+                event: event.id(),
+                recovered: false,
+            });
+        }
+        let algo = &mut self.algorithms[to.index()];
+        algo.on_event_received(&event);
+        if !receipt.losses.is_empty() {
+            algo.on_losses(&receipt.losses);
+            self.record(TraceRecord::LossDetected {
+                at: self.engine.now(),
+                node: to,
+                count: receipt.losses.len() as u32,
+            });
+        }
+        for fwd in receipt.forwards {
+            self.send_link(to, fwd.to, LinkPayload::PubSub(fwd.msg));
+        }
+    }
+
+    fn handle_oob(&mut self, from: NodeId, to: NodeId, payload: OobPayload) {
+        match payload {
+            OobPayload::Request(ids) => {
+                let actions =
+                    self.algorithms[to.index()].on_request(&self.dispatchers[to.index()], from, &ids);
+                self.apply_actions(to, actions);
+            }
+            OobPayload::Reply(events) => {
+                for event in events {
+                    let receipt = self.dispatchers[to.index()].on_recovered_event(event.clone());
+                    if receipt.duplicate {
+                        continue;
+                    }
+                    if receipt.delivered {
+                        self.tracker.recovered(event.id(), to, self.engine.now());
+                        self.counters.count_recovered();
+                        self.record(TraceRecord::Deliver {
+                            at: self.engine.now(),
+                            node: to,
+                            event: event.id(),
+                            recovered: true,
+                        });
+                    }
+                    let algo = &mut self.algorithms[to.index()];
+                    algo.on_event_received(&event);
+                    if !receipt.losses.is_empty() {
+                        algo.on_losses(&receipt.losses);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Subscription churn: a random dispatcher swaps one subscription
+    /// for a pattern it does not hold, and the (un)subscriptions
+    /// propagate through the overlay as protocol messages.
+    fn handle_churn(&mut self) {
+        if self.engine.now() < self.config.duration {
+            let node = NodeId::new(self.churn_rng.random_range(0..self.config.nodes as u32));
+            let subs = &self.subscriptions[node.index()];
+            if !subs.is_empty() {
+                let old = subs[self.churn_rng.random_range(0..subs.len())];
+                let candidates: Vec<PatternId> = self
+                    .space
+                    .patterns()
+                    .filter(|p| !subs.contains(p))
+                    .collect();
+                if let Some(&new) = {
+                    use rand::seq::IndexedRandom as _;
+                    candidates.choose(&mut self.churn_rng)
+                } {
+                    self.apply_churn(node, old, new);
+                }
+            }
+            if let Some(churn) = self.config.churn_interval {
+                if self.engine.now() + churn < self.config.duration {
+                    self.engine.schedule(churn, SimEvent::ChurnTick);
+                }
+            }
+        }
+    }
+
+    fn apply_churn(&mut self, node: NodeId, old: PatternId, new: PatternId) {
+        self.churn_events += 1;
+        let neighbors = self.topology.neighbors(node).to_vec();
+        let dispatcher = &mut self.dispatchers[node.index()];
+        let unsubs = dispatcher.unsubscribe_local(old, &neighbors);
+        let subs = dispatcher.subscribe_local_late(new, &neighbors);
+        for fwd in unsubs.into_iter().chain(subs) {
+            self.send_link(node, fwd.to, LinkPayload::PubSub(fwd.msg));
+        }
+        // Keep the metrics' view of intended recipients current.
+        let list = &mut self.subscriptions[node.index()];
+        list.retain(|&p| p != old);
+        list.push(new);
+        list.sort();
+        self.subscribers_of[old.index()].retain(|&n| n != node);
+        self.subscribers_of[new.index()].push(node);
+        self.subscribers_of[new.index()].sort();
+    }
+
+    fn handle_break(&mut self) {
+        if self.engine.now() >= self.config.duration {
+            // The workload is over; the queue is only draining
+            // in-flight recoveries. Do not disturb them.
+            return;
+        }
+        if let Some(link) = self.topology.links().choose(&mut self.reconfig_rng) {
+            self.topology
+                .remove_link(link)
+                .expect("chosen link exists");
+            self.links.reset_link(link.a(), link.b());
+            self.reconfigurations += 1;
+            self.record(TraceRecord::LinkBroken {
+                at: self.engine.now(),
+                link,
+            });
+            self.engine
+                .schedule(self.config.repair_delay, SimEvent::Repair);
+        }
+        if let Some(rho) = self.config.reconfig_interval {
+            if self.engine.now() + rho < self.config.duration {
+                self.engine.schedule(rho, SimEvent::Break);
+            }
+        }
+    }
+
+    fn handle_repair(&mut self) {
+        if let Some((x, y)) = plan_reconnection(&self.topology, &mut self.reconfig_rng) {
+            self.topology
+                .add_link(x, y)
+                .expect("reconnection endpoints have spare degree");
+            self.record(TraceRecord::LinkAdded {
+                at: self.engine.now(),
+                a: x,
+                b: y,
+            });
+            // The reconfiguration protocol of [7] has completed:
+            // subscription routes are consistent with the new overlay.
+            rebuild_subscription_routes(&mut self.dispatchers, &self.topology);
+        }
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<GossipAction>) {
+        for action in actions {
+            match action {
+                GossipAction::Forward { to, msg } => {
+                    self.counters.count_gossip(node);
+                    self.send_link(node, to, LinkPayload::Gossip(msg));
+                }
+                GossipAction::Request { to, ids } => {
+                    self.counters.count_request(node);
+                    self.send_oob(node, to, OobPayload::Request(ids));
+                }
+                GossipAction::Reply { to, events } => {
+                    self.counters.count_reply(node, events.len() as u64);
+                    self.send_oob(node, to, OobPayload::Reply(events));
+                }
+            }
+        }
+    }
+
+    fn send_link(&mut self, from: NodeId, to: NodeId, payload: LinkPayload) {
+        match &payload {
+            LinkPayload::PubSub(PubSubMessage::Event(_)) => self.counters.count_event(from),
+            LinkPayload::PubSub(_) => self.counters.count_subscription(from),
+            LinkPayload::Gossip(_) => {} // counted at the action level
+        }
+        if !self.topology.has_link(from, to) {
+            // Broken link or stale route: the message is lost.
+            return;
+        }
+        let bits = payload.wire_bits(self.config.event_payload_bits);
+        match self.links.transmit(
+            &self.link_spec,
+            from,
+            to,
+            bits,
+            self.engine.now(),
+            &mut self.loss_rng,
+        ) {
+            Transmission::Arrives(at) => {
+                self.engine
+                    .schedule_at(at, SimEvent::Link { from, to, payload });
+            }
+            Transmission::Lost => {}
+        }
+    }
+
+    fn send_oob(&mut self, from: NodeId, to: NodeId, payload: OobPayload) {
+        let bits = match &payload {
+            OobPayload::Request(ids) => 256 + 96 * ids.len() as u64,
+            OobPayload::Reply(events) => events
+                .iter()
+                .map(|e| e.wire_bits(self.config.event_payload_bits))
+                .sum::<u64>()
+                .max(256),
+        };
+        if let Some(delay) = self.config.out_of_band.delay(bits, &mut self.oob_rng) {
+            self.engine
+                .schedule(delay, SimEvent::Oob { from, to, payload });
+        }
+    }
+
+    fn finish(self) -> (ScenarioResult, Option<ScenarioTrace>) {
+        let window = self.config.measure_window();
+        let series_raw = self.tracker.rate_series(self.config.series_bin);
+        let series: Vec<(f64, f64)> = series_raw
+            .bins()
+            .iter()
+            .map(|b| (b.start.as_secs_f64(), b.ratio()))
+            .collect();
+        let min_bin_rate = series_raw
+            .bins()
+            .iter()
+            .filter(|b| b.start >= window.0 && b.start < window.1 && b.denominator > 0.0)
+            .map(|b| b.ratio())
+            .fold(f64::INFINITY, f64::min);
+        let result = ScenarioResult {
+            delivery_rate: self.tracker.delivery_rate(Some(window)),
+            overall_delivery_rate: self.tracker.delivery_rate(None),
+            min_bin_rate: if min_bin_rate.is_finite() {
+                min_bin_rate
+            } else {
+                1.0
+            },
+            series,
+            receivers_per_event: self.tracker.receivers_per_event().mean(),
+            events_published: self.tracker.event_count() as u64,
+            event_msgs: self.counters.event_total(),
+            gossip_msgs: self.counters.gossip_total(),
+            gossip_per_dispatcher: self.counters.gossip_per_dispatcher(),
+            gossip_event_ratio: self.counters.gossip_event_ratio(),
+            requests: self.counters.request_total(),
+            replies: self.counters.reply_total(),
+            events_retransmitted: self.counters.events_retransmitted(),
+            events_recovered: self.counters.events_recovered(),
+            recovery_latency_mean: self.tracker.recovery_latency().mean(),
+            recovery_latency_p95: self
+                .tracker
+                .recovery_latency_quantile(0.95)
+                .unwrap_or(0.0),
+            outstanding_losses: self
+                .algorithms
+                .iter()
+                .map(|a| a.outstanding_losses() as u64)
+                .sum(),
+            reconfigurations: self.reconfigurations,
+            churn_events: self.churn_events,
+            subscription_msgs: self.counters.subscription_total(),
+            unexpected_deliveries: self.tracker.unexpected_total(),
+        };
+        (result, self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_gossip::AlgorithmKind;
+
+    fn small(algorithm: AlgorithmKind) -> ScenarioConfig {
+        ScenarioConfig {
+            nodes: 25,
+            duration: SimTime::from_secs(4),
+            warmup: SimTime::from_millis(500),
+            cooldown: SimTime::from_secs(1),
+            publish_rate: 20.0,
+            algorithm,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn lossless_network_delivers_everything() {
+        let config = ScenarioConfig {
+            link_error_rate: 0.0,
+            ..small(AlgorithmKind::NoRecovery)
+        };
+        let result = run_scenario(&config);
+        assert!(
+            result.delivery_rate > 0.999,
+            "lossless delivery was {}",
+            result.delivery_rate
+        );
+        assert_eq!(result.gossip_msgs, 0);
+        assert_eq!(result.requests, 0);
+    }
+
+    #[test]
+    fn lossy_baseline_loses_events() {
+        let result = run_scenario(&small(AlgorithmKind::NoRecovery));
+        assert!(
+            result.delivery_rate < 0.95,
+            "expected losses, got {}",
+            result.delivery_rate
+        );
+        assert!(result.events_published > 0);
+    }
+
+    #[test]
+    fn recovery_beats_no_recovery() {
+        let baseline = run_scenario(&small(AlgorithmKind::NoRecovery));
+        for kind in [
+            AlgorithmKind::Push,
+            AlgorithmKind::SubscriberPull,
+            AlgorithmKind::CombinedPull,
+        ] {
+            let recovered = run_scenario(&small(kind));
+            assert!(
+                recovered.delivery_rate > baseline.delivery_rate,
+                "{kind}: {} <= baseline {}",
+                recovered.delivery_rate,
+                baseline.delivery_rate
+            );
+            assert!(recovered.gossip_msgs > 0, "{kind} sent no gossip");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let config = small(AlgorithmKind::CombinedPull);
+        let a = run_scenario(&config);
+        let b = run_scenario(&config);
+        assert_eq!(a.delivery_rate, b.delivery_rate);
+        assert_eq!(a.gossip_msgs, b.gossip_msgs);
+        assert_eq!(a.events_published, b.events_published);
+        assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_scenario(&small(AlgorithmKind::Push));
+        let b = run_scenario(&ScenarioConfig {
+            seed: 999,
+            ..small(AlgorithmKind::Push)
+        });
+        assert_ne!(a.events_published, b.events_published);
+    }
+
+    #[test]
+    fn reconfigurations_happen_and_recover() {
+        let config = ScenarioConfig {
+            link_error_rate: 0.0,
+            reconfig_interval: Some(SimTime::from_millis(200)),
+            ..small(AlgorithmKind::NoRecovery)
+        };
+        let result = run_scenario(&config);
+        assert!(result.reconfigurations >= 10);
+        // Reconfigurations lose some events but the network keeps
+        // working.
+        assert!(result.delivery_rate > 0.5);
+        assert!(result.delivery_rate < 1.0);
+    }
+
+    #[test]
+    fn recovery_masks_reconfiguration_losses() {
+        let base = ScenarioConfig {
+            link_error_rate: 0.0,
+            reconfig_interval: Some(SimTime::from_millis(200)),
+            ..small(AlgorithmKind::NoRecovery)
+        };
+        let no_rec = run_scenario(&base);
+        let push = run_scenario(&base.with_algorithm(AlgorithmKind::Push));
+        assert!(push.delivery_rate >= no_rec.delivery_rate);
+        assert!(push.min_bin_rate >= no_rec.min_bin_rate);
+    }
+
+    #[test]
+    fn zero_publish_rate_is_quiet() {
+        let config = ScenarioConfig {
+            publish_rate: 0.0,
+            ..small(AlgorithmKind::CombinedPull)
+        };
+        let result = run_scenario(&config);
+        assert_eq!(result.events_published, 0);
+        assert_eq!(result.delivery_rate, 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Scenario-level tests of subscription churn: the (un)subscription
+//! protocol exercised end-to-end over lossy links while events flow.
+
+use eps_gossip::AlgorithmKind;
+use eps_harness::{run_scenario, ScenarioConfig};
+use eps_sim::SimTime;
+
+fn base(kind: AlgorithmKind) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 25,
+        duration: SimTime::from_secs(4),
+        warmup: SimTime::from_millis(500),
+        cooldown: SimTime::from_secs(1),
+        publish_rate: 20.0,
+        churn_interval: Some(SimTime::from_millis(100)),
+        algorithm: kind,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn churn_happens_and_propagates_subscription_messages() {
+    let r = run_scenario(&base(AlgorithmKind::NoRecovery));
+    assert!(
+        (30..=45).contains(&r.churn_events),
+        "one swap per 100ms over ~4s, got {}",
+        r.churn_events
+    );
+    assert!(
+        r.subscription_msgs > r.churn_events,
+        "each swap must propagate messages: {} msgs for {} swaps",
+        r.subscription_msgs,
+        r.churn_events
+    );
+}
+
+#[test]
+fn delivery_stays_healthy_under_churn_on_reliable_links() {
+    let config = ScenarioConfig {
+        link_error_rate: 0.0,
+        ..base(AlgorithmKind::NoRecovery)
+    };
+    let r = run_scenario(&config);
+    // Only churn races (events in flight while routes shift) can cost
+    // deliveries; they must be rare.
+    assert!(
+        r.delivery_rate > 0.97,
+        "churn cost too much: {}",
+        r.delivery_rate
+    );
+}
+
+#[test]
+fn recovery_still_works_under_churn() {
+    let with = run_scenario(&base(AlgorithmKind::CombinedPull));
+    let without = run_scenario(&base(AlgorithmKind::NoRecovery));
+    assert!(with.events_recovered > 0);
+    assert!(
+        with.delivery_rate > without.delivery_rate + 0.05,
+        "recovery ineffective under churn: {} vs {}",
+        with.delivery_rate,
+        without.delivery_rate
+    );
+}
+
+#[test]
+fn late_subscribers_do_not_pull_history() {
+    // A fresh subscription must not interpret the stream's past as
+    // losses: outstanding Lost entries must stay bounded by what is
+    // genuinely lost after the subscription, not explode with
+    // pre-subscription history.
+    let churny = run_scenario(&ScenarioConfig {
+        churn_interval: Some(SimTime::from_millis(50)),
+        ..base(AlgorithmKind::SubscriberPull)
+    });
+    let stable = run_scenario(&ScenarioConfig {
+        churn_interval: None,
+        ..base(AlgorithmKind::SubscriberPull)
+    });
+    // History-pulling would multiply outstanding losses by orders of
+    // magnitude; allow generous headroom for genuine churn effects.
+    assert!(
+        churny.outstanding_losses < stable.outstanding_losses * 3 + 500,
+        "suspicious Lost growth under churn: {} vs stable {}",
+        churny.outstanding_losses,
+        stable.outstanding_losses
+    );
+}
+
+#[test]
+fn churn_is_deterministic() {
+    let a = run_scenario(&base(AlgorithmKind::CombinedPull));
+    let b = run_scenario(&base(AlgorithmKind::CombinedPull));
+    assert_eq!(a.churn_events, b.churn_events);
+    assert_eq!(a.delivery_rate, b.delivery_rate);
+    assert_eq!(a.subscription_msgs, b.subscription_msgs);
+}
+
+#[test]
+fn churn_composes_with_reconfiguration_and_loss() {
+    // Everything at once: lossy links, topology churn, subscription
+    // churn, and recovery.
+    let config = ScenarioConfig {
+        link_error_rate: 0.05,
+        reconfig_interval: Some(SimTime::from_millis(300)),
+        ..base(AlgorithmKind::CombinedPull)
+    };
+    let r = run_scenario(&config);
+    assert!(r.churn_events > 0);
+    assert!(r.reconfigurations > 0);
+    assert!(r.events_recovered > 0);
+    assert!((0.0..=1.0).contains(&r.delivery_rate));
+    assert!(r.delivery_rate > 0.6, "system collapsed: {}", r.delivery_rate);
+}
+
+#[test]
+fn stable_scenarios_report_no_churn() {
+    let config = ScenarioConfig {
+        churn_interval: None,
+        ..base(AlgorithmKind::NoRecovery)
+    };
+    let r = run_scenario(&config);
+    assert_eq!(r.churn_events, 0);
+    assert_eq!(r.subscription_msgs, 0);
+    assert_eq!(r.unexpected_deliveries, 0);
+}

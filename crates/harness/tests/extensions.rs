@@ -1,0 +1,135 @@
+//! Scenario-level tests of the extension features: adaptive gossip
+//! intervals and alternative buffer policies.
+
+use eps_gossip::AlgorithmKind;
+use eps_harness::{run_scenario, AdaptiveGossip, ScenarioConfig};
+use eps_pubsub::EvictionPolicy;
+use eps_sim::SimTime;
+
+fn base(kind: AlgorithmKind) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 25,
+        duration: SimTime::from_secs(4),
+        warmup: SimTime::from_millis(500),
+        cooldown: SimTime::from_secs(1),
+        publish_rate: 20.0,
+        algorithm: kind,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn adaptive_gossip_cuts_overhead_on_a_healthy_network() {
+    let healthy = ScenarioConfig {
+        link_error_rate: 0.005,
+        ..base(AlgorithmKind::CombinedPull)
+    };
+    let fixed = run_scenario(&healthy);
+    let adaptive = run_scenario(&ScenarioConfig {
+        adaptive_gossip: Some(AdaptiveGossip::around(healthy.gossip_interval)),
+        ..healthy
+    });
+    assert!(
+        adaptive.gossip_msgs < fixed.gossip_msgs,
+        "adaptive {} should send less than fixed {}",
+        adaptive.gossip_msgs,
+        fixed.gossip_msgs
+    );
+    assert!(
+        adaptive.delivery_rate > fixed.delivery_rate - 0.03,
+        "delivery sacrificed: {} vs {}",
+        adaptive.delivery_rate,
+        fixed.delivery_rate
+    );
+}
+
+#[test]
+fn adaptive_gossip_converges_to_fixed_under_heavy_loss() {
+    let lossy = base(AlgorithmKind::CombinedPull);
+    let fixed = run_scenario(&lossy);
+    let adaptive = run_scenario(&ScenarioConfig {
+        adaptive_gossip: Some(AdaptiveGossip::around(lossy.gossip_interval)),
+        ..lossy
+    });
+    // Constant losses keep the timer near the floor: within 2x.
+    assert!(adaptive.gossip_msgs * 2 > fixed.gossip_msgs);
+    assert!(adaptive.delivery_rate > fixed.delivery_rate - 0.05);
+}
+
+#[test]
+fn adaptive_gossip_is_deterministic() {
+    let config = ScenarioConfig {
+        adaptive_gossip: Some(AdaptiveGossip::around(SimTime::from_millis(30))),
+        ..base(AlgorithmKind::Push)
+    };
+    let a = run_scenario(&config);
+    let b = run_scenario(&config);
+    assert_eq!(a.gossip_msgs, b.gossip_msgs);
+    assert_eq!(a.delivery_rate, b.delivery_rate);
+}
+
+#[test]
+#[should_panic]
+fn invalid_adaptive_parameters_are_rejected() {
+    let config = ScenarioConfig {
+        adaptive_gossip: Some(AdaptiveGossip {
+            min_interval: SimTime::from_millis(50),
+            max_interval: SimTime::from_millis(10), // inverted
+            backoff: 2.0,
+        }),
+        ..base(AlgorithmKind::Push)
+    };
+    let _ = run_scenario(&config);
+}
+
+#[test]
+fn every_eviction_policy_completes_and_recovers() {
+    for policy in [
+        EvictionPolicy::Fifo,
+        EvictionPolicy::Random { seed: 1 },
+        EvictionPolicy::SourceBiased { own_permille: 300 },
+    ] {
+        let r = run_scenario(&ScenarioConfig {
+            buffer_size: 150,
+            eviction: policy,
+            ..base(AlgorithmKind::CombinedPull)
+        });
+        assert!(
+            r.events_recovered > 0,
+            "{policy} recovered nothing"
+        );
+        assert!((0.0..=1.0).contains(&r.delivery_rate));
+    }
+}
+
+#[test]
+fn source_biased_policy_helps_publisher_bound_recovery_at_small_buffers() {
+    // With tiny buffers, protecting self-published events preserves
+    // the copies only the publisher can serve.
+    let small = ScenarioConfig {
+        buffer_size: 100,
+        ..base(AlgorithmKind::PublisherPull)
+    };
+    let fifo = run_scenario(&small);
+    let biased = run_scenario(&ScenarioConfig {
+        eviction: EvictionPolicy::SourceBiased { own_permille: 400 },
+        ..small
+    });
+    assert!(
+        biased.delivery_rate >= fifo.delivery_rate - 0.01,
+        "source-biased {} should not lose to fifo {}",
+        biased.delivery_rate,
+        fifo.delivery_rate
+    );
+}
+
+#[test]
+fn eviction_policy_changes_results_but_not_workload() {
+    let fifo = run_scenario(&base(AlgorithmKind::CombinedPull));
+    let random = run_scenario(&ScenarioConfig {
+        eviction: EvictionPolicy::Random { seed: 9 },
+        ..base(AlgorithmKind::CombinedPull)
+    });
+    assert_eq!(fifo.events_published, random.events_published);
+    assert_eq!(fifo.receivers_per_event, random.receivers_per_event);
+}

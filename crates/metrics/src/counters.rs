@@ -1,0 +1,205 @@
+//! Message counters: the overhead side of the evaluation
+//! (paper, Figures 9 and 10).
+
+use eps_overlay::NodeId;
+
+/// Per-class, per-dispatcher message counts.
+///
+/// The paper presents overhead two ways: the number of gossip messages
+/// sent *by each dispatcher* (load on a node), and the ratio between
+/// gossip and event messages dispatched in the *overall system*
+/// (impact on bandwidth). This type records both, plus the out-of-band
+/// request/reply traffic so it can be reported separately.
+///
+/// # Examples
+///
+/// ```
+/// use eps_metrics::MessageCounters;
+/// use eps_overlay::NodeId;
+///
+/// let mut c = MessageCounters::new(4);
+/// c.count_event(NodeId::new(0));
+/// c.count_gossip(NodeId::new(1));
+/// c.count_gossip(NodeId::new(1));
+/// assert_eq!(c.event_total(), 1);
+/// assert_eq!(c.gossip_total(), 2);
+/// assert_eq!(c.gossip_per_dispatcher(), 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MessageCounters {
+    event_sent: Vec<u64>,
+    gossip_sent: Vec<u64>,
+    request_sent: Vec<u64>,
+    reply_sent: Vec<u64>,
+    subscription_sent: Vec<u64>,
+    events_retransmitted: u64,
+    events_recovered: u64,
+}
+
+impl MessageCounters {
+    /// Creates counters for `n` dispatchers.
+    pub fn new(n: usize) -> Self {
+        MessageCounters {
+            event_sent: vec![0; n],
+            gossip_sent: vec![0; n],
+            request_sent: vec![0; n],
+            reply_sent: vec![0; n],
+            subscription_sent: vec![0; n],
+            events_retransmitted: 0,
+            events_recovered: 0,
+        }
+    }
+
+    /// Number of dispatchers tracked.
+    pub fn len(&self) -> usize {
+        self.event_sent.len()
+    }
+
+    /// `true` if tracking no dispatchers.
+    pub fn is_empty(&self) -> bool {
+        self.event_sent.is_empty()
+    }
+
+    /// An event message was sent on an overlay link by `from`.
+    pub fn count_event(&mut self, from: NodeId) {
+        self.event_sent[from.index()] += 1;
+    }
+
+    /// A gossip message was sent on an overlay link by `from`.
+    pub fn count_gossip(&mut self, from: NodeId) {
+        self.gossip_sent[from.index()] += 1;
+    }
+
+    /// An out-of-band retransmission request was sent by `from`.
+    pub fn count_request(&mut self, from: NodeId) {
+        self.request_sent[from.index()] += 1;
+    }
+
+    /// An out-of-band reply carrying `events` event copies was sent by
+    /// `from`.
+    pub fn count_reply(&mut self, from: NodeId, events: u64) {
+        self.reply_sent[from.index()] += 1;
+        self.events_retransmitted += events;
+    }
+
+    /// A subscription/unsubscription message was sent by `from`.
+    pub fn count_subscription(&mut self, from: NodeId) {
+        self.subscription_sent[from.index()] += 1;
+    }
+
+    /// An event copy delivered through recovery (was missing, arrived
+    /// via the out-of-band channel, and was new to the receiver).
+    pub fn count_recovered(&mut self) {
+        self.events_recovered += 1;
+    }
+
+    /// Total event messages on overlay links.
+    pub fn event_total(&self) -> u64 {
+        self.event_sent.iter().sum()
+    }
+
+    /// Total gossip messages on overlay links.
+    pub fn gossip_total(&self) -> u64 {
+        self.gossip_sent.iter().sum()
+    }
+
+    /// Total out-of-band requests.
+    pub fn request_total(&self) -> u64 {
+        self.request_sent.iter().sum()
+    }
+
+    /// Total out-of-band replies.
+    pub fn reply_total(&self) -> u64 {
+        self.reply_sent.iter().sum()
+    }
+
+    /// Total subscription messages.
+    pub fn subscription_total(&self) -> u64 {
+        self.subscription_sent.iter().sum()
+    }
+
+    /// Total event copies retransmitted out-of-band.
+    pub fn events_retransmitted(&self) -> u64 {
+        self.events_retransmitted
+    }
+
+    /// Total events whose delivery happened through recovery.
+    pub fn events_recovered(&self) -> u64 {
+        self.events_recovered
+    }
+
+    /// Mean gossip messages sent per dispatcher (Fig. 9 / 10, left).
+    pub fn gossip_per_dispatcher(&self) -> f64 {
+        if self.gossip_sent.is_empty() {
+            0.0
+        } else {
+            self.gossip_total() as f64 / self.gossip_sent.len() as f64
+        }
+    }
+
+    /// Ratio of gossip to event messages in the whole system
+    /// (Fig. 9, right). Zero when no events flowed.
+    pub fn gossip_event_ratio(&self) -> f64 {
+        let events = self.event_total();
+        if events == 0 {
+            0.0
+        } else {
+            self.gossip_total() as f64 / events as f64
+        }
+    }
+
+    /// Per-dispatcher gossip counts (for distribution checks: gossip
+    /// load should be evenly spread).
+    pub fn gossip_by_dispatcher(&self) -> &[u64] {
+        &self.gossip_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_per_class() {
+        let mut c = MessageCounters::new(3);
+        c.count_event(NodeId::new(0));
+        c.count_event(NodeId::new(1));
+        c.count_gossip(NodeId::new(2));
+        c.count_request(NodeId::new(0));
+        c.count_reply(NodeId::new(1), 5);
+        c.count_subscription(NodeId::new(2));
+        assert_eq!(c.event_total(), 2);
+        assert_eq!(c.gossip_total(), 1);
+        assert_eq!(c.request_total(), 1);
+        assert_eq!(c.reply_total(), 1);
+        assert_eq!(c.subscription_total(), 1);
+        assert_eq!(c.events_retransmitted(), 5);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let c = MessageCounters::new(2);
+        assert_eq!(c.gossip_event_ratio(), 0.0);
+        assert_eq!(c.gossip_per_dispatcher(), 0.0);
+    }
+
+    #[test]
+    fn per_dispatcher_views() {
+        let mut c = MessageCounters::new(2);
+        for _ in 0..4 {
+            c.count_gossip(NodeId::new(0));
+        }
+        c.count_event(NodeId::new(1));
+        assert_eq!(c.gossip_by_dispatcher(), &[4, 0]);
+        assert_eq!(c.gossip_per_dispatcher(), 2.0);
+        assert_eq!(c.gossip_event_ratio(), 4.0);
+    }
+
+    #[test]
+    fn recovered_counter() {
+        let mut c = MessageCounters::new(1);
+        c.count_recovered();
+        c.count_recovered();
+        assert_eq!(c.events_recovered(), 2);
+    }
+}

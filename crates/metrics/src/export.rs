@@ -1,0 +1,214 @@
+//! Result export: CSV files and quick ASCII charts for the terminal.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular results table destined for a CSV file.
+///
+/// # Examples
+///
+/// ```
+/// use eps_metrics::CsvTable;
+///
+/// let mut table = CsvTable::new(vec!["x".into(), "y".into()]);
+/// table.push_row(vec!["1".into(), "0.5".into()]);
+/// assert!(table.to_csv().starts_with("x,y\n1,0.5\n"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsvTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        CsvTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV text (fields containing commas or
+    /// quotes are quoted per RFC 4180).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            let mut first = true;
+            for field in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                if field.contains(',') || field.contains('"') || field.contains('\n') {
+                    let escaped = field.replace('"', "\"\"");
+                    let _ = write!(out, "\"{escaped}\"");
+                } else {
+                    out.push_str(field);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn write_to<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// One named series for an [`ascii_chart`].
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Y values, one per x position (NaN values are skipped).
+    pub values: Vec<f64>,
+}
+
+/// Renders a quick multi-series ASCII line chart: y in `[y_min, y_max]`
+/// over evenly spaced x positions. Each series is drawn with its own
+/// glyph; the legend maps glyphs to names. Good enough to eyeball the
+/// paper's curve shapes in a terminal.
+pub fn ascii_chart(title: &str, series: &[Series], y_min: f64, y_max: f64) -> String {
+    const HEIGHT: usize = 16;
+    const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+    let width = series.iter().map(|s| s.values.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    if width == 0 || y_max <= y_min {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let mut grid = vec![vec![' '; width]; HEIGHT];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, &v) in s.values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let clamped = v.clamp(y_min, y_max);
+            let frac = (clamped - y_min) / (y_max - y_min);
+            let row = ((1.0 - frac) * (HEIGHT - 1) as f64).round() as usize;
+            grid[row][x] = glyph;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y = y_max - (y_max - y_min) * i as f64 / (HEIGHT - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y:>8.2} |{line}");
+    }
+    let _ = writeln!(out, "{:>8} +{}", "", "-".repeat(width));
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        let _ = writeln!(out, "{:>10} {} = {}", "", glyph, s.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_renders_headers_and_rows() {
+        let mut t = CsvTable::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["3".into(), "4".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let mut t = CsvTable::new(vec!["a".into()]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = CsvTable::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_write_creates_directories() {
+        let dir = std::env::temp_dir().join("eps-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = CsvTable::new(vec!["a".into()]);
+        t.push_row(vec!["1".into()]);
+        t.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chart_contains_series_and_legend() {
+        let chart = ascii_chart(
+            "delivery",
+            &[Series {
+                name: "push".into(),
+                values: vec![0.5, 0.75, 1.0],
+            }],
+            0.0,
+            1.0,
+        );
+        assert!(chart.starts_with("delivery"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains("push"));
+    }
+
+    #[test]
+    fn chart_handles_empty_input() {
+        let chart = ascii_chart("empty", &[], 0.0, 1.0);
+        assert!(chart.contains("(no data)"));
+    }
+}

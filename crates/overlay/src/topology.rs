@@ -1,0 +1,444 @@
+//! The overlay topology: an undirected graph of dispatchers, normally
+//! maintained as an unrooted tree (the paper's dispatching tree).
+
+use std::collections::VecDeque;
+
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::node::{LinkId, NodeId};
+
+/// Error returned by [`Topology`] mutators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TopologyError {
+    /// The named node does not exist.
+    UnknownNode(NodeId),
+    /// The link already exists.
+    DuplicateLink(LinkId),
+    /// The link does not exist.
+    MissingLink(LinkId),
+    /// Adding the link would exceed the degree bound of a node.
+    DegreeExceeded(NodeId),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::DuplicateLink(l) => write!(f, "link {l} already exists"),
+            TopologyError::MissingLink(l) => write!(f, "link {l} does not exist"),
+            TopologyError::DegreeExceeded(n) => {
+                write!(f, "adding link would exceed degree bound at {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected overlay graph with an optional per-node degree bound.
+///
+/// The dispatching overlay of the paper is an *unrooted tree* with
+/// degree at most four; [`Topology::random_tree`] builds exactly that.
+/// During reconfiguration the graph transiently has two components
+/// (after a link breaks) before a replacement link restores a tree.
+///
+/// # Examples
+///
+/// ```
+/// use eps_overlay::Topology;
+/// use eps_sim::RngFactory;
+///
+/// let mut rng = RngFactory::new(1).stream("topology");
+/// let topo = Topology::random_tree(100, 4, &mut rng);
+/// assert!(topo.is_tree());
+/// assert!(topo.nodes().all(|n| topo.degree(n) <= 4));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Topology {
+    adjacency: Vec<Vec<NodeId>>,
+    max_degree: usize,
+    link_count: usize,
+}
+
+impl Topology {
+    /// Creates a topology of `n` isolated nodes with the given degree
+    /// bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `max_degree < 2` (a tree with more than
+    /// two nodes needs internal nodes of degree ≥ 2).
+    pub fn new(n: usize, max_degree: usize) -> Self {
+        assert!(n > 0, "topology needs at least one node");
+        assert!(max_degree >= 2, "degree bound must be at least 2");
+        Topology {
+            adjacency: vec![Vec::new(); n],
+            max_degree,
+            link_count: 0,
+        }
+    }
+
+    /// Builds a random spanning tree over `n` nodes where every node
+    /// has degree at most `max_degree`.
+    ///
+    /// Nodes are attached one at a time to a uniformly random existing
+    /// node that still has spare degree — the same incremental growth
+    /// model used in the simulations of the paper's reference \[7\].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Topology::new`].
+    pub fn random_tree<R: Rng + ?Sized>(n: usize, max_degree: usize, rng: &mut R) -> Self {
+        let mut topo = Topology::new(n, max_degree);
+        for i in 1..n {
+            let candidate = (0..i)
+                .map(|j| NodeId::new(j as u32))
+                .filter(|&j| topo.degree(j) < max_degree)
+                .choose(rng)
+                .expect("a growing bounded-degree tree always has a node with spare degree");
+            topo.add_link(candidate, NodeId::new(i as u32))
+                .expect("candidate was checked for spare degree");
+        }
+        topo
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// `true` if the topology has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// The degree bound.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len()).map(|i| NodeId::new(i as u32))
+    }
+
+    /// The neighbors of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.adjacency[n.index()]
+    }
+
+    /// The degree of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// `true` if `a` and `b` are directly linked.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency[a.index()].contains(&b)
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// Iterator over all links in canonical order.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, nbrs)| {
+            let a = NodeId::new(i as u32);
+            nbrs.iter()
+                .filter(move |&&b| a < b)
+                .map(move |&b| LinkId::new(a, b))
+        })
+    }
+
+    /// Adds an undirected link.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either node is unknown, the link already
+    /// exists, or it would violate the degree bound.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) -> Result<LinkId, TopologyError> {
+        let id = LinkId::new(a, b);
+        for n in [a, b] {
+            if n.index() >= self.adjacency.len() {
+                return Err(TopologyError::UnknownNode(n));
+            }
+        }
+        if self.has_link(a, b) {
+            return Err(TopologyError::DuplicateLink(id));
+        }
+        for n in [a, b] {
+            if self.degree(n) >= self.max_degree {
+                return Err(TopologyError::DegreeExceeded(n));
+            }
+        }
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+        self.link_count += 1;
+        Ok(id)
+    }
+
+    /// Removes an undirected link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::MissingLink`] if the link does not
+    /// exist.
+    pub fn remove_link(&mut self, link: LinkId) -> Result<(), TopologyError> {
+        let (a, b) = (link.a(), link.b());
+        if a.index() >= self.adjacency.len() || !self.has_link(a, b) {
+            return Err(TopologyError::MissingLink(link));
+        }
+        self.adjacency[a.index()].retain(|&x| x != b);
+        self.adjacency[b.index()].retain(|&x| x != a);
+        self.link_count -= 1;
+        Ok(())
+    }
+
+    /// The set of nodes reachable from `start` (including it), in BFS
+    /// order.
+    pub fn component_of(&self, start: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::from([start]);
+        let mut out = Vec::new();
+        seen[start.index()] = true;
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            for &m in self.neighbors(n) {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    queue.push_back(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if every node is reachable from every other.
+    pub fn is_connected(&self) -> bool {
+        self.component_of(NodeId::new(0)).len() == self.len()
+    }
+
+    /// `true` if the graph is a tree: connected with exactly `n - 1`
+    /// links.
+    pub fn is_tree(&self) -> bool {
+        self.link_count == self.len() - 1 && self.is_connected()
+    }
+
+    /// Shortest path from `a` to `b` (inclusive of both), or `None` if
+    /// disconnected.
+    pub fn path(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev: Vec<Option<NodeId>> = vec![None; self.len()];
+        let mut queue = VecDeque::from([a]);
+        prev[a.index()] = Some(a);
+        while let Some(n) = queue.pop_front() {
+            for &m in self.neighbors(n) {
+                if prev[m.index()].is_none() {
+                    prev[m.index()] = Some(n);
+                    if m == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while cur != a {
+                            cur = prev[cur.index()].expect("predecessor chain is complete");
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Renders the topology in Graphviz DOT format, for visualising
+    /// overlays in examples and debugging sessions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eps_overlay::Topology;
+    /// use eps_sim::RngFactory;
+    ///
+    /// let topo = Topology::random_tree(4, 4, &mut RngFactory::new(1).stream("t"));
+    /// let dot = topo.to_dot();
+    /// assert!(dot.starts_with("graph overlay {"));
+    /// assert_eq!(dot.matches(" -- ").count(), 3);
+    /// ```
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("graph overlay {\n  node [shape=circle];\n");
+        for link in self.links() {
+            let _ = writeln!(out, "  {} -- {};", link.a().index(), link.b().index());
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Mean shortest-path length (in hops) over all ordered node pairs.
+    /// Useful for calibrating loss compounding.
+    pub fn mean_path_hops(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for a in self.nodes() {
+            // BFS distances from a.
+            let mut dist: Vec<Option<u32>> = vec![None; n];
+            dist[a.index()] = Some(0);
+            let mut queue = VecDeque::from([a]);
+            while let Some(x) = queue.pop_front() {
+                let d = dist[x.index()].expect("popped nodes have distances");
+                for &m in self.neighbors(x) {
+                    if dist[m.index()].is_none() {
+                        dist[m.index()] = Some(d + 1);
+                        queue.push_back(m);
+                    }
+                }
+            }
+            for b in self.nodes() {
+                if b != a {
+                    if let Some(d) = dist[b.index()] {
+                        total += d as u64;
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_sim::RngFactory;
+
+    fn rng() -> impl Rng {
+        RngFactory::new(42).stream("topology-test")
+    }
+
+    #[test]
+    fn random_tree_is_a_degree_bounded_tree() {
+        let topo = Topology::random_tree(100, 4, &mut rng());
+        assert_eq!(topo.len(), 100);
+        assert_eq!(topo.link_count(), 99);
+        assert!(topo.is_tree());
+        assert!(topo.nodes().all(|n| topo.degree(n) <= 4));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let topo = Topology::random_tree(1, 4, &mut rng());
+        assert!(topo.is_tree());
+        assert_eq!(topo.link_count(), 0);
+    }
+
+    #[test]
+    fn add_link_rejects_duplicates_and_degree_violations() {
+        let mut t = Topology::new(4, 2);
+        let (a, b, c, d) = (
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            NodeId::new(3),
+        );
+        t.add_link(a, b).unwrap();
+        assert!(matches!(
+            t.add_link(b, a),
+            Err(TopologyError::DuplicateLink(_))
+        ));
+        t.add_link(a, c).unwrap();
+        assert!(matches!(
+            t.add_link(a, d),
+            Err(TopologyError::DegreeExceeded(n)) if n == a
+        ));
+    }
+
+    #[test]
+    fn remove_link_splits_tree() {
+        let mut t = Topology::random_tree(20, 4, &mut rng());
+        let link = t.links().next().unwrap();
+        t.remove_link(link).unwrap();
+        assert!(!t.is_connected());
+        let comp_a = t.component_of(link.a());
+        let comp_b = t.component_of(link.b());
+        assert_eq!(comp_a.len() + comp_b.len(), 20);
+        assert!(matches!(
+            t.remove_link(link),
+            Err(TopologyError::MissingLink(_))
+        ));
+    }
+
+    #[test]
+    fn path_endpoints_and_adjacency() {
+        let t = Topology::random_tree(50, 4, &mut rng());
+        let a = NodeId::new(3);
+        let b = NodeId::new(47);
+        let path = t.path(a, b).unwrap();
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), b);
+        for w in path.windows(2) {
+            assert!(t.has_link(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let t = Topology::random_tree(5, 4, &mut rng());
+        assert_eq!(t.path(NodeId::new(2), NodeId::new(2)), Some(vec![NodeId::new(2)]));
+    }
+
+    #[test]
+    fn path_is_none_across_components() {
+        let mut t = Topology::new(2, 2);
+        assert_eq!(t.path(NodeId::new(0), NodeId::new(1)), None);
+        t.add_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(t.path(NodeId::new(0), NodeId::new(1)).is_some());
+    }
+
+    #[test]
+    fn links_iterates_each_link_once() {
+        let t = Topology::random_tree(30, 4, &mut rng());
+        let links: Vec<LinkId> = t.links().collect();
+        assert_eq!(links.len(), 29);
+        let mut dedup = links.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), links.len());
+    }
+
+    #[test]
+    fn mean_path_hops_is_positive_and_bounded() {
+        let t = Topology::random_tree(100, 4, &mut rng());
+        let hops = t.mean_path_hops();
+        assert!(hops > 1.0, "hops = {hops}");
+        assert!(hops < 20.0, "hops = {hops}");
+    }
+
+    #[test]
+    fn tree_detection_rejects_cycles() {
+        let mut t = Topology::new(3, 3);
+        t.add_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        t.add_link(NodeId::new(1), NodeId::new(2)).unwrap();
+        assert!(t.is_tree());
+        t.add_link(NodeId::new(2), NodeId::new(0)).unwrap();
+        assert!(!t.is_tree());
+    }
+}

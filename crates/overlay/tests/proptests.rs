@@ -1,0 +1,143 @@
+//! Property-based tests of the overlay substrate.
+
+use eps_overlay::{
+    plan_reconfiguration, plan_reconnection, LinkSpec, LinkTable, NodeId, Topology,
+};
+use eps_sim::{RngFactory, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Random trees are always connected, acyclic, and degree-bounded,
+    /// for any size, bound, and seed.
+    #[test]
+    fn random_trees_are_valid(
+        n in 1usize..300,
+        max_degree in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = RngFactory::new(seed).stream("topology");
+        let topo = Topology::random_tree(n, max_degree, &mut rng);
+        prop_assert_eq!(topo.len(), n);
+        prop_assert!(topo.is_tree());
+        prop_assert!(topo.nodes().all(|v| topo.degree(v) <= max_degree));
+        // Link symmetry: a link appears in both adjacency lists.
+        for link in topo.links() {
+            prop_assert!(topo.neighbors(link.a()).contains(&link.b()));
+            prop_assert!(topo.neighbors(link.b()).contains(&link.a()));
+        }
+    }
+
+    /// Tree paths are unique, adjacent hop by hop, and symmetric.
+    #[test]
+    fn tree_paths_are_simple_and_symmetric(
+        n in 2usize..150,
+        seed in any::<u64>(),
+        a_raw in any::<u32>(),
+        b_raw in any::<u32>(),
+    ) {
+        let mut rng = RngFactory::new(seed).stream("topology");
+        let topo = Topology::random_tree(n, 4, &mut rng);
+        let a = NodeId::new(a_raw % n as u32);
+        let b = NodeId::new(b_raw % n as u32);
+        let path = topo.path(a, b).expect("trees are connected");
+        prop_assert_eq!(*path.first().unwrap(), a);
+        prop_assert_eq!(*path.last().unwrap(), b);
+        for w in path.windows(2) {
+            prop_assert!(topo.has_link(w[0], w[1]));
+        }
+        // No repeated nodes (simple path).
+        let mut dedup = path.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), path.len());
+        // Symmetry.
+        let mut reverse = topo.path(b, a).unwrap();
+        reverse.reverse();
+        prop_assert_eq!(reverse, path);
+    }
+
+    /// A long storm of single reconfigurations always leaves a valid
+    /// tree behind.
+    #[test]
+    fn reconfiguration_storm_preserves_the_tree(
+        n in 2usize..100,
+        steps in 0usize..60,
+        seed in any::<u64>(),
+    ) {
+        let factory = RngFactory::new(seed);
+        let mut topo = Topology::random_tree(n, 4, &mut factory.stream("topology"));
+        let mut rng = factory.stream("reconfig");
+        for _ in 0..steps {
+            if let Some(plan) = plan_reconfiguration(&topo, &mut rng) {
+                topo.remove_link(plan.broken).unwrap();
+                topo.add_link(plan.replacement.0, plan.replacement.1).unwrap();
+            }
+        }
+        prop_assert!(topo.is_tree());
+    }
+
+    /// Overlapping breaks followed by as many reconnections always
+    /// converge back to a tree.
+    #[test]
+    fn reconnections_heal_any_fragmentation(
+        n in 3usize..80,
+        breaks in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let factory = RngFactory::new(seed);
+        let mut topo = Topology::random_tree(n, 4, &mut factory.stream("topology"));
+        let mut rng = factory.stream("reconfig");
+        let mut broken = 0;
+        for _ in 0..breaks {
+            let Some(link) = topo.links().next() else { break };
+            topo.remove_link(link).unwrap();
+            broken += 1;
+        }
+        for _ in 0..broken {
+            if let Some((x, y)) = plan_reconnection(&topo, &mut rng) {
+                topo.add_link(x, y).unwrap();
+            }
+        }
+        prop_assert!(topo.is_tree());
+    }
+
+    /// Link transmissions never violate causality, and back-to-back
+    /// sends in one direction arrive in FIFO order.
+    #[test]
+    fn link_arrivals_are_causal_and_fifo(
+        sizes in prop::collection::vec(1u64..100_000, 1..50),
+        start_ns in 0u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let spec = LinkSpec::ethernet_10mbps(0.0);
+        let mut table = LinkTable::new();
+        let mut rng = RngFactory::new(seed).stream("loss");
+        let now = SimTime::from_nanos(start_ns);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mut last_arrival = SimTime::ZERO;
+        for &bits in &sizes {
+            let t = table
+                .transmit(&spec, a, b, bits, now, &mut rng)
+                .arrival()
+                .expect("lossless link");
+            prop_assert!(t >= now + spec.propagation);
+            prop_assert!(t >= last_arrival, "FIFO violated");
+            last_arrival = t;
+        }
+        prop_assert_eq!(table.transmitted(), sizes.len() as u64);
+        prop_assert_eq!(table.lost(), 0);
+    }
+
+    /// Serialization delay is additive in message size.
+    #[test]
+    fn serialization_is_additive(x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        let spec = LinkSpec::ethernet_10mbps(0.0);
+        let dx = spec.serialization_delay(x);
+        let dy = spec.serialization_delay(y);
+        let dxy = spec.serialization_delay(x + y);
+        // Integer division may round each part down by < 1 ns.
+        let sum = dx + dy;
+        prop_assert!(dxy >= sum);
+        prop_assert!(dxy.as_nanos() - sum.as_nanos() <= 2);
+    }
+}

@@ -1,0 +1,571 @@
+//! The bounded event cache each dispatcher keeps to satisfy
+//! retransmission requests.
+//!
+//! The paper's evaluation uses "a simple FIFO buffering strategy where
+//! each dispatcher caches only events for which it is either the
+//! publisher or a subscriber" (Section IV-A), and flags buffer
+//! optimization (their reference \[13\], Ozkasap et al.) as ongoing
+//! work. This module implements the paper's FIFO policy plus two
+//! alternatives for that investigation, selectable via
+//! [`EvictionPolicy`]:
+//!
+//! - [`EvictionPolicy::Fifo`] — the paper's policy: evict oldest.
+//! - [`EvictionPolicy::Random`] — evict a uniformly random entry; the
+//!   classic low-state approximation used in epidemic-buffering work.
+//! - [`EvictionPolicy::SourceBiased`] — reserve a share of the buffer
+//!   for self-published events, which only the publisher can serve to
+//!   publisher-bound gossip; received events compete for the rest.
+
+use std::collections::{HashMap, VecDeque};
+
+use eps_overlay::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{Event, EventId};
+use crate::pattern::PatternId;
+
+/// Which cached event to sacrifice when the buffer is full.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EvictionPolicy {
+    /// Evict the oldest entry (the paper's policy).
+    #[default]
+    Fifo,
+    /// Evict a uniformly random entry; deterministic per seed.
+    Random {
+        /// Seed for the eviction choices.
+        seed: u64,
+    },
+    /// Keep self-published events in a protected sub-queue sized
+    /// `own_permille`/1000 of the capacity; within each class,
+    /// eviction is FIFO. Only the publisher can answer
+    /// publisher-bound gossip, so its own events are worth more
+    /// buffer-seconds than a copy some other subscriber also holds.
+    SourceBiased {
+        /// Share of the capacity reserved for own events, in ‰.
+        own_permille: u16,
+    },
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictionPolicy::Fifo => write!(f, "fifo"),
+            EvictionPolicy::Random { .. } => write!(f, "random"),
+            EvictionPolicy::SourceBiased { own_permille } => {
+                write!(f, "source-biased({own_permille}permille)")
+            }
+        }
+    }
+}
+
+enum PolicyState {
+    Fifo {
+        order: VecDeque<EventId>,
+    },
+    Random {
+        live: Vec<EventId>,
+        pos: HashMap<EventId, usize>,
+        rng: SmallRng,
+    },
+    SourceBiased {
+        own: VecDeque<EventId>,
+        other: VecDeque<EventId>,
+        own_cap: usize,
+    },
+}
+
+impl PolicyState {
+    fn new(policy: EvictionPolicy, capacity: usize) -> Self {
+        match policy {
+            EvictionPolicy::Fifo => PolicyState::Fifo {
+                order: VecDeque::new(),
+            },
+            EvictionPolicy::Random { seed } => PolicyState::Random {
+                live: Vec::new(),
+                pos: HashMap::new(),
+                rng: SmallRng::seed_from_u64(seed),
+            },
+            EvictionPolicy::SourceBiased { own_permille } => {
+                assert!(
+                    own_permille <= 1000,
+                    "own_permille is a fraction of 1000, got {own_permille}"
+                );
+                PolicyState::SourceBiased {
+                    own: VecDeque::new(),
+                    other: VecDeque::new(),
+                    own_cap: capacity * own_permille as usize / 1000,
+                }
+            }
+        }
+    }
+
+    fn note_insert(&mut self, id: EventId, is_own: bool) {
+        match self {
+            PolicyState::Fifo { order } => order.push_back(id),
+            PolicyState::Random { live, pos, .. } => {
+                pos.insert(id, live.len());
+                live.push(id);
+            }
+            PolicyState::SourceBiased { own, other, .. } => {
+                if is_own {
+                    own.push_back(id);
+                } else {
+                    other.push_back(id);
+                }
+            }
+        }
+    }
+
+    /// Picks and removes the eviction victim. Must only be called on a
+    /// non-empty cache.
+    fn pick_victim(&mut self) -> EventId {
+        match self {
+            PolicyState::Fifo { order } => {
+                order.pop_front().expect("full cache has a FIFO head")
+            }
+            PolicyState::Random { live, pos, rng } => {
+                let idx = rng.random_range(0..live.len());
+                let id = live.swap_remove(idx);
+                pos.remove(&id);
+                if let Some(&moved) = live.get(idx) {
+                    pos.insert(moved, idx);
+                }
+                id
+            }
+            PolicyState::SourceBiased { own, other, own_cap } => {
+                // Evict from whichever class is over its share; the
+                // protected class only pays when it alone is over.
+                if own.len() > *own_cap || other.is_empty() {
+                    own.pop_front().expect("some class must be non-empty")
+                } else {
+                    other.pop_front().expect("checked non-empty")
+                }
+            }
+        }
+    }
+}
+
+/// A bounded cache of β events with constant-time lookup by event id
+/// and by (source, pattern, per-pattern sequence number).
+///
+/// # Examples
+///
+/// ```
+/// use eps_pubsub::{Event, EventCache, EventId, PatternId};
+/// use eps_overlay::NodeId;
+///
+/// let mut cache = EventCache::new(2);
+/// for seq in 0..3 {
+///     let id = EventId::new(NodeId::new(0), seq);
+///     cache.insert(Event::new(id, vec![(PatternId::new(1), seq)]));
+/// }
+/// // Capacity 2, FIFO: the oldest event was evicted.
+/// assert!(cache.get(EventId::new(NodeId::new(0), 0)).is_none());
+/// assert!(cache.get(EventId::new(NodeId::new(0), 2)).is_some());
+/// ```
+pub struct EventCache {
+    capacity: usize,
+    owner: Option<NodeId>,
+    policy: PolicyState,
+    // Insertion order for iteration; may contain evicted ids, which
+    // are skipped and compacted away amortized.
+    insertion: VecDeque<EventId>,
+    events: HashMap<EventId, Event>,
+    by_pattern_seq: HashMap<(NodeId, PatternId, u64), EventId>,
+    inserted_total: u64,
+    evicted_total: u64,
+}
+
+impl std::fmt::Debug for EventCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.events.len())
+            .field("inserted_total", &self.inserted_total)
+            .field("evicted_total", &self.evicted_total)
+            .finish()
+    }
+}
+
+impl Clone for EventCache {
+    fn clone(&self) -> Self {
+        // Policies with internal RNG state clone structurally.
+        let policy = match &self.policy {
+            PolicyState::Fifo { order } => PolicyState::Fifo {
+                order: order.clone(),
+            },
+            PolicyState::Random { live, pos, rng } => PolicyState::Random {
+                live: live.clone(),
+                pos: pos.clone(),
+                rng: rng.clone(),
+            },
+            PolicyState::SourceBiased { own, other, own_cap } => PolicyState::SourceBiased {
+                own: own.clone(),
+                other: other.clone(),
+                own_cap: *own_cap,
+            },
+        };
+        EventCache {
+            capacity: self.capacity,
+            owner: self.owner,
+            policy,
+            insertion: self.insertion.clone(),
+            events: self.events.clone(),
+            by_pattern_seq: self.by_pattern_seq.clone(),
+            inserted_total: self.inserted_total,
+            evicted_total: self.evicted_total,
+        }
+    }
+}
+
+impl EventCache {
+    /// Creates a FIFO cache holding at most `capacity` events (β). A
+    /// zero capacity caches nothing — useful for failure injection.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::Fifo, None)
+    }
+
+    /// Creates a cache with an explicit eviction policy. `owner` is
+    /// the dispatcher holding the cache; it is required by
+    /// [`EvictionPolicy::SourceBiased`] to classify events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source-biased policy is configured without an
+    /// owner, or with a share above 1000 ‰.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy, owner: Option<NodeId>) -> Self {
+        if matches!(policy, EvictionPolicy::SourceBiased { .. }) {
+            assert!(
+                owner.is_some(),
+                "a source-biased cache must know its owner"
+            );
+        }
+        EventCache {
+            capacity,
+            owner,
+            policy: PolicyState::new(policy, capacity),
+            insertion: VecDeque::new(),
+            events: HashMap::new(),
+            by_pattern_seq: HashMap::new(),
+            inserted_total: 0,
+            evicted_total: 0,
+        }
+    }
+
+    /// The configured capacity (β).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently cached.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total insertions ever performed.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted_total
+    }
+
+    /// Total evictions ever performed.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total
+    }
+
+    /// Inserts an event, evicting per policy if full. Re-inserting an
+    /// already-cached event is a no-op (the buffer is not an LRU: a
+    /// duplicate arrival does not extend an event's life).
+    pub fn insert(&mut self, event: Event) {
+        if self.capacity == 0 || self.events.contains_key(&event.id()) {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            let victim = self.policy.pick_victim();
+            self.forget(victim);
+            self.evicted_total += 1;
+        }
+        let id = event.id();
+        for &(p, seq) in event.pattern_seqs() {
+            self.by_pattern_seq.insert((id.source(), p, seq), id);
+        }
+        let is_own = self.owner == Some(id.source());
+        self.policy.note_insert(id, is_own);
+        self.insertion.push_back(id);
+        self.events.insert(id, event);
+        self.inserted_total += 1;
+        self.compact();
+    }
+
+    /// Drops stale iteration entries once they dominate, keeping
+    /// iteration amortized O(live).
+    fn compact(&mut self) {
+        if self.insertion.len() > 2 * self.events.len().max(16) {
+            self.insertion
+                .retain(|id| self.events.contains_key(id));
+        }
+    }
+
+    fn forget(&mut self, id: EventId) {
+        if let Some(event) = self.events.remove(&id) {
+            for &(p, seq) in event.pattern_seqs() {
+                self.by_pattern_seq.remove(&(id.source(), p, seq));
+            }
+        }
+    }
+
+    /// Looks up an event by id.
+    pub fn get(&self, id: EventId) -> Option<&Event> {
+        self.events.get(&id)
+    }
+
+    /// `true` if the event is cached.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.events.contains_key(&id)
+    }
+
+    /// Looks up an event by its (source, pattern, per-pattern
+    /// sequence) coordinates — the identification used by the pull
+    /// algorithms' negative digests.
+    pub fn get_by_pattern_seq(
+        &self,
+        source: NodeId,
+        pattern: PatternId,
+        seq: u64,
+    ) -> Option<&Event> {
+        self.by_pattern_seq
+            .get(&(source, pattern, seq))
+            .and_then(|id| self.events.get(id))
+    }
+
+    /// Ids of all cached events matching `pattern`, in insertion order
+    /// — the positive digest content of the push algorithm.
+    pub fn ids_matching(&self, pattern: PatternId) -> Vec<EventId> {
+        self.insertion
+            .iter()
+            .filter(|id| {
+                self.events
+                    .get(id)
+                    .is_some_and(|e| e.matches(pattern))
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Iterates over cached events in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.insertion.iter().filter_map(|id| self.events.get(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(source: u32, seq: u64, patterns: &[(u16, u64)]) -> Event {
+        Event::new(
+            EventId::new(NodeId::new(source), seq),
+            patterns
+                .iter()
+                .map(|&(p, s)| (PatternId::new(p), s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut c = EventCache::new(3);
+        for seq in 0..5 {
+            c.insert(ev(0, seq, &[(1, seq)]));
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evicted_total(), 2);
+        assert!(!c.contains(EventId::new(NodeId::new(0), 0)));
+        assert!(!c.contains(EventId::new(NodeId::new(0), 1)));
+        assert!(c.contains(EventId::new(NodeId::new(0), 2)));
+        assert!(c.contains(EventId::new(NodeId::new(0), 4)));
+    }
+
+    #[test]
+    fn reinsert_does_not_refresh_position() {
+        let mut c = EventCache::new(2);
+        c.insert(ev(0, 0, &[(1, 0)]));
+        c.insert(ev(0, 1, &[(1, 1)]));
+        c.insert(ev(0, 0, &[(1, 0)])); // no-op
+        c.insert(ev(0, 2, &[(1, 2)])); // evicts seq 0
+        assert!(!c.contains(EventId::new(NodeId::new(0), 0)));
+        assert!(c.contains(EventId::new(NodeId::new(0), 1)));
+    }
+
+    #[test]
+    fn pattern_seq_index_tracks_eviction() {
+        let mut c = EventCache::new(1);
+        c.insert(ev(3, 0, &[(7, 42)]));
+        assert!(c
+            .get_by_pattern_seq(NodeId::new(3), PatternId::new(7), 42)
+            .is_some());
+        c.insert(ev(3, 1, &[(7, 43)]));
+        assert!(c
+            .get_by_pattern_seq(NodeId::new(3), PatternId::new(7), 42)
+            .is_none());
+        assert!(c
+            .get_by_pattern_seq(NodeId::new(3), PatternId::new(7), 43)
+            .is_some());
+    }
+
+    #[test]
+    fn ids_matching_filters_by_pattern() {
+        let mut c = EventCache::new(10);
+        c.insert(ev(0, 0, &[(1, 0)]));
+        c.insert(ev(0, 1, &[(2, 0)]));
+        c.insert(ev(0, 2, &[(1, 1), (2, 1)]));
+        let ids = c.ids_matching(PatternId::new(1));
+        assert_eq!(
+            ids,
+            vec![
+                EventId::new(NodeId::new(0), 0),
+                EventId::new(NodeId::new(0), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = EventCache::new(0);
+        c.insert(ev(0, 0, &[(1, 0)]));
+        assert!(c.is_empty());
+        assert_eq!(c.inserted_total(), 0);
+    }
+
+    #[test]
+    fn never_exceeds_capacity_under_any_policy() {
+        for policy in [
+            EvictionPolicy::Fifo,
+            EvictionPolicy::Random { seed: 7 },
+            EvictionPolicy::SourceBiased { own_permille: 300 },
+        ] {
+            let mut c = EventCache::with_policy(7, policy, Some(NodeId::new(0)));
+            for seq in 0..100 {
+                c.insert(ev((seq % 3) as u32, seq, &[(1, seq)]));
+                assert!(c.len() <= 7, "{policy} exceeded capacity");
+            }
+            assert_eq!(c.inserted_total(), 100, "{policy}");
+            assert_eq!(c.evicted_total(), 93, "{policy}");
+        }
+    }
+
+    #[test]
+    fn iter_is_insertion_order() {
+        let mut c = EventCache::new(3);
+        for seq in 0..3 {
+            c.insert(ev(0, seq, &[(1, seq)]));
+        }
+        let seqs: Vec<u64> = c.iter().map(|e| e.id().seq()).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn random_eviction_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut c =
+                EventCache::with_policy(5, EvictionPolicy::Random { seed }, None);
+            for seq in 0..50 {
+                c.insert(ev(0, seq, &[(1, seq)]));
+            }
+            let mut kept: Vec<u64> = c.iter().map(|e| e.id().seq()).collect();
+            kept.sort_unstable();
+            kept
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn random_eviction_spreads_over_ages() {
+        let mut c = EventCache::with_policy(50, EvictionPolicy::Random { seed: 3 }, None);
+        for seq in 0..500 {
+            c.insert(ev(0, seq, &[(1, seq)]));
+        }
+        // Unlike FIFO, some old events should survive.
+        let oldest_kept = c.iter().map(|e| e.id().seq()).min().unwrap();
+        assert!(oldest_kept < 450, "oldest kept: {oldest_kept}");
+    }
+
+    #[test]
+    fn source_biased_protects_own_events() {
+        let owner = NodeId::new(9);
+        let mut c = EventCache::with_policy(
+            10,
+            EvictionPolicy::SourceBiased { own_permille: 500 },
+            Some(owner),
+        );
+        // 5 own events, then a flood of foreign ones.
+        for seq in 0..5 {
+            c.insert(ev(9, seq, &[(1, seq)]));
+        }
+        for seq in 0..100 {
+            c.insert(ev(0, seq, &[(2, seq)]));
+        }
+        // The own events (within the 50% share) all survive.
+        for seq in 0..5 {
+            assert!(c.contains(EventId::new(owner, seq)), "own event {seq} evicted");
+        }
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn source_biased_own_overflow_evicts_own() {
+        let owner = NodeId::new(9);
+        let mut c = EventCache::with_policy(
+            10,
+            EvictionPolicy::SourceBiased { own_permille: 200 },
+            Some(owner),
+        );
+        for seq in 0..10 {
+            c.insert(ev(0, seq, &[(1, seq)]));
+        }
+        // Own events beyond the 20% share displace older own events
+        // once the cache is full.
+        for seq in 0..5 {
+            c.insert(ev(9, seq, &[(2, seq)]));
+        }
+        assert_eq!(c.len(), 10);
+        let own_count = c.iter().filter(|e| e.source() == owner).count();
+        assert!(own_count >= 2, "own events: {own_count}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn source_biased_without_owner_panics() {
+        let _ = EventCache::with_policy(
+            10,
+            EvictionPolicy::SourceBiased { own_permille: 500 },
+            None,
+        );
+    }
+
+    #[test]
+    fn compaction_keeps_iteration_correct() {
+        let mut c = EventCache::with_policy(4, EvictionPolicy::Random { seed: 1 }, None);
+        for seq in 0..1000 {
+            c.insert(ev(0, seq, &[(1, seq)]));
+        }
+        let live: Vec<EventId> = c.iter().map(|e| e.id()).collect();
+        assert_eq!(live.len(), 4);
+        assert!(live.iter().all(|&id| c.contains(id)));
+    }
+
+    #[test]
+    fn policy_display_names() {
+        assert_eq!(EvictionPolicy::Fifo.to_string(), "fifo");
+        assert_eq!(EvictionPolicy::Random { seed: 1 }.to_string(), "random");
+        assert!(EvictionPolicy::SourceBiased { own_permille: 250 }
+            .to_string()
+            .starts_with("source-biased"));
+    }
+}

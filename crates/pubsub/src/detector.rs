@@ -1,0 +1,236 @@
+//! Sequence-gap loss detection for the pull algorithms.
+//!
+//! Each event identifier carries, for every pattern it matches, a
+//! sequence number incremented at the source per (source, pattern)
+//! stream. A dispatcher subscribed to pattern `p` therefore receives —
+//! in a loss-free world — the seq numbers `0, 1, 2, …` for every
+//! (source, p) stream; a jump reveals exactly which events were lost
+//! (paper, Section III-B).
+
+use std::collections::HashMap;
+
+use eps_overlay::NodeId;
+
+use crate::event::Event;
+use crate::pattern::PatternId;
+
+/// Coordinates of one detected missing event: enough information to
+/// request it from any dispatcher that may have cached it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LossRecord {
+    /// Publisher of the missing event.
+    pub source: NodeId,
+    /// The pattern stream in which the gap was observed.
+    pub pattern: PatternId,
+    /// The missing per-(source, pattern) sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for LossRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}@{}", self.source, self.pattern, self.seq)
+    }
+}
+
+/// Tracks the next expected per-(source, pattern) sequence number and
+/// reports gaps.
+///
+/// # Examples
+///
+/// ```
+/// use eps_pubsub::{Event, EventId, LossDetector, PatternId};
+/// use eps_overlay::NodeId;
+///
+/// let mut det = LossDetector::new();
+/// let src = NodeId::new(0);
+/// let p = PatternId::new(1);
+/// // First event for (src, p) arrives with seq 2: seqs 0 and 1 were lost.
+/// let e = Event::new(EventId::new(src, 10), vec![(p, 2)]);
+/// let losses = det.observe(&e, |q| q == p);
+/// assert_eq!(losses.len(), 2);
+/// assert_eq!(losses[0].seq, 0);
+/// assert_eq!(losses[1].seq, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LossDetector {
+    expected: HashMap<(NodeId, PatternId), u64>,
+    detected_total: u64,
+}
+
+impl LossDetector {
+    /// Creates a detector with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes a received event. `is_relevant` says which patterns
+    /// this dispatcher tracks — only patterns it is locally subscribed
+    /// to, since those are the only streams it is guaranteed to see in
+    /// full. Returns the newly detected losses, oldest first.
+    ///
+    /// Events arriving late (sequence below the expected value, e.g.
+    /// recovered duplicates) produce no detections and do not regress
+    /// the expectation.
+    pub fn observe<F: Fn(PatternId) -> bool>(
+        &mut self,
+        event: &Event,
+        is_relevant: F,
+    ) -> Vec<LossRecord> {
+        self.observe_with(event, is_relevant, |_| false)
+    }
+
+    /// Like [`LossDetector::observe`], but streams of a pattern for
+    /// which `is_late` returns `true` are *baselined* on their first
+    /// observation: the expectation starts at the observed sequence
+    /// number instead of zero, reporting no losses. This is the
+    /// correct semantics for subscriptions issued mid-run — the new
+    /// subscriber never received (and was never owed) the stream's
+    /// history.
+    pub fn observe_with<F: Fn(PatternId) -> bool, L: Fn(PatternId) -> bool>(
+        &mut self,
+        event: &Event,
+        is_relevant: F,
+        is_late: L,
+    ) -> Vec<LossRecord> {
+        let mut losses = Vec::new();
+        let source = event.source();
+        for &(pattern, seq) in event.pattern_seqs() {
+            if !is_relevant(pattern) {
+                continue;
+            }
+            match self.expected.entry((source, pattern)) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    if is_late(pattern) {
+                        slot.insert(seq + 1);
+                        continue;
+                    }
+                    let slot = slot.insert(0);
+                    for missing in 0..seq {
+                        losses.push(LossRecord {
+                            source,
+                            pattern,
+                            seq: missing,
+                        });
+                    }
+                    *slot = seq + 1;
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let expected = slot.get_mut();
+                    if seq >= *expected {
+                        for missing in *expected..seq {
+                            losses.push(LossRecord {
+                                source,
+                                pattern,
+                                seq: missing,
+                            });
+                        }
+                        *expected = seq + 1;
+                    }
+                }
+            }
+        }
+        self.detected_total += losses.len() as u64;
+        losses
+    }
+
+    /// Drops all expectations for `pattern` (all sources). Called when
+    /// a local subscription is cancelled so that a later
+    /// re-subscription does not inherit stale expectations and report
+    /// the unsubscribed gap as losses.
+    pub fn forget_pattern(&mut self, pattern: PatternId) {
+        self.expected.retain(|&(_, p), _| p != pattern);
+    }
+
+    /// The next expected sequence number for a (source, pattern)
+    /// stream; zero if nothing was ever received.
+    pub fn expected(&self, source: NodeId, pattern: PatternId) -> u64 {
+        self.expected.get(&(source, pattern)).copied().unwrap_or(0)
+    }
+
+    /// Total number of losses ever detected.
+    pub fn detected_total(&self) -> u64 {
+        self.detected_total
+    }
+
+    /// Number of (source, pattern) streams being tracked.
+    pub fn stream_count(&self) -> usize {
+        self.expected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+
+    fn ev(source: u32, id_seq: u64, patterns: &[(u16, u64)]) -> Event {
+        Event::new(
+            EventId::new(NodeId::new(source), id_seq),
+            patterns
+                .iter()
+                .map(|&(p, s)| (PatternId::new(p), s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn in_order_stream_detects_nothing() {
+        let mut det = LossDetector::new();
+        for seq in 0..10 {
+            let losses = det.observe(&ev(0, seq, &[(1, seq)]), |_| true);
+            assert!(losses.is_empty());
+        }
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(1)), 10);
+        assert_eq!(det.detected_total(), 0);
+    }
+
+    #[test]
+    fn gap_detects_each_missing_seq() {
+        let mut det = LossDetector::new();
+        det.observe(&ev(0, 0, &[(1, 0)]), |_| true);
+        let losses = det.observe(&ev(0, 4, &[(1, 4)]), |_| true);
+        let seqs: Vec<u64> = losses.iter().map(|l| l.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(det.detected_total(), 3);
+    }
+
+    #[test]
+    fn irrelevant_patterns_are_ignored() {
+        let mut det = LossDetector::new();
+        let relevant = PatternId::new(1);
+        let losses = det.observe(&ev(0, 0, &[(1, 3), (2, 5)]), |p| p == relevant);
+        assert_eq!(losses.len(), 3);
+        assert!(losses.iter().all(|l| l.pattern == relevant));
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(2)), 0);
+    }
+
+    #[test]
+    fn late_arrivals_do_not_regress() {
+        let mut det = LossDetector::new();
+        det.observe(&ev(0, 5, &[(1, 5)]), |_| true);
+        let exp = det.expected(NodeId::new(0), PatternId::new(1));
+        let losses = det.observe(&ev(0, 2, &[(1, 2)]), |_| true);
+        assert!(losses.is_empty());
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(1)), exp);
+    }
+
+    #[test]
+    fn streams_are_per_source_and_pattern() {
+        let mut det = LossDetector::new();
+        det.observe(&ev(0, 0, &[(1, 0)]), |_| true);
+        det.observe(&ev(7, 0, &[(1, 2)]), |_| true);
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(1)), 1);
+        assert_eq!(det.expected(NodeId::new(7), PatternId::new(1)), 3);
+        assert_eq!(det.stream_count(), 2);
+    }
+
+    #[test]
+    fn multi_pattern_event_advances_all_relevant_streams() {
+        let mut det = LossDetector::new();
+        let losses = det.observe(&ev(0, 0, &[(1, 1), (2, 0)]), |_| true);
+        assert_eq!(losses.len(), 1);
+        assert_eq!(losses[0].pattern, PatternId::new(1));
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(1)), 2);
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(2)), 1);
+    }
+}

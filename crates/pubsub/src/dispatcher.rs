@@ -1,0 +1,694 @@
+//! The dispatcher: a node of the content-based publish-subscribe
+//! network, implementing subscription forwarding and best-effort event
+//! routing on the tree overlay (paper, Section II).
+//!
+//! The dispatcher is *pure* protocol logic: methods take incoming
+//! messages and return the messages to send next. The simulation
+//! harness maps those onto links; the epidemic recovery algorithms
+//! (crate `eps-gossip`) plug in on top via the state accessors.
+
+use std::collections::{HashMap, HashSet};
+
+use eps_overlay::NodeId;
+
+use crate::cache::{EventCache, EvictionPolicy};
+use crate::detector::{LossDetector, LossRecord};
+use crate::event::{Event, EventId};
+use crate::pattern::PatternId;
+use crate::table::{Interface, SubscriptionTable};
+
+/// Static per-dispatcher configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatcherConfig {
+    /// Event cache capacity β.
+    pub cache_capacity: usize,
+    /// Whether publishers cache their own events even when not
+    /// subscribed (required by publisher-based pull).
+    pub cache_own_published: bool,
+    /// Whether event messages record the dispatchers they traverse
+    /// (required by publisher-based pull; costs 32 bits per hop).
+    pub record_routes: bool,
+    /// Which cached event to sacrifice when the buffer is full
+    /// (the paper uses FIFO; alternatives support its buffer-policy
+    /// investigation).
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            cache_capacity: 1500,
+            cache_own_published: false,
+            record_routes: false,
+            eviction: EvictionPolicy::Fifo,
+        }
+    }
+}
+
+/// A protocol message of the best-effort publish-subscribe layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PubSubMessage {
+    /// Propagated subscription for a pattern.
+    Subscribe(PatternId),
+    /// Propagated unsubscription for a pattern.
+    Unsubscribe(PatternId),
+    /// A published event travelling the dispatching tree.
+    Event(Event),
+}
+
+impl PubSubMessage {
+    /// Approximate wire size in bits, given the configured event
+    /// payload size. Subscription messages are small and fixed-size.
+    pub fn wire_bits(&self, event_payload_bits: u64) -> u64 {
+        match self {
+            PubSubMessage::Subscribe(_) | PubSubMessage::Unsubscribe(_) => 256,
+            PubSubMessage::Event(e) => e.wire_bits(event_payload_bits),
+        }
+    }
+}
+
+/// A message to hand to a neighbor on the overlay.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Forward {
+    /// The neighbor to send to.
+    pub to: NodeId,
+    /// What to send.
+    pub msg: PubSubMessage,
+}
+
+/// What happened when a dispatcher processed an incoming event.
+#[derive(Clone, Debug, Default)]
+pub struct EventReceipt {
+    /// The event matched a local subscription and had not been seen
+    /// before: it was delivered to local clients.
+    pub delivered: bool,
+    /// The event had already been received (through another path or a
+    /// recovery); it was neither delivered nor forwarded again.
+    pub duplicate: bool,
+    /// Losses newly detected from this event's sequence numbers.
+    pub losses: Vec<LossRecord>,
+    /// Copies to forward on the dispatching tree.
+    pub forwards: Vec<Forward>,
+}
+
+/// Per-source reverse-route knowledge harvested from route-recording
+/// events (the `Routes` buffer of publisher-based pull).
+#[derive(Clone, Debug, Default)]
+pub struct RouteBook {
+    routes: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl RouteBook {
+    /// Stores the route of the most recently received event from
+    /// `source` (path from the source to this dispatcher, inclusive).
+    pub fn record(&mut self, source: NodeId, route: Vec<NodeId>) {
+        self.routes.insert(source, route);
+    }
+
+    /// The last known route *from* `source` to this dispatcher.
+    pub fn route_from(&self, source: NodeId) -> Option<&[NodeId]> {
+        self.routes.get(&source).map(Vec::as_slice)
+    }
+
+    /// The reverse route: from this dispatcher back *towards*
+    /// `source`, excluding this dispatcher itself — the hop list a
+    /// publisher-bound gossip message must follow.
+    pub fn route_to(&self, source: NodeId) -> Option<Vec<NodeId>> {
+        self.routes.get(&source).map(|r| {
+            let mut rev: Vec<NodeId> = r.iter().rev().skip(1).copied().collect();
+            if rev.is_empty() {
+                // The source is a direct neighbor (route was [source]).
+                rev.push(source);
+            }
+            rev
+        })
+    }
+
+    /// Number of sources with known routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` if no routes are known.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// A content-based publish-subscribe dispatcher.
+///
+/// # Examples
+///
+/// Two dispatchers, a subscription, and a published event:
+///
+/// ```
+/// use eps_pubsub::{Dispatcher, DispatcherConfig, PatternId, PubSubMessage};
+/// use eps_overlay::NodeId;
+///
+/// let (a, b) = (NodeId::new(0), NodeId::new(1));
+/// let mut d0 = Dispatcher::new(a, DispatcherConfig::default());
+/// let mut d1 = Dispatcher::new(b, DispatcherConfig::default());
+///
+/// // d1 subscribes to pattern 5 and propagates towards d0.
+/// let p = PatternId::new(5);
+/// let out = d1.subscribe_local(p, &[a]);
+/// assert_eq!(out.len(), 1);
+/// d0.on_subscribe(p, b, &[b]);
+///
+/// // d0 publishes an event matching pattern 5: it is routed to d1.
+/// let (event, _) = d0.publish(vec![p]);
+/// let receipt = d1.on_event(event, Some(a));
+/// assert!(receipt.delivered);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dispatcher {
+    id: NodeId,
+    config: DispatcherConfig,
+    table: SubscriptionTable,
+    cache: EventCache,
+    detector: LossDetector,
+    routes: RouteBook,
+    seen: HashSet<EventId>,
+    next_event_seq: u64,
+    pattern_counters: HashMap<PatternId, u64>,
+    subs_sent: HashSet<(PatternId, NodeId)>,
+    late_patterns: HashSet<PatternId>,
+    delivered_total: u64,
+    published_total: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with empty state.
+    pub fn new(id: NodeId, config: DispatcherConfig) -> Self {
+        Dispatcher {
+            id,
+            config,
+            table: SubscriptionTable::new(),
+            cache: EventCache::with_policy(config.cache_capacity, config.eviction, Some(id)),
+            detector: LossDetector::new(),
+            routes: RouteBook::default(),
+            seen: HashSet::new(),
+            next_event_seq: 0,
+            pattern_counters: HashMap::new(),
+            subs_sent: HashSet::new(),
+            late_patterns: HashSet::new(),
+            delivered_total: 0,
+            published_total: 0,
+        }
+    }
+
+    /// This dispatcher's overlay node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The dispatcher's configuration.
+    pub fn config(&self) -> &DispatcherConfig {
+        &self.config
+    }
+
+    /// The subscription table.
+    pub fn table(&self) -> &SubscriptionTable {
+        &self.table
+    }
+
+    /// The event cache.
+    pub fn cache(&self) -> &EventCache {
+        &self.cache
+    }
+
+    /// Mutable access to the event cache (recovery inserts events).
+    pub fn cache_mut(&mut self) -> &mut EventCache {
+        &mut self.cache
+    }
+
+    /// The loss detector.
+    pub fn detector(&self) -> &LossDetector {
+        &self.detector
+    }
+
+    /// Routes harvested from received events (publisher-based pull).
+    pub fn routes(&self) -> &RouteBook {
+        &self.routes
+    }
+
+    /// `true` if the event id has been received or published here.
+    pub fn has_seen(&self, id: EventId) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Total events delivered to local clients.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Total events published by this dispatcher.
+    pub fn published_total(&self) -> u64 {
+        self.published_total
+    }
+
+    // ------------------------------------------------------------------
+    // Subscription forwarding (Section II).
+    // ------------------------------------------------------------------
+
+    /// A local client subscribes to `pattern`; returns the subscription
+    /// messages to propagate to `neighbors`.
+    pub fn subscribe_local(&mut self, pattern: PatternId, neighbors: &[NodeId]) -> Vec<Forward> {
+        self.table.insert(pattern, Interface::Local);
+        self.propagate_subscription(pattern, None, neighbors)
+    }
+
+    /// A local client subscribes to `pattern` *mid-run* (subscription
+    /// churn). Unlike [`Dispatcher::subscribe_local`], loss detection
+    /// for this pattern's streams starts from the first event actually
+    /// received: the subscriber is not owed the streams' history, and
+    /// any stale expectations from an earlier subscription are
+    /// dropped.
+    pub fn subscribe_local_late(
+        &mut self,
+        pattern: PatternId,
+        neighbors: &[NodeId],
+    ) -> Vec<Forward> {
+        self.detector.forget_pattern(pattern);
+        self.late_patterns.insert(pattern);
+        self.subscribe_local(pattern, neighbors)
+    }
+
+    /// Handles a subscription propagated by neighbor `from`.
+    pub fn on_subscribe(
+        &mut self,
+        pattern: PatternId,
+        from: NodeId,
+        neighbors: &[NodeId],
+    ) -> Vec<Forward> {
+        self.table.insert(pattern, Interface::Neighbor(from));
+        self.propagate_subscription(pattern, Some(from), neighbors)
+    }
+
+    /// Forwards a subscription to every neighbor that has not yet been
+    /// told about this pattern (the paper's "avoid subscription
+    /// forwarding of the same event pattern in the same direction").
+    fn propagate_subscription(
+        &mut self,
+        pattern: PatternId,
+        from: Option<NodeId>,
+        neighbors: &[NodeId],
+    ) -> Vec<Forward> {
+        neighbors
+            .iter()
+            .filter(|&&n| Some(n) != from)
+            .filter(|&&n| self.subs_sent.insert((pattern, n)))
+            .map(|&n| Forward {
+                to: n,
+                msg: PubSubMessage::Subscribe(pattern),
+            })
+            .collect()
+    }
+
+    /// A local client unsubscribes from `pattern`.
+    pub fn unsubscribe_local(&mut self, pattern: PatternId, neighbors: &[NodeId]) -> Vec<Forward> {
+        self.table.remove(pattern, Interface::Local);
+        self.propagate_unsubscription(pattern, None, neighbors)
+    }
+
+    /// Handles an unsubscription propagated by neighbor `from`.
+    pub fn on_unsubscribe(
+        &mut self,
+        pattern: PatternId,
+        from: NodeId,
+        neighbors: &[NodeId],
+    ) -> Vec<Forward> {
+        self.table.remove(pattern, Interface::Neighbor(from));
+        self.propagate_unsubscription(pattern, Some(from), neighbors)
+    }
+
+    /// After removing an entry, tells each neighbor that no longer has
+    /// any reason to route `pattern` events this way.
+    fn propagate_unsubscription(
+        &mut self,
+        pattern: PatternId,
+        from: Option<NodeId>,
+        neighbors: &[NodeId],
+    ) -> Vec<Forward> {
+        let mut out = Vec::new();
+        for &n in neighbors.iter().filter(|&&n| Some(n) != from) {
+            if !self.subs_sent.contains(&(pattern, n)) {
+                continue;
+            }
+            // Still needed if any interface other than `n` subscribes.
+            let still_needed = self.table.has_local(pattern)
+                || !self
+                    .table
+                    .neighbors_for(pattern, Some(n))
+                    .is_empty();
+            if !still_needed {
+                self.subs_sent.remove(&(pattern, n));
+                out.push(Forward {
+                    to: n,
+                    msg: PubSubMessage::Unsubscribe(pattern),
+                });
+            }
+        }
+        out
+    }
+
+    /// Clears all routing state learned from neighbors (subscription
+    /// entries and forwarding memory), keeping local subscriptions,
+    /// caches, and loss-detection state. Used when the overlay is
+    /// reconfigured and subscription routes must be rebuilt.
+    pub fn reset_routing_state(&mut self) {
+        let locals: Vec<PatternId> = self.table.local_patterns().collect();
+        self.table = SubscriptionTable::new();
+        for p in locals {
+            self.table.insert(p, Interface::Local);
+        }
+        self.subs_sent.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Event publication and routing.
+    // ------------------------------------------------------------------
+
+    /// Publishes a new event with the given content. Returns the event
+    /// (for metrics bookkeeping) and the copies to forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content` is empty, unsorted, or has duplicates
+    /// (produce it with [`crate::PatternSpace::random_content`]).
+    pub fn publish(&mut self, content: Vec<PatternId>) -> (Event, EventReceipt) {
+        let pattern_seqs: Vec<(PatternId, u64)> = content
+            .into_iter()
+            .map(|p| {
+                let counter = self.pattern_counters.entry(p).or_insert(0);
+                let seq = *counter;
+                *counter += 1;
+                (p, seq)
+            })
+            .collect();
+        let id = EventId::new(self.id, self.next_event_seq);
+        self.next_event_seq += 1;
+        self.published_total += 1;
+        let event = Event::new(id, pattern_seqs);
+        self.seen.insert(id);
+        // The source sees its own event: advance loss detection for
+        // locally subscribed patterns so the source never "detects"
+        // its own publications as lost.
+        let table = &self.table;
+        let late = &self.late_patterns;
+        self.detector
+            .observe_with(&event, |p| table.has_local(p), |p| late.contains(&p));
+        let delivered = self.table.matches_locally(&event);
+        if delivered {
+            self.delivered_total += 1;
+        }
+        if delivered || self.config.cache_own_published {
+            self.cache.insert(event.clone());
+        }
+        let forwards = self.forwards_for(&event, None);
+        let receipt = EventReceipt {
+            delivered,
+            duplicate: false,
+            losses: Vec::new(),
+            forwards,
+        };
+        (event, receipt)
+    }
+
+    /// Handles an event arriving from neighbor `from` on the
+    /// dispatching tree.
+    pub fn on_event(&mut self, mut event: Event, from: Option<NodeId>) -> EventReceipt {
+        if self.config.record_routes {
+            event.record_hop(self.id);
+            self.routes.record(event.source(), event.route().to_vec());
+        }
+        if !self.seen.insert(event.id()) {
+            return EventReceipt {
+                duplicate: true,
+                ..EventReceipt::default()
+            };
+        }
+        let table = &self.table;
+        let late = &self.late_patterns;
+        let losses =
+            self.detector
+                .observe_with(&event, |p| table.has_local(p), |p| late.contains(&p));
+        let delivered = self.table.matches_locally(&event);
+        if delivered {
+            self.delivered_total += 1;
+            self.cache.insert(event.clone());
+        }
+        let forwards = self.forwards_for(&event, from);
+        EventReceipt {
+            delivered,
+            duplicate: false,
+            losses,
+            forwards,
+        }
+    }
+
+    /// Handles an event recovered through the out-of-band channel (a
+    /// gossip reply). Recovered events are delivered and cached but not
+    /// re-forwarded on the tree — downstream dispatchers run their own
+    /// recovery.
+    pub fn on_recovered_event(&mut self, event: Event) -> EventReceipt {
+        if !self.seen.insert(event.id()) {
+            return EventReceipt {
+                duplicate: true,
+                ..EventReceipt::default()
+            };
+        }
+        let table = &self.table;
+        let late = &self.late_patterns;
+        let losses =
+            self.detector
+                .observe_with(&event, |p| table.has_local(p), |p| late.contains(&p));
+        let delivered = self.table.matches_locally(&event);
+        if delivered {
+            self.delivered_total += 1;
+            self.cache.insert(event.clone());
+        }
+        EventReceipt {
+            delivered,
+            duplicate: false,
+            losses,
+            forwards: Vec::new(),
+        }
+    }
+
+    fn forwards_for(&self, event: &Event, from: Option<NodeId>) -> Vec<Forward> {
+        self.table
+            .matching_neighbors(event, from)
+            .into_iter()
+            .map(|n| Forward {
+                to: n,
+                msg: PubSubMessage::Event(event.clone()),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DispatcherConfig {
+        DispatcherConfig::default()
+    }
+
+    #[test]
+    fn subscribe_propagates_once_per_neighbor() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let p = PatternId::new(1);
+        let nbrs = [NodeId::new(1), NodeId::new(2)];
+        let out = d.subscribe_local(p, &nbrs);
+        assert_eq!(out.len(), 2);
+        // A second subscription for the same pattern is suppressed.
+        let out = d.on_subscribe(p, NodeId::new(1), &nbrs);
+        assert!(out.is_empty(), "already forwarded everywhere: {out:?}");
+    }
+
+    #[test]
+    fn on_subscribe_excludes_sender() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let p = PatternId::new(1);
+        let nbrs = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        let out = d.on_subscribe(p, NodeId::new(2), &nbrs);
+        let targets: Vec<NodeId> = out.iter().map(|f| f.to).collect();
+        assert_eq!(targets, vec![NodeId::new(1), NodeId::new(3)]);
+        assert!(!d.table().has_local(p));
+        assert!(d.table().knows(p));
+    }
+
+    #[test]
+    fn publish_assigns_per_pattern_sequences() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let (p, q) = (PatternId::new(1), PatternId::new(2));
+        let (e1, _) = d.publish(vec![p]);
+        let (e2, _) = d.publish(vec![p, q]);
+        assert_eq!(e1.seq_for(p), Some(0));
+        assert_eq!(e2.seq_for(p), Some(1));
+        assert_eq!(e2.seq_for(q), Some(0));
+        assert_ne!(e1.id(), e2.id());
+        assert_eq!(d.published_total(), 2);
+    }
+
+    #[test]
+    fn publish_delivers_and_caches_when_locally_subscribed() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let p = PatternId::new(1);
+        d.subscribe_local(p, &[]);
+        let (e, receipt) = d.publish(vec![p]);
+        assert!(receipt.delivered);
+        assert!(d.cache().contains(e.id()));
+        assert_eq!(d.delivered_total(), 1);
+    }
+
+    #[test]
+    fn publisher_caching_is_config_gated() {
+        let p = PatternId::new(1);
+        let mut plain = Dispatcher::new(NodeId::new(0), cfg());
+        let (e, _) = plain.publish(vec![p]);
+        assert!(!plain.cache().contains(e.id()));
+
+        let mut caching = Dispatcher::new(
+            NodeId::new(0),
+            DispatcherConfig {
+                cache_own_published: true,
+                ..cfg()
+            },
+        );
+        let (e, _) = caching.publish(vec![p]);
+        assert!(caching.cache().contains(e.id()));
+    }
+
+    #[test]
+    fn events_route_along_subscription_reverse_path() {
+        // d1 learns that d2 (via neighbor 2) wants pattern 1.
+        let mut d1 = Dispatcher::new(NodeId::new(1), cfg());
+        let p = PatternId::new(1);
+        d1.on_subscribe(p, NodeId::new(2), &[NodeId::new(0), NodeId::new(2)]);
+        // An event from neighbor 0 matching p must be forwarded to 2 only.
+        let e = Event::new(EventId::new(NodeId::new(0), 0), vec![(p, 0)]);
+        let receipt = d1.on_event(e, Some(NodeId::new(0)));
+        assert!(!receipt.delivered);
+        assert_eq!(receipt.forwards.len(), 1);
+        assert_eq!(receipt.forwards[0].to, NodeId::new(2));
+    }
+
+    #[test]
+    fn duplicate_events_are_suppressed() {
+        let mut d = Dispatcher::new(NodeId::new(1), cfg());
+        let p = PatternId::new(1);
+        d.subscribe_local(p, &[]);
+        let e = Event::new(EventId::new(NodeId::new(0), 0), vec![(p, 0)]);
+        let first = d.on_event(e.clone(), Some(NodeId::new(0)));
+        let second = d.on_event(e, Some(NodeId::new(0)));
+        assert!(first.delivered && !first.duplicate);
+        assert!(second.duplicate && !second.delivered);
+        assert_eq!(d.delivered_total(), 1);
+    }
+
+    #[test]
+    fn gaps_are_detected_for_local_patterns_only() {
+        let mut d = Dispatcher::new(NodeId::new(1), cfg());
+        let p = PatternId::new(1);
+        let q = PatternId::new(2);
+        d.subscribe_local(p, &[]);
+        let e = Event::new(EventId::new(NodeId::new(0), 7), vec![(p, 2), (q, 5)]);
+        let receipt = d.on_event(e, Some(NodeId::new(0)));
+        assert_eq!(receipt.losses.len(), 2); // p seqs 0, 1
+        assert!(receipt.losses.iter().all(|l| l.pattern == p));
+    }
+
+    #[test]
+    fn route_recording_updates_route_book() {
+        let mut d = Dispatcher::new(
+            NodeId::new(5),
+            DispatcherConfig {
+                record_routes: true,
+                ..cfg()
+            },
+        );
+        let p = PatternId::new(1);
+        let mut e = Event::new(EventId::new(NodeId::new(0), 0), vec![(p, 0)]);
+        e.record_hop(NodeId::new(3));
+        d.on_event(e, Some(NodeId::new(3)));
+        assert_eq!(
+            d.routes().route_from(NodeId::new(0)),
+            Some(&[NodeId::new(0), NodeId::new(3), NodeId::new(5)][..])
+        );
+        assert_eq!(
+            d.routes().route_to(NodeId::new(0)),
+            Some(vec![NodeId::new(3), NodeId::new(0)])
+        );
+    }
+
+    #[test]
+    fn recovered_events_deliver_but_do_not_forward() {
+        let mut d = Dispatcher::new(NodeId::new(1), cfg());
+        let p = PatternId::new(1);
+        d.subscribe_local(p, &[]);
+        // Another neighbor is also subscribed: a tree event would fork.
+        d.on_subscribe(p, NodeId::new(2), &[NodeId::new(2)]);
+        let e = Event::new(EventId::new(NodeId::new(0), 0), vec![(p, 0)]);
+        let receipt = d.on_recovered_event(e.clone());
+        assert!(receipt.delivered);
+        assert!(receipt.forwards.is_empty());
+        assert!(d.cache().contains(e.id()));
+        // Re-recovery is a duplicate.
+        assert!(d.on_recovered_event(e).duplicate);
+    }
+
+    #[test]
+    fn unsubscribe_propagates_when_no_interest_remains() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let p = PatternId::new(1);
+        let nbrs = [NodeId::new(1)];
+        d.subscribe_local(p, &nbrs);
+        let out = d.unsubscribe_local(p, &nbrs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg, PubSubMessage::Unsubscribe(p));
+        assert!(!d.table().knows(p));
+    }
+
+    #[test]
+    fn unsubscribe_is_held_back_while_others_need_the_route() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let p = PatternId::new(1);
+        let nbrs = [NodeId::new(1), NodeId::new(2)];
+        d.subscribe_local(p, &nbrs);
+        // Neighbor 2 also subscribes through us.
+        d.on_subscribe(p, NodeId::new(2), &nbrs);
+        // Local unsubscription: neighbor 1 still must receive p-events
+        // (for neighbor 2), so no unsubscription is sent to 1; and
+        // neighbor 2 no longer needs them (only it was interested).
+        let out = d.unsubscribe_local(p, &nbrs);
+        let targets: Vec<NodeId> = out.iter().map(|f| f.to).collect();
+        assert_eq!(targets, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn reset_routing_state_keeps_local_subscriptions() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let p = PatternId::new(1);
+        let q = PatternId::new(2);
+        d.subscribe_local(p, &[NodeId::new(1)]);
+        d.on_subscribe(q, NodeId::new(1), &[NodeId::new(1)]);
+        d.reset_routing_state();
+        assert!(d.table().has_local(p));
+        assert!(!d.table().knows(q));
+        // Forwarding memory was cleared: subscribing again re-sends.
+        let out = d.subscribe_local(p, &[NodeId::new(1)]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn wire_bits_distinguishes_message_kinds() {
+        let p = PatternId::new(1);
+        let sub = PubSubMessage::Subscribe(p);
+        let e = Event::new(EventId::new(NodeId::new(0), 0), vec![(p, 0)]);
+        let ev = PubSubMessage::Event(e);
+        assert!(sub.wire_bits(1000) < ev.wire_bits(1000));
+    }
+}

@@ -1,0 +1,230 @@
+//! Events and their identifiers.
+//!
+//! Event identifiers follow Section III of the paper: the pair (source,
+//! per-source sequence number) is globally unique. To support the pull
+//! algorithms' loss detection, each event additionally carries, for
+//! every pattern it matches, a sequence number incremented at the
+//! source each time it publishes an event for that pattern. To support
+//! publisher-based pull, event messages also record the route travelled
+//! so far (the address of each dispatcher encountered is appended).
+
+use eps_overlay::NodeId;
+
+use crate::pattern::PatternId;
+
+/// Globally unique event identifier: source plus a monotonically
+/// increasing per-source sequence number (paper, footnote 3).
+///
+/// # Examples
+///
+/// ```
+/// use eps_pubsub::EventId;
+/// use eps_overlay::NodeId;
+///
+/// let id = EventId::new(NodeId::new(4), 17);
+/// assert_eq!(id.to_string(), "d4#17");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId {
+    source: NodeId,
+    seq: u64,
+}
+
+impl EventId {
+    /// Creates an event id.
+    pub const fn new(source: NodeId, seq: u64) -> Self {
+        EventId { source, seq }
+    }
+
+    /// The publishing dispatcher.
+    pub const fn source(self) -> NodeId {
+        self.source
+    }
+
+    /// The per-source sequence number.
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+}
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.source, self.seq)
+    }
+}
+
+/// A published event as it travels the dispatching tree.
+///
+/// Contains the content (the patterns it matches), the per-pattern
+/// sequence numbers assigned at the source, and the route recorded so
+/// far. Cloned at every forwarding hop, as a real message would be.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    id: EventId,
+    /// Sorted, distinct patterns matched by this event, with the
+    /// per-(source, pattern) sequence number assigned at publish time.
+    pattern_seqs: Vec<(PatternId, u64)>,
+    /// Dispatchers traversed so far, starting with the source.
+    route: Vec<NodeId>,
+}
+
+impl Event {
+    /// Creates a new event at its source.
+    ///
+    /// `pattern_seqs` must be sorted by pattern and duplicate-free —
+    /// the publisher builds it from [`crate::PatternSpace::random_content`]
+    /// plus its per-pattern counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern_seqs` is empty, unsorted, or has duplicates.
+    pub fn new(id: EventId, pattern_seqs: Vec<(PatternId, u64)>) -> Self {
+        assert!(!pattern_seqs.is_empty(), "event must match some pattern");
+        assert!(
+            pattern_seqs.windows(2).all(|w| w[0].0 < w[1].0),
+            "pattern list must be sorted and distinct"
+        );
+        Event {
+            id,
+            pattern_seqs,
+            route: vec![id.source()],
+        }
+    }
+
+    /// The globally unique identifier.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// The publishing dispatcher.
+    pub fn source(&self) -> NodeId {
+        self.id.source()
+    }
+
+    /// The patterns this event matches, sorted.
+    pub fn patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
+        self.pattern_seqs.iter().map(|&(p, _)| p)
+    }
+
+    /// Pattern/sequence pairs carried in the identifier.
+    pub fn pattern_seqs(&self) -> &[(PatternId, u64)] {
+        &self.pattern_seqs
+    }
+
+    /// The sequence number associated with pattern `p`, if the event
+    /// matches it.
+    pub fn seq_for(&self, p: PatternId) -> Option<u64> {
+        self.pattern_seqs
+            .binary_search_by_key(&p, |&(q, _)| q)
+            .ok()
+            .map(|i| self.pattern_seqs[i].1)
+    }
+
+    /// `true` if the event content contains pattern `p`.
+    pub fn matches(&self, p: PatternId) -> bool {
+        self.seq_for(p).is_some()
+    }
+
+    /// `true` if the event matches *any* of the given (sorted or not)
+    /// patterns.
+    pub fn matches_any<I: IntoIterator<Item = PatternId>>(&self, patterns: I) -> bool {
+        patterns.into_iter().any(|p| self.matches(p))
+    }
+
+    /// The route recorded so far (source first).
+    pub fn route(&self) -> &[NodeId] {
+        &self.route
+    }
+
+    /// Appends a traversed dispatcher to the recorded route (used by
+    /// publisher-based pull).
+    pub fn record_hop(&mut self, node: NodeId) {
+        self.route.push(node);
+    }
+
+    /// Approximate wire size of this event message, in bits, given the
+    /// configured payload size. The paper assumes event and gossip
+    /// messages have the same size; route recording adds 32 bits per
+    /// recorded hop on top.
+    pub fn wire_bits(&self, payload_bits: u64) -> u64 {
+        payload_bits + 32 * self.route.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> Event {
+        Event::new(
+            EventId::new(NodeId::new(2), 9),
+            vec![(PatternId::new(3), 1), (PatternId::new(10), 4)],
+        )
+    }
+
+    #[test]
+    fn id_accessors() {
+        let e = event();
+        assert_eq!(e.id().source(), NodeId::new(2));
+        assert_eq!(e.id().seq(), 9);
+        assert_eq!(e.source(), NodeId::new(2));
+    }
+
+    #[test]
+    fn matching_is_containment() {
+        let e = event();
+        assert!(e.matches(PatternId::new(3)));
+        assert!(e.matches(PatternId::new(10)));
+        assert!(!e.matches(PatternId::new(4)));
+        assert!(e.matches_any([PatternId::new(4), PatternId::new(10)]));
+        assert!(!e.matches_any([PatternId::new(0)]));
+    }
+
+    #[test]
+    fn per_pattern_sequences() {
+        let e = event();
+        assert_eq!(e.seq_for(PatternId::new(3)), Some(1));
+        assert_eq!(e.seq_for(PatternId::new(10)), Some(4));
+        assert_eq!(e.seq_for(PatternId::new(11)), None);
+    }
+
+    #[test]
+    fn route_starts_at_source_and_records_hops() {
+        let mut e = event();
+        assert_eq!(e.route(), &[NodeId::new(2)]);
+        e.record_hop(NodeId::new(5));
+        e.record_hop(NodeId::new(7));
+        assert_eq!(
+            e.route(),
+            &[NodeId::new(2), NodeId::new(5), NodeId::new(7)]
+        );
+    }
+
+    #[test]
+    fn wire_bits_grows_with_route() {
+        let mut e = event();
+        let base = e.wire_bits(1000);
+        e.record_hop(NodeId::new(5));
+        assert_eq!(e.wire_bits(1000), base + 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_patterns_panic() {
+        let _ = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(5), 0), (PatternId::new(3), 0)],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_patterns_panic() {
+        let _ = Event::new(EventId::new(NodeId::new(0), 0), vec![]);
+    }
+
+    #[test]
+    fn event_id_display() {
+        assert_eq!(event().id().to_string(), "d2#9");
+    }
+}

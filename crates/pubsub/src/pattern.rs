@@ -1,0 +1,225 @@
+//! Patterns and the content model of the paper's Section IV-A.
+//!
+//! Events are "randomly-generated sequences of numbers, where each
+//! number represents a pattern of the system"; an event pattern is a
+//! single number; an event matches a subscription if it contains that
+//! number. The system has `Π` patterns (70 by default) and an event
+//! matches at most 3 patterns.
+
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// A content pattern: a single number out of the pattern universe.
+///
+/// # Examples
+///
+/// ```
+/// use eps_pubsub::PatternId;
+///
+/// let p = PatternId::new(5);
+/// assert_eq!(p.value(), 5);
+/// assert_eq!(p.to_string(), "p5");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PatternId(u16);
+
+impl PatternId {
+    /// Creates a pattern id.
+    pub const fn new(v: u16) -> Self {
+        PatternId(v)
+    }
+
+    /// The raw pattern number.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// The dense index of this pattern, for indexing per-pattern arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for PatternId {
+    fn from(v: u16) -> Self {
+        PatternId(v)
+    }
+}
+
+impl std::fmt::Display for PatternId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The pattern universe: the `Π` patterns available in the system and
+/// the content-generation model built on them.
+///
+/// # Examples
+///
+/// ```
+/// use eps_pubsub::PatternSpace;
+/// use eps_sim::RngFactory;
+///
+/// let space = PatternSpace::new(70, 3);
+/// let mut rng = RngFactory::new(1).stream("content");
+/// let content = space.random_content(&mut rng);
+/// assert!(!content.is_empty() && content.len() <= 3);
+/// let subs = space.random_subscriptions(2, &mut rng);
+/// assert_eq!(subs.len(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatternSpace {
+    universe: u16,
+    max_patterns_per_event: usize,
+}
+
+impl PatternSpace {
+    /// The paper's default universe: Π = 70 patterns, at most 3
+    /// patterns per event.
+    pub fn paper_default() -> Self {
+        PatternSpace::new(70, 3)
+    }
+
+    /// Creates a pattern space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `max_patterns_per_event == 0`.
+    pub fn new(universe: u16, max_patterns_per_event: usize) -> Self {
+        assert!(universe > 0, "pattern universe must be non-empty");
+        assert!(
+            max_patterns_per_event > 0,
+            "events must carry at least one pattern"
+        );
+        PatternSpace {
+            universe,
+            max_patterns_per_event,
+        }
+    }
+
+    /// Number of patterns in the universe (Π).
+    pub fn universe(&self) -> u16 {
+        self.universe
+    }
+
+    /// Maximum number of patterns a single event can match.
+    pub fn max_patterns_per_event(&self) -> usize {
+        self.max_patterns_per_event
+    }
+
+    /// Iterator over every pattern in the universe.
+    pub fn patterns(&self) -> impl Iterator<Item = PatternId> {
+        (0..self.universe).map(PatternId::new)
+    }
+
+    /// Draws the content of a new event: `max_patterns_per_event`
+    /// uniform draws (with replacement, as a random number sequence
+    /// would produce), deduplicated and sorted. The result has between
+    /// 1 and `max_patterns_per_event` distinct patterns.
+    pub fn random_content<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<PatternId> {
+        let mut content: Vec<PatternId> = (0..self.max_patterns_per_event)
+            .map(|_| PatternId::new(rng.random_range(0..self.universe)))
+            .collect();
+        content.sort();
+        content.dedup();
+        content
+    }
+
+    /// Draws `count` *distinct* patterns for a subscriber (the paper's
+    /// π_max subscriptions per dispatcher, "drawn randomly from the
+    /// overall number Π of patterns").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the universe size.
+    pub fn random_subscriptions<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<PatternId> {
+        assert!(
+            count <= self.universe as usize,
+            "cannot draw {count} distinct patterns from a universe of {}",
+            self.universe
+        );
+        let mut subs: Vec<PatternId> = sample(rng, self.universe as usize, count)
+            .into_iter()
+            .map(|i| PatternId::new(i as u16))
+            .collect();
+        subs.sort();
+        subs
+    }
+
+    /// Expected number of subscribers per pattern for `n` dispatchers
+    /// each holding `pi_max` subscriptions: `N_π = N·π_max / Π`
+    /// (Section IV-A; 2.85 at the paper's defaults).
+    pub fn subscribers_per_pattern(&self, n: usize, pi_max: usize) -> f64 {
+        (n * pi_max) as f64 / self.universe as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eps_sim::RngFactory;
+
+    #[test]
+    fn paper_default_matches_figure_2() {
+        let s = PatternSpace::paper_default();
+        assert_eq!(s.universe(), 70);
+        assert_eq!(s.max_patterns_per_event(), 3);
+        let n_pi = s.subscribers_per_pattern(100, 2);
+        assert!((n_pi - 2.857).abs() < 0.01, "N_pi = {n_pi}");
+    }
+
+    #[test]
+    fn content_is_sorted_distinct_and_bounded() {
+        let s = PatternSpace::paper_default();
+        let mut rng = RngFactory::new(3).stream("content");
+        for _ in 0..1000 {
+            let c = s.random_content(&mut rng);
+            assert!((1..=3).contains(&c.len()));
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            assert!(c.iter().all(|p| p.value() < 70));
+        }
+    }
+
+    #[test]
+    fn content_covers_the_universe() {
+        let s = PatternSpace::paper_default();
+        let mut rng = RngFactory::new(4).stream("content");
+        let mut hit = [false; 70];
+        for _ in 0..5000 {
+            for p in s.random_content(&mut rng) {
+                hit[p.index()] = true;
+            }
+        }
+        assert!(hit.iter().all(|&h| h), "uniform draws should cover Π");
+    }
+
+    #[test]
+    fn subscriptions_are_distinct() {
+        let s = PatternSpace::paper_default();
+        let mut rng = RngFactory::new(5).stream("subs");
+        for count in [1, 2, 5, 30, 70] {
+            let subs = s.random_subscriptions(count, &mut rng);
+            assert_eq!(subs.len(), count);
+            assert!(subs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_subscriptions_panics() {
+        let s = PatternSpace::new(10, 3);
+        let mut rng = RngFactory::new(5).stream("subs");
+        let _ = s.random_subscriptions(11, &mut rng);
+    }
+
+    #[test]
+    fn patterns_enumerates_universe() {
+        let s = PatternSpace::new(7, 1);
+        assert_eq!(s.patterns().count(), 7);
+    }
+}

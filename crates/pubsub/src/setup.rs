@@ -1,0 +1,263 @@
+//! Network assembly helpers: instant subscription flooding.
+//!
+//! The paper's simulations run "with stable subscription information
+//! (i.e., no (un)subscriptions are being issued)". These helpers run
+//! the subscription-forwarding protocol to quiescence *outside* of
+//! virtual time, producing the stable routing state the event workload
+//! then runs on. The same mechanism rebuilds routes after a
+//! topological reconfiguration completes.
+
+use std::collections::VecDeque;
+
+use eps_overlay::{NodeId, Topology};
+
+use crate::dispatcher::{Dispatcher, Forward, PubSubMessage};
+use crate::pattern::PatternId;
+
+/// Runs the subscription-forwarding protocol to quiescence: every
+/// dispatcher's *local* subscriptions are propagated through the tree
+/// until no new table entries appear.
+///
+/// Dispatcher `i` must correspond to topology node `i`. Local
+/// subscriptions must already be recorded (e.g. via
+/// [`Dispatcher::subscribe_local`] with an empty neighbor list, or by
+/// calling this right after [`install_local_subscriptions`]).
+///
+/// Returns the number of subscription messages that the protocol would
+/// have exchanged (useful for accounting).
+///
+/// # Panics
+///
+/// Panics if `dispatchers.len() != topology.len()`.
+pub fn flood_subscriptions(dispatchers: &mut [Dispatcher], topology: &Topology) -> u64 {
+    assert_eq!(
+        dispatchers.len(),
+        topology.len(),
+        "one dispatcher per topology node"
+    );
+    let mut queue: VecDeque<(NodeId, NodeId, PatternId)> = VecDeque::new();
+    let mut messages = 0u64;
+
+    // Seed: every dispatcher re-announces its local patterns.
+    for node in topology.nodes() {
+        let neighbors: Vec<NodeId> = topology.neighbors(node).to_vec();
+        let d = &mut dispatchers[node.index()];
+        let locals: Vec<PatternId> = d.table().local_patterns().collect();
+        for p in locals {
+            for Forward { to, msg } in d.subscribe_local(p, &neighbors) {
+                debug_assert!(matches!(msg, PubSubMessage::Subscribe(_)));
+                queue.push_back((to, node, p));
+            }
+        }
+    }
+
+    // Propagate to quiescence.
+    while let Some((to, from, pattern)) = queue.pop_front() {
+        messages += 1;
+        let neighbors: Vec<NodeId> = topology.neighbors(to).to_vec();
+        for fwd in dispatchers[to.index()].on_subscribe(pattern, from, &neighbors) {
+            queue.push_back((fwd.to, to, pattern));
+        }
+    }
+    messages
+}
+
+/// Records `subscriptions[i]` as the local subscriptions of dispatcher
+/// `i` without propagating anything.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn install_local_subscriptions(
+    dispatchers: &mut [Dispatcher],
+    subscriptions: &[Vec<PatternId>],
+) {
+    assert_eq!(dispatchers.len(), subscriptions.len());
+    for (d, subs) in dispatchers.iter_mut().zip(subscriptions) {
+        for &p in subs {
+            d.subscribe_local(p, &[]);
+        }
+    }
+}
+
+/// Rebuilds all subscription routes from scratch for a (possibly
+/// reconfigured) topology: clears neighbor-derived state on every
+/// dispatcher, then re-floods local subscriptions.
+///
+/// This models the *completed* state of the reconfiguration protocol
+/// of the paper's reference \[7\]; the disruption window between a link
+/// break and this rebuild is where events are lost.
+pub fn rebuild_subscription_routes(dispatchers: &mut [Dispatcher], topology: &Topology) -> u64 {
+    for d in dispatchers.iter_mut() {
+        d.reset_routing_state();
+    }
+    flood_subscriptions(dispatchers, topology)
+}
+
+/// Computes, for each event-content pattern set, which dispatchers
+/// would receive it in a loss-free network: the dispatchers locally
+/// subscribed to at least one of the content's patterns.
+///
+/// Used by the metrics layer to know the intended recipients of every
+/// published event.
+pub fn intended_recipients(
+    dispatchers: &[Dispatcher],
+    content: &[PatternId],
+) -> Vec<NodeId> {
+    dispatchers
+        .iter()
+        .filter(|d| content.iter().any(|&p| d.table().has_local(p)))
+        .map(|d| d.id())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::DispatcherConfig;
+    use crate::event::Event;
+    use eps_sim::RngFactory;
+
+    fn build(n: usize, seed: u64) -> (Vec<Dispatcher>, Topology) {
+        let factory = RngFactory::new(seed);
+        let topo = Topology::random_tree(n, 4, &mut factory.stream("topology"));
+        let dispatchers: Vec<Dispatcher> = topo
+            .nodes()
+            .map(|id| Dispatcher::new(id, DispatcherConfig::default()))
+            .collect();
+        (dispatchers, topo)
+    }
+
+    /// After flooding, every dispatcher on the path from any node to a
+    /// subscriber must know the pattern, pointing towards it.
+    #[test]
+    fn flood_reaches_every_dispatcher() {
+        let (mut ds, topo) = build(30, 1);
+        let p = PatternId::new(5);
+        ds[7].subscribe_local(p, &[]);
+        flood_subscriptions(&mut ds, &topo);
+        for node in topo.nodes() {
+            assert!(
+                ds[node.index()].table().knows(p),
+                "dispatcher {node} does not know {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn flooded_tables_route_towards_the_subscriber() {
+        let (mut ds, topo) = build(30, 2);
+        let p = PatternId::new(5);
+        let subscriber = NodeId::new(7);
+        ds[subscriber.index()].subscribe_local(p, &[]);
+        flood_subscriptions(&mut ds, &topo);
+        // From every node, following the table for p hop by hop must
+        // reach the subscriber.
+        for start in topo.nodes() {
+            let mut cur = start;
+            let mut prev: Option<NodeId> = None;
+            for _hop in 0..topo.len() {
+                if cur == subscriber {
+                    break;
+                }
+                let next = ds[cur.index()].table().neighbors_for(p, prev);
+                assert_eq!(next.len(), 1, "tree route must be unique at {cur}");
+                prev = Some(cur);
+                cur = next[0];
+            }
+            assert_eq!(cur, subscriber, "route from {start} did not reach subscriber");
+        }
+    }
+
+    #[test]
+    fn event_from_any_node_reaches_all_subscribers() {
+        let (mut ds, topo) = build(40, 3);
+        let p = PatternId::new(9);
+        let subscribers = [NodeId::new(3), NodeId::new(17), NodeId::new(31)];
+        for s in subscribers {
+            ds[s.index()].subscribe_local(p, &[]);
+        }
+        flood_subscriptions(&mut ds, &topo);
+
+        // Publish at node 0 and deliver breadth-first with no loss.
+        let (event, receipt) = ds[0].publish(vec![p]);
+        let mut queue: VecDeque<(NodeId, NodeId, Event)> = receipt
+            .forwards
+            .into_iter()
+            .map(|f| match f.msg {
+                PubSubMessage::Event(e) => (f.to, NodeId::new(0), e),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        while let Some((to, from, e)) = queue.pop_front() {
+            let r = ds[to.index()].on_event(e, Some(from));
+            for f in r.forwards {
+                match f.msg {
+                    PubSubMessage::Event(e) => queue.push_back((f.to, to, e)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        for s in subscribers {
+            assert!(
+                ds[s.index()].has_seen(event.id()),
+                "subscriber {s} missed the event"
+            );
+            assert_eq!(ds[s.index()].delivered_total(), 1);
+        }
+        // Non-subscribers deliver nothing.
+        assert_eq!(ds[1].delivered_total(), 0);
+    }
+
+    #[test]
+    fn install_and_intended_recipients() {
+        let (mut ds, topo) = build(10, 4);
+        let subs: Vec<Vec<PatternId>> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![PatternId::new(1)]
+                } else {
+                    vec![PatternId::new(2)]
+                }
+            })
+            .collect();
+        install_local_subscriptions(&mut ds, &subs);
+        flood_subscriptions(&mut ds, &topo);
+        let rx = intended_recipients(&ds, &[PatternId::new(1)]);
+        assert_eq!(rx.len(), 5);
+        assert!(rx.iter().all(|n| n.index() % 2 == 0));
+        let both = intended_recipients(&ds, &[PatternId::new(1), PatternId::new(2)]);
+        assert_eq!(both.len(), 10);
+    }
+
+    #[test]
+    fn rebuild_after_reconfiguration_restores_routes() {
+        let (mut ds, mut topo) = build(25, 5);
+        let p = PatternId::new(3);
+        ds[11].subscribe_local(p, &[]);
+        flood_subscriptions(&mut ds, &topo);
+
+        // Reconfigure: break one link, replace it.
+        let mut rng = RngFactory::new(5).stream("reconfig");
+        let plan = eps_overlay::plan_reconfiguration(&topo, &mut rng).unwrap();
+        topo.remove_link(plan.broken).unwrap();
+        topo.add_link(plan.replacement.0, plan.replacement.1).unwrap();
+        rebuild_subscription_routes(&mut ds, &topo);
+
+        // Routes must again lead everywhere.
+        for node in topo.nodes() {
+            assert!(ds[node.index()].table().knows(p));
+        }
+    }
+
+    #[test]
+    fn flood_message_count_is_bounded_by_tree_size() {
+        let (mut ds, topo) = build(50, 6);
+        let p = PatternId::new(1);
+        ds[0].subscribe_local(p, &[]);
+        let messages = flood_subscriptions(&mut ds, &topo);
+        // One subscription travelling a 50-node tree crosses exactly
+        // 49 links.
+        assert_eq!(messages, 49);
+    }
+}

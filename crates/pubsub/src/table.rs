@@ -1,0 +1,255 @@
+//! The subscription table kept by every dispatcher.
+//!
+//! In a subscription-forwarding scheme the table maps each pattern to
+//! the set of *interfaces* from which that subscription was received:
+//! either the local clients (collapsed to [`Interface::Local`], since
+//! the paper ignores individual clients) or a neighboring dispatcher.
+//! Events are forwarded along every interface whose pattern matches,
+//! except the one they arrived from — laying event routes on the
+//! reverse paths of subscription propagation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use eps_overlay::NodeId;
+
+use crate::event::Event;
+use crate::pattern::PatternId;
+
+/// Where a subscription came from, as seen by one dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Interface {
+    /// Some local client is subscribed (the dispatcher itself is a
+    /// subscriber, in the paper's stretched terminology).
+    Local,
+    /// The subscription was propagated by this neighboring dispatcher.
+    Neighbor(NodeId),
+}
+
+/// A dispatcher's subscription table.
+///
+/// # Examples
+///
+/// ```
+/// use eps_pubsub::{Interface, PatternId, SubscriptionTable};
+/// use eps_overlay::NodeId;
+///
+/// let mut table = SubscriptionTable::new();
+/// let p = PatternId::new(3);
+/// table.insert(p, Interface::Local);
+/// table.insert(p, Interface::Neighbor(NodeId::new(7)));
+/// assert!(table.has_local(p));
+/// assert_eq!(table.neighbors_for(p, None), vec![NodeId::new(7)]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubscriptionTable {
+    entries: BTreeMap<PatternId, BTreeSet<Interface>>,
+}
+
+impl SubscriptionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `pattern` is subscribed via `iface`. Returns `true`
+    /// if this is new information (used to decide whether to propagate
+    /// further).
+    pub fn insert(&mut self, pattern: PatternId, iface: Interface) -> bool {
+        self.entries.entry(pattern).or_default().insert(iface)
+    }
+
+    /// Removes a subscription entry. Returns `true` if it was present.
+    pub fn remove(&mut self, pattern: PatternId, iface: Interface) -> bool {
+        if let Some(set) = self.entries.get_mut(&pattern) {
+            let removed = set.remove(&iface);
+            if set.is_empty() {
+                self.entries.remove(&pattern);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Drops every entry learned from `neighbor` (when the link to it
+    /// breaks). Returns the affected patterns.
+    pub fn remove_neighbor(&mut self, neighbor: NodeId) -> Vec<PatternId> {
+        let iface = Interface::Neighbor(neighbor);
+        let mut affected = Vec::new();
+        self.entries.retain(|&p, set| {
+            if set.remove(&iface) {
+                affected.push(p);
+            }
+            !set.is_empty()
+        });
+        affected
+    }
+
+    /// `true` if a local client subscribes to `pattern`.
+    pub fn has_local(&self, pattern: PatternId) -> bool {
+        self.entries
+            .get(&pattern)
+            .is_some_and(|s| s.contains(&Interface::Local))
+    }
+
+    /// `true` if the table has any entry (local or remote) for
+    /// `pattern`.
+    pub fn knows(&self, pattern: PatternId) -> bool {
+        self.entries.contains_key(&pattern)
+    }
+
+    /// The neighbor interfaces subscribed to `pattern`, excluding
+    /// `exclude` (typically the message's arrival interface), in id
+    /// order.
+    pub fn neighbors_for(&self, pattern: PatternId, exclude: Option<NodeId>) -> Vec<NodeId> {
+        self.entries
+            .get(&pattern)
+            .into_iter()
+            .flatten()
+            .filter_map(|iface| match *iface {
+                Interface::Neighbor(n) if Some(n) != exclude => Some(n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The distinct neighbors an event must be forwarded to: the union
+    /// of [`SubscriptionTable::neighbors_for`] over the event's
+    /// patterns, minus the arrival interface.
+    pub fn matching_neighbors(&self, event: &Event, from: Option<NodeId>) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = event
+            .patterns()
+            .flat_map(|p| self.neighbors_for(p, from))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// `true` if the event matches a local subscription.
+    pub fn matches_locally(&self, event: &Event) -> bool {
+        event.patterns().any(|p| self.has_local(p))
+    }
+
+    /// Patterns with a local subscription, in order.
+    pub fn local_patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, set)| set.contains(&Interface::Local))
+            .map(|(&p, _)| p)
+    }
+
+    /// Every pattern known to the table — locally subscribed or
+    /// learned through forwarding. The push algorithm draws its gossip
+    /// pattern from this set ("p is selected by considering the whole
+    /// subscription table").
+    pub fn all_patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Number of patterns known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+
+    fn ev(patterns: &[u16]) -> Event {
+        Event::new(
+            EventId::new(NodeId::new(0), 1),
+            patterns.iter().map(|&p| (PatternId::new(p), 0)).collect(),
+        )
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut t = SubscriptionTable::new();
+        let p = PatternId::new(1);
+        assert!(t.insert(p, Interface::Local));
+        assert!(!t.insert(p, Interface::Local));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_patterns() {
+        let mut t = SubscriptionTable::new();
+        let p = PatternId::new(1);
+        t.insert(p, Interface::Local);
+        assert!(t.remove(p, Interface::Local));
+        assert!(!t.remove(p, Interface::Local));
+        assert!(t.is_empty());
+        assert!(!t.knows(p));
+    }
+
+    #[test]
+    fn neighbors_for_excludes_arrival_interface() {
+        let mut t = SubscriptionTable::new();
+        let p = PatternId::new(2);
+        t.insert(p, Interface::Neighbor(NodeId::new(1)));
+        t.insert(p, Interface::Neighbor(NodeId::new(2)));
+        t.insert(p, Interface::Local);
+        assert_eq!(
+            t.neighbors_for(p, Some(NodeId::new(1))),
+            vec![NodeId::new(2)]
+        );
+        assert_eq!(t.neighbors_for(p, None).len(), 2);
+    }
+
+    #[test]
+    fn matching_neighbors_dedups_across_patterns() {
+        let mut t = SubscriptionTable::new();
+        let n = NodeId::new(9);
+        t.insert(PatternId::new(1), Interface::Neighbor(n));
+        t.insert(PatternId::new(2), Interface::Neighbor(n));
+        let e = ev(&[1, 2]);
+        assert_eq!(t.matching_neighbors(&e, None), vec![n]);
+        assert_eq!(t.matching_neighbors(&e, Some(n)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn matches_locally_uses_local_interface_only() {
+        let mut t = SubscriptionTable::new();
+        t.insert(PatternId::new(1), Interface::Neighbor(NodeId::new(3)));
+        assert!(!t.matches_locally(&ev(&[1])));
+        t.insert(PatternId::new(1), Interface::Local);
+        assert!(t.matches_locally(&ev(&[1])));
+        assert!(!t.matches_locally(&ev(&[2])));
+    }
+
+    #[test]
+    fn remove_neighbor_drops_all_its_entries() {
+        let mut t = SubscriptionTable::new();
+        let n = NodeId::new(4);
+        t.insert(PatternId::new(1), Interface::Neighbor(n));
+        t.insert(PatternId::new(2), Interface::Neighbor(n));
+        t.insert(PatternId::new(2), Interface::Local);
+        let affected = t.remove_neighbor(n);
+        assert_eq!(affected, vec![PatternId::new(1), PatternId::new(2)]);
+        assert!(!t.knows(PatternId::new(1)));
+        assert!(t.has_local(PatternId::new(2)));
+    }
+
+    #[test]
+    fn pattern_views_are_ordered() {
+        let mut t = SubscriptionTable::new();
+        t.insert(PatternId::new(5), Interface::Local);
+        t.insert(PatternId::new(1), Interface::Neighbor(NodeId::new(2)));
+        t.insert(PatternId::new(3), Interface::Local);
+        let local: Vec<_> = t.local_patterns().collect();
+        assert_eq!(local, vec![PatternId::new(3), PatternId::new(5)]);
+        let all: Vec<_> = t.all_patterns().collect();
+        assert_eq!(
+            all,
+            vec![PatternId::new(1), PatternId::new(3), PatternId::new(5)]
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests of the publish-subscribe substrate.
+
+use eps_overlay::{NodeId, Topology};
+use eps_pubsub::{
+    flood_subscriptions, install_local_subscriptions, Dispatcher, DispatcherConfig, Event,
+    EventCache, EventId, LossDetector, PatternId, PatternSpace,
+};
+use eps_sim::RngFactory;
+use proptest::prelude::*;
+
+proptest! {
+    /// Generated event content is always sorted, distinct, non-empty,
+    /// bounded, and inside the universe.
+    #[test]
+    fn content_model_invariants(
+        universe in 1u16..200,
+        max_per_event in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let space = PatternSpace::new(universe, max_per_event);
+        let mut rng = RngFactory::new(seed).stream("content");
+        for _ in 0..50 {
+            let content = space.random_content(&mut rng);
+            prop_assert!(!content.is_empty());
+            prop_assert!(content.len() <= max_per_event);
+            prop_assert!(content.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(content.iter().all(|p| p.value() < universe));
+        }
+    }
+
+    /// The FIFO cache never exceeds capacity and always retains
+    /// exactly the most recent distinct events.
+    #[test]
+    fn cache_retains_exactly_the_newest(
+        capacity in 1usize..50,
+        count in 1u64..200,
+    ) {
+        let mut cache = EventCache::new(capacity);
+        for seq in 0..count {
+            cache.insert(Event::new(
+                EventId::new(NodeId::new(0), seq),
+                vec![(PatternId::new((seq % 70) as u16), seq)],
+            ));
+            prop_assert!(cache.len() <= capacity);
+        }
+        let first_kept = count.saturating_sub(capacity as u64);
+        for seq in 0..count {
+            let id = EventId::new(NodeId::new(0), seq);
+            prop_assert_eq!(cache.contains(id), seq >= first_kept);
+        }
+    }
+
+    /// The pattern-seq index agrees with the id index at all times.
+    #[test]
+    fn cache_indices_are_consistent(
+        capacity in 1usize..30,
+        seqs in prop::collection::vec(0u64..100, 1..100),
+    ) {
+        let mut cache = EventCache::new(capacity);
+        for (i, &ps) in seqs.iter().enumerate() {
+            cache.insert(Event::new(
+                EventId::new(NodeId::new(0), i as u64),
+                vec![(PatternId::new(1), ps * 1000 + i as u64)],
+            ));
+        }
+        for event in cache.iter() {
+            let &(p, s) = &event.pattern_seqs()[0];
+            let via_index = cache.get_by_pattern_seq(event.source(), p, s);
+            prop_assert_eq!(via_index.map(|e| e.id()), Some(event.id()));
+        }
+    }
+
+    /// Feeding the detector a stream with gaps reports exactly the
+    /// missing sequence numbers below the highest delivered one.
+    #[test]
+    fn detector_finds_exactly_the_gaps(delivered_mask in prop::collection::vec(any::<bool>(), 1..100)) {
+        let mut det = LossDetector::new();
+        let p = PatternId::new(5);
+        let src = NodeId::new(3);
+        let mut reported = Vec::new();
+        for (seq, &keep) in delivered_mask.iter().enumerate() {
+            if keep {
+                let e = Event::new(EventId::new(src, seq as u64), vec![(p, seq as u64)]);
+                reported.extend(det.observe(&e, |_| true).into_iter().map(|l| l.seq));
+            }
+        }
+        let last_delivered = delivered_mask.iter().rposition(|&k| k);
+        let expected: Vec<u64> = match last_delivered {
+            None => vec![],
+            Some(last) => (0..last)
+                .filter(|&s| !delivered_mask[s])
+                .map(|s| s as u64)
+                .collect(),
+        };
+        let mut got = reported;
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Publishing assigns globally unique ids and dense per-pattern
+    /// sequence numbers.
+    #[test]
+    fn publish_sequences_are_dense(
+        contents in prop::collection::vec(
+            prop::collection::btree_set(0u16..20, 1..4),
+            1..100,
+        ),
+    ) {
+        let mut d = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let mut per_pattern: std::collections::HashMap<u16, u64> = Default::default();
+        let mut ids = std::collections::HashSet::new();
+        for content in contents {
+            let patterns: Vec<PatternId> =
+                content.iter().map(|&p| PatternId::new(p)).collect();
+            let (event, _) = d.publish(patterns);
+            prop_assert!(ids.insert(event.id()), "duplicate event id");
+            for &(p, seq) in event.pattern_seqs() {
+                let counter = per_pattern.entry(p.value()).or_insert(0);
+                prop_assert_eq!(seq, *counter, "non-dense sequence for {}", p);
+                *counter += 1;
+            }
+        }
+    }
+
+    /// After flooding, routing an event from any publisher reaches
+    /// exactly the subscribers of its patterns (loss-free hand
+    /// routing over the tree).
+    #[test]
+    fn routing_reaches_exactly_the_subscribers(
+        n in 2usize..40,
+        seed in any::<u64>(),
+        publisher_raw in any::<u32>(),
+    ) {
+        let factory = RngFactory::new(seed);
+        let topo = Topology::random_tree(n, 4, &mut factory.stream("topology"));
+        let space = PatternSpace::paper_default();
+        let mut subs_rng = factory.stream("subs");
+        let subs: Vec<Vec<PatternId>> = (0..n)
+            .map(|_| space.random_subscriptions(2, &mut subs_rng))
+            .collect();
+        let mut ds: Vec<Dispatcher> = topo
+            .nodes()
+            .map(|id| Dispatcher::new(id, DispatcherConfig::default()))
+            .collect();
+        install_local_subscriptions(&mut ds, &subs);
+        flood_subscriptions(&mut ds, &topo);
+
+        let publisher = NodeId::new(publisher_raw % n as u32);
+        let content = space.random_content(&mut factory.stream("content"));
+        let expected: std::collections::BTreeSet<usize> = subs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.iter().any(|p| content.contains(p)))
+            .map(|(i, _)| i)
+            .collect();
+
+        let (event, receipt) = ds[publisher.index()].publish(content);
+        let mut delivered: std::collections::BTreeSet<usize> = Default::default();
+        if receipt.delivered {
+            delivered.insert(publisher.index());
+        }
+        let mut queue: Vec<(NodeId, NodeId, Event)> = receipt
+            .forwards
+            .into_iter()
+            .map(|f| match f.msg {
+                eps_pubsub::PubSubMessage::Event(e) => (f.to, publisher, e),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        let mut hops = 0usize;
+        while let Some((to, from, e)) = queue.pop() {
+            hops += 1;
+            prop_assert!(hops <= 4 * n, "routing does not terminate");
+            let r = ds[to.index()].on_event(e, Some(from));
+            if r.delivered {
+                delivered.insert(to.index());
+            }
+            for f in r.forwards {
+                match f.msg {
+                    eps_pubsub::PubSubMessage::Event(e) => queue.push((f.to, to, e)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(delivered, expected, "event {} mis-routed", event.id());
+    }
+
+    /// Route recording reconstructs the actual tree path from the
+    /// publisher to any receiver.
+    #[test]
+    fn recorded_routes_match_tree_paths(
+        n in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        let factory = RngFactory::new(seed);
+        let topo = Topology::random_tree(n, 4, &mut factory.stream("topology"));
+        let config = DispatcherConfig {
+            record_routes: true,
+            ..DispatcherConfig::default()
+        };
+        let mut ds: Vec<Dispatcher> = topo
+            .nodes()
+            .map(|id| Dispatcher::new(id, config))
+            .collect();
+        // Everyone subscribes to pattern 0 so the event floods the tree.
+        let p = PatternId::new(0);
+        let subs: Vec<Vec<PatternId>> = vec![vec![p]; n];
+        install_local_subscriptions(&mut ds, &subs);
+        flood_subscriptions(&mut ds, &topo);
+
+        let publisher = NodeId::new(0);
+        let (_, receipt) = ds[0].publish(vec![p]);
+        let mut queue: Vec<(NodeId, NodeId, Event)> = receipt
+            .forwards
+            .into_iter()
+            .map(|f| match f.msg {
+                eps_pubsub::PubSubMessage::Event(e) => (f.to, publisher, e),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        while let Some((to, from, e)) = queue.pop() {
+            let r = ds[to.index()].on_event(e, Some(from));
+            for f in r.forwards {
+                match f.msg {
+                    eps_pubsub::PubSubMessage::Event(e) => queue.push((f.to, to, e)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        for node in topo.nodes().skip(1) {
+            let recorded = ds[node.index()]
+                .routes()
+                .route_from(publisher)
+                .expect("event reached everyone");
+            let expected = topo.path(publisher, node).unwrap();
+            prop_assert_eq!(recorded, &expected[..]);
+        }
+    }
+}

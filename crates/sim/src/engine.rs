@@ -1,0 +1,300 @@
+//! The discrete-event engine: a virtual clock plus a cancellable,
+//! deterministically ordered pending-event queue.
+//!
+//! This is the substrate that replaces OMNeT++ in the reproduction. It
+//! is deliberately minimal: it knows nothing about networks or nodes.
+//! Higher layers schedule opaque messages of type `M` and interpret
+//! them when they fire.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Handle identifying a scheduled entry, usable to cancel it.
+///
+/// Handles are unique per [`Engine`] instance and are never reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+#[derive(PartialEq, Eq)]
+struct Slot {
+    at: SimTime,
+    seq: u64,
+}
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Primary: time. Secondary: insertion order, so that events
+        // scheduled earlier for the same instant fire first (stable
+        // FIFO semantics, required for determinism).
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events carry an arbitrary payload `M`. Two events scheduled for the
+/// same instant fire in the order they were scheduled. Cancellation is
+/// lazy: cancelled entries are skipped when popped, which keeps
+/// `cancel` O(1).
+///
+/// # Examples
+///
+/// ```
+/// use eps_sim::{Engine, SimTime};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule(SimTime::from_millis(10), "b");
+/// engine.schedule(SimTime::from_millis(5), "a");
+/// let (t, msg) = engine.pop().unwrap();
+/// assert_eq!((t.as_nanos(), msg), (5_000_000, "a"));
+/// assert_eq!(engine.pop().unwrap().1, "b");
+/// assert!(engine.pop().is_none());
+/// ```
+pub struct Engine<M> {
+    now: SimTime,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<Slot>>,
+    payloads: std::collections::HashMap<u64, M>,
+    scheduled_total: u64,
+    cancelled_total: u64,
+}
+
+impl<M> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Engine<M> {
+    /// Creates an empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            scheduled_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently
+    /// popped event (or zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events cancelled before firing.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+
+    /// Schedules `msg` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimTime, msg: M) -> EventId {
+        self.schedule_at(self.now + delay, msg)
+    }
+
+    /// Schedules `msg` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Engine::now`]); the
+    /// kernel never reorders time.
+    pub fn schedule_at(&mut self, at: SimTime, msg: M) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Slot { at, seq }));
+        self.payloads.insert(seq, msg);
+        EventId(seq)
+    }
+
+    /// Cancels a pending event. Returns the payload if the event was
+    /// still pending, `None` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> Option<M> {
+        let removed = self.payloads.remove(&id.0);
+        if removed.is_some() {
+            self.cancelled_total += 1;
+        }
+        removed
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(slot)| slot.at)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, M)> {
+        self.skip_cancelled();
+        let Reverse(slot) = self.heap.pop()?;
+        let msg = self
+            .payloads
+            .remove(&slot.seq)
+            .expect("pending slot must have a payload");
+        debug_assert!(slot.at >= self.now, "event queue went backwards");
+        self.now = slot.at;
+        Some((slot.at, msg))
+    }
+
+    /// Like [`Engine::pop`] but only if the next event fires at or
+    /// before `deadline`; otherwise leaves the queue untouched and
+    /// advances the clock to `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, M)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => {
+                if deadline > self.now {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Drops cancelled entries sitting at the head of the heap.
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(slot)) = self.heap.peek() {
+            if self.payloads.contains_key(&slot.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.payloads.len())
+            .field("scheduled_total", &self.scheduled_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_millis(30), 3u32);
+        e.schedule_at(SimTime::from_millis(10), 1);
+        e.schedule_at(SimTime::from_millis(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, m)| m)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut e = Engine::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100u32 {
+            e.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, m)| m)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(1), ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn relative_schedule_uses_current_time() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(2), "first");
+        e.pop();
+        e.schedule(SimTime::from_secs(3), "second");
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut e = Engine::new();
+        let id = e.schedule(SimTime::from_secs(1), "x");
+        assert_eq!(e.cancel(id), Some("x"));
+        assert_eq!(e.cancel(id), None);
+        assert!(e.pop().is_none());
+        assert_eq!(e.cancelled_total(), 1);
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped_at_head() {
+        let mut e = Engine::new();
+        let id = e.schedule_at(SimTime::from_millis(1), 1u8);
+        e.schedule_at(SimTime::from_millis(2), 2);
+        e.cancel(id);
+        assert_eq!(e.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(e.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(10), ());
+        assert!(e.pop_until(SimTime::from_secs(5)).is_none());
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert!(e.pop_until(SimTime::from_secs(10)).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), ());
+        e.pop();
+        e.schedule_at(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut e = Engine::new();
+        assert!(e.is_empty());
+        let a = e.schedule(SimTime::from_secs(1), ());
+        e.schedule(SimTime::from_secs(2), ());
+        assert_eq!(e.len(), 2);
+        e.cancel(a);
+        assert_eq!(e.len(), 1);
+        e.pop();
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Small statistics helpers used by the metrics layer and the
+//! experiment harness: online summaries and time-binned series.
+
+use crate::time::SimTime;
+
+/// Online (Welford) summary of a stream of `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use eps_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0.0 when fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Computes the `q`-quantile (0.0 ..= 1.0) of a sample set using linear
+/// interpolation. Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in quantile"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A ratio series binned over virtual time: each bin accumulates a
+/// numerator and a denominator (e.g. events delivered / events
+/// expected), and the series reports their per-bin ratio.
+///
+/// # Examples
+///
+/// ```
+/// use eps_sim::{RatioSeries, SimTime};
+///
+/// let mut s = RatioSeries::new(SimTime::from_secs(1));
+/// s.add(SimTime::from_millis(100), 3.0, 4.0);
+/// s.add(SimTime::from_millis(900), 1.0, 4.0);
+/// s.add(SimTime::from_millis(1500), 1.0, 1.0);
+/// let bins = s.bins();
+/// assert_eq!(bins.len(), 2);
+/// assert!((bins[0].ratio() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RatioSeries {
+    bin_width: SimTime,
+    bins: Vec<RatioBin>,
+}
+
+/// One bin of a [`RatioSeries`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RatioBin {
+    /// Start of the bin in virtual time.
+    pub start: SimTime,
+    /// Accumulated numerator.
+    pub numerator: f64,
+    /// Accumulated denominator.
+    pub denominator: f64,
+}
+
+impl RatioBin {
+    /// The bin's ratio; 1.0 when the denominator is zero (an empty bin
+    /// counts as "nothing was lost").
+    pub fn ratio(&self) -> f64 {
+        if self.denominator == 0.0 {
+            1.0
+        } else {
+            self.numerator / self.denominator
+        }
+    }
+}
+
+impl RatioSeries {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: SimTime) -> Self {
+        assert!(bin_width > SimTime::ZERO, "bin width must be positive");
+        RatioSeries {
+            bin_width,
+            bins: Vec::new(),
+        }
+    }
+
+    /// The configured bin width.
+    pub fn bin_width(&self) -> SimTime {
+        self.bin_width
+    }
+
+    /// Accumulates `num`/`den` into the bin containing time `at`.
+    pub fn add(&mut self, at: SimTime, num: f64, den: f64) {
+        let idx = (at.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if self.bins.len() <= idx {
+            let w = self.bin_width;
+            let old = self.bins.len();
+            self.bins.resize_with(idx + 1, Default::default);
+            for (i, bin) in self.bins.iter_mut().enumerate().skip(old) {
+                bin.start = w.saturating_mul(i as u64);
+            }
+        }
+        self.bins[idx].numerator += num;
+        self.bins[idx].denominator += den;
+    }
+
+    /// The accumulated bins, in time order.
+    pub fn bins(&self) -> &[RatioBin] {
+        &self.bins
+    }
+
+    /// Overall ratio across all bins.
+    pub fn total_ratio(&self) -> f64 {
+        let num: f64 = self.bins.iter().map(|b| b.numerator).sum();
+        let den: f64 = self.bins.iter().map(|b| b.denominator).sum();
+        if den == 0.0 {
+            1.0
+        } else {
+            num / den
+        }
+    }
+
+    /// The minimum per-bin ratio over bins with a nonzero denominator,
+    /// or `None` if no bin has samples. Captures the "negative spikes"
+    /// the paper discusses for reconfiguration scenarios.
+    pub fn min_ratio(&self) -> Option<f64> {
+        self.bins
+            .iter()
+            .filter(|b| b.denominator > 0.0)
+            .map(|b| b.ratio())
+            .min_by(|a, b| a.partial_cmp(b).expect("ratio is never NaN"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_variance() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        data.iter().for_each(|&x| whole.record(x));
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        data[..37].iter().for_each(|&x| a.record(x));
+        data[37..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn ratio_series_bins_by_time() {
+        let mut s = RatioSeries::new(SimTime::from_secs(1));
+        s.add(SimTime::from_millis(2500), 1.0, 2.0);
+        let bins = s.bins();
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[2].start, SimTime::from_secs(2));
+        assert_eq!(bins[0].ratio(), 1.0); // empty bin
+        assert_eq!(bins[2].ratio(), 0.5);
+    }
+
+    #[test]
+    fn ratio_series_total_and_min() {
+        let mut s = RatioSeries::new(SimTime::from_secs(1));
+        s.add(SimTime::from_millis(100), 8.0, 10.0);
+        s.add(SimTime::from_millis(1100), 2.0, 10.0);
+        assert!((s.total_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.min_ratio().unwrap() - 0.2).abs() < 1e-12);
+    }
+}

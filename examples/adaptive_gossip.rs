@@ -1,0 +1,63 @@
+//! Adaptive gossip interval: the extension the paper sketches in
+//! Section IV-E. Dispatchers with nothing to recover back off their
+//! gossip timer exponentially, cutting proactive overhead when the
+//! network is healthy — without giving up delivery when it is not.
+//!
+//! ```text
+//! cargo run --release --example adaptive_gossip
+//! ```
+
+use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::harness::{run_scenario, AdaptiveGossip, ScenarioConfig};
+use epidemic_pubsub::sim::SimTime;
+
+fn main() {
+    // Push at a light publish load: the regime where proactive
+    // gossip wastes the most (paper, Sec. IV-E) and adaptation pays.
+    let base = ScenarioConfig {
+        duration: SimTime::from_secs(8),
+        warmup: SimTime::from_secs(1),
+        cooldown: SimTime::from_secs(2),
+        publish_rate: 5.0,
+        algorithm: AlgorithmKind::Push,
+        ..ScenarioConfig::default()
+    };
+
+    println!("push, 5 publish/s, fixed T = 30 ms vs adaptive (30 ms .. 240 ms)");
+    println!(
+        "{:<8} {:<10} {:>10} {:>14} {:>10}",
+        "eps", "mode", "delivery", "gossip/disp", "saving"
+    );
+    for eps in [0.005, 0.02, 0.1] {
+        let fixed = run_scenario(&ScenarioConfig {
+            link_error_rate: eps,
+            ..base.clone()
+        });
+        let adaptive = run_scenario(&ScenarioConfig {
+            link_error_rate: eps,
+            adaptive_gossip: Some(AdaptiveGossip::around(base.gossip_interval)),
+            ..base.clone()
+        });
+        println!(
+            "{:<8} {:<10} {:>9.1}% {:>14.1} {:>10}",
+            eps, "fixed", fixed.delivery_rate * 100.0, fixed.gossip_per_dispatcher, "-"
+        );
+        let saving = if fixed.gossip_per_dispatcher > 0.0 {
+            (1.0 - adaptive.gossip_per_dispatcher / fixed.gossip_per_dispatcher) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:<10} {:>9.1}% {:>14.1} {:>9.0}%",
+            eps,
+            "adaptive",
+            adaptive.delivery_rate * 100.0,
+            adaptive.gossip_per_dispatcher,
+            saving
+        );
+    }
+    println!();
+    println!("The healthier the network, the more rounds the adaptive timer");
+    println!("skips (at the cost of a few delivery points under heavy loss,");
+    println!("where requests keep arriving and the timer stays near the floor).");
+}

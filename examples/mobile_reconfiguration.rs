@@ -1,0 +1,58 @@
+//! Mobile scenario: the overlay keeps reconfiguring (links break and
+//! are replaced, as when dispatchers move) and events are lost in the
+//! disruption windows — the paper's original motivation and its
+//! Figure 3(b).
+//!
+//! ```text
+//! cargo run --release --example mobile_reconfiguration
+//! ```
+
+use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
+use epidemic_pubsub::sim::SimTime;
+
+fn main() {
+    let base = ScenarioConfig {
+        link_error_rate: 0.0, // links are reliable; topology is not
+        duration: SimTime::from_secs(10),
+        warmup: SimTime::from_secs(1),
+        cooldown: SimTime::from_secs(2),
+        ..ScenarioConfig::default()
+    };
+
+    for (rho_ms, label) in [
+        (200u64, "non-overlapping (rho = 0.2 s)"),
+        (30, "overlapping (rho = 0.03 s)"),
+    ] {
+        println!("== reconfigurations every {rho_ms} ms — {label} ==");
+        println!(
+            "{:<16} {:>10} {:>12} {:>10}",
+            "algorithm", "delivery", "worst bin", "reconfigs"
+        );
+        for kind in [
+            AlgorithmKind::NoRecovery,
+            AlgorithmKind::RandomPull,
+            AlgorithmKind::SubscriberPull,
+            AlgorithmKind::Push,
+            AlgorithmKind::CombinedPull,
+        ] {
+            let config = ScenarioConfig {
+                reconfig_interval: Some(SimTime::from_millis(rho_ms)),
+                algorithm: kind,
+                ..base.clone()
+            };
+            let result = run_scenario(&config);
+            println!(
+                "{:<16} {:>9.1}% {:>11.1}% {:>10}",
+                kind.name(),
+                result.delivery_rate * 100.0,
+                result.min_bin_rate * 100.0,
+                result.reconfigurations
+            );
+        }
+        println!();
+    }
+    println!("The 'worst bin' column is the deepest delivery dip around a");
+    println!("reconfiguration: the best algorithms level those spikes out,");
+    println!("masking topology changes almost completely (paper, Sec. IV-B).");
+}

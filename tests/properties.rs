@@ -1,0 +1,142 @@
+//! Cross-crate property-based tests: whole-scenario invariants under
+//! randomized configurations, plus protocol-level properties that span
+//! the overlay and pubsub layers.
+
+use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
+use epidemic_pubsub::overlay::{plan_reconfiguration, Topology};
+use epidemic_pubsub::pubsub::{
+    flood_subscriptions, install_local_subscriptions, Dispatcher, DispatcherConfig,
+    PatternId, PatternSpace,
+};
+use epidemic_pubsub::sim::{RngFactory, SimTime};
+use proptest::prelude::*;
+
+fn algorithm_strategy() -> impl Strategy<Value = AlgorithmKind> {
+    prop::sample::select(AlgorithmKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the configuration, a run completes and reports
+    /// consistent numbers.
+    #[test]
+    fn scenario_invariants_hold(
+        seed in 0u64..1000,
+        nodes in 2usize..40,
+        eps in 0.0f64..0.3,
+        buffer in 0usize..3000,
+        churn_ms in prop::option::of(20u64..500),
+        kind in algorithm_strategy(),
+    ) {
+        let config = ScenarioConfig {
+            seed,
+            nodes,
+            link_error_rate: eps,
+            buffer_size: buffer,
+            publish_rate: 10.0,
+            duration: SimTime::from_secs(2),
+            warmup: SimTime::from_millis(200),
+            cooldown: SimTime::from_millis(500),
+            churn_interval: churn_ms.map(SimTime::from_millis),
+            algorithm: kind,
+            ..ScenarioConfig::default()
+        };
+        let r = run_scenario(&config);
+        prop_assert!((0.0..=1.0).contains(&r.delivery_rate));
+        prop_assert!((0.0..=1.0).contains(&r.overall_delivery_rate));
+        prop_assert!((0.0..=1.0).contains(&r.min_bin_rate));
+        prop_assert!(r.events_retransmitted >= r.events_recovered);
+        prop_assert!(r.receivers_per_event <= nodes as f64);
+        for &(_, rate) in &r.series {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+        if kind == AlgorithmKind::NoRecovery {
+            prop_assert_eq!(r.gossip_msgs, 0);
+        }
+    }
+
+    /// Zero loss and no reconfiguration means perfect delivery, for
+    /// every algorithm (recovery must never *break* dispatching).
+    #[test]
+    fn lossless_delivery_is_perfect(
+        seed in 0u64..1000,
+        nodes in 2usize..30,
+        kind in algorithm_strategy(),
+    ) {
+        let config = ScenarioConfig {
+            seed,
+            nodes,
+            link_error_rate: 0.0,
+            publish_rate: 10.0,
+            duration: SimTime::from_secs(2),
+            warmup: SimTime::from_millis(200),
+            cooldown: SimTime::from_millis(500),
+            algorithm: kind,
+            ..ScenarioConfig::default()
+        };
+        let r = run_scenario(&config);
+        prop_assert!(r.delivery_rate > 0.999, "{} under {}", r.delivery_rate, kind);
+    }
+
+    /// Subscription flooding reaches exactly the dispatchers it
+    /// should: everyone knows every subscribed pattern, and only
+    /// subscribers report local matches.
+    #[test]
+    fn flooding_is_complete_and_minimal(
+        seed in 0u64..1000,
+        nodes in 2usize..50,
+        pi_max in 1usize..5,
+    ) {
+        let factory = RngFactory::new(seed);
+        let topo = Topology::random_tree(nodes, 4, &mut factory.stream("topology"));
+        let space = PatternSpace::paper_default();
+        let mut subs_rng = factory.stream("subs");
+        let subs: Vec<Vec<PatternId>> = (0..nodes)
+            .map(|_| space.random_subscriptions(pi_max, &mut subs_rng))
+            .collect();
+        let mut dispatchers: Vec<Dispatcher> = topo
+            .nodes()
+            .map(|id| Dispatcher::new(id, DispatcherConfig::default()))
+            .collect();
+        install_local_subscriptions(&mut dispatchers, &subs);
+        flood_subscriptions(&mut dispatchers, &topo);
+
+        let mut subscribed_anywhere = std::collections::BTreeSet::new();
+        for s in &subs {
+            subscribed_anywhere.extend(s.iter().copied());
+        }
+        for (i, d) in dispatchers.iter().enumerate() {
+            for &p in &subscribed_anywhere {
+                prop_assert!(d.table().knows(p), "node {i} missing {p}");
+            }
+            for &p in &subs[i] {
+                prop_assert!(d.table().has_local(p));
+            }
+            let locals: Vec<PatternId> = d.table().local_patterns().collect();
+            prop_assert_eq!(locals, subs[i].clone());
+        }
+    }
+
+    /// Any number of reconfigurations keeps the overlay a
+    /// degree-bounded tree.
+    #[test]
+    fn reconfigurations_preserve_tree_invariants(
+        seed in 0u64..1000,
+        nodes in 2usize..60,
+        steps in 1usize..40,
+    ) {
+        let factory = RngFactory::new(seed);
+        let mut topo = Topology::random_tree(nodes, 4, &mut factory.stream("topology"));
+        let mut rng = factory.stream("reconfig");
+        for _ in 0..steps {
+            if let Some(plan) = plan_reconfiguration(&topo, &mut rng) {
+                topo.remove_link(plan.broken).unwrap();
+                topo.add_link(plan.replacement.0, plan.replacement.1).unwrap();
+            }
+        }
+        prop_assert!(topo.is_tree());
+        prop_assert!(topo.nodes().all(|n| topo.degree(n) <= 4));
+    }
+}
