@@ -1,0 +1,183 @@
+//! `microbench` — wall-clock benchmarks of the simulator's hot paths,
+//! with no external dependencies.
+//!
+//! ```text
+//! microbench [--out FILE]      # default: BENCH_kernel.json
+//! ```
+//!
+//! Covers the event-queue kernel (schedule/pop, cancellation), the
+//! no-alloc subscription-table matching path, per-hop event cloning,
+//! the in-tree RNG, and one miniature end-to-end scenario at the
+//! paper's Figure 2 defaults. Results (median ns per iteration) print
+//! to stderr and are written as JSON for tracking across commits.
+
+use std::process::ExitCode;
+
+use eps_bench::timing::{bench, to_json, BenchResult};
+use eps_bench::mini;
+use eps_gossip::AlgorithmKind;
+use eps_harness::run_scenario;
+use eps_overlay::NodeId;
+use eps_pubsub::{Event, EventId, Interface, PatternId, SubscriptionTable};
+use eps_sim::{Engine, Rng, SimTime};
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_kernel.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out_path = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("usage: microbench [--out FILE]   (unknown arg '{other}')");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let results = vec![
+        engine_schedule_pop(),
+        engine_cancel(),
+        table_matching(),
+        event_clone_hop(),
+        rng_throughput(),
+        scenario_mini(),
+    ];
+    for r in &results {
+        eprintln!(
+            "{:<24} median {:>12.1} ns/iter  (min {:.1}, mean {:.1}, {} x {} iters)",
+            r.name, r.median_ns, r.min_ns, r.mean_ns, r.samples, r.iters_per_sample
+        );
+    }
+    let json = to_json(&results);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+/// Schedule N events at pseudo-random times, then pop them all: the
+/// simulator's single hottest loop.
+fn engine_schedule_pop() -> BenchResult {
+    const N: u64 = 10_000;
+    let mut rng = Rng::from_seed(1);
+    bench("engine_schedule_pop", 3, 15, 2 * N, || {
+        let mut engine: Engine<u64> = Engine::new();
+        for i in 0..N {
+            engine.schedule(SimTime::from_nanos(rng.random_below(1 << 30)), i);
+        }
+        while engine.pop().is_some() {}
+    })
+}
+
+/// Schedule N events, cancel every other one, drain the rest: the
+/// tombstone path.
+fn engine_cancel() -> BenchResult {
+    const N: u64 = 10_000;
+    let mut rng = Rng::from_seed(2);
+    bench("engine_cancel_drain", 3, 15, 2 * N, || {
+        let mut engine: Engine<u64> = Engine::new();
+        let ids: Vec<_> = (0..N)
+            .map(|i| engine.schedule(SimTime::from_nanos(rng.random_below(1 << 30)), i))
+            .collect();
+        for id in ids.iter().step_by(2) {
+            engine.cancel(*id);
+        }
+        while engine.pop().is_some() {}
+    })
+}
+
+/// Match events against a populated subscription table through the
+/// buffer-reuse path used by the dispatcher.
+fn table_matching() -> BenchResult {
+    const EVENTS: u64 = 1_000;
+    let mut rng = Rng::from_seed(3);
+    let mut table = SubscriptionTable::new();
+    // 70 patterns, a handful of subscribed neighbors each — the
+    // Figure 2 shape as one dispatcher sees it.
+    for p in 0..70u16 {
+        for _ in 0..1 + rng.random_below(4) {
+            let n = NodeId::new(rng.random_below(10) as u32);
+            table.insert(PatternId::new(p), Interface::Neighbor(n));
+        }
+        if rng.random_bool(0.3) {
+            table.insert(PatternId::new(p), Interface::Local);
+        }
+    }
+    let events: Vec<Event> = (0..EVENTS)
+        .map(|i| {
+            let mut patterns: Vec<u16> =
+                (0..3).map(|_| rng.random_below(70) as u16).collect();
+            patterns.sort_unstable();
+            patterns.dedup();
+            Event::new(
+                EventId::new(NodeId::new(0), i),
+                patterns.into_iter().map(|p| (PatternId::new(p), i)).collect(),
+            )
+        })
+        .collect();
+    let mut scratch = Vec::new();
+    let mut total = 0usize;
+    let result = bench("table_matching", 3, 25, EVENTS, || {
+        for event in &events {
+            table.matching_neighbors_into(event, Some(NodeId::new(1)), &mut scratch);
+            total += scratch.len();
+        }
+    });
+    assert!(total > 0, "matching produced no forwards");
+    result
+}
+
+/// Per-hop event handling: clone (refcount bump) plus a recorded hop
+/// (copy-on-write route extension).
+fn event_clone_hop() -> BenchResult {
+    const N: u64 = 10_000;
+    let event = Event::new(
+        EventId::new(NodeId::new(0), 1),
+        vec![(PatternId::new(3), 1), (PatternId::new(9), 2)],
+    );
+    let mut sink = 0u64;
+    let result = bench("event_clone_record_hop", 3, 25, N, || {
+        for i in 0..N {
+            let mut hop = event.clone();
+            hop.record_hop(NodeId::new(i as u32));
+            sink = sink.wrapping_add(hop.route().len() as u64);
+        }
+    });
+    assert!(sink > 0);
+    result
+}
+
+/// Raw RNG throughput (xoshiro256++).
+fn rng_throughput() -> BenchResult {
+    const N: u64 = 100_000;
+    let mut rng = Rng::from_seed(4);
+    let mut sink = 0u64;
+    let result = bench("rng_next_u64", 3, 25, N, || {
+        for _ in 0..N {
+            sink = sink.wrapping_add(rng.next_u64());
+        }
+    });
+    assert!(sink != 0);
+    result
+}
+
+/// One miniature end-to-end run at the Figure 2 defaults (quick
+/// variant): the number every other figure's wall-clock scales with.
+fn scenario_mini() -> BenchResult {
+    let config = mini(AlgorithmKind::CombinedPull);
+    let mut delivered = 0.0;
+    let result = bench("scenario_mini_fig2", 1, 5, 1, || {
+        delivered = run_scenario(&config).delivery_rate;
+    });
+    assert!(delivered > 0.0);
+    result
+}

@@ -1,14 +1,24 @@
 //! # eps-bench — benchmark support
 //!
-//! Shared miniature configurations for the Criterion benchmarks. The
-//! real, paper-scale figures are regenerated by the `repro` binary in
-//! `eps-harness`; the benches here run *miniatures* of each figure's
-//! distinctive configuration so that `cargo bench` finishes in minutes
-//! while still exercising every experiment code path and tracking the
-//! simulator's performance over time.
+//! Shared miniature configurations plus a zero-dependency wall-clock
+//! [`timing`] harness. The real, paper-scale figures are regenerated
+//! by the `repro` binary in `eps-harness`; the benches here run
+//! *miniatures* of each figure's distinctive configuration so that
+//! benchmarking finishes in minutes while still exercising every
+//! experiment code path and tracking the simulator's performance over
+//! time.
+//!
+//! The `microbench` binary covers the kernel hot paths (engine
+//! schedule/pop, subscription-table matching, event cloning, the RNG)
+//! and one miniature end-to-end run, and writes its results to
+//! `BENCH_kernel.json`. The criterion benches live in the
+//! workspace-excluded `extras/` package, since criterion needs
+//! registry access.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod timing;
 
 use eps_gossip::AlgorithmKind;
 use eps_harness::ScenarioConfig;

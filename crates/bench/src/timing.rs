@@ -1,0 +1,121 @@
+//! A minimal wall-clock benchmark harness: warmup, repeated samples,
+//! median-of-samples reporting, and hand-rolled JSON output — no
+//! external crates, so it runs in offline builds where criterion
+//! cannot.
+//!
+//! The median is the headline statistic: it is robust against the
+//! occasional scheduler hiccup that poisons a mean, and stable enough
+//! to compare across commits.
+
+use std::time::Instant;
+
+/// One benchmark's measurements, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (JSON key).
+    pub name: String,
+    /// Timed samples collected (after warmup).
+    pub samples: usize,
+    /// Iterations per sample; reported times are per iteration.
+    pub iters_per_sample: u64,
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+}
+
+/// Times `f`, which must execute `iters` iterations of the workload
+/// per call: `warmup` untimed calls, then `samples` timed ones.
+/// Reported numbers are nanoseconds per iteration.
+pub fn bench<F: FnMut()>(
+    name: &str,
+    warmup: usize,
+    samples: usize,
+    iters: u64,
+    mut f: F,
+) -> BenchResult {
+    assert!(samples > 0 && iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_unstable_by(|a, b| a.total_cmp(b));
+    let median = if times.len() % 2 == 1 {
+        times[times.len() / 2]
+    } else {
+        (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2.0
+    };
+    BenchResult {
+        name: name.to_owned(),
+        samples,
+        iters_per_sample: iters,
+        median_ns: median,
+        min_ns: times[0],
+        mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+    }
+}
+
+/// Renders results as a pretty-printed JSON object:
+/// `{"benchmarks": [{"name": ..., "median_ns": ...}, ...]}`.
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+             \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+            r.name,
+            r.samples,
+            r.iters_per_sample,
+            r.median_ns,
+            r.min_ns,
+            r.mean_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_statistics() {
+        let mut counter = 0u64;
+        let r = bench("noop", 2, 5, 100, || {
+            for _ in 0..100 {
+                counter = counter.wrapping_add(1);
+            }
+        });
+        assert_eq!(r.samples, 5);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns.is_finite() && r.median_ns >= 0.0);
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = BenchResult {
+            name: "x".into(),
+            samples: 3,
+            iters_per_sample: 10,
+            median_ns: 1.5,
+            min_ns: 1.0,
+            mean_ns: 2.0,
+        };
+        let json = to_json(&[r.clone(), r]);
+        assert!(json.starts_with("{\n  \"benchmarks\": [\n"));
+        assert_eq!(json.matches("\"name\": \"x\"").count(), 2);
+        assert!(json.matches(',').count() > 0);
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -5,7 +5,7 @@ use std::str::FromStr;
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, Event, EventId, LossRecord};
-use rand::RngCore;
+use eps_sim::Rng;
 
 use crate::config::GossipConfig;
 use crate::message::{GossipAction, GossipMessage};
@@ -132,7 +132,7 @@ pub trait RecoveryAlgorithm: fmt::Debug + Send {
         &mut self,
         node: &Dispatcher,
         neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction>;
 
     /// A gossip message arrived from tree neighbor `from`.
@@ -142,7 +142,7 @@ pub trait RecoveryAlgorithm: fmt::Debug + Send {
         from: NodeId,
         msg: GossipMessage,
         neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction>;
 
     /// The dispatcher's loss detector found gaps (pull strategies
@@ -203,7 +203,7 @@ impl RecoveryAlgorithm for NoRecovery {
         &mut self,
         _node: &Dispatcher,
         _neighbors: &[NodeId],
-        _rng: &mut dyn RngCore,
+        _rng: &mut Rng,
     ) -> Vec<GossipAction> {
         Vec::new()
     }
@@ -214,7 +214,7 @@ impl RecoveryAlgorithm for NoRecovery {
         _from: NodeId,
         _msg: GossipMessage,
         _neighbors: &[NodeId],
-        _rng: &mut dyn RngCore,
+        _rng: &mut Rng,
     ) -> Vec<GossipAction> {
         Vec::new()
     }

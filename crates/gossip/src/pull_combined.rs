@@ -4,7 +4,7 @@
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, Event, LossRecord};
-use rand::{Rng, RngCore};
+use eps_sim::Rng;
 
 use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
 use crate::config::GossipConfig;
@@ -59,7 +59,7 @@ impl RecoveryAlgorithm for CombinedPull {
         &mut self,
         node: &Dispatcher,
         _neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         if self.lost.is_empty() {
             return Vec::new();
@@ -86,7 +86,7 @@ impl RecoveryAlgorithm for CombinedPull {
         from: NodeId,
         msg: GossipMessage,
         _neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         match msg {
             GossipMessage::PullDigest {

@@ -2,7 +2,7 @@
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, Event, LossRecord};
-use rand::RngCore;
+use eps_sim::Rng;
 
 use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
 use crate::config::GossipConfig;
@@ -52,7 +52,7 @@ impl RecoveryAlgorithm for PublisherPull {
         &mut self,
         node: &Dispatcher,
         _neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         publisher_round(&mut self.lost, node, &self.config, rng)
     }
@@ -63,7 +63,7 @@ impl RecoveryAlgorithm for PublisherPull {
         _from: NodeId,
         msg: GossipMessage,
         _neighbors: &[NodeId],
-        _rng: &mut dyn RngCore,
+        _rng: &mut Rng,
     ) -> Vec<GossipAction> {
         match msg {
             GossipMessage::SourcePull {

@@ -4,7 +4,7 @@
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, Event, LossRecord};
-use rand::RngCore;
+use eps_sim::Rng;
 
 use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
 use crate::config::GossipConfig;
@@ -45,7 +45,7 @@ impl RecoveryAlgorithm for RandomPull {
         &mut self,
         node: &Dispatcher,
         neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         random_round(&mut self.lost, node, neighbors, &self.config, rng)
     }
@@ -56,7 +56,7 @@ impl RecoveryAlgorithm for RandomPull {
         from: NodeId,
         msg: GossipMessage,
         neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         match msg {
             GossipMessage::RandomPull {

@@ -2,7 +2,7 @@
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, Event, LossRecord};
-use rand::RngCore;
+use eps_sim::Rng;
 
 use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
 use crate::config::GossipConfig;
@@ -50,7 +50,7 @@ impl RecoveryAlgorithm for SubscriberPull {
         &mut self,
         node: &Dispatcher,
         _neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         subscriber_round(&mut self.lost, node, &self.config, rng)
     }
@@ -61,7 +61,7 @@ impl RecoveryAlgorithm for SubscriberPull {
         from: NodeId,
         msg: GossipMessage,
         _neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         match msg {
             GossipMessage::PullDigest {

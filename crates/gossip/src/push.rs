@@ -6,8 +6,7 @@ use std::sync::Arc;
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, Event, EventId};
-use rand::seq::IndexedRandom;
-use rand::RngCore;
+use eps_sim::Rng;
 
 use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
 use crate::config::GossipConfig;
@@ -70,7 +69,7 @@ impl RecoveryAlgorithm for PushGossip {
         &mut self,
         node: &Dispatcher,
         _neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         if self.requests_since_round > 0 {
             self.idle_rounds = 0;
@@ -79,7 +78,7 @@ impl RecoveryAlgorithm for PushGossip {
         }
         self.requests_since_round = 0;
         let patterns: Vec<_> = node.table().all_patterns().collect();
-        let Some(&pattern) = patterns.choose(rng) else {
+        let Some(&pattern) = rng.choose(&patterns) else {
             self.rounds_skipped += 1;
             return Vec::new();
         };
@@ -142,7 +141,7 @@ impl RecoveryAlgorithm for PushGossip {
         from: NodeId,
         msg: GossipMessage,
         _neighbors: &[NodeId],
-        rng: &mut dyn RngCore,
+        rng: &mut Rng,
     ) -> Vec<GossipAction> {
         let GossipMessage::PushDigest {
             gossiper,

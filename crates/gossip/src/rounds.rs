@@ -4,8 +4,7 @@
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, Event, LossRecord, PatternId};
-use rand::seq::IndexedRandom;
-use rand::{Rng, RngCore};
+use eps_sim::Rng;
 
 use crate::config::GossipConfig;
 use crate::lost::LostBuffer;
@@ -28,7 +27,7 @@ pub(crate) fn pattern_forward_targets(
     pattern: PatternId,
     from: Option<NodeId>,
     p_forward: f64,
-    rng: &mut dyn RngCore,
+    rng: &mut Rng,
 ) -> Vec<NodeId> {
     let candidates = node.table().neighbors_for(pattern, from);
     if candidates.is_empty() {
@@ -77,10 +76,10 @@ pub(crate) fn subscriber_round(
     lost: &mut LostBuffer,
     node: &Dispatcher,
     config: &GossipConfig,
-    rng: &mut dyn RngCore,
+    rng: &mut Rng,
 ) -> Vec<GossipAction> {
     let patterns = lost.patterns();
-    let Some(&pattern) = patterns.choose(rng) else {
+    let Some(&pattern) = rng.choose(&patterns) else {
         return Vec::new(); // Nothing missing: pull skips the round.
     };
     let entries = lost.for_pattern(pattern, config.digest_max);
@@ -111,7 +110,7 @@ pub(crate) fn handle_pull_digest(
     gossiper: NodeId,
     pattern: PatternId,
     lost: Vec<LossRecord>,
-    rng: &mut dyn RngCore,
+    rng: &mut Rng,
 ) -> Vec<GossipAction> {
     let (found, remainder) = serve_from_cache(node, &lost);
     let mut actions = Vec::new();
@@ -144,7 +143,7 @@ pub(crate) fn publisher_round(
     lost: &mut LostBuffer,
     node: &Dispatcher,
     config: &GossipConfig,
-    rng: &mut dyn RngCore,
+    rng: &mut Rng,
 ) -> Vec<GossipAction> {
     let sources = lost.sources();
     // Only sources we know a route back to are actionable this round.
@@ -152,7 +151,7 @@ pub(crate) fn publisher_round(
         .into_iter()
         .filter(|&s| node.routes().route_to(s).is_some())
         .collect();
-    let Some(&source) = routable.choose(rng) else {
+    let Some(&source) = rng.choose(&routable) else {
         return Vec::new();
     };
     let entries = lost.for_source(source, config.digest_max);
@@ -220,7 +219,7 @@ pub(crate) fn random_round(
     node: &Dispatcher,
     neighbors: &[NodeId],
     config: &GossipConfig,
-    rng: &mut dyn RngCore,
+    rng: &mut Rng,
 ) -> Vec<GossipAction> {
     if lost.is_empty() || neighbors.is_empty() {
         return Vec::new();
@@ -254,7 +253,7 @@ pub(crate) fn handle_random_pull(
     lost: Vec<LossRecord>,
     ttl: u32,
     neighbors: &[NodeId],
-    rng: &mut dyn RngCore,
+    rng: &mut Rng,
 ) -> Vec<GossipAction> {
     let (found, remainder) = serve_from_cache(node, &lost);
     let mut actions = Vec::new();
@@ -288,7 +287,7 @@ fn random_forward_targets(
     neighbors: &[NodeId],
     from: Option<NodeId>,
     p_forward: f64,
-    rng: &mut dyn RngCore,
+    rng: &mut Rng,
 ) -> Vec<NodeId> {
     let candidates: Vec<NodeId> = neighbors
         .iter()

@@ -1,10 +1,13 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro all [--quick|--full] [--seed S] [--out DIR]
+//! repro all [--quick|--full] [--seed S] [--out DIR] [--jobs N]
 //! repro fig3a fig9b ...      # specific figures
 //! repro list                 # available experiment ids
 //! ```
+//!
+//! Independent scenario cells run on `--jobs` worker threads (default:
+//! all cores); the output is byte-identical for every job count.
 
 use std::process::ExitCode;
 
@@ -27,6 +30,10 @@ fn main() -> ExitCode {
                 Some(dir) => opts.out_dir = dir.into(),
                 None => return usage("--out needs a directory"),
             },
+            "--jobs" | "-j" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(jobs) => opts.jobs = Some(jobs),
+                None => return usage("--jobs needs an integer"),
+            },
             "list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");
@@ -48,9 +55,10 @@ fn main() -> ExitCode {
 
     let mode = if opts.quick { "quick" } else { "full (paper-scale)" };
     eprintln!(
-        "running {} experiment(s) in {mode} mode, seed {}, output under {}",
+        "running {} experiment(s) in {mode} mode, seed {}, {} worker(s), output under {}",
         ids.len(),
         opts.seed,
+        opts.effective_jobs(),
         opts.out_dir.display()
     );
     for id in &ids {
@@ -81,7 +89,7 @@ fn usage(problem: &str) -> ExitCode {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: repro <all | fig-id ...> [--quick|--full] [--seed S] [--out DIR]\n\
+        "usage: repro <all | fig-id ...> [--quick|--full] [--seed S] [--out DIR] [--jobs N]\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -7,6 +7,8 @@ use eps_metrics::CsvTable;
 use eps_sim::SimTime;
 
 use crate::config::ScenarioConfig;
+use crate::parallel::{default_jobs, par_map};
+use crate::scenario::{run_scenario, ScenarioResult};
 
 /// Options shared by all experiments.
 #[derive(Clone, Debug)]
@@ -19,6 +21,10 @@ pub struct ExperimentOptions {
     pub out_dir: PathBuf,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for independent scenario cells; `None` means
+    /// "use the machine's available parallelism". Output is identical
+    /// for every value (see [`crate::parallel`]).
+    pub jobs: Option<usize>,
 }
 
 impl Default for ExperimentOptions {
@@ -27,8 +33,25 @@ impl Default for ExperimentOptions {
             quick: true,
             out_dir: PathBuf::from("results"),
             seed: 1,
+            jobs: None,
         }
     }
+}
+
+impl ExperimentOptions {
+    /// The resolved worker count: `jobs` if set (0 is treated as 1),
+    /// otherwise the available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(default_jobs).max(1)
+    }
+}
+
+/// Runs a batch of independent scenario cells, fanned across
+/// [`ExperimentOptions::effective_jobs`] worker threads, returning the
+/// results in input order — so driver code that renders tables row by
+/// row produces the exact bytes the serial loop would.
+pub fn run_cells(opts: &ExperimentOptions, configs: &[ScenarioConfig]) -> Vec<ScenarioResult> {
+    par_map(opts.effective_jobs(), configs, run_scenario)
 }
 
 /// What an experiment produced: named CSV tables (written by the

@@ -9,9 +9,10 @@
 
 use eps_metrics::CsvTable;
 
-use super::common::{base_config, grid, overhead_algorithms, ExperimentOptions, ExperimentOutput};
-use crate::config::AdaptiveGossip;
-use crate::scenario::run_scenario;
+use super::common::{
+    base_config, grid, overhead_algorithms, run_cells, ExperimentOptions, ExperimentOutput,
+};
+use crate::config::{AdaptiveGossip, ScenarioConfig};
 
 /// Runs the adaptive-gossip ablation: delivery and overhead with and
 /// without interval adaptation, across link error rates.
@@ -33,16 +34,28 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
          Expectation: large savings on healthy/lightly-loaded networks,\n\
          convergence to fixed behavior under heavy loss.\n\n",
     );
-    for &(rate, rate_label) in &[(50.0, "high load"), (5.0, "low load")] {
+    let rates = [(50.0, "high load"), (5.0, "low load")];
+    let mut configs: Vec<ScenarioConfig> = Vec::new();
+    for &(rate, _) in &rates {
+        for kind in overhead_algorithms() {
+            for &eps in &epsilons {
+                let mut fixed = base_config(opts).with_algorithm(kind);
+                fixed.link_error_rate = eps;
+                fixed.publish_rate = rate;
+                let mut adaptive = fixed.clone();
+                adaptive.adaptive_gossip =
+                    Some(AdaptiveGossip::around(fixed.gossip_interval));
+                configs.push(fixed);
+                configs.push(adaptive);
+            }
+        }
+    }
+    let mut results = run_cells(opts, &configs).into_iter();
+    for &(rate, rate_label) in &rates {
     for kind in overhead_algorithms() {
         for &eps in &epsilons {
-            let mut fixed = base_config(opts).with_algorithm(kind);
-            fixed.link_error_rate = eps;
-            fixed.publish_rate = rate;
-            let mut adaptive = fixed.clone();
-            adaptive.adaptive_gossip = Some(AdaptiveGossip::around(fixed.gossip_interval));
-            let r_fixed = run_scenario(&fixed);
-            let r_adaptive = run_scenario(&adaptive);
+            let r_fixed = results.next().expect("one result per cell");
+            let r_adaptive = results.next().expect("one result per cell");
             for (mode, r) in [("fixed", &r_fixed), ("adaptive", &r_adaptive)] {
                 table.push_row(vec![
                     rate.to_string(),

@@ -11,8 +11,8 @@ use eps_gossip::AlgorithmKind;
 use eps_metrics::CsvTable;
 use eps_pubsub::EvictionPolicy;
 
-use super::common::{base_config, grid, ExperimentOptions, ExperimentOutput};
-use crate::scenario::run_scenario;
+use super::common::{base_config, grid, run_cells, ExperimentOptions, ExperimentOutput};
+use crate::config::ScenarioConfig;
 
 const POLICIES: [(&str, EvictionPolicy); 3] = [
     ("fifo", EvictionPolicy::Fifo),
@@ -43,14 +43,26 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
          gossip. Expectation: it helps combined pull at small beta;\n\
          random eviction trades tail retention against recency.\n\n",
     );
+    let configs: Vec<ScenarioConfig> = algorithms
+        .iter()
+        .flat_map(|&kind| {
+            betas
+                .iter()
+                .flat_map(move |&beta| POLICIES.iter().map(move |&(_, policy)| (kind, beta, policy)))
+        })
+        .map(|(kind, beta, policy)| {
+            let mut config = base_config(opts).with_algorithm(kind);
+            config.buffer_size = beta;
+            config.eviction = policy;
+            config
+        })
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
     for kind in algorithms {
         for &beta in &betas {
             let mut line = format!("  {:<14} beta={beta:<5}", kind.name());
-            for (name, policy) in POLICIES {
-                let mut config = base_config(opts).with_algorithm(kind);
-                config.buffer_size = beta;
-                config.eviction = policy;
-                let r = run_scenario(&config);
+            for (name, _) in POLICIES {
+                let r = results.next().expect("one result per cell");
                 table.push_row(vec![
                     beta.to_string(),
                     kind.name().into(),

@@ -4,9 +4,9 @@
 use eps_metrics::{ascii_chart, CsvTable, Series};
 
 use super::common::{
-    base_config, grid, overhead_algorithms, ExperimentOptions, ExperimentOutput,
+    base_config, grid, overhead_algorithms, run_cells, ExperimentOptions, ExperimentOutput,
 };
-use crate::scenario::run_scenario;
+use crate::config::ScenarioConfig;
 
 /// Figure 10: gossip messages per dispatcher vs. ε ∈ 0.01..0.1, at
 /// 50 publish/s (top) and 5 publish/s (bottom).
@@ -30,7 +30,20 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
          (paper: push overhead is roughly constant in eps; pull overhead\n\
          grows with eps and sits far below push at low eps / low load)\n\n",
     );
-    for &(rate, label) in &[(50.0, "high load (50 publish/s)"), (5.0, "low load (5 publish/s)")] {
+    let rates = [(50.0, "high load (50 publish/s)"), (5.0, "low load (5 publish/s)")];
+    let mut configs: Vec<ScenarioConfig> = Vec::new();
+    for &(rate, _) in &rates {
+        for &eps in &epsilons {
+            for &kind in &algorithms {
+                let mut config = base_config(opts).with_algorithm(kind);
+                config.link_error_rate = eps;
+                config.publish_rate = rate;
+                configs.push(config);
+            }
+        }
+    }
+    let mut results = run_cells(opts, &configs).into_iter();
+    for &(rate, label) in &rates {
         let mut headers = vec!["epsilon (link error rate)".to_owned()];
         headers.extend(
             algorithms
@@ -41,11 +54,8 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
         let mut columns: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
         for &eps in &epsilons {
             let mut row = vec![format!("{eps}")];
-            for (i, kind) in algorithms.iter().enumerate() {
-                let mut config = base_config(opts).with_algorithm(*kind);
-                config.link_error_rate = eps;
-                config.publish_rate = rate;
-                let result = run_scenario(&config);
+            for (i, _) in algorithms.iter().enumerate() {
+                let result = results.next().expect("one result per cell");
                 row.push(format!("{:.1}", result.gossip_per_dispatcher));
                 columns[i].push(result.gossip_per_dispatcher);
             }

@@ -4,9 +4,11 @@
 use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
-use super::common::{base_config, delivery_algorithms, f3, ExperimentOptions, ExperimentOutput};
+use super::common::{
+    base_config, delivery_algorithms, f3, run_cells, ExperimentOptions, ExperimentOutput,
+};
 use crate::config::ScenarioConfig;
-use crate::scenario::run_scenario;
+use crate::scenario::ScenarioResult;
 
 /// Figure 3(a): delivery rate vs. time with lossy links, for
 /// ε = 0.05 (left) and ε = 0.1 (right), all six strategies.
@@ -17,16 +19,24 @@ pub fn run_lossy(opts: &ExperimentOptions) -> ExperimentOutput {
          (paper: baseline ~75% at eps=0.05, ~55% at eps=0.1; push and\n\
          combined pull ~90-98%, single pulls insufficient)\n\n",
     );
-    for &eps in &[0.05, 0.1] {
-        let config = ScenarioConfig {
-            link_error_rate: eps,
-            ..base_config(opts)
-        };
-        let (table, chart, summary) = time_series_panel(&config, &format!("eps={eps}"));
+    let panels: Vec<(String, String, ScenarioConfig)> = [0.05, 0.1]
+        .iter()
+        .map(|&eps| {
+            (
+                format!("delivery_eps{}", (eps * 100.0) as u32),
+                format!("eps={eps}"),
+                ScenarioConfig {
+                    link_error_rate: eps,
+                    ..base_config(opts)
+                },
+            )
+        })
+        .collect();
+    for (name, table, chart, summary) in run_panels(opts, panels) {
         text.push_str(&chart);
         text.push_str(&summary);
         text.push('\n');
-        tables.push((format!("delivery_eps{}", (eps * 100.0) as u32), table));
+        tables.push((name, table));
     }
     ExperimentOutput {
         id: "fig3a",
@@ -46,17 +56,25 @@ pub fn run_reconfig(opts: &ExperimentOptions) -> ExperimentOutput {
          (paper: baseline dips to ~70% (rho=0.2s) / ~60% (rho=0.03s) around\n\
          reconfigurations; push and combined pull level the rate near 100%)\n\n",
     );
-    for &(rho_ms, label) in &[(200u64, "rho=0.2s"), (30, "rho=0.03s")] {
-        let config = ScenarioConfig {
-            link_error_rate: 0.0,
-            reconfig_interval: Some(SimTime::from_millis(rho_ms)),
-            ..base_config(opts)
-        };
-        let (table, chart, summary) = time_series_panel(&config, label);
+    let panels: Vec<(String, String, ScenarioConfig)> = [(200u64, "rho=0.2s"), (30, "rho=0.03s")]
+        .iter()
+        .map(|&(rho_ms, label)| {
+            (
+                format!("delivery_rho{rho_ms}ms"),
+                label.to_owned(),
+                ScenarioConfig {
+                    link_error_rate: 0.0,
+                    reconfig_interval: Some(SimTime::from_millis(rho_ms)),
+                    ..base_config(opts)
+                },
+            )
+        })
+        .collect();
+    for (name, table, chart, summary) in run_panels(opts, panels) {
         text.push_str(&chart);
         text.push_str(&summary);
         text.push('\n');
-        tables.push((format!("delivery_rho{rho_ms}ms"), table));
+        tables.push((name, table));
     }
     ExperimentOutput {
         id: "fig3b",
@@ -66,14 +84,41 @@ pub fn run_reconfig(opts: &ExperimentOptions) -> ExperimentOutput {
     }
 }
 
-/// Runs all six strategies on `config` and renders the delivery-rate
-/// time series as a CSV table plus an ASCII chart and summary lines.
-fn time_series_panel(config: &ScenarioConfig, label: &str) -> (CsvTable, String, String) {
+/// Runs every (panel, strategy) cell of a figure in one parallel
+/// batch and renders each panel: a CSV table plus an ASCII chart and
+/// summary lines, keyed by the panel's table name.
+fn run_panels(
+    opts: &ExperimentOptions,
+    panels: Vec<(String, String, ScenarioConfig)>,
+) -> Vec<(String, CsvTable, String, String)> {
+    let algorithms = delivery_algorithms();
+    let configs: Vec<ScenarioConfig> = panels
+        .iter()
+        .flat_map(|(_, _, config)| algorithms.iter().map(|&kind| config.with_algorithm(kind)))
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
+    panels
+        .into_iter()
+        .map(|(name, label, config)| {
+            let panel: Vec<ScenarioResult> =
+                algorithms.iter().map(|_| results.next().expect("one result per cell")).collect();
+            let (table, chart, summary) = time_series_panel(&config, &label, panel);
+            (name, table, chart, summary)
+        })
+        .collect()
+}
+
+/// Renders one panel's six per-strategy results as a delivery-rate
+/// time-series CSV table plus an ASCII chart and summary lines.
+fn time_series_panel(
+    config: &ScenarioConfig,
+    label: &str,
+    results: Vec<ScenarioResult>,
+) -> (CsvTable, String, String) {
     let algorithms = delivery_algorithms();
     let mut all_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     let mut summary = String::new();
-    for kind in algorithms {
-        let result = run_scenario(&config.with_algorithm(kind));
+    for (kind, result) in algorithms.iter().zip(results) {
         summary.push_str(&format!(
             "  {label} {:<16} delivery={:.3} (min bin {:.3})\n",
             kind.name(),
@@ -134,6 +179,7 @@ mod tests {
             quick: true,
             out_dir: std::env::temp_dir().join("eps-fig3-test"),
             seed: 3,
+            ..ExperimentOptions::default()
         }
     }
 
@@ -141,15 +187,17 @@ mod tests {
     /// hold (recovery beats baseline).
     #[test]
     fn panel_produces_series_for_all_algorithms() {
+        let opts = tiny();
         let config = ScenarioConfig {
             nodes: 20,
             duration: SimTime::from_secs(3),
             warmup: SimTime::from_millis(500),
             cooldown: SimTime::from_millis(500),
             publish_rate: 20.0,
-            ..base_config(&tiny())
+            ..base_config(&opts)
         };
-        let (table, chart, summary) = time_series_panel(&config, "test");
+        let panels = vec![("test_table".to_owned(), "test".to_owned(), config)];
+        let (_, table, chart, summary) = run_panels(&opts, panels).pop().unwrap();
         assert!(table.len() > 10, "expected a time series, got {}", table.len());
         assert!(chart.contains("delivery rate vs time"));
         assert!(summary.contains("no-recovery"));

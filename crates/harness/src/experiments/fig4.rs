@@ -5,10 +5,9 @@ use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
 use super::common::{
-    base_config, delivery_algorithms, f3, grid, ExperimentOptions, ExperimentOutput,
+    base_config, delivery_algorithms, f3, grid, run_cells, ExperimentOptions, ExperimentOutput,
 };
 use crate::config::ScenarioConfig;
-use crate::scenario::run_scenario;
 
 /// Figure 4 top: delivery vs. β ∈ 500..4000 for all strategies.
 pub fn run_buffer(opts: &ExperimentOptions) -> ExperimentOutput {
@@ -75,12 +74,22 @@ fn sweep<F: Fn(&mut ScenarioConfig, &f64)>(
     headers.extend(algorithms.iter().map(|k| k.name().to_owned()));
     let mut table = CsvTable::new(headers);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+    let configs: Vec<ScenarioConfig> = xs
+        .iter()
+        .flat_map(|&x| {
+            algorithms.iter().map(move |&kind| (x, kind))
+        })
+        .map(|(x, kind)| {
+            let mut config = base_config(opts).with_algorithm(kind);
+            apply(&mut config, &x);
+            config
+        })
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
     for &x in xs {
         let mut row = vec![format!("{x}")];
-        for (i, kind) in algorithms.iter().enumerate() {
-            let mut config = base_config(opts).with_algorithm(*kind);
-            apply(&mut config, &x);
-            let result = run_scenario(&config);
+        for (i, _) in algorithms.iter().enumerate() {
+            let result = results.next().expect("one result per cell");
             row.push(f3(result.delivery_rate));
             columns[i].push(result.delivery_rate);
         }

@@ -5,9 +5,8 @@ use eps_gossip::AlgorithmKind;
 use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
-use super::common::{base_config, f3, grid, ExperimentOptions, ExperimentOutput};
+use super::common::{base_config, f3, grid, run_cells, ExperimentOptions, ExperimentOutput};
 use crate::config::ScenarioConfig;
-use crate::scenario::run_scenario;
 
 /// Figure 5: delivery vs. T for β ∈ {500, 1500, 2500, 3500}
 /// (combined pull; the paper notes push behaves similarly).
@@ -23,16 +22,21 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     headers.extend(betas.iter().map(|b| format!("beta={b}")));
     let mut table = CsvTable::new(headers);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); betas.len()];
+    let configs: Vec<ScenarioConfig> = intervals
+        .iter()
+        .flat_map(|&t| betas.iter().map(move |&beta| (t, beta)))
+        .map(|(t, beta)| ScenarioConfig {
+            buffer_size: beta,
+            gossip_interval: SimTime::from_secs_f64(t),
+            algorithm: AlgorithmKind::CombinedPull,
+            ..base_config(opts)
+        })
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
     for &t in &intervals {
         let mut row = vec![format!("{t}")];
-        for (i, &beta) in betas.iter().enumerate() {
-            let config = ScenarioConfig {
-                buffer_size: beta,
-                gossip_interval: SimTime::from_secs_f64(t),
-                algorithm: AlgorithmKind::CombinedPull,
-                ..base_config(opts)
-            };
-            let result = run_scenario(&config);
+        for (i, _) in betas.iter().enumerate() {
+            let result = results.next().expect("one result per cell");
             row.push(f3(result.delivery_rate));
             columns[i].push(result.delivery_rate);
         }

@@ -3,10 +3,9 @@
 use eps_metrics::{ascii_chart, CsvTable, Series};
 
 use super::common::{
-    base_config, delivery_algorithms, f3, grid, ExperimentOptions, ExperimentOutput,
+    base_config, delivery_algorithms, f3, grid, run_cells, ExperimentOptions, ExperimentOutput,
 };
 use crate::config::ScenarioConfig;
-use crate::scenario::run_scenario;
 
 /// Buffer size giving every event roughly `seconds` of cache
 /// persistence: the per-node cache insert rate is the publish rate
@@ -34,13 +33,21 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     headers.extend(algorithms.iter().map(|k| k.name().to_owned()));
     let mut table = CsvTable::new(headers);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
-    for &n in &sizes {
-        let mut row = vec![n.to_string()];
-        for (i, kind) in algorithms.iter().enumerate() {
-            let mut config = base_config(opts).with_algorithm(*kind);
+    let configs: Vec<ScenarioConfig> = sizes
+        .iter()
+        .flat_map(|&n| algorithms.iter().map(move |&kind| (n, kind)))
+        .map(|(n, kind)| {
+            let mut config = base_config(opts).with_algorithm(kind);
             config.nodes = n;
             config.buffer_size = buffer_for_persistence(&config, n, 4.0);
-            let result = run_scenario(&config);
+            config
+        })
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for (i, _) in algorithms.iter().enumerate() {
+            let result = results.next().expect("one result per cell");
             row.push(f3(result.delivery_rate));
             columns[i].push(result.delivery_rate);
         }

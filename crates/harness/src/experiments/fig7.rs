@@ -4,8 +4,8 @@ use eps_gossip::AlgorithmKind;
 use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
-use super::common::{base_config, grid, ExperimentOptions, ExperimentOutput};
-use crate::scenario::run_scenario;
+use super::common::{base_config, grid, run_cells, ExperimentOptions, ExperimentOutput};
+use crate::config::ScenarioConfig;
 
 /// Figure 7: receivers per event vs. π_max ∈ 1..30.
 ///
@@ -28,15 +28,21 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     ]);
     let mut measured = Vec::new();
     let mut analytical = Vec::new();
-    for &pi_max in &pi_values {
-        let mut config = base_config(opts).with_algorithm(AlgorithmKind::NoRecovery);
-        config.pi_max = pi_max;
-        config.link_error_rate = 0.0;
-        // Short runs suffice: the statistic is per published event.
-        config.duration = SimTime::from_secs(3);
-        config.warmup = SimTime::from_millis(500);
-        config.cooldown = SimTime::from_millis(500);
-        let result = run_scenario(&config);
+    let configs: Vec<ScenarioConfig> = pi_values
+        .iter()
+        .map(|&pi_max| {
+            let mut config = base_config(opts).with_algorithm(AlgorithmKind::NoRecovery);
+            config.pi_max = pi_max;
+            config.link_error_rate = 0.0;
+            // Short runs suffice: the statistic is per published event.
+            config.duration = SimTime::from_secs(3);
+            config.warmup = SimTime::from_millis(500);
+            config.cooldown = SimTime::from_millis(500);
+            config
+        })
+        .collect();
+    let results = run_cells(opts, &configs);
+    for ((&pi_max, config), result) in pi_values.iter().zip(&configs).zip(results) {
         let expected = config.nodes as f64
             * (1.0
                 - (1.0 - pi_max as f64 / config.pattern_universe as f64)

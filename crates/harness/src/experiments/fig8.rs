@@ -5,8 +5,8 @@ use eps_gossip::AlgorithmKind;
 use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
-use super::common::{base_config, f3, grid, ExperimentOptions, ExperimentOutput};
-use crate::scenario::run_scenario;
+use super::common::{base_config, f3, grid, run_cells, ExperimentOptions, ExperimentOutput};
+use crate::config::ScenarioConfig;
 
 /// The strategies Figure 8 compares (the paper omits the publisher and
 /// random variants here).
@@ -28,37 +28,50 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
          combined improves for pi_max<6 while push worsens, then every\n\
          strategy decays because beta=4000 cannot keep up)\n\n",
     );
-    for &(rate, label) in &[(5.0, "low load (5 publish/s)"), (50.0, "high load (50 publish/s)")] {
+    let rates = [(5.0, "low load (5 publish/s)"), (50.0, "high load (50 publish/s)")];
+    let cell = |rate: f64, pi_max: usize, kind: AlgorithmKind| {
+        let mut config = base_config(opts).with_algorithm(kind);
+        config.pi_max = pi_max;
+        config.publish_rate = rate;
+        config.buffer_size = 4000;
+        if opts.quick {
+            // High pi_max runs flood the network; keep quick
+            // mode quick without losing the steady state. Low
+            // load needs a longer window: with ~0.2 events/s
+            // per (source, pattern) stream, sequence-gap
+            // detection alone takes ~5 s, so pull recovery
+            // barely starts inside a 6 s run.
+            config.duration = SimTime::from_secs(if rate < 10.0 { 14 } else { 6 });
+        }
+        if rate < 10.0 {
+            // The cooldown must cover pull detection latency:
+            // at ~0.2 events/s per (source, pattern) stream
+            // the gap for an event published near the end
+            // only becomes visible seconds after the run
+            // stops, which would count as loss artificially.
+            config.cooldown = SimTime::from_secs(6);
+        }
+        config
+    };
+    let configs: Vec<ScenarioConfig> = rates
+        .iter()
+        .flat_map(|&(rate, _)| {
+            pi_values.iter().flat_map(move |&pi_max| {
+                ALGORITHMS.iter().map(move |&kind| (rate, pi_max, kind))
+            })
+        })
+        .map(|(rate, pi_max, kind)| cell(rate, pi_max, kind))
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
+    for &(rate, label) in &rates {
         let mut headers = vec!["pi_max".to_owned()];
         headers.extend(ALGORITHMS.iter().map(|k| k.name().to_owned()));
         let mut table = CsvTable::new(headers);
         let mut columns: Vec<Vec<f64>> = vec![Vec::new(); ALGORITHMS.len()];
         for &pi_max in &pi_values {
             let mut row = vec![pi_max.to_string()];
-            for (i, kind) in ALGORITHMS.iter().enumerate() {
-                let mut config = base_config(opts).with_algorithm(*kind);
-                config.pi_max = pi_max;
-                config.publish_rate = rate;
-                config.buffer_size = 4000;
-                if opts.quick {
-                    // High pi_max runs flood the network; keep quick
-                    // mode quick without losing the steady state. Low
-                    // load needs a longer window: with ~0.2 events/s
-                    // per (source, pattern) stream, sequence-gap
-                    // detection alone takes ~5 s, so pull recovery
-                    // barely starts inside a 6 s run.
-                    config.duration =
-                        SimTime::from_secs(if rate < 10.0 { 14 } else { 6 });
-                }
-                if rate < 10.0 {
-                    // The cooldown must cover pull detection latency:
-                    // at ~0.2 events/s per (source, pattern) stream
-                    // the gap for an event published near the end
-                    // only becomes visible seconds after the run
-                    // stops, which would count as loss artificially.
-                    config.cooldown = SimTime::from_secs(6);
-                }
-                let result = run_scenario(&config);
+            for (i, _) in ALGORITHMS.iter().enumerate() {
+                let result = results.next().expect("one result per cell");
                 row.push(f3(result.delivery_rate));
                 columns[i].push(result.delivery_rate);
             }

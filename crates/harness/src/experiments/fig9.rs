@@ -5,10 +5,10 @@ use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
 use super::common::{
-    base_config, grid, overhead_algorithms, ExperimentOptions, ExperimentOutput,
+    base_config, grid, overhead_algorithms, run_cells, ExperimentOptions, ExperimentOutput,
 };
+use crate::config::ScenarioConfig;
 use crate::experiments::fig6::buffer_for_persistence;
-use crate::scenario::run_scenario;
 
 /// Figure 9(a): overhead vs. N for push and combined pull —
 /// gossip messages per dispatcher (left) and the gossip/event message
@@ -72,7 +72,7 @@ type NamedTables = Vec<(String, CsvTable)>;
 
 /// Runs push and combined pull over a sweep, reporting both overhead
 /// views.
-fn overhead_sweep<F: Fn(&mut crate::config::ScenarioConfig, &f64)>(
+fn overhead_sweep<F: Fn(&mut ScenarioConfig, &f64)>(
     opts: &ExperimentOptions,
     x_label: &str,
     xs: &[f64],
@@ -88,12 +88,20 @@ fn overhead_sweep<F: Fn(&mut crate::config::ScenarioConfig, &f64)>(
     let mut table = CsvTable::new(headers);
     let mut per_dispatcher: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+    let configs: Vec<ScenarioConfig> = xs
+        .iter()
+        .flat_map(|&x| algorithms.iter().map(move |&kind| (x, kind)))
+        .map(|(x, kind)| {
+            let mut config = base_config(opts).with_algorithm(kind);
+            apply(&mut config, &x);
+            config
+        })
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
     for &x in xs {
         let mut row = vec![format!("{x}")];
-        for (i, kind) in algorithms.iter().enumerate() {
-            let mut config = base_config(opts).with_algorithm(*kind);
-            apply(&mut config, &x);
-            let result = run_scenario(&config);
+        for (i, _) in algorithms.iter().enumerate() {
+            let result = results.next().expect("one result per cell");
             row.push(format!("{:.1}", result.gossip_per_dispatcher));
             row.push(format!("{:.4}", result.gossip_event_ratio));
             per_dispatcher[i].push(result.gossip_per_dispatcher);

@@ -7,8 +7,8 @@ use eps_gossip::AlgorithmKind;
 use eps_metrics::CsvTable;
 use eps_sim::Summary;
 
-use super::common::{base_config, ExperimentOptions, ExperimentOutput};
-use crate::scenario::run_scenario;
+use super::common::{base_config, run_cells, ExperimentOptions, ExperimentOutput};
+use crate::config::ScenarioConfig;
 
 /// Runs the default scenario under several seeds and reports the
 /// spread of the delivery rate, validating the paper's
@@ -26,15 +26,22 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
          (paper: variation across seeds is limited, around 1-2%,\n\
          justifying single-run presentation)\n\n",
     );
-    for kind in algorithms {
-        let mut summary = Summary::new();
-        for seed in 1..=seed_count {
-            let config = base_config(&ExperimentOptions {
+    let configs: Vec<ScenarioConfig> = algorithms
+        .iter()
+        .flat_map(|&kind| (1..=seed_count).map(move |seed| (kind, seed)))
+        .map(|(kind, seed)| {
+            base_config(&ExperimentOptions {
                 seed: seed as u64,
                 ..opts.clone()
             })
-            .with_algorithm(kind);
-            let r = run_scenario(&config);
+            .with_algorithm(kind)
+        })
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
+    for kind in algorithms {
+        let mut summary = Summary::new();
+        for seed in 1..=seed_count {
+            let r = results.next().expect("one result per cell");
             summary.record(r.delivery_rate);
             table.push_row(vec![
                 kind.name().into(),

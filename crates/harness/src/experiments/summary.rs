@@ -5,8 +5,10 @@
 
 use eps_metrics::CsvTable;
 
-use super::common::{base_config, delivery_algorithms, ExperimentOptions, ExperimentOutput};
-use crate::scenario::run_scenario;
+use super::common::{
+    base_config, delivery_algorithms, run_cells, ExperimentOptions, ExperimentOutput,
+};
+use crate::config::ScenarioConfig;
 
 /// Runs all six strategies at the default configuration and tabulates
 /// the headline metrics.
@@ -29,8 +31,13 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
         "{:<16} {:>9} {:>9} {:>12} {:>8} {:>10} {:>9} {:>9}\n",
         "algorithm", "delivery", "worstbin", "gossip/disp", "g/e", "recovered", "lat-mean", "lat-p95"
     ));
+    let configs: Vec<ScenarioConfig> = delivery_algorithms()
+        .iter()
+        .map(|&kind| base_config(opts).with_algorithm(kind))
+        .collect();
+    let mut results = run_cells(opts, &configs).into_iter();
     for kind in delivery_algorithms() {
-        let r = run_scenario(&base_config(opts).with_algorithm(kind));
+        let r = results.next().expect("one result per cell");
         table.push_row(vec![
             kind.name().into(),
             format!("{:.3}", r.delivery_rate),

@@ -25,6 +25,7 @@
 
 mod config;
 pub mod experiments;
+pub mod parallel;
 mod scenario;
 mod trace;
 

@@ -1,0 +1,129 @@
+//! A tiny deterministic work-stealing pool, built on
+//! [`std::thread::scope`] only.
+//!
+//! Experiment cells — one `(algorithm, sweep point, seed)` scenario
+//! each — are independent by construction: every [`crate::run_scenario`]
+//! call derives all of its randomness from its own config's master
+//! seed, so running cells concurrently cannot change any result.
+//! Workers pull the next unclaimed index from a shared atomic counter
+//! (cheap work stealing: fast cells finish early and their worker
+//! moves on to whatever is left), and results are merged back **in
+//! input order**, so the output of [`par_map`] is byte-for-byte the
+//! one the serial loop would have produced, regardless of how the
+//! cells were scheduled.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The default worker count: what the OS reports as available
+/// parallelism, or 1 when that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, using up to `jobs` worker threads, and
+/// returns the results in input order.
+///
+/// `jobs` is clamped to `[1, items.len()]`; with `jobs == 1` (or one
+/// item) the map runs inline on the caller's thread with no spawns.
+/// Panics in `f` propagate to the caller.
+///
+/// # Examples
+///
+/// ```
+/// use eps_harness::parallel::par_map;
+///
+/// let squares = par_map(4, &[1, 2, 3, 4, 5], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => buckets.push(local),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+
+    let mut indexed: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(8, &items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_for_any_job_count() {
+        let items: Vec<u64> = (0..17).collect();
+        let serial = par_map(1, &items, |&x| x * x + 1);
+        for jobs in [2, 3, 7, 16, 64] {
+            assert_eq!(par_map(jobs, &items, |&x| x * x + 1), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map(4, &[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(4, &[9], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let barrier = std::sync::Barrier::new(2);
+        let items = [0, 1];
+        par_map(2, &items, |_| {
+            // Both workers must be alive at once to get past this.
+            barrier.wait();
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(seen.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -11,10 +11,7 @@ use eps_pubsub::{
     flood_subscriptions, install_local_subscriptions, Dispatcher, DispatcherConfig, Event,
     EventId, PatternId, PatternSpace, PubSubMessage, rebuild_subscription_routes,
 };
-use eps_sim::{Engine, RngFactory, SimTime};
-use rand::rngs::SmallRng;
-use rand::seq::IteratorRandom;
-use rand::Rng;
+use eps_sim::{Engine, Rng, RngFactory, SimTime};
 
 use crate::config::ScenarioConfig;
 use crate::trace::{ScenarioTrace, TraceRecord};
@@ -166,13 +163,13 @@ struct Scenario {
     subscribers_of: Vec<Vec<NodeId>>,
     tracker: DeliveryTracker,
     counters: MessageCounters,
-    workload_rngs: Vec<SmallRng>,
+    workload_rngs: Vec<Rng>,
     gossip_delays: Vec<SimTime>,
-    loss_rng: SmallRng,
-    oob_rng: SmallRng,
-    gossip_rng: SmallRng,
-    reconfig_rng: SmallRng,
-    churn_rng: SmallRng,
+    loss_rng: Rng,
+    oob_rng: Rng,
+    gossip_rng: Rng,
+    reconfig_rng: Rng,
+    churn_rng: Rng,
     reconfigurations: u64,
     churn_events: u64,
     trace: Option<ScenarioTrace>,
@@ -225,7 +222,7 @@ impl Scenario {
             .map(|_| config.algorithm.build(config.gossip))
             .collect();
 
-        let workload_rngs: Vec<SmallRng> = (0..config.nodes)
+        let workload_rngs: Vec<Rng> = (0..config.nodes)
             .map(|i| factory.indexed_stream("workload", i as u64))
             .collect();
 
@@ -507,10 +504,7 @@ impl Scenario {
                     .patterns()
                     .filter(|p| !subs.contains(p))
                     .collect();
-                if let Some(&new) = {
-                    use rand::seq::IndexedRandom as _;
-                    candidates.choose(&mut self.churn_rng)
-                } {
+                if let Some(&new) = self.churn_rng.choose(&candidates) {
                     self.apply_churn(node, old, new);
                 }
             }
@@ -547,7 +541,9 @@ impl Scenario {
             // in-flight recoveries. Do not disturb them.
             return;
         }
-        if let Some(link) = self.topology.links().choose(&mut self.reconfig_rng) {
+        let topology = &self.topology;
+        let reconfig_rng = &mut self.reconfig_rng;
+        if let Some(link) = reconfig_rng.choose_iter(topology.links()) {
             self.topology
                 .remove_link(link)
                 .expect("chosen link exists");

@@ -3,8 +3,7 @@
 
 use std::collections::HashMap;
 
-use eps_sim::SimTime;
-use rand::Rng;
+use eps_sim::{Rng, SimTime};
 
 use crate::node::NodeId;
 
@@ -110,14 +109,14 @@ impl LinkTable {
     /// Returns when the message arrives, or [`Transmission::Lost`] with
     /// probability `spec.loss_rate`. Loss is decided by `rng`, which
     /// the caller supplies so that the loss stream is deterministic.
-    pub fn transmit<R: Rng + ?Sized>(
+    pub fn transmit(
         &mut self,
         spec: &LinkSpec,
         from: NodeId,
         to: NodeId,
         bits: u64,
         now: SimTime,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Transmission {
         let queue = self.busy_until.entry((from, to)).or_insert(SimTime::ZERO);
         let start = (*queue).max(now);
@@ -189,7 +188,7 @@ impl Default for OutOfBandSpec {
 
 impl OutOfBandSpec {
     /// Delivery delay for a message of `bits`, or `None` if lost.
-    pub fn delay<R: Rng + ?Sized>(&self, bits: u64, rng: &mut R) -> Option<SimTime> {
+    pub fn delay(&self, bits: u64, rng: &mut Rng) -> Option<SimTime> {
         if self.loss_rate > 0.0 && rng.random_bool(self.loss_rate) {
             return None;
         }

@@ -8,8 +8,7 @@
 //! connected", with the overlay repaired in 0.1 s. Reconfigurations
 //! are triggered every `ρ` seconds.
 
-use rand::seq::IteratorRandom;
-use rand::Rng;
+use eps_sim::Rng;
 
 use crate::node::{LinkId, NodeId};
 use crate::topology::Topology;
@@ -49,11 +48,8 @@ pub struct ReconfigPlan {
 /// degree bound; a node with spare degree always exists in a component
 /// of a degree-bounded tree (every component with at least two nodes
 /// has a leaf, and an isolated node has degree zero).
-pub fn plan_reconfiguration<R: Rng + ?Sized>(
-    topo: &Topology,
-    rng: &mut R,
-) -> Option<ReconfigPlan> {
-    let broken = topo.links().choose(rng)?;
+pub fn plan_reconfiguration(topo: &Topology, rng: &mut Rng) -> Option<ReconfigPlan> {
+    let broken = rng.choose_iter(topo.links())?;
     let mut scratch = topo.clone();
     scratch
         .remove_link(broken)
@@ -61,12 +57,13 @@ pub fn plan_reconfiguration<R: Rng + ?Sized>(
     let comp_a = scratch.component_of(broken.a());
     let comp_b = scratch.component_of(broken.b());
     debug_assert_eq!(comp_a.len() + comp_b.len(), topo.len());
-    let pick = |comp: &[NodeId], rng: &mut R| -> NodeId {
-        comp.iter()
-            .copied()
-            .filter(|&n| scratch.degree(n) < scratch.max_degree())
-            .choose(rng)
-            .expect("a degree-bounded tree component always has a spare-degree node")
+    let pick = |comp: &[NodeId], rng: &mut Rng| -> NodeId {
+        rng.choose_iter(
+            comp.iter()
+                .copied()
+                .filter(|&n| scratch.degree(n) < scratch.max_degree()),
+        )
+        .expect("a degree-bounded tree component always has a spare-degree node")
     };
     let from_a = pick(&comp_a, rng);
     let from_b = pick(&comp_b, rng);
@@ -84,10 +81,7 @@ pub fn plan_reconfiguration<R: Rng + ?Sized>(
 /// still broken: each repair event reconnects two components chosen at
 /// repair time, so the overlay converges back to a tree once all
 /// pending repairs have fired.
-pub fn plan_reconnection<R: Rng + ?Sized>(
-    topo: &Topology,
-    rng: &mut R,
-) -> Option<(NodeId, NodeId)> {
+pub fn plan_reconnection(topo: &Topology, rng: &mut Rng) -> Option<(NodeId, NodeId)> {
     // Label components by BFS.
     let mut label = vec![usize::MAX; topo.len()];
     let mut count = 0usize;
@@ -112,11 +106,12 @@ pub fn plan_reconnection<R: Rng + ?Sized>(
             raw
         }
     };
-    let pick = |comp: usize, rng: &mut R| -> NodeId {
-        topo.nodes()
-            .filter(|&n| label[n.index()] == comp && topo.degree(n) < topo.max_degree())
-            .choose(rng)
-            .expect("a degree-bounded forest component always has a spare-degree node")
+    let pick = |comp: usize, rng: &mut Rng| -> NodeId {
+        rng.choose_iter(
+            topo.nodes()
+                .filter(|&n| label[n.index()] == comp && topo.degree(n) < topo.max_degree()),
+        )
+        .expect("a degree-bounded forest component always has a spare-degree node")
     };
     Some((pick(comp_x, rng), pick(comp_y, rng)))
 }
@@ -139,7 +134,7 @@ mod tests {
         let mut topo = Topology::random_tree(60, 4, &mut rng);
         // Break three links before any repair (overlapping scenario).
         for _ in 0..3 {
-            let link = topo.links().choose(&mut rng).unwrap();
+            let link = rng.choose_iter(topo.links()).unwrap();
             topo.remove_link(link).unwrap();
         }
         assert!(!topo.is_connected());

@@ -3,8 +3,7 @@
 
 use std::collections::VecDeque;
 
-use rand::seq::IteratorRandom;
-use rand::Rng;
+use eps_sim::Rng;
 
 use crate::node::{LinkId, NodeId};
 
@@ -89,13 +88,15 @@ impl Topology {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Topology::new`].
-    pub fn random_tree<R: Rng + ?Sized>(n: usize, max_degree: usize, rng: &mut R) -> Self {
+    pub fn random_tree(n: usize, max_degree: usize, rng: &mut Rng) -> Self {
         let mut topo = Topology::new(n, max_degree);
         for i in 1..n {
-            let candidate = (0..i)
-                .map(|j| NodeId::new(j as u32))
-                .filter(|&j| topo.degree(j) < max_degree)
-                .choose(rng)
+            let candidate = rng
+                .choose_iter(
+                    (0..i)
+                        .map(|j| NodeId::new(j as u32))
+                        .filter(|&j| topo.degree(j) < max_degree),
+                )
                 .expect("a growing bounded-degree tree always has a node with spare degree");
             topo.add_link(candidate, NodeId::new(i as u32))
                 .expect("candidate was checked for spare degree");
@@ -330,7 +331,7 @@ mod tests {
     use super::*;
     use eps_sim::RngFactory;
 
-    fn rng() -> impl Rng {
+    fn rng() -> Rng {
         RngFactory::new(42).stream("topology-test")
     }
 

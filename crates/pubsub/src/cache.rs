@@ -19,8 +19,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use eps_overlay::NodeId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use eps_sim::Rng;
 
 use crate::event::{Event, EventId};
 use crate::pattern::PatternId;
@@ -66,7 +65,7 @@ enum PolicyState {
     Random {
         live: Vec<EventId>,
         pos: HashMap<EventId, usize>,
-        rng: SmallRng,
+        rng: Rng,
     },
     SourceBiased {
         own: VecDeque<EventId>,
@@ -84,7 +83,7 @@ impl PolicyState {
             EvictionPolicy::Random { seed } => PolicyState::Random {
                 live: Vec::new(),
                 pos: HashMap::new(),
-                rng: SmallRng::seed_from_u64(seed),
+                rng: Rng::from_seed(seed),
             },
             EvictionPolicy::SourceBiased { own_permille } => {
                 assert!(

@@ -175,6 +175,9 @@ pub struct Dispatcher {
     late_patterns: HashSet<PatternId>,
     delivered_total: u64,
     published_total: u64,
+    /// Reusable buffer for match results, so the per-event forwarding
+    /// path does not allocate in steady state.
+    match_scratch: Vec<NodeId>,
 }
 
 impl Dispatcher {
@@ -194,6 +197,7 @@ impl Dispatcher {
             late_patterns: HashSet::new(),
             delivered_total: 0,
             published_total: 0,
+            match_scratch: Vec::new(),
         }
     }
 
@@ -476,15 +480,19 @@ impl Dispatcher {
         }
     }
 
-    fn forwards_for(&self, event: &Event, from: Option<NodeId>) -> Vec<Forward> {
-        self.table
-            .matching_neighbors(event, from)
-            .into_iter()
-            .map(|n| Forward {
+    fn forwards_for(&mut self, event: &Event, from: Option<NodeId>) -> Vec<Forward> {
+        let mut scratch = std::mem::take(&mut self.match_scratch);
+        self.table.matching_neighbors_into(event, from, &mut scratch);
+        let out = scratch
+            .iter()
+            .map(|&n| Forward {
                 to: n,
+                // An Arc refcount bump, not a deep copy of the event.
                 msg: PubSubMessage::Event(event.clone()),
             })
-            .collect()
+            .collect();
+        self.match_scratch = scratch;
+        out
     }
 }
 

@@ -7,6 +7,19 @@
 //! source each time it publishes an event for that pattern. To support
 //! publisher-based pull, event messages also record the route travelled
 //! so far (the address of each dispatcher encountered is appended).
+//!
+//! # Performance model
+//!
+//! An event is forwarded (and therefore cloned) once per hop of the
+//! dispatching tree and once per gossip retransmission. The immutable
+//! content — the pattern/sequence pairs — lives behind an [`Arc`], so
+//! a clone is a refcount bump, not a deep copy. The recorded route is
+//! a second `Arc` with copy-on-write semantics ([`Arc::make_mut`]):
+//! when route recording is off the route is shared by every copy; when
+//! it is on, only the hop that actually extends the route pays for a
+//! fresh vector.
+
+use std::sync::Arc;
 
 use eps_overlay::NodeId;
 
@@ -53,19 +66,27 @@ impl std::fmt::Display for EventId {
     }
 }
 
+/// The immutable content of an event, shared between all copies.
+#[derive(PartialEq, Eq, Debug)]
+struct EventData {
+    /// Sorted, distinct patterns matched by this event, with the
+    /// per-(source, pattern) sequence number assigned at publish time.
+    pattern_seqs: Vec<(PatternId, u64)>,
+}
+
 /// A published event as it travels the dispatching tree.
 ///
 /// Contains the content (the patterns it matches), the per-pattern
 /// sequence numbers assigned at the source, and the route recorded so
-/// far. Cloned at every forwarding hop, as a real message would be.
+/// far. Cloned at every forwarding hop, as a real message would be —
+/// but the clone only bumps two reference counts (see the module
+/// docs).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Event {
     id: EventId,
-    /// Sorted, distinct patterns matched by this event, with the
-    /// per-(source, pattern) sequence number assigned at publish time.
-    pattern_seqs: Vec<(PatternId, u64)>,
+    data: Arc<EventData>,
     /// Dispatchers traversed so far, starting with the source.
-    route: Vec<NodeId>,
+    route: Arc<Vec<NodeId>>,
 }
 
 impl Event {
@@ -86,8 +107,8 @@ impl Event {
         );
         Event {
             id,
-            pattern_seqs,
-            route: vec![id.source()],
+            data: Arc::new(EventData { pattern_seqs }),
+            route: Arc::new(vec![id.source()]),
         }
     }
 
@@ -103,21 +124,22 @@ impl Event {
 
     /// The patterns this event matches, sorted.
     pub fn patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
-        self.pattern_seqs.iter().map(|&(p, _)| p)
+        self.data.pattern_seqs.iter().map(|&(p, _)| p)
     }
 
     /// Pattern/sequence pairs carried in the identifier.
     pub fn pattern_seqs(&self) -> &[(PatternId, u64)] {
-        &self.pattern_seqs
+        &self.data.pattern_seqs
     }
 
     /// The sequence number associated with pattern `p`, if the event
     /// matches it.
     pub fn seq_for(&self, p: PatternId) -> Option<u64> {
-        self.pattern_seqs
+        self.data
+            .pattern_seqs
             .binary_search_by_key(&p, |&(q, _)| q)
             .ok()
-            .map(|i| self.pattern_seqs[i].1)
+            .map(|i| self.data.pattern_seqs[i].1)
     }
 
     /// `true` if the event content contains pattern `p`.
@@ -137,9 +159,10 @@ impl Event {
     }
 
     /// Appends a traversed dispatcher to the recorded route (used by
-    /// publisher-based pull).
+    /// publisher-based pull). Copy-on-write: copies already in flight
+    /// elsewhere keep their shorter route.
     pub fn record_hop(&mut self, node: NodeId) {
-        self.route.push(node);
+        Arc::make_mut(&mut self.route).push(node);
     }
 
     /// Approximate wire size of this event message, in bits, given the
@@ -198,6 +221,36 @@ mod tests {
             e.route(),
             &[NodeId::new(2), NodeId::new(5), NodeId::new(7)]
         );
+    }
+
+    #[test]
+    fn clone_shares_content_and_route() {
+        let e = event();
+        let copy = e.clone();
+        // A per-hop clone must be a refcount bump, not a deep copy.
+        assert!(Arc::ptr_eq(&e.data, &copy.data));
+        assert!(Arc::ptr_eq(&e.route, &copy.route));
+    }
+
+    #[test]
+    fn record_hop_is_copy_on_write() {
+        let e = event();
+        let mut hopped = e.clone();
+        hopped.record_hop(NodeId::new(5));
+        // The content stays shared; only the route diverges.
+        assert!(Arc::ptr_eq(&e.data, &hopped.data));
+        assert!(!Arc::ptr_eq(&e.route, &hopped.route));
+        assert_eq!(e.route(), &[NodeId::new(2)]);
+        assert_eq!(hopped.route(), &[NodeId::new(2), NodeId::new(5)]);
+    }
+
+    #[test]
+    fn record_hop_without_aliases_mutates_in_place() {
+        let mut e = event();
+        let before = Arc::as_ptr(&e.route);
+        e.record_hop(NodeId::new(5));
+        // Sole owner: no reallocation of the Arc itself.
+        assert_eq!(before, Arc::as_ptr(&e.route));
     }
 
     #[test]

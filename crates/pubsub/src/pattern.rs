@@ -6,8 +6,7 @@
 //! number. The system has `Π` patterns (70 by default) and an event
 //! matches at most 3 patterns.
 
-use rand::seq::index::sample;
-use rand::Rng;
+use eps_sim::Rng;
 
 /// A content pattern: a single number out of the pattern universe.
 ///
@@ -117,7 +116,7 @@ impl PatternSpace {
     /// uniform draws (with replacement, as a random number sequence
     /// would produce), deduplicated and sorted. The result has between
     /// 1 and `max_patterns_per_event` distinct patterns.
-    pub fn random_content<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<PatternId> {
+    pub fn random_content(&self, rng: &mut Rng) -> Vec<PatternId> {
         let mut content: Vec<PatternId> = (0..self.max_patterns_per_event)
             .map(|_| PatternId::new(rng.random_range(0..self.universe)))
             .collect();
@@ -133,22 +132,16 @@ impl PatternSpace {
     /// # Panics
     ///
     /// Panics if `count` exceeds the universe size.
-    pub fn random_subscriptions<R: Rng + ?Sized>(
-        &self,
-        count: usize,
-        rng: &mut R,
-    ) -> Vec<PatternId> {
+    pub fn random_subscriptions(&self, count: usize, rng: &mut Rng) -> Vec<PatternId> {
         assert!(
             count <= self.universe as usize,
             "cannot draw {count} distinct patterns from a universe of {}",
             self.universe
         );
-        let mut subs: Vec<PatternId> = sample(rng, self.universe as usize, count)
+        rng.sample_indices(self.universe as usize, count)
             .into_iter()
             .map(|i| PatternId::new(i as u16))
-            .collect();
-        subs.sort();
-        subs
+            .collect()
     }
 
     /// Expected number of subscribers per pattern for `n` dispatchers

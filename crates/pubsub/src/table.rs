@@ -102,28 +102,51 @@ impl SubscriptionTable {
     /// `exclude` (typically the message's arrival interface), in id
     /// order.
     pub fn neighbors_for(&self, pattern: PatternId, exclude: Option<NodeId>) -> Vec<NodeId> {
+        self.neighbors_for_iter(pattern, exclude).collect()
+    }
+
+    /// Allocation-free variant of [`SubscriptionTable::neighbors_for`]:
+    /// iterates the subscribed neighbor interfaces in id order without
+    /// materializing a `Vec`.
+    pub fn neighbors_for_iter(
+        &self,
+        pattern: PatternId,
+        exclude: Option<NodeId>,
+    ) -> impl Iterator<Item = NodeId> + '_ {
         self.entries
             .get(&pattern)
             .into_iter()
             .flatten()
-            .filter_map(|iface| match *iface {
+            .filter_map(move |iface| match *iface {
                 Interface::Neighbor(n) if Some(n) != exclude => Some(n),
                 _ => None,
             })
-            .collect()
     }
 
     /// The distinct neighbors an event must be forwarded to: the union
     /// of [`SubscriptionTable::neighbors_for`] over the event's
     /// patterns, minus the arrival interface.
     pub fn matching_neighbors(&self, event: &Event, from: Option<NodeId>) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = event
-            .patterns()
-            .flat_map(|p| self.neighbors_for(p, from))
-            .collect();
-        out.sort();
-        out.dedup();
+        let mut out = Vec::new();
+        self.matching_neighbors_into(event, from, &mut out);
         out
+    }
+
+    /// Like [`SubscriptionTable::matching_neighbors`], but reuses the
+    /// caller's buffer: `out` is cleared and refilled, so a dispatcher
+    /// forwarding many events allocates nothing in steady state.
+    pub fn matching_neighbors_into(
+        &self,
+        event: &Event,
+        from: Option<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        for p in event.patterns() {
+            out.extend(self.neighbors_for_iter(p, from));
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// `true` if the event matches a local subscription.

@@ -5,8 +5,19 @@
 //! is deliberately minimal: it knows nothing about networks or nodes.
 //! Higher layers schedule opaque messages of type `M` and interpret
 //! them when they fire.
+//!
+//! # Performance model
+//!
+//! Payloads live *inline* in the heap slots, so scheduling an event is
+//! one heap push and popping it is one heap pop — there is no side
+//! `HashMap` paying a hash insert plus a hash remove per event.
+//! Cancellation is lazy: [`Engine::cancel`] flips one bit in a dense
+//! per-sequence bitmap (sequences are allocated consecutively, so the
+//! bitmap is an O(1) "tombstone set" with no hashing at all) and
+//! tombstoned slots are dropped when they surface at the heap head.
+//! The head is never left tombstoned, which is what lets
+//! [`Engine::peek_time`] take `&self`.
 
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
@@ -17,22 +28,31 @@ use crate::time::SimTime;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
-#[derive(PartialEq, Eq)]
-struct Slot {
+struct Slot<M> {
     at: SimTime,
     seq: u64,
+    msg: M,
 }
 
-impl Ord for Slot {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Primary: time. Secondary: insertion order, so that events
-        // scheduled earlier for the same instant fire first (stable
-        // FIFO semantics, required for determinism).
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl<M> PartialEq for Slot<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
     }
 }
 
-impl PartialOrd for Slot {
+impl<M> Eq for Slot<M> {}
+
+impl<M> Ord for Slot<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so `BinaryHeap` (a max-heap) acts as a min-heap.
+        // Primary: time. Secondary: insertion order, so that events
+        // scheduled earlier for the same instant fire first (stable
+        // FIFO semantics, required for determinism).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<M> PartialOrd for Slot<M> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -40,10 +60,11 @@ impl PartialOrd for Slot {
 
 /// A deterministic discrete-event scheduler.
 ///
-/// Events carry an arbitrary payload `M`. Two events scheduled for the
-/// same instant fire in the order they were scheduled. Cancellation is
-/// lazy: cancelled entries are skipped when popped, which keeps
-/// `cancel` O(1).
+/// Events carry an arbitrary payload `M`, stored inline in the queue.
+/// Two events scheduled for the same instant fire in the order they
+/// were scheduled. Cancellation is lazy and O(1): cancelled entries
+/// are tombstoned in a dense bitmap and dropped when they reach the
+/// head of the queue.
 ///
 /// # Examples
 ///
@@ -61,8 +82,12 @@ impl PartialOrd for Slot {
 pub struct Engine<M> {
     now: SimTime,
     next_seq: u64,
-    heap: BinaryHeap<Reverse<Slot>>,
-    payloads: std::collections::HashMap<u64, M>,
+    heap: BinaryHeap<Slot<M>>,
+    /// One bit per sequence number ever allocated: set once the event
+    /// has fired or been cancelled.
+    done: Vec<u64>,
+    /// Cancelled entries still physically present in the heap.
+    tombstoned: usize,
     scheduled_total: u64,
     cancelled_total: u64,
 }
@@ -80,7 +105,8 @@ impl<M> Engine<M> {
             now: SimTime::ZERO,
             next_seq: 0,
             heap: BinaryHeap::new(),
-            payloads: std::collections::HashMap::new(),
+            done: Vec::new(),
+            tombstoned: 0,
             scheduled_total: 0,
             cancelled_total: 0,
         }
@@ -94,12 +120,12 @@ impl<M> Engine<M> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.payloads.len()
+        self.heap.len() - self.tombstoned
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.payloads.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled.
@@ -132,39 +158,42 @@ impl<M> Engine<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Reverse(Slot { at, seq }));
-        self.payloads.insert(seq, msg);
+        self.heap.push(Slot { at, seq, msg });
         EventId(seq)
     }
 
-    /// Cancels a pending event. Returns the payload if the event was
-    /// still pending, `None` if it had already fired or been cancelled.
-    pub fn cancel(&mut self, id: EventId) -> Option<M> {
-        let removed = self.payloads.remove(&id.0);
-        if removed.is_some() {
-            self.cancelled_total += 1;
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending, `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq || self.is_done(id.0) {
+            return false;
         }
-        removed
+        self.mark_done(id.0);
+        self.tombstoned += 1;
+        self.cancelled_total += 1;
+        // Keep the invariant that the heap head is live, so that
+        // `peek_time` stays a borrow-only heap peek.
+        self.drop_tombstoned_head();
+        true
     }
 
     /// Time of the next pending event, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
-        self.heap.peek().map(|Reverse(slot)| slot.at)
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // The head is never tombstoned (see `drop_tombstoned_head`),
+        // so this is a plain O(1) peek with a shared borrow.
+        self.heap.peek().map(|slot| slot.at)
     }
 
     /// Removes and returns the next event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, M)> {
-        self.skip_cancelled();
-        let Reverse(slot) = self.heap.pop()?;
-        let msg = self
-            .payloads
-            .remove(&slot.seq)
-            .expect("pending slot must have a payload");
+        let slot = self.heap.pop()?;
+        debug_assert!(!self.is_done(slot.seq), "tombstone surfaced at head");
+        self.mark_done(slot.seq);
         debug_assert!(slot.at >= self.now, "event queue went backwards");
         self.now = slot.at;
-        Some((slot.at, msg))
+        self.drop_tombstoned_head();
+        Some((slot.at, slot.msg))
     }
 
     /// Like [`Engine::pop`] but only if the next event fires at or
@@ -183,13 +212,30 @@ impl<M> Engine<M> {
     }
 
     /// Drops cancelled entries sitting at the head of the heap.
-    fn skip_cancelled(&mut self) {
-        while let Some(Reverse(slot)) = self.heap.peek() {
-            if self.payloads.contains_key(&slot.seq) {
+    fn drop_tombstoned_head(&mut self) {
+        while let Some(slot) = self.heap.peek() {
+            if !self.is_done(slot.seq) {
                 break;
             }
             self.heap.pop();
+            self.tombstoned -= 1;
         }
+    }
+
+    #[inline]
+    fn is_done(&self, seq: u64) -> bool {
+        self.done
+            .get((seq / 64) as usize)
+            .is_some_and(|word| word & (1 << (seq % 64)) != 0)
+    }
+
+    #[inline]
+    fn mark_done(&mut self, seq: u64) {
+        let word = (seq / 64) as usize;
+        if word >= self.done.len() {
+            self.done.resize(word + 1, 0);
+        }
+        self.done[word] |= 1 << (seq % 64);
     }
 }
 
@@ -197,7 +243,7 @@ impl<M> std::fmt::Debug for Engine<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("pending", &self.payloads.len())
+            .field("pending", &self.len())
             .field("scheduled_total", &self.scheduled_total)
             .finish()
     }
@@ -251,8 +297,8 @@ mod tests {
     fn cancel_removes_event() {
         let mut e = Engine::new();
         let id = e.schedule(SimTime::from_secs(1), "x");
-        assert_eq!(e.cancel(id), Some("x"));
-        assert_eq!(e.cancel(id), None);
+        assert!(e.cancel(id));
+        assert!(!e.cancel(id));
         assert!(e.pop().is_none());
         assert_eq!(e.cancelled_total(), 1);
     }
@@ -265,6 +311,46 @@ mod tests {
         e.cancel(id);
         assert_eq!(e.peek_time(), Some(SimTime::from_millis(2)));
         assert_eq!(e.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn cancel_of_fired_event_is_rejected() {
+        let mut e = Engine::new();
+        let id = e.schedule(SimTime::from_secs(1), 7u8);
+        assert_eq!(e.pop().unwrap().1, 7);
+        assert!(!e.cancel(id), "firing consumes the handle");
+        assert_eq!(e.cancelled_total(), 0);
+    }
+
+    #[test]
+    fn cancel_deep_in_queue_keeps_order_and_len() {
+        let mut e = Engine::new();
+        let ids: Vec<_> = (0..10u32)
+            .map(|i| e.schedule_at(SimTime::from_millis(i as u64 + 1), i))
+            .collect();
+        // Tombstone every odd event while it is buried in the heap.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(e.cancel(*id));
+            }
+        }
+        assert_eq!(e.len(), 5);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, m)| m)).collect();
+        assert_eq!(order, vec![0, 2, 4, 6, 8]);
+        assert_eq!(e.cancelled_total(), 5);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn peek_time_is_borrow_only_and_skips_tombstones() {
+        let mut e = Engine::new();
+        let a = e.schedule_at(SimTime::from_millis(1), 'a');
+        e.schedule_at(SimTime::from_millis(5), 'b');
+        e.cancel(a);
+        // `peek_time` takes &self: two overlapping peeks are fine.
+        let shared = &e;
+        assert_eq!(shared.peek_time(), shared.peek_time());
+        assert_eq!(shared.peek_time(), Some(SimTime::from_millis(5)));
     }
 
     #[test]

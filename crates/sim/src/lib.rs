@@ -10,8 +10,10 @@
 //! - [`Engine`] — a cancellable pending-event queue with stable FIFO
 //!   tie-breaking (two events scheduled for the same instant fire in
 //!   scheduling order), generic over the message type;
-//! - [`RngFactory`] — named, independent, seed-stable random streams,
-//!   so parameter sweeps do not perturb unrelated random choices;
+//! - [`Rng`] / [`RngFactory`] — an in-tree xoshiro256++ generator and
+//!   named, independent, seed-stable random streams, so parameter
+//!   sweeps do not perturb unrelated random choices (and the build
+//!   needs no external crates);
 //! - [`Summary`], [`RatioSeries`], [`quantile`] — the statistics
 //!   helpers used to build the paper's delivery-rate and overhead
 //!   figures.
@@ -48,6 +50,6 @@ mod stats;
 mod time;
 
 pub use engine::{Engine, EventId};
-pub use rng::RngFactory;
+pub use rng::{Rng, RngFactory, SampleRange};
 pub use stats::{quantile, RatioBin, RatioSeries, Summary};
 pub use time::SimTime;

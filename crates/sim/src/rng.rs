@@ -1,14 +1,199 @@
-//! Deterministic random-number streams.
+//! Deterministic random-number streams, implemented in-tree.
 //!
 //! A single master seed fans out into independent, *named* streams so
 //! that sweeping one simulation parameter (say, the buffer size) does
 //! not perturb the random choices made by unrelated components (say,
 //! the workload content). Stream derivation uses FNV-1a over the name
-//! followed by SplitMix64 mixing — both fixed algorithms, so seeds are
-//! stable across Rust releases and platforms.
+//! followed by SplitMix64 mixing; the generator itself is
+//! xoshiro256++. All three are fixed, published algorithms with no
+//! external dependency, so streams are stable across Rust releases and
+//! platforms and the workspace builds with no network access.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+/// A small, fast, deterministic pseudo-random generator
+/// (xoshiro256++ by Blackman & Vigna), seeded via SplitMix64.
+///
+/// This is a concrete type on purpose: every call inlines, with no
+/// trait-object dispatch on the simulation hot path.
+///
+/// # Examples
+///
+/// ```
+/// use eps_sim::Rng;
+///
+/// let mut rng = Rng::from_seed(42);
+/// let a = rng.next_u64();
+/// let b = rng.next_u64();
+/// assert_ne!(a, b);
+/// assert_eq!(Rng::from_seed(42).next_u64(), a);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed, expanding it into the
+    /// 256-bit state with the SplitMix64 sequence (the seeding scheme
+    /// recommended by the xoshiro authors).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            // Each call advances by the golden-ratio increment inside
+            // `splitmix64`, so step the caller-side state to match the
+            // canonical SplitMix64 sequence.
+            *slot = splitmix64(state);
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        }
+        Rng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random bits of mantissa.
+    #[inline]
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.random_f64() < p
+        }
+    }
+
+    /// A uniform integer in `[0, n)`, unbiased (Lemire's widening
+    /// multiplication with rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn random_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "random_below(0)");
+        let mut m = self.next_u64() as u128 * n as u128;
+        if (m as u64) < n {
+            // 2^64 mod n, computed without overflow.
+            let threshold = n.wrapping_neg() % n;
+            while (m as u64) < threshold {
+                m = self.next_u64() as u128 * n as u128;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform value in a half-open range. Implemented for the
+    /// integer ranges used in the simulator and for `Range<f64>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` if empty.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.random_below(slice.len() as u64) as usize])
+        }
+    }
+
+    /// A uniformly chosen item of an iterator (single-pass reservoir
+    /// sampling), or `None` if the iterator is empty.
+    pub fn choose_iter<I: IntoIterator>(&mut self, iter: I) -> Option<I::Item> {
+        let mut chosen = None;
+        for (seen, item) in iter.into_iter().enumerate() {
+            if seen == 0 || self.random_below(seen as u64 + 1) == 0 {
+                chosen = Some(item);
+            }
+        }
+        chosen
+    }
+
+    /// `amount` distinct indices drawn uniformly from `0..length`,
+    /// in ascending order (Floyd's algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample_indices(&mut self, length: usize, amount: usize) -> Vec<usize> {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} distinct indices from 0..{length}"
+        );
+        let mut picked: Vec<usize> = Vec::with_capacity(amount);
+        for j in length - amount..length {
+            let t = self.random_below(j as u64 + 1) as usize;
+            match picked.binary_search(&t) {
+                // `t` already picked: take `j` instead. `j` exceeds
+                // every earlier pick, so pushing keeps `picked` sorted.
+                Ok(_) => picked.push(j),
+                Err(pos) => picked.insert(pos, t),
+            }
+        }
+        picked
+    }
+}
+
+/// Ranges [`Rng::random_range`] can draw from.
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample_from(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.random_below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u16, u32, u64, usize);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.random_f64() * (self.end - self.start)
+    }
+}
 
 /// Derives independent named RNG streams from one master seed.
 ///
@@ -16,16 +201,15 @@ use rand::SeedableRng;
 ///
 /// ```
 /// use eps_sim::RngFactory;
-/// use rand::Rng;
 ///
 /// let factory = RngFactory::new(42);
 /// let mut topology = factory.stream("topology");
 /// let mut workload = factory.stream("workload");
 /// // Streams are deterministic...
-/// let again = factory.stream("topology").random::<u64>();
-/// assert_eq!(topology.random::<u64>(), again);
+/// let again = factory.stream("topology").next_u64();
+/// assert_eq!(topology.next_u64(), again);
 /// // ...and independent.
-/// assert_ne!(factory.stream("topology").random::<u64>(), workload.random::<u64>());
+/// assert_ne!(factory.stream("topology").next_u64(), workload.next_u64());
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RngFactory {
@@ -45,15 +229,15 @@ impl RngFactory {
 
     /// Returns the RNG stream with the given name. Calling twice with
     /// the same name returns identical streams.
-    pub fn stream(&self, name: &str) -> SmallRng {
-        SmallRng::seed_from_u64(self.stream_seed(name))
+    pub fn stream(&self, name: &str) -> Rng {
+        Rng::from_seed(self.stream_seed(name))
     }
 
     /// Returns a stream keyed by a name plus an index, for per-entity
     /// streams such as "one per link".
-    pub fn indexed_stream(&self, name: &str, index: u64) -> SmallRng {
+    pub fn indexed_stream(&self, name: &str, index: u64) -> Rng {
         let base = self.stream_seed(name);
-        SmallRng::seed_from_u64(splitmix64(base ^ splitmix64(index)))
+        Rng::from_seed(splitmix64(base ^ splitmix64(index)))
     }
 
     /// The derived 64-bit seed for a named stream.
@@ -83,13 +267,14 @@ fn splitmix64(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_name_same_stream() {
         let f = RngFactory::new(7);
-        let a: Vec<u64> = f.stream("x").random_iter().take(16).collect();
-        let b: Vec<u64> = f.stream("x").random_iter().take(16).collect();
+        let mut x = f.stream("x");
+        let mut y = f.stream("x");
+        let a: Vec<u64> = (0..16).map(|_| x.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| y.next_u64()).collect();
         assert_eq!(a, b);
     }
 
@@ -110,10 +295,10 @@ mod tests {
     #[test]
     fn indexed_streams_are_independent() {
         let f = RngFactory::new(9);
-        let a: u64 = f.indexed_stream("link", 0).random();
-        let b: u64 = f.indexed_stream("link", 1).random();
+        let a = f.indexed_stream("link", 0).next_u64();
+        let b = f.indexed_stream("link", 1).next_u64();
         assert_ne!(a, b);
-        let a2: u64 = f.indexed_stream("link", 0).random();
+        let a2 = f.indexed_stream("link", 0).next_u64();
         assert_eq!(a, a2);
     }
 
@@ -125,12 +310,109 @@ mod tests {
     }
 
     #[test]
+    fn xoshiro_matches_reference_sequence() {
+        // First outputs of xoshiro256++ from the state {1, 2, 3, 4},
+        // per the reference implementation by Blackman & Vigna.
+        let mut rng = Rng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for &want in &expected {
+            assert_eq!(rng.next_u64(), want);
+        }
+    }
+
+    #[test]
     fn stream_values_in_range() {
         let f = RngFactory::new(123);
         let mut r = f.stream("range");
         for _ in 0..100 {
             let v = r.random_range(0..70u16);
             assert!(v < 70);
+        }
+    }
+
+    #[test]
+    fn random_f64_is_in_unit_interval() {
+        let mut r = Rng::from_seed(5);
+        for _ in 0..1000 {
+            let v = r.random_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_below_is_roughly_uniform() {
+        let mut r = Rng::from_seed(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.random_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes_never_sample() {
+        // p = 0 and p = 1 must not consume randomness disagreeing
+        // with their answer.
+        let mut r = Rng::from_seed(3);
+        assert!(!r.random_bool(0.0));
+        assert!(r.random_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = Rng::from_seed(17);
+        let items = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &v = r.choose(&items).unwrap();
+            seen[(v / 10 - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        assert!(r.choose::<u8>(&[]).is_none());
+    }
+
+    #[test]
+    fn choose_iter_is_uniform_enough() {
+        let mut r = Rng::from_seed(23);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            let v = r.choose_iter(0..5usize).unwrap();
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+        assert!(r.choose_iter(std::iter::empty::<u8>()).is_none());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_sorted_and_in_bounds() {
+        let mut r = Rng::from_seed(29);
+        for _ in 0..100 {
+            let picked = r.sample_indices(50, 12);
+            assert_eq!(picked.len(), 12);
+            assert!(picked.windows(2).all(|w| w[0] < w[1]));
+            assert!(picked.iter().all(|&i| i < 50));
+        }
+        // Degenerate cases.
+        assert_eq!(r.sample_indices(4, 4), vec![0, 1, 2, 3]);
+        assert!(r.sample_indices(4, 0).is_empty());
+    }
+
+    #[test]
+    fn float_range_spans_interval() {
+        let mut r = Rng::from_seed(31);
+        for _ in 0..1000 {
+            let v = r.random_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&v));
         }
     }
 }

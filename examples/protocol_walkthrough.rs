@@ -96,7 +96,7 @@ fn main() {
     });
     let mut algo1 = AlgorithmKind::SubscriberPull.build(GossipConfig::default());
     algo2.on_losses(&receipt.losses);
-    let mut rng = rand::rng();
+    let mut rng = eps_sim::Rng::from_seed(42);
 
     println!("gossip round at d2: negative digest steered towards {p}'s routes");
     let actions = algo2.on_round(&d2, &[n1], &mut rng);

@@ -53,7 +53,7 @@ proptest! {
         let mut expected: Vec<usize> = Vec::new();
         for (i, id) in ids {
             if cancel_mask.get(i).copied().unwrap_or(false) {
-                prop_assert!(engine.cancel(id).is_some());
+                prop_assert!(engine.cancel(id));
             } else {
                 expected.push(i);
             }

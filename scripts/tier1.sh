@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: release build, the complete test
+# suite, and a warnings-as-errors clippy pass over the workspace.
+# The default dependency graph has no external crates, so this must
+# succeed with no network access at all.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== tier-1: workspace tests =="
+cargo test --workspace -q
+
+echo "== tier-1: clippy (warnings are errors) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint pass"
+fi
+
+echo "tier-1 OK"
