@@ -13,8 +13,8 @@
 
 use std::process::ExitCode;
 
-use eps_bench::timing::{bench, to_json, BenchResult};
 use eps_bench::mini;
+use eps_bench::timing::{bench, to_json, BenchResult};
 use eps_gossip::AlgorithmKind;
 use eps_harness::run_scenario;
 use eps_overlay::NodeId;
@@ -114,13 +114,15 @@ fn table_matching() -> BenchResult {
     }
     let events: Vec<Event> = (0..EVENTS)
         .map(|i| {
-            let mut patterns: Vec<u16> =
-                (0..3).map(|_| rng.random_below(70) as u16).collect();
+            let mut patterns: Vec<u16> = (0..3).map(|_| rng.random_below(70) as u16).collect();
             patterns.sort_unstable();
             patterns.dedup();
             Event::new(
                 EventId::new(NodeId::new(0), i),
-                patterns.into_iter().map(|p| (PatternId::new(p), i)).collect(),
+                patterns
+                    .into_iter()
+                    .map(|p| (PatternId::new(p), i))
+                    .collect(),
             )
         })
         .collect();

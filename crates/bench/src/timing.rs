@@ -36,7 +36,10 @@ pub fn bench<F: FnMut()>(
     iters: u64,
     mut f: F,
 ) -> BenchResult {
-    assert!(samples > 0 && iters > 0, "need at least one timed iteration");
+    assert!(
+        samples > 0 && iters > 0,
+        "need at least one timed iteration"
+    );
     for _ in 0..warmup {
         f();
     }

@@ -161,7 +161,12 @@ pub trait RecoveryAlgorithm: fmt::Debug + Send {
     /// reaction to a push digest). The default implementation answers
     /// from the cache and is shared by all strategies; push also uses
     /// this as its activity signal for adaptive gossip.
-    fn on_request(&mut self, node: &Dispatcher, from: NodeId, ids: &[EventId]) -> Vec<GossipAction> {
+    fn on_request(
+        &mut self,
+        node: &Dispatcher,
+        from: NodeId,
+        ids: &[EventId],
+    ) -> Vec<GossipAction> {
         let events: Vec<Event> = ids
             .iter()
             .filter_map(|&id| node.cache().get(id).cloned())

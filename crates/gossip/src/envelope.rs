@@ -1,0 +1,168 @@
+//! The unified wire envelope: every message class the system puts on
+//! a network — pub-sub protocol traffic, gossip digests, and
+//! out-of-band recovery requests/replies — under one type with one
+//! byte-accounting rule.
+//!
+//! This is the single source of truth for wire sizes. The paper's
+//! accounting assumptions, in one place:
+//!
+//! - subscription control messages are small and fixed-size (256 bits);
+//! - an event message costs its payload plus 32 bits per recorded
+//!   route hop;
+//! - a gossip digest costs (at most) one event payload, plus the
+//!   explicit route carried by publisher-steered digests;
+//! - an out-of-band request costs a fixed header plus 96 bits per
+//!   requested event id; a reply carries full event copies, with the
+//!   same fixed floor.
+
+use eps_pubsub::{Event, EventId, PubSubMessage};
+
+use crate::message::GossipMessage;
+
+/// Which network a message travels on: the dispatching-tree overlay
+/// (subject to per-link loss, queueing, and breakage) or the
+/// out-of-band channel recovery uses to bypass a faulty tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Channel {
+    /// An overlay link of the dispatching tree.
+    Tree,
+    /// The direct dispatcher-to-dispatcher recovery channel.
+    OutOfBand,
+}
+
+/// One message on a wire, of any protocol layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Envelope {
+    /// Best-effort pub-sub traffic: subscriptions and events.
+    PubSub(PubSubMessage),
+    /// An epidemic-recovery digest.
+    Gossip(GossipMessage),
+    /// An out-of-band retransmission request for the identified events.
+    Request(Vec<EventId>),
+    /// An out-of-band retransmission carrying full event copies.
+    Reply(Vec<Event>),
+}
+
+impl Envelope {
+    /// The channel this message class travels on.
+    pub fn channel(&self) -> Channel {
+        match self {
+            Envelope::PubSub(_) | Envelope::Gossip(_) => Channel::Tree,
+            Envelope::Request(_) | Envelope::Reply(_) => Channel::OutOfBand,
+        }
+    }
+
+    /// Approximate wire size in bits, given the configured event
+    /// payload size — the one accounting rule for every message class.
+    pub fn wire_bits(&self, event_payload_bits: u64) -> u64 {
+        match self {
+            Envelope::PubSub(PubSubMessage::Subscribe(_))
+            | Envelope::PubSub(PubSubMessage::Unsubscribe(_)) => 256,
+            Envelope::PubSub(PubSubMessage::Event(e)) => e.wire_bits(event_payload_bits),
+            // Per the paper, a gossip digest costs (at most) one event
+            // message; publisher-steered digests also carry their route.
+            Envelope::Gossip(GossipMessage::SourcePull { route, .. }) => {
+                event_payload_bits + 32 * route.len() as u64
+            }
+            Envelope::Gossip(_) => event_payload_bits,
+            Envelope::Request(ids) => 256 + 96 * ids.len() as u64,
+            Envelope::Reply(events) => events
+                .iter()
+                .map(|e| e.wire_bits(event_payload_bits))
+                .sum::<u64>()
+                .max(256),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use eps_overlay::NodeId;
+    use eps_pubsub::PatternId;
+
+    use super::*;
+
+    fn event_with_route(hops: u32) -> Event {
+        let mut e = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(1), 0)],
+        );
+        for h in 0..hops {
+            e.record_hop(NodeId::new(h + 1));
+        }
+        e
+    }
+
+    #[test]
+    fn subscription_messages_are_fixed_size() {
+        let p = PatternId::new(1);
+        assert_eq!(
+            Envelope::PubSub(PubSubMessage::Subscribe(p)).wire_bits(1000),
+            256
+        );
+        assert_eq!(
+            Envelope::PubSub(PubSubMessage::Unsubscribe(p)).wire_bits(1000),
+            256
+        );
+    }
+
+    #[test]
+    fn event_messages_cost_payload_plus_route() {
+        // A fresh event's route already holds its source: one hop.
+        let plain = Envelope::PubSub(PubSubMessage::Event(event_with_route(0)));
+        let routed = Envelope::PubSub(PubSubMessage::Event(event_with_route(3)));
+        assert_eq!(plain.wire_bits(1000), 1032);
+        assert_eq!(routed.wire_bits(1000), 1128);
+        assert!(
+            plain.wire_bits(1000)
+                > Envelope::PubSub(PubSubMessage::Subscribe(PatternId::new(1))).wire_bits(1000)
+        );
+    }
+
+    #[test]
+    fn gossip_digests_cost_one_event_payload() {
+        let push = Envelope::Gossip(GossipMessage::PushDigest {
+            gossiper: NodeId::new(0),
+            pattern: PatternId::new(0),
+            ids: Arc::new(vec![]),
+        });
+        assert_eq!(push.wire_bits(1000), 1000);
+        let steered = Envelope::Gossip(GossipMessage::SourcePull {
+            gossiper: NodeId::new(0),
+            source: NodeId::new(1),
+            lost: vec![],
+            route: vec![NodeId::new(2); 3],
+        });
+        assert_eq!(steered.wire_bits(1000), 1096);
+    }
+
+    #[test]
+    fn oob_requests_cost_header_plus_ids() {
+        assert_eq!(Envelope::Request(vec![]).wire_bits(1000), 256);
+        let ids = vec![EventId::new(NodeId::new(0), 7); 4];
+        assert_eq!(Envelope::Request(ids).wire_bits(1000), 256 + 96 * 4);
+    }
+
+    #[test]
+    fn oob_replies_cost_their_events_with_a_floor() {
+        assert_eq!(Envelope::Reply(vec![]).wire_bits(1000), 256);
+        let reply = Envelope::Reply(vec![event_with_route(0), event_with_route(2)]);
+        assert_eq!(reply.wire_bits(1000), 1032 + 1096);
+    }
+
+    #[test]
+    fn channels_split_tree_from_out_of_band() {
+        let tree = Envelope::PubSub(PubSubMessage::Subscribe(PatternId::new(0)));
+        let gossip = Envelope::Gossip(GossipMessage::RandomPull {
+            gossiper: NodeId::new(0),
+            lost: vec![],
+            ttl: 1,
+        });
+        assert_eq!(tree.channel(), Channel::Tree);
+        assert_eq!(gossip.channel(), Channel::Tree);
+        assert_eq!(Envelope::Request(vec![]).channel(), Channel::OutOfBand);
+        assert_eq!(Envelope::Reply(vec![]).channel(), Channel::OutOfBand);
+    }
+}

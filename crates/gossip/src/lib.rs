@@ -40,6 +40,7 @@
 
 mod algorithm;
 mod config;
+mod envelope;
 mod lost;
 mod message;
 mod pull_combined;
@@ -51,6 +52,7 @@ mod rounds;
 
 pub use algorithm::{AlgorithmKind, NoRecovery, ParseAlgorithmError, RecoveryAlgorithm};
 pub use config::GossipConfig;
+pub use envelope::{Channel, Envelope};
 pub use lost::LostBuffer;
 pub use message::{GossipAction, GossipMessage};
 pub use pull_combined::CombinedPull;

@@ -255,7 +255,10 @@ mod tests {
     fn recovered_entries_stop_being_selected() {
         let mut lost = LostBuffer::new(10);
         lost.add(rec(0, 1, 0));
-        let event = Event::new(EventId::new(NodeId::new(0), 0), vec![(PatternId::new(1), 0)]);
+        let event = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(1), 0)],
+        );
         lost.clear_for_event(&event);
         assert!(lost.for_pattern(PatternId::new(1), 10).is_empty());
     }

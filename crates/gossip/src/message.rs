@@ -8,7 +8,7 @@ use eps_pubsub::{Event, EventId, LossRecord, PatternId};
 /// A gossip message travelling the dispatching tree.
 ///
 /// The paper assumes gossip messages have (at most) the same size as
-/// event messages; [`GossipMessage::wire_bits`] reflects that.
+/// event messages; [`crate::Envelope::wire_bits`] reflects that.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum GossipMessage {
     /// Push: a positive digest of cached events matching `pattern`,
@@ -67,18 +67,6 @@ impl GossipMessage {
             | GossipMessage::PullDigest { gossiper, .. }
             | GossipMessage::SourcePull { gossiper, .. }
             | GossipMessage::RandomPull { gossiper, .. } => gossiper,
-        }
-    }
-
-    /// Approximate wire size in bits. Per the paper's accounting
-    /// assumption, a gossip message costs the same as an event message
-    /// (`payload_bits`); this is an upper bound for real digests.
-    pub fn wire_bits(&self, payload_bits: u64) -> u64 {
-        match self {
-            GossipMessage::SourcePull { route, .. } => {
-                payload_bits + 32 * route.len() as u64
-            }
-            _ => payload_bits,
         }
     }
 }
@@ -143,22 +131,5 @@ mod tests {
             },
         ];
         assert!(msgs.iter().all(|m| m.gossiper() == g));
-    }
-
-    #[test]
-    fn wire_bits_default_to_event_size() {
-        let m = GossipMessage::PushDigest {
-            gossiper: NodeId::new(0),
-            pattern: PatternId::new(0),
-            ids: Arc::new(vec![]),
-        };
-        assert_eq!(m.wire_bits(1000), 1000);
-        let s = GossipMessage::SourcePull {
-            gossiper: NodeId::new(0),
-            source: NodeId::new(1),
-            lost: vec![],
-            route: vec![NodeId::new(2); 3],
-        };
-        assert_eq!(s.wire_bits(1000), 1096);
     }
 }

@@ -10,9 +10,7 @@ use crate::algorithm::{AlgorithmKind, RecoveryAlgorithm};
 use crate::config::GossipConfig;
 use crate::lost::LostBuffer;
 use crate::message::{GossipAction, GossipMessage};
-use crate::rounds::{
-    handle_pull_digest, handle_source_pull, publisher_round, subscriber_round,
-};
+use crate::rounds::{handle_pull_digest, handle_source_pull, publisher_round, subscriber_round};
 
 /// Combined pull: the two pull variants complement each other — with
 /// few subscribers per pattern the subscriber-based variant has nobody
@@ -144,7 +142,10 @@ mod tests {
         );
         node.subscribe_local(PatternId::new(1), &[]);
         node.on_subscribe(PatternId::new(1), NodeId::new(3), &[]);
-        let mut e = Event::new(EventId::new(NodeId::new(0), 0), vec![(PatternId::new(1), 0)]);
+        let mut e = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(1), 0)],
+        );
         e.record_hop(NodeId::new(3));
         node.on_event(e, Some(NodeId::new(3)));
         node

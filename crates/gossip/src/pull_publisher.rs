@@ -118,7 +118,10 @@ mod tests {
     fn node_with_route() -> Dispatcher {
         let mut node = Dispatcher::new(NodeId::new(5), publisher_cfg());
         node.subscribe_local(PatternId::new(1), &[]);
-        let mut e = Event::new(EventId::new(NodeId::new(0), 0), vec![(PatternId::new(1), 0)]);
+        let mut e = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(1), 0)],
+        );
         e.record_hop(NodeId::new(3));
         node.on_event(e, Some(NodeId::new(3)));
         node
@@ -137,7 +140,12 @@ mod tests {
             GossipAction::Forward { to, msg } => {
                 assert_eq!(*to, NodeId::new(3), "first hop back towards the source");
                 match msg {
-                    GossipMessage::SourcePull { source, route, lost, .. } => {
+                    GossipMessage::SourcePull {
+                        source,
+                        route,
+                        lost,
+                        ..
+                    } => {
                         assert_eq!(*source, NodeId::new(0));
                         assert_eq!(route, &vec![NodeId::new(0)]);
                         assert_eq!(lost, &vec![record(0, 1, 5)]);
@@ -195,14 +203,19 @@ mod tests {
             lost: vec![record(0, 1, 0)],
             route: vec![], // stale route ended early
         };
-        assert!(algo.on_gossip(&node, NodeId::new(5), msg, &[], &mut rng).is_empty());
+        assert!(algo
+            .on_gossip(&node, NodeId::new(5), msg, &[], &mut rng)
+            .is_empty());
     }
 
     #[test]
     fn losses_clear_on_event_arrival() {
         let mut algo = PublisherPull::new(GossipConfig::default());
         algo.on_losses(&[record(0, 1, 5)]);
-        let e = Event::new(EventId::new(NodeId::new(0), 9), vec![(PatternId::new(1), 5)]);
+        let e = Event::new(
+            EventId::new(NodeId::new(0), 9),
+            vec![(PatternId::new(1), 5)],
+        );
         algo.on_event_received(&e);
         assert_eq!(algo.outstanding_losses(), 0);
     }

@@ -137,9 +137,7 @@ mod tests {
         let node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
         let mut algo = RandomPull::new(GossipConfig::default());
         let mut rng = RngFactory::new(1).stream("gossip");
-        assert!(algo
-            .on_round(&node, &[NodeId::new(1)], &mut rng)
-            .is_empty());
+        assert!(algo.on_round(&node, &[NodeId::new(1)], &mut rng).is_empty());
         algo.on_losses(&[record(1, 1, 0)]);
         assert!(algo.on_round(&node, &[], &mut rng).is_empty());
     }

@@ -114,7 +114,10 @@ mod tests {
         let mut algo = SubscriberPull::new(cfg());
         algo.on_losses(&[record(0, 1, 3), record(0, 1, 4)]);
         assert_eq!(algo.outstanding_losses(), 2);
-        let e = Event::new(EventId::new(NodeId::new(0), 9), vec![(PatternId::new(1), 3)]);
+        let e = Event::new(
+            EventId::new(NodeId::new(0), 9),
+            vec![(PatternId::new(1), 3)],
+        );
         algo.on_event_received(&e);
         assert_eq!(algo.outstanding_losses(), 1);
     }

@@ -113,7 +113,12 @@ impl RecoveryAlgorithm for PushGossip {
         self.requested.remove(&event.id());
     }
 
-    fn on_request(&mut self, node: &Dispatcher, from: NodeId, ids: &[EventId]) -> Vec<GossipAction> {
+    fn on_request(
+        &mut self,
+        node: &Dispatcher,
+        from: NodeId,
+        ids: &[EventId],
+    ) -> Vec<GossipAction> {
         // Someone is missing events: evidence that proactive rounds
         // are earning their keep (adaptive-gossip activity signal).
         self.requests_since_round += 1;

@@ -318,7 +318,10 @@ mod tests {
     fn node_with_cached_event() -> (Dispatcher, Event) {
         let mut d = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
         d.subscribe_local(PatternId::new(1), &[]);
-        let e = Event::new(EventId::new(NodeId::new(0), 0), vec![(PatternId::new(1), 4)]);
+        let e = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(1), 4)],
+        );
         d.on_event(e.clone(), Some(NodeId::new(0)));
         (d, e)
     }

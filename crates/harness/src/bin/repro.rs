@@ -42,9 +42,7 @@ fn main() -> ExitCode {
             }
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => return usage(""),
-            other if other.starts_with('-') => {
-                return usage(&format!("unknown flag '{other}'"))
-            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag '{other}'")),
             other => ids.push(other.to_owned()),
         }
     }
@@ -53,7 +51,11 @@ fn main() -> ExitCode {
     }
     ids.dedup();
 
-    let mode = if opts.quick { "quick" } else { "full (paper-scale)" };
+    let mode = if opts.quick {
+        "quick"
+    } else {
+        "full (paper-scale)"
+    };
     eprintln!(
         "running {} experiment(s) in {mode} mode, seed {}, {} worker(s), output under {}",
         ids.len(),

@@ -42,18 +42,15 @@ fn main() -> ExitCode {
                 }
                 "--duration" => config.duration = SimTime::from_secs_f64(parse(&value()?)?),
                 "--rho" => {
-                    config.reconfig_interval =
-                        Some(SimTime::from_secs_f64(parse(&value()?)?))
+                    config.reconfig_interval = Some(SimTime::from_secs_f64(parse(&value()?)?))
                 }
                 "--p-forward" => config.gossip.p_forward = parse(&value()?)?,
                 "--p-source" => config.gossip.p_source = parse(&value()?)?,
                 "--adaptive" => {
-                    config.adaptive_gossip =
-                        Some(AdaptiveGossip::around(config.gossip_interval))
+                    config.adaptive_gossip = Some(AdaptiveGossip::around(config.gossip_interval))
                 }
                 "--churn" => {
-                    config.churn_interval =
-                        Some(SimTime::from_secs_f64(parse(&value()?)?))
+                    config.churn_interval = Some(SimTime::from_secs_f64(parse(&value()?)?))
                 }
                 "--jobs" | "-j" => jobs = Some(parse(&value()?)?),
                 "--help" | "-h" => {
@@ -89,7 +86,11 @@ fn main() -> ExitCode {
         })
         .collect();
     let started = std::time::Instant::now();
-    let results = par_map(jobs.unwrap_or_else(default_jobs).max(1), &configs, run_scenario);
+    let results = par_map(
+        jobs.unwrap_or_else(default_jobs).max(1),
+        &configs,
+        run_scenario,
+    );
     let elapsed = started.elapsed().as_secs_f64();
     for (kind, r) in algorithms.iter().zip(results) {
         println!("== {} ==", kind.name());

@@ -39,7 +39,10 @@ impl AdaptiveGossip {
     /// Panics on non-positive intervals, an inverted range, or a
     /// backoff not greater than 1.
     pub fn validate(&self) {
-        assert!(self.min_interval > SimTime::ZERO, "min interval must be positive");
+        assert!(
+            self.min_interval > SimTime::ZERO,
+            "min interval must be positive"
+        );
         assert!(
             self.max_interval >= self.min_interval,
             "max interval below min"
@@ -172,7 +175,10 @@ impl ScenarioConfig {
             self.pi_max <= self.pattern_universe as usize,
             "pi_max cannot exceed the pattern universe"
         );
-        assert!(self.max_patterns_per_event > 0, "events must carry patterns");
+        assert!(
+            self.max_patterns_per_event > 0,
+            "events must carry patterns"
+        );
         assert!(
             self.publish_rate >= 0.0 && self.publish_rate.is_finite(),
             "publish rate must be a finite non-negative number"
@@ -190,14 +196,20 @@ impl ScenarioConfig {
             self.warmup + self.cooldown < self.duration,
             "measurement window is empty"
         );
-        assert!(self.series_bin > SimTime::ZERO, "series bin must be positive");
+        assert!(
+            self.series_bin > SimTime::ZERO,
+            "series bin must be positive"
+        );
         assert!(self.event_payload_bits > 0, "events must have a size");
         self.gossip.validate();
         if let Some(adaptive) = &self.adaptive_gossip {
             adaptive.validate();
         }
         if let Some(rho) = self.reconfig_interval {
-            assert!(rho > SimTime::ZERO, "reconfiguration interval must be positive");
+            assert!(
+                rho > SimTime::ZERO,
+                "reconfiguration interval must be positive"
+            );
         }
         if let Some(churn) = self.churn_interval {
             assert!(churn > SimTime::ZERO, "churn interval must be positive");

@@ -43,8 +43,7 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
                 fixed.link_error_rate = eps;
                 fixed.publish_rate = rate;
                 let mut adaptive = fixed.clone();
-                adaptive.adaptive_gossip =
-                    Some(AdaptiveGossip::around(fixed.gossip_interval));
+                adaptive.adaptive_gossip = Some(AdaptiveGossip::around(fixed.gossip_interval));
                 configs.push(fixed);
                 configs.push(adaptive);
             }
@@ -52,26 +51,26 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     }
     let mut results = run_cells(opts, &configs).into_iter();
     for &(rate, rate_label) in &rates {
-    for kind in overhead_algorithms() {
-        for &eps in &epsilons {
-            let r_fixed = results.next().expect("one result per cell");
-            let r_adaptive = results.next().expect("one result per cell");
-            for (mode, r) in [("fixed", &r_fixed), ("adaptive", &r_adaptive)] {
-                table.push_row(vec![
-                    rate.to_string(),
-                    eps.to_string(),
-                    kind.name().into(),
-                    mode.into(),
-                    format!("{:.3}", r.delivery_rate),
-                    format!("{:.1}", r.gossip_per_dispatcher),
-                ]);
-            }
-            let saving = if r_fixed.gossip_per_dispatcher > 0.0 {
-                1.0 - r_adaptive.gossip_per_dispatcher / r_fixed.gossip_per_dispatcher
-            } else {
-                0.0
-            };
-            text.push_str(&format!(
+        for kind in overhead_algorithms() {
+            for &eps in &epsilons {
+                let r_fixed = results.next().expect("one result per cell");
+                let r_adaptive = results.next().expect("one result per cell");
+                for (mode, r) in [("fixed", &r_fixed), ("adaptive", &r_adaptive)] {
+                    table.push_row(vec![
+                        rate.to_string(),
+                        eps.to_string(),
+                        kind.name().into(),
+                        mode.into(),
+                        format!("{:.3}", r.delivery_rate),
+                        format!("{:.1}", r.gossip_per_dispatcher),
+                    ]);
+                }
+                let saving = if r_fixed.gossip_per_dispatcher > 0.0 {
+                    1.0 - r_adaptive.gossip_per_dispatcher / r_fixed.gossip_per_dispatcher
+                } else {
+                    0.0
+                };
+                text.push_str(&format!(
                 "  {rate_label:<9} {:<14} eps={eps:<5} delivery {:.3} -> {:.3}, gossip/disp {:>7.1} -> {:>7.1} ({:+.0}% traffic)\n",
                 kind.name(),
                 r_fixed.delivery_rate,
@@ -80,8 +79,8 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
                 r_adaptive.gossip_per_dispatcher,
                 -saving * 100.0
             ));
+            }
         }
-    }
     }
     ExperimentOutput {
         id: "ext-adaptive",

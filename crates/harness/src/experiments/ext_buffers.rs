@@ -46,9 +46,11 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     let configs: Vec<ScenarioConfig> = algorithms
         .iter()
         .flat_map(|&kind| {
-            betas
-                .iter()
-                .flat_map(move |&beta| POLICIES.iter().map(move |&(_, policy)| (kind, beta, policy)))
+            betas.iter().flat_map(move |&beta| {
+                POLICIES
+                    .iter()
+                    .map(move |&(_, policy)| (kind, beta, policy))
+            })
         })
         .map(|(kind, beta, policy)| {
             let mut config = base_config(opts).with_algorithm(kind);

@@ -1,10 +1,9 @@
 //! Figure 10: gossip overhead versus the link error rate, under high
 //! and low publish load.
 
-use eps_metrics::{ascii_chart, CsvTable, Series};
-
 use super::common::{
-    base_config, grid, overhead_algorithms, run_cells, ExperimentOptions, ExperimentOutput,
+    base_config, f0, f1, grid, overhead_algorithms, ExperimentOptions, ExperimentOutput, Metric,
+    SweepGrid,
 };
 use crate::config::ScenarioConfig;
 
@@ -30,62 +29,43 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
          (paper: push overhead is roughly constant in eps; pull overhead\n\
          grows with eps and sits far below push at low eps / low load)\n\n",
     );
-    let rates = [(50.0, "high load (50 publish/s)"), (5.0, "low load (5 publish/s)")];
-    let mut configs: Vec<ScenarioConfig> = Vec::new();
-    for &(rate, _) in &rates {
-        for &eps in &epsilons {
-            for &kind in &algorithms {
+    let rates = [
+        (50.0, "high load (50 publish/s)"),
+        (5.0, "low load (5 publish/s)"),
+    ];
+    for &(rate, label) in &rates {
+        let configs: Vec<ScenarioConfig> = epsilons
+            .iter()
+            .flat_map(|&eps| algorithms.iter().map(move |&kind| (eps, kind)))
+            .map(|(eps, kind)| {
                 let mut config = base_config(opts).with_algorithm(kind);
                 config.link_error_rate = eps;
                 config.publish_rate = rate;
-                configs.push(config);
-            }
-        }
-    }
-    let mut results = run_cells(opts, &configs).into_iter();
-    for &(rate, label) in &rates {
-        let mut headers = vec!["epsilon (link error rate)".to_owned()];
-        headers.extend(
-            algorithms
-                .iter()
-                .map(|k| format!("{}_msgs_per_dispatcher", k.name())),
+                config
+            })
+            .collect();
+        let cells = SweepGrid::run(
+            opts,
+            "epsilon (link error rate)",
+            epsilons.iter().map(|eps| format!("{eps}")).collect(),
+            algorithms.iter().map(|k| k.name().to_owned()).collect(),
+            configs,
         );
-        let mut table = CsvTable::new(headers);
-        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
-        for &eps in &epsilons {
-            let mut row = vec![format!("{eps}")];
-            for (i, _) in algorithms.iter().enumerate() {
-                let result = results.next().expect("one result per cell");
-                row.push(format!("{:.1}", result.gossip_per_dispatcher));
-                columns[i].push(result.gossip_per_dispatcher);
-            }
-            table.push_row(row);
-        }
-        let max_y = columns
-            .iter()
-            .flatten()
-            .fold(0.0f64, |a, &b| a.max(b))
-            .max(1.0);
-        text.push_str(&ascii_chart(
+        let msgs = Metric {
+            suffix: "msgs_per_dispatcher",
+            fmt: f1,
+            extract: |r| r.gossip_per_dispatcher,
+        };
+        text.push_str(&cells.text_block(
             &format!("gossip msgs per dispatcher vs eps, {label}"),
-            &algorithms
-                .iter()
-                .zip(&columns)
-                .map(|(kind, values)| Series {
-                    name: kind.name().to_owned(),
-                    values: values.clone(),
-                })
-                .collect::<Vec<_>>(),
+            &msgs,
+            f0,
             0.0,
-            max_y * 1.1,
+            cells.auto_hi(&msgs, 1.0),
         ));
-        for (kind, values) in algorithms.iter().zip(&columns) {
-            let rendered: Vec<String> = values.iter().map(|v| format!("{v:.0}")).collect();
-            text.push_str(&format!("  {:<14} [{}]\n", kind.name(), rendered.join(", ")));
-        }
         text.push('\n');
         let name = if rate < 10.0 { "low_load" } else { "high_load" };
-        tables.push((format!("overhead_vs_eps_{name}"), table));
+        tables.push((format!("overhead_vs_eps_{name}"), cells.table(&[msgs])));
     }
     ExperimentOutput {
         id: "fig10",

@@ -34,11 +34,7 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
             },
             "rho = infinity",
         ),
-        (
-            "buffer size",
-            config.buffer_size.to_string(),
-            "beta = 1500",
-        ),
+        ("buffer size", config.buffer_size.to_string(), "beta = 1500"),
         (
             "gossip interval",
             format!("{}", config.gossip_interval),
@@ -60,11 +56,7 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
             "2.85",
         ),
     ];
-    let mut table = CsvTable::new(vec![
-        "parameter".into(),
-        "value".into(),
-        "paper".into(),
-    ]);
+    let mut table = CsvTable::new(vec!["parameter".into(), "value".into(), "paper".into()]);
     let mut text = String::from("Figure 2 — simulation parameters and their default values\n\n");
     for (name, value, paper) in rows {
         text.push_str(&format!("  {name:<48} {value:<16} (paper: {paper})\n"));

@@ -5,10 +5,11 @@ use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
 use super::common::{
-    base_config, delivery_algorithms, f3, run_cells, ExperimentOptions, ExperimentOutput,
+    base_config, delivery_algorithms, run_cells, time_series_table, ExperimentOptions,
+    ExperimentOutput,
 };
 use crate::config::ScenarioConfig;
-use crate::scenario::ScenarioResult;
+use crate::result::ScenarioResult;
 
 /// Figure 3(a): delivery rate vs. time with lossy links, for
 /// ε = 0.05 (left) and ε = 0.1 (right), all six strategies.
@@ -100,8 +101,10 @@ fn run_panels(
     panels
         .into_iter()
         .map(|(name, label, config)| {
-            let panel: Vec<ScenarioResult> =
-                algorithms.iter().map(|_| results.next().expect("one result per cell")).collect();
+            let panel: Vec<ScenarioResult> = algorithms
+                .iter()
+                .map(|_| results.next().expect("one result per cell"))
+                .collect();
             let (table, chart, summary) = time_series_panel(&config, &label, panel);
             (name, table, chart, summary)
         })
@@ -116,7 +119,8 @@ fn time_series_panel(
     results: Vec<ScenarioResult>,
 ) -> (CsvTable, String, String) {
     let algorithms = delivery_algorithms();
-    let mut all_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut all_series: Vec<Vec<(f64, f64)>> = Vec::new();
     let mut summary = String::new();
     for (kind, result) in algorithms.iter().zip(results) {
         summary.push_str(&format!(
@@ -125,33 +129,15 @@ fn time_series_panel(
             result.delivery_rate,
             result.min_bin_rate
         ));
-        all_series.push((kind.name().to_owned(), result.series));
+        names.push(kind.name().to_owned());
+        all_series.push(result.series);
     }
 
-    // Tabulate on the union of bin starts (all series share binning).
-    let xs: Vec<f64> = all_series
-        .iter()
-        .map(|(_, s)| s.iter().map(|&(t, _)| t).collect::<Vec<_>>())
-        .max_by_key(Vec::len)
-        .unwrap_or_default();
-    let mut headers = vec!["seconds".to_owned()];
-    headers.extend(all_series.iter().map(|(n, _)| n.clone()));
-    let mut table = CsvTable::new(headers);
+    let table = time_series_table(&names, &all_series);
     let (w0, w1) = config.measure_window();
-    for (i, &t) in xs.iter().enumerate() {
-        let mut row = vec![format!("{t:.2}")];
-        for (_, series) in &all_series {
-            row.push(
-                series
-                    .get(i)
-                    .map(|&(_, r)| f3(r))
-                    .unwrap_or_else(|| "".to_owned()),
-            );
-        }
-        table.push_row(row);
-    }
-    let chart_series: Vec<Series> = all_series
+    let chart_series: Vec<Series> = names
         .iter()
+        .zip(&all_series)
         .map(|(name, s)| Series {
             name: name.clone(),
             values: s
@@ -198,7 +184,11 @@ mod tests {
         };
         let panels = vec![("test_table".to_owned(), "test".to_owned(), config)];
         let (_, table, chart, summary) = run_panels(&opts, panels).pop().unwrap();
-        assert!(table.len() > 10, "expected a time series, got {}", table.len());
+        assert!(
+            table.len() > 10,
+            "expected a time series, got {}",
+            table.len()
+        );
         assert!(chart.contains("delivery rate vs time"));
         assert!(summary.contains("no-recovery"));
         assert!(summary.contains("combined-pull"));

@@ -1,11 +1,12 @@
 //! Figure 4: effect of the buffer size β (top) and the gossip
 //! interval T (bottom) on delivery.
 
-use eps_metrics::{ascii_chart, CsvTable, Series};
+use eps_metrics::CsvTable;
 use eps_sim::SimTime;
 
 use super::common::{
-    base_config, delivery_algorithms, f3, grid, run_cells, ExperimentOptions, ExperimentOutput,
+    base_config, delivery_algorithms, f3, grid, ExperimentOptions, ExperimentOutput, Metric,
+    SweepGrid,
 };
 use crate::config::ScenarioConfig;
 
@@ -40,7 +41,9 @@ pub fn run_interval(opts: &ExperimentOptions) -> ExperimentOutput {
     let intervals = grid(
         opts,
         &[0.01, 0.02, 0.03, 0.045, 0.055],
-        &[0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04, 0.045, 0.05, 0.055],
+        &[
+            0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04, 0.045, 0.05, 0.055,
+        ],
     );
     let (table, text) = sweep(
         opts,
@@ -70,49 +73,31 @@ fn sweep<F: Fn(&mut ScenarioConfig, &f64)>(
     intro: &str,
 ) -> (CsvTable, String) {
     let algorithms = delivery_algorithms();
-    let mut headers = vec![x_label.to_owned()];
-    headers.extend(algorithms.iter().map(|k| k.name().to_owned()));
-    let mut table = CsvTable::new(headers);
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
     let configs: Vec<ScenarioConfig> = xs
         .iter()
-        .flat_map(|&x| {
-            algorithms.iter().map(move |&kind| (x, kind))
-        })
+        .flat_map(|&x| algorithms.iter().map(move |&kind| (x, kind)))
         .map(|(x, kind)| {
             let mut config = base_config(opts).with_algorithm(kind);
             apply(&mut config, &x);
             config
         })
         .collect();
-    let mut results = run_cells(opts, &configs).into_iter();
-    for &x in xs {
-        let mut row = vec![format!("{x}")];
-        for (i, _) in algorithms.iter().enumerate() {
-            let result = results.next().expect("one result per cell");
-            row.push(f3(result.delivery_rate));
-            columns[i].push(result.delivery_rate);
-        }
-        table.push_row(row);
-    }
-    let series: Vec<Series> = algorithms
-        .iter()
-        .zip(&columns)
-        .map(|(kind, values)| Series {
-            name: kind.name().to_owned(),
-            values: values.clone(),
-        })
-        .collect();
+    let cells = SweepGrid::run(
+        opts,
+        x_label,
+        xs.iter().map(|x| format!("{x}")).collect(),
+        algorithms.iter().map(|k| k.name().to_owned()).collect(),
+        configs,
+    );
+    let metric = Metric::delivery();
+    let table = cells.table(&[metric]);
     let mut text = intro.to_owned();
-    text.push_str(&ascii_chart(
+    text.push_str(&cells.text_block(
         &format!("delivery rate vs {x_label}"),
-        &series,
+        &metric,
+        f3,
         0.4,
         1.0,
     ));
-    for (kind, values) in algorithms.iter().zip(&columns) {
-        let rendered: Vec<String> = values.iter().map(|&v| f3(v)).collect();
-        text.push_str(&format!("  {:<16} [{}]\n", kind.name(), rendered.join(", ")));
-    }
     (table, text)
 }

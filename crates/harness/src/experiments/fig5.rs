@@ -2,10 +2,11 @@
 //! the combined pull strategy.
 
 use eps_gossip::AlgorithmKind;
-use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
-use super::common::{base_config, f3, grid, run_cells, ExperimentOptions, ExperimentOutput};
+use super::common::{
+    base_config, f3, grid, ExperimentOptions, ExperimentOutput, Metric, SweepGrid,
+};
 use crate::config::ScenarioConfig;
 
 /// Figure 5: delivery vs. T for β ∈ {500, 1500, 2500, 3500}
@@ -14,14 +15,12 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     let intervals = grid(
         opts,
         &[0.01, 0.02, 0.03, 0.045, 0.055],
-        &[0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04, 0.045, 0.05, 0.055],
+        &[
+            0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04, 0.045, 0.05, 0.055,
+        ],
     );
     let betas = [500usize, 1500, 2500, 3500];
 
-    let mut headers = vec!["T (gossip interval)".to_owned()];
-    headers.extend(betas.iter().map(|b| format!("beta={b}")));
-    let mut table = CsvTable::new(headers);
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); betas.len()];
     let configs: Vec<ScenarioConfig> = intervals
         .iter()
         .flat_map(|&t| betas.iter().map(move |&beta| (t, beta)))
@@ -32,40 +31,27 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
             ..base_config(opts)
         })
         .collect();
-    let mut results = run_cells(opts, &configs).into_iter();
-    for &t in &intervals {
-        let mut row = vec![format!("{t}")];
-        for (i, _) in betas.iter().enumerate() {
-            let result = results.next().expect("one result per cell");
-            row.push(f3(result.delivery_rate));
-            columns[i].push(result.delivery_rate);
-        }
-        table.push_row(row);
-    }
-
-    let series: Vec<Series> = betas
-        .iter()
-        .zip(&columns)
-        .map(|(beta, values)| Series {
-            name: format!("beta={beta}"),
-            values: values.clone(),
-        })
-        .collect();
+    let cells = SweepGrid::run(
+        opts,
+        "T (gossip interval)",
+        intervals.iter().map(|t| format!("{t}")).collect(),
+        betas.iter().map(|b| format!("beta={b}")).collect(),
+        configs,
+    );
+    let metric = Metric::delivery();
+    let table = cells.table(&[metric]);
     let mut text = String::from(
         "Figure 5 — combined pull: simultaneous changes to beta and T\n\
          (paper: buffer increments stop mattering past a threshold;\n\
          sensitivity to T is greatest when the buffer is small)\n\n",
     );
-    text.push_str(&ascii_chart(
+    text.push_str(&cells.text_block(
         "delivery rate vs T, per beta (combined pull)",
-        &series,
+        &metric,
+        f3,
         0.4,
         1.0,
     ));
-    for (beta, values) in betas.iter().zip(&columns) {
-        let rendered: Vec<String> = values.iter().map(|&v| f3(v)).collect();
-        text.push_str(&format!("  beta={beta:<5} [{}]\n", rendered.join(", ")));
-    }
     ExperimentOutput {
         id: "fig5",
         title: "Figure 5: combined pull, beta x T interplay",

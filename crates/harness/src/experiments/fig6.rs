@@ -1,9 +1,8 @@
 //! Figure 6: delivery as the system size N increases.
 
-use eps_metrics::{ascii_chart, CsvTable, Series};
-
 use super::common::{
-    base_config, delivery_algorithms, f3, grid, run_cells, ExperimentOptions, ExperimentOutput,
+    base_config, delivery_algorithms, f3, grid, ExperimentOptions, ExperimentOutput, Metric,
+    SweepGrid,
 };
 use crate::config::ScenarioConfig;
 
@@ -29,10 +28,6 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
         &[20, 40, 60, 80, 100, 120, 140, 160, 180, 200],
     );
     let algorithms = delivery_algorithms();
-    let mut headers = vec!["N (number of dispatchers)".to_owned()];
-    headers.extend(algorithms.iter().map(|k| k.name().to_owned()));
-    let mut table = CsvTable::new(headers);
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
     let configs: Vec<ScenarioConfig> = sizes
         .iter()
         .flat_map(|&n| algorithms.iter().map(move |&kind| (n, kind)))
@@ -43,40 +38,28 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
             config
         })
         .collect();
-    let mut results = run_cells(opts, &configs).into_iter();
-    for &n in &sizes {
-        let mut row = vec![n.to_string()];
-        for (i, _) in algorithms.iter().enumerate() {
-            let result = results.next().expect("one result per cell");
-            row.push(f3(result.delivery_rate));
-            columns[i].push(result.delivery_rate);
-        }
-        table.push_row(row);
-    }
-    let series: Vec<Series> = algorithms
-        .iter()
-        .zip(&columns)
-        .map(|(kind, values)| Series {
-            name: kind.name().to_owned(),
-            values: values.clone(),
-        })
-        .collect();
+    let cells = SweepGrid::run(
+        opts,
+        "N (number of dispatchers)",
+        sizes.iter().map(|n| n.to_string()).collect(),
+        algorithms.iter().map(|k| k.name().to_owned()).collect(),
+        configs,
+    );
+    let metric = Metric::delivery();
+    let table = cells.table(&[metric]);
     let mut text = String::from(
         "Figure 6 — delivery as the system size increases\n\
          (paper: push and combined pull stay best and scale flat; push\n\
          becomes more convenient as N grows since the constant pattern\n\
          universe makes each pattern gossiped more often)\n\n",
     );
-    text.push_str(&ascii_chart(
+    text.push_str(&cells.text_block(
         "delivery rate vs N (beta scaled to ~4s persistence)",
-        &series,
+        &metric,
+        f3,
         0.4,
         1.0,
     ));
-    for (kind, values) in algorithms.iter().zip(&columns) {
-        let rendered: Vec<String> = values.iter().map(|&v| f3(v)).collect();
-        text.push_str(&format!("  {:<16} [{}]\n", kind.name(), rendered.join(", ")));
-    }
     ExperimentOutput {
         id: "fig6",
         title: "Figure 6: delivery vs system size",

@@ -2,10 +2,11 @@
 //! increases, under low and high publish load.
 
 use eps_gossip::AlgorithmKind;
-use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
-use super::common::{base_config, f3, grid, run_cells, ExperimentOptions, ExperimentOutput};
+use super::common::{
+    base_config, f3, grid, ExperimentOptions, ExperimentOutput, Metric, SweepGrid,
+};
 use crate::config::ScenarioConfig;
 
 /// The strategies Figure 8 compares (the paper omits the publisher and
@@ -20,7 +21,11 @@ const ALGORITHMS: [AlgorithmKind; 4] = [
 /// Figure 8: delivery vs. π_max with β = 4000, at 5 publish/s (top)
 /// and 50 publish/s (bottom).
 pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
-    let pi_values = grid(opts, &[2usize, 6, 12, 20, 30], &[1, 2, 4, 6, 8, 12, 16, 20, 25, 30]);
+    let pi_values = grid(
+        opts,
+        &[2usize, 6, 12, 20, 30],
+        &[1, 2, 4, 6, 8, 12, 16, 20, 25, 30],
+    );
     let mut tables = Vec::new();
     let mut text = String::from(
         "Figure 8 — delivery vs pi_max under low (top) and high (bottom) load\n\
@@ -28,7 +33,10 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
          combined improves for pi_max<6 while push worsens, then every\n\
          strategy decays because beta=4000 cannot keep up)\n\n",
     );
-    let rates = [(5.0, "low load (5 publish/s)"), (50.0, "high load (50 publish/s)")];
+    let rates = [
+        (5.0, "low load (5 publish/s)"),
+        (50.0, "high load (50 publish/s)"),
+    ];
     let cell = |rate: f64, pi_max: usize, kind: AlgorithmKind| {
         let mut config = base_config(opts).with_algorithm(kind);
         config.pi_max = pi_max;
@@ -53,51 +61,30 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
         }
         config
     };
-    let configs: Vec<ScenarioConfig> = rates
-        .iter()
-        .flat_map(|&(rate, _)| {
-            pi_values.iter().flat_map(move |&pi_max| {
-                ALGORITHMS.iter().map(move |&kind| (rate, pi_max, kind))
-            })
-        })
-        .map(|(rate, pi_max, kind)| cell(rate, pi_max, kind))
-        .collect();
-    let mut results = run_cells(opts, &configs).into_iter();
     for &(rate, label) in &rates {
-        let mut headers = vec!["pi_max".to_owned()];
-        headers.extend(ALGORITHMS.iter().map(|k| k.name().to_owned()));
-        let mut table = CsvTable::new(headers);
-        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); ALGORITHMS.len()];
-        for &pi_max in &pi_values {
-            let mut row = vec![pi_max.to_string()];
-            for (i, _) in ALGORITHMS.iter().enumerate() {
-                let result = results.next().expect("one result per cell");
-                row.push(f3(result.delivery_rate));
-                columns[i].push(result.delivery_rate);
-            }
-            table.push_row(row);
-        }
-        let series: Vec<Series> = ALGORITHMS
+        let configs: Vec<ScenarioConfig> = pi_values
             .iter()
-            .zip(&columns)
-            .map(|(kind, values)| Series {
-                name: kind.name().to_owned(),
-                values: values.clone(),
-            })
+            .flat_map(|&pi_max| ALGORITHMS.iter().map(move |&kind| (pi_max, kind)))
+            .map(|(pi_max, kind)| cell(rate, pi_max, kind))
             .collect();
-        text.push_str(&ascii_chart(
+        let cells = SweepGrid::run(
+            opts,
+            "pi_max",
+            pi_values.iter().map(|p| p.to_string()).collect(),
+            ALGORITHMS.iter().map(|k| k.name().to_owned()).collect(),
+            configs,
+        );
+        let metric = Metric::delivery();
+        text.push_str(&cells.text_block(
             &format!("delivery rate vs pi_max, {label}"),
-            &series,
+            &metric,
+            f3,
             0.4,
             1.0,
         ));
-        for (kind, values) in ALGORITHMS.iter().zip(&columns) {
-            let rendered: Vec<String> = values.iter().map(|&v| f3(v)).collect();
-            text.push_str(&format!("  {:<16} [{}]\n", kind.name(), rendered.join(", ")));
-        }
         text.push('\n');
         let name = if rate < 10.0 { "low_load" } else { "high_load" };
-        tables.push((format!("delivery_vs_pi_max_{name}"), table));
+        tables.push((format!("delivery_vs_pi_max_{name}"), cells.table(&[metric])));
     }
     ExperimentOutput {
         id: "fig8",

@@ -1,11 +1,12 @@
 //! Figure 9: gossip overhead versus system size (a) and subscriptions
 //! per dispatcher (b), in absolute and relative terms.
 
-use eps_metrics::{ascii_chart, CsvTable, Series};
+use eps_metrics::CsvTable;
 use eps_sim::SimTime;
 
 use super::common::{
-    base_config, grid, overhead_algorithms, run_cells, ExperimentOptions, ExperimentOutput,
+    base_config, f0, f1, f3, f4, grid, overhead_algorithms, ExperimentOptions, ExperimentOutput,
+    Metric, SweepGrid,
 };
 use crate::config::ScenarioConfig;
 use crate::experiments::fig6::buffer_for_persistence;
@@ -14,7 +15,11 @@ use crate::experiments::fig6::buffer_for_persistence;
 /// gossip messages per dispatcher (left) and the gossip/event message
 /// ratio (right).
 pub fn run_nodes(opts: &ExperimentOptions) -> ExperimentOutput {
-    let sizes = grid(opts, &[40usize, 80, 120, 160, 200], &[20, 40, 60, 80, 100, 120, 140, 160, 180, 200]);
+    let sizes = grid(
+        opts,
+        &[40usize, 80, 120, 160, 200],
+        &[20, 40, 60, 80, 100, 120, 140, 160, 180, 200],
+    );
     let (tables, text) = overhead_sweep(
         opts,
         "N (number of dispatchers)",
@@ -37,7 +42,11 @@ pub fn run_nodes(opts: &ExperimentOptions) -> ExperimentOutput {
 
 /// Figure 9(b): overhead vs. π_max for push and combined pull.
 pub fn run_pi_max(opts: &ExperimentOptions) -> ExperimentOutput {
-    let pi_values = grid(opts, &[2usize, 6, 12, 20, 30], &[1, 2, 4, 6, 8, 12, 16, 20, 25, 30]);
+    let pi_values = grid(
+        opts,
+        &[2usize, 6, 12, 20, 30],
+        &[1, 2, 4, 6, 8, 12, 16, 20, 25, 30],
+    );
     let (tables, text) = overhead_sweep(
         opts,
         "pi_max (subscriptions per dispatcher)",
@@ -80,14 +89,6 @@ fn overhead_sweep<F: Fn(&mut ScenarioConfig, &f64)>(
     intro: &str,
 ) -> (NamedTables, String) {
     let algorithms = overhead_algorithms();
-    let mut headers = vec![x_label.to_owned()];
-    for kind in &algorithms {
-        headers.push(format!("{}_msgs_per_dispatcher", kind.name()));
-        headers.push(format!("{}_gossip_event_ratio", kind.name()));
-    }
-    let mut table = CsvTable::new(headers);
-    let mut per_dispatcher: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
-    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
     let configs: Vec<ScenarioConfig> = xs
         .iter()
         .flat_map(|&x| algorithms.iter().map(move |&kind| (x, kind)))
@@ -97,64 +98,38 @@ fn overhead_sweep<F: Fn(&mut ScenarioConfig, &f64)>(
             config
         })
         .collect();
-    let mut results = run_cells(opts, &configs).into_iter();
-    for &x in xs {
-        let mut row = vec![format!("{x}")];
-        for (i, _) in algorithms.iter().enumerate() {
-            let result = results.next().expect("one result per cell");
-            row.push(format!("{:.1}", result.gossip_per_dispatcher));
-            row.push(format!("{:.4}", result.gossip_event_ratio));
-            per_dispatcher[i].push(result.gossip_per_dispatcher);
-            ratios[i].push(result.gossip_event_ratio);
-        }
-        table.push_row(row);
-    }
+    let cells = SweepGrid::run(
+        opts,
+        x_label,
+        xs.iter().map(|x| format!("{x}")).collect(),
+        algorithms.iter().map(|k| k.name().to_owned()).collect(),
+        configs,
+    );
+    let msgs = Metric {
+        suffix: "msgs_per_dispatcher",
+        fmt: f1,
+        extract: |r| r.gossip_per_dispatcher,
+    };
+    let ratio = Metric {
+        suffix: "gossip_event_ratio",
+        fmt: f4,
+        extract: |r| r.gossip_event_ratio,
+    };
+    let table = cells.table(&[msgs, ratio]);
     let mut text = intro.to_owned();
-    let max_abs = per_dispatcher
-        .iter()
-        .flatten()
-        .fold(0.0f64, |a, &b| a.max(b))
-        .max(1.0);
-    text.push_str(&ascii_chart(
+    text.push_str(&cells.text_block(
         &format!("gossip msgs per dispatcher vs {x_label}"),
-        &algorithms
-            .iter()
-            .zip(&per_dispatcher)
-            .map(|(kind, values)| Series {
-                name: kind.name().to_owned(),
-                values: values.clone(),
-            })
-            .collect::<Vec<_>>(),
+        &msgs,
+        f0,
         0.0,
-        max_abs * 1.1,
+        cells.auto_hi(&msgs, 1.0),
     ));
-    let max_ratio = ratios
-        .iter()
-        .flatten()
-        .fold(0.0f64, |a, &b| a.max(b))
-        .max(0.01);
-    text.push_str(&ascii_chart(
+    text.push_str(&cells.text_block(
         &format!("gossip msgs / event msgs vs {x_label}"),
-        &algorithms
-            .iter()
-            .zip(&ratios)
-            .map(|(kind, values)| Series {
-                name: kind.name().to_owned(),
-                values: values.clone(),
-            })
-            .collect::<Vec<_>>(),
+        &ratio,
+        f3,
         0.0,
-        max_ratio * 1.1,
+        cells.auto_hi(&ratio, 0.01),
     ));
-    for (i, kind) in algorithms.iter().enumerate() {
-        let abs: Vec<String> = per_dispatcher[i].iter().map(|v| format!("{v:.0}")).collect();
-        let rel: Vec<String> = ratios[i].iter().map(|v| format!("{v:.3}")).collect();
-        text.push_str(&format!(
-            "  {:<14} msgs/dispatcher [{}]  ratio [{}]\n",
-            kind.name(),
-            abs.join(", "),
-            rel.join(", ")
-        ));
-    }
     (vec![("overhead".into(), table)], text)
 }

@@ -37,13 +37,27 @@ mod summary;
 
 use std::path::PathBuf;
 
-pub use common::{ExperimentOptions, ExperimentOutput};
+pub use common::{time_series_table, ExperimentOptions, ExperimentOutput, Metric, SweepGrid};
 
 /// The available experiment ids: the paper's figures in order,
 /// followed by the two extension studies.
 pub const ALL_EXPERIMENTS: [&str; 16] = [
-    "summary", "fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8",
-    "fig9a", "fig9b", "fig10", "seeds", "ext-adaptive", "ext-buffers",
+    "summary",
+    "fig2",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "seeds",
+    "ext-adaptive",
+    "ext-buffers",
 ];
 
 /// Runs the experiment with the given id and writes its CSV tables

@@ -16,11 +16,7 @@ use crate::config::ScenarioConfig;
 pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     let seed_count = if opts.quick { 5 } else { 10 };
     let algorithms = [AlgorithmKind::Push, AlgorithmKind::CombinedPull];
-    let mut table = CsvTable::new(vec![
-        "algorithm".into(),
-        "seed".into(),
-        "delivery".into(),
-    ]);
+    let mut table = CsvTable::new(vec!["algorithm".into(), "seed".into(), "delivery".into()]);
     let mut text = format!(
         "Randomization effect (paper Sec. IV-A) — {seed_count} seeds\n\
          (paper: variation across seeds is limited, around 1-2%,\n\

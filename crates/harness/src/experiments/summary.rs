@@ -29,7 +29,14 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     );
     text.push_str(&format!(
         "{:<16} {:>9} {:>9} {:>12} {:>8} {:>10} {:>9} {:>9}\n",
-        "algorithm", "delivery", "worstbin", "gossip/disp", "g/e", "recovered", "lat-mean", "lat-p95"
+        "algorithm",
+        "delivery",
+        "worstbin",
+        "gossip/disp",
+        "g/e",
+        "recovered",
+        "lat-mean",
+        "lat-p95"
     ));
     let configs: Vec<ScenarioConfig> = delivery_algorithms()
         .iter()

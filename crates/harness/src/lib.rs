@@ -25,10 +25,14 @@
 
 mod config;
 pub mod experiments;
+pub mod node;
 pub mod parallel;
+mod result;
 mod scenario;
 mod trace;
 
 pub use config::{AdaptiveGossip, ScenarioConfig};
-pub use scenario::{run_scenario, run_scenario_traced, ScenarioResult};
+pub use node::{NodeCtx, Outgoing, SimNode};
+pub use result::ScenarioResult;
+pub use scenario::{run_scenario, run_scenario_traced};
 pub use trace::{ScenarioTrace, TraceRecord};

@@ -1,0 +1,348 @@
+//! The node actor: everything one simulated dispatcher owns —
+//! protocol logic, recovery algorithm, workload RNG, gossip-timer
+//! state, and its subscription list — behind a narrow
+//! message-in/messages-out API.
+//!
+//! A [`SimNode`] never touches the network or the event queue: it
+//! consumes an [`Envelope`] (or a timer tick) and returns the
+//! [`Outgoing`] messages it wants sent. Routing, delay, loss, and
+//! scheduling stay with the runner and its transport. Shared run-wide
+//! state a node needs while handling a message — the metrics sinks,
+//! the shared gossip RNG, the trace — is lent to it for the duration
+//! of one call as a [`NodeCtx`].
+
+use eps_gossip::{Envelope, GossipAction, RecoveryAlgorithm};
+use eps_metrics::{DeliveryTracker, MessageCounters};
+use eps_overlay::NodeId;
+use eps_pubsub::{
+    Dispatcher, DispatcherConfig, DispatcherHost, PatternId, PatternSpace, PubSubMessage,
+};
+use eps_sim::{Rng, SimTime};
+
+use crate::config::AdaptiveGossip;
+use crate::trace::{ScenarioTrace, TraceRecord};
+
+/// One message a node wants the runner to put on a wire. The channel
+/// it travels on follows from the envelope ([`Envelope::channel`]).
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// The destination dispatcher.
+    pub to: NodeId,
+    /// The message.
+    pub env: Envelope,
+}
+
+/// Run-wide state lent to a node for the duration of one call.
+///
+/// Everything here is shared between nodes (and therefore cannot live
+/// inside [`SimNode`]): the current virtual time and overlay
+/// neighborhood, the pattern space, the metrics sinks, the shared
+/// gossip RNG — shared so that the sequence of gossip decisions, not
+/// a per-node stream position, is what the seed pins down — and the
+/// optional trace.
+pub struct NodeCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The node's current overlay neighbors.
+    pub neighbors: &'a [NodeId],
+    /// The content model (for drawing event content).
+    pub space: &'a PatternSpace,
+    /// Current subscribers of each pattern, indexed by [`PatternId`].
+    pub subscribers_of: &'a [Vec<NodeId>],
+    /// The shared gossip-decision RNG stream.
+    pub gossip_rng: &'a mut Rng,
+    /// Delivery bookkeeping.
+    pub tracker: &'a mut DeliveryTracker,
+    /// Message counting.
+    pub counters: &'a mut MessageCounters,
+    /// Optional bounded trace of interesting moments.
+    pub trace: &'a mut Option<ScenarioTrace>,
+}
+
+impl NodeCtx<'_> {
+    fn record(&mut self, record: TraceRecord) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(record);
+        }
+    }
+}
+
+/// One simulated dispatcher as an actor: the pub-sub [`Dispatcher`],
+/// its [`RecoveryAlgorithm`], its workload RNG, its (possibly
+/// adaptive) gossip-timer state, and its current subscription list.
+pub struct SimNode {
+    id: NodeId,
+    dispatcher: Dispatcher,
+    algorithm: Box<dyn RecoveryAlgorithm>,
+    workload_rng: Rng,
+    gossip_delay: SimTime,
+    subscriptions: Vec<PatternId>,
+}
+
+impl SimNode {
+    /// Creates a node actor. `subscriptions` is the node's initial
+    /// local subscription list; installing it into the dispatcher (and
+    /// flooding it) is the caller's job, via the [`DispatcherHost`]
+    /// assembly helpers.
+    pub fn new(
+        id: NodeId,
+        dispatcher_config: DispatcherConfig,
+        algorithm: Box<dyn RecoveryAlgorithm>,
+        workload_rng: Rng,
+        gossip_interval: SimTime,
+        subscriptions: Vec<PatternId>,
+    ) -> Self {
+        SimNode {
+            id,
+            dispatcher: Dispatcher::new(id, dispatcher_config),
+            algorithm,
+            workload_rng,
+            gossip_delay: gossip_interval,
+            subscriptions,
+        }
+    }
+
+    /// The node's overlay identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's current local subscriptions (kept current under
+    /// churn).
+    pub fn subscriptions(&self) -> &[PatternId] {
+        &self.subscriptions
+    }
+
+    /// `Lost` entries the recovery algorithm is still chasing.
+    pub fn outstanding_losses(&self) -> usize {
+        self.algorithm.outstanding_losses()
+    }
+
+    /// Handles one arriving message and returns the messages to send
+    /// in response.
+    pub fn handle(&mut self, from: NodeId, env: Envelope, ctx: &mut NodeCtx) -> Vec<Outgoing> {
+        match env {
+            Envelope::PubSub(PubSubMessage::Event(event)) => {
+                let receipt = self.dispatcher.on_event(event.clone(), Some(from));
+                if receipt.duplicate {
+                    return Vec::new();
+                }
+                if receipt.delivered {
+                    ctx.tracker.delivered(event.id(), self.id);
+                    ctx.record(TraceRecord::Deliver {
+                        at: ctx.now,
+                        node: self.id,
+                        event: event.id(),
+                        recovered: false,
+                    });
+                }
+                self.algorithm.on_event_received(&event);
+                if !receipt.losses.is_empty() {
+                    self.algorithm.on_losses(&receipt.losses);
+                    ctx.record(TraceRecord::LossDetected {
+                        at: ctx.now,
+                        node: self.id,
+                        count: receipt.losses.len() as u32,
+                    });
+                }
+                pubsub_out(receipt.forwards)
+            }
+            Envelope::PubSub(PubSubMessage::Subscribe(p)) => {
+                pubsub_out(self.dispatcher.on_subscribe(p, from, ctx.neighbors))
+            }
+            Envelope::PubSub(PubSubMessage::Unsubscribe(p)) => {
+                pubsub_out(self.dispatcher.on_unsubscribe(p, from, ctx.neighbors))
+            }
+            Envelope::Gossip(msg) => {
+                let actions = self.algorithm.on_gossip(
+                    &self.dispatcher,
+                    from,
+                    msg,
+                    ctx.neighbors,
+                    ctx.gossip_rng,
+                );
+                self.convert(actions, ctx.counters)
+            }
+            Envelope::Request(ids) => {
+                let actions = self.algorithm.on_request(&self.dispatcher, from, &ids);
+                self.convert(actions, ctx.counters)
+            }
+            Envelope::Reply(events) => {
+                for event in events {
+                    let receipt = self.dispatcher.on_recovered_event(event.clone());
+                    if receipt.duplicate {
+                        continue;
+                    }
+                    if receipt.delivered {
+                        ctx.tracker.recovered(event.id(), self.id, ctx.now);
+                        ctx.counters.count_recovered();
+                        ctx.record(TraceRecord::Deliver {
+                            at: ctx.now,
+                            node: self.id,
+                            event: event.id(),
+                            recovered: true,
+                        });
+                    }
+                    self.algorithm.on_event_received(&event);
+                    if !receipt.losses.is_empty() {
+                        self.algorithm.on_losses(&receipt.losses);
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Publishes one event of random content and returns the resulting
+    /// messages plus the exponential delay until this node's next
+    /// publication (Poisson process). Renewing the tick is the
+    /// runner's job.
+    pub fn tick_publish(
+        &mut self,
+        publish_rate: f64,
+        ctx: &mut NodeCtx,
+    ) -> (Vec<Outgoing>, SimTime) {
+        let content = ctx.space.random_content(&mut self.workload_rng);
+        let expected = count_subscribers(ctx.subscribers_of, &content);
+        let (event, receipt) = self.dispatcher.publish(content);
+        ctx.tracker.published(event.id(), ctx.now, expected);
+        ctx.record(TraceRecord::Publish {
+            at: ctx.now,
+            node: self.id,
+            event: event.id(),
+            expected,
+        });
+        if receipt.delivered {
+            ctx.tracker.delivered(event.id(), self.id);
+            ctx.record(TraceRecord::Deliver {
+                at: ctx.now,
+                node: self.id,
+                event: event.id(),
+                recovered: false,
+            });
+        }
+        let out = pubsub_out(receipt.forwards);
+        let delay = self.next_publish_delay(publish_rate);
+        (out, delay)
+    }
+
+    /// Exponential inter-arrival delay for this node's Poisson publish
+    /// process. Also used to seed the very first tick.
+    pub fn next_publish_delay(&mut self, publish_rate: f64) -> SimTime {
+        let u: f64 = self.workload_rng.random_range(0.0..1.0);
+        SimTime::from_secs_f64(-(1.0 - u).ln() / publish_rate)
+    }
+
+    /// Runs one gossip round and returns the resulting messages plus
+    /// the delay until this node's next round.
+    ///
+    /// With adaptive control (extension, paper Sec. IV-E): while the
+    /// strategy sees no evidence of recovery work (empty `Lost` buffer
+    /// for pull, no incoming requests for push), the timer backs off
+    /// exponentially; any sign of work snaps it back.
+    pub fn tick_gossip(
+        &mut self,
+        interval: SimTime,
+        adaptive: Option<AdaptiveGossip>,
+        ctx: &mut NodeCtx,
+    ) -> (Vec<Outgoing>, SimTime) {
+        let actions = self
+            .algorithm
+            .on_round(&self.dispatcher, ctx.neighbors, ctx.gossip_rng);
+        let next = match adaptive {
+            None => interval,
+            Some(adaptive) => {
+                let next = if self.algorithm.is_idle() {
+                    self.gossip_delay
+                        .mul_f64(adaptive.backoff)
+                        .min(adaptive.max_interval)
+                } else {
+                    adaptive.min_interval
+                };
+                self.gossip_delay = next;
+                next
+            }
+        };
+        let out = self.convert(actions, ctx.counters);
+        (out, next)
+    }
+
+    /// Swaps local subscription `old` for `new` and returns the
+    /// (un)subscription messages to propagate. The caller keeps the
+    /// pattern → subscribers index current.
+    pub fn apply_churn(
+        &mut self,
+        old: PatternId,
+        new: PatternId,
+        neighbors: &[NodeId],
+    ) -> Vec<Outgoing> {
+        let unsubs = self.dispatcher.unsubscribe_local(old, neighbors);
+        let subs = self.dispatcher.subscribe_local_late(new, neighbors);
+        let out = pubsub_out(unsubs.into_iter().chain(subs).collect());
+        self.subscriptions.retain(|&p| p != old);
+        self.subscriptions.push(new);
+        self.subscriptions.sort();
+        out
+    }
+
+    /// Converts gossip actions into envelopes, counting each at the
+    /// moment the node decides to send it (so broken links don't
+    /// change the overhead figures).
+    fn convert(&self, actions: Vec<GossipAction>, counters: &mut MessageCounters) -> Vec<Outgoing> {
+        actions
+            .into_iter()
+            .map(|action| match action {
+                GossipAction::Forward { to, msg } => {
+                    counters.count_gossip(self.id);
+                    Outgoing {
+                        to,
+                        env: Envelope::Gossip(msg),
+                    }
+                }
+                GossipAction::Request { to, ids } => {
+                    counters.count_request(self.id);
+                    Outgoing {
+                        to,
+                        env: Envelope::Request(ids),
+                    }
+                }
+                GossipAction::Reply { to, events } => {
+                    counters.count_reply(self.id, events.len() as u64);
+                    Outgoing {
+                        to,
+                        env: Envelope::Reply(events),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl DispatcherHost for SimNode {
+    fn dispatcher(&self) -> &Dispatcher {
+        &self.dispatcher
+    }
+    fn dispatcher_mut(&mut self) -> &mut Dispatcher {
+        &mut self.dispatcher
+    }
+}
+
+fn pubsub_out(forwards: Vec<eps_pubsub::Forward>) -> Vec<Outgoing> {
+    forwards
+        .into_iter()
+        .map(|f| Outgoing {
+            to: f.to,
+            env: Envelope::PubSub(f.msg),
+        })
+        .collect()
+}
+
+fn count_subscribers(subscribers_of: &[Vec<NodeId>], content: &[PatternId]) -> u32 {
+    let mut nodes: Vec<NodeId> = content
+        .iter()
+        .flat_map(|p| subscribers_of[p.index()].iter().copied())
+        .collect();
+    nodes.sort();
+    nodes.dedup();
+    nodes.len() as u32
+}

@@ -1,0 +1,110 @@
+//! What one simulation run measured, and its assembly from the
+//! metrics sinks.
+
+use eps_metrics::{DeliveryTracker, MessageCounters};
+
+use crate::config::ScenarioConfig;
+
+/// What one simulation run measured. All delivery rates are in
+/// `[0, 1]`; the headline [`ScenarioResult::delivery_rate`] is
+/// restricted to events published inside the measurement window.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Delivery rate over the measurement window.
+    pub delivery_rate: f64,
+    /// Delivery rate over the full run.
+    pub overall_delivery_rate: f64,
+    /// Worst per-bin delivery rate inside the measurement window (the
+    /// paper's "negative spikes").
+    pub min_bin_rate: f64,
+    /// Delivery-rate time series: (bin start in seconds, rate).
+    pub series: Vec<(f64, f64)>,
+    /// Mean intended receivers per published event (Figure 7).
+    pub receivers_per_event: f64,
+    /// Events published during the run.
+    pub events_published: u64,
+    /// Event messages sent on overlay links.
+    pub event_msgs: u64,
+    /// Gossip messages sent on overlay links.
+    pub gossip_msgs: u64,
+    /// Mean gossip messages sent per dispatcher.
+    pub gossip_per_dispatcher: f64,
+    /// Gossip messages divided by event messages, system-wide.
+    pub gossip_event_ratio: f64,
+    /// Out-of-band retransmission requests sent.
+    pub requests: u64,
+    /// Out-of-band replies sent.
+    pub replies: u64,
+    /// Event copies carried by replies.
+    pub events_retransmitted: u64,
+    /// Deliveries that happened through recovery (the event was new to
+    /// the receiver when the reply arrived).
+    pub events_recovered: u64,
+    /// Mean recovery latency in seconds (publish → recovered
+    /// delivery), or 0.0 when nothing was recovered.
+    pub recovery_latency_mean: f64,
+    /// 95th-percentile recovery latency in seconds, or 0.0.
+    pub recovery_latency_p95: f64,
+    /// `Lost` entries still outstanding at the end, summed over nodes.
+    pub outstanding_losses: u64,
+    /// Topological reconfigurations performed.
+    pub reconfigurations: u64,
+    /// Subscription swaps performed (churn).
+    pub churn_events: u64,
+    /// Subscription/unsubscription messages sent on overlay links.
+    pub subscription_msgs: u64,
+    /// Deliveries to dispatchers that subscribed after the event was
+    /// published (possible only under churn; not counted in rates).
+    pub unexpected_deliveries: u64,
+}
+
+/// Assembles the result of a finished run from the metrics sinks.
+pub(crate) fn assemble(
+    config: &ScenarioConfig,
+    tracker: &DeliveryTracker,
+    counters: &MessageCounters,
+    outstanding_losses: u64,
+    reconfigurations: u64,
+    churn_events: u64,
+) -> ScenarioResult {
+    let window = config.measure_window();
+    let series_raw = tracker.rate_series(config.series_bin);
+    let series: Vec<(f64, f64)> = series_raw
+        .bins()
+        .iter()
+        .map(|b| (b.start.as_secs_f64(), b.ratio()))
+        .collect();
+    let min_bin_rate = series_raw
+        .bins()
+        .iter()
+        .filter(|b| b.start >= window.0 && b.start < window.1 && b.denominator > 0.0)
+        .map(|b| b.ratio())
+        .fold(f64::INFINITY, f64::min);
+    ScenarioResult {
+        delivery_rate: tracker.delivery_rate(Some(window)),
+        overall_delivery_rate: tracker.delivery_rate(None),
+        min_bin_rate: if min_bin_rate.is_finite() {
+            min_bin_rate
+        } else {
+            1.0
+        },
+        series,
+        receivers_per_event: tracker.receivers_per_event().mean(),
+        events_published: tracker.event_count() as u64,
+        event_msgs: counters.event_total(),
+        gossip_msgs: counters.gossip_total(),
+        gossip_per_dispatcher: counters.gossip_per_dispatcher(),
+        gossip_event_ratio: counters.gossip_event_ratio(),
+        requests: counters.request_total(),
+        replies: counters.reply_total(),
+        events_retransmitted: counters.events_retransmitted(),
+        events_recovered: counters.events_recovered(),
+        recovery_latency_mean: tracker.recovery_latency().mean(),
+        recovery_latency_p95: tracker.recovery_latency_quantile(0.95).unwrap_or(0.0),
+        outstanding_losses,
+        reconfigurations,
+        churn_events,
+        subscription_msgs: counters.subscription_total(),
+        unexpected_deliveries: tracker.unexpected_total(),
+    }
+}

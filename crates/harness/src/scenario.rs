@@ -1,73 +1,21 @@
-//! The scenario runner: wires the simulation kernel, the overlay, the
-//! dispatchers, a recovery algorithm, and the metrics into one
-//! deterministic run.
+//! The scenario runner: orchestration only. It owns the event queue,
+//! the overlay topology, the transport, and the population of
+//! [`SimNode`] actors, and moves envelopes between them; everything a
+//! single dispatcher knows lives inside its node.
 
-use eps_gossip::{GossipAction, GossipMessage, RecoveryAlgorithm};
+use eps_gossip::{Channel, Envelope};
 use eps_metrics::{DeliveryTracker, MessageCounters};
-use eps_overlay::{
-    plan_reconnection, LinkSpec, LinkTable, NodeId, Topology, Transmission,
-};
+use eps_overlay::{plan_reconnection, LinkSpec, NetTransport, NodeId, Topology, Transport};
 use eps_pubsub::{
-    flood_subscriptions, install_local_subscriptions, Dispatcher, DispatcherConfig, Event,
-    EventId, PatternId, PatternSpace, PubSubMessage, rebuild_subscription_routes,
+    flood_subscriptions, install_local_subscriptions, rebuild_subscription_routes,
+    DispatcherConfig, PatternId, PatternSpace, PubSubMessage,
 };
 use eps_sim::{Engine, Rng, RngFactory, SimTime};
 
 use crate::config::ScenarioConfig;
+use crate::node::{NodeCtx, Outgoing, SimNode};
+use crate::result::{assemble, ScenarioResult};
 use crate::trace::{ScenarioTrace, TraceRecord};
-
-/// What one simulation run measured. All delivery rates are in
-/// `[0, 1]`; the headline [`ScenarioResult::delivery_rate`] is
-/// restricted to events published inside the measurement window.
-#[derive(Clone, Debug)]
-pub struct ScenarioResult {
-    /// Delivery rate over the measurement window.
-    pub delivery_rate: f64,
-    /// Delivery rate over the full run.
-    pub overall_delivery_rate: f64,
-    /// Worst per-bin delivery rate inside the measurement window (the
-    /// paper's "negative spikes").
-    pub min_bin_rate: f64,
-    /// Delivery-rate time series: (bin start in seconds, rate).
-    pub series: Vec<(f64, f64)>,
-    /// Mean intended receivers per published event (Figure 7).
-    pub receivers_per_event: f64,
-    /// Events published during the run.
-    pub events_published: u64,
-    /// Event messages sent on overlay links.
-    pub event_msgs: u64,
-    /// Gossip messages sent on overlay links.
-    pub gossip_msgs: u64,
-    /// Mean gossip messages sent per dispatcher.
-    pub gossip_per_dispatcher: f64,
-    /// Gossip messages divided by event messages, system-wide.
-    pub gossip_event_ratio: f64,
-    /// Out-of-band retransmission requests sent.
-    pub requests: u64,
-    /// Out-of-band replies sent.
-    pub replies: u64,
-    /// Event copies carried by replies.
-    pub events_retransmitted: u64,
-    /// Deliveries that happened through recovery (the event was new to
-    /// the receiver when the reply arrived).
-    pub events_recovered: u64,
-    /// Mean recovery latency in seconds (publish → recovered
-    /// delivery), or 0.0 when nothing was recovered.
-    pub recovery_latency_mean: f64,
-    /// 95th-percentile recovery latency in seconds, or 0.0.
-    pub recovery_latency_p95: f64,
-    /// `Lost` entries still outstanding at the end, summed over nodes.
-    pub outstanding_losses: u64,
-    /// Topological reconfigurations performed.
-    pub reconfigurations: u64,
-    /// Subscription swaps performed (churn).
-    pub churn_events: u64,
-    /// Subscription/unsubscription messages sent on overlay links.
-    pub subscription_msgs: u64,
-    /// Deliveries to dispatchers that subscribed after the event was
-    /// published (possible only under churn; not counted in rates).
-    pub unexpected_deliveries: u64,
-}
 
 /// Runs one scenario to completion.
 ///
@@ -113,35 +61,12 @@ pub fn run_scenario_traced(
     (result, trace.expect("trace was installed"))
 }
 
-enum LinkPayload {
-    PubSub(PubSubMessage),
-    Gossip(GossipMessage),
-}
-
-impl LinkPayload {
-    fn wire_bits(&self, payload_bits: u64) -> u64 {
-        match self {
-            LinkPayload::PubSub(m) => m.wire_bits(payload_bits),
-            LinkPayload::Gossip(m) => m.wire_bits(payload_bits),
-        }
-    }
-}
-
-enum OobPayload {
-    Request(Vec<EventId>),
-    Reply(Vec<Event>),
-}
-
 enum SimEvent {
-    Link {
+    /// An envelope arriving at `to` (already past the transport).
+    Deliver {
         from: NodeId,
         to: NodeId,
-        payload: LinkPayload,
-    },
-    Oob {
-        from: NodeId,
-        to: NodeId,
-        payload: OobPayload,
+        env: Envelope,
     },
     PublishTick(NodeId),
     GossipTick(NodeId),
@@ -150,23 +75,20 @@ enum SimEvent {
     Repair,
 }
 
+/// The orchestrator. Per-node state lives in the [`SimNode`]s; the
+/// scenario only keeps what is genuinely shared: the queue, the
+/// topology and transport, the metrics sinks, and the run-wide RNG
+/// streams.
 struct Scenario {
     config: ScenarioConfig,
     engine: Engine<SimEvent>,
     topology: Topology,
-    link_spec: LinkSpec,
-    links: LinkTable,
-    dispatchers: Vec<Dispatcher>,
-    algorithms: Vec<Box<dyn RecoveryAlgorithm>>,
+    transport: Box<dyn Transport>,
+    nodes: Vec<SimNode>,
     space: PatternSpace,
-    subscriptions: Vec<Vec<PatternId>>,
     subscribers_of: Vec<Vec<NodeId>>,
     tracker: DeliveryTracker,
     counters: MessageCounters,
-    workload_rngs: Vec<Rng>,
-    gossip_delays: Vec<SimTime>,
-    loss_rng: Rng,
-    oob_rng: Rng,
     gossip_rng: Rng,
     reconfig_rng: Rng,
     churn_rng: Rng,
@@ -196,10 +118,6 @@ impl Scenario {
             record_routes: config.algorithm.needs_route_recording(),
             eviction: config.eviction,
         };
-        let mut dispatchers: Vec<Dispatcher> = topology
-            .nodes()
-            .map(|id| Dispatcher::new(id, dispatcher_config))
-            .collect();
 
         // Stable subscriptions, flooded to quiescence before the
         // workload starts (the paper's setting).
@@ -207,8 +125,22 @@ impl Scenario {
         let subscriptions: Vec<Vec<PatternId>> = (0..config.nodes)
             .map(|_| space.random_subscriptions(config.pi_max, &mut subs_rng))
             .collect();
-        install_local_subscriptions(&mut dispatchers, &subscriptions);
-        flood_subscriptions(&mut dispatchers, &topology);
+
+        let mut nodes: Vec<SimNode> = topology
+            .nodes()
+            .map(|id| {
+                SimNode::new(
+                    id,
+                    dispatcher_config,
+                    config.algorithm.build(config.gossip),
+                    factory.indexed_stream("workload", id.index() as u64),
+                    config.gossip_interval,
+                    subscriptions[id.index()].clone(),
+                )
+            })
+            .collect();
+        install_local_subscriptions(&mut nodes, &subscriptions);
+        flood_subscriptions(&mut nodes, &topology);
 
         let mut subscribers_of: Vec<Vec<NodeId>> =
             vec![Vec::new(); config.pattern_universe as usize];
@@ -218,29 +150,23 @@ impl Scenario {
             }
         }
 
-        let algorithms: Vec<Box<dyn RecoveryAlgorithm>> = (0..config.nodes)
-            .map(|_| config.algorithm.build(config.gossip))
-            .collect();
-
-        let workload_rngs: Vec<Rng> = (0..config.nodes)
-            .map(|i| factory.indexed_stream("workload", i as u64))
-            .collect();
-
-        let gossip_delays = vec![config.gossip_interval; config.nodes];
-
-        Scenario {
-            engine: Engine::new(),
-            link_spec: LinkSpec {
+        let transport = Box::new(NetTransport::new(
+            LinkSpec {
                 bandwidth_bps: 10_000_000,
                 propagation: SimTime::from_micros(50),
                 loss_rate: config.link_error_rate,
             },
-            links: LinkTable::new(),
+            config.out_of_band,
+            factory.stream("loss"),
+            factory.stream("oob"),
+        ));
+
+        Scenario {
+            engine: Engine::new(),
             topology,
-            dispatchers,
-            algorithms,
+            transport,
+            nodes,
             space,
-            subscriptions,
             subscribers_of,
             tracker: if config.churn_interval.is_some() {
                 // Churn makes "subscribed after publish, delivered on
@@ -250,10 +176,6 @@ impl Scenario {
                 DeliveryTracker::new()
             },
             counters: MessageCounters::new(config.nodes),
-            workload_rngs,
-            gossip_delays,
-            loss_rng: factory.stream("loss"),
-            oob_rng: factory.stream("oob"),
             gossip_rng: factory.stream("gossip"),
             reconfig_rng: factory.stream("reconfig"),
             churn_rng: factory.stream("churn"),
@@ -275,7 +197,7 @@ impl Scenario {
         let nodes: Vec<NodeId> = self.topology.nodes().collect();
         for node in nodes {
             if self.config.publish_rate > 0.0 {
-                let delay = self.next_publish_delay(node);
+                let delay = self.nodes[node.index()].next_publish_delay(self.config.publish_rate);
                 self.engine.schedule(delay, SimEvent::PublishTick(node));
             }
             // Stagger gossip phases uniformly over one interval.
@@ -301,192 +223,90 @@ impl Scenario {
         while let Some((_, event)) = self.engine.pop() {
             self.handle(event);
         }
-        self.finish()
+        let outstanding: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.outstanding_losses() as u64)
+            .sum();
+        let result = assemble(
+            &self.config,
+            &self.tracker,
+            &self.counters,
+            outstanding,
+            self.reconfigurations,
+            self.churn_events,
+        );
+        (result, self.trace)
     }
 
     fn handle(&mut self, event: SimEvent) {
         match event {
+            SimEvent::Deliver { from, to, env } => self.handle_deliver(from, to, env),
             SimEvent::PublishTick(node) => self.handle_publish_tick(node),
             SimEvent::GossipTick(node) => self.handle_gossip_tick(node),
-            SimEvent::Link { from, to, payload } => self.handle_link(from, to, payload),
-            SimEvent::Oob { from, to, payload } => self.handle_oob(from, to, payload),
             SimEvent::ChurnTick => self.handle_churn(),
             SimEvent::Break => self.handle_break(),
             SimEvent::Repair => self.handle_repair(),
         }
     }
 
-    fn next_publish_delay(&mut self, node: NodeId) -> SimTime {
-        // Poisson process: exponential inter-arrival times.
-        let u: f64 = self.workload_rngs[node.index()].random_range(0.0..1.0);
-        SimTime::from_secs_f64(-(1.0 - u).ln() / self.config.publish_rate)
+    fn handle_deliver(&mut self, from: NodeId, to: NodeId, env: Envelope) {
+        let neighbors = self.topology.neighbors(to).to_vec();
+        let mut ctx = NodeCtx {
+            now: self.engine.now(),
+            neighbors: &neighbors,
+            space: &self.space,
+            subscribers_of: &self.subscribers_of,
+            gossip_rng: &mut self.gossip_rng,
+            tracker: &mut self.tracker,
+            counters: &mut self.counters,
+            trace: &mut self.trace,
+        };
+        let out = self.nodes[to.index()].handle(from, env, &mut ctx);
+        self.send(to, out);
     }
 
     fn handle_publish_tick(&mut self, node: NodeId) {
-        let content = self.space.random_content(&mut self.workload_rngs[node.index()]);
-        let expected = self.count_subscribers(&content);
-        let (event, receipt) = self.dispatchers[node.index()].publish(content);
-        self.tracker
-            .published(event.id(), self.engine.now(), expected);
-        self.record(TraceRecord::Publish {
-            at: self.engine.now(),
-            node,
-            event: event.id(),
-            expected,
-        });
-        if receipt.delivered {
-            self.tracker.delivered(event.id(), node);
-            self.record(TraceRecord::Deliver {
-                at: self.engine.now(),
-                node,
-                event: event.id(),
-                recovered: false,
-            });
-        }
-        for fwd in receipt.forwards {
-            self.send_link(node, fwd.to, LinkPayload::PubSub(fwd.msg));
-        }
+        let neighbors = self.topology.neighbors(node).to_vec();
+        let mut ctx = NodeCtx {
+            now: self.engine.now(),
+            neighbors: &neighbors,
+            space: &self.space,
+            subscribers_of: &self.subscribers_of,
+            gossip_rng: &mut self.gossip_rng,
+            tracker: &mut self.tracker,
+            counters: &mut self.counters,
+            trace: &mut self.trace,
+        };
+        let (out, delay) =
+            self.nodes[node.index()].tick_publish(self.config.publish_rate, &mut ctx);
+        self.send(node, out);
         // Renew the process.
-        let delay = self.next_publish_delay(node);
         if self.engine.now() + delay < self.config.duration {
             self.engine.schedule(delay, SimEvent::PublishTick(node));
         }
     }
 
-    fn count_subscribers(&self, content: &[PatternId]) -> u32 {
-        let mut nodes: Vec<NodeId> = content
-            .iter()
-            .flat_map(|p| self.subscribers_of[p.index()].iter().copied())
-            .collect();
-        nodes.sort();
-        nodes.dedup();
-        nodes.len() as u32
-    }
-
     fn handle_gossip_tick(&mut self, node: NodeId) {
         let neighbors = self.topology.neighbors(node).to_vec();
-        let actions = self.algorithms[node.index()].on_round(
-            &self.dispatchers[node.index()],
-            &neighbors,
-            &mut self.gossip_rng,
-        );
-        // Adaptive interval (extension, paper Sec. IV-E): while the
-        // strategy sees no evidence of recovery work (empty Lost
-        // buffer for pull, no incoming requests for push), the timer
-        // backs off exponentially; any sign of work snaps it back.
-        let next = match &self.config.adaptive_gossip {
-            None => self.config.gossip_interval,
-            Some(adaptive) => {
-                let current = self.gossip_delays[node.index()];
-                let next = if self.algorithms[node.index()].is_idle() {
-                    current.mul_f64(adaptive.backoff).min(adaptive.max_interval)
-                } else {
-                    adaptive.min_interval
-                };
-                self.gossip_delays[node.index()] = next;
-                next
-            }
+        let mut ctx = NodeCtx {
+            now: self.engine.now(),
+            neighbors: &neighbors,
+            space: &self.space,
+            subscribers_of: &self.subscribers_of,
+            gossip_rng: &mut self.gossip_rng,
+            tracker: &mut self.tracker,
+            counters: &mut self.counters,
+            trace: &mut self.trace,
         };
-        self.apply_actions(node, actions);
+        let (out, next) = self.nodes[node.index()].tick_gossip(
+            self.config.gossip_interval,
+            self.config.adaptive_gossip,
+            &mut ctx,
+        );
+        self.send(node, out);
         if self.engine.now() + next < self.config.duration {
             self.engine.schedule(next, SimEvent::GossipTick(node));
-        }
-    }
-
-    fn handle_link(&mut self, from: NodeId, to: NodeId, payload: LinkPayload) {
-        match payload {
-            LinkPayload::PubSub(PubSubMessage::Event(event)) => {
-                self.deliver_event(to, from, event);
-            }
-            LinkPayload::PubSub(PubSubMessage::Subscribe(p)) => {
-                let neighbors = self.topology.neighbors(to).to_vec();
-                let forwards =
-                    self.dispatchers[to.index()].on_subscribe(p, from, &neighbors);
-                for fwd in forwards {
-                    self.send_link(to, fwd.to, LinkPayload::PubSub(fwd.msg));
-                }
-            }
-            LinkPayload::PubSub(PubSubMessage::Unsubscribe(p)) => {
-                let neighbors = self.topology.neighbors(to).to_vec();
-                let forwards =
-                    self.dispatchers[to.index()].on_unsubscribe(p, from, &neighbors);
-                for fwd in forwards {
-                    self.send_link(to, fwd.to, LinkPayload::PubSub(fwd.msg));
-                }
-            }
-            LinkPayload::Gossip(msg) => {
-                let neighbors = self.topology.neighbors(to).to_vec();
-                let actions = self.algorithms[to.index()].on_gossip(
-                    &self.dispatchers[to.index()],
-                    from,
-                    msg,
-                    &neighbors,
-                    &mut self.gossip_rng,
-                );
-                self.apply_actions(to, actions);
-            }
-        }
-    }
-
-    fn deliver_event(&mut self, to: NodeId, from: NodeId, event: Event) {
-        let receipt = self.dispatchers[to.index()].on_event(event.clone(), Some(from));
-        if receipt.duplicate {
-            return;
-        }
-        if receipt.delivered {
-            self.tracker.delivered(event.id(), to);
-            self.record(TraceRecord::Deliver {
-                at: self.engine.now(),
-                node: to,
-                event: event.id(),
-                recovered: false,
-            });
-        }
-        let algo = &mut self.algorithms[to.index()];
-        algo.on_event_received(&event);
-        if !receipt.losses.is_empty() {
-            algo.on_losses(&receipt.losses);
-            self.record(TraceRecord::LossDetected {
-                at: self.engine.now(),
-                node: to,
-                count: receipt.losses.len() as u32,
-            });
-        }
-        for fwd in receipt.forwards {
-            self.send_link(to, fwd.to, LinkPayload::PubSub(fwd.msg));
-        }
-    }
-
-    fn handle_oob(&mut self, from: NodeId, to: NodeId, payload: OobPayload) {
-        match payload {
-            OobPayload::Request(ids) => {
-                let actions =
-                    self.algorithms[to.index()].on_request(&self.dispatchers[to.index()], from, &ids);
-                self.apply_actions(to, actions);
-            }
-            OobPayload::Reply(events) => {
-                for event in events {
-                    let receipt = self.dispatchers[to.index()].on_recovered_event(event.clone());
-                    if receipt.duplicate {
-                        continue;
-                    }
-                    if receipt.delivered {
-                        self.tracker.recovered(event.id(), to, self.engine.now());
-                        self.counters.count_recovered();
-                        self.record(TraceRecord::Deliver {
-                            at: self.engine.now(),
-                            node: to,
-                            event: event.id(),
-                            recovered: true,
-                        });
-                    }
-                    let algo = &mut self.algorithms[to.index()];
-                    algo.on_event_received(&event);
-                    if !receipt.losses.is_empty() {
-                        algo.on_losses(&receipt.losses);
-                    }
-                }
-            }
         }
     }
 
@@ -496,7 +316,7 @@ impl Scenario {
     fn handle_churn(&mut self) {
         if self.engine.now() < self.config.duration {
             let node = NodeId::new(self.churn_rng.random_range(0..self.config.nodes as u32));
-            let subs = &self.subscriptions[node.index()];
+            let subs = self.nodes[node.index()].subscriptions();
             if !subs.is_empty() {
                 let old = subs[self.churn_rng.random_range(0..subs.len())];
                 let candidates: Vec<PatternId> = self
@@ -519,17 +339,9 @@ impl Scenario {
     fn apply_churn(&mut self, node: NodeId, old: PatternId, new: PatternId) {
         self.churn_events += 1;
         let neighbors = self.topology.neighbors(node).to_vec();
-        let dispatcher = &mut self.dispatchers[node.index()];
-        let unsubs = dispatcher.unsubscribe_local(old, &neighbors);
-        let subs = dispatcher.subscribe_local_late(new, &neighbors);
-        for fwd in unsubs.into_iter().chain(subs) {
-            self.send_link(node, fwd.to, LinkPayload::PubSub(fwd.msg));
-        }
+        let out = self.nodes[node.index()].apply_churn(old, new, &neighbors);
+        self.send(node, out);
         // Keep the metrics' view of intended recipients current.
-        let list = &mut self.subscriptions[node.index()];
-        list.retain(|&p| p != old);
-        list.push(new);
-        list.sort();
         self.subscribers_of[old.index()].retain(|&n| n != node);
         self.subscribers_of[new.index()].push(node);
         self.subscribers_of[new.index()].sort();
@@ -544,10 +356,8 @@ impl Scenario {
         let topology = &self.topology;
         let reconfig_rng = &mut self.reconfig_rng;
         if let Some(link) = reconfig_rng.choose_iter(topology.links()) {
-            self.topology
-                .remove_link(link)
-                .expect("chosen link exists");
-            self.links.reset_link(link.a(), link.b());
+            self.topology.remove_link(link).expect("chosen link exists");
+            self.transport.reset_link(link.a(), link.b());
             self.reconfigurations += 1;
             self.record(TraceRecord::LinkBroken {
                 at: self.engine.now(),
@@ -575,243 +385,43 @@ impl Scenario {
             });
             // The reconfiguration protocol of [7] has completed:
             // subscription routes are consistent with the new overlay.
-            rebuild_subscription_routes(&mut self.dispatchers, &self.topology);
+            rebuild_subscription_routes(&mut self.nodes, &self.topology);
         }
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<GossipAction>) {
-        for action in actions {
-            match action {
-                GossipAction::Forward { to, msg } => {
-                    self.counters.count_gossip(node);
-                    self.send_link(node, to, LinkPayload::Gossip(msg));
+    /// Puts a node's outgoing messages on the wire: counts them,
+    /// routes tree traffic over existing overlay links only, asks the
+    /// transport when (and whether) each arrives, and schedules the
+    /// delivery.
+    fn send(&mut self, from: NodeId, out: Vec<Outgoing>) {
+        for Outgoing { to, env } in out {
+            match env.channel() {
+                Channel::Tree => {
+                    match &env {
+                        Envelope::PubSub(PubSubMessage::Event(_)) => {
+                            self.counters.count_event(from)
+                        }
+                        Envelope::PubSub(_) => self.counters.count_subscription(from),
+                        _ => {} // gossip is counted at the action level
+                    }
+                    if !self.topology.has_link(from, to) {
+                        // Broken link or stale route: the message is lost.
+                        continue;
+                    }
+                    let bits = env.wire_bits(self.config.event_payload_bits);
+                    if let Some(at) = self.transport.send_link(from, to, bits, self.engine.now()) {
+                        self.engine
+                            .schedule_at(at, SimEvent::Deliver { from, to, env });
+                    }
                 }
-                GossipAction::Request { to, ids } => {
-                    self.counters.count_request(node);
-                    self.send_oob(node, to, OobPayload::Request(ids));
-                }
-                GossipAction::Reply { to, events } => {
-                    self.counters.count_reply(node, events.len() as u64);
-                    self.send_oob(node, to, OobPayload::Reply(events));
+                Channel::OutOfBand => {
+                    let bits = env.wire_bits(self.config.event_payload_bits);
+                    if let Some(at) = self.transport.send_oob(from, to, bits, self.engine.now()) {
+                        self.engine
+                            .schedule_at(at, SimEvent::Deliver { from, to, env });
+                    }
                 }
             }
         }
-    }
-
-    fn send_link(&mut self, from: NodeId, to: NodeId, payload: LinkPayload) {
-        match &payload {
-            LinkPayload::PubSub(PubSubMessage::Event(_)) => self.counters.count_event(from),
-            LinkPayload::PubSub(_) => self.counters.count_subscription(from),
-            LinkPayload::Gossip(_) => {} // counted at the action level
-        }
-        if !self.topology.has_link(from, to) {
-            // Broken link or stale route: the message is lost.
-            return;
-        }
-        let bits = payload.wire_bits(self.config.event_payload_bits);
-        match self.links.transmit(
-            &self.link_spec,
-            from,
-            to,
-            bits,
-            self.engine.now(),
-            &mut self.loss_rng,
-        ) {
-            Transmission::Arrives(at) => {
-                self.engine
-                    .schedule_at(at, SimEvent::Link { from, to, payload });
-            }
-            Transmission::Lost => {}
-        }
-    }
-
-    fn send_oob(&mut self, from: NodeId, to: NodeId, payload: OobPayload) {
-        let bits = match &payload {
-            OobPayload::Request(ids) => 256 + 96 * ids.len() as u64,
-            OobPayload::Reply(events) => events
-                .iter()
-                .map(|e| e.wire_bits(self.config.event_payload_bits))
-                .sum::<u64>()
-                .max(256),
-        };
-        if let Some(delay) = self.config.out_of_band.delay(bits, &mut self.oob_rng) {
-            self.engine
-                .schedule(delay, SimEvent::Oob { from, to, payload });
-        }
-    }
-
-    fn finish(self) -> (ScenarioResult, Option<ScenarioTrace>) {
-        let window = self.config.measure_window();
-        let series_raw = self.tracker.rate_series(self.config.series_bin);
-        let series: Vec<(f64, f64)> = series_raw
-            .bins()
-            .iter()
-            .map(|b| (b.start.as_secs_f64(), b.ratio()))
-            .collect();
-        let min_bin_rate = series_raw
-            .bins()
-            .iter()
-            .filter(|b| b.start >= window.0 && b.start < window.1 && b.denominator > 0.0)
-            .map(|b| b.ratio())
-            .fold(f64::INFINITY, f64::min);
-        let result = ScenarioResult {
-            delivery_rate: self.tracker.delivery_rate(Some(window)),
-            overall_delivery_rate: self.tracker.delivery_rate(None),
-            min_bin_rate: if min_bin_rate.is_finite() {
-                min_bin_rate
-            } else {
-                1.0
-            },
-            series,
-            receivers_per_event: self.tracker.receivers_per_event().mean(),
-            events_published: self.tracker.event_count() as u64,
-            event_msgs: self.counters.event_total(),
-            gossip_msgs: self.counters.gossip_total(),
-            gossip_per_dispatcher: self.counters.gossip_per_dispatcher(),
-            gossip_event_ratio: self.counters.gossip_event_ratio(),
-            requests: self.counters.request_total(),
-            replies: self.counters.reply_total(),
-            events_retransmitted: self.counters.events_retransmitted(),
-            events_recovered: self.counters.events_recovered(),
-            recovery_latency_mean: self.tracker.recovery_latency().mean(),
-            recovery_latency_p95: self
-                .tracker
-                .recovery_latency_quantile(0.95)
-                .unwrap_or(0.0),
-            outstanding_losses: self
-                .algorithms
-                .iter()
-                .map(|a| a.outstanding_losses() as u64)
-                .sum(),
-            reconfigurations: self.reconfigurations,
-            churn_events: self.churn_events,
-            subscription_msgs: self.counters.subscription_total(),
-            unexpected_deliveries: self.tracker.unexpected_total(),
-        };
-        (result, self.trace)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use eps_gossip::AlgorithmKind;
-
-    fn small(algorithm: AlgorithmKind) -> ScenarioConfig {
-        ScenarioConfig {
-            nodes: 25,
-            duration: SimTime::from_secs(4),
-            warmup: SimTime::from_millis(500),
-            cooldown: SimTime::from_secs(1),
-            publish_rate: 20.0,
-            algorithm,
-            ..ScenarioConfig::default()
-        }
-    }
-
-    #[test]
-    fn lossless_network_delivers_everything() {
-        let config = ScenarioConfig {
-            link_error_rate: 0.0,
-            ..small(AlgorithmKind::NoRecovery)
-        };
-        let result = run_scenario(&config);
-        assert!(
-            result.delivery_rate > 0.999,
-            "lossless delivery was {}",
-            result.delivery_rate
-        );
-        assert_eq!(result.gossip_msgs, 0);
-        assert_eq!(result.requests, 0);
-    }
-
-    #[test]
-    fn lossy_baseline_loses_events() {
-        let result = run_scenario(&small(AlgorithmKind::NoRecovery));
-        assert!(
-            result.delivery_rate < 0.95,
-            "expected losses, got {}",
-            result.delivery_rate
-        );
-        assert!(result.events_published > 0);
-    }
-
-    #[test]
-    fn recovery_beats_no_recovery() {
-        let baseline = run_scenario(&small(AlgorithmKind::NoRecovery));
-        for kind in [
-            AlgorithmKind::Push,
-            AlgorithmKind::SubscriberPull,
-            AlgorithmKind::CombinedPull,
-        ] {
-            let recovered = run_scenario(&small(kind));
-            assert!(
-                recovered.delivery_rate > baseline.delivery_rate,
-                "{kind}: {} <= baseline {}",
-                recovered.delivery_rate,
-                baseline.delivery_rate
-            );
-            assert!(recovered.gossip_msgs > 0, "{kind} sent no gossip");
-        }
-    }
-
-    #[test]
-    fn same_seed_same_result() {
-        let config = small(AlgorithmKind::CombinedPull);
-        let a = run_scenario(&config);
-        let b = run_scenario(&config);
-        assert_eq!(a.delivery_rate, b.delivery_rate);
-        assert_eq!(a.gossip_msgs, b.gossip_msgs);
-        assert_eq!(a.events_published, b.events_published);
-        assert_eq!(a.series, b.series);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let a = run_scenario(&small(AlgorithmKind::Push));
-        let b = run_scenario(&ScenarioConfig {
-            seed: 999,
-            ..small(AlgorithmKind::Push)
-        });
-        assert_ne!(a.events_published, b.events_published);
-    }
-
-    #[test]
-    fn reconfigurations_happen_and_recover() {
-        let config = ScenarioConfig {
-            link_error_rate: 0.0,
-            reconfig_interval: Some(SimTime::from_millis(200)),
-            ..small(AlgorithmKind::NoRecovery)
-        };
-        let result = run_scenario(&config);
-        assert!(result.reconfigurations >= 10);
-        // Reconfigurations lose some events but the network keeps
-        // working.
-        assert!(result.delivery_rate > 0.5);
-        assert!(result.delivery_rate < 1.0);
-    }
-
-    #[test]
-    fn recovery_masks_reconfiguration_losses() {
-        let base = ScenarioConfig {
-            link_error_rate: 0.0,
-            reconfig_interval: Some(SimTime::from_millis(200)),
-            ..small(AlgorithmKind::NoRecovery)
-        };
-        let no_rec = run_scenario(&base);
-        let push = run_scenario(&base.with_algorithm(AlgorithmKind::Push));
-        assert!(push.delivery_rate >= no_rec.delivery_rate);
-        assert!(push.min_bin_rate >= no_rec.min_bin_rate);
-    }
-
-    #[test]
-    fn zero_publish_rate_is_quiet() {
-        let config = ScenarioConfig {
-            publish_rate: 0.0,
-            ..small(AlgorithmKind::CombinedPull)
-        };
-        let result = run_scenario(&config);
-        assert_eq!(result.events_published, 0);
-        assert_eq!(result.delivery_rate, 1.0);
     }
 }

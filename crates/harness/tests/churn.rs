@@ -110,7 +110,11 @@ fn churn_composes_with_reconfiguration_and_loss() {
     assert!(r.reconfigurations > 0);
     assert!(r.events_recovered > 0);
     assert!((0.0..=1.0).contains(&r.delivery_rate));
-    assert!(r.delivery_rate > 0.6, "system collapsed: {}", r.delivery_rate);
+    assert!(
+        r.delivery_rate > 0.6,
+        "system collapsed: {}",
+        r.delivery_rate
+    );
 }
 
 #[test]

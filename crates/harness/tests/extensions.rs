@@ -94,10 +94,7 @@ fn every_eviction_policy_completes_and_recovers() {
             eviction: policy,
             ..base(AlgorithmKind::CombinedPull)
         });
-        assert!(
-            r.events_recovered > 0,
-            "{policy} recovered nothing"
-        );
+        assert!(r.events_recovered > 0, "{policy} recovered nothing");
         assert!((0.0..=1.0).contains(&r.delivery_rate));
     }
 }

@@ -1,0 +1,173 @@
+//! Golden determinism tests: the full [`ScenarioResult`] and the
+//! fig3-style CSV bytes are pinned for all six algorithms at two
+//! seeds, plus reconfiguration and churn variants. Any refactor of the
+//! runner must reproduce these bytes exactly — serially and under
+//! `par_map` — or consciously regenerate them with
+//! `UPDATE_GOLDEN=1 cargo test -p eps-harness --test golden`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use eps_gossip::AlgorithmKind;
+use eps_harness::experiments::time_series_table;
+use eps_harness::parallel::par_map;
+use eps_harness::{run_scenario, ScenarioConfig, ScenarioResult};
+use eps_sim::SimTime;
+
+const SEEDS: [u64; 2] = [1, 999];
+
+fn small(algorithm: AlgorithmKind, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        nodes: 25,
+        duration: SimTime::from_secs(4),
+        warmup: SimTime::from_millis(500),
+        cooldown: SimTime::from_secs(1),
+        publish_rate: 20.0,
+        algorithm,
+        ..ScenarioConfig::default()
+    }
+}
+
+/// The pinned cells: every algorithm on the small lossy config, plus
+/// one reconfiguration run and one churn run.
+fn cells(seed: u64) -> Vec<(String, ScenarioConfig)> {
+    let mut cells: Vec<(String, ScenarioConfig)> = AlgorithmKind::ALL
+        .iter()
+        .map(|&kind| (kind.name().to_owned(), small(kind, seed)))
+        .collect();
+    cells.push((
+        "reconfig".to_owned(),
+        ScenarioConfig {
+            link_error_rate: 0.0,
+            reconfig_interval: Some(SimTime::from_millis(200)),
+            ..small(AlgorithmKind::Push, seed)
+        },
+    ));
+    cells.push((
+        "churn".to_owned(),
+        ScenarioConfig {
+            churn_interval: Some(SimTime::from_millis(300)),
+            ..small(AlgorithmKind::CombinedPull, seed)
+        },
+    ));
+    cells
+}
+
+/// Bit-exact rendering of a float: the hex of its IEEE-754 bits.
+fn hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Canonical line-per-field dump of a result; every float is rendered
+/// bit-exactly, including the full time series.
+fn dump(label: &str, result: &ScenarioResult) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "[{label}]");
+    let _ = writeln!(s, "delivery_rate={}", hex(result.delivery_rate));
+    let _ = writeln!(
+        s,
+        "overall_delivery_rate={}",
+        hex(result.overall_delivery_rate)
+    );
+    let _ = writeln!(s, "min_bin_rate={}", hex(result.min_bin_rate));
+    let series: Vec<String> = result
+        .series
+        .iter()
+        .map(|&(t, r)| format!("{}:{}", hex(t), hex(r)))
+        .collect();
+    let _ = writeln!(s, "series={}", series.join(","));
+    let _ = writeln!(s, "receivers_per_event={}", hex(result.receivers_per_event));
+    let _ = writeln!(s, "events_published={}", result.events_published);
+    let _ = writeln!(s, "event_msgs={}", result.event_msgs);
+    let _ = writeln!(s, "gossip_msgs={}", result.gossip_msgs);
+    let _ = writeln!(
+        s,
+        "gossip_per_dispatcher={}",
+        hex(result.gossip_per_dispatcher)
+    );
+    let _ = writeln!(s, "gossip_event_ratio={}", hex(result.gossip_event_ratio));
+    let _ = writeln!(s, "requests={}", result.requests);
+    let _ = writeln!(s, "replies={}", result.replies);
+    let _ = writeln!(s, "events_retransmitted={}", result.events_retransmitted);
+    let _ = writeln!(s, "events_recovered={}", result.events_recovered);
+    let _ = writeln!(
+        s,
+        "recovery_latency_mean={}",
+        hex(result.recovery_latency_mean)
+    );
+    let _ = writeln!(
+        s,
+        "recovery_latency_p95={}",
+        hex(result.recovery_latency_p95)
+    );
+    let _ = writeln!(s, "outstanding_losses={}", result.outstanding_losses);
+    let _ = writeln!(s, "reconfigurations={}", result.reconfigurations);
+    let _ = writeln!(s, "churn_events={}", result.churn_events);
+    let _ = writeln!(s, "subscription_msgs={}", result.subscription_msgs);
+    let _ = writeln!(s, "unexpected_deliveries={}", result.unexpected_deliveries);
+    s
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Renders one seed's cells: the canonical result dump and the
+/// fig3-style CSV over the six algorithm series.
+fn render(seed: u64, results: &[ScenarioResult]) -> (String, String) {
+    let labeled = cells(seed);
+    let mut report = String::new();
+    for ((label, _), result) in labeled.iter().zip(results) {
+        report.push_str(&dump(&format!("{label} seed={seed}"), result));
+        report.push('\n');
+    }
+    let names: Vec<String> = AlgorithmKind::ALL
+        .iter()
+        .map(|k| k.name().to_owned())
+        .collect();
+    let series: Vec<Vec<(f64, f64)>> = results[..names.len()]
+        .iter()
+        .map(|r| r.series.clone())
+        .collect();
+    let csv = time_series_table(&names, &series).to_csv();
+    (report, csv)
+}
+
+fn check_or_update(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from the golden bytes; if the change is intended, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn scenario_output_matches_golden_bytes() {
+    for seed in SEEDS {
+        let configs: Vec<ScenarioConfig> = cells(seed).into_iter().map(|(_, c)| c).collect();
+        let serial: Vec<ScenarioResult> = configs.iter().map(run_scenario).collect();
+        let (report, csv) = render(seed, &serial);
+        check_or_update(&format!("results_seed{seed}.txt"), &report);
+        check_or_update(&format!("fig3_seed{seed}.csv"), &csv);
+
+        // The parallel runner must produce the same bytes as the
+        // serial loop, for any job count.
+        let parallel = par_map(4, &configs, run_scenario);
+        let (par_report, par_csv) = render(seed, &parallel);
+        assert_eq!(report, par_report, "par_map drifted from serial results");
+        assert_eq!(csv, par_csv, "par_map drifted from serial CSV");
+    }
+}

@@ -72,11 +72,14 @@ fn experiment_csvs_identical_across_job_counts() {
                 jobs: Some(jobs),
             };
             let output = run_experiment("fig2", &opts).expect("fig2 runs");
-            let csv = std::fs::read(out_dir.join("fig2").join("parameters.csv"))
-                .expect("csv written");
+            let csv =
+                std::fs::read(out_dir.join("fig2").join("parameters.csv")).expect("csv written");
             outputs.push((output.text.clone(), csv));
         }
-        assert_eq!(outputs[0].0, outputs[1].0, "report text differs (seed {seed})");
+        assert_eq!(
+            outputs[0].0, outputs[1].0,
+            "report text differs (seed {seed})"
+        );
         assert_eq!(outputs[0].1, outputs[1].1, "CSV bytes differ (seed {seed})");
     }
     let _ = std::fs::remove_dir_all(&base);

@@ -1,0 +1,125 @@
+//! Black-box behavior tests of the scenario runner: loss, recovery,
+//! reconfiguration, and determinism, all through the public
+//! [`run_scenario`] API.
+
+use eps_gossip::AlgorithmKind;
+use eps_harness::{run_scenario, ScenarioConfig};
+use eps_sim::SimTime;
+
+fn small(algorithm: AlgorithmKind) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 25,
+        duration: SimTime::from_secs(4),
+        warmup: SimTime::from_millis(500),
+        cooldown: SimTime::from_secs(1),
+        publish_rate: 20.0,
+        algorithm,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn lossless_network_delivers_everything() {
+    let config = ScenarioConfig {
+        link_error_rate: 0.0,
+        ..small(AlgorithmKind::NoRecovery)
+    };
+    let result = run_scenario(&config);
+    assert!(
+        result.delivery_rate > 0.999,
+        "lossless delivery was {}",
+        result.delivery_rate
+    );
+    assert_eq!(result.gossip_msgs, 0);
+    assert_eq!(result.requests, 0);
+}
+
+#[test]
+fn lossy_baseline_loses_events() {
+    let result = run_scenario(&small(AlgorithmKind::NoRecovery));
+    assert!(
+        result.delivery_rate < 0.95,
+        "expected losses, got {}",
+        result.delivery_rate
+    );
+    assert!(result.events_published > 0);
+}
+
+#[test]
+fn recovery_beats_no_recovery() {
+    let baseline = run_scenario(&small(AlgorithmKind::NoRecovery));
+    for kind in [
+        AlgorithmKind::Push,
+        AlgorithmKind::SubscriberPull,
+        AlgorithmKind::CombinedPull,
+    ] {
+        let recovered = run_scenario(&small(kind));
+        assert!(
+            recovered.delivery_rate > baseline.delivery_rate,
+            "{kind}: {} <= baseline {}",
+            recovered.delivery_rate,
+            baseline.delivery_rate
+        );
+        assert!(recovered.gossip_msgs > 0, "{kind} sent no gossip");
+    }
+}
+
+#[test]
+fn same_seed_same_result() {
+    let config = small(AlgorithmKind::CombinedPull);
+    let a = run_scenario(&config);
+    let b = run_scenario(&config);
+    assert_eq!(a.delivery_rate, b.delivery_rate);
+    assert_eq!(a.gossip_msgs, b.gossip_msgs);
+    assert_eq!(a.events_published, b.events_published);
+    assert_eq!(a.series, b.series);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_scenario(&small(AlgorithmKind::Push));
+    let b = run_scenario(&ScenarioConfig {
+        seed: 999,
+        ..small(AlgorithmKind::Push)
+    });
+    assert_ne!(a.events_published, b.events_published);
+}
+
+#[test]
+fn reconfigurations_happen_and_recover() {
+    let config = ScenarioConfig {
+        link_error_rate: 0.0,
+        reconfig_interval: Some(SimTime::from_millis(200)),
+        ..small(AlgorithmKind::NoRecovery)
+    };
+    let result = run_scenario(&config);
+    assert!(result.reconfigurations >= 10);
+    // Reconfigurations lose some events but the network keeps
+    // working.
+    assert!(result.delivery_rate > 0.5);
+    assert!(result.delivery_rate < 1.0);
+}
+
+#[test]
+fn recovery_masks_reconfiguration_losses() {
+    let base = ScenarioConfig {
+        link_error_rate: 0.0,
+        reconfig_interval: Some(SimTime::from_millis(200)),
+        ..small(AlgorithmKind::NoRecovery)
+    };
+    let no_rec = run_scenario(&base);
+    let push = run_scenario(&base.with_algorithm(AlgorithmKind::Push));
+    assert!(push.delivery_rate >= no_rec.delivery_rate);
+    assert!(push.min_bin_rate >= no_rec.min_bin_rate);
+}
+
+#[test]
+fn zero_publish_rate_is_quiet() {
+    let config = ScenarioConfig {
+        publish_rate: 0.0,
+        ..small(AlgorithmKind::CombinedPull)
+    };
+    let result = run_scenario(&config);
+    assert_eq!(result.events_published, 0);
+    assert_eq!(result.delivery_rate, 1.0);
+}

@@ -45,16 +45,15 @@ fn trace_agrees_with_the_metrics() {
                 assert!(published_ids.insert(event), "event published twice");
             }
             TraceRecord::Deliver {
-                event, recovered: r, ..
+                event,
+                recovered: r,
+                ..
             } => {
                 deliveries += 1;
                 if r {
                     recovered += 1;
                 }
-                assert!(
-                    published_ids.contains(&event),
-                    "delivered before published"
-                );
+                assert!(published_ids.contains(&event), "delivered before published");
             }
             _ => {}
         }
@@ -110,7 +109,10 @@ fn recovered_deliveries_only_happen_with_recovery_enabled() {
     let (_, trace) = run_scenario_traced(&base(AlgorithmKind::NoRecovery), 2_000_000);
     assert!(trace.records().iter().all(|r| !matches!(
         r,
-        TraceRecord::Deliver { recovered: true, .. }
+        TraceRecord::Deliver {
+            recovered: true,
+            ..
+        }
     )));
 }
 

@@ -40,8 +40,10 @@ mod link;
 mod node;
 mod reconfig;
 mod topology;
+mod transport;
 
 pub use link::{LinkSpec, LinkTable, OutOfBandSpec, Transmission};
 pub use node::{LinkId, NodeId};
 pub use reconfig::{plan_reconfiguration, plan_reconnection, ReconfigPlan};
 pub use topology::{Topology, TopologyError};
+pub use transport::{NetTransport, Transport};

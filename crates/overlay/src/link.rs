@@ -205,7 +205,10 @@ mod tests {
     #[test]
     fn serialization_delay_scales_with_size() {
         let spec = LinkSpec::ethernet_10mbps(0.0);
-        assert_eq!(spec.serialization_delay(10_000_000).as_nanos(), 1_000_000_000);
+        assert_eq!(
+            spec.serialization_delay(10_000_000).as_nanos(),
+            1_000_000_000
+        );
         assert_eq!(spec.serialization_delay(0), SimTime::ZERO);
     }
 

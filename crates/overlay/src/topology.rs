@@ -403,7 +403,10 @@ mod tests {
     #[test]
     fn path_to_self_is_singleton() {
         let t = Topology::random_tree(5, 4, &mut rng());
-        assert_eq!(t.path(NodeId::new(2), NodeId::new(2)), Some(vec![NodeId::new(2)]));
+        assert_eq!(
+            t.path(NodeId::new(2), NodeId::new(2)),
+            Some(vec![NodeId::new(2)])
+        );
     }
 
     #[test]

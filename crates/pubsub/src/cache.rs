@@ -120,9 +120,7 @@ impl PolicyState {
     /// non-empty cache.
     fn pick_victim(&mut self) -> EventId {
         match self {
-            PolicyState::Fifo { order } => {
-                order.pop_front().expect("full cache has a FIFO head")
-            }
+            PolicyState::Fifo { order } => order.pop_front().expect("full cache has a FIFO head"),
             PolicyState::Random { live, pos, rng } => {
                 let idx = rng.random_range(0..live.len());
                 let id = live.swap_remove(idx);
@@ -132,7 +130,11 @@ impl PolicyState {
                 }
                 id
             }
-            PolicyState::SourceBiased { own, other, own_cap } => {
+            PolicyState::SourceBiased {
+                own,
+                other,
+                own_cap,
+            } => {
                 // Evict from whichever class is over its share; the
                 // protected class only pays when it alone is over.
                 if own.len() > *own_cap || other.is_empty() {
@@ -199,7 +201,11 @@ impl Clone for EventCache {
                 pos: pos.clone(),
                 rng: rng.clone(),
             },
-            PolicyState::SourceBiased { own, other, own_cap } => PolicyState::SourceBiased {
+            PolicyState::SourceBiased {
+                own,
+                other,
+                own_cap,
+            } => PolicyState::SourceBiased {
                 own: own.clone(),
                 other: other.clone(),
                 own_cap: *own_cap,
@@ -235,10 +241,7 @@ impl EventCache {
     /// owner, or with a share above 1000 ‰.
     pub fn with_policy(capacity: usize, policy: EvictionPolicy, owner: Option<NodeId>) -> Self {
         if matches!(policy, EvictionPolicy::SourceBiased { .. }) {
-            assert!(
-                owner.is_some(),
-                "a source-biased cache must know its owner"
-            );
+            assert!(owner.is_some(), "a source-biased cache must know its owner");
         }
         EventCache {
             capacity,
@@ -305,8 +308,7 @@ impl EventCache {
     /// iteration amortized O(live).
     fn compact(&mut self) {
         if self.insertion.len() > 2 * self.events.len().max(16) {
-            self.insertion
-                .retain(|id| self.events.contains_key(id));
+            self.insertion.retain(|id| self.events.contains_key(id));
         }
     }
 
@@ -347,11 +349,7 @@ impl EventCache {
     pub fn ids_matching(&self, pattern: PatternId) -> Vec<EventId> {
         self.insertion
             .iter()
-            .filter(|id| {
-                self.events
-                    .get(id)
-                    .is_some_and(|e| e.matches(pattern))
-            })
+            .filter(|id| self.events.get(id).is_some_and(|e| e.matches(pattern)))
             .copied()
             .collect()
     }
@@ -471,8 +469,7 @@ mod tests {
     #[test]
     fn random_eviction_is_deterministic_per_seed() {
         let run = |seed: u64| {
-            let mut c =
-                EventCache::with_policy(5, EvictionPolicy::Random { seed }, None);
+            let mut c = EventCache::with_policy(5, EvictionPolicy::Random { seed }, None);
             for seq in 0..50 {
                 c.insert(ev(0, seq, &[(1, seq)]));
             }
@@ -512,7 +509,10 @@ mod tests {
         }
         // The own events (within the 50% share) all survive.
         for seq in 0..5 {
-            assert!(c.contains(EventId::new(owner, seq)), "own event {seq} evicted");
+            assert!(
+                c.contains(EventId::new(owner, seq)),
+                "own event {seq} evicted"
+            );
         }
         assert_eq!(c.len(), 10);
     }
@@ -541,11 +541,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn source_biased_without_owner_panics() {
-        let _ = EventCache::with_policy(
-            10,
-            EvictionPolicy::SourceBiased { own_permille: 500 },
-            None,
-        );
+        let _ =
+            EventCache::with_policy(10, EvictionPolicy::SourceBiased { own_permille: 500 }, None);
     }
 
     #[test]

@@ -56,17 +56,6 @@ pub enum PubSubMessage {
     Event(Event),
 }
 
-impl PubSubMessage {
-    /// Approximate wire size in bits, given the configured event
-    /// payload size. Subscription messages are small and fixed-size.
-    pub fn wire_bits(&self, event_payload_bits: u64) -> u64 {
-        match self {
-            PubSubMessage::Subscribe(_) | PubSubMessage::Unsubscribe(_) => 256,
-            PubSubMessage::Event(e) => e.wire_bits(event_payload_bits),
-        }
-    }
-}
-
 /// A message to hand to a neighbor on the overlay.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Forward {
@@ -341,10 +330,7 @@ impl Dispatcher {
             }
             // Still needed if any interface other than `n` subscribes.
             let still_needed = self.table.has_local(pattern)
-                || !self
-                    .table
-                    .neighbors_for(pattern, Some(n))
-                    .is_empty();
+                || !self.table.neighbors_for(pattern, Some(n)).is_empty();
             if !still_needed {
                 self.subs_sent.remove(&(pattern, n));
                 out.push(Forward {
@@ -482,7 +468,8 @@ impl Dispatcher {
 
     fn forwards_for(&mut self, event: &Event, from: Option<NodeId>) -> Vec<Forward> {
         let mut scratch = std::mem::take(&mut self.match_scratch);
-        self.table.matching_neighbors_into(event, from, &mut scratch);
+        self.table
+            .matching_neighbors_into(event, from, &mut scratch);
         let out = scratch
             .iter()
             .map(|&n| Forward {
@@ -689,14 +676,5 @@ mod tests {
         // Forwarding memory was cleared: subscribing again re-sends.
         let out = d.subscribe_local(p, &[NodeId::new(1)]);
         assert_eq!(out.len(), 1);
-    }
-
-    #[test]
-    fn wire_bits_distinguishes_message_kinds() {
-        let p = PatternId::new(1);
-        let sub = PubSubMessage::Subscribe(p);
-        let e = Event::new(EventId::new(NodeId::new(0), 0), vec![(p, 0)]);
-        let ev = PubSubMessage::Event(e);
-        assert!(sub.wire_bits(1000) < ev.wire_bits(1000));
     }
 }

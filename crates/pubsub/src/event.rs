@@ -217,10 +217,7 @@ mod tests {
         assert_eq!(e.route(), &[NodeId::new(2)]);
         e.record_hop(NodeId::new(5));
         e.record_hop(NodeId::new(7));
-        assert_eq!(
-            e.route(),
-            &[NodeId::new(2), NodeId::new(5), NodeId::new(7)]
-        );
+        assert_eq!(e.route(), &[NodeId::new(2), NodeId::new(5), NodeId::new(7)]);
     }
 
     #[test]

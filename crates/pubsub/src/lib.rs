@@ -64,6 +64,6 @@ pub use event::{Event, EventId};
 pub use pattern::{PatternId, PatternSpace};
 pub use setup::{
     flood_subscriptions, install_local_subscriptions, intended_recipients,
-    rebuild_subscription_routes,
+    rebuild_subscription_routes, DispatcherHost,
 };
 pub use table::{Interface, SubscriptionTable};

@@ -14,6 +14,28 @@ use eps_overlay::{NodeId, Topology};
 use crate::dispatcher::{Dispatcher, Forward, PubSubMessage};
 use crate::pattern::PatternId;
 
+/// Access to the [`Dispatcher`] inside a larger per-node bundle.
+///
+/// The assembly helpers in this module are generic over this trait so
+/// they can run over a plain `[Dispatcher]` as well as over node
+/// actors that own a dispatcher next to other per-node state (RNGs, a
+/// recovery algorithm, …).
+pub trait DispatcherHost {
+    /// The dispatcher this host wraps.
+    fn dispatcher(&self) -> &Dispatcher;
+    /// Mutable access to the wrapped dispatcher.
+    fn dispatcher_mut(&mut self) -> &mut Dispatcher;
+}
+
+impl DispatcherHost for Dispatcher {
+    fn dispatcher(&self) -> &Dispatcher {
+        self
+    }
+    fn dispatcher_mut(&mut self) -> &mut Dispatcher {
+        self
+    }
+}
+
 /// Runs the subscription-forwarding protocol to quiescence: every
 /// dispatcher's *local* subscriptions are propagated through the tree
 /// until no new table entries appear.
@@ -29,9 +51,9 @@ use crate::pattern::PatternId;
 /// # Panics
 ///
 /// Panics if `dispatchers.len() != topology.len()`.
-pub fn flood_subscriptions(dispatchers: &mut [Dispatcher], topology: &Topology) -> u64 {
+pub fn flood_subscriptions<H: DispatcherHost>(hosts: &mut [H], topology: &Topology) -> u64 {
     assert_eq!(
-        dispatchers.len(),
+        hosts.len(),
         topology.len(),
         "one dispatcher per topology node"
     );
@@ -41,7 +63,7 @@ pub fn flood_subscriptions(dispatchers: &mut [Dispatcher], topology: &Topology) 
     // Seed: every dispatcher re-announces its local patterns.
     for node in topology.nodes() {
         let neighbors: Vec<NodeId> = topology.neighbors(node).to_vec();
-        let d = &mut dispatchers[node.index()];
+        let d = hosts[node.index()].dispatcher_mut();
         let locals: Vec<PatternId> = d.table().local_patterns().collect();
         for p in locals {
             for Forward { to, msg } in d.subscribe_local(p, &neighbors) {
@@ -55,7 +77,10 @@ pub fn flood_subscriptions(dispatchers: &mut [Dispatcher], topology: &Topology) 
     while let Some((to, from, pattern)) = queue.pop_front() {
         messages += 1;
         let neighbors: Vec<NodeId> = topology.neighbors(to).to_vec();
-        for fwd in dispatchers[to.index()].on_subscribe(pattern, from, &neighbors) {
+        for fwd in hosts[to.index()]
+            .dispatcher_mut()
+            .on_subscribe(pattern, from, &neighbors)
+        {
             queue.push_back((fwd.to, to, pattern));
         }
     }
@@ -68,14 +93,14 @@ pub fn flood_subscriptions(dispatchers: &mut [Dispatcher], topology: &Topology) 
 /// # Panics
 ///
 /// Panics if the lengths differ.
-pub fn install_local_subscriptions(
-    dispatchers: &mut [Dispatcher],
+pub fn install_local_subscriptions<H: DispatcherHost>(
+    hosts: &mut [H],
     subscriptions: &[Vec<PatternId>],
 ) {
-    assert_eq!(dispatchers.len(), subscriptions.len());
-    for (d, subs) in dispatchers.iter_mut().zip(subscriptions) {
+    assert_eq!(hosts.len(), subscriptions.len());
+    for (h, subs) in hosts.iter_mut().zip(subscriptions) {
         for &p in subs {
-            d.subscribe_local(p, &[]);
+            h.dispatcher_mut().subscribe_local(p, &[]);
         }
     }
 }
@@ -87,11 +112,11 @@ pub fn install_local_subscriptions(
 /// This models the *completed* state of the reconfiguration protocol
 /// of the paper's reference \[7\]; the disruption window between a link
 /// break and this rebuild is where events are lost.
-pub fn rebuild_subscription_routes(dispatchers: &mut [Dispatcher], topology: &Topology) -> u64 {
-    for d in dispatchers.iter_mut() {
-        d.reset_routing_state();
+pub fn rebuild_subscription_routes<H: DispatcherHost>(hosts: &mut [H], topology: &Topology) -> u64 {
+    for h in hosts.iter_mut() {
+        h.dispatcher_mut().reset_routing_state();
     }
-    flood_subscriptions(dispatchers, topology)
+    flood_subscriptions(hosts, topology)
 }
 
 /// Computes, for each event-content pattern set, which dispatchers
@@ -100,12 +125,10 @@ pub fn rebuild_subscription_routes(dispatchers: &mut [Dispatcher], topology: &To
 ///
 /// Used by the metrics layer to know the intended recipients of every
 /// published event.
-pub fn intended_recipients(
-    dispatchers: &[Dispatcher],
-    content: &[PatternId],
-) -> Vec<NodeId> {
-    dispatchers
+pub fn intended_recipients<H: DispatcherHost>(hosts: &[H], content: &[PatternId]) -> Vec<NodeId> {
+    hosts
         .iter()
+        .map(DispatcherHost::dispatcher)
         .filter(|d| content.iter().any(|&p| d.table().has_local(p)))
         .map(|d| d.id())
         .collect()
@@ -165,7 +188,10 @@ mod tests {
                 prev = Some(cur);
                 cur = next[0];
             }
-            assert_eq!(cur, subscriber, "route from {start} did not reach subscriber");
+            assert_eq!(
+                cur, subscriber,
+                "route from {start} did not reach subscriber"
+            );
         }
     }
 
@@ -241,7 +267,8 @@ mod tests {
         let mut rng = RngFactory::new(5).stream("reconfig");
         let plan = eps_overlay::plan_reconfiguration(&topo, &mut rng).unwrap();
         topo.remove_link(plan.broken).unwrap();
-        topo.add_link(plan.replacement.0, plan.replacement.1).unwrap();
+        topo.add_link(plan.replacement.0, plan.replacement.1)
+            .unwrap();
         rebuild_subscription_routes(&mut ds, &topo);
 
         // Routes must again lead everywhere.

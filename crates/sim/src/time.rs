@@ -119,11 +119,7 @@ impl SimTime {
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("virtual time overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("virtual time overflow"))
     }
 }
 

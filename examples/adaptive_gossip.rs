@@ -40,7 +40,11 @@ fn main() {
         });
         println!(
             "{:<8} {:<10} {:>9.1}% {:>14.1} {:>10}",
-            eps, "fixed", fixed.delivery_rate * 100.0, fixed.gossip_per_dispatcher, "-"
+            eps,
+            "fixed",
+            fixed.delivery_rate * 100.0,
+            fixed.gossip_per_dispatcher,
+            "-"
         );
         let saving = if fixed.gossip_per_dispatcher > 0.0 {
             (1.0 - adaptive.gossip_per_dispatcher / fixed.gossip_per_dispatcher) * 100.0

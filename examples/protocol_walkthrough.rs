@@ -74,7 +74,10 @@ fn main() {
 
     // --- A third event reveals the gap ------------------------------
     let (e2, r) = d0.publish(vec![p]);
-    println!("d0 publishes {}; it reaches d2 and exposes the gap", e2.id());
+    println!(
+        "d0 publishes {}; it reaches d2 and exposes the gap",
+        e2.id()
+    );
     let r = match &r.forwards[0].msg {
         PubSubMessage::Event(e) => d1.on_event(e.clone(), Some(n0)),
         other => panic!("unexpected {other:?}"),

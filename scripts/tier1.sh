@@ -8,6 +8,13 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+echo "== tier-1: formatting =="
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "rustfmt not installed; skipping format check"
+fi
+
 echo "== tier-1: release build =="
 cargo build --release
 
@@ -16,6 +23,9 @@ cargo test -q
 
 echo "== tier-1: workspace tests =="
 cargo test --workspace -q
+
+echo "== tier-1: docs build =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "== tier-1: clippy (warnings are errors) =="
 if cargo clippy --version >/dev/null 2>&1; then

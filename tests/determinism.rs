@@ -59,10 +59,7 @@ fn seeds_produce_distinct_but_similar_runs() {
     let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
     let max = rates.iter().copied().fold(0.0f64, f64::max);
     assert!(max > min, "different seeds should differ somewhere");
-    assert!(
-        max - min < 0.12,
-        "seed variation too large: {rates:?}"
-    );
+    assert!(max - min < 0.12, "seed variation too large: {rates:?}");
 }
 
 #[test]

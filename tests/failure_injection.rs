@@ -102,7 +102,10 @@ fn p_source_extremes_select_a_single_pull_variant() {
             },
             ..base(AlgorithmKind::CombinedPull)
         });
-        assert!(r.events_recovered > 0, "p_source={p_source} recovered nothing");
+        assert!(
+            r.events_recovered > 0,
+            "p_source={p_source} recovered nothing"
+        );
     }
 }
 

@@ -99,7 +99,11 @@ fn overlapping_reconfigurations_fragment_and_heal() {
     // repair delay means the last few may still be pending at the
     // instant ticks stop, never more than repair_delay/rho + 1 worth).
     assert!(adds >= breaks - 5, "breaks {breaks} vs adds {adds}");
-    assert!(r.delivery_rate > 0.8, "push delivered only {}", r.delivery_rate);
+    assert!(
+        r.delivery_rate > 0.8,
+        "push delivered only {}",
+        r.delivery_rate
+    );
 }
 
 #[test]
