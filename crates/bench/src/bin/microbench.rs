@@ -2,27 +2,36 @@
 //! with no external dependencies.
 //!
 //! ```text
-//! microbench [--out FILE]      # default: BENCH_kernel.json
+//! microbench [--out FILE] [--gossip-out FILE]
+//!     # defaults: BENCH_kernel.json, BENCH_gossip.json
 //! ```
 //!
 //! Covers the event-queue kernel (schedule/pop, cancellation), the
 //! no-alloc subscription-table matching path, per-hop event cloning,
 //! the in-tree RNG, and one miniature end-to-end scenario at the
-//! paper's Figure 2 defaults. Results (median ns per iteration) print
-//! to stderr and are written as JSON for tracking across commits.
+//! paper's Figure 2 defaults — plus one gossip-round benchmark per
+//! registered recovery strategy (so a new registry composition is
+//! benchmarked automatically). Results (median ns per iteration)
+//! print to stderr and are written as JSON for tracking across
+//! commits: the kernel set to `--out`, the per-strategy set to
+//! `--gossip-out`.
 
 use std::process::ExitCode;
 
 use eps_bench::mini;
 use eps_bench::timing::{bench, to_json, BenchResult};
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::run_scenario;
 use eps_overlay::NodeId;
-use eps_pubsub::{Event, EventId, Interface, PatternId, SubscriptionTable};
+use eps_pubsub::{
+    Dispatcher, DispatcherConfig, Event, EventId, Interface, LossRecord, PatternId,
+    SubscriptionTable,
+};
 use eps_sim::{Engine, Rng, SimTime};
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_kernel.json");
+    let mut gossip_out_path = String::from("BENCH_gossip.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -34,8 +43,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--gossip-out" => match iter.next() {
+                Some(path) => gossip_out_path = path.clone(),
+                None => {
+                    eprintln!("error: --gossip-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("usage: microbench [--out FILE]   (unknown arg '{other}')");
+                eprintln!(
+                    "usage: microbench [--out FILE] [--gossip-out FILE]   (unknown arg '{other}')"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -49,18 +67,20 @@ fn main() -> ExitCode {
         rng_throughput(),
         scenario_mini(),
     ];
-    for r in &results {
+    let gossip_results = gossip_rounds();
+    for r in results.iter().chain(&gossip_results) {
         eprintln!(
-            "{:<24} median {:>12.1} ns/iter  (min {:.1}, mean {:.1}, {} x {} iters)",
+            "{:<28} median {:>12.1} ns/iter  (min {:.1}, mean {:.1}, {} x {} iters)",
             r.name, r.median_ns, r.min_ns, r.mean_ns, r.samples, r.iters_per_sample
         );
     }
-    let json = to_json(&results);
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("error: writing {out_path}: {e}");
-        return ExitCode::FAILURE;
+    for (path, set) in [(&out_path, &results), (&gossip_out_path, &gossip_results)] {
+        if let Err(e) = std::fs::write(path, to_json(set)) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
-    eprintln!("wrote {out_path}");
     ExitCode::SUCCESS
 }
 
@@ -172,10 +192,80 @@ fn rng_throughput() -> BenchResult {
     result
 }
 
+/// A dispatcher with the state every digest policy draws on: local
+/// and neighbor subscriptions on a handful of patterns, a populated
+/// cache of events that arrived with recorded routes (so
+/// source-steered digests can reverse them).
+fn gossip_node() -> Dispatcher {
+    let mut node = Dispatcher::new(
+        NodeId::new(5),
+        DispatcherConfig {
+            cache_own_published: true,
+            record_routes: true,
+            ..DispatcherConfig::default()
+        },
+    );
+    for p in 1..=4u16 {
+        node.subscribe_local(PatternId::new(p), &[]);
+        node.on_subscribe(PatternId::new(p), NodeId::new(u32::from(p)), &[]);
+    }
+    for seq in 0..64u64 {
+        let pattern = PatternId::new(1 + (seq % 4) as u16);
+        let mut event = Event::new(EventId::new(NodeId::new(0), seq), vec![(pattern, seq)]);
+        event.record_hop(NodeId::new(1 + (seq % 4) as u32));
+        node.on_event(event, Some(NodeId::new(1 + (seq % 4) as u32)));
+    }
+    node
+}
+
+/// One gossip round per registered recovery strategy, on the
+/// steady-state workload a loaded dispatcher sees: a warm cache for
+/// the positive digests, a replenished `Lost` buffer for the negative
+/// ones. Iterates over the registry, so hybrids registered later are
+/// picked up without touching this file.
+fn gossip_rounds() -> Vec<BenchResult> {
+    const ROUNDS: u64 = 1_000;
+    let node = gossip_node();
+    let neighbors: Vec<NodeId> = (1..=4).map(NodeId::new).collect();
+    let losses: Vec<LossRecord> = (0..32u64)
+        .map(|i| LossRecord {
+            source: NodeId::new(0),
+            pattern: PatternId::new(1 + (i % 4) as u16),
+            seq: 1_000 + i,
+        })
+        .collect();
+    Algorithm::all()
+        .into_iter()
+        .map(|algo| {
+            let mut strategy = algo.build(eps_gossip::GossipConfig::default());
+            let mut sink = 0usize;
+            let result = bench(
+                &format!("gossip_round/{}", algo.name()),
+                2,
+                15,
+                ROUNDS,
+                || {
+                    let mut rng = Rng::from_seed(7);
+                    for _ in 0..ROUNDS {
+                        strategy.on_losses(&losses);
+                        sink += strategy.on_round(&node, &neighbors, &mut rng).len();
+                    }
+                },
+            );
+            assert!(
+                algo.name() == "no-recovery" || sink > 0,
+                "{} produced no actions",
+                algo.name()
+            );
+            result
+        })
+        .collect()
+}
+
 /// One miniature end-to-end run at the Figure 2 defaults (quick
 /// variant): the number every other figure's wall-clock scales with.
 fn scenario_mini() -> BenchResult {
-    let config = mini(AlgorithmKind::CombinedPull);
+    let config = mini(Algorithm::combined_pull());
     let mut delivered = 0.0;
     let result = bench("scenario_mini_fig2", 1, 5, 1, || {
         delivered = run_scenario(&config).delivery_rate;

@@ -20,13 +20,13 @@
 
 pub mod timing;
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::ScenarioConfig;
 use eps_sim::SimTime;
 
 /// A miniature of the paper's default scenario: 20 dispatchers,
 /// 1.5 virtual seconds, the Figure 2 parameters otherwise.
-pub fn mini(algorithm: AlgorithmKind) -> ScenarioConfig {
+pub fn mini(algorithm: Algorithm) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 20,
         publish_rate: 25.0,
@@ -39,7 +39,7 @@ pub fn mini(algorithm: AlgorithmKind) -> ScenarioConfig {
 }
 
 /// A miniature reconfiguration scenario (Figure 3(b)).
-pub fn mini_reconfig(algorithm: AlgorithmKind, rho: SimTime) -> ScenarioConfig {
+pub fn mini_reconfig(algorithm: Algorithm, rho: SimTime) -> ScenarioConfig {
     ScenarioConfig {
         link_error_rate: 0.0,
         reconfig_interval: Some(rho),
@@ -53,7 +53,7 @@ mod tests {
 
     #[test]
     fn mini_configs_are_valid() {
-        mini(AlgorithmKind::Push).validate();
-        mini_reconfig(AlgorithmKind::CombinedPull, SimTime::from_millis(100)).validate();
+        mini(Algorithm::push()).validate();
+        mini_reconfig(Algorithm::combined_pull(), SimTime::from_millis(100)).validate();
     }
 }

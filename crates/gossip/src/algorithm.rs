@@ -1,119 +1,17 @@
 //! The recovery-algorithm abstraction and the no-recovery baseline.
+//!
+//! Concrete strategies are compositions of a digest policy and a
+//! steering policy inside a [`crate::GossipEngine`]; the
+//! [`crate::Algorithm`] registry names them. This module only defines
+//! the boundary the harness talks to.
 
 use std::fmt;
-use std::str::FromStr;
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, Event, EventId, LossRecord};
 use eps_sim::Rng;
 
-use crate::config::GossipConfig;
 use crate::message::{GossipAction, GossipMessage};
-use crate::pull_combined::CombinedPull;
-use crate::pull_publisher::PublisherPull;
-use crate::pull_random::RandomPull;
-use crate::pull_subscriber::SubscriberPull;
-use crate::push::PushGossip;
-
-/// The recovery strategies evaluated in the paper (Section IV).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub enum AlgorithmKind {
-    /// Best-effort dispatching only — the paper's baseline.
-    NoRecovery,
-    /// Proactive gossip push with positive digests.
-    Push,
-    /// Reactive pull with negative digests steered towards subscribers.
-    SubscriberPull,
-    /// Reactive pull with negative digests steered towards publishers.
-    PublisherPull,
-    /// Publisher-based pull with probability `P_source`, otherwise
-    /// subscriber-based (the paper's best pull configuration).
-    CombinedPull,
-    /// Negative digests routed entirely at random — the paper's
-    /// "is directed routing worth the effort?" comparator.
-    RandomPull,
-}
-
-impl AlgorithmKind {
-    /// All kinds, in the order the paper's figures list them.
-    pub const ALL: [AlgorithmKind; 6] = [
-        AlgorithmKind::NoRecovery,
-        AlgorithmKind::RandomPull,
-        AlgorithmKind::Push,
-        AlgorithmKind::SubscriberPull,
-        AlgorithmKind::CombinedPull,
-        AlgorithmKind::PublisherPull,
-    ];
-
-    /// Short, stable name used in CSV headers and the CLI.
-    pub fn name(self) -> &'static str {
-        match self {
-            AlgorithmKind::NoRecovery => "no-recovery",
-            AlgorithmKind::Push => "push",
-            AlgorithmKind::SubscriberPull => "subscriber-pull",
-            AlgorithmKind::PublisherPull => "publisher-pull",
-            AlgorithmKind::CombinedPull => "combined-pull",
-            AlgorithmKind::RandomPull => "random-pull",
-        }
-    }
-
-    /// Whether this strategy requires publishers to cache their own
-    /// events (publisher-based and combined pull do).
-    pub fn needs_publisher_cache(self) -> bool {
-        matches!(
-            self,
-            AlgorithmKind::PublisherPull | AlgorithmKind::CombinedPull
-        )
-    }
-
-    /// Whether this strategy requires event messages to record their
-    /// route (publisher-based and combined pull do).
-    pub fn needs_route_recording(self) -> bool {
-        self.needs_publisher_cache()
-    }
-
-    /// Builds a fresh per-dispatcher instance of this strategy.
-    pub fn build(self, config: GossipConfig) -> Box<dyn RecoveryAlgorithm> {
-        config.validate();
-        match self {
-            AlgorithmKind::NoRecovery => Box::new(NoRecovery),
-            AlgorithmKind::Push => Box::new(PushGossip::new(config)),
-            AlgorithmKind::SubscriberPull => Box::new(SubscriberPull::new(config)),
-            AlgorithmKind::PublisherPull => Box::new(PublisherPull::new(config)),
-            AlgorithmKind::CombinedPull => Box::new(CombinedPull::new(config)),
-            AlgorithmKind::RandomPull => Box::new(RandomPull::new(config)),
-        }
-    }
-}
-
-impl fmt::Display for AlgorithmKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Error returned when parsing an [`AlgorithmKind`] from a string.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ParseAlgorithmError(String);
-
-impl fmt::Display for ParseAlgorithmError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown algorithm '{}'", self.0)
-    }
-}
-
-impl std::error::Error for ParseAlgorithmError {}
-
-impl FromStr for AlgorithmKind {
-    type Err = ParseAlgorithmError;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        AlgorithmKind::ALL
-            .into_iter()
-            .find(|k| k.name() == s)
-            .ok_or_else(|| ParseAlgorithmError(s.to_owned()))
-    }
-}
 
 /// One dispatcher's recovery strategy: reacts to gossip rounds, loss
 /// detections, and incoming gossip traffic by emitting
@@ -124,8 +22,8 @@ impl FromStr for AlgorithmKind {
 /// [`Dispatcher::on_recovered_event`], keeping algorithms pure and
 /// independently testable.
 pub trait RecoveryAlgorithm: fmt::Debug + Send {
-    /// Which strategy this is.
-    fn kind(&self) -> AlgorithmKind;
+    /// The strategy's registered name (CSV headers, logs).
+    fn name(&self) -> &str;
 
     /// Called every gossip interval `T`: start a new gossip round.
     fn on_round(
@@ -184,6 +82,14 @@ pub trait RecoveryAlgorithm: fmt::Debug + Send {
         0
     }
 
+    /// `Lost` entries this strategy has evicted under its capacity
+    /// bound (0 for strategies without a `Lost` buffer). Exposed so
+    /// overflow under churn is visible in the metrics rather than
+    /// silent.
+    fn lost_evictions(&self) -> u64 {
+        0
+    }
+
     /// `true` when the strategy currently sees no evidence of recovery
     /// work — the signal adaptive gossip scheduling (paper Sec. IV-E,
     /// ref \[14\]) uses to back the interval off. Pull strategies are
@@ -200,8 +106,8 @@ pub trait RecoveryAlgorithm: fmt::Debug + Send {
 pub struct NoRecovery;
 
 impl RecoveryAlgorithm for NoRecovery {
-    fn kind(&self) -> AlgorithmKind {
-        AlgorithmKind::NoRecovery
+    fn name(&self) -> &str {
+        "no-recovery"
     }
 
     fn on_round(
@@ -232,35 +138,9 @@ mod tests {
     use eps_sim::RngFactory;
 
     #[test]
-    fn names_roundtrip_through_fromstr() {
-        for kind in AlgorithmKind::ALL {
-            let parsed: AlgorithmKind = kind.name().parse().unwrap();
-            assert_eq!(parsed, kind);
-        }
-        assert!("bogus".parse::<AlgorithmKind>().is_err());
-    }
-
-    #[test]
-    fn requirements_match_the_paper() {
-        assert!(AlgorithmKind::PublisherPull.needs_publisher_cache());
-        assert!(AlgorithmKind::CombinedPull.needs_route_recording());
-        assert!(!AlgorithmKind::Push.needs_publisher_cache());
-        assert!(!AlgorithmKind::SubscriberPull.needs_route_recording());
-        assert!(!AlgorithmKind::NoRecovery.needs_publisher_cache());
-    }
-
-    #[test]
-    fn build_constructs_every_kind() {
-        for kind in AlgorithmKind::ALL {
-            let algo = kind.build(GossipConfig::default());
-            assert_eq!(algo.kind(), kind);
-            assert_eq!(algo.outstanding_losses(), 0);
-        }
-    }
-
-    #[test]
     fn no_recovery_does_nothing() {
         let mut algo = NoRecovery;
+        assert_eq!(algo.name(), "no-recovery");
         let node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
         let mut rng = RngFactory::new(1).stream("gossip");
         assert!(algo.on_round(&node, &[], &mut rng).is_empty());
@@ -277,6 +157,8 @@ mod tests {
                 &mut rng
             )
             .is_empty());
+        assert!(algo.is_idle());
+        assert_eq!(algo.lost_evictions(), 0);
     }
 
     #[test]

@@ -32,7 +32,19 @@ pub struct GossipConfig {
     /// without the event being recovered (it has likely been evicted
     /// from every cache).
     pub max_attempts: u32,
+    /// Capacity bound on the `Lost` buffer; the oldest entries are
+    /// evicted FIFO beyond it (visible as `lost_evictions` in the
+    /// metrics). `None` ties the bound to the event-cache size β: the
+    /// harness resolves it to the scenario's `buffer_size`, and a
+    /// standalone build falls back to the paper's β = 1500. There is
+    /// no point remembering more losses than any cache could still
+    /// serve.
+    pub lost_capacity: Option<usize>,
 }
+
+/// Fallback `Lost` capacity when the harness has not tied it to β:
+/// the paper's default buffer size (Table I, β = 1500).
+pub const DEFAULT_LOST_CAPACITY: usize = 1500;
 
 impl Default for GossipConfig {
     fn default() -> Self {
@@ -42,6 +54,7 @@ impl Default for GossipConfig {
             digest_max: 128,
             random_ttl: 8,
             max_attempts: 20,
+            lost_capacity: None,
         }
     }
 }
@@ -67,6 +80,16 @@ impl GossipConfig {
         assert!(self.digest_max > 0, "digest_max must be positive");
         assert!(self.random_ttl > 0, "random_ttl must be positive");
         assert!(self.max_attempts > 0, "max_attempts must be positive");
+        assert!(
+            self.lost_capacity != Some(0),
+            "lost_capacity must be positive when set"
+        );
+    }
+
+    /// The effective `Lost` buffer capacity: the configured bound, or
+    /// [`DEFAULT_LOST_CAPACITY`] when unset.
+    pub fn resolved_lost_capacity(&self) -> usize {
+        self.lost_capacity.unwrap_or(DEFAULT_LOST_CAPACITY)
     }
 }
 
@@ -97,5 +120,28 @@ mod tests {
             ..GossipConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lost_capacity_panics() {
+        GossipConfig {
+            lost_capacity: Some(0),
+            ..GossipConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn lost_capacity_resolution() {
+        assert_eq!(
+            GossipConfig::default().resolved_lost_capacity(),
+            DEFAULT_LOST_CAPACITY
+        );
+        let bounded = GossipConfig {
+            lost_capacity: Some(64),
+            ..GossipConfig::default()
+        };
+        assert_eq!(bounded.resolved_lost_capacity(), 64);
     }
 }

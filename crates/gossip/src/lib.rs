@@ -2,37 +2,46 @@
 //!
 //! The primary contribution of *“Epidemic Algorithms for Reliable
 //! Content-Based Publish-Subscribe: An Evaluation”* (Costa, Migliavacca,
-//! Picco, Cugola — ICDCS 2004), reproduced in full:
+//! Picco, Cugola — ICDCS 2004), reproduced in full — and factored into
+//! composable **policy stages**:
 //!
-//! - [`PushGossip`] — proactive gossip with positive digests, labelled
-//!   with a pattern drawn from the whole subscription table and routed
-//!   like an event (with per-hop forwarding probability `P_forward`);
-//! - [`SubscriberPull`] — reactive gossip with negative digests built
-//!   from sequence-gap loss detection, steered towards subscribers;
-//! - [`PublisherPull`] — negative digests steered back towards
-//!   publishers along routes recorded in event messages;
-//! - [`CombinedPull`] — publisher-based with probability `P_source`,
-//!   otherwise subscriber-based: the two complement each other and the
-//!   paper shows they perform best combined;
-//! - [`RandomPull`] — digests routed entirely at random (TTL-bounded),
-//!   the paper's check that directed routing is worth the effort;
-//! - [`NoRecovery`] — the best-effort baseline.
+//! - a [`DigestPolicy`] decides *what a gossip round asserts*:
+//!   [`PositiveDigest`] announces cached events (push),
+//!   [`NegativeDigest`] chases detected losses (pull), and
+//!   [`AlternatingDigest`] interleaves the two (the `push-pull`
+//!   hybrid);
+//! - a [`SteeringPolicy`] decides *where the digest travels*:
+//!   [`PatternSteering`] routes it along the subscription tree with
+//!   per-hop probability `P_forward`, [`SourceSteering`] reverses
+//!   recorded routes back towards the publisher, [`RandomSteering`]
+//!   walks at random under a TTL, and [`MuxSteering`] picks between
+//!   two steerings with probability `P_source`;
+//! - a [`GossipEngine`] pairs one of each and implements
+//!   [`RecoveryAlgorithm`], the boundary the harness talks to.
 //!
-//! All strategies implement [`RecoveryAlgorithm`]: they react to gossip
-//! rounds, detected losses, and incoming gossip by emitting
-//! [`GossipAction`]s, which the simulation harness (or a real
-//! transport) carries out. Algorithms never touch the network and never
-//! mutate the dispatcher, so each is unit-testable in isolation.
+//! The [`Algorithm`] registry names the compositions. All six paper
+//! strategies are registry entries — e.g. combined pull is literally
+//! `NegativeDigest × Mux(Source, Pattern)` — and a new hybrid is a
+//! one-line registration, not a new module.
+//!
+//! All strategies react to gossip rounds, detected losses, and
+//! incoming gossip by emitting [`GossipAction`]s, which the simulation
+//! harness (or a real transport) carries out. Algorithms never touch
+//! the network and never mutate the dispatcher, so each is
+//! unit-testable in isolation.
 //!
 //! # Examples
 //!
 //! ```
-//! use eps_gossip::{AlgorithmKind, GossipConfig};
+//! use eps_gossip::{Algorithm, GossipConfig};
 //!
 //! // Build one instance per dispatcher.
-//! let mut algo = AlgorithmKind::CombinedPull.build(GossipConfig::default());
-//! assert_eq!(algo.kind().name(), "combined-pull");
+//! let mut algo = Algorithm::combined_pull().build(GossipConfig::default());
+//! assert_eq!(algo.name(), "combined-pull");
 //! assert_eq!(algo.outstanding_losses(), 0);
+//!
+//! // Names (and aliases) resolve case-insensitively.
+//! assert_eq!(Algorithm::named("Hybrid").unwrap().name(), "push-pull");
 //! ```
 
 #![warn(missing_docs)]
@@ -40,23 +49,21 @@
 
 mod algorithm;
 mod config;
+mod engine;
 mod envelope;
 mod lost;
 mod message;
-mod pull_combined;
-mod pull_publisher;
-mod pull_random;
-mod pull_subscriber;
-mod push;
-mod rounds;
+mod policy;
+mod registry;
 
-pub use algorithm::{AlgorithmKind, NoRecovery, ParseAlgorithmError, RecoveryAlgorithm};
-pub use config::GossipConfig;
+pub use algorithm::{NoRecovery, RecoveryAlgorithm};
+pub use config::{GossipConfig, DEFAULT_LOST_CAPACITY};
+pub use engine::GossipEngine;
 pub use envelope::{Channel, Envelope};
 pub use lost::LostBuffer;
 pub use message::{GossipAction, GossipMessage};
-pub use pull_combined::CombinedPull;
-pub use pull_publisher::PublisherPull;
-pub use pull_random::RandomPull;
-pub use pull_subscriber::SubscriberPull;
-pub use push::PushGossip;
+pub use policy::{
+    Absorbed, AlternatingDigest, DigestBody, DigestPolicy, MuxSteering, NegativeDigest,
+    PatternSteering, PositiveDigest, RandomSteering, SourceSteering, SteeringPolicy,
+};
+pub use registry::{Algorithm, AlgorithmBuilder, AlgorithmDef, ParseAlgorithmError};

@@ -1,7 +1,7 @@
 //! The `Lost` buffer of the pull algorithms: the set of events a
 //! dispatcher knows it missed, identified by (source, pattern, seq).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Event, LossRecord, PatternId};
@@ -10,7 +10,11 @@ use eps_pubsub::{Event, LossRecord, PatternId};
 ///
 /// Entries are keyed by [`LossRecord`] and carry an attempt counter so
 /// that hopeless entries (events evicted from every cache) are
-/// eventually given up, bounding gossip overhead.
+/// eventually given up, bounding gossip overhead. The buffer is also
+/// bounded in *size*: beyond `capacity` the oldest entries are evicted
+/// FIFO (counted by [`LostBuffer::evicted_total`]) — remembering more
+/// losses than any cache could still serve is pure overhead, and under
+/// heavy churn an unbounded buffer would grow without limit.
 ///
 /// # Examples
 ///
@@ -27,29 +31,63 @@ use eps_pubsub::{Event, LossRecord, PatternId};
 /// ```
 #[derive(Clone, Debug)]
 pub struct LostBuffer {
-    entries: BTreeMap<LossRecord, u32>,
+    entries: BTreeMap<LossRecord, Entry>,
+    /// Insertion order for FIFO eviction. May hold stale pairs (entry
+    /// recovered or abandoned since); the stamp tells them apart from
+    /// a re-added live entry.
+    order: VecDeque<(LossRecord, u64)>,
+    next_stamp: u64,
+    capacity: usize,
     max_attempts: u32,
     added_total: u64,
     recovered_total: u64,
     abandoned_total: u64,
+    evicted_total: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    attempts: u32,
+    stamp: u64,
 }
 
 impl LostBuffer {
     /// Creates an empty buffer; entries are dropped after
-    /// `max_attempts` unsuccessful gossip rounds.
+    /// `max_attempts` unsuccessful gossip rounds, and capped at
+    /// [`crate::DEFAULT_LOST_CAPACITY`] entries.
     ///
     /// # Panics
     ///
     /// Panics if `max_attempts` is zero.
     pub fn new(max_attempts: u32) -> Self {
+        LostBuffer::with_capacity(max_attempts, crate::config::DEFAULT_LOST_CAPACITY)
+    }
+
+    /// Creates an empty buffer holding at most `capacity` entries; the
+    /// oldest are evicted FIFO beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` or `capacity` is zero.
+    pub fn with_capacity(max_attempts: u32, capacity: usize) -> Self {
         assert!(max_attempts > 0, "max_attempts must be positive");
+        assert!(capacity > 0, "capacity must be positive");
         LostBuffer {
             entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            next_stamp: 0,
+            capacity,
             max_attempts,
             added_total: 0,
             recovered_total: 0,
             abandoned_total: 0,
+            evicted_total: 0,
         }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of outstanding entries.
@@ -77,10 +115,37 @@ impl LostBuffer {
         self.abandoned_total
     }
 
-    /// Records a detected loss. Duplicate records are ignored.
+    /// Total entries evicted by the FIFO capacity bound.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total
+    }
+
+    /// Records a detected loss. Duplicate records are ignored. Over
+    /// capacity, the oldest outstanding entry is evicted to make room.
     pub fn add(&mut self, record: LossRecord) {
-        if self.entries.insert(record, 0).is_none() {
-            self.added_total += 1;
+        if self.entries.contains_key(&record) {
+            return;
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.entries.insert(record, Entry { attempts: 0, stamp });
+        self.order.push_back((record, stamp));
+        self.added_total += 1;
+        while self.entries.len() > self.capacity {
+            self.evict_oldest();
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        while let Some((record, stamp)) = self.order.pop_front() {
+            // Skip stale pairs: the entry was recovered or abandoned
+            // (or re-added later with a fresh stamp) since it was
+            // queued.
+            if self.entries.get(&record).is_some_and(|e| e.stamp == stamp) {
+                self.entries.remove(&record);
+                self.evicted_total += 1;
+                return;
+            }
         }
     }
 
@@ -158,12 +223,12 @@ impl LostBuffer {
     fn charge(&mut self, keys: Vec<LossRecord>) -> Vec<LossRecord> {
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
-            let attempts = self
+            let entry = self
                 .entries
                 .get_mut(&key)
                 .expect("selected keys are present");
-            *attempts += 1;
-            if *attempts >= self.max_attempts {
+            entry.attempts += 1;
+            if entry.attempts >= self.max_attempts {
                 self.entries.remove(&key);
                 self.abandoned_total += 1;
             }
@@ -261,5 +326,68 @@ mod tests {
         );
         lost.clear_for_event(&event);
         assert!(lost.for_pattern(PatternId::new(1), 10).is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut lost = LostBuffer::with_capacity(10, 3);
+        for seq in 0..5 {
+            lost.add(rec(0, 1, seq));
+        }
+        assert_eq!(lost.len(), 3);
+        assert_eq!(lost.evicted_total(), 2);
+        // The two oldest are gone, the three newest remain.
+        assert!(!lost.contains(&rec(0, 1, 0)));
+        assert!(!lost.contains(&rec(0, 1, 1)));
+        assert!(lost.contains(&rec(0, 1, 2)));
+        assert!(lost.contains(&rec(0, 1, 4)));
+    }
+
+    #[test]
+    fn recovered_entries_do_not_count_against_capacity() {
+        let mut lost = LostBuffer::with_capacity(10, 2);
+        lost.add(rec(0, 1, 0));
+        lost.add(rec(0, 1, 1));
+        let event = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(1), 0)],
+        );
+        lost.clear_for_event(&event);
+        // Room was freed: adding two more evicts only when full again.
+        lost.add(rec(0, 1, 2));
+        assert_eq!(lost.len(), 2);
+        assert_eq!(lost.evicted_total(), 0);
+        lost.add(rec(0, 1, 3));
+        assert_eq!(lost.len(), 2);
+        assert_eq!(lost.evicted_total(), 1);
+        // The stale queue pair for the recovered seq 0 must not have
+        // shielded seq 1 from eviction.
+        assert!(!lost.contains(&rec(0, 1, 1)));
+    }
+
+    #[test]
+    fn readded_entry_counts_as_fresh_for_eviction() {
+        let mut lost = LostBuffer::with_capacity(10, 2);
+        lost.add(rec(0, 1, 0));
+        let event = Event::new(
+            EventId::new(NodeId::new(0), 0),
+            vec![(PatternId::new(1), 0)],
+        );
+        lost.clear_for_event(&event);
+        // Lost again (e.g. after churn): re-added with a fresh stamp.
+        lost.add(rec(0, 1, 0));
+        lost.add(rec(0, 1, 1));
+        lost.add(rec(0, 1, 2));
+        // FIFO over *current* insertions: seq 0 (re-added first) goes.
+        assert_eq!(lost.len(), 2);
+        assert!(!lost.contains(&rec(0, 1, 0)));
+        assert!(lost.contains(&rec(0, 1, 1)));
+        assert!(lost.contains(&rec(0, 1, 2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        LostBuffer::with_capacity(10, 0);
     }
 }

@@ -13,14 +13,14 @@
 
 use std::process::ExitCode;
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::parallel::{default_jobs, par_map};
 use eps_harness::{run_scenario, AdaptiveGossip, ScenarioConfig};
 use eps_sim::SimTime;
 
 fn main() -> ExitCode {
     let mut config = ScenarioConfig::default();
-    let mut algorithms: Vec<AlgorithmKind> = Vec::new();
+    let mut algorithms: Vec<Algorithm> = Vec::new();
     let mut jobs: Option<usize> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -68,7 +68,7 @@ fn main() -> ExitCode {
         }
     }
     if algorithms.is_empty() {
-        algorithms.push(AlgorithmKind::CombinedPull);
+        algorithms.push(Algorithm::combined_pull());
     }
     // Short runs: shrink the default measurement margins so the
     // window stays non-empty.
@@ -79,8 +79,8 @@ fn main() -> ExitCode {
 
     let configs: Vec<ScenarioConfig> = algorithms
         .iter()
-        .map(|&kind| {
-            let config = config.with_algorithm(kind);
+        .map(|kind| {
+            let config = config.with_algorithm(kind.clone());
             config.validate();
             config
         })
@@ -110,6 +110,9 @@ fn main() -> ExitCode {
             r.recovery_latency_mean, r.recovery_latency_p95
         );
         println!("  outstanding losses     {:>10}", r.outstanding_losses);
+        if r.lost_evictions > 0 {
+            println!("  lost-buffer evictions  {:>10}", r.lost_evictions);
+        }
         println!("  reconfigurations       {:>10}", r.reconfigurations);
         if r.churn_events > 0 {
             println!("  subscription swaps     {:>10}", r.churn_events);
@@ -130,10 +133,10 @@ fn print_usage() {
          \t[--pi-max P] [--publish-rate R] [--gossip-interval T] [--duration D]\n\
          \t[--rho RHO] [--churn C] [--p-forward P] [--p-source P] [--seed S] [--adaptive]\n\
          \t[--jobs N]\n\
-         algorithms: {}",
-        AlgorithmKind::ALL
+         algorithms (case-insensitive, aliases accepted): {}",
+        Algorithm::all()
             .iter()
-            .map(|k| k.name())
+            .map(|a| a.name().to_owned())
             .collect::<Vec<_>>()
             .join(", ")
     );

@@ -1,7 +1,7 @@
 //! Scenario configuration: the paper's Figure 2 parameters plus the
 //! knobs the evaluation sweeps.
 
-use eps_gossip::{AlgorithmKind, GossipConfig};
+use eps_gossip::{Algorithm, GossipConfig};
 use eps_overlay::OutOfBandSpec;
 use eps_pubsub::EvictionPolicy;
 use eps_sim::SimTime;
@@ -63,10 +63,10 @@ impl AdaptiveGossip {
 ///
 /// ```
 /// use eps_harness::ScenarioConfig;
-/// use eps_gossip::AlgorithmKind;
+/// use eps_gossip::Algorithm;
 ///
 /// let config = ScenarioConfig {
-///     algorithm: AlgorithmKind::CombinedPull,
+///     algorithm: Algorithm::combined_pull(),
 ///     ..ScenarioConfig::default()
 /// };
 /// config.validate();
@@ -100,7 +100,7 @@ pub struct ScenarioConfig {
     /// Gossip interval `T`.
     pub gossip_interval: SimTime,
     /// The recovery strategy under test.
-    pub algorithm: AlgorithmKind,
+    pub algorithm: Algorithm,
     /// Gossip-layer tunables (`P_forward`, `P_source`, …).
     pub gossip: GossipConfig,
     /// Virtual-time length of the run.
@@ -146,7 +146,7 @@ impl Default for ScenarioConfig {
             repair_delay: SimTime::from_millis(100),
             buffer_size: 1500,
             gossip_interval: SimTime::from_millis(30),
-            algorithm: AlgorithmKind::NoRecovery,
+            algorithm: Algorithm::no_recovery(),
             gossip: GossipConfig::default(),
             duration: SimTime::from_secs(25),
             warmup: SimTime::from_secs(2),
@@ -234,7 +234,7 @@ impl ScenarioConfig {
     }
 
     /// A copy configured for a different recovery strategy.
-    pub fn with_algorithm(&self, algorithm: AlgorithmKind) -> Self {
+    pub fn with_algorithm(&self, algorithm: Algorithm) -> Self {
         ScenarioConfig {
             algorithm,
             ..self.clone()
@@ -272,8 +272,8 @@ mod tests {
     #[test]
     fn with_algorithm_changes_only_the_algorithm() {
         let base = ScenarioConfig::default();
-        let push = base.with_algorithm(AlgorithmKind::Push);
-        assert_eq!(push.algorithm, AlgorithmKind::Push);
+        let push = base.with_algorithm(Algorithm::push());
+        assert_eq!(push.algorithm, Algorithm::push());
         assert_eq!(push.nodes, base.nodes);
         assert_eq!(push.seed, base.seed);
     }

@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
@@ -86,13 +86,13 @@ pub fn base_config(opts: &ExperimentOptions) -> ScenarioConfig {
 
 /// The algorithms the delivery figures compare, in the paper's legend
 /// order.
-pub fn delivery_algorithms() -> [AlgorithmKind; 6] {
-    AlgorithmKind::ALL
+pub fn delivery_algorithms() -> Vec<Algorithm> {
+    Algorithm::paper()
 }
 
 /// The two best algorithms, compared in the overhead figures.
-pub fn overhead_algorithms() -> [AlgorithmKind; 2] {
-    [AlgorithmKind::Push, AlgorithmKind::CombinedPull]
+pub fn overhead_algorithms() -> [Algorithm; 2] {
+    [Algorithm::push(), Algorithm::combined_pull()]
 }
 
 /// Picks the quick or full variant of a sweep grid.

@@ -7,7 +7,7 @@
 //! that protects self-published events, at buffer sizes small enough
 //! for the policy to matter.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_metrics::CsvTable;
 use eps_pubsub::EvictionPolicy;
 
@@ -27,7 +27,7 @@ const POLICIES: [(&str, EvictionPolicy); 3] = [
 /// small buffer sizes, for push and combined pull.
 pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     let betas = grid(opts, &[250usize, 500, 1000], &[150, 250, 500, 1000, 1500]);
-    let algorithms = [AlgorithmKind::Push, AlgorithmKind::CombinedPull];
+    let algorithms = [Algorithm::push(), Algorithm::combined_pull()];
     let mut table = CsvTable::new(vec![
         "beta".into(),
         "algorithm".into(),
@@ -45,11 +45,11 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     );
     let configs: Vec<ScenarioConfig> = algorithms
         .iter()
-        .flat_map(|&kind| {
+        .flat_map(|kind| {
             betas.iter().flat_map(move |&beta| {
                 POLICIES
                     .iter()
-                    .map(move |&(_, policy)| (kind, beta, policy))
+                    .map(move |&(_, policy)| (kind.clone(), beta, policy))
             })
         })
         .map(|(kind, beta, policy)| {

@@ -36,9 +36,9 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     for &(rate, label) in &rates {
         let configs: Vec<ScenarioConfig> = epsilons
             .iter()
-            .flat_map(|&eps| algorithms.iter().map(move |&kind| (eps, kind)))
+            .flat_map(|&eps| algorithms.iter().map(move |kind| (eps, kind)))
             .map(|(eps, kind)| {
-                let mut config = base_config(opts).with_algorithm(kind);
+                let mut config = base_config(opts).with_algorithm(kind.clone());
                 config.link_error_rate = eps;
                 config.publish_rate = rate;
                 config

@@ -95,7 +95,11 @@ fn run_panels(
     let algorithms = delivery_algorithms();
     let configs: Vec<ScenarioConfig> = panels
         .iter()
-        .flat_map(|(_, _, config)| algorithms.iter().map(|&kind| config.with_algorithm(kind)))
+        .flat_map(|(_, _, config)| {
+            algorithms
+                .iter()
+                .map(|kind| config.with_algorithm(kind.clone()))
+        })
         .collect();
     let mut results = run_cells(opts, &configs).into_iter();
     panels

@@ -75,9 +75,9 @@ fn sweep<F: Fn(&mut ScenarioConfig, &f64)>(
     let algorithms = delivery_algorithms();
     let configs: Vec<ScenarioConfig> = xs
         .iter()
-        .flat_map(|&x| algorithms.iter().map(move |&kind| (x, kind)))
+        .flat_map(|&x| algorithms.iter().map(move |kind| (x, kind)))
         .map(|(x, kind)| {
-            let mut config = base_config(opts).with_algorithm(kind);
+            let mut config = base_config(opts).with_algorithm(kind.clone());
             apply(&mut config, &x);
             config
         })

@@ -1,7 +1,7 @@
 //! Figure 5: the interplay of buffer size β and gossip interval T for
 //! the combined pull strategy.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_sim::SimTime;
 
 use super::common::{
@@ -27,7 +27,7 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
         .map(|(t, beta)| ScenarioConfig {
             buffer_size: beta,
             gossip_interval: SimTime::from_secs_f64(t),
-            algorithm: AlgorithmKind::CombinedPull,
+            algorithm: Algorithm::combined_pull(),
             ..base_config(opts)
         })
         .collect();

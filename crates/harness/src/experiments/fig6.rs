@@ -30,9 +30,9 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     let algorithms = delivery_algorithms();
     let configs: Vec<ScenarioConfig> = sizes
         .iter()
-        .flat_map(|&n| algorithms.iter().map(move |&kind| (n, kind)))
+        .flat_map(|&n| algorithms.iter().map(move |kind| (n, kind)))
         .map(|(n, kind)| {
-            let mut config = base_config(opts).with_algorithm(kind);
+            let mut config = base_config(opts).with_algorithm(kind.clone());
             config.nodes = n;
             config.buffer_size = buffer_for_persistence(&config, n, 4.0);
             config

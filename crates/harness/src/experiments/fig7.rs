@@ -1,6 +1,6 @@
 //! Figure 7: how many dispatchers receive an event as π_max grows.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_metrics::{ascii_chart, CsvTable, Series};
 use eps_sim::SimTime;
 
@@ -31,7 +31,7 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     let configs: Vec<ScenarioConfig> = pi_values
         .iter()
         .map(|&pi_max| {
-            let mut config = base_config(opts).with_algorithm(AlgorithmKind::NoRecovery);
+            let mut config = base_config(opts).with_algorithm(Algorithm::no_recovery());
             config.pi_max = pi_max;
             config.link_error_rate = 0.0;
             // Short runs suffice: the statistic is per published event.

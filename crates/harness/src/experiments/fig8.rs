@@ -1,7 +1,7 @@
 //! Figure 8: delivery as the number of subscriptions per dispatcher
 //! increases, under low and high publish load.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_sim::SimTime;
 
 use super::common::{
@@ -11,12 +11,14 @@ use crate::config::ScenarioConfig;
 
 /// The strategies Figure 8 compares (the paper omits the publisher and
 /// random variants here).
-const ALGORITHMS: [AlgorithmKind; 4] = [
-    AlgorithmKind::NoRecovery,
-    AlgorithmKind::SubscriberPull,
-    AlgorithmKind::Push,
-    AlgorithmKind::CombinedPull,
-];
+fn algorithms() -> [Algorithm; 4] {
+    [
+        Algorithm::no_recovery(),
+        Algorithm::subscriber_pull(),
+        Algorithm::push(),
+        Algorithm::combined_pull(),
+    ]
+}
 
 /// Figure 8: delivery vs. π_max with β = 4000, at 5 publish/s (top)
 /// and 50 publish/s (bottom).
@@ -37,8 +39,8 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
         (5.0, "low load (5 publish/s)"),
         (50.0, "high load (50 publish/s)"),
     ];
-    let cell = |rate: f64, pi_max: usize, kind: AlgorithmKind| {
-        let mut config = base_config(opts).with_algorithm(kind);
+    let cell = |rate: f64, pi_max: usize, algo: &Algorithm| {
+        let mut config = base_config(opts).with_algorithm(algo.clone());
         config.pi_max = pi_max;
         config.publish_rate = rate;
         config.buffer_size = 4000;
@@ -62,16 +64,17 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
         config
     };
     for &(rate, label) in &rates {
+        let algorithms = algorithms();
         let configs: Vec<ScenarioConfig> = pi_values
             .iter()
-            .flat_map(|&pi_max| ALGORITHMS.iter().map(move |&kind| (pi_max, kind)))
-            .map(|(pi_max, kind)| cell(rate, pi_max, kind))
+            .flat_map(|&pi_max| algorithms.iter().map(move |algo| (pi_max, algo)))
+            .map(|(pi_max, algo)| cell(rate, pi_max, algo))
             .collect();
         let cells = SweepGrid::run(
             opts,
             "pi_max",
             pi_values.iter().map(|p| p.to_string()).collect(),
-            ALGORITHMS.iter().map(|k| k.name().to_owned()).collect(),
+            algorithms.iter().map(|a| a.name().to_owned()).collect(),
             configs,
         );
         let metric = Metric::delivery();

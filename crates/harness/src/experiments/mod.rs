@@ -19,10 +19,12 @@
 //! | `seeds` | Sec. IV-A claim | delivery spread across seeds |
 //! | `ext-adaptive` | extension (Sec. IV-E) | adaptive gossip interval |
 //! | `ext-buffers`  | extension (ref \[13\])  | buffer replacement policies |
+//! | `ext-hybrid`   | extension (registry)   | push-pull hybrid vs combined pull |
 
 mod common;
 mod ext_adaptive;
 mod ext_buffers;
+mod ext_hybrid;
 mod fig10;
 mod fig2;
 mod fig3;
@@ -41,7 +43,7 @@ pub use common::{time_series_table, ExperimentOptions, ExperimentOutput, Metric,
 
 /// The available experiment ids: the paper's figures in order,
 /// followed by the two extension studies.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "summary",
     "fig2",
     "fig3a",
@@ -58,6 +60,7 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
     "seeds",
     "ext-adaptive",
     "ext-buffers",
+    "ext-hybrid",
 ];
 
 /// Runs the experiment with the given id and writes its CSV tables
@@ -84,6 +87,7 @@ pub fn run_experiment(id: &str, opts: &ExperimentOptions) -> Result<ExperimentOu
         "seeds" => seeds::run(opts),
         "ext-adaptive" => ext_adaptive::run(opts),
         "ext-buffers" => ext_buffers::run(opts),
+        "ext-hybrid" => ext_hybrid::run(opts),
         other => return Err(format!("unknown experiment '{other}'")),
     };
     for (name, table) in &output.tables {

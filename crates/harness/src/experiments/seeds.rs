@@ -3,7 +3,7 @@
 //! that ... variations are limited, around 1%-2%. Hence, we present
 //! here the results of a single simulation."
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_metrics::CsvTable;
 use eps_sim::Summary;
 
@@ -15,7 +15,7 @@ use crate::config::ScenarioConfig;
 /// single-run-presentation methodology.
 pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     let seed_count = if opts.quick { 5 } else { 10 };
-    let algorithms = [AlgorithmKind::Push, AlgorithmKind::CombinedPull];
+    let algorithms = [Algorithm::push(), Algorithm::combined_pull()];
     let mut table = CsvTable::new(vec!["algorithm".into(), "seed".into(), "delivery".into()]);
     let mut text = format!(
         "Randomization effect (paper Sec. IV-A) — {seed_count} seeds\n\
@@ -24,7 +24,7 @@ pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
     );
     let configs: Vec<ScenarioConfig> = algorithms
         .iter()
-        .flat_map(|&kind| (1..=seed_count).map(move |seed| (kind, seed)))
+        .flat_map(|kind| (1..=seed_count).map(move |seed| (kind.clone(), seed)))
         .map(|(kind, seed)| {
             base_config(&ExperimentOptions {
                 seed: seed as u64,

@@ -118,6 +118,12 @@ impl SimNode {
         self.algorithm.outstanding_losses()
     }
 
+    /// `Lost` entries the recovery algorithm evicted under its
+    /// capacity bound.
+    pub fn lost_evictions(&self) -> u64 {
+        self.algorithm.lost_evictions()
+    }
+
     /// Handles one arriving message and returns the messages to send
     /// in response.
     pub fn handle(&mut self, from: NodeId, env: Envelope, ctx: &mut NodeCtx) -> Vec<Outgoing> {

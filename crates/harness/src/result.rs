@@ -47,6 +47,10 @@ pub struct ScenarioResult {
     pub recovery_latency_p95: f64,
     /// `Lost` entries still outstanding at the end, summed over nodes.
     pub outstanding_losses: u64,
+    /// `Lost` entries evicted under the buffers' capacity bound,
+    /// summed over nodes. Non-zero means loss detection outpaced
+    /// recovery badly enough to overflow the buffers.
+    pub lost_evictions: u64,
     /// Topological reconfigurations performed.
     pub reconfigurations: u64,
     /// Subscription swaps performed (churn).
@@ -102,6 +106,7 @@ pub(crate) fn assemble(
         recovery_latency_mean: tracker.recovery_latency().mean(),
         recovery_latency_p95: tracker.recovery_latency_quantile(0.95).unwrap_or(0.0),
         outstanding_losses,
+        lost_evictions: counters.lost_evictions(),
         reconfigurations,
         churn_events,
         subscription_msgs: counters.subscription_total(),

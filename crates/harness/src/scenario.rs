@@ -26,7 +26,7 @@ use crate::trace::{ScenarioTrace, TraceRecord};
 ///
 /// ```
 /// use eps_harness::{run_scenario, ScenarioConfig};
-/// use eps_gossip::AlgorithmKind;
+/// use eps_gossip::Algorithm;
 /// use eps_sim::SimTime;
 ///
 /// let config = ScenarioConfig {
@@ -34,7 +34,7 @@ use crate::trace::{ScenarioTrace, TraceRecord};
 ///     duration: SimTime::from_secs(3),
 ///     warmup: SimTime::from_millis(500),
 ///     cooldown: SimTime::from_millis(500),
-///     algorithm: AlgorithmKind::Push,
+///     algorithm: Algorithm::push(),
 ///     ..ScenarioConfig::default()
 /// };
 /// let result = run_scenario(&config);
@@ -119,6 +119,16 @@ impl Scenario {
             eviction: config.eviction,
         };
 
+        // Tie the `Lost` capacity bound to the event-buffer size β
+        // unless the scenario pinned it explicitly: there is no point
+        // remembering more losses than a full cache could serve. A
+        // zero β (caching disabled) keeps the library default — the
+        // bound must stay positive.
+        let mut gossip_config = config.gossip;
+        if gossip_config.lost_capacity.is_none() && config.buffer_size > 0 {
+            gossip_config.lost_capacity = Some(config.buffer_size);
+        }
+
         // Stable subscriptions, flooded to quiescence before the
         // workload starts (the paper's setting).
         let mut subs_rng = factory.stream("subscriptions");
@@ -132,7 +142,7 @@ impl Scenario {
                 SimNode::new(
                     id,
                     dispatcher_config,
-                    config.algorithm.build(config.gossip),
+                    config.algorithm.build(gossip_config),
                     factory.indexed_stream("workload", id.index() as u64),
                     config.gossip_interval,
                     subscriptions[id.index()].clone(),
@@ -228,6 +238,8 @@ impl Scenario {
             .iter()
             .map(|n| n.outstanding_losses() as u64)
             .sum();
+        let evictions: u64 = self.nodes.iter().map(|n| n.lost_evictions()).sum();
+        self.counters.count_lost_evictions(evictions);
         let result = assemble(
             &self.config,
             &self.tracker,

@@ -1,11 +1,11 @@
 //! Scenario-level tests of subscription churn: the (un)subscription
 //! protocol exercised end-to-end over lossy links while events flow.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::{run_scenario, ScenarioConfig};
 use eps_sim::SimTime;
 
-fn base(kind: AlgorithmKind) -> ScenarioConfig {
+fn base(kind: Algorithm) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 25,
         duration: SimTime::from_secs(4),
@@ -20,7 +20,7 @@ fn base(kind: AlgorithmKind) -> ScenarioConfig {
 
 #[test]
 fn churn_happens_and_propagates_subscription_messages() {
-    let r = run_scenario(&base(AlgorithmKind::NoRecovery));
+    let r = run_scenario(&base(Algorithm::no_recovery()));
     assert!(
         (30..=45).contains(&r.churn_events),
         "one swap per 100ms over ~4s, got {}",
@@ -38,7 +38,7 @@ fn churn_happens_and_propagates_subscription_messages() {
 fn delivery_stays_healthy_under_churn_on_reliable_links() {
     let config = ScenarioConfig {
         link_error_rate: 0.0,
-        ..base(AlgorithmKind::NoRecovery)
+        ..base(Algorithm::no_recovery())
     };
     let r = run_scenario(&config);
     // Only churn races (events in flight while routes shift) can cost
@@ -52,8 +52,8 @@ fn delivery_stays_healthy_under_churn_on_reliable_links() {
 
 #[test]
 fn recovery_still_works_under_churn() {
-    let with = run_scenario(&base(AlgorithmKind::CombinedPull));
-    let without = run_scenario(&base(AlgorithmKind::NoRecovery));
+    let with = run_scenario(&base(Algorithm::combined_pull()));
+    let without = run_scenario(&base(Algorithm::no_recovery()));
     assert!(with.events_recovered > 0);
     assert!(
         with.delivery_rate > without.delivery_rate + 0.05,
@@ -71,11 +71,11 @@ fn late_subscribers_do_not_pull_history() {
     // pre-subscription history.
     let churny = run_scenario(&ScenarioConfig {
         churn_interval: Some(SimTime::from_millis(50)),
-        ..base(AlgorithmKind::SubscriberPull)
+        ..base(Algorithm::subscriber_pull())
     });
     let stable = run_scenario(&ScenarioConfig {
         churn_interval: None,
-        ..base(AlgorithmKind::SubscriberPull)
+        ..base(Algorithm::subscriber_pull())
     });
     // History-pulling would multiply outstanding losses by orders of
     // magnitude; allow generous headroom for genuine churn effects.
@@ -89,8 +89,8 @@ fn late_subscribers_do_not_pull_history() {
 
 #[test]
 fn churn_is_deterministic() {
-    let a = run_scenario(&base(AlgorithmKind::CombinedPull));
-    let b = run_scenario(&base(AlgorithmKind::CombinedPull));
+    let a = run_scenario(&base(Algorithm::combined_pull()));
+    let b = run_scenario(&base(Algorithm::combined_pull()));
     assert_eq!(a.churn_events, b.churn_events);
     assert_eq!(a.delivery_rate, b.delivery_rate);
     assert_eq!(a.subscription_msgs, b.subscription_msgs);
@@ -103,7 +103,7 @@ fn churn_composes_with_reconfiguration_and_loss() {
     let config = ScenarioConfig {
         link_error_rate: 0.05,
         reconfig_interval: Some(SimTime::from_millis(300)),
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     };
     let r = run_scenario(&config);
     assert!(r.churn_events > 0);
@@ -121,7 +121,7 @@ fn churn_composes_with_reconfiguration_and_loss() {
 fn stable_scenarios_report_no_churn() {
     let config = ScenarioConfig {
         churn_interval: None,
-        ..base(AlgorithmKind::NoRecovery)
+        ..base(Algorithm::no_recovery())
     };
     let r = run_scenario(&config);
     assert_eq!(r.churn_events, 0);

@@ -1,12 +1,12 @@
 //! Scenario-level tests of the extension features: adaptive gossip
 //! intervals and alternative buffer policies.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::{run_scenario, AdaptiveGossip, ScenarioConfig};
 use eps_pubsub::EvictionPolicy;
 use eps_sim::SimTime;
 
-fn base(kind: AlgorithmKind) -> ScenarioConfig {
+fn base(kind: Algorithm) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 25,
         duration: SimTime::from_secs(4),
@@ -22,7 +22,7 @@ fn base(kind: AlgorithmKind) -> ScenarioConfig {
 fn adaptive_gossip_cuts_overhead_on_a_healthy_network() {
     let healthy = ScenarioConfig {
         link_error_rate: 0.005,
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     };
     let fixed = run_scenario(&healthy);
     let adaptive = run_scenario(&ScenarioConfig {
@@ -45,7 +45,7 @@ fn adaptive_gossip_cuts_overhead_on_a_healthy_network() {
 
 #[test]
 fn adaptive_gossip_converges_to_fixed_under_heavy_loss() {
-    let lossy = base(AlgorithmKind::CombinedPull);
+    let lossy = base(Algorithm::combined_pull());
     let fixed = run_scenario(&lossy);
     let adaptive = run_scenario(&ScenarioConfig {
         adaptive_gossip: Some(AdaptiveGossip::around(lossy.gossip_interval)),
@@ -60,7 +60,7 @@ fn adaptive_gossip_converges_to_fixed_under_heavy_loss() {
 fn adaptive_gossip_is_deterministic() {
     let config = ScenarioConfig {
         adaptive_gossip: Some(AdaptiveGossip::around(SimTime::from_millis(30))),
-        ..base(AlgorithmKind::Push)
+        ..base(Algorithm::push())
     };
     let a = run_scenario(&config);
     let b = run_scenario(&config);
@@ -77,7 +77,7 @@ fn invalid_adaptive_parameters_are_rejected() {
             max_interval: SimTime::from_millis(10), // inverted
             backoff: 2.0,
         }),
-        ..base(AlgorithmKind::Push)
+        ..base(Algorithm::push())
     };
     let _ = run_scenario(&config);
 }
@@ -92,7 +92,7 @@ fn every_eviction_policy_completes_and_recovers() {
         let r = run_scenario(&ScenarioConfig {
             buffer_size: 150,
             eviction: policy,
-            ..base(AlgorithmKind::CombinedPull)
+            ..base(Algorithm::combined_pull())
         });
         assert!(r.events_recovered > 0, "{policy} recovered nothing");
         assert!((0.0..=1.0).contains(&r.delivery_rate));
@@ -105,7 +105,7 @@ fn source_biased_policy_helps_publisher_bound_recovery_at_small_buffers() {
     // the copies only the publisher can serve.
     let small = ScenarioConfig {
         buffer_size: 100,
-        ..base(AlgorithmKind::PublisherPull)
+        ..base(Algorithm::publisher_pull())
     };
     let fifo = run_scenario(&small);
     let biased = run_scenario(&ScenarioConfig {
@@ -122,10 +122,10 @@ fn source_biased_policy_helps_publisher_bound_recovery_at_small_buffers() {
 
 #[test]
 fn eviction_policy_changes_results_but_not_workload() {
-    let fifo = run_scenario(&base(AlgorithmKind::CombinedPull));
+    let fifo = run_scenario(&base(Algorithm::combined_pull()));
     let random = run_scenario(&ScenarioConfig {
         eviction: EvictionPolicy::Random { seed: 9 },
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     });
     assert_eq!(fifo.events_published, random.events_published);
     assert_eq!(fifo.receivers_per_event, random.receivers_per_event);

@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::experiments::time_series_table;
 use eps_harness::parallel::par_map;
 use eps_harness::{run_scenario, ScenarioConfig, ScenarioResult};
@@ -16,7 +16,7 @@ use eps_sim::SimTime;
 
 const SEEDS: [u64; 2] = [1, 999];
 
-fn small(algorithm: AlgorithmKind, seed: u64) -> ScenarioConfig {
+fn small(algorithm: Algorithm, seed: u64) -> ScenarioConfig {
     ScenarioConfig {
         seed,
         nodes: 25,
@@ -32,23 +32,23 @@ fn small(algorithm: AlgorithmKind, seed: u64) -> ScenarioConfig {
 /// The pinned cells: every algorithm on the small lossy config, plus
 /// one reconfiguration run and one churn run.
 fn cells(seed: u64) -> Vec<(String, ScenarioConfig)> {
-    let mut cells: Vec<(String, ScenarioConfig)> = AlgorithmKind::ALL
-        .iter()
-        .map(|&kind| (kind.name().to_owned(), small(kind, seed)))
+    let mut cells: Vec<(String, ScenarioConfig)> = Algorithm::paper()
+        .into_iter()
+        .map(|algo| (algo.name().to_owned(), small(algo, seed)))
         .collect();
     cells.push((
         "reconfig".to_owned(),
         ScenarioConfig {
             link_error_rate: 0.0,
             reconfig_interval: Some(SimTime::from_millis(200)),
-            ..small(AlgorithmKind::Push, seed)
+            ..small(Algorithm::push(), seed)
         },
     ));
     cells.push((
         "churn".to_owned(),
         ScenarioConfig {
             churn_interval: Some(SimTime::from_millis(300)),
-            ..small(AlgorithmKind::CombinedPull, seed)
+            ..small(Algorithm::combined_pull(), seed)
         },
     ));
     cells
@@ -122,9 +122,9 @@ fn render(seed: u64, results: &[ScenarioResult]) -> (String, String) {
         report.push_str(&dump(&format!("{label} seed={seed}"), result));
         report.push('\n');
     }
-    let names: Vec<String> = AlgorithmKind::ALL
+    let names: Vec<String> = Algorithm::paper()
         .iter()
-        .map(|k| k.name().to_owned())
+        .map(|a| a.name().to_owned())
         .collect();
     let series: Vec<Vec<(f64, f64)>> = results[..names.len()]
         .iter()

@@ -3,13 +3,13 @@
 //! count, because every scenario derives all randomness from its own
 //! config and results merge in input order.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::experiments::{run_experiment, ExperimentOptions};
 use eps_harness::parallel::par_map;
 use eps_harness::{run_scenario, ScenarioConfig, ScenarioResult};
 use eps_sim::SimTime;
 
-fn small(algorithm: AlgorithmKind, seed: u64) -> ScenarioConfig {
+fn small(algorithm: Algorithm, seed: u64) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 25,
         duration: SimTime::from_secs(3),
@@ -38,12 +38,12 @@ fn assert_same(a: &ScenarioResult, b: &ScenarioResult) {
 #[test]
 fn parallel_cells_match_serial_cells() {
     let configs: Vec<ScenarioConfig> = [
-        AlgorithmKind::NoRecovery,
-        AlgorithmKind::Push,
-        AlgorithmKind::CombinedPull,
+        Algorithm::no_recovery(),
+        Algorithm::push(),
+        Algorithm::combined_pull(),
     ]
     .iter()
-    .flat_map(|&kind| [1u64, 2].map(|seed| small(kind, seed)))
+    .flat_map(|kind| [1u64, 2].map(|seed| small(kind.clone(), seed)))
     .collect();
     let serial = par_map(1, &configs, run_scenario);
     for jobs in [2, 4] {
@@ -90,9 +90,9 @@ fn experiment_csvs_identical_across_job_counts() {
 /// that does not divide the cell count.
 #[test]
 fn six_algorithm_panel_identical_across_job_counts() {
-    let configs: Vec<ScenarioConfig> = AlgorithmKind::ALL
-        .iter()
-        .map(|&kind| small(kind, 7))
+    let configs: Vec<ScenarioConfig> = Algorithm::paper()
+        .into_iter()
+        .map(|kind| small(kind, 7))
         .collect();
     let render = |results: &[ScenarioResult]| {
         results

@@ -2,11 +2,11 @@
 //! reconfiguration, and determinism, all through the public
 //! [`run_scenario`] API.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::{run_scenario, ScenarioConfig};
 use eps_sim::SimTime;
 
-fn small(algorithm: AlgorithmKind) -> ScenarioConfig {
+fn small(algorithm: Algorithm) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 25,
         duration: SimTime::from_secs(4),
@@ -22,7 +22,7 @@ fn small(algorithm: AlgorithmKind) -> ScenarioConfig {
 fn lossless_network_delivers_everything() {
     let config = ScenarioConfig {
         link_error_rate: 0.0,
-        ..small(AlgorithmKind::NoRecovery)
+        ..small(Algorithm::no_recovery())
     };
     let result = run_scenario(&config);
     assert!(
@@ -36,7 +36,7 @@ fn lossless_network_delivers_everything() {
 
 #[test]
 fn lossy_baseline_loses_events() {
-    let result = run_scenario(&small(AlgorithmKind::NoRecovery));
+    let result = run_scenario(&small(Algorithm::no_recovery()));
     assert!(
         result.delivery_rate < 0.95,
         "expected losses, got {}",
@@ -47,13 +47,13 @@ fn lossy_baseline_loses_events() {
 
 #[test]
 fn recovery_beats_no_recovery() {
-    let baseline = run_scenario(&small(AlgorithmKind::NoRecovery));
+    let baseline = run_scenario(&small(Algorithm::no_recovery()));
     for kind in [
-        AlgorithmKind::Push,
-        AlgorithmKind::SubscriberPull,
-        AlgorithmKind::CombinedPull,
+        Algorithm::push(),
+        Algorithm::subscriber_pull(),
+        Algorithm::combined_pull(),
     ] {
-        let recovered = run_scenario(&small(kind));
+        let recovered = run_scenario(&small(kind.clone()));
         assert!(
             recovered.delivery_rate > baseline.delivery_rate,
             "{kind}: {} <= baseline {}",
@@ -66,7 +66,7 @@ fn recovery_beats_no_recovery() {
 
 #[test]
 fn same_seed_same_result() {
-    let config = small(AlgorithmKind::CombinedPull);
+    let config = small(Algorithm::combined_pull());
     let a = run_scenario(&config);
     let b = run_scenario(&config);
     assert_eq!(a.delivery_rate, b.delivery_rate);
@@ -77,10 +77,10 @@ fn same_seed_same_result() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run_scenario(&small(AlgorithmKind::Push));
+    let a = run_scenario(&small(Algorithm::push()));
     let b = run_scenario(&ScenarioConfig {
         seed: 999,
-        ..small(AlgorithmKind::Push)
+        ..small(Algorithm::push())
     });
     assert_ne!(a.events_published, b.events_published);
 }
@@ -90,7 +90,7 @@ fn reconfigurations_happen_and_recover() {
     let config = ScenarioConfig {
         link_error_rate: 0.0,
         reconfig_interval: Some(SimTime::from_millis(200)),
-        ..small(AlgorithmKind::NoRecovery)
+        ..small(Algorithm::no_recovery())
     };
     let result = run_scenario(&config);
     assert!(result.reconfigurations >= 10);
@@ -105,10 +105,10 @@ fn recovery_masks_reconfiguration_losses() {
     let base = ScenarioConfig {
         link_error_rate: 0.0,
         reconfig_interval: Some(SimTime::from_millis(200)),
-        ..small(AlgorithmKind::NoRecovery)
+        ..small(Algorithm::no_recovery())
     };
     let no_rec = run_scenario(&base);
-    let push = run_scenario(&base.with_algorithm(AlgorithmKind::Push));
+    let push = run_scenario(&base.with_algorithm(Algorithm::push()));
     assert!(push.delivery_rate >= no_rec.delivery_rate);
     assert!(push.min_bin_rate >= no_rec.min_bin_rate);
 }
@@ -117,7 +117,7 @@ fn recovery_masks_reconfiguration_losses() {
 fn zero_publish_rate_is_quiet() {
     let config = ScenarioConfig {
         publish_rate: 0.0,
-        ..small(AlgorithmKind::CombinedPull)
+        ..small(Algorithm::combined_pull())
     };
     let result = run_scenario(&config);
     assert_eq!(result.events_published, 0);

@@ -1,12 +1,12 @@
 //! White-box tests through the scenario trace: the trace must be
 //! consistent with the metrics, and tracing must not perturb the run.
 
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::{run_scenario, run_scenario_traced, ScenarioConfig, TraceRecord};
 use eps_sim::SimTime;
 use std::collections::HashSet;
 
-fn base(kind: AlgorithmKind) -> ScenarioConfig {
+fn base(kind: Algorithm) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 20,
         duration: SimTime::from_secs(3),
@@ -20,7 +20,7 @@ fn base(kind: AlgorithmKind) -> ScenarioConfig {
 
 #[test]
 fn tracing_does_not_perturb_the_simulation() {
-    let config = base(AlgorithmKind::CombinedPull);
+    let config = base(Algorithm::combined_pull());
     let plain = run_scenario(&config);
     let (traced, _) = run_scenario_traced(&config, 1_000_000);
     assert_eq!(plain.delivery_rate, traced.delivery_rate);
@@ -30,7 +30,7 @@ fn tracing_does_not_perturb_the_simulation() {
 
 #[test]
 fn trace_agrees_with_the_metrics() {
-    let config = base(AlgorithmKind::CombinedPull);
+    let config = base(Algorithm::combined_pull());
     let (result, trace) = run_scenario_traced(&config, 2_000_000);
     assert_eq!(trace.dropped(), 0, "trace capacity too small for test");
 
@@ -65,7 +65,7 @@ fn trace_agrees_with_the_metrics() {
 
 #[test]
 fn deliveries_never_precede_their_publish_in_time() {
-    let config = base(AlgorithmKind::Push);
+    let config = base(Algorithm::push());
     let (_, trace) = run_scenario_traced(&config, 2_000_000);
     let mut publish_time = std::collections::HashMap::new();
     for record in trace.records() {
@@ -87,7 +87,7 @@ fn reconfigurations_appear_in_the_trace_in_break_repair_pairs() {
     let config = ScenarioConfig {
         link_error_rate: 0.0,
         reconfig_interval: Some(SimTime::from_millis(300)),
-        ..base(AlgorithmKind::NoRecovery)
+        ..base(Algorithm::no_recovery())
     };
     let (result, trace) = run_scenario_traced(&config, 2_000_000);
     let breaks = trace
@@ -106,7 +106,7 @@ fn reconfigurations_appear_in_the_trace_in_break_repair_pairs() {
 
 #[test]
 fn recovered_deliveries_only_happen_with_recovery_enabled() {
-    let (_, trace) = run_scenario_traced(&base(AlgorithmKind::NoRecovery), 2_000_000);
+    let (_, trace) = run_scenario_traced(&base(Algorithm::no_recovery()), 2_000_000);
     assert!(trace.records().iter().all(|r| !matches!(
         r,
         TraceRecord::Deliver {
@@ -118,7 +118,7 @@ fn recovered_deliveries_only_happen_with_recovery_enabled() {
 
 #[test]
 fn tiny_trace_capacity_drops_but_does_not_fail() {
-    let (result, trace) = run_scenario_traced(&base(AlgorithmKind::CombinedPull), 10);
+    let (result, trace) = run_scenario_traced(&base(Algorithm::combined_pull()), 10);
     assert_eq!(trace.len(), 10);
     assert!(trace.dropped() > 0);
     assert!(result.events_published > 0);

@@ -34,6 +34,7 @@ pub struct MessageCounters {
     subscription_sent: Vec<u64>,
     events_retransmitted: u64,
     events_recovered: u64,
+    lost_evictions: u64,
 }
 
 impl MessageCounters {
@@ -47,6 +48,7 @@ impl MessageCounters {
             subscription_sent: vec![0; n],
             events_retransmitted: 0,
             events_recovered: 0,
+            lost_evictions: 0,
         }
     }
 
@@ -93,6 +95,12 @@ impl MessageCounters {
         self.events_recovered += 1;
     }
 
+    /// `Lost` entries evicted under the buffers' capacity bound
+    /// (summed over dispatchers at the end of a run).
+    pub fn count_lost_evictions(&mut self, n: u64) {
+        self.lost_evictions += n;
+    }
+
     /// Total event messages on overlay links.
     pub fn event_total(&self) -> u64 {
         self.event_sent.iter().sum()
@@ -126,6 +134,13 @@ impl MessageCounters {
     /// Total events whose delivery happened through recovery.
     pub fn events_recovered(&self) -> u64 {
         self.events_recovered
+    }
+
+    /// Total `Lost` entries evicted by capacity bounds — non-zero means
+    /// loss detection outpaced recovery badly enough to overflow the
+    /// buffers (visible under heavy churn rather than silent).
+    pub fn lost_evictions(&self) -> u64 {
+        self.lost_evictions
     }
 
     /// Mean gossip messages sent per dispatcher (Fig. 9 / 10, left).
@@ -201,5 +216,14 @@ mod tests {
         c.count_recovered();
         c.count_recovered();
         assert_eq!(c.events_recovered(), 2);
+    }
+
+    #[test]
+    fn lost_evictions_accumulate() {
+        let mut c = MessageCounters::new(1);
+        assert_eq!(c.lost_evictions(), 0);
+        c.count_lost_evictions(3);
+        c.count_lost_evictions(2);
+        assert_eq!(c.lost_evictions(), 5);
     }
 }

@@ -7,7 +7,7 @@
 //! cargo run --release --example adaptive_gossip
 //! ```
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, AdaptiveGossip, ScenarioConfig};
 use epidemic_pubsub::sim::SimTime;
 
@@ -19,7 +19,7 @@ fn main() {
         warmup: SimTime::from_secs(1),
         cooldown: SimTime::from_secs(2),
         publish_rate: 5.0,
-        algorithm: AlgorithmKind::Push,
+        algorithm: Algorithm::push(),
         ..ScenarioConfig::default()
     };
 

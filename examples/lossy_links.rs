@@ -6,7 +6,7 @@
 //! cargo run --release --example lossy_links
 //! ```
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
 use epidemic_pubsub::sim::SimTime;
 
@@ -24,10 +24,10 @@ fn main() {
             "{:<16} {:>10} {:>14} {:>12}",
             "algorithm", "delivery", "gossip/disp", "gossip/event"
         );
-        for kind in AlgorithmKind::ALL {
+        for kind in Algorithm::paper() {
             let config = ScenarioConfig {
                 link_error_rate: eps,
-                algorithm: kind,
+                algorithm: kind.clone(),
                 ..base.clone()
             };
             let result = run_scenario(&config);

@@ -7,7 +7,7 @@
 //! cargo run --release --example mobile_reconfiguration
 //! ```
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
 use epidemic_pubsub::sim::SimTime;
 
@@ -30,15 +30,15 @@ fn main() {
             "algorithm", "delivery", "worst bin", "reconfigs"
         );
         for kind in [
-            AlgorithmKind::NoRecovery,
-            AlgorithmKind::RandomPull,
-            AlgorithmKind::SubscriberPull,
-            AlgorithmKind::Push,
-            AlgorithmKind::CombinedPull,
+            Algorithm::no_recovery(),
+            Algorithm::random_pull(),
+            Algorithm::subscriber_pull(),
+            Algorithm::push(),
+            Algorithm::combined_pull(),
         ] {
             let config = ScenarioConfig {
                 reconfig_interval: Some(SimTime::from_millis(rho_ms)),
-                algorithm: kind,
+                algorithm: kind.clone(),
                 ..base.clone()
             };
             let result = run_scenario(&config);

@@ -11,7 +11,7 @@
 //! cargo run --example protocol_walkthrough
 //! ```
 
-use epidemic_pubsub::gossip::{AlgorithmKind, GossipAction, GossipConfig};
+use epidemic_pubsub::gossip::{Algorithm, GossipAction, GossipConfig};
 use epidemic_pubsub::overlay::NodeId;
 use epidemic_pubsub::pubsub::{Dispatcher, DispatcherConfig, PatternId, PubSubMessage};
 
@@ -93,11 +93,11 @@ fn main() {
     );
 
     // --- Subscriber-based pull recovers it --------------------------
-    let mut algo2 = AlgorithmKind::SubscriberPull.build(GossipConfig {
+    let mut algo2 = Algorithm::subscriber_pull().build(GossipConfig {
         p_forward: 1.0,
         ..GossipConfig::default()
     });
-    let mut algo1 = AlgorithmKind::SubscriberPull.build(GossipConfig::default());
+    let mut algo1 = Algorithm::subscriber_pull().build(GossipConfig::default());
     algo2.on_losses(&receipt.losses);
     let mut rng = eps_sim::Rng::from_seed(42);
 
@@ -110,7 +110,7 @@ fn main() {
     assert_eq!(to, n1);
     println!("d1 is a pure router (not a subscriber): it cached nothing,");
     println!("so it forwards the digest along {p}'s routes towards d0");
-    let mut algo0 = AlgorithmKind::SubscriberPull.build(GossipConfig::default());
+    let mut algo0 = Algorithm::subscriber_pull().build(GossipConfig::default());
     let actions = algo1.on_gossip(&d1, n2, msg, &[n0, n2], &mut rng);
     let (to, msg) = match &actions[0] {
         GossipAction::Forward { to, msg } => (*to, msg.clone()),

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
 use epidemic_pubsub::sim::SimTime;
 
@@ -26,11 +26,11 @@ fn main() {
         "algorithm", "delivery", "worst bin", "gossip/disp", "recovered"
     );
     for kind in [
-        AlgorithmKind::NoRecovery,
-        AlgorithmKind::Push,
-        AlgorithmKind::CombinedPull,
+        Algorithm::no_recovery(),
+        Algorithm::push(),
+        Algorithm::combined_pull(),
     ] {
-        let result = run_scenario(&base.with_algorithm(kind));
+        let result = run_scenario(&base.with_algorithm(kind.clone()));
         println!(
             "{:<16} {:>9.1}% {:>11.1}% {:>14.1} {:>12}",
             kind.name(),

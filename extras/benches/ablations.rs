@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use eps_bench::mini;
-use eps_gossip::{AlgorithmKind, GossipConfig};
+use eps_gossip::{Algorithm, GossipConfig};
 use eps_harness::{run_scenario, ScenarioConfig};
 
 /// Publisher-based pull pays for route recording in every event
@@ -15,11 +15,11 @@ fn route_recording(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/route_recording");
     group.sample_size(10);
     group.bench_function("with_routes_publisher_pull", |b| {
-        let config = mini(AlgorithmKind::PublisherPull);
+        let config = mini(Algorithm::publisher_pull());
         b.iter(|| run_scenario(black_box(&config)))
     });
     group.bench_function("without_routes_subscriber_pull", |b| {
-        let config = mini(AlgorithmKind::SubscriberPull);
+        let config = mini(Algorithm::subscriber_pull());
         b.iter(|| run_scenario(black_box(&config)))
     });
     group.finish();
@@ -37,7 +37,7 @@ fn digest_cap(c: &mut Criterion) {
                     digest_max: cap,
                     ..GossipConfig::default()
                 },
-                ..mini(AlgorithmKind::CombinedPull)
+                ..mini(Algorithm::combined_pull())
             };
             b.iter(|| run_scenario(black_box(&config)))
         });
@@ -58,7 +58,7 @@ fn retry_budget(c: &mut Criterion) {
                     max_attempts: attempts,
                     ..GossipConfig::default()
                 },
-                ..mini(AlgorithmKind::CombinedPull)
+                ..mini(Algorithm::combined_pull())
             };
             b.iter(|| run_scenario(black_box(&config)))
         });
@@ -77,7 +77,7 @@ fn forward_probability(c: &mut Criterion) {
                     p_forward: p,
                     ..GossipConfig::default()
                 },
-                ..mini(AlgorithmKind::Push)
+                ..mini(Algorithm::push())
             };
             b.iter(|| run_scenario(black_box(&config)))
         });

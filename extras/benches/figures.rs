@@ -8,13 +8,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use eps_bench::{mini, mini_reconfig};
-use eps_gossip::AlgorithmKind;
+use eps_gossip::Algorithm;
 use eps_harness::{run_scenario, ScenarioConfig};
 use eps_sim::SimTime;
 
 fn fig3a_lossy_links(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3a");
-    for kind in [AlgorithmKind::NoRecovery, AlgorithmKind::Push, AlgorithmKind::CombinedPull] {
+    for kind in [
+        Algorithm::no_recovery(),
+        Algorithm::push(),
+        Algorithm::combined_pull(),
+    ] {
         group.bench_function(kind.name(), |b| {
             let config = mini(kind);
             b.iter(|| run_scenario(black_box(&config)))
@@ -27,7 +31,7 @@ fn fig3b_reconfigurations(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3b");
     for (label, rho) in [("rho200ms", 200u64), ("rho30ms", 30)] {
         group.bench_function(label, |b| {
-            let config = mini_reconfig(AlgorithmKind::CombinedPull, SimTime::from_millis(rho));
+            let config = mini_reconfig(Algorithm::combined_pull(), SimTime::from_millis(rho));
             b.iter(|| run_scenario(black_box(&config)))
         });
     }
@@ -40,7 +44,7 @@ fn fig4_buffer_and_interval(c: &mut Criterion) {
         group.bench_function(format!("beta{beta}"), |b| {
             let config = ScenarioConfig {
                 buffer_size: beta,
-                ..mini(AlgorithmKind::CombinedPull)
+                ..mini(Algorithm::combined_pull())
             };
             b.iter(|| run_scenario(black_box(&config)))
         });
@@ -49,7 +53,7 @@ fn fig4_buffer_and_interval(c: &mut Criterion) {
         group.bench_function(format!("t{t_ms}ms"), |b| {
             let config = ScenarioConfig {
                 gossip_interval: SimTime::from_millis(t_ms),
-                ..mini(AlgorithmKind::CombinedPull)
+                ..mini(Algorithm::combined_pull())
             };
             b.iter(|| run_scenario(black_box(&config)))
         });
@@ -62,7 +66,7 @@ fn fig5_interplay(c: &mut Criterion) {
         let config = ScenarioConfig {
             buffer_size: 500,
             gossip_interval: SimTime::from_millis(10),
-            ..mini(AlgorithmKind::CombinedPull)
+            ..mini(Algorithm::combined_pull())
         };
         b.iter(|| run_scenario(black_box(&config)))
     });
@@ -75,7 +79,7 @@ fn fig6_scalability(c: &mut Criterion) {
         group.bench_function(format!("n{n}"), |b| {
             let config = ScenarioConfig {
                 nodes: n,
-                ..mini(AlgorithmKind::Push)
+                ..mini(Algorithm::push())
             };
             b.iter(|| run_scenario(black_box(&config)))
         });
@@ -88,7 +92,7 @@ fn fig7_receivers(c: &mut Criterion) {
         let config = ScenarioConfig {
             pi_max: 10,
             link_error_rate: 0.0,
-            ..mini(AlgorithmKind::NoRecovery)
+            ..mini(Algorithm::no_recovery())
         };
         b.iter(|| run_scenario(black_box(&config)))
     });
@@ -103,7 +107,7 @@ fn fig8_load(c: &mut Criterion) {
                 pi_max: 10,
                 publish_rate: rate,
                 buffer_size: 4000,
-                ..mini(AlgorithmKind::CombinedPull)
+                ..mini(Algorithm::combined_pull())
             };
             b.iter(|| run_scenario(black_box(&config)))
         });
@@ -117,14 +121,14 @@ fn fig9_overhead(c: &mut Criterion) {
     group.bench_function("push_n40", |b| {
         let config = ScenarioConfig {
             nodes: 40,
-            ..mini(AlgorithmKind::Push)
+            ..mini(Algorithm::push())
         };
         b.iter(|| run_scenario(black_box(&config)))
     });
     group.bench_function("combined_pi_max8", |b| {
         let config = ScenarioConfig {
             pi_max: 8,
-            ..mini(AlgorithmKind::CombinedPull)
+            ..mini(Algorithm::combined_pull())
         };
         b.iter(|| run_scenario(black_box(&config)))
     });
@@ -137,7 +141,7 @@ fn fig10_error_sweep(c: &mut Criterion) {
         group.bench_function(format!("eps{}", (eps * 100.0) as u32), |b| {
             let config = ScenarioConfig {
                 link_error_rate: eps,
-                ..mini(AlgorithmKind::Push)
+                ..mini(Algorithm::push())
             };
             b.iter(|| run_scenario(black_box(&config)))
         });

@@ -6,18 +6,15 @@ use std::hint::black_box;
 
 use eps_overlay::{NodeId, Topology};
 use eps_pubsub::{
-    Dispatcher, DispatcherConfig, Event, EventCache, EventId, Interface, LossDetector,
-    PatternId, PatternSpace, SubscriptionTable,
+    Dispatcher, DispatcherConfig, Event, EventCache, EventId, Interface, LossDetector, PatternId,
+    PatternSpace, SubscriptionTable,
 };
 use eps_sim::{Engine, RngFactory, SimTime};
 
 fn event(seq: u64, patterns: &[u16]) -> Event {
     Event::new(
         EventId::new(NodeId::new(0), seq),
-        patterns
-            .iter()
-            .map(|&p| (PatternId::new(p), seq))
-            .collect(),
+        patterns.iter().map(|&p| (PatternId::new(p), seq)).collect(),
     )
 }
 

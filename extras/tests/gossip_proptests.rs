@@ -1,6 +1,6 @@
 //! Property-based tests of the recovery algorithms.
 
-use eps_gossip::{AlgorithmKind, GossipAction, GossipConfig, LostBuffer};
+use eps_gossip::{Algorithm, GossipAction, GossipConfig, LostBuffer};
 use eps_overlay::NodeId;
 use eps_pubsub::{Dispatcher, DispatcherConfig, Event, EventId, LossRecord, PatternId};
 use eps_sim::RngFactory;
@@ -68,15 +68,15 @@ proptest! {
     /// that emit nothing (pull variants) or only push digests.
     #[test]
     fn losses_reconcile_for_every_algorithm(
-        kind_idx in 0usize..AlgorithmKind::ALL.len(),
+        kind_idx in 0usize..Algorithm::paper().len(),
         tuples in prop::collection::btree_set((0u32..4, 0u16..4, 0u64..20), 1..30),
         seed in any::<u64>(),
     ) {
-        let kind = AlgorithmKind::ALL[kind_idx];
+        let kind = Algorithm::paper()[kind_idx].clone();
         let mut algo = kind.build(GossipConfig::default());
         let losses: Vec<LossRecord> = tuples.iter().map(|&t| record(t)).collect();
         algo.on_losses(&losses);
-        if kind != AlgorithmKind::NoRecovery && kind != AlgorithmKind::Push {
+        if kind != Algorithm::no_recovery() && kind != Algorithm::push() {
             prop_assert_eq!(algo.outstanding_losses(), losses.len());
         }
         for rec in &losses {
@@ -99,12 +99,12 @@ proptest! {
     /// carry events the node actually has cached.
     #[test]
     fn actions_are_well_formed(
-        kind_idx in 0usize..AlgorithmKind::ALL.len(),
+        kind_idx in 0usize..Algorithm::paper().len(),
         cached_seqs in prop::collection::btree_set(0u64..30, 0..20),
         lost_seqs in prop::collection::btree_set(0u64..30, 1..20),
         seed in any::<u64>(),
     ) {
-        let kind = AlgorithmKind::ALL[kind_idx];
+        let kind = Algorithm::paper()[kind_idx].clone();
         let p = PatternId::new(1);
         let src = NodeId::new(0);
         let me = NodeId::new(2);
@@ -145,5 +145,44 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    /// The capacity bound is an invariant, not a hint: under arbitrary
+    /// interleavings of adds, event-driven clears, and selections, the
+    /// buffer never holds more than `cap` entries, and every added
+    /// record is accounted for as outstanding, recovered, abandoned,
+    /// or evicted.
+    #[test]
+    fn lost_buffer_never_exceeds_capacity(
+        cap in 1usize..12,
+        max_attempts in 1u32..4,
+        ops in prop::collection::vec((0u8..3, 0u32..3, 0u16..3, 0u64..30), 0..200),
+    ) {
+        let mut lost = LostBuffer::with_capacity(max_attempts, cap);
+        for &(op, source, pattern, seq) in &ops {
+            match op {
+                0 => lost.add(record((source, pattern, seq))),
+                1 => {
+                    let event = Event::new(
+                        EventId::new(NodeId::new(source), seq),
+                        vec![(PatternId::new(pattern), seq)],
+                    );
+                    lost.clear_for_event(&event);
+                }
+                _ => { lost.any(3); }
+            }
+            prop_assert!(
+                lost.len() <= cap,
+                "len {} exceeds capacity {}", lost.len(), cap
+            );
+        }
+        prop_assert_eq!(lost.capacity(), cap);
+        prop_assert_eq!(
+            lost.added_total(),
+            lost.len() as u64 + lost.recovered_total()
+                + lost.abandoned_total() + lost.evicted_total()
+        );
     }
 }

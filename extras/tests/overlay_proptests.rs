@@ -1,8 +1,6 @@
 //! Property-based tests of the overlay substrate.
 
-use eps_overlay::{
-    plan_reconfiguration, plan_reconnection, LinkSpec, LinkTable, NodeId, Topology,
-};
+use eps_overlay::{plan_reconfiguration, plan_reconnection, LinkSpec, LinkTable, NodeId, Topology};
 use eps_sim::{RngFactory, SimTime};
 use proptest::prelude::*;
 

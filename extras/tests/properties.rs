@@ -2,18 +2,18 @@
 //! randomized configurations, plus protocol-level properties that span
 //! the overlay and pubsub layers.
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
 use epidemic_pubsub::overlay::{plan_reconfiguration, Topology};
 use epidemic_pubsub::pubsub::{
-    flood_subscriptions, install_local_subscriptions, Dispatcher, DispatcherConfig,
-    PatternId, PatternSpace,
+    flood_subscriptions, install_local_subscriptions, Dispatcher, DispatcherConfig, PatternId,
+    PatternSpace,
 };
 use epidemic_pubsub::sim::{RngFactory, SimTime};
 use proptest::prelude::*;
 
-fn algorithm_strategy() -> impl Strategy<Value = AlgorithmKind> {
-    prop::sample::select(AlgorithmKind::ALL.to_vec())
+fn algorithm_strategy() -> impl Strategy<Value = Algorithm> {
+    prop::sample::select(Algorithm::paper().to_vec())
 }
 
 proptest! {
@@ -52,7 +52,7 @@ proptest! {
         for &(_, rate) in &r.series {
             prop_assert!((0.0..=1.0).contains(&rate));
         }
-        if kind == AlgorithmKind::NoRecovery {
+        if kind == Algorithm::no_recovery() {
             prop_assert_eq!(r.gossip_msgs, 0);
         }
     }

@@ -24,6 +24,9 @@ cargo test -q
 echo "== tier-1: workspace tests =="
 cargo test --workspace -q
 
+echo "== tier-1: microbench (kernel + per-strategy gossip rounds) =="
+cargo run --release -p eps-bench --bin microbench
+
 echo "== tier-1: docs build =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -31,7 +31,7 @@
 //!
 //! ```
 //! use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
-//! use epidemic_pubsub::gossip::AlgorithmKind;
+//! use epidemic_pubsub::gossip::Algorithm;
 //! use epidemic_pubsub::sim::SimTime;
 //!
 //! // A small lossy network with combined-pull recovery.
@@ -40,7 +40,7 @@
 //!     duration: SimTime::from_secs(3),
 //!     warmup: SimTime::from_millis(500),
 //!     cooldown: SimTime::from_millis(500),
-//!     algorithm: AlgorithmKind::CombinedPull,
+//!     algorithm: Algorithm::combined_pull(),
 //!     ..ScenarioConfig::default()
 //! };
 //! let result = run_scenario(&config);

@@ -2,11 +2,11 @@
 //! This is what lets the reproduction present single runs (the paper
 //! reports 1-2% variation across seeds and also uses single runs).
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
 use epidemic_pubsub::sim::SimTime;
 
-fn base(kind: AlgorithmKind, seed: u64) -> ScenarioConfig {
+fn base(kind: Algorithm, seed: u64) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 25,
         duration: SimTime::from_secs(4),
@@ -21,9 +21,9 @@ fn base(kind: AlgorithmKind, seed: u64) -> ScenarioConfig {
 
 #[test]
 fn every_algorithm_is_deterministic() {
-    for kind in AlgorithmKind::ALL {
-        let a = run_scenario(&base(kind, 7));
-        let b = run_scenario(&base(kind, 7));
+    for kind in Algorithm::paper() {
+        let a = run_scenario(&base(kind.clone(), 7));
+        let b = run_scenario(&base(kind.clone(), 7));
         assert_eq!(a.delivery_rate, b.delivery_rate, "{kind}");
         assert_eq!(a.events_published, b.events_published, "{kind}");
         assert_eq!(a.event_msgs, b.event_msgs, "{kind}");
@@ -40,7 +40,7 @@ fn reconfiguration_scenarios_are_deterministic() {
     let config = ScenarioConfig {
         link_error_rate: 0.0,
         reconfig_interval: Some(SimTime::from_millis(100)),
-        ..base(AlgorithmKind::CombinedPull, 11)
+        ..base(Algorithm::combined_pull(), 11)
     };
     let a = run_scenario(&config);
     let b = run_scenario(&config);
@@ -54,7 +54,7 @@ fn seeds_produce_distinct_but_similar_runs() {
     // The paper: "variations are limited, around 1%-2%" across seeds.
     // On our reduced scale, allow a few points of spread.
     let rates: Vec<f64> = (1..=5)
-        .map(|seed| run_scenario(&base(AlgorithmKind::CombinedPull, seed)).delivery_rate)
+        .map(|seed| run_scenario(&base(Algorithm::combined_pull(), seed)).delivery_rate)
         .collect();
     let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
     let max = rates.iter().copied().fold(0.0f64, f64::max);
@@ -67,10 +67,10 @@ fn unrelated_parameters_do_not_perturb_the_workload() {
     // Changing the gossip interval must not change what gets
     // published (stream separation): the published-event count and
     // the intended-recipient statistics stay identical.
-    let a = run_scenario(&base(AlgorithmKind::Push, 3));
+    let a = run_scenario(&base(Algorithm::push(), 3));
     let b = run_scenario(&ScenarioConfig {
         gossip_interval: SimTime::from_millis(50),
-        ..base(AlgorithmKind::Push, 3)
+        ..base(Algorithm::push(), 3)
     });
     assert_eq!(a.events_published, b.events_published);
     assert_eq!(a.receivers_per_event, b.receivers_per_event);
@@ -78,10 +78,10 @@ fn unrelated_parameters_do_not_perturb_the_workload() {
 
 #[test]
 fn buffer_size_does_not_perturb_the_workload_either() {
-    let a = run_scenario(&base(AlgorithmKind::CombinedPull, 3));
+    let a = run_scenario(&base(Algorithm::combined_pull(), 3));
     let b = run_scenario(&ScenarioConfig {
         buffer_size: 4000,
-        ..base(AlgorithmKind::CombinedPull, 3)
+        ..base(Algorithm::combined_pull(), 3)
     });
     assert_eq!(a.events_published, b.events_published);
     assert_eq!(a.receivers_per_event, b.receivers_per_event);

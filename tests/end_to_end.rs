@@ -1,7 +1,7 @@
 //! End-to-end integration tests: whole scenarios through the public
 //! facade, checking the paper's qualitative claims on reduced scales.
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, ScenarioConfig, ScenarioResult};
 use epidemic_pubsub::sim::SimTime;
 
@@ -17,14 +17,14 @@ fn small() -> ScenarioConfig {
     }
 }
 
-fn run(kind: AlgorithmKind) -> ScenarioResult {
+fn run(kind: Algorithm) -> ScenarioResult {
     run_scenario(&small().with_algorithm(kind))
 }
 
 #[test]
 fn all_algorithms_complete_and_report_sane_numbers() {
-    for kind in AlgorithmKind::ALL {
-        let r = run(kind);
+    for kind in Algorithm::paper() {
+        let r = run(kind.clone());
         assert!(
             (0.0..=1.0).contains(&r.delivery_rate),
             "{kind}: rate {}",
@@ -44,12 +44,12 @@ fn all_algorithms_complete_and_report_sane_numbers() {
 
 #[test]
 fn every_recovery_strategy_beats_the_baseline() {
-    let baseline = run(AlgorithmKind::NoRecovery);
-    for kind in AlgorithmKind::ALL {
-        if kind == AlgorithmKind::NoRecovery {
+    let baseline = run(Algorithm::no_recovery());
+    for kind in Algorithm::paper() {
+        if kind == Algorithm::no_recovery() {
             continue;
         }
-        let r = run(kind);
+        let r = run(kind.clone());
         assert!(
             r.delivery_rate > baseline.delivery_rate + 0.02,
             "{kind}: {} vs baseline {}",
@@ -63,10 +63,10 @@ fn every_recovery_strategy_beats_the_baseline() {
 fn push_and_combined_are_the_best_strategies() {
     // The paper's headline finding (Fig. 3a): push and combined pull
     // achieve the highest delivery; each pull variant alone does not.
-    let push = run(AlgorithmKind::Push).delivery_rate;
-    let combined = run(AlgorithmKind::CombinedPull).delivery_rate;
-    let subscriber = run(AlgorithmKind::SubscriberPull).delivery_rate;
-    let publisher = run(AlgorithmKind::PublisherPull).delivery_rate;
+    let push = run(Algorithm::push()).delivery_rate;
+    let combined = run(Algorithm::combined_pull()).delivery_rate;
+    let subscriber = run(Algorithm::subscriber_pull()).delivery_rate;
+    let publisher = run(Algorithm::publisher_pull()).delivery_rate;
     // At this reduced scale (N = 30) a single pull variant can tie the
     // combined one, so allow a small tolerance; the strict ordering at
     // N = 100 is checked by the fig3a/fig4 experiments.
@@ -85,7 +85,7 @@ fn push_and_combined_are_the_best_strategies() {
 
 #[test]
 fn no_recovery_sends_no_recovery_traffic() {
-    let r = run(AlgorithmKind::NoRecovery);
+    let r = run(Algorithm::no_recovery());
     assert_eq!(r.gossip_msgs, 0);
     assert_eq!(r.requests, 0);
     assert_eq!(r.replies, 0);
@@ -94,7 +94,7 @@ fn no_recovery_sends_no_recovery_traffic() {
 
 #[test]
 fn recovered_events_show_up_in_both_counters() {
-    let r = run(AlgorithmKind::CombinedPull);
+    let r = run(Algorithm::combined_pull());
     assert!(r.events_recovered > 0);
     assert!(
         r.events_retransmitted >= r.events_recovered,
@@ -107,10 +107,10 @@ fn recovered_events_show_up_in_both_counters() {
 
 #[test]
 fn push_uses_requests_and_pulls_do_not() {
-    assert!(run(AlgorithmKind::Push).requests > 0);
-    assert_eq!(run(AlgorithmKind::SubscriberPull).requests, 0);
-    assert_eq!(run(AlgorithmKind::CombinedPull).requests, 0);
-    assert_eq!(run(AlgorithmKind::RandomPull).requests, 0);
+    assert!(run(Algorithm::push()).requests > 0);
+    assert_eq!(run(Algorithm::subscriber_pull()).requests, 0);
+    assert_eq!(run(Algorithm::combined_pull()).requests, 0);
+    assert_eq!(run(Algorithm::random_pull()).requests, 0);
 }
 
 #[test]
@@ -130,12 +130,12 @@ fn lower_error_rate_means_higher_delivery() {
 fn bigger_buffers_help_push() {
     let small_buf = run_scenario(&ScenarioConfig {
         buffer_size: 100,
-        algorithm: AlgorithmKind::Push,
+        algorithm: Algorithm::push(),
         ..small()
     });
     let big_buf = run_scenario(&ScenarioConfig {
         buffer_size: 4000,
-        algorithm: AlgorithmKind::Push,
+        algorithm: Algorithm::push(),
         ..small()
     });
     assert!(
@@ -150,12 +150,12 @@ fn bigger_buffers_help_push() {
 fn faster_gossip_means_more_overhead_and_no_worse_delivery() {
     let slow = run_scenario(&ScenarioConfig {
         gossip_interval: SimTime::from_millis(60),
-        algorithm: AlgorithmKind::Push,
+        algorithm: Algorithm::push(),
         ..small()
     });
     let fast = run_scenario(&ScenarioConfig {
         gossip_interval: SimTime::from_millis(10),
-        algorithm: AlgorithmKind::Push,
+        algorithm: Algorithm::push(),
         ..small()
     });
     assert!(fast.gossip_msgs > slow.gossip_msgs);

@@ -2,12 +2,12 @@
 //! never report impossible numbers) under hostile configurations the
 //! paper does not exercise directly.
 
-use epidemic_pubsub::gossip::{AlgorithmKind, GossipConfig};
+use epidemic_pubsub::gossip::{Algorithm, GossipConfig};
 use epidemic_pubsub::harness::{run_scenario, ScenarioConfig};
 use epidemic_pubsub::overlay::OutOfBandSpec;
 use epidemic_pubsub::sim::SimTime;
 
-fn base(kind: AlgorithmKind) -> ScenarioConfig {
+fn base(kind: Algorithm) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 20,
         duration: SimTime::from_secs(3),
@@ -24,15 +24,15 @@ fn lossy_out_of_band_channel_degrades_gracefully() {
     // The paper assumes the unicast transport is "not necessarily
     // reliable": losing half the requests/replies must reduce, not
     // break, recovery.
-    let reliable = run_scenario(&base(AlgorithmKind::CombinedPull));
+    let reliable = run_scenario(&base(Algorithm::combined_pull()));
     let lossy_oob = run_scenario(&ScenarioConfig {
         out_of_band: OutOfBandSpec {
             loss_rate: 0.5,
             ..OutOfBandSpec::default()
         },
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     });
-    let baseline = run_scenario(&base(AlgorithmKind::NoRecovery));
+    let baseline = run_scenario(&base(Algorithm::no_recovery()));
     assert!(lossy_oob.delivery_rate <= reliable.delivery_rate + 0.01);
     assert!(
         lossy_oob.delivery_rate > baseline.delivery_rate,
@@ -49,7 +49,7 @@ fn fully_lossy_out_of_band_channel_equals_no_recovery_delivery() {
             loss_rate: 1.0,
             ..OutOfBandSpec::default()
         },
-        ..base(AlgorithmKind::SubscriberPull)
+        ..base(Algorithm::subscriber_pull())
     });
     assert_eq!(dead_oob.events_recovered, 0);
 }
@@ -58,7 +58,7 @@ fn fully_lossy_out_of_band_channel_equals_no_recovery_delivery() {
 fn zero_capacity_buffers_disable_recovery_but_not_dispatching() {
     let r = run_scenario(&ScenarioConfig {
         buffer_size: 0,
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     });
     assert!(r.events_published > 0);
     assert!(r.delivery_rate > 0.2, "dispatching itself must still work");
@@ -69,7 +69,7 @@ fn zero_capacity_buffers_disable_recovery_but_not_dispatching() {
 fn tiny_buffers_still_recover_something() {
     let r = run_scenario(&ScenarioConfig {
         buffer_size: 20,
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     });
     assert!(r.events_recovered > 0);
 }
@@ -82,7 +82,7 @@ fn extreme_forward_probabilities_are_safe() {
                 p_forward,
                 ..GossipConfig::default()
             },
-            ..base(AlgorithmKind::Push)
+            ..base(Algorithm::push())
         });
         assert!((0.0..=1.0).contains(&r.delivery_rate));
         assert!(r.gossip_msgs > 0);
@@ -100,7 +100,7 @@ fn p_source_extremes_select_a_single_pull_variant() {
                 p_source,
                 ..GossipConfig::default()
             },
-            ..base(AlgorithmKind::CombinedPull)
+            ..base(Algorithm::combined_pull())
         });
         assert!(
             r.events_recovered > 0,
@@ -113,7 +113,7 @@ fn p_source_extremes_select_a_single_pull_variant() {
 fn total_link_loss_delivers_only_local_events() {
     let r = run_scenario(&ScenarioConfig {
         link_error_rate: 1.0,
-        ..base(AlgorithmKind::NoRecovery)
+        ..base(Algorithm::no_recovery())
     });
     // Publishers still deliver to their own local subscribers; nothing
     // crosses any link.
@@ -126,7 +126,7 @@ fn gossip_with_total_link_loss_cannot_recover_anything() {
     // replies could arrive, but no digest ever reaches anyone.
     let r = run_scenario(&ScenarioConfig {
         link_error_rate: 1.0,
-        ..base(AlgorithmKind::Push)
+        ..base(Algorithm::push())
     });
     assert_eq!(r.events_recovered, 0);
 }
@@ -139,7 +139,7 @@ fn violent_reconfiguration_storm_survives() {
     let r = run_scenario(&ScenarioConfig {
         link_error_rate: 0.0,
         reconfig_interval: Some(SimTime::from_millis(10)),
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     });
     assert!(r.reconfigurations > 100);
     assert!(r.delivery_rate > 0.1);
@@ -149,7 +149,7 @@ fn violent_reconfiguration_storm_survives() {
 fn single_node_network_is_a_degenerate_but_valid_case() {
     let r = run_scenario(&ScenarioConfig {
         nodes: 1,
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     });
     // One dispatcher: everything it publishes for itself arrives.
     assert_eq!(r.delivery_rate, 1.0);
@@ -158,10 +158,10 @@ fn single_node_network_is_a_degenerate_but_valid_case() {
 
 #[test]
 fn two_node_network_works_for_every_algorithm() {
-    for kind in AlgorithmKind::ALL {
+    for kind in Algorithm::paper() {
         let r = run_scenario(&ScenarioConfig {
             nodes: 2,
-            ..base(kind)
+            ..base(kind.clone())
         });
         assert!(
             (0.0..=1.0).contains(&r.delivery_rate),

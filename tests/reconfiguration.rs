@@ -2,11 +2,11 @@
 //! with recovery: stale routes, fragmentation windows, and the
 //! combination of link loss and topology churn.
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, run_scenario_traced, ScenarioConfig, TraceRecord};
 use epidemic_pubsub::sim::SimTime;
 
-fn base(kind: AlgorithmKind) -> ScenarioConfig {
+fn base(kind: Algorithm) -> ScenarioConfig {
     ScenarioConfig {
         nodes: 30,
         duration: SimTime::from_secs(5),
@@ -22,7 +22,7 @@ fn base(kind: AlgorithmKind) -> ScenarioConfig {
 
 #[test]
 fn non_overlapping_reconfigurations_run_to_schedule() {
-    let r = run_scenario(&base(AlgorithmKind::NoRecovery));
+    let r = run_scenario(&base(Algorithm::no_recovery()));
     // 5 s run, one break every 0.2 s until ticks stop renewing.
     assert!(
         (15..=25).contains(&r.reconfigurations),
@@ -35,7 +35,7 @@ fn non_overlapping_reconfigurations_run_to_schedule() {
 fn losses_cluster_around_reconfigurations() {
     // With reliable links, the only losses are reconfiguration
     // windows: the worst bin must be clearly below the average.
-    let r = run_scenario(&base(AlgorithmKind::NoRecovery));
+    let r = run_scenario(&base(Algorithm::no_recovery()));
     assert!(r.delivery_rate < 1.0);
     assert!(
         r.min_bin_rate < r.delivery_rate - 0.02,
@@ -50,15 +50,15 @@ fn publisher_pull_survives_stale_routes() {
     // Publisher-based pull steers digests along recorded routes that
     // reconfigurations keep invalidating; it must still recover
     // events rather than wedging or panicking.
-    let r = run_scenario(&base(AlgorithmKind::PublisherPull));
-    let baseline = run_scenario(&base(AlgorithmKind::NoRecovery));
+    let r = run_scenario(&base(Algorithm::publisher_pull()));
+    let baseline = run_scenario(&base(Algorithm::no_recovery()));
     assert!(r.events_recovered > 0, "no recovery despite losses");
     assert!(r.delivery_rate >= baseline.delivery_rate);
 }
 
 #[test]
 fn combined_pull_masks_reconfigurations_almost_completely() {
-    let r = run_scenario(&base(AlgorithmKind::CombinedPull));
+    let r = run_scenario(&base(Algorithm::combined_pull()));
     assert!(
         r.delivery_rate > 0.95,
         "combined pull delivered only {}",
@@ -68,7 +68,7 @@ fn combined_pull_masks_reconfigurations_almost_completely() {
     // has little to work with; the paper-scale (N = 100) "leveling to
     // ~100%" claim is checked by the fig3b experiment instead. Here we
     // only require the worst spike to be clearly softened.
-    let baseline = run_scenario(&base(AlgorithmKind::NoRecovery));
+    let baseline = run_scenario(&base(Algorithm::no_recovery()));
     assert!(
         r.min_bin_rate > baseline.min_bin_rate,
         "negative spikes not softened: {} vs baseline {}",
@@ -81,7 +81,7 @@ fn combined_pull_masks_reconfigurations_almost_completely() {
 fn overlapping_reconfigurations_fragment_and_heal() {
     let config = ScenarioConfig {
         reconfig_interval: Some(SimTime::from_millis(30)),
-        ..base(AlgorithmKind::Push)
+        ..base(Algorithm::push())
     };
     let (r, trace) = run_scenario_traced(&config, 2_000_000);
     let breaks = trace
@@ -111,10 +111,10 @@ fn loss_and_reconfiguration_compose() {
     // Both loss sources at once: lossy links *and* topology churn.
     let config = ScenarioConfig {
         link_error_rate: 0.05,
-        ..base(AlgorithmKind::CombinedPull)
+        ..base(Algorithm::combined_pull())
     };
     let with_recovery = run_scenario(&config);
-    let without = run_scenario(&config.with_algorithm(AlgorithmKind::NoRecovery));
+    let without = run_scenario(&config.with_algorithm(Algorithm::no_recovery()));
     assert!(with_recovery.delivery_rate > without.delivery_rate + 0.05);
 }
 
@@ -124,7 +124,7 @@ fn repair_heals_delivery_after_the_last_break() {
     let config = ScenarioConfig {
         duration: SimTime::from_secs(6),
         reconfig_interval: Some(SimTime::from_secs(10)), // beyond the run
-        ..base(AlgorithmKind::NoRecovery)
+        ..base(Algorithm::no_recovery())
     };
     let r = run_scenario(&config);
     assert_eq!(r.reconfigurations, 0, "rho beyond duration never fires");

@@ -3,11 +3,11 @@
 //! the pull approach gossips more precise information about the lost
 //! event, and hence exhibits a smaller latency."
 
-use epidemic_pubsub::gossip::AlgorithmKind;
+use epidemic_pubsub::gossip::Algorithm;
 use epidemic_pubsub::harness::{run_scenario, ScenarioConfig, ScenarioResult};
 use epidemic_pubsub::sim::SimTime;
 
-fn run(kind: AlgorithmKind) -> ScenarioResult {
+fn run(kind: Algorithm) -> ScenarioResult {
     run_scenario(&ScenarioConfig {
         nodes: 40,
         duration: SimTime::from_secs(6),
@@ -23,12 +23,12 @@ fn run(kind: AlgorithmKind) -> ScenarioResult {
 #[test]
 fn latencies_are_positive_and_bounded_by_the_run() {
     for kind in [
-        AlgorithmKind::Push,
-        AlgorithmKind::SubscriberPull,
-        AlgorithmKind::CombinedPull,
-        AlgorithmKind::RandomPull,
+        Algorithm::push(),
+        Algorithm::subscriber_pull(),
+        Algorithm::combined_pull(),
+        Algorithm::random_pull(),
     ] {
-        let r = run(kind);
+        let r = run(kind.clone());
         assert!(r.events_recovered > 0, "{kind} recovered nothing");
         assert!(
             r.recovery_latency_mean > 0.0,
@@ -54,8 +54,8 @@ fn end_to_end_latencies_are_same_order_across_strategies() {
     // (source, pattern) stream — so push can come out ahead
     // end-to-end. What must hold for any strategy: latencies of the
     // same order of magnitude, well within the buffer's persistence.
-    let push = run(AlgorithmKind::Push);
-    let pull = run(AlgorithmKind::CombinedPull);
+    let push = run(Algorithm::push());
+    let pull = run(Algorithm::combined_pull());
     let ratio = pull.recovery_latency_mean / push.recovery_latency_mean;
     assert!(
         (0.25..=4.0).contains(&ratio),
@@ -67,7 +67,7 @@ fn end_to_end_latencies_are_same_order_across_strategies() {
 
 #[test]
 fn no_recovery_has_no_latency_samples() {
-    let r = run(AlgorithmKind::NoRecovery);
+    let r = run(Algorithm::no_recovery());
     assert_eq!(r.events_recovered, 0);
     assert_eq!(r.recovery_latency_mean, 0.0);
     assert_eq!(r.recovery_latency_p95, 0.0);
@@ -84,7 +84,7 @@ fn faster_gossip_means_faster_recovery() {
             cooldown: SimTime::from_secs(1),
             publish_rate: 25.0,
             seed: 5,
-            algorithm: AlgorithmKind::CombinedPull,
+            algorithm: Algorithm::combined_pull(),
             ..ScenarioConfig::default()
         }
     });
@@ -97,7 +97,7 @@ fn faster_gossip_means_faster_recovery() {
             cooldown: SimTime::from_secs(1),
             publish_rate: 25.0,
             seed: 5,
-            algorithm: AlgorithmKind::CombinedPull,
+            algorithm: Algorithm::combined_pull(),
             ..ScenarioConfig::default()
         }
     });
