@@ -63,6 +63,9 @@ fn main() -> ExitCode {
         engine_schedule_pop(),
         engine_cancel(),
         table_matching(),
+        table_matching_dense(),
+        detector_record(),
+        cache_digest_build(),
         event_clone_hop(),
         rng_throughput(),
         scenario_mini(),
@@ -115,14 +118,12 @@ fn engine_cancel() -> BenchResult {
     })
 }
 
-/// Match events against a populated subscription table through the
-/// buffer-reuse path used by the dispatcher.
-fn table_matching() -> BenchResult {
+/// The Figure 2 matching workload: 70 patterns with a handful of
+/// subscribed neighbors each (as one dispatcher sees it), and 1000
+/// three-pattern events to match.
+fn matching_workload(table: &mut SubscriptionTable) -> Vec<Event> {
     const EVENTS: u64 = 1_000;
     let mut rng = Rng::from_seed(3);
-    let mut table = SubscriptionTable::new();
-    // 70 patterns, a handful of subscribed neighbors each — the
-    // Figure 2 shape as one dispatcher sees it.
     for p in 0..70u16 {
         for _ in 0..1 + rng.random_below(4) {
             let n = NodeId::new(rng.random_below(10) as u32);
@@ -132,7 +133,7 @@ fn table_matching() -> BenchResult {
             table.insert(PatternId::new(p), Interface::Local);
         }
     }
-    let events: Vec<Event> = (0..EVENTS)
+    (0..EVENTS)
         .map(|i| {
             let mut patterns: Vec<u16> = (0..3).map(|_| rng.random_below(70) as u16).collect();
             patterns.sort_unstable();
@@ -145,16 +146,98 @@ fn table_matching() -> BenchResult {
                     .collect(),
             )
         })
-        .collect();
+        .collect()
+}
+
+/// Match events against a populated subscription table through the
+/// buffer-reuse path used by the dispatcher.
+fn table_matching() -> BenchResult {
+    let mut table = SubscriptionTable::new();
+    let events = matching_workload(&mut table);
     let mut scratch = Vec::new();
     let mut total = 0usize;
-    let result = bench("table_matching", 3, 25, EVENTS, || {
+    let result = bench("table_matching", 3, 25, events.len() as u64, || {
         for event in &events {
             table.matching_neighbors_into(event, Some(NodeId::new(1)), &mut scratch);
             total += scratch.len();
         }
     });
     assert!(total > 0, "matching produced no forwards");
+    result
+}
+
+/// Same workload as `table_matching`, but with the table pre-sized
+/// from the universe and degree as the harness setup path does —
+/// tracks the fully dense configuration explicitly.
+fn table_matching_dense() -> BenchResult {
+    let mut table = SubscriptionTable::with_dims(70, 10);
+    let events = matching_workload(&mut table);
+    let mut scratch = Vec::new();
+    let mut total = 0usize;
+    let result = bench("table_matching_dense", 3, 25, events.len() as u64, || {
+        for event in &events {
+            table.matching_neighbors_into(event, Some(NodeId::new(1)), &mut scratch);
+            total += scratch.len();
+        }
+    });
+    assert!(total > 0, "matching produced no forwards");
+    result
+}
+
+/// Loss-detector bookkeeping on in-order streams: the per-event cost
+/// every subscriber pays on the delivery path.
+fn detector_record() -> BenchResult {
+    const N: u64 = 10_000;
+    // 10 sources × 70 patterns, each (source, pattern) stream advancing
+    // in order — the loss-free steady state, which is the common case.
+    let events: Vec<Event> = (0..N)
+        .map(|i| {
+            let source = NodeId::new((i % 10) as u32);
+            let pattern = PatternId::new(((i / 10) % 70) as u16);
+            let seq = i / 700;
+            Event::new(EventId::new(source, i), vec![(pattern, seq)])
+        })
+        .collect();
+    let mut sink = 0usize;
+    let result = bench("detector_record", 3, 25, N, || {
+        let mut det = eps_pubsub::LossDetector::with_universe(70);
+        for event in &events {
+            det.observe(event, |_| true);
+        }
+        sink += det.stream_count();
+        assert_eq!(det.detected_total(), 0, "in-order streams lose nothing");
+    });
+    assert_eq!(sink % 700, 0, "10 sources x 70 patterns tracked");
+    result
+}
+
+/// Digest construction over a full cache: `ids_matching` for every
+/// pattern in the universe, the per-round cost of the push and pull
+/// digest builders.
+fn cache_digest_build() -> BenchResult {
+    const SWEEPS: u64 = 70;
+    let mut rng = Rng::from_seed(5);
+    let mut cache = eps_pubsub::EventCache::new(1_500);
+    // Fill the cache to capacity β = 1500 with 1–3-pattern events.
+    for i in 0..1_500u64 {
+        let mut patterns: Vec<u16> = (0..3).map(|_| rng.random_below(70) as u16).collect();
+        patterns.sort_unstable();
+        patterns.dedup();
+        cache.insert(Event::new(
+            EventId::new(NodeId::new((i % 10) as u32), i),
+            patterns
+                .into_iter()
+                .map(|p| (PatternId::new(p), i))
+                .collect(),
+        ));
+    }
+    let mut sink = 0usize;
+    let result = bench("cache_digest_build", 3, 25, SWEEPS, || {
+        for p in 0..70u16 {
+            sink += cache.ids_matching(PatternId::new(p)).len();
+        }
+    });
+    assert!(sink > 0, "a full cache yields non-empty digests");
     result
 }
 

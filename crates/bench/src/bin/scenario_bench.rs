@@ -1,0 +1,81 @@
+//! `scenario_bench` — end-to-end wall-clock benchmarks: one full
+//! miniature Figure 2 run per paper algorithm, plus one Figure
+//! 3(b)-style reconfiguration run per algorithm, with no external
+//! dependencies.
+//!
+//! ```text
+//! scenario_bench [--out FILE]    # default: BENCH_scenario.json
+//! ```
+//!
+//! Where `microbench` isolates kernels, this binary times whole
+//! scenario runs — queue, transport, dispatching, recovery, metrics
+//! assembly — so a regression anywhere in the stack shows up even if
+//! every kernel looks fine in isolation. Results (median ns per run)
+//! print to stderr and are written as JSON; `scripts/tier1.sh` diffs
+//! them against the committed baseline via `bench_compare`.
+
+use std::process::ExitCode;
+
+use eps_bench::timing::{bench, to_json, BenchResult};
+use eps_bench::{mini, mini_reconfig};
+use eps_gossip::Algorithm;
+use eps_harness::run_scenario;
+use eps_sim::SimTime;
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_scenario.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(path) => out_path = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("usage: scenario_bench [--out FILE]   (unknown arg '{other}')");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    for algo in Algorithm::paper() {
+        results.push(timed_run(
+            &format!("scenario_fig2/{}", algo.name()),
+            mini(algo),
+        ));
+    }
+    for algo in Algorithm::paper() {
+        results.push(timed_run(
+            &format!("scenario_fig3_reconfig/{}", algo.name()),
+            mini_reconfig(algo, SimTime::from_millis(250)),
+        ));
+    }
+
+    for r in &results {
+        eprintln!(
+            "{:<40} median {:>12.1} ns/run  (min {:.1}, {} samples)",
+            r.name, r.median_ns, r.min_ns, r.samples
+        );
+    }
+    if let Err(e) = std::fs::write(&out_path, to_json(&results)) {
+        eprintln!("error: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+/// Times complete runs of one scenario configuration (median of 5).
+fn timed_run(name: &str, config: eps_harness::ScenarioConfig) -> BenchResult {
+    let mut delivered = 0.0;
+    let result = bench(name, 1, 5, 1, || {
+        delivered = run_scenario(&config).delivery_rate;
+    });
+    assert!(delivered > 0.0, "{name}: nothing was delivered");
+    result
+}

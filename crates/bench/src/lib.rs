@@ -8,12 +8,17 @@
 //! experiment code path and tracking the simulator's performance over
 //! time.
 //!
-//! The `microbench` binary covers the kernel hot paths (engine
-//! schedule/pop, subscription-table matching, event cloning, the RNG)
-//! and one miniature end-to-end run, and writes its results to
-//! `BENCH_kernel.json`. The criterion benches live in the
-//! workspace-excluded `extras/` package, since criterion needs
-//! registry access.
+//! Three binaries: `microbench` covers the kernel hot paths (engine
+//! schedule/pop, subscription-table matching, loss-detector
+//! recording, cache digest reads, event cloning, the RNG) plus one
+//! miniature end-to-end run, writing `BENCH_kernel.json` and
+//! `BENCH_gossip.json`; `scenario_bench` times full miniature
+//! Figure 2 and Figure 3(b) runs per paper algorithm into
+//! `BENCH_scenario.json`; `bench_compare` diffs fresh results against
+//! the committed baselines and flags regressions past a configurable
+//! threshold. `scripts/tier1.sh` chains all three in advisory mode.
+//! The criterion benches live in the workspace-excluded `extras/`
+//! package, since criterion needs registry access.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -166,7 +166,7 @@ mod tests {
         use eps_pubsub::{EventId as EId, PatternId};
         let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
         node.subscribe_local(PatternId::new(1), &[]);
-        let (event, _) = node.publish(vec![PatternId::new(1)]);
+        let (event, _) = node.publish(&[PatternId::new(1)]);
         let mut algo = NoRecovery;
         let actions = algo.on_request(&node, NodeId::new(9), &[event.id()]);
         assert_eq!(actions.len(), 1);

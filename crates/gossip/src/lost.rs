@@ -1,7 +1,7 @@
 //! The `Lost` buffer of the pull algorithms: the set of events a
 //! dispatcher knows it missed, identified by (source, pattern, seq).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use eps_overlay::NodeId;
 use eps_pubsub::{Event, LossRecord, PatternId};
@@ -32,6 +32,15 @@ use eps_pubsub::{Event, LossRecord, PatternId};
 #[derive(Clone, Debug)]
 pub struct LostBuffer {
     entries: BTreeMap<LossRecord, Entry>,
+    /// Per-pattern secondary index over the outstanding entries,
+    /// dense-indexed by `PatternId::index()`. Each set iterates in
+    /// (source, seq) order — exactly the order a pattern-filtered walk
+    /// of `entries` (keyed (source, pattern, seq)) would expose — so
+    /// `for_pattern` and `patterns` need no full-buffer scan.
+    by_pattern: Vec<BTreeSet<(NodeId, u64)>>,
+    /// Outstanding-entry count per source, so `sources` is
+    /// O(#distinct sources) instead of a scan with sort + dedup.
+    source_counts: BTreeMap<NodeId, usize>,
     /// Insertion order for FIFO eviction. May hold stale pairs (entry
     /// recovered or abandoned since); the stamp tells them apart from
     /// a re-added live entry.
@@ -74,6 +83,8 @@ impl LostBuffer {
         assert!(capacity > 0, "capacity must be positive");
         LostBuffer {
             entries: BTreeMap::new(),
+            by_pattern: Vec::new(),
+            source_counts: BTreeMap::new(),
             order: VecDeque::new(),
             next_stamp: 0,
             capacity,
@@ -120,6 +131,30 @@ impl LostBuffer {
         self.evicted_total
     }
 
+    /// Adds `record` to the secondary indexes.
+    fn index_add(&mut self, record: &LossRecord) {
+        let idx = record.pattern.index();
+        if idx >= self.by_pattern.len() {
+            self.by_pattern.resize_with(idx + 1, BTreeSet::new);
+        }
+        self.by_pattern[idx].insert((record.source, record.seq));
+        *self.source_counts.entry(record.source).or_insert(0) += 1;
+    }
+
+    /// Removes `record` from the secondary indexes (it must have been
+    /// indexed).
+    fn index_remove(&mut self, record: &LossRecord) {
+        self.by_pattern[record.pattern.index()].remove(&(record.source, record.seq));
+        let count = self
+            .source_counts
+            .get_mut(&record.source)
+            .expect("indexed record has a source count");
+        *count -= 1;
+        if *count == 0 {
+            self.source_counts.remove(&record.source);
+        }
+    }
+
     /// Records a detected loss. Duplicate records are ignored. Over
     /// capacity, the oldest outstanding entry is evicted to make room.
     pub fn add(&mut self, record: LossRecord) {
@@ -129,6 +164,7 @@ impl LostBuffer {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
         self.entries.insert(record, Entry { attempts: 0, stamp });
+        self.index_add(&record);
         self.order.push_back((record, stamp));
         self.added_total += 1;
         while self.entries.len() > self.capacity {
@@ -143,6 +179,7 @@ impl LostBuffer {
             // queued.
             if self.entries.get(&record).is_some_and(|e| e.stamp == stamp) {
                 self.entries.remove(&record);
+                self.index_remove(&record);
                 self.evicted_total += 1;
                 return;
             }
@@ -160,6 +197,7 @@ impl LostBuffer {
                 seq,
             };
             if self.entries.remove(&record).is_some() {
+                self.index_remove(&record);
                 self.recovered_total += 1;
             }
         }
@@ -170,45 +208,64 @@ impl LostBuffer {
         self.entries.contains_key(record)
     }
 
-    /// The distinct patterns with outstanding entries, in order.
+    /// The distinct patterns with outstanding entries, in order
+    /// (ascending pattern id — dense index order).
     pub fn patterns(&self) -> Vec<PatternId> {
-        let mut out: Vec<PatternId> = self.entries.keys().map(|r| r.pattern).collect();
-        out.sort();
-        out.dedup();
-        out
+        self.by_pattern
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(idx, _)| PatternId::new(idx as u16))
+            .collect()
     }
 
-    /// The distinct sources with outstanding entries, in order.
+    /// The distinct sources with outstanding entries, in order
+    /// (ascending node id — `BTreeMap` key order).
     pub fn sources(&self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self.entries.keys().map(|r| r.source).collect();
-        out.sort();
-        out.dedup();
-        out
+        self.source_counts.keys().copied().collect()
     }
 
     /// Selects up to `limit` outstanding entries for `pattern`,
     /// charging one attempt to each selected entry and dropping the
     /// ones that exhausted their budget (they are *not* returned).
+    /// Entries come back in (source, seq) order — the order a
+    /// pattern-filtered walk of the primary map would produce.
     pub fn for_pattern(&mut self, pattern: PatternId, limit: usize) -> Vec<LossRecord> {
         let keys: Vec<LossRecord> = self
-            .entries
-            .keys()
-            .filter(|r| r.pattern == pattern)
+            .by_pattern
+            .get(pattern.index())
+            .into_iter()
+            .flatten()
             .take(limit)
-            .copied()
+            .map(|&(source, seq)| LossRecord {
+                source,
+                pattern,
+                seq,
+            })
             .collect();
         self.charge(keys)
     }
 
     /// Selects up to `limit` outstanding entries from `source`,
-    /// charging attempts as in [`LostBuffer::for_pattern`].
+    /// charging attempts as in [`LostBuffer::for_pattern`]. Served by
+    /// a range query: `LossRecord` orders by (source, pattern, seq),
+    /// so one source's entries are contiguous in the primary map.
     pub fn for_source(&mut self, source: NodeId, limit: usize) -> Vec<LossRecord> {
+        let lo = LossRecord {
+            source,
+            pattern: PatternId::new(0),
+            seq: 0,
+        };
+        let hi = LossRecord {
+            source,
+            pattern: PatternId::new(u16::MAX),
+            seq: u64::MAX,
+        };
         let keys: Vec<LossRecord> = self
             .entries
-            .keys()
-            .filter(|r| r.source == source)
+            .range(lo..=hi)
             .take(limit)
-            .copied()
+            .map(|(&key, _)| key)
             .collect();
         self.charge(keys)
     }
@@ -230,6 +287,7 @@ impl LostBuffer {
             entry.attempts += 1;
             if entry.attempts >= self.max_attempts {
                 self.entries.remove(&key);
+                self.index_remove(&key);
                 self.abandoned_total += 1;
             }
             out.push(key);
@@ -389,5 +447,35 @@ mod tests {
     #[should_panic]
     fn zero_capacity_panics() {
         LostBuffer::with_capacity(10, 0);
+    }
+
+    #[test]
+    fn indexes_stay_exact_across_recover_abandon_evict() {
+        let mut lost = LostBuffer::with_capacity(2, 4);
+        for (s, p, q) in [(0, 1, 0), (0, 2, 1), (3, 1, 4), (3, 3, 0), (5, 2, 9)] {
+            lost.add(rec(s, p, q)); // 5th add evicts the oldest
+        }
+        assert_eq!(lost.evicted_total(), 1);
+        assert_eq!(
+            lost.patterns(),
+            vec![PatternId::new(1), PatternId::new(2), PatternId::new(3)]
+        );
+        assert_eq!(
+            lost.sources(),
+            vec![NodeId::new(0), NodeId::new(3), NodeId::new(5)]
+        );
+        // Recover one entry: its pattern had only that entry left.
+        let event = Event::new(
+            EventId::new(NodeId::new(3), 0),
+            vec![(PatternId::new(3), 0)],
+        );
+        lost.clear_for_event(&event);
+        assert_eq!(lost.patterns(), vec![PatternId::new(1), PatternId::new(2)]);
+        // Abandon p2 entries via attempts (max_attempts = 2).
+        lost.for_pattern(PatternId::new(2), 10);
+        lost.for_pattern(PatternId::new(2), 10);
+        assert_eq!(lost.patterns(), vec![PatternId::new(1)]);
+        assert_eq!(lost.sources(), vec![NodeId::new(3)]);
+        assert_eq!(lost.for_source(NodeId::new(3), 10), vec![rec(3, 1, 4)]);
     }
 }

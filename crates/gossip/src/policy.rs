@@ -300,6 +300,8 @@ pub(crate) fn serve_from_cache(
 /// requests the missing events from the gossiper out-of-band.
 #[derive(Clone, Debug, Default)]
 pub struct PositiveDigest {
+    /// Membership checks only — never iterated, so the HashSet's
+    /// arbitrary ordering can't leak into any output.
     requested: HashSet<EventId>,
     requests_since_round: u64,
     idle_rounds: u32,
@@ -1105,7 +1107,7 @@ mod tests {
         let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
         let p = PatternId::new(1);
         node.subscribe_local(p, &[]);
-        let (event, _) = node.publish(vec![p]);
+        let (event, _) = node.publish(&[p]);
         let mut digest = PositiveDigest::new();
         assert_eq!(digest.pattern_candidates(&node), vec![p]);
         match digest.build_for_pattern(&node, p, 128) {
@@ -1214,7 +1216,7 @@ mod tests {
         let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
         let p = PatternId::new(1);
         node.subscribe_local(p, &[]);
-        node.publish(vec![p]);
+        node.publish(&[p]);
         let mut digest = AlternatingDigest::new(&cfg());
         digest.on_losses(&[record(7, 2, 0)]);
         digest.begin_round();

@@ -77,6 +77,9 @@ pub struct SimNode {
     workload_rng: Rng,
     gossip_delay: SimTime,
     subscriptions: Vec<PatternId>,
+    /// Reusable buffer for drawn event content, so the publish tick
+    /// does not allocate in steady state.
+    content_scratch: Vec<PatternId>,
 }
 
 impl SimNode {
@@ -99,6 +102,7 @@ impl SimNode {
             workload_rng,
             gossip_delay: gossip_interval,
             subscriptions,
+            content_scratch: Vec::new(),
         }
     }
 
@@ -208,9 +212,10 @@ impl SimNode {
         publish_rate: f64,
         ctx: &mut NodeCtx,
     ) -> (Vec<Outgoing>, SimTime) {
-        let content = ctx.space.random_content(&mut self.workload_rng);
-        let expected = count_subscribers(ctx.subscribers_of, &content);
-        let (event, receipt) = self.dispatcher.publish(content);
+        ctx.space
+            .random_content_into(&mut self.workload_rng, &mut self.content_scratch);
+        let expected = count_subscribers(ctx.subscribers_of, &self.content_scratch);
+        let (event, receipt) = self.dispatcher.publish(&self.content_scratch);
         ctx.tracker.published(event.id(), ctx.now, expected);
         ctx.record(TraceRecord::Publish {
             at: ctx.now,

@@ -117,6 +117,11 @@ impl Scenario {
             cache_own_published: true,
             record_routes: config.algorithm.needs_route_recording(),
             eviction: config.eviction,
+            // Size the dense per-pattern tables and neighbor-slot
+            // registries from the scenario's pattern space and overlay
+            // degree — never from hardcoded paper constants.
+            pattern_universe: space.universe() as usize,
+            degree_hint: config.max_degree,
         };
 
         // Tie the `Lost` capacity bound to the event-buffer size β
@@ -263,10 +268,11 @@ impl Scenario {
     }
 
     fn handle_deliver(&mut self, from: NodeId, to: NodeId, env: Envelope) {
-        let neighbors = self.topology.neighbors(to).to_vec();
         let mut ctx = NodeCtx {
             now: self.engine.now(),
-            neighbors: &neighbors,
+            // Borrowed straight from the topology (a disjoint field):
+            // no per-message Vec allocation on the delivery hot path.
+            neighbors: self.topology.neighbors(to),
             space: &self.space,
             subscribers_of: &self.subscribers_of,
             gossip_rng: &mut self.gossip_rng,
@@ -279,10 +285,10 @@ impl Scenario {
     }
 
     fn handle_publish_tick(&mut self, node: NodeId) {
-        let neighbors = self.topology.neighbors(node).to_vec();
         let mut ctx = NodeCtx {
             now: self.engine.now(),
-            neighbors: &neighbors,
+            // Borrowed, not copied — see `handle_deliver`.
+            neighbors: self.topology.neighbors(node),
             space: &self.space,
             subscribers_of: &self.subscribers_of,
             gossip_rng: &mut self.gossip_rng,
@@ -300,10 +306,10 @@ impl Scenario {
     }
 
     fn handle_gossip_tick(&mut self, node: NodeId) {
-        let neighbors = self.topology.neighbors(node).to_vec();
         let mut ctx = NodeCtx {
             now: self.engine.now(),
-            neighbors: &neighbors,
+            // Borrowed, not copied — see `handle_deliver`.
+            neighbors: self.topology.neighbors(node),
             space: &self.space,
             subscribers_of: &self.subscribers_of,
             gossip_rng: &mut self.gossip_rng,

@@ -93,6 +93,8 @@ impl Transmission {
 /// direction is busy starts serializing when the previous one ends.
 #[derive(Clone, Debug, Default)]
 pub struct LinkTable {
+    /// Keyed lookups only — never iterated, so the HashMap's
+    /// arbitrary ordering can't leak into any output.
     busy_until: HashMap<(NodeId, NodeId), SimTime>,
     transmitted: u64,
     lost: u64,

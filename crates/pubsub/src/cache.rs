@@ -64,6 +64,9 @@ enum PolicyState {
     },
     Random {
         live: Vec<EventId>,
+        /// Keyed lookups only — never iterated, so the HashMap's
+        /// arbitrary ordering can't leak into any output (victims are
+        /// drawn from `live` by RNG index).
         pos: HashMap<EventId, usize>,
         rng: Rng,
     },
@@ -170,10 +173,20 @@ pub struct EventCache {
     owner: Option<NodeId>,
     policy: PolicyState,
     // Insertion order for iteration; may contain evicted ids, which
-    // are skipped and compacted away amortized.
+    // are skipped and compacted away amortized. This deque — not the
+    // `events` HashMap — is the only iteration order ever exposed.
     insertion: VecDeque<EventId>,
+    // Keyed lookups only (iteration goes through `insertion`), so the
+    // HashMap's arbitrary ordering can't leak into any output.
     events: HashMap<EventId, Event>,
+    // Keyed lookups only — never iterated (see `events`).
     by_pattern_seq: HashMap<(NodeId, PatternId, u64), EventId>,
+    // Per-pattern index over the live cache contents, dense-indexed by
+    // `PatternId::index()` and kept exact (updated on insert and
+    // eviction), each list in insertion order: `ids_matching` — the
+    // digest-construction hot path — is a slice copy instead of a scan
+    // of the whole cache.
+    by_pattern: Vec<Vec<EventId>>,
     inserted_total: u64,
     evicted_total: u64,
 }
@@ -218,6 +231,7 @@ impl Clone for EventCache {
             insertion: self.insertion.clone(),
             events: self.events.clone(),
             by_pattern_seq: self.by_pattern_seq.clone(),
+            by_pattern: self.by_pattern.clone(),
             inserted_total: self.inserted_total,
             evicted_total: self.evicted_total,
         }
@@ -250,6 +264,7 @@ impl EventCache {
             insertion: VecDeque::new(),
             events: HashMap::new(),
             by_pattern_seq: HashMap::new(),
+            by_pattern: Vec::new(),
             inserted_total: 0,
             evicted_total: 0,
         }
@@ -295,6 +310,11 @@ impl EventCache {
         let id = event.id();
         for &(p, seq) in event.pattern_seqs() {
             self.by_pattern_seq.insert((id.source(), p, seq), id);
+            let idx = p.index();
+            if idx >= self.by_pattern.len() {
+                self.by_pattern.resize_with(idx + 1, Vec::new);
+            }
+            self.by_pattern[idx].push(id);
         }
         let is_own = self.owner == Some(id.source());
         self.policy.note_insert(id, is_own);
@@ -316,6 +336,9 @@ impl EventCache {
         if let Some(event) = self.events.remove(&id) {
             for &(p, seq) in event.pattern_seqs() {
                 self.by_pattern_seq.remove(&(id.source(), p, seq));
+                if let Some(list) = self.by_pattern.get_mut(p.index()) {
+                    list.retain(|&x| x != id);
+                }
             }
         }
     }
@@ -345,13 +368,14 @@ impl EventCache {
     }
 
     /// Ids of all cached events matching `pattern`, in insertion order
-    /// — the positive digest content of the push algorithm.
+    /// — the positive digest content of the push algorithm. Served
+    /// from the exact per-pattern index: a copy of the live id list,
+    /// not a scan of the whole cache.
     pub fn ids_matching(&self, pattern: PatternId) -> Vec<EventId> {
-        self.insertion
-            .iter()
-            .filter(|id| self.events.get(id).is_some_and(|e| e.matches(pattern)))
-            .copied()
-            .collect()
+        self.by_pattern
+            .get(pattern.index())
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Iterates over cached events in insertion order.
@@ -429,6 +453,26 @@ mod tests {
                 EventId::new(NodeId::new(0), 2)
             ]
         );
+    }
+
+    #[test]
+    fn ids_matching_tracks_eviction_exactly() {
+        let mut c = EventCache::new(2);
+        c.insert(ev(0, 0, &[(1, 0)]));
+        c.insert(ev(0, 1, &[(1, 1), (2, 0)]));
+        c.insert(ev(0, 2, &[(2, 1)])); // evicts seq 0
+        assert_eq!(
+            c.ids_matching(PatternId::new(1)),
+            vec![EventId::new(NodeId::new(0), 1)]
+        );
+        assert_eq!(
+            c.ids_matching(PatternId::new(2)),
+            vec![
+                EventId::new(NodeId::new(0), 1),
+                EventId::new(NodeId::new(0), 2)
+            ]
+        );
+        assert!(c.ids_matching(PatternId::new(3)).is_empty());
     }
 
     #[test]

@@ -6,6 +6,17 @@
 //! in a loss-free world — the seq numbers `0, 1, 2, …` for every
 //! (source, p) stream; a jump reveals exactly which events were lost
 //! (paper, Section III-B).
+//!
+//! # Dense layout
+//!
+//! Expectations live in per-source dense rows indexed by
+//! [`PatternId::index`], not a `HashMap<(NodeId, PatternId), u64>`:
+//! observing an event costs one source-slot lookup plus an array index
+//! per pattern. A cell value of `0` means "never received"; occupied
+//! cells store the next expected sequence number, which is always
+//! `seq + 1 ≥ 1`, so the sentinel never collides with real state and
+//! [`LossDetector::expected`] keeps its "zero if nothing received"
+//! contract for free.
 
 use std::collections::HashMap;
 
@@ -53,14 +64,46 @@ impl std::fmt::Display for LossRecord {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct LossDetector {
-    expected: HashMap<(NodeId, PatternId), u64>,
+    /// Initial row width in patterns (the universe size hint); rows
+    /// still grow past it if a larger pattern index is observed.
+    width: usize,
+    /// Source slot → dense per-pattern expectation row. Cell `0` =
+    /// stream never received; otherwise the next expected sequence
+    /// number (always ≥ 1, see the module docs).
+    rows: Vec<Vec<u64>>,
+    /// Source → row slot. Lookup-only (never iterated), so the
+    /// HashMap's arbitrary ordering can't leak into any output.
+    source_slots: HashMap<NodeId, usize>,
+    /// Number of occupied cells across all rows (`stream_count`).
+    streams: usize,
     detected_total: u64,
 }
 
 impl LossDetector {
-    /// Creates a detector with no history.
+    /// Creates a detector with no history whose rows grow on demand.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a detector pre-sizing each source's expectation row for
+    /// `universe` patterns (from [`crate::PatternSpace::universe`]).
+    /// Purely an allocation hint — behavior is identical to
+    /// [`LossDetector::new`].
+    pub fn with_universe(universe: usize) -> Self {
+        LossDetector {
+            width: universe,
+            ..Self::default()
+        }
+    }
+
+    /// The row slot for `source`, registering it on first use.
+    fn slot_for(&mut self, source: NodeId) -> usize {
+        let rows = &mut self.rows;
+        let width = self.width;
+        *self.source_slots.entry(source).or_insert_with(|| {
+            rows.push(vec![0; width]);
+            rows.len() - 1
+        })
     }
 
     /// Observes a received event. `is_relevant` says which patterns
@@ -94,38 +137,53 @@ impl LossDetector {
     ) -> Vec<LossRecord> {
         let mut losses = Vec::new();
         let source = event.source();
+        // The source's row slot, resolved lazily so an event with no
+        // relevant patterns registers nothing (as before).
+        let mut slot: Option<usize> = None;
         for &(pattern, seq) in event.pattern_seqs() {
             if !is_relevant(pattern) {
                 continue;
             }
-            match self.expected.entry((source, pattern)) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    if is_late(pattern) {
-                        slot.insert(seq + 1);
-                        continue;
-                    }
-                    let slot = slot.insert(0);
-                    for missing in 0..seq {
+            let s = match slot {
+                Some(s) => s,
+                None => {
+                    let s = self.slot_for(source);
+                    slot = Some(s);
+                    s
+                }
+            };
+            let idx = pattern.index();
+            let row = &mut self.rows[s];
+            if idx >= row.len() {
+                row.resize(idx + 1, 0);
+            }
+            let cell = &mut row[idx];
+            if *cell == 0 {
+                // Stream never received before.
+                self.streams += 1;
+                if is_late(pattern) {
+                    *cell = seq + 1;
+                    continue;
+                }
+                for missing in 0..seq {
+                    losses.push(LossRecord {
+                        source,
+                        pattern,
+                        seq: missing,
+                    });
+                }
+                *cell = seq + 1;
+            } else {
+                let expected = *cell;
+                if seq >= expected {
+                    for missing in expected..seq {
                         losses.push(LossRecord {
                             source,
                             pattern,
                             seq: missing,
                         });
                     }
-                    *slot = seq + 1;
-                }
-                std::collections::hash_map::Entry::Occupied(mut slot) => {
-                    let expected = slot.get_mut();
-                    if seq >= *expected {
-                        for missing in *expected..seq {
-                            losses.push(LossRecord {
-                                source,
-                                pattern,
-                                seq: missing,
-                            });
-                        }
-                        *expected = seq + 1;
-                    }
+                    *cell = seq + 1;
                 }
             }
         }
@@ -138,13 +196,25 @@ impl LossDetector {
     /// re-subscription does not inherit stale expectations and report
     /// the unsubscribed gap as losses.
     pub fn forget_pattern(&mut self, pattern: PatternId) {
-        self.expected.retain(|&(_, p), _| p != pattern);
+        let idx = pattern.index();
+        for row in &mut self.rows {
+            if let Some(cell) = row.get_mut(idx) {
+                if *cell != 0 {
+                    *cell = 0;
+                    self.streams -= 1;
+                }
+            }
+        }
     }
 
     /// The next expected sequence number for a (source, pattern)
     /// stream; zero if nothing was ever received.
     pub fn expected(&self, source: NodeId, pattern: PatternId) -> u64 {
-        self.expected.get(&(source, pattern)).copied().unwrap_or(0)
+        self.source_slots
+            .get(&source)
+            .and_then(|&s| self.rows[s].get(pattern.index()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total number of losses ever detected.
@@ -154,7 +224,7 @@ impl LossDetector {
 
     /// Number of (source, pattern) streams being tracked.
     pub fn stream_count(&self) -> usize {
-        self.expected.len()
+        self.streams
     }
 }
 
@@ -232,5 +302,29 @@ mod tests {
         assert_eq!(losses[0].pattern, PatternId::new(1));
         assert_eq!(det.expected(NodeId::new(0), PatternId::new(1)), 2);
         assert_eq!(det.expected(NodeId::new(0), PatternId::new(2)), 1);
+    }
+
+    #[test]
+    fn forget_pattern_resets_streams_and_count() {
+        let mut det = LossDetector::with_universe(8);
+        det.observe(&ev(0, 0, &[(1, 0), (2, 0)]), |_| true);
+        det.observe(&ev(7, 0, &[(1, 4)]), |_| true);
+        assert_eq!(det.stream_count(), 3);
+        det.forget_pattern(PatternId::new(1));
+        assert_eq!(det.stream_count(), 1);
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(1)), 0);
+        assert_eq!(det.expected(NodeId::new(7), PatternId::new(1)), 0);
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(2)), 1);
+        // A fresh observation re-baselines from scratch.
+        let losses = det.observe(&ev(0, 1, &[(1, 3)]), |_| true);
+        assert_eq!(losses.len(), 3);
+    }
+
+    #[test]
+    fn rows_grow_past_the_universe_hint() {
+        let mut det = LossDetector::with_universe(2);
+        let losses = det.observe(&ev(0, 0, &[(500, 1)]), |_| true);
+        assert_eq!(losses.len(), 1);
+        assert_eq!(det.expected(NodeId::new(0), PatternId::new(500)), 2);
     }
 }

@@ -32,6 +32,14 @@ pub struct DispatcherConfig {
     /// (the paper uses FIFO; alternatives support its buffer-policy
     /// investigation).
     pub eviction: EvictionPolicy,
+    /// Pattern-universe size (Π, from
+    /// [`crate::PatternSpace::universe`]): pre-sizes the dense
+    /// per-pattern tables. `0` means "unknown, grow on demand" —
+    /// behavior is identical either way.
+    pub pattern_universe: usize,
+    /// Expected overlay degree: pre-sizes the neighbor-slot registry.
+    /// `0` means "unknown, grow on demand".
+    pub degree_hint: usize,
 }
 
 impl Default for DispatcherConfig {
@@ -41,6 +49,8 @@ impl Default for DispatcherConfig {
             cache_own_published: false,
             record_routes: false,
             eviction: EvictionPolicy::Fifo,
+            pattern_universe: 0,
+            degree_hint: 0,
         }
     }
 }
@@ -84,6 +94,8 @@ pub struct EventReceipt {
 /// events (the `Routes` buffer of publisher-based pull).
 #[derive(Clone, Debug, Default)]
 pub struct RouteBook {
+    /// Keyed lookups only — this map is never iterated, so the
+    /// HashMap's arbitrary ordering can't leak into any output.
     routes: HashMap<NodeId, Vec<NodeId>>,
 }
 
@@ -145,7 +157,7 @@ impl RouteBook {
 /// d0.on_subscribe(p, b, &[b]);
 ///
 /// // d0 publishes an event matching pattern 5: it is routed to d1.
-/// let (event, _) = d0.publish(vec![p]);
+/// let (event, _) = d0.publish(&[p]);
 /// let receipt = d1.on_event(event, Some(a));
 /// assert!(receipt.delivered);
 /// ```
@@ -157,10 +169,16 @@ pub struct Dispatcher {
     cache: EventCache,
     detector: LossDetector,
     routes: RouteBook,
+    /// Membership checks only — never iterated, so the HashSet's
+    /// arbitrary ordering can't leak into any output.
     seen: HashSet<EventId>,
     next_event_seq: u64,
-    pattern_counters: HashMap<PatternId, u64>,
+    /// Per-pattern publication sequence counters, dense-indexed by
+    /// [`PatternId::index`].
+    pattern_counters: Vec<u64>,
+    /// Membership checks only — never iterated (see `seen`).
     subs_sent: HashSet<(PatternId, NodeId)>,
+    /// Membership checks only — never iterated (see `seen`).
     late_patterns: HashSet<PatternId>,
     delivered_total: u64,
     published_total: u64,
@@ -175,13 +193,13 @@ impl Dispatcher {
         Dispatcher {
             id,
             config,
-            table: SubscriptionTable::new(),
+            table: SubscriptionTable::with_dims(config.pattern_universe, config.degree_hint),
             cache: EventCache::with_policy(config.cache_capacity, config.eviction, Some(id)),
-            detector: LossDetector::new(),
+            detector: LossDetector::with_universe(config.pattern_universe),
             routes: RouteBook::default(),
             seen: HashSet::new(),
             next_event_seq: 0,
-            pattern_counters: HashMap::new(),
+            pattern_counters: vec![0; config.pattern_universe],
             subs_sent: HashSet::new(),
             late_patterns: HashSet::new(),
             delivered_total: 0,
@@ -348,7 +366,8 @@ impl Dispatcher {
     /// reconfigured and subscription routes must be rebuilt.
     pub fn reset_routing_state(&mut self) {
         let locals: Vec<PatternId> = self.table.local_patterns().collect();
-        self.table = SubscriptionTable::new();
+        self.table =
+            SubscriptionTable::with_dims(self.config.pattern_universe, self.config.degree_hint);
         for p in locals {
             self.table.insert(p, Interface::Local);
         }
@@ -365,14 +384,18 @@ impl Dispatcher {
     /// # Panics
     ///
     /// Panics if `content` is empty, unsorted, or has duplicates
-    /// (produce it with [`crate::PatternSpace::random_content`]).
-    pub fn publish(&mut self, content: Vec<PatternId>) -> (Event, EventReceipt) {
+    /// (produce it with [`crate::PatternSpace::random_content`] or the
+    /// allocation-free [`crate::PatternSpace::random_content_into`]).
+    pub fn publish(&mut self, content: &[PatternId]) -> (Event, EventReceipt) {
         let pattern_seqs: Vec<(PatternId, u64)> = content
-            .into_iter()
-            .map(|p| {
-                let counter = self.pattern_counters.entry(p).or_insert(0);
-                let seq = *counter;
-                *counter += 1;
+            .iter()
+            .map(|&p| {
+                let idx = p.index();
+                if idx >= self.pattern_counters.len() {
+                    self.pattern_counters.resize(idx + 1, 0);
+                }
+                let seq = self.pattern_counters[idx];
+                self.pattern_counters[idx] += 1;
                 (p, seq)
             })
             .collect();
@@ -519,8 +542,8 @@ mod tests {
     fn publish_assigns_per_pattern_sequences() {
         let mut d = Dispatcher::new(NodeId::new(0), cfg());
         let (p, q) = (PatternId::new(1), PatternId::new(2));
-        let (e1, _) = d.publish(vec![p]);
-        let (e2, _) = d.publish(vec![p, q]);
+        let (e1, _) = d.publish(&[p]);
+        let (e2, _) = d.publish(&[p, q]);
         assert_eq!(e1.seq_for(p), Some(0));
         assert_eq!(e2.seq_for(p), Some(1));
         assert_eq!(e2.seq_for(q), Some(0));
@@ -533,7 +556,7 @@ mod tests {
         let mut d = Dispatcher::new(NodeId::new(0), cfg());
         let p = PatternId::new(1);
         d.subscribe_local(p, &[]);
-        let (e, receipt) = d.publish(vec![p]);
+        let (e, receipt) = d.publish(&[p]);
         assert!(receipt.delivered);
         assert!(d.cache().contains(e.id()));
         assert_eq!(d.delivered_total(), 1);
@@ -543,7 +566,7 @@ mod tests {
     fn publisher_caching_is_config_gated() {
         let p = PatternId::new(1);
         let mut plain = Dispatcher::new(NodeId::new(0), cfg());
-        let (e, _) = plain.publish(vec![p]);
+        let (e, _) = plain.publish(&[p]);
         assert!(!plain.cache().contains(e.id()));
 
         let mut caching = Dispatcher::new(
@@ -553,7 +576,7 @@ mod tests {
                 ..cfg()
             },
         );
-        let (e, _) = caching.publish(vec![p]);
+        let (e, _) = caching.publish(&[p]);
         assert!(caching.cache().contains(e.id()));
     }
 

@@ -117,12 +117,23 @@ impl PatternSpace {
     /// would produce), deduplicated and sorted. The result has between
     /// 1 and `max_patterns_per_event` distinct patterns.
     pub fn random_content(&self, rng: &mut Rng) -> Vec<PatternId> {
-        let mut content: Vec<PatternId> = (0..self.max_patterns_per_event)
-            .map(|_| PatternId::new(rng.random_range(0..self.universe)))
-            .collect();
-        content.sort();
-        content.dedup();
+        let mut content = Vec::with_capacity(self.max_patterns_per_event);
+        self.random_content_into(rng, &mut content);
         content
+    }
+
+    /// Allocation-free variant of [`PatternSpace::random_content`]:
+    /// clears and refills `out`, drawing from `rng` in exactly the
+    /// same order, so a publisher ticking at the paper's rates reuses
+    /// one buffer instead of allocating per publication.
+    pub fn random_content_into(&self, rng: &mut Rng, out: &mut Vec<PatternId>) {
+        out.clear();
+        out.extend(
+            (0..self.max_patterns_per_event)
+                .map(|_| PatternId::new(rng.random_range(0..self.universe))),
+        );
+        out.sort();
+        out.dedup();
     }
 
     /// Draws `count` *distinct* patterns for a subscriber (the paper's
@@ -189,6 +200,19 @@ mod tests {
             }
         }
         assert!(hit.iter().all(|&h| h), "uniform draws should cover Π");
+    }
+
+    #[test]
+    fn random_content_into_matches_allocating_variant() {
+        let s = PatternSpace::paper_default();
+        let mut rng_a = RngFactory::new(9).stream("content");
+        let mut rng_b = RngFactory::new(9).stream("content");
+        let mut buf = vec![PatternId::new(99)]; // stale content is cleared
+        for _ in 0..200 {
+            let fresh = s.random_content(&mut rng_a);
+            s.random_content_into(&mut rng_b, &mut buf);
+            assert_eq!(fresh, buf, "identical draws, identical content");
+        }
     }
 
     #[test]

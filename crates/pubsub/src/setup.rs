@@ -206,7 +206,7 @@ mod tests {
         flood_subscriptions(&mut ds, &topo);
 
         // Publish at node 0 and deliver breadth-first with no loss.
-        let (event, receipt) = ds[0].publish(vec![p]);
+        let (event, receipt) = ds[0].publish(&[p]);
         let mut queue: VecDeque<(NodeId, NodeId, Event)> = receipt
             .forwards
             .into_iter()

@@ -7,8 +7,28 @@
 //! Events are forwarded along every interface whose pattern matches,
 //! except the one they arrived from — laying event routes on the
 //! reverse paths of subscription propagation.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! # Dense layout
+//!
+//! The paper's workload is a dense, small universe (Π = 70 patterns,
+//! ≤ 3 patterns per event, overlay degree ≤ 10), and matching an event
+//! against the table is the per-hop hot path of the whole simulator.
+//! The table is therefore *slot-indexed* rather than tree-shaped:
+//!
+//! - each neighboring dispatcher gets a *slot* in a per-table registry
+//!   kept sorted by [`NodeId`], so slot order **is** id order;
+//! - each pattern is a dense [`PatternId::index`]-addressed entry
+//!   holding a local-subscriber flag and a *bitset* over the neighbor
+//!   slots ([`NeighborMask`], one inline word plus a spill vector for
+//!   degrees above 64);
+//! - matching an event is an OR of at most `max_patterns_per_event`
+//!   masks followed by set-bit iteration — no tree walk, no sort, no
+//!   dedup, no allocation.
+//!
+//! Every observable iteration order of the previous `BTreeMap`-based
+//! table is preserved: neighbors enumerate in ascending id order
+//! (sorted slots), patterns in ascending pattern-id order (dense index
+//! order). The golden determinism suite pins this bit-for-bit.
 
 use eps_overlay::NodeId;
 
@@ -25,7 +45,102 @@ pub enum Interface {
     Neighbor(NodeId),
 }
 
-/// A dispatcher's subscription table.
+/// A bitset over the neighbor slots of one [`SubscriptionTable`].
+///
+/// The first 64 slots live in an inline word (`w0`) — the common case,
+/// since the paper's overlays have degree ≤ 10 — and slots beyond that
+/// spill into a vector of further words, so any degree is handled
+/// without a hardcoded 64-neighbor assumption.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct NeighborMask {
+    w0: u64,
+    rest: Vec<u64>,
+}
+
+impl NeighborMask {
+    fn set(&mut self, bit: usize) {
+        if bit < 64 {
+            self.w0 |= 1u64 << bit;
+        } else {
+            let word = bit / 64 - 1;
+            if word >= self.rest.len() {
+                self.rest.resize(word + 1, 0);
+            }
+            self.rest[word] |= 1u64 << (bit % 64);
+        }
+    }
+
+    fn clear(&mut self, bit: usize) {
+        if bit < 64 {
+            self.w0 &= !(1u64 << bit);
+        } else if let Some(word) = self.rest.get_mut(bit / 64 - 1) {
+            *word &= !(1u64 << (bit % 64));
+        }
+    }
+
+    fn test(&self, bit: usize) -> bool {
+        if bit < 64 {
+            self.w0 & (1u64 << bit) != 0
+        } else {
+            self.rest
+                .get(bit / 64 - 1)
+                .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.w0 == 0 && self.rest.iter().all(|&w| w == 0)
+    }
+
+    /// Set bits in ascending order. Since slots are kept sorted by
+    /// node id, this is ascending-[`NodeId`] order.
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::once(self.w0)
+            .chain(self.rest.iter().copied())
+            .enumerate()
+            .flat_map(|(wi, mut w)| {
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        return None;
+                    }
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                })
+            })
+    }
+
+    /// Rebuilds the mask, sending each set bit `b` to `f(b)` (`None`
+    /// drops it). Used only when the slot registry is renumbered — a
+    /// setup or reconfiguration event, never the per-event hot path.
+    fn remap<F: Fn(usize) -> Option<usize>>(&mut self, f: F) {
+        let bits: Vec<usize> = self.iter().collect();
+        self.w0 = 0;
+        self.rest.clear();
+        for b in bits {
+            if let Some(nb) = f(b) {
+                self.set(nb);
+            }
+        }
+    }
+}
+
+/// One pattern's row: the local-subscriber flag plus the neighbor
+/// bitset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct PatternEntry {
+    local: bool,
+    mask: NeighborMask,
+}
+
+impl PatternEntry {
+    fn is_empty(&self) -> bool {
+        !self.local && self.mask.is_empty()
+    }
+}
+
+/// A dispatcher's subscription table (dense slot-indexed layout; see
+/// the module docs).
 ///
 /// # Examples
 ///
@@ -40,62 +155,161 @@ pub enum Interface {
 /// assert!(table.has_local(p));
 /// assert_eq!(table.neighbors_for(p, None), vec![NodeId::new(7)]);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct SubscriptionTable {
-    entries: BTreeMap<PatternId, BTreeSet<Interface>>,
+    /// Slot → neighbor id, kept sorted ascending so that set-bit
+    /// iteration enumerates neighbors in id order.
+    slots: Vec<NodeId>,
+    /// Pattern rows, indexed by [`PatternId::index`]; grown on demand,
+    /// pre-sized by [`SubscriptionTable::with_dims`].
+    entries: Vec<PatternEntry>,
+    /// Number of non-empty pattern rows (`len()`).
+    known: usize,
 }
 
 impl SubscriptionTable {
-    /// Creates an empty table.
+    /// Creates an empty table that grows its pattern rows and slot
+    /// registry on demand.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table pre-sized for `universe` patterns (one
+    /// dense row each) and `degree_hint` neighbor slots — derived from
+    /// [`crate::PatternSpace::universe`] and the overlay degree at
+    /// setup. Purely an allocation hint: the table still grows past
+    /// either dimension on demand.
+    pub fn with_dims(universe: usize, degree_hint: usize) -> Self {
+        SubscriptionTable {
+            slots: Vec::with_capacity(degree_hint),
+            entries: vec![PatternEntry::default(); universe],
+            known: 0,
+        }
+    }
+
+    /// The slot of `neighbor`, if registered.
+    fn slot_of(&self, neighbor: NodeId) -> Option<usize> {
+        self.slots.binary_search(&neighbor).ok()
+    }
+
+    /// Registers `neighbor` and returns its slot. Slots stay sorted by
+    /// node id; inserting in the middle renumbers the higher slots and
+    /// remaps every pattern mask — rare (subscription setup or overlay
+    /// reconfiguration), never on the event-matching hot path.
+    fn register(&mut self, neighbor: NodeId) -> usize {
+        match self.slots.binary_search(&neighbor) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.slots.insert(pos, neighbor);
+                if pos + 1 < self.slots.len() {
+                    for entry in &mut self.entries {
+                        entry.mask.remap(|b| Some(if b >= pos { b + 1 } else { b }));
+                    }
+                }
+                pos
+            }
+        }
+    }
+
+    fn entry_mut(&mut self, pattern: PatternId) -> &mut PatternEntry {
+        let idx = pattern.index();
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, PatternEntry::default());
+        }
+        &mut self.entries[idx]
     }
 
     /// Records that `pattern` is subscribed via `iface`. Returns `true`
     /// if this is new information (used to decide whether to propagate
     /// further).
     pub fn insert(&mut self, pattern: PatternId, iface: Interface) -> bool {
-        self.entries.entry(pattern).or_default().insert(iface)
+        let slot = match iface {
+            Interface::Local => None,
+            Interface::Neighbor(n) => Some(self.register(n)),
+        };
+        let entry = self.entry_mut(pattern);
+        let was_empty = entry.is_empty();
+        let inserted = match slot {
+            None => !std::mem::replace(&mut entry.local, true),
+            Some(slot) => {
+                let new = !entry.mask.test(slot);
+                entry.mask.set(slot);
+                new
+            }
+        };
+        if inserted && was_empty {
+            self.known += 1;
+        }
+        inserted
     }
 
     /// Removes a subscription entry. Returns `true` if it was present.
     pub fn remove(&mut self, pattern: PatternId, iface: Interface) -> bool {
-        if let Some(set) = self.entries.get_mut(&pattern) {
-            let removed = set.remove(&iface);
-            if set.is_empty() {
-                self.entries.remove(&pattern);
+        let slot = match iface {
+            Interface::Local => None,
+            Interface::Neighbor(n) => match self.slot_of(n) {
+                Some(slot) => Some(slot),
+                None => return false,
+            },
+        };
+        let Some(entry) = self.entries.get_mut(pattern.index()) else {
+            return false;
+        };
+        let removed = match slot {
+            None => std::mem::replace(&mut entry.local, false),
+            Some(slot) => {
+                let was = entry.mask.test(slot);
+                entry.mask.clear(slot);
+                was
             }
-            removed
-        } else {
-            false
+        };
+        if removed && entry.is_empty() {
+            self.known -= 1;
         }
+        removed
     }
 
     /// Drops every entry learned from `neighbor` (when the link to it
-    /// breaks). Returns the affected patterns.
+    /// breaks). Returns the affected patterns, in ascending pattern-id
+    /// order (dense row order).
     pub fn remove_neighbor(&mut self, neighbor: NodeId) -> Vec<PatternId> {
-        let iface = Interface::Neighbor(neighbor);
+        let Some(slot) = self.slot_of(neighbor) else {
+            return Vec::new();
+        };
         let mut affected = Vec::new();
-        self.entries.retain(|&p, set| {
-            if set.remove(&iface) {
-                affected.push(p);
+        for (idx, entry) in self.entries.iter_mut().enumerate() {
+            if entry.mask.test(slot) {
+                entry.mask.clear(slot);
+                affected.push(PatternId::new(idx as u16));
+                if entry.is_empty() {
+                    self.known -= 1;
+                }
             }
-            !set.is_empty()
-        });
+        }
+        // Retire the slot and renumber the higher ones so the registry
+        // never accumulates dead neighbors across reconfigurations.
+        self.slots.remove(slot);
+        for entry in &mut self.entries {
+            entry.mask.remap(|b| match b.cmp(&slot) {
+                std::cmp::Ordering::Less => Some(b),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(b - 1),
+            });
+        }
         affected
     }
 
     /// `true` if a local client subscribes to `pattern`.
     pub fn has_local(&self, pattern: PatternId) -> bool {
-        self.entries
-            .get(&pattern)
-            .is_some_and(|s| s.contains(&Interface::Local))
+        self.entries.get(pattern.index()).is_some_and(|e| e.local)
     }
 
     /// `true` if the table has any entry (local or remote) for
     /// `pattern`.
     pub fn knows(&self, pattern: PatternId) -> bool {
-        self.entries.contains_key(&pattern)
+        self.entries
+            .get(pattern.index())
+            .is_some_and(|e| !e.is_empty())
     }
 
     /// The neighbor interfaces subscribed to `pattern`, excluding
@@ -114,13 +328,11 @@ impl SubscriptionTable {
         exclude: Option<NodeId>,
     ) -> impl Iterator<Item = NodeId> + '_ {
         self.entries
-            .get(&pattern)
+            .get(pattern.index())
             .into_iter()
-            .flatten()
-            .filter_map(move |iface| match *iface {
-                Interface::Neighbor(n) if Some(n) != exclude => Some(n),
-                _ => None,
-            })
+            .flat_map(|e| e.mask.iter())
+            .map(|slot| self.slots[slot])
+            .filter(move |&n| Some(n) != exclude)
     }
 
     /// The distinct neighbors an event must be forwarded to: the union
@@ -135,6 +347,10 @@ impl SubscriptionTable {
     /// Like [`SubscriptionTable::matching_neighbors`], but reuses the
     /// caller's buffer: `out` is cleared and refilled, so a dispatcher
     /// forwarding many events allocates nothing in steady state.
+    ///
+    /// This is the per-hop hot path: an OR of the event's pattern
+    /// masks, then set-bit iteration. The union is deduplicated and in
+    /// ascending id order by construction — no sort, no dedup.
     pub fn matching_neighbors_into(
         &self,
         event: &Event,
@@ -142,11 +358,44 @@ impl SubscriptionTable {
         out: &mut Vec<NodeId>,
     ) {
         out.clear();
-        for p in event.patterns() {
-            out.extend(self.neighbors_for_iter(p, from));
+        if self.slots.len() <= 64 {
+            // Single-word fast path: the whole neighbor set fits w0.
+            let mut acc = 0u64;
+            for p in event.patterns() {
+                if let Some(e) = self.entries.get(p.index()) {
+                    acc |= e.mask.w0;
+                }
+            }
+            if let Some(f) = from {
+                if let Some(slot) = self.slot_of(f) {
+                    acc &= !(1u64 << slot);
+                }
+            }
+            while acc != 0 {
+                let slot = acc.trailing_zeros() as usize;
+                acc &= acc - 1;
+                out.push(self.slots[slot]);
+            }
+        } else {
+            let mut acc = NeighborMask::default();
+            for p in event.patterns() {
+                if let Some(e) = self.entries.get(p.index()) {
+                    acc.w0 |= e.mask.w0;
+                    if acc.rest.len() < e.mask.rest.len() {
+                        acc.rest.resize(e.mask.rest.len(), 0);
+                    }
+                    for (a, &w) in acc.rest.iter_mut().zip(&e.mask.rest) {
+                        *a |= w;
+                    }
+                }
+            }
+            if let Some(f) = from {
+                if let Some(slot) = self.slot_of(f) {
+                    acc.clear(slot);
+                }
+            }
+            out.extend(acc.iter().map(|slot| self.slots[slot]));
         }
-        out.sort_unstable();
-        out.dedup();
     }
 
     /// `true` if the event matches a local subscription.
@@ -156,10 +405,12 @@ impl SubscriptionTable {
 
     /// Patterns with a local subscription, in order.
     pub fn local_patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
+        // Dense row order is ascending pattern-id order.
         self.entries
             .iter()
-            .filter(|(_, set)| set.contains(&Interface::Local))
-            .map(|(&p, _)| p)
+            .enumerate()
+            .filter(|(_, e)| e.local)
+            .map(|(idx, _)| PatternId::new(idx as u16))
     }
 
     /// Every pattern known to the table — locally subscribed or
@@ -167,19 +418,45 @@ impl SubscriptionTable {
     /// pattern from this set ("p is selected by considering the whole
     /// subscription table").
     pub fn all_patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
-        self.entries.keys().copied()
+        // Dense row order is ascending pattern-id order.
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.is_empty())
+            .map(|(idx, _)| PatternId::new(idx as u16))
     }
 
     /// Number of patterns known.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.known
     }
 
     /// `true` if the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.known == 0
     }
 }
+
+/// Semantic equality: same patterns, each with the same local flag and
+/// neighbor set. Two tables built through different insertion
+/// histories (and therefore with different slot registries or row
+/// capacities) compare equal when their observable content matches.
+impl PartialEq for SubscriptionTable {
+    fn eq(&self, other: &Self) -> bool {
+        if self.known != other.known {
+            return false;
+        }
+        self.all_patterns().eq(other.all_patterns())
+            && self.all_patterns().all(|p| {
+                self.has_local(p) == other.has_local(p)
+                    && self
+                        .neighbors_for_iter(p, None)
+                        .eq(other.neighbors_for_iter(p, None))
+            })
+    }
+}
+
+impl Eq for SubscriptionTable {}
 
 #[cfg(test)]
 mod tests {
@@ -274,5 +551,76 @@ mod tests {
             all,
             vec![PatternId::new(1), PatternId::new(3), PatternId::new(5)]
         );
+    }
+
+    #[test]
+    fn neighbor_enumeration_is_id_ordered_regardless_of_insertion_order() {
+        // Out-of-order registrations renumber slots; the enumeration
+        // order must stay ascending by node id.
+        let mut t = SubscriptionTable::new();
+        let p = PatternId::new(0);
+        for raw in [9u32, 2, 7, 0, 5] {
+            t.insert(p, Interface::Neighbor(NodeId::new(raw)));
+        }
+        let ids: Vec<u32> = t
+            .neighbors_for_iter(p, None)
+            .map(|n| n.index() as u32)
+            .collect();
+        assert_eq!(ids, vec![0, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn degree_above_64_spills_into_extra_words() {
+        let mut t = SubscriptionTable::new();
+        let p = PatternId::new(1);
+        let q = PatternId::new(2);
+        for raw in 0..130u32 {
+            let target = if raw % 2 == 0 { p } else { q };
+            t.insert(target, Interface::Neighbor(NodeId::new(raw)));
+        }
+        assert_eq!(t.neighbors_for(p, None).len(), 65);
+        assert_eq!(t.neighbors_for(q, None).len(), 65);
+        let union = t.matching_neighbors(&ev(&[1, 2]), None);
+        assert_eq!(union.len(), 130);
+        assert!(union.windows(2).all(|w| w[0] < w[1]), "ascending id order");
+        // Exclusion works past the inline word too.
+        let minus = t.matching_neighbors(&ev(&[1, 2]), Some(NodeId::new(100)));
+        assert_eq!(minus.len(), 129);
+        assert!(!minus.contains(&NodeId::new(100)));
+        // Removing a low slot renumbers the spilled bits correctly.
+        let affected = t.remove_neighbor(NodeId::new(0));
+        assert_eq!(affected, vec![p]);
+        assert_eq!(t.matching_neighbors(&ev(&[1, 2]), None).len(), 129);
+    }
+
+    #[test]
+    fn with_dims_preallocates_without_changing_behavior() {
+        let mut a = SubscriptionTable::with_dims(70, 10);
+        let mut b = SubscriptionTable::new();
+        for (p, n) in [(3u16, 5u32), (69, 1), (3, 9)] {
+            assert_eq!(
+                a.insert(PatternId::new(p), Interface::Neighbor(NodeId::new(n))),
+                b.insert(PatternId::new(p), Interface::Neighbor(NodeId::new(n)))
+            );
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn equality_is_semantic_not_structural() {
+        // Same content via different insertion orders (and therefore
+        // different registry histories) compares equal.
+        let mut a = SubscriptionTable::new();
+        let mut b = SubscriptionTable::with_dims(16, 4);
+        for n in [3u32, 1, 2] {
+            a.insert(PatternId::new(7), Interface::Neighbor(NodeId::new(n)));
+        }
+        for n in [1u32, 2, 3] {
+            b.insert(PatternId::new(7), Interface::Neighbor(NodeId::new(n)));
+        }
+        assert_eq!(a, b);
+        b.insert(PatternId::new(7), Interface::Local);
+        assert_ne!(a, b);
     }
 }

@@ -45,7 +45,7 @@ fn main() {
     d2.on_subscribe(p, n1, &[n1]);
 
     // --- A first event flows end to end ----------------------------
-    let (e0, r) = d0.publish(vec![p]);
+    let (e0, r) = d0.publish(&[p]);
     println!("d0 publishes {} (pattern seq {:?})", e0.id(), e0.seq_for(p));
     let fwd = &r.forwards[0];
     assert_eq!(fwd.to, n1);
@@ -62,7 +62,7 @@ fn main() {
     println!("d2 delivered {} normally\n", e0.id());
 
     // --- The second event is lost between d1 and d2 ----------------
-    let (e1, r) = d0.publish(vec![p]);
+    let (e1, r) = d0.publish(&[p]);
     println!("d0 publishes {}; d1 receives it...", e1.id());
     match &r.forwards[0].msg {
         PubSubMessage::Event(e) => {
@@ -73,7 +73,7 @@ fn main() {
     println!("...but the copy to d2 is LOST on the wire\n");
 
     // --- A third event reveals the gap ------------------------------
-    let (e2, r) = d0.publish(vec![p]);
+    let (e2, r) = d0.publish(&[p]);
     println!(
         "d0 publishes {}; it reaches d2 and exposes the gap",
         e2.id()

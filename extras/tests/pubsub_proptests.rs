@@ -112,7 +112,7 @@ proptest! {
         for content in contents {
             let patterns: Vec<PatternId> =
                 content.iter().map(|&p| PatternId::new(p)).collect();
-            let (event, _) = d.publish(patterns);
+            let (event, _) = d.publish(&patterns);
             prop_assert!(ids.insert(event.id()), "duplicate event id");
             for &(p, seq) in event.pattern_seqs() {
                 let counter = per_pattern.entry(p.value()).or_insert(0);
@@ -154,7 +154,7 @@ proptest! {
             .map(|(i, _)| i)
             .collect();
 
-        let (event, receipt) = ds[publisher.index()].publish(content);
+        let (event, receipt) = ds[publisher.index()].publish(&content);
         let mut delivered: std::collections::BTreeSet<usize> = Default::default();
         if receipt.delivered {
             delivered.insert(publisher.index());
@@ -209,7 +209,7 @@ proptest! {
         flood_subscriptions(&mut ds, &topo);
 
         let publisher = NodeId::new(0);
-        let (_, receipt) = ds[0].publish(vec![p]);
+        let (_, receipt) = ds[0].publish(&[p]);
         let mut queue: Vec<(NodeId, NodeId, Event)> = receipt
             .forwards
             .into_iter()

@@ -25,7 +25,20 @@ echo "== tier-1: workspace tests =="
 cargo test --workspace -q
 
 echo "== tier-1: microbench (kernel + per-strategy gossip rounds) =="
-cargo run --release -p eps-bench --bin microbench
+mkdir -p target/bench
+cargo run --release -p eps-bench --bin microbench -- \
+    --out target/bench/BENCH_kernel.json \
+    --gossip-out target/bench/BENCH_gossip.json
+
+echo "== tier-1: scenario bench (end-to-end runs per algorithm) =="
+cargo run --release -p eps-bench --bin scenario_bench -- \
+    --out target/bench/BENCH_scenario.json
+
+echo "== tier-1: bench compare (advisory: regressions reported, not fatal) =="
+cargo run --release -p eps-bench --bin bench_compare -- \
+    BENCH_kernel.json target/bench/BENCH_kernel.json \
+    BENCH_gossip.json target/bench/BENCH_gossip.json \
+    BENCH_scenario.json target/bench/BENCH_scenario.json
 
 echo "== tier-1: docs build =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
