@@ -17,14 +17,16 @@
 //! `--gossip-out`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use eps_bench::mini;
 use eps_bench::timing::{bench, to_json, BenchResult};
-use eps_gossip::Algorithm;
+use eps_gossip::{codec, Algorithm, Envelope, GossipMessage};
 use eps_harness::run_scenario;
+use eps_net::frame::{frame, FrameReader};
 use eps_overlay::NodeId;
 use eps_pubsub::{
-    Dispatcher, DispatcherConfig, Event, EventId, Interface, LossRecord, PatternId,
+    Dispatcher, DispatcherConfig, Event, EventId, Interface, LossRecord, PatternId, PubSubMessage,
     SubscriptionTable,
 };
 use eps_sim::{Engine, Rng, SimTime};
@@ -32,6 +34,7 @@ use eps_sim::{Engine, Rng, SimTime};
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_kernel.json");
     let mut gossip_out_path = String::from("BENCH_gossip.json");
+    let mut net_out_path = String::from("BENCH_net.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -50,9 +53,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--net-out" => match iter.next() {
+                Some(path) => net_out_path = path.clone(),
+                None => {
+                    eprintln!("error: --net-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!(
-                    "usage: microbench [--out FILE] [--gossip-out FILE]   (unknown arg '{other}')"
+                    "usage: microbench [--out FILE] [--gossip-out FILE] [--net-out FILE]   (unknown arg '{other}')"
                 );
                 return ExitCode::FAILURE;
             }
@@ -71,13 +81,23 @@ fn main() -> ExitCode {
         scenario_mini(),
     ];
     let gossip_results = gossip_rounds();
-    for r in results.iter().chain(&gossip_results) {
+    let net_results = vec![
+        codec_encode_event(),
+        codec_roundtrip(),
+        codec_roundtrip_digest(),
+        frame_reassembly(),
+    ];
+    for r in results.iter().chain(&gossip_results).chain(&net_results) {
         eprintln!(
             "{:<28} median {:>12.1} ns/iter  (min {:.1}, mean {:.1}, {} x {} iters)",
             r.name, r.median_ns, r.min_ns, r.mean_ns, r.samples, r.iters_per_sample
         );
     }
-    for (path, set) in [(&out_path, &results), (&gossip_out_path, &gossip_results)] {
+    for (path, set) in [
+        (&out_path, &results),
+        (&gossip_out_path, &gossip_results),
+        (&net_out_path, &net_results),
+    ] {
         if let Err(e) = std::fs::write(path, to_json(set)) {
             eprintln!("error: writing {path}: {e}");
             return ExitCode::FAILURE;
@@ -354,5 +374,104 @@ fn scenario_mini() -> BenchResult {
         delivered = run_scenario(&config).delivery_rate;
     });
     assert!(delivered > 0.0);
+    result
+}
+
+/// The wire codec's one-payload budget, matching the scenario default.
+const PAYLOAD_BITS: u64 = 1024;
+
+/// A routed multi-pattern event envelope — the dominant message class
+/// on the tree links.
+fn codec_event_envelope() -> Envelope {
+    let mut event = Event::new(
+        EventId::new(NodeId::new(2), 9),
+        vec![(PatternId::new(3), 41), (PatternId::new(8), 17)],
+    );
+    event.record_hop(NodeId::new(1));
+    event.record_hop(NodeId::new(4));
+    Envelope::PubSub(PubSubMessage::Event(event))
+}
+
+/// Encode-only cost of the dominant message class (the per-send cost
+/// every tree hop pays in the socket runtime).
+fn codec_encode_event() -> BenchResult {
+    const N: u64 = 10_000;
+    let env = codec_event_envelope();
+    let mut sink = 0usize;
+    let result = bench("codec_encode_event", 3, 25, N, || {
+        for _ in 0..N {
+            sink += codec::encode(&env, PAYLOAD_BITS).expect("encodes").len();
+        }
+    });
+    assert!(sink > 0);
+    result
+}
+
+/// Full encode → decode round trip of an event envelope: the combined
+/// sender + receiver codec cost per tree frame.
+fn codec_roundtrip() -> BenchResult {
+    const N: u64 = 10_000;
+    let env = codec_event_envelope();
+    let mut sink = 0usize;
+    let result = bench("codec_roundtrip", 3, 25, N, || {
+        for _ in 0..N {
+            let bytes = codec::encode(&env, PAYLOAD_BITS).expect("encodes");
+            let back = codec::decode(&bytes, PAYLOAD_BITS).expect("decodes");
+            sink += matches!(back, Envelope::PubSub(PubSubMessage::Event(_))) as usize;
+        }
+    });
+    assert!(sink as u64 >= N, "every roundtrip inverted");
+    result
+}
+
+/// Round trip of a full-budget push digest — the largest gossip body
+/// the codec ever frames (a digest is trimmed to one event payload).
+fn codec_roundtrip_digest() -> BenchResult {
+    const N: u64 = 2_000;
+    let oversized = Envelope::Gossip(GossipMessage::PushDigest {
+        gossiper: NodeId::new(0),
+        pattern: PatternId::new(3),
+        ids: Arc::new(
+            (0..200u64)
+                .map(|i| EventId::new(NodeId::new((i % 10) as u32), i))
+                .collect(),
+        ),
+    });
+    let (env, dropped) = codec::fit(oversized, PAYLOAD_BITS);
+    assert!(dropped > 0, "the digest saturates the payload budget");
+    let mut sink = 0usize;
+    let result = bench("codec_roundtrip_digest", 3, 25, N, || {
+        for _ in 0..N {
+            let bytes = codec::encode(&env, PAYLOAD_BITS).expect("encodes");
+            let back = codec::decode(&bytes, PAYLOAD_BITS).expect("decodes");
+            sink += matches!(back, Envelope::Gossip(GossipMessage::PushDigest { .. })) as usize;
+        }
+    });
+    assert!(sink as u64 >= N, "every roundtrip inverted");
+    result
+}
+
+/// Frame reassembly over a fragmented byte stream: the receive-side
+/// cost of the TCP tree links, fed in read-sized chunks.
+fn frame_reassembly() -> BenchResult {
+    const FRAMES: u64 = 1_000;
+    let body = codec::encode(&codec_event_envelope(), PAYLOAD_BITS).expect("encodes");
+    let mut wire = Vec::new();
+    for _ in 0..FRAMES {
+        wire.extend_from_slice(&frame(&body));
+    }
+    let mut sink = 0u64;
+    let result = bench("frame_reassembly", 3, 25, FRAMES, || {
+        let mut reader = FrameReader::new();
+        // Typical read granularity: a few frames per syscall.
+        for chunk in wire.chunks(512) {
+            reader.extend(chunk);
+            while let Some(body) = reader.next_frame().expect("clean stream") {
+                sink += body.len() as u64;
+            }
+        }
+        assert_eq!(reader.pending(), 0);
+    });
+    assert!(sink > 0);
     result
 }

@@ -15,8 +15,9 @@
 //!   requested event id; a reply carries full event copies, with the
 //!   same fixed floor.
 
-use eps_pubsub::{Event, EventId, PubSubMessage};
+use eps_pubsub::{Event, EventId, PubSubMessage, ROUTE_HOP_BITS};
 
+use crate::codec::{CONTROL_BITS, EVENT_ID_BITS};
 use crate::message::GossipMessage;
 
 /// Which network a message travels on: the dispatching-tree overlay
@@ -52,25 +53,29 @@ impl Envelope {
         }
     }
 
-    /// Approximate wire size in bits, given the configured event
-    /// payload size — the one accounting rule for every message class.
+    /// Wire size in bits, given the configured event payload size —
+    /// the one accounting rule for every message class. This is not an
+    /// estimate: [`crate::codec::encode`] produces exactly this many
+    /// bits for every envelope (the constants here are the codec's own
+    /// [`CONTROL_BITS`], [`EVENT_ID_BITS`], and
+    /// [`eps_pubsub::ROUTE_HOP_BITS`]).
     pub fn wire_bits(&self, event_payload_bits: u64) -> u64 {
         match self {
             Envelope::PubSub(PubSubMessage::Subscribe(_))
-            | Envelope::PubSub(PubSubMessage::Unsubscribe(_)) => 256,
+            | Envelope::PubSub(PubSubMessage::Unsubscribe(_)) => CONTROL_BITS,
             Envelope::PubSub(PubSubMessage::Event(e)) => e.wire_bits(event_payload_bits),
             // Per the paper, a gossip digest costs (at most) one event
             // message; publisher-steered digests also carry their route.
             Envelope::Gossip(GossipMessage::SourcePull { route, .. }) => {
-                event_payload_bits + 32 * route.len() as u64
+                event_payload_bits + ROUTE_HOP_BITS * route.len() as u64
             }
             Envelope::Gossip(_) => event_payload_bits,
-            Envelope::Request(ids) => 256 + 96 * ids.len() as u64,
+            Envelope::Request(ids) => CONTROL_BITS + EVENT_ID_BITS * ids.len() as u64,
             Envelope::Reply(events) => events
                 .iter()
                 .map(|e| e.wire_bits(event_payload_bits))
                 .sum::<u64>()
-                .max(256),
+                .max(CONTROL_BITS),
         }
     }
 }

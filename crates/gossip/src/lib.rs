@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 mod algorithm;
+pub mod codec;
 mod config;
 mod engine;
 mod envelope;
@@ -57,6 +58,7 @@ mod policy;
 mod registry;
 
 pub use algorithm::{NoRecovery, RecoveryAlgorithm};
+pub use codec::CodecError;
 pub use config::{GossipConfig, DEFAULT_LOST_CAPACITY};
 pub use engine::GossipEngine;
 pub use envelope::{Channel, Envelope};

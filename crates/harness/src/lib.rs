@@ -27,12 +27,14 @@ mod config;
 pub mod experiments;
 pub mod node;
 pub mod parallel;
+pub mod population;
 mod result;
 mod scenario;
 mod trace;
 
 pub use config::{AdaptiveGossip, ScenarioConfig};
 pub use node::{NodeCtx, Outgoing, SimNode};
-pub use result::ScenarioResult;
+pub use population::{build_population, Population};
+pub use result::{assemble, ScenarioResult};
 pub use scenario::{run_scenario, run_scenario_traced};
 pub use trace::{ScenarioTrace, TraceRecord};

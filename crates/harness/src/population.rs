@@ -1,0 +1,151 @@
+//! Shared population assembly: everything a runner needs before any
+//! message flows — the overlay tree, the content model, the
+//! [`SimNode`] actors with their subscriptions installed and flooded,
+//! and the pattern → subscribers index.
+//!
+//! Hoisted out of the simulator's `Scenario` so the real-socket
+//! runtime (`eps-net`) boots the *identical* population for the same
+//! [`ScenarioConfig`]: same seed → same topology, same subscriptions,
+//! same per-node workload streams — which is what makes sim-vs-wire
+//! cross-validation meaningful. Every random draw here comes from a
+//! named stream of the config's master seed, so building a population
+//! consumes nothing from the streams the runners use afterwards.
+
+use eps_overlay::{NodeId, Topology};
+use eps_pubsub::{
+    flood_subscriptions, install_local_subscriptions, DispatcherConfig, PatternId, PatternSpace,
+};
+use eps_sim::RngFactory;
+
+use crate::config::ScenarioConfig;
+use crate::node::SimNode;
+
+/// A fully assembled, quiescent population: subscriptions are
+/// installed and flooded, no events have been published yet.
+pub struct Population {
+    /// The overlay tree the dispatchers live on.
+    pub topology: Topology,
+    /// The content model events and subscriptions are drawn from.
+    pub space: PatternSpace,
+    /// One node actor per dispatcher, indexed by [`NodeId::index`].
+    pub nodes: Vec<SimNode>,
+    /// Each node's initial local subscriptions, indexed like `nodes`.
+    pub subscriptions: Vec<Vec<PatternId>>,
+    /// Current subscribers of each pattern, indexed by
+    /// [`eps_pubsub::PatternId::index`].
+    pub subscribers_of: Vec<Vec<NodeId>>,
+}
+
+/// Builds the population a scenario (simulated or networked) starts
+/// from. Deterministic in `config.seed`.
+pub fn build_population(config: &ScenarioConfig) -> Population {
+    let factory = RngFactory::new(config.seed);
+    let topology = Topology::random_tree(
+        config.nodes,
+        config.max_degree,
+        &mut factory.stream("topology"),
+    );
+    let space = PatternSpace::new(config.pattern_universe, config.max_patterns_per_event);
+
+    // Paper, Section IV-A: "each dispatcher caches only events for
+    // which it is either the publisher or a subscriber" — the
+    // publisher side of the buffering policy applies to every
+    // algorithm, not just publisher-based pull (which *requires*
+    // it). Route recording is only paid for when needed.
+    let dispatcher_config = DispatcherConfig {
+        cache_capacity: config.buffer_size,
+        cache_own_published: true,
+        record_routes: config.algorithm.needs_route_recording(),
+        eviction: config.eviction,
+        // Size the dense per-pattern tables and neighbor-slot
+        // registries from the scenario's pattern space and overlay
+        // degree — never from hardcoded paper constants.
+        pattern_universe: space.universe() as usize,
+        degree_hint: config.max_degree,
+    };
+
+    // Tie the `Lost` capacity bound to the event-buffer size β
+    // unless the scenario pinned it explicitly: there is no point
+    // remembering more losses than a full cache could serve. A
+    // zero β (caching disabled) keeps the library default — the
+    // bound must stay positive.
+    let mut gossip_config = config.gossip;
+    if gossip_config.lost_capacity.is_none() && config.buffer_size > 0 {
+        gossip_config.lost_capacity = Some(config.buffer_size);
+    }
+
+    // Stable subscriptions, flooded to quiescence before the
+    // workload starts (the paper's setting).
+    let mut subs_rng = factory.stream("subscriptions");
+    let subscriptions: Vec<Vec<PatternId>> = (0..config.nodes)
+        .map(|_| space.random_subscriptions(config.pi_max, &mut subs_rng))
+        .collect();
+
+    let mut nodes: Vec<SimNode> = topology
+        .nodes()
+        .map(|id| {
+            SimNode::new(
+                id,
+                dispatcher_config,
+                config.algorithm.build(gossip_config),
+                factory.indexed_stream("workload", id.index() as u64),
+                config.gossip_interval,
+                subscriptions[id.index()].clone(),
+            )
+        })
+        .collect();
+    install_local_subscriptions(&mut nodes, &subscriptions);
+    flood_subscriptions(&mut nodes, &topology);
+
+    let mut subscribers_of: Vec<Vec<NodeId>> = vec![Vec::new(); config.pattern_universe as usize];
+    for (i, subs) in subscriptions.iter().enumerate() {
+        for &p in subs {
+            subscribers_of[p.index()].push(NodeId::new(i as u32));
+        }
+    }
+
+    Population {
+        topology,
+        space,
+        nodes,
+        subscriptions,
+        subscribers_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_population() {
+        let config = ScenarioConfig {
+            nodes: 12,
+            ..ScenarioConfig::default()
+        };
+        let a = build_population(&config);
+        let b = build_population(&config);
+        assert_eq!(a.subscriptions, b.subscriptions);
+        assert_eq!(a.subscribers_of, b.subscribers_of);
+        let links_a: Vec<_> = a.topology.links().collect();
+        let links_b: Vec<_> = b.topology.links().collect();
+        assert_eq!(links_a, links_b);
+    }
+
+    #[test]
+    fn population_is_flooded_and_indexed() {
+        let config = ScenarioConfig {
+            nodes: 12,
+            ..ScenarioConfig::default()
+        };
+        let pop = build_population(&config);
+        assert_eq!(pop.nodes.len(), 12);
+        assert!(pop.topology.is_tree());
+        // The subscribers index matches the installed subscriptions.
+        for (i, subs) in pop.subscriptions.iter().enumerate() {
+            for &p in subs {
+                assert!(pop.subscribers_of[p.index()].contains(&NodeId::new(i as u32)));
+            }
+        }
+    }
+}

@@ -62,8 +62,70 @@ pub struct ScenarioResult {
     pub unexpected_deliveries: u64,
 }
 
+impl ScenarioResult {
+    /// The column names of [`ScenarioResult::csv_row`], in order — the
+    /// one result schema shared by the simulator's drivers and the
+    /// real-socket `net_cluster` runner (which appends its runtime
+    /// counter columns after these).
+    pub fn csv_header() -> &'static [&'static str] {
+        &[
+            "delivery_rate",
+            "overall_delivery_rate",
+            "min_bin_rate",
+            "receivers_per_event",
+            "events_published",
+            "event_msgs",
+            "gossip_msgs",
+            "gossip_per_dispatcher",
+            "gossip_event_ratio",
+            "requests",
+            "replies",
+            "events_retransmitted",
+            "events_recovered",
+            "recovery_latency_mean",
+            "recovery_latency_p95",
+            "outstanding_losses",
+            "lost_evictions",
+            "reconfigurations",
+            "churn_events",
+            "subscription_msgs",
+            "unexpected_deliveries",
+        ]
+    }
+
+    /// One CSV row of this result's summary scalars (the time series
+    /// is exported separately by the figure drivers).
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            format!("{:.6}", self.delivery_rate),
+            format!("{:.6}", self.overall_delivery_rate),
+            format!("{:.6}", self.min_bin_rate),
+            format!("{:.4}", self.receivers_per_event),
+            self.events_published.to_string(),
+            self.event_msgs.to_string(),
+            self.gossip_msgs.to_string(),
+            format!("{:.4}", self.gossip_per_dispatcher),
+            format!("{:.6}", self.gossip_event_ratio),
+            self.requests.to_string(),
+            self.replies.to_string(),
+            self.events_retransmitted.to_string(),
+            self.events_recovered.to_string(),
+            format!("{:.6}", self.recovery_latency_mean),
+            format!("{:.6}", self.recovery_latency_p95),
+            self.outstanding_losses.to_string(),
+            self.lost_evictions.to_string(),
+            self.reconfigurations.to_string(),
+            self.churn_events.to_string(),
+            self.subscription_msgs.to_string(),
+            self.unexpected_deliveries.to_string(),
+        ]
+    }
+}
+
 /// Assembles the result of a finished run from the metrics sinks.
-pub(crate) fn assemble(
+/// Public because the real-socket runtime (`eps-net`) assembles its
+/// report through the same code path, so the two emit one schema.
+pub fn assemble(
     config: &ScenarioConfig,
     tracker: &DeliveryTracker,
     counters: &MessageCounters,

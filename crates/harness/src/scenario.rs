@@ -6,14 +6,12 @@
 use eps_gossip::{Channel, Envelope};
 use eps_metrics::{DeliveryTracker, MessageCounters};
 use eps_overlay::{plan_reconnection, LinkSpec, NetTransport, NodeId, Topology, Transport};
-use eps_pubsub::{
-    flood_subscriptions, install_local_subscriptions, rebuild_subscription_routes,
-    DispatcherConfig, PatternId, PatternSpace, PubSubMessage,
-};
+use eps_pubsub::{rebuild_subscription_routes, PatternId, PatternSpace, PubSubMessage};
 use eps_sim::{Engine, Rng, RngFactory, SimTime};
 
 use crate::config::ScenarioConfig;
 use crate::node::{NodeCtx, Outgoing, SimNode};
+use crate::population::{build_population, Population};
 use crate::result::{assemble, ScenarioResult};
 use crate::trace::{ScenarioTrace, TraceRecord};
 
@@ -100,70 +98,16 @@ struct Scenario {
 impl Scenario {
     fn new(config: &ScenarioConfig) -> Self {
         let factory = RngFactory::new(config.seed);
-        let topology = Topology::random_tree(
-            config.nodes,
-            config.max_degree,
-            &mut factory.stream("topology"),
-        );
-        let space = PatternSpace::new(config.pattern_universe, config.max_patterns_per_event);
-
-        // Paper, Section IV-A: "each dispatcher caches only events for
-        // which it is either the publisher or a subscriber" — the
-        // publisher side of the buffering policy applies to every
-        // algorithm, not just publisher-based pull (which *requires*
-        // it). Route recording is only paid for when needed.
-        let dispatcher_config = DispatcherConfig {
-            cache_capacity: config.buffer_size,
-            cache_own_published: true,
-            record_routes: config.algorithm.needs_route_recording(),
-            eviction: config.eviction,
-            // Size the dense per-pattern tables and neighbor-slot
-            // registries from the scenario's pattern space and overlay
-            // degree — never from hardcoded paper constants.
-            pattern_universe: space.universe() as usize,
-            degree_hint: config.max_degree,
-        };
-
-        // Tie the `Lost` capacity bound to the event-buffer size β
-        // unless the scenario pinned it explicitly: there is no point
-        // remembering more losses than a full cache could serve. A
-        // zero β (caching disabled) keeps the library default — the
-        // bound must stay positive.
-        let mut gossip_config = config.gossip;
-        if gossip_config.lost_capacity.is_none() && config.buffer_size > 0 {
-            gossip_config.lost_capacity = Some(config.buffer_size);
-        }
-
-        // Stable subscriptions, flooded to quiescence before the
-        // workload starts (the paper's setting).
-        let mut subs_rng = factory.stream("subscriptions");
-        let subscriptions: Vec<Vec<PatternId>> = (0..config.nodes)
-            .map(|_| space.random_subscriptions(config.pi_max, &mut subs_rng))
-            .collect();
-
-        let mut nodes: Vec<SimNode> = topology
-            .nodes()
-            .map(|id| {
-                SimNode::new(
-                    id,
-                    dispatcher_config,
-                    config.algorithm.build(gossip_config),
-                    factory.indexed_stream("workload", id.index() as u64),
-                    config.gossip_interval,
-                    subscriptions[id.index()].clone(),
-                )
-            })
-            .collect();
-        install_local_subscriptions(&mut nodes, &subscriptions);
-        flood_subscriptions(&mut nodes, &topology);
-
-        let mut subscribers_of: Vec<Vec<NodeId>> =
-            vec![Vec::new(); config.pattern_universe as usize];
-        for (i, subs) in subscriptions.iter().enumerate() {
-            for &p in subs {
-                subscribers_of[p.index()].push(NodeId::new(i as u32));
-            }
-        }
+        // The population (topology, subscriptions, node actors) is
+        // assembled by the shared builder so the real-socket runtime
+        // boots an identical one for the same seed.
+        let Population {
+            topology,
+            space,
+            nodes,
+            subscriptions: _,
+            subscribers_of,
+        } = build_population(config);
 
         let transport = Box::new(NetTransport::new(
             LinkSpec {

@@ -168,6 +168,40 @@ impl MessageCounters {
     pub fn gossip_by_dispatcher(&self) -> &[u64] {
         &self.gossip_sent
     }
+
+    /// Folds `other` into `self`, dispatcher by dispatcher. The
+    /// real-socket runtime keeps one `MessageCounters` per node thread
+    /// (no shared mutable state on the hot path) and merges them after
+    /// the run; both sides must track the same dispatcher count.
+    pub fn absorb(&mut self, other: &MessageCounters) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "absorb requires counters over the same dispatcher set"
+        );
+        for (a, b) in self.event_sent.iter_mut().zip(&other.event_sent) {
+            *a += b;
+        }
+        for (a, b) in self.gossip_sent.iter_mut().zip(&other.gossip_sent) {
+            *a += b;
+        }
+        for (a, b) in self.request_sent.iter_mut().zip(&other.request_sent) {
+            *a += b;
+        }
+        for (a, b) in self.reply_sent.iter_mut().zip(&other.reply_sent) {
+            *a += b;
+        }
+        for (a, b) in self
+            .subscription_sent
+            .iter_mut()
+            .zip(&other.subscription_sent)
+        {
+            *a += b;
+        }
+        self.events_retransmitted += other.events_retransmitted;
+        self.events_recovered += other.events_recovered;
+        self.lost_evictions += other.lost_evictions;
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +250,37 @@ mod tests {
         c.count_recovered();
         c.count_recovered();
         assert_eq!(c.events_recovered(), 2);
+    }
+
+    #[test]
+    fn absorb_merges_every_class() {
+        let mut a = MessageCounters::new(2);
+        a.count_event(NodeId::new(0));
+        a.count_gossip(NodeId::new(1));
+        let mut b = MessageCounters::new(2);
+        b.count_event(NodeId::new(0));
+        b.count_request(NodeId::new(1));
+        b.count_reply(NodeId::new(0), 3);
+        b.count_subscription(NodeId::new(1));
+        b.count_recovered();
+        b.count_lost_evictions(2);
+        a.absorb(&b);
+        assert_eq!(a.event_total(), 2);
+        assert_eq!(a.gossip_total(), 1);
+        assert_eq!(a.request_total(), 1);
+        assert_eq!(a.reply_total(), 1);
+        assert_eq!(a.subscription_total(), 1);
+        assert_eq!(a.events_retransmitted(), 3);
+        assert_eq!(a.events_recovered(), 1);
+        assert_eq!(a.lost_evictions(), 2);
+        assert_eq!(a.gossip_by_dispatcher(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dispatcher set")]
+    fn absorb_rejects_mismatched_sizes() {
+        let mut a = MessageCounters::new(2);
+        a.absorb(&MessageCounters::new(3));
     }
 
     #[test]

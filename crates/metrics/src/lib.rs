@@ -10,6 +10,8 @@
 //! - [`MessageCounters`] — per-class message counts: event forwarding
 //!   vs. gossip vs. out-of-band requests/replies, per dispatcher and
 //!   system-wide (Figures 9–10);
+//! - [`NetCounters`] — socket-layer runtime counters (connect
+//!   retries, queue drops, decode errors) for the real-socket runtime;
 //! - [`CsvTable`] / [`ascii_chart`] — result export for the harness.
 
 #![warn(missing_docs)]
@@ -18,7 +20,9 @@
 mod counters;
 mod delivery;
 mod export;
+mod net;
 
 pub use counters::MessageCounters;
 pub use delivery::DeliveryTracker;
 pub use export::{ascii_chart, CsvTable, Series};
+pub use net::NetCounters;

@@ -1,0 +1,428 @@
+//! Cluster assembly and orchestration: boots an N-node tree over
+//! loopback sockets, runs the scenario's workload in wall-clock time,
+//! and aggregates the per-node sinks into the simulator's
+//! [`ScenarioResult`] schema plus the socket-layer [`NetCounters`].
+//!
+//! The population (topology, subscriptions, node actors) comes from
+//! the harness's shared `build_population`, so a [`NetConfig`] with
+//! the same seed as a simulator run boots the *identical* population —
+//! the basis of the sim-vs-wire cross-validation tests.
+
+use std::net::{TcpListener, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use eps_harness::{
+    assemble, build_population, Population, ScenarioConfig, ScenarioResult, TraceRecord,
+};
+use eps_metrics::{DeliveryTracker, MessageCounters, NetCounters};
+use eps_sim::RngFactory;
+
+pub use crate::runtime::NodeAddrs;
+use crate::runtime::{NodeParams, NodeRuntime, NodeSetup, RunEnv, Shared};
+
+/// One real-socket run: the simulator's scenario parameters plus the
+/// knobs only a socket runtime has.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// The scenario: topology, workload, algorithm — identical
+    /// meaning to the simulator's. `duration` is interpreted as wall
+    /// time (1 virtual second = 1 wall second).
+    pub scenario: ScenarioConfig,
+    /// Maximum wall time to wait after the workload for outstanding
+    /// recoveries to converge (the run stops earlier the moment every
+    /// intended delivery has happened).
+    pub drain: Duration,
+    /// Bounded outbound queue, in frames per link.
+    pub queue_capacity: usize,
+    /// Per-node trace capacity (publish/deliver records drive both
+    /// the adaptive stop and the final result assembly; an overflow
+    /// is reported in [`NetRunReport::trace_dropped`]).
+    pub trace_capacity: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            scenario: ScenarioConfig::default(),
+            drain: Duration::from_secs(2),
+            queue_capacity: 1024,
+            trace_capacity: 1 << 20,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated constraint. Beyond the scenario's
+    /// own rules, the socket runtime supports neither topological
+    /// reconfiguration nor subscription churn (the overlay tree is
+    /// fixed at boot).
+    pub fn validate(&self) {
+        self.scenario.validate();
+        assert!(
+            self.scenario.reconfig_interval.is_none(),
+            "the socket runtime does not reconfigure the overlay"
+        );
+        assert!(
+            self.scenario.churn_interval.is_none(),
+            "the socket runtime does not churn subscriptions"
+        );
+        assert!(self.queue_capacity > 0, "queues need capacity");
+        assert!(self.trace_capacity > 0, "traces need capacity");
+    }
+}
+
+/// What a finished cluster run reports: the simulator's result schema
+/// assembled from the same code path, plus the socket-layer counters.
+#[derive(Clone, Debug)]
+pub struct NetRunReport {
+    /// The shared summary schema (delivery rates, message counts,
+    /// recovery latencies) — directly comparable to a simulator run.
+    pub result: ScenarioResult,
+    /// Socket-layer runtime counters, summed over nodes.
+    pub net: NetCounters,
+    /// Trace records that did not fit `trace_capacity` (non-zero means
+    /// the result under-counts and the capacity should be raised).
+    pub trace_dropped: u64,
+}
+
+struct Slot {
+    handle: Option<JoinHandle<NodeRuntime>>,
+    control: Arc<AtomicBool>,
+}
+
+/// A running in-process cluster: one thread per dispatcher, loopback
+/// TCP tree links, loopback UDP out-of-band channel.
+pub struct Cluster {
+    config: NetConfig,
+    registry: Vec<NodeAddrs>,
+    shared: Arc<Shared>,
+    start: Instant,
+    slots: Vec<Slot>,
+}
+
+impl Cluster {
+    /// Boots the full population and starts every node thread.
+    ///
+    /// Sockets are bound on ephemeral loopback ports before any thread
+    /// starts, so the address registry is complete from the first dial
+    /// (peers may still *connect* in any order, and reconnects after a
+    /// restart go through the retry/backoff path).
+    pub fn launch(config: NetConfig) -> std::io::Result<Cluster> {
+        config.validate();
+        let scenario = &config.scenario;
+        let Population {
+            topology,
+            space,
+            nodes,
+            subscriptions: _,
+            subscribers_of,
+        } = build_population(scenario);
+
+        let mut listeners = Vec::with_capacity(scenario.nodes);
+        let mut udps = Vec::with_capacity(scenario.nodes);
+        let mut registry = Vec::with_capacity(scenario.nodes);
+        for _ in 0..scenario.nodes {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let udp = UdpSocket::bind("127.0.0.1:0")?;
+            registry.push(NodeAddrs {
+                tcp: listener.local_addr()?,
+                udp: udp.local_addr()?,
+            });
+            listeners.push(listener);
+            udps.push(udp);
+        }
+
+        let factory = RngFactory::new(scenario.seed);
+        let shared = Arc::new(Shared::default());
+        let start = Instant::now();
+        let mut slots = Vec::with_capacity(scenario.nodes);
+        let mut node_iter = nodes.into_iter();
+        for (i, (listener, udp)) in listeners.into_iter().zip(udps).enumerate() {
+            let node = node_iter.next().expect("one SimNode per dispatcher");
+            let id = node.id();
+            let runtime = NodeRuntime::new(
+                NodeSetup {
+                    node,
+                    neighbors: topology.neighbors(id).to_vec(),
+                    space,
+                    subscribers_of: subscribers_of.clone(),
+                    gossip_rng: factory.indexed_stream("net-gossip", i as u64),
+                    loss_rng: factory.indexed_stream("net-loss", i as u64),
+                    listener,
+                    udp,
+                    counters_width: scenario.nodes,
+                    trace_capacity: config.trace_capacity,
+                    registry_addrs: registry.clone(),
+                },
+                node_params(&config),
+            )?;
+            slots.push(spawn(runtime, &shared, start, i)?);
+        }
+        Ok(Cluster {
+            config,
+            registry,
+            shared,
+            start,
+            slots,
+        })
+    }
+
+    /// The bound addresses, indexed by node id.
+    pub fn addrs(&self) -> &[NodeAddrs] {
+        &self.registry
+    }
+
+    /// Stops node `index`, keeps it down for `pause`, then rebinds the
+    /// same addresses and relaunches it with its protocol state
+    /// intact — a forced restart. While the node is down, its peers'
+    /// dialers fail and back off; their retries show up in
+    /// [`NetCounters::connect_retries`].
+    pub fn restart_node(&mut self, index: usize, pause: Duration) -> std::io::Result<()> {
+        let slot = &mut self.slots[index];
+        slot.control.store(true, Ordering::Relaxed);
+        let mut runtime = slot
+            .handle
+            .take()
+            .expect("node is running")
+            .join()
+            .expect("node thread panicked");
+        runtime.prepare_restart();
+        std::thread::sleep(pause);
+        let addrs = self.registry[index];
+        let listener = bind_with_retry(|| TcpListener::bind(addrs.tcp))?;
+        let udp = bind_with_retry(|| UdpSocket::bind(addrs.udp))?;
+        runtime.rebind(listener, udp)?;
+        self.slots[index] = spawn(runtime, &self.shared, self.start, index)?;
+        Ok(())
+    }
+
+    /// Waits for the workload to finish and deliveries to converge
+    /// (bounded by the drain budget), stops every node, and assembles
+    /// the report.
+    pub fn finish(mut self) -> NetRunReport {
+        let n = self.config.scenario.nodes as u64;
+        let wall = Duration::from_nanos(self.config.scenario.duration.as_nanos());
+        let deadline = self.start + wall + self.config.drain;
+        loop {
+            let published_all = self.shared.publishers_done.load(Ordering::Relaxed) >= n;
+            let converged = published_all
+                && self.shared.delivered.load(Ordering::Relaxed)
+                    >= self.shared.expected.load(Ordering::Relaxed);
+            if converged || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.shared.stop_all.store(true, Ordering::Relaxed);
+        let runtimes: Vec<NodeRuntime> = self
+            .slots
+            .drain(..)
+            .map(|mut s| {
+                s.handle
+                    .take()
+                    .expect("node is running")
+                    .join()
+                    .expect("node thread panicked")
+            })
+            .collect();
+        aggregate(&self.config.scenario, &runtimes)
+    }
+}
+
+/// Launches a cluster, lets it run to convergence, and reports —
+/// the one-call entry point tests and the binary use.
+pub fn run_cluster(config: NetConfig) -> std::io::Result<NetRunReport> {
+    Ok(Cluster::launch(config)?.finish())
+}
+
+/// Runs node `index` of a *multi-process* cluster in the current
+/// process, binding the addresses `registry[index]` and dialing the
+/// rest. Every process derives the identical population from the
+/// shared seed; peers may start in any order (the dialers retry with
+/// backoff until their acceptors come up).
+///
+/// Runs for the scenario duration plus the full drain budget — with
+/// no shared memory there is no cross-process convergence signal —
+/// and reports this node's *local view*: its own publishes and
+/// deliveries, its own counters. Cluster-wide delivery rates require
+/// the single-process mode, where the coordinator sees every sink.
+pub fn run_process_node(
+    config: &NetConfig,
+    index: usize,
+    registry: Vec<NodeAddrs>,
+) -> std::io::Result<NetRunReport> {
+    config.validate();
+    assert_eq!(
+        registry.len(),
+        config.scenario.nodes,
+        "one address per dispatcher"
+    );
+    assert!(index < config.scenario.nodes, "node index out of range");
+    let Population {
+        topology,
+        space,
+        nodes,
+        subscriptions: _,
+        subscribers_of,
+    } = build_population(&config.scenario);
+    let node = nodes
+        .into_iter()
+        .nth(index)
+        .expect("index checked against nodes");
+    let listener = TcpListener::bind(registry[index].tcp)?;
+    let udp = UdpSocket::bind(registry[index].udp)?;
+    let factory = RngFactory::new(config.scenario.seed);
+    let id = node.id();
+    let runtime = NodeRuntime::new(
+        NodeSetup {
+            node,
+            neighbors: topology.neighbors(id).to_vec(),
+            space,
+            subscribers_of,
+            gossip_rng: factory.indexed_stream("net-gossip", index as u64),
+            loss_rng: factory.indexed_stream("net-loss", index as u64),
+            listener,
+            udp,
+            counters_width: config.scenario.nodes,
+            trace_capacity: config.trace_capacity,
+            registry_addrs: registry,
+        },
+        node_params(config),
+    )?;
+    let shared = Arc::new(Shared::default());
+    let control = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let wall = Duration::from_nanos(config.scenario.duration.as_nanos()) + config.drain;
+    let timer_flag = Arc::clone(&control);
+    std::thread::Builder::new()
+        .name("eps-net-stop-timer".into())
+        .spawn(move || {
+            std::thread::sleep(wall);
+            timer_flag.store(true, Ordering::Relaxed);
+        })?;
+    let runtime = runtime.run(RunEnv {
+        shared,
+        control,
+        start,
+    });
+    Ok(aggregate(&config.scenario, &[runtime]))
+}
+
+fn node_params(config: &NetConfig) -> NodeParams {
+    let s = &config.scenario;
+    NodeParams {
+        payload_bits: s.event_payload_bits,
+        loss_rate: s.link_error_rate,
+        publish_rate: s.publish_rate,
+        gossip_interval: s.gossip_interval,
+        adaptive: s.adaptive_gossip,
+        duration: s.duration,
+        queue_capacity: config.queue_capacity,
+    }
+}
+
+fn spawn(
+    runtime: NodeRuntime,
+    shared: &Arc<Shared>,
+    start: Instant,
+    index: usize,
+) -> std::io::Result<Slot> {
+    let control = Arc::new(AtomicBool::new(false));
+    let env = RunEnv {
+        shared: Arc::clone(shared),
+        control: Arc::clone(&control),
+        start,
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("eps-net-{index}"))
+        .spawn(move || runtime.run(env))?;
+    Ok(Slot {
+        handle: Some(handle),
+        control,
+    })
+}
+
+/// Rebinding a just-freed address can race the kernel's cleanup;
+/// retry briefly instead of failing the restart.
+fn bind_with_retry<S>(mut bind: impl FnMut() -> std::io::Result<S>) -> std::io::Result<S> {
+    let mut last = None;
+    for _ in 0..40 {
+        match bind() {
+            Ok(sock) => return Ok(sock),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// Merges every node's sinks into one report, through the same
+/// `assemble` path the simulator uses: first all publishes (so the
+/// global tracker knows every event and its intended audience), then
+/// all deliveries.
+fn aggregate(scenario: &ScenarioConfig, runtimes: &[NodeRuntime]) -> NetRunReport {
+    let mut tracker = DeliveryTracker::new_tolerant();
+    let mut counters = MessageCounters::new(scenario.nodes);
+    let mut net = NetCounters::default();
+    let mut trace_dropped = 0;
+    let mut outstanding = 0;
+    let mut evictions = 0;
+
+    for rt in runtimes {
+        if let Some(trace) = &rt.trace {
+            trace_dropped += trace.dropped();
+            for rec in trace.records() {
+                if let TraceRecord::Publish {
+                    at,
+                    event,
+                    expected,
+                    ..
+                } = *rec
+                {
+                    tracker.published(event, at, expected);
+                }
+            }
+        }
+    }
+    for rt in runtimes {
+        if let Some(trace) = &rt.trace {
+            for rec in trace.records() {
+                if let TraceRecord::Deliver {
+                    at,
+                    node,
+                    event,
+                    recovered,
+                } = *rec
+                {
+                    if recovered {
+                        tracker.recovered(event, node, at);
+                    } else {
+                        tracker.delivered(event, node);
+                    }
+                }
+            }
+        }
+    }
+    for rt in runtimes {
+        counters.absorb(&rt.counters);
+        net.absorb(&rt.net);
+        outstanding += rt.outstanding_losses();
+        evictions += rt.lost_evictions();
+    }
+    counters.count_lost_evictions(evictions);
+    let result = assemble(scenario, &tracker, &counters, outstanding, 0, 0);
+    NetRunReport {
+        result,
+        net,
+        trace_dropped,
+    }
+}

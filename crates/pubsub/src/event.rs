@@ -25,6 +25,13 @@ use eps_overlay::NodeId;
 
 use crate::pattern::PatternId;
 
+/// Wire cost of one recorded route hop, in bits: a dispatcher address
+/// is a 32-bit identifier on the wire, and the byte codec in
+/// `eps-gossip` encodes each hop as exactly four bytes. Every place
+/// that accounts for route bytes ([`Event::wire_bits`], the gossip
+/// envelope, the codec) derives from this one constant.
+pub const ROUTE_HOP_BITS: u64 = 32;
+
 /// Globally unique event identifier: source plus a monotonically
 /// increasing per-source sequence number (paper, footnote 3).
 ///
@@ -112,6 +119,34 @@ impl Event {
         }
     }
 
+    /// Reconstructs an event received off a wire, with an explicit
+    /// recorded route (a fresh event's route is just `[source]`; a
+    /// forwarded copy carries every dispatcher it traversed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern_seqs` is empty, unsorted, or has duplicates,
+    /// or if `route` is empty or does not start at the event's source.
+    /// Byte-level validation belongs to the codec; this constructor
+    /// only accepts structurally sound events.
+    pub fn from_wire(id: EventId, pattern_seqs: Vec<(PatternId, u64)>, route: Vec<NodeId>) -> Self {
+        assert!(!pattern_seqs.is_empty(), "event must match some pattern");
+        assert!(
+            pattern_seqs.windows(2).all(|w| w[0].0 < w[1].0),
+            "pattern list must be sorted and distinct"
+        );
+        assert_eq!(
+            route.first().copied(),
+            Some(id.source()),
+            "recorded route must start at the source"
+        );
+        Event {
+            id,
+            data: Arc::new(EventData { pattern_seqs }),
+            route: Arc::new(route),
+        }
+    }
+
     /// The globally unique identifier.
     pub fn id(&self) -> EventId {
         self.id
@@ -167,10 +202,10 @@ impl Event {
 
     /// Approximate wire size of this event message, in bits, given the
     /// configured payload size. The paper assumes event and gossip
-    /// messages have the same size; route recording adds 32 bits per
-    /// recorded hop on top.
+    /// messages have the same size; route recording adds
+    /// [`ROUTE_HOP_BITS`] per recorded hop on top.
     pub fn wire_bits(&self, payload_bits: u64) -> u64 {
-        payload_bits + 32 * self.route.len() as u64
+        payload_bits + ROUTE_HOP_BITS * self.route.len() as u64
     }
 }
 
@@ -276,5 +311,33 @@ mod tests {
     #[test]
     fn event_id_display() {
         assert_eq!(event().id().to_string(), "d2#9");
+    }
+
+    #[test]
+    fn from_wire_reconstructs_forwarded_copies() {
+        let mut original = event();
+        original.record_hop(NodeId::new(5));
+        let rebuilt = Event::from_wire(
+            original.id(),
+            original.pattern_seqs().to_vec(),
+            original.route().to_vec(),
+        );
+        assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_wire_rejects_routes_not_starting_at_source() {
+        let _ = Event::from_wire(
+            EventId::new(NodeId::new(2), 9),
+            vec![(PatternId::new(3), 1)],
+            vec![NodeId::new(7)],
+        );
+    }
+
+    #[test]
+    fn wire_bits_uses_the_shared_hop_constant() {
+        let e = event();
+        assert_eq!(e.wire_bits(1000), 1000 + ROUTE_HOP_BITS);
     }
 }

@@ -60,7 +60,7 @@ pub use detector::{LossDetector, LossRecord};
 pub use dispatcher::{
     Dispatcher, DispatcherConfig, EventReceipt, Forward, PubSubMessage, RouteBook,
 };
-pub use event::{Event, EventId};
+pub use event::{Event, EventId, ROUTE_HOP_BITS};
 pub use pattern::{PatternId, PatternSpace};
 pub use setup::{
     flood_subscriptions, install_local_subscriptions, intended_recipients,

@@ -1,0 +1,174 @@
+//! Property-based tests of the wire codec: the encode/decode pair is
+//! a bijection between (fitted) envelopes and their canonical byte
+//! frames, for arbitrary message contents — empty digests, max-degree
+//! routes, multi-pattern events, the lot.
+
+use std::sync::Arc;
+
+use eps_gossip::{codec, CodecError, Envelope, GossipMessage};
+use eps_overlay::NodeId;
+use eps_pubsub::{Event, EventId, LossRecord, PatternId, PubSubMessage};
+use proptest::prelude::*;
+
+/// The widest overlay degree the scenarios use; route vectors are
+/// generated up to this length (plus empty).
+const MAX_DEGREE: usize = 16;
+
+/// Byte-aligned payload sizes (the codec rejects anything else).
+fn payload_bits() -> impl Strategy<Value = u64> {
+    (64u64..512).prop_map(|bytes| bytes * 8)
+}
+
+fn event_id() -> impl Strategy<Value = EventId> {
+    (0u32..64, 0u64..100_000).prop_map(|(src, seq)| EventId::new(NodeId::new(src), seq))
+}
+
+fn loss_record() -> impl Strategy<Value = LossRecord> {
+    (0u32..64, 0u16..70, 0u64..100_000).prop_map(|(source, pattern, seq)| LossRecord {
+        source: NodeId::new(source),
+        pattern: PatternId::new(pattern),
+        seq,
+    })
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    (
+        event_id(),
+        prop::collection::vec((0u16..70, 0u64..100_000), 1..4),
+        prop::collection::vec(0u32..64, 0..=MAX_DEGREE),
+    )
+        .prop_map(|(id, pattern_seqs, route)| {
+            let mut event = Event::new(
+                id,
+                pattern_seqs
+                    .into_iter()
+                    .map(|(p, s)| (PatternId::new(p), s))
+                    .collect(),
+            );
+            for hop in route {
+                event.record_hop(NodeId::new(hop));
+            }
+            event
+        })
+}
+
+fn envelope() -> impl Strategy<Value = Envelope> {
+    prop_oneof![
+        (0u16..70).prop_map(|p| Envelope::PubSub(PubSubMessage::Subscribe(PatternId::new(p)))),
+        (0u16..70).prop_map(|p| Envelope::PubSub(PubSubMessage::Unsubscribe(PatternId::new(p)))),
+        event().prop_map(|e| Envelope::PubSub(PubSubMessage::Event(e))),
+        // Digest sizes start at zero on purpose: empty digests must
+        // frame and round-trip like any other body.
+        (0u32..64, 0u16..70, prop::collection::vec(event_id(), 0..40)).prop_map(
+            |(gossiper, pattern, ids)| {
+                Envelope::Gossip(GossipMessage::PushDigest {
+                    gossiper: NodeId::new(gossiper),
+                    pattern: PatternId::new(pattern),
+                    ids: Arc::new(ids),
+                })
+            }
+        ),
+        (0u32..64, 0u16..70, prop::collection::vec(loss_record(), 0..40)).prop_map(
+            |(gossiper, pattern, lost)| {
+                Envelope::Gossip(GossipMessage::PullDigest {
+                    gossiper: NodeId::new(gossiper),
+                    pattern: PatternId::new(pattern),
+                    lost,
+                })
+            }
+        ),
+        (
+            0u32..64,
+            0u32..64,
+            prop::collection::vec(loss_record(), 0..40),
+            prop::collection::vec(0u32..64, 0..=MAX_DEGREE),
+        )
+            .prop_map(|(gossiper, source, lost, route)| {
+                Envelope::Gossip(GossipMessage::SourcePull {
+                    gossiper: NodeId::new(gossiper),
+                    source: NodeId::new(source),
+                    lost,
+                    route: route.into_iter().map(NodeId::new).collect(),
+                })
+            }),
+        (0u32..64, prop::collection::vec(loss_record(), 0..40), 0u32..8).prop_map(
+            |(gossiper, lost, ttl)| {
+                Envelope::Gossip(GossipMessage::RandomPull {
+                    gossiper: NodeId::new(gossiper),
+                    lost,
+                    ttl,
+                })
+            }
+        ),
+        prop::collection::vec(event_id(), 0..40).prop_map(Envelope::Request),
+        prop::collection::vec(event(), 0..3).prop_map(Envelope::Reply),
+    ]
+}
+
+fn is_digest(env: &Envelope) -> bool {
+    matches!(
+        env,
+        Envelope::Gossip(
+            GossipMessage::PushDigest { .. }
+                | GossipMessage::PullDigest { .. }
+                | GossipMessage::SourcePull { .. }
+                | GossipMessage::RandomPull { .. }
+        )
+    )
+}
+
+proptest! {
+    /// decode ∘ encode is the identity on every fitted envelope, and
+    /// the framed size is exactly the simulator's `wire_bits`.
+    #[test]
+    fn decode_inverts_encode(env in envelope(), payload_bits in payload_bits()) {
+        let (fitted, dropped) = codec::fit(env.clone(), payload_bits);
+        if dropped > 0 {
+            prop_assert!(is_digest(&env), "only digests are trimmed");
+        }
+        match codec::encode(&fitted, payload_bits) {
+            Ok(bytes) => {
+                prop_assert_eq!(
+                    bytes.len() as u64 * 8,
+                    fitted.wire_bits(payload_bits),
+                    "framed size equals wire_bits"
+                );
+                let back = codec::decode(&bytes, payload_bits).expect("valid frame decodes");
+                prop_assert_eq!(back, fitted);
+            }
+            Err(CodecError::Overflow { .. }) => {
+                // Only non-digest bodies may stay oversized after
+                // fitting (fit cannot shrink an event or a reply).
+                prop_assert!(!is_digest(&fitted) || dropped > 0);
+            }
+            Err(other) => prop_assert!(false, "unexpected encode error: {other:?}"),
+        }
+    }
+
+    /// encode ∘ decode is the identity on every canonical frame: the
+    /// codec admits exactly one byte representation per envelope.
+    #[test]
+    fn encode_inverts_decode(env in envelope(), payload_bits in payload_bits()) {
+        let (fitted, _) = codec::fit(env, payload_bits);
+        let Ok(bytes) = codec::encode(&fitted, payload_bits) else {
+            // Oversized non-digest body: no frame to invert.
+            return Ok(());
+        };
+        let back = codec::decode(&bytes, payload_bits).expect("valid frame decodes");
+        let reencoded = codec::encode(&back, payload_bits).expect("decoded envelope re-encodes");
+        prop_assert_eq!(reencoded, bytes);
+    }
+
+    /// Truncated frames never decode successfully — and never panic.
+    #[test]
+    fn truncated_frames_are_rejected(env in envelope(), payload_bits in payload_bits()) {
+        let (fitted, _) = codec::fit(env, payload_bits);
+        let Ok(bytes) = codec::encode(&fitted, payload_bits) else {
+            return Ok(());
+        };
+        if bytes.len() > 1 {
+            let truncated = &bytes[..bytes.len() - 1];
+            prop_assert!(codec::decode(truncated, payload_bits).is_err());
+        }
+    }
+}

@@ -28,7 +28,8 @@ echo "== tier-1: microbench (kernel + per-strategy gossip rounds) =="
 mkdir -p target/bench
 cargo run --release -p eps-bench --bin microbench -- \
     --out target/bench/BENCH_kernel.json \
-    --gossip-out target/bench/BENCH_gossip.json
+    --gossip-out target/bench/BENCH_gossip.json \
+    --net-out target/bench/BENCH_net.json
 
 echo "== tier-1: scenario bench (end-to-end runs per algorithm) =="
 cargo run --release -p eps-bench --bin scenario_bench -- \
@@ -38,7 +39,14 @@ echo "== tier-1: bench compare (advisory: regressions reported, not fatal) =="
 cargo run --release -p eps-bench --bin bench_compare -- \
     BENCH_kernel.json target/bench/BENCH_kernel.json \
     BENCH_gossip.json target/bench/BENCH_gossip.json \
-    BENCH_scenario.json target/bench/BENCH_scenario.json
+    BENCH_scenario.json target/bench/BENCH_scenario.json \
+    BENCH_net.json target/bench/BENCH_net.json
+
+echo "== tier-1: loopback smoke (3-node tree over real sockets) =="
+./target/release/net_cluster --nodes 3 --algorithm push --eps 0.05 \
+    --pattern-universe 6 --pi-max 2 --duration 0.8 --drain 2 --seed 11
+./target/release/net_cluster --nodes 3 --algorithm combined-pull --eps 0.05 \
+    --pattern-universe 6 --pi-max 2 --duration 0.8 --drain 2 --seed 13
 
 echo "== tier-1: docs build =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
