@@ -22,7 +22,7 @@ use std::sync::Arc;
 use eps_bench::mini;
 use eps_bench::timing::{bench, to_json, BenchResult};
 use eps_gossip::{codec, Algorithm, Envelope, GossipMessage};
-use eps_harness::run_scenario;
+use eps_harness::{build_population, run_scenario, ScenarioConfig, SimNode};
 use eps_net::frame::{frame, FrameReader};
 use eps_overlay::NodeId;
 use eps_pubsub::{
@@ -69,7 +69,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let results = vec![
+    // Memory first: the RSS-delta measurement needs a heap no earlier
+    // benchmark has grown and refragmented.
+    let mut results = node_memory();
+    results.extend([
         engine_schedule_pop(),
         engine_cancel(),
         table_matching(),
@@ -79,7 +82,7 @@ fn main() -> ExitCode {
         event_clone_hop(),
         rng_throughput(),
         scenario_mini(),
-    ];
+    ]);
     let gossip_results = gossip_rounds();
     let net_results = vec![
         codec_encode_event(),
@@ -105,6 +108,57 @@ fn main() -> ExitCode {
         eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// Reads this process's current resident set from `/proc/self/status`
+/// (`VmRSS`, kB). `None` on platforms without procfs.
+fn resident_bytes() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024.0)
+}
+
+/// A direct measurement reported through the bench JSON: the "median"
+/// is the measured value itself, in the unit the entry's name carries.
+fn measured(name: &str, value: f64) -> BenchResult {
+    BenchResult {
+        name: name.to_owned(),
+        samples: 1,
+        iters_per_sample: 1,
+        median_ns: value,
+        min_ns: value,
+        mean_ns: value,
+    }
+}
+
+/// Per-node memory at setup: the exact `size_of::<SimNode>()` plus the
+/// resident-set growth per node while building a 10 000-dispatcher
+/// population at the Figure 2 content model — the number the sharded
+/// runner's 10⁵–10⁶-node ambitions scale with. Values are **bytes**,
+/// not nanoseconds (the names carry the unit); the JSON shape is the
+/// common `{name, median_ns}` one so `bench_compare` tracks them
+/// across commits like any other entry.
+fn node_memory() -> Vec<BenchResult> {
+    const N: usize = 10_000;
+    let mut out = vec![measured(
+        "simnode_size_of_bytes",
+        std::mem::size_of::<SimNode>() as f64,
+    )];
+    let before = resident_bytes();
+    let population = build_population(&ScenarioConfig {
+        nodes: N,
+        ..ScenarioConfig::default()
+    });
+    let after = resident_bytes();
+    assert_eq!(population.nodes.len(), N, "population built at full size");
+    if let (Some(before), Some(after)) = (before, after) {
+        out.push(measured(
+            "population_heap_bytes_per_node/n10000",
+            (after - before).max(0.0) / N as f64,
+        ));
+    }
+    out
 }
 
 /// Schedule N events at pseudo-random times, then pop them all: the

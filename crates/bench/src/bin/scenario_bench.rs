@@ -4,7 +4,7 @@
 //! dependencies.
 //!
 //! ```text
-//! scenario_bench [--out FILE]    # default: BENCH_scenario.json
+//! scenario_bench [--out FILE] [--large]    # default: BENCH_scenario.json
 //! ```
 //!
 //! Where `microbench` isolates kernels, this binary times whole
@@ -13,17 +13,36 @@
 //! every kernel looks fine in isolation. Results (median ns per run)
 //! print to stderr and are written as JSON; `scripts/tier1.sh` diffs
 //! them against the committed baseline via `bench_compare`.
+//!
+//! `--large` additionally runs the sharded runner at 100 000
+//! dispatchers (a dense Figure 2-style content model) for shard counts
+//! 1 and 4, reporting event-loop throughput (`events_per_sec`), peak
+//! memory (`peak_rss_bytes`) and wall-clock splits. Each large cell
+//! executes in a re-exec'd subprocess so its `VmHWM` reading is that
+//! run's own high-water mark, not an earlier cell's. These entries use
+//! the shared `{name, median_ns}` JSON shape with unit-bearing names;
+//! they are recorded once per machine and compared advisorily.
 
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 
 use eps_bench::timing::{bench, to_json, BenchResult};
 use eps_bench::{mini, mini_reconfig};
 use eps_gossip::Algorithm;
-use eps_harness::run_scenario;
+use eps_harness::{run_scenario, run_scenario_sharded_with_stats, ScenarioConfig};
 use eps_sim::SimTime;
+
+/// The large-mode population size: the ISSUE's "one machine, 10⁵
+/// dispatchers" floor.
+const LARGE_NODES: usize = 100_000;
+
+/// Shard counts the large mode compares. On a multi-core host K > 1
+/// should beat K = 1 on `loop_wall`; the numbers record what this
+/// machine actually did either way.
+const LARGE_SHARDS: [usize; 2] = [1, 4];
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_scenario.json");
+    let mut large = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -35,8 +54,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--large" => large = true,
+            // Internal: run one large cell in this process and print
+            // its raw measurements to stdout (used via re-exec so the
+            // peak-RSS reading belongs to this cell alone).
+            "--one-large" => {
+                let (Some(nodes), Some(shards)) = (
+                    iter.next().and_then(|s| s.parse().ok()),
+                    iter.next().and_then(|s| s.parse().ok()),
+                ) else {
+                    eprintln!("error: --one-large needs NODES and SHARDS");
+                    return ExitCode::FAILURE;
+                };
+                return run_one_large(nodes, shards);
+            }
             other => {
-                eprintln!("usage: scenario_bench [--out FILE]   (unknown arg '{other}')");
+                eprintln!("usage: scenario_bench [--out FILE] [--large]   (unknown arg '{other}')");
                 return ExitCode::FAILURE;
             }
         }
@@ -55,6 +88,17 @@ fn main() -> ExitCode {
             mini_reconfig(algo, SimTime::from_millis(250)),
         ));
     }
+    if large {
+        for shards in LARGE_SHARDS {
+            match large_cell(LARGE_NODES, shards) {
+                Ok(mut cell) => results.append(&mut cell),
+                Err(e) => {
+                    eprintln!("error: large cell n{LARGE_NODES}/shards{shards}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
 
     for r in &results {
         eprintln!(
@@ -70,12 +114,105 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Times complete runs of one scenario configuration (median of 5).
-fn timed_run(name: &str, config: eps_harness::ScenarioConfig) -> BenchResult {
+/// Times complete runs of one scenario configuration: two warmup runs
+/// (page in code and allocator arenas), then the median of nine.
+fn timed_run(name: &str, config: ScenarioConfig) -> BenchResult {
     let mut delivered = 0.0;
-    let result = bench(name, 1, 5, 1, || {
+    let result = bench(name, 2, 9, 1, || {
         delivered = run_scenario(&config).delivery_rate;
     });
     assert!(delivered > 0.0, "{name}: nothing was delivered");
     result
+}
+
+/// The large-mode scenario: Figure 2's link and gossip parameters on
+/// 10⁵ dispatchers with a dense content model (Π = 8192, π_max = 2,
+/// so each pattern keeps ≈ 25 subscribers — the paper's density) and
+/// a per-dispatcher publish rate scaled down to keep the aggregate
+/// event load at 1 000 events/s.
+fn large_config(nodes: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes,
+        pattern_universe: 8192,
+        pi_max: 2,
+        publish_rate: 0.01,
+        duration: SimTime::from_secs(1),
+        warmup: SimTime::from_millis(125),
+        cooldown: SimTime::from_millis(250),
+        algorithm: Algorithm::push(),
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Reads this process's peak resident set from `/proc/self/status`
+/// (`VmHWM`, kB). `None` on platforms without procfs.
+fn peak_rss_bytes() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024.0)
+}
+
+/// Child mode: one sharded run, raw measurements on stdout as
+/// `events_processed loop_seconds setup_seconds peak_rss_bytes
+/// delivery_rate`.
+fn run_one_large(nodes: usize, shards: usize) -> ExitCode {
+    let config = large_config(nodes);
+    let (result, stats) = run_scenario_sharded_with_stats(&config, shards);
+    let peak = peak_rss_bytes().unwrap_or(0.0);
+    println!(
+        "{} {} {} {} {}",
+        stats.events_processed,
+        stats.loop_wall.as_secs_f64(),
+        stats.setup_wall.as_secs_f64(),
+        peak,
+        result.delivery_rate,
+    );
+    ExitCode::SUCCESS
+}
+
+/// A direct measurement reported through the bench JSON: the "median"
+/// is the measured value itself, in the unit the entry's name carries.
+fn measured(name: String, value: f64) -> BenchResult {
+    BenchResult {
+        name,
+        samples: 1,
+        iters_per_sample: 1,
+        median_ns: value,
+        min_ns: value,
+        mean_ns: value,
+    }
+}
+
+/// Runs one `(nodes, shards)` large cell in a fresh subprocess and
+/// turns its raw line into bench entries.
+fn large_cell(nodes: usize, shards: usize) -> Result<Vec<BenchResult>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    eprintln!("large cell: n{nodes} shards{shards} (subprocess)...");
+    let output = Command::new(exe)
+        .args(["--one-large", &nodes.to_string(), &shards.to_string()])
+        .output()
+        .map_err(|e| format!("spawning subprocess: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "subprocess failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    let line = String::from_utf8_lossy(&output.stdout);
+    let fields: Vec<f64> = line
+        .split_whitespace()
+        .map(|f| f.parse().map_err(|e| format!("bad field '{f}': {e}")))
+        .collect::<Result<_, _>>()?;
+    let [events, loop_s, setup_s, peak_rss, delivery] = fields[..] else {
+        return Err(format!("expected 5 fields, got: {line:?}"));
+    };
+    assert!(delivery > 0.0, "large run delivered nothing");
+    let prefix = format!("large_fig2/n{nodes}/shards{shards}");
+    Ok(vec![
+        measured(format!("{prefix}/events_per_sec"), events / loop_s),
+        measured(format!("{prefix}/loop_wall_ns"), loop_s * 1e9),
+        measured(format!("{prefix}/setup_wall_ns"), setup_s * 1e9),
+        measured(format!("{prefix}/peak_rss_bytes"), peak_rss),
+    ])
 }

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro all [--quick|--full] [--seed S] [--out DIR] [--jobs N]
+//! repro all [--quick|--full] [--seed S] [--out DIR] [--jobs N] [--shards K]
 //! repro fig3a fig9b ...      # specific figures
 //! repro list                 # available experiment ids
 //! ```
@@ -33,6 +33,10 @@ fn main() -> ExitCode {
             "--jobs" | "-j" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(jobs) => opts.jobs = Some(jobs),
                 None => return usage("--jobs needs an integer"),
+            },
+            "--shards" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(0) | None => return usage("--shards needs a positive integer"),
+                Some(shards) => opts.shards = Some(shards),
             },
             "list" => {
                 for id in ALL_EXPERIMENTS {
@@ -91,7 +95,9 @@ fn usage(problem: &str) -> ExitCode {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: repro <all | fig-id ...> [--quick|--full] [--seed S] [--out DIR] [--jobs N]\n\
+        "usage: repro <all | fig-id ...> [--quick|--full] [--seed S] [--out DIR] [--jobs N] [--shards K]\n\
+         --shards K routes every cell through the sharded runner (results are\n\
+         identical for every K, but differ bitwise from the serial runner)\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -26,6 +26,13 @@ pub struct ExperimentOptions {
     /// "use the machine's available parallelism". Output is identical
     /// for every value (see [`crate::parallel`]).
     pub jobs: Option<usize>,
+    /// When set, every cell runs through
+    /// [`crate::run_scenario_sharded`] with this shard count instead
+    /// of the serial [`run_scenario`]. The sharded runner is its own
+    /// deterministic semantics (per-node RNG streams instead of shared
+    /// ones), so results differ bitwise from the serial runner — but
+    /// are identical for every shard count.
+    pub shards: Option<usize>,
 }
 
 impl Default for ExperimentOptions {
@@ -35,6 +42,7 @@ impl Default for ExperimentOptions {
             out_dir: PathBuf::from("results"),
             seed: 1,
             jobs: None,
+            shards: None,
         }
     }
 }
@@ -52,7 +60,12 @@ impl ExperimentOptions {
 /// results in input order — so driver code that renders tables row by
 /// row produces the exact bytes the serial loop would.
 pub fn run_cells(opts: &ExperimentOptions, configs: &[ScenarioConfig]) -> Vec<ScenarioResult> {
-    par_map(opts.effective_jobs(), configs, run_scenario)
+    match opts.shards {
+        Some(shards) => par_map(opts.effective_jobs(), configs, |config| {
+            crate::run_scenario_sharded(config, shards)
+        }),
+        None => par_map(opts.effective_jobs(), configs, run_scenario),
+    }
 }
 
 /// What an experiment produced: named CSV tables (written by the

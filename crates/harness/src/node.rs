@@ -12,7 +12,7 @@
 //! of one call as a [`NodeCtx`].
 
 use eps_gossip::{Envelope, GossipAction, RecoveryAlgorithm};
-use eps_metrics::{DeliveryTracker, MessageCounters};
+use eps_metrics::{DeliverySink, MessageCounters};
 use eps_overlay::NodeId;
 use eps_pubsub::{
     Dispatcher, DispatcherConfig, DispatcherHost, PatternId, PatternSpace, PubSubMessage,
@@ -51,8 +51,9 @@ pub struct NodeCtx<'a> {
     pub subscribers_of: &'a [Vec<NodeId>],
     /// The shared gossip-decision RNG stream.
     pub gossip_rng: &'a mut Rng,
-    /// Delivery bookkeeping.
-    pub tracker: &'a mut DeliveryTracker,
+    /// Delivery bookkeeping: the live tracker in the serial runner, a
+    /// per-shard [`eps_metrics::DeliveryLog`] in the sharded one.
+    pub tracker: &'a mut dyn DeliverySink,
     /// Message counting.
     pub counters: &'a mut MessageCounters,
     /// Optional bounded trace of interesting moments.
@@ -138,7 +139,7 @@ impl SimNode {
                     return Vec::new();
                 }
                 if receipt.delivered {
-                    ctx.tracker.delivered(event.id(), self.id);
+                    ctx.tracker.delivered(event.id(), self.id, ctx.now);
                     ctx.record(TraceRecord::Deliver {
                         at: ctx.now,
                         node: self.id,
@@ -224,7 +225,7 @@ impl SimNode {
             expected,
         });
         if receipt.delivered {
-            ctx.tracker.delivered(event.id(), self.id);
+            ctx.tracker.delivered(event.id(), self.id, ctx.now);
             ctx.record(TraceRecord::Deliver {
                 at: ctx.now,
                 node: self.id,

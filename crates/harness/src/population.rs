@@ -13,7 +13,8 @@
 
 use eps_overlay::{NodeId, Topology};
 use eps_pubsub::{
-    flood_subscriptions, install_local_subscriptions, DispatcherConfig, PatternId, PatternSpace,
+    flood_subscriptions, flood_subscriptions_direct, install_local_subscriptions, DispatcherConfig,
+    PatternId, PatternSpace,
 };
 use eps_sim::RngFactory;
 
@@ -95,7 +96,15 @@ pub fn build_population(config: &ScenarioConfig) -> Population {
         })
         .collect();
     install_local_subscriptions(&mut nodes, &subscriptions);
-    flood_subscriptions(&mut nodes, &topology);
+    if topology.is_tree() {
+        // Closed-form fixpoint: O(Π·N) installs instead of a
+        // message-at-a-time flood, the setup-time bottleneck at
+        // 10⁵–10⁶ nodes. State-identical to the flood (pinned by the
+        // eps-pubsub equivalence test and the golden suite).
+        flood_subscriptions_direct(&mut nodes, &topology);
+    } else {
+        flood_subscriptions(&mut nodes, &topology);
+    }
 
     let mut subscribers_of: Vec<Vec<NodeId>> = vec![Vec::new(); config.pattern_universe as usize];
     for (i, subs) in subscriptions.iter().enumerate() {

@@ -229,6 +229,13 @@ impl Scenario {
     }
 
     fn handle_publish_tick(&mut self, node: NodeId) {
+        // The workload ends at `duration`. Renewals are gated below,
+        // but at very low publish rates a node's *first* tick can be
+        // scheduled past the end — it must not fire either, or the run
+        // would stretch far beyond its nominal length.
+        if self.engine.now() >= self.config.duration {
+            return;
+        }
         let mut ctx = NodeCtx {
             now: self.engine.now(),
             // Borrowed, not copied — see `handle_deliver`.

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use eps_gossip::Algorithm;
 use eps_harness::experiments::time_series_table;
 use eps_harness::parallel::par_map;
-use eps_harness::{run_scenario, ScenarioConfig, ScenarioResult};
+use eps_harness::{run_scenario, run_scenario_sharded, ScenarioConfig, ScenarioResult};
 use eps_sim::SimTime;
 
 const SEEDS: [u64; 2] = [1, 999];
@@ -169,5 +169,38 @@ fn scenario_output_matches_golden_bytes() {
         let (par_report, par_csv) = render(seed, &parallel);
         assert_eq!(report, par_report, "par_map drifted from serial results");
         assert_eq!(csv, par_csv, "par_map drifted from serial CSV");
+    }
+}
+
+/// The sharded runner's own golden bytes, pinned at `--shards 1`, plus
+/// the invariant the runner exists to guarantee: shard counts 2 and 4
+/// reproduce the identical report and fig3-style CSV byte-for-byte
+/// (including the reconfiguration and churn cells, whose global events
+/// run on the coordinator between windows).
+#[test]
+fn sharded_output_is_shard_count_invariant() {
+    for seed in SEEDS {
+        let configs: Vec<ScenarioConfig> = cells(seed).into_iter().map(|(_, c)| c).collect();
+        let baseline: Vec<ScenarioResult> =
+            configs.iter().map(|c| run_scenario_sharded(c, 1)).collect();
+        let (report, csv) = render(seed, &baseline);
+        check_or_update(&format!("results_sharded_seed{seed}.txt"), &report);
+        check_or_update(&format!("fig3_sharded_seed{seed}.csv"), &csv);
+
+        for shards in [2, 4] {
+            let results: Vec<ScenarioResult> = configs
+                .iter()
+                .map(|c| run_scenario_sharded(c, shards))
+                .collect();
+            let (sharded_report, sharded_csv) = render(seed, &results);
+            assert_eq!(
+                report, sharded_report,
+                "shards={shards} drifted from the shards=1 results"
+            );
+            assert_eq!(
+                csv, sharded_csv,
+                "shards={shards} drifted from the shards=1 CSV"
+            );
+        }
     }
 }

@@ -70,6 +70,7 @@ fn experiment_csvs_identical_across_job_counts() {
                 out_dir: out_dir.clone(),
                 seed,
                 jobs: Some(jobs),
+                shards: None,
             };
             let output = run_experiment("fig2", &opts).expect("fig2 runs");
             let csv =

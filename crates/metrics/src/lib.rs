@@ -10,6 +10,9 @@
 //! - [`MessageCounters`] — per-class message counts: event forwarding
 //!   vs. gossip vs. out-of-band requests/replies, per dispatcher and
 //!   system-wide (Figures 9–10);
+//! - [`DeliverySink`] / [`DeliveryLog`] — the recording abstraction
+//!   behind the sharded runner: shards journal delivery records and
+//!   the logs replay into one tracker in canonical order;
 //! - [`NetCounters`] — socket-layer runtime counters (connect
 //!   retries, queue drops, decode errors) for the real-socket runtime;
 //! - [`CsvTable`] / [`ascii_chart`] — result export for the harness.
@@ -21,8 +24,10 @@ mod counters;
 mod delivery;
 mod export;
 mod net;
+mod sink;
 
 pub use counters::MessageCounters;
 pub use delivery::DeliveryTracker;
 pub use export::{ascii_chart, CsvTable, Series};
 pub use net::NetCounters;
+pub use sink::{DeliveryLog, DeliverySink};

@@ -1,0 +1,179 @@
+//! The delivery-sink abstraction: where delivery bookkeeping goes
+//! while a run executes.
+//!
+//! The serial runner feeds a [`DeliveryTracker`] directly. The sharded
+//! runner cannot — tracker state (running totals, the float latency
+//! sums) would make results depend on the order shards happen to
+//! interleave in. Each shard instead records into a [`DeliveryLog`],
+//! a plain append-only journal, and the logs are replayed into one
+//! tracker in a canonical order after the run
+//! ([`DeliveryLog::replay_into`]) — so the assembled statistics are
+//! bit-identical for every shard count.
+
+use eps_overlay::NodeId;
+use eps_pubsub::EventId;
+use eps_sim::SimTime;
+
+use crate::delivery::DeliveryTracker;
+
+/// Consumer of per-event delivery bookkeeping, implemented by the live
+/// [`DeliveryTracker`] and by the sharded runner's [`DeliveryLog`].
+pub trait DeliverySink {
+    /// A publication with its intended recipient count.
+    fn published(&mut self, id: EventId, at: SimTime, expected_recipients: u32);
+    /// A delivery through normal event forwarding.
+    fn delivered(&mut self, id: EventId, node: NodeId, now: SimTime);
+    /// A delivery that happened through recovery.
+    fn recovered(&mut self, id: EventId, node: NodeId, now: SimTime);
+}
+
+impl DeliverySink for DeliveryTracker {
+    fn published(&mut self, id: EventId, at: SimTime, expected_recipients: u32) {
+        DeliveryTracker::published(self, id, at, expected_recipients);
+    }
+    fn delivered(&mut self, id: EventId, node: NodeId, _now: SimTime) {
+        DeliveryTracker::delivered(self, id, node);
+    }
+    fn recovered(&mut self, id: EventId, node: NodeId, now: SimTime) {
+        DeliveryTracker::recovered(self, id, node, now);
+    }
+}
+
+/// An append-only journal of delivery bookkeeping, one per shard.
+///
+/// Recording is cheap (three `Vec::push` paths, no hashing) and
+/// order-free: [`DeliveryLog::replay_into`] sorts every record class
+/// by `(time, event, node)` before applying it, so the merged tracker
+/// is a pure function of the record *multiset* — which is what the
+/// shard-count-invariance guarantee of the sharded runner rests on.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryLog {
+    publishes: Vec<(SimTime, EventId, u32)>,
+    deliveries: Vec<(SimTime, EventId, NodeId)>,
+    recoveries: Vec<(SimTime, EventId, NodeId)>,
+}
+
+impl DeliveryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records of all classes.
+    pub fn len(&self) -> usize {
+        self.publishes.len() + self.deliveries.len() + self.recoveries.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replays a set of per-shard logs into one tracker in canonical
+    /// order: all publications sorted by `(time, event)`, then all
+    /// forwarding deliveries sorted by `(time, event, node)`, then all
+    /// recovered deliveries likewise. Registering every publication
+    /// first is safe because virtual time already orders any delivery
+    /// after its publication; sorting fixes the float summation order
+    /// of the rate series and recovery latencies.
+    pub fn replay_into(logs: Vec<DeliveryLog>, tracker: &mut DeliveryTracker) {
+        let mut publishes = Vec::new();
+        let mut deliveries = Vec::new();
+        let mut recoveries = Vec::new();
+        for log in logs {
+            publishes.extend(log.publishes);
+            deliveries.extend(log.deliveries);
+            recoveries.extend(log.recoveries);
+        }
+        publishes.sort_unstable();
+        deliveries.sort_unstable();
+        recoveries.sort_unstable();
+        for (at, id, expected) in publishes {
+            DeliveryTracker::published(tracker, id, at, expected);
+        }
+        for (_, id, node) in deliveries {
+            DeliveryTracker::delivered(tracker, id, node);
+        }
+        for (at, id, node) in recoveries {
+            DeliveryTracker::recovered(tracker, id, node, at);
+        }
+    }
+}
+
+impl DeliverySink for DeliveryLog {
+    fn published(&mut self, id: EventId, at: SimTime, expected_recipients: u32) {
+        self.publishes.push((at, id, expected_recipients));
+    }
+    fn delivered(&mut self, id: EventId, node: NodeId, now: SimTime) {
+        self.deliveries.push((now, id, node));
+    }
+    fn recovered(&mut self, id: EventId, node: NodeId, now: SimTime) {
+        self.recoveries.push((now, id, node));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(seq: u64) -> EventId {
+        EventId::new(NodeId::new(0), seq)
+    }
+
+    #[test]
+    fn replay_matches_a_live_tracker() {
+        let mut live = DeliveryTracker::new();
+        let mut log = DeliveryLog::new();
+        let sinks: [&mut dyn DeliverySink; 2] = [&mut live, &mut log];
+        for sink in sinks {
+            sink.published(id(0), SimTime::from_millis(10), 2);
+            sink.published(id(1), SimTime::from_millis(20), 1);
+            sink.delivered(id(0), NodeId::new(1), SimTime::from_millis(11));
+            sink.recovered(id(0), NodeId::new(2), SimTime::from_millis(30));
+        }
+        let mut merged = DeliveryTracker::new();
+        DeliveryLog::replay_into(vec![log], &mut merged);
+        assert_eq!(merged.event_count(), live.event_count());
+        assert_eq!(merged.delivered_total(), live.delivered_total());
+        assert_eq!(merged.expected_total(), live.expected_total());
+        assert_eq!(
+            merged.recovery_latency().mean().to_bits(),
+            live.recovery_latency().mean().to_bits()
+        );
+    }
+
+    #[test]
+    fn replay_is_order_invariant_across_logs() {
+        // The same records split across shards in two different ways
+        // must produce bit-identical trackers.
+        let records: Vec<(SimTime, EventId, u32)> = (0..10)
+            .map(|i| (SimTime::from_millis(100 + i), id(i), 2))
+            .collect();
+        let build = |split: usize| {
+            let mut a = DeliveryLog::new();
+            let mut b = DeliveryLog::new();
+            for (i, &(at, eid, exp)) in records.iter().enumerate() {
+                let log = if i < split { &mut a } else { &mut b };
+                log.published(eid, at, exp);
+                log.delivered(eid, NodeId::new(1), at + SimTime::from_millis(1));
+                log.recovered(eid, NodeId::new(2), at + SimTime::from_millis(5));
+            }
+            let mut tracker = DeliveryTracker::new();
+            DeliveryLog::replay_into(vec![a, b], &mut tracker);
+            tracker
+        };
+        let x = build(3);
+        let y = build(8);
+        assert_eq!(x.delivered_total(), y.delivered_total());
+        assert_eq!(
+            x.recovery_latency().mean().to_bits(),
+            y.recovery_latency().mean().to_bits()
+        );
+        let sx = x.rate_series(SimTime::from_millis(5));
+        let sy = y.rate_series(SimTime::from_millis(5));
+        assert_eq!(sx.bins().len(), sy.bins().len());
+        for (a, b) in sx.bins().iter().zip(sy.bins()) {
+            assert_eq!(a.ratio().to_bits(), b.ratio().to_bits());
+        }
+    }
+}

@@ -46,4 +46,4 @@ pub use link::{LinkSpec, LinkTable, OutOfBandSpec, Transmission};
 pub use node::{LinkId, NodeId};
 pub use reconfig::{plan_reconfiguration, plan_reconnection, ReconfigPlan};
 pub use topology::{Topology, TopologyError};
-pub use transport::{NetTransport, Transport};
+pub use transport::{NetTransport, ShardTransport, Transport};

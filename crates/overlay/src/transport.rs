@@ -96,6 +96,78 @@ impl Transport for NetTransport {
     }
 }
 
+/// The sharded runner's transport: the same link + out-of-band model
+/// as [`NetTransport`], but loss is decided by a *caller-supplied* RNG
+/// per send instead of two owned streams.
+///
+/// The sharded runner keeps one `ShardTransport` per shard and passes
+/// the sending node's own random stream into every call, so each
+/// node's loss draws depend only on that node's deterministic send
+/// order — never on how the population was partitioned into shards.
+/// Every directed link `(from, to)` is touched only by the shard that
+/// owns `from`, which is what makes per-shard link queues sound.
+#[derive(Clone, Debug)]
+pub struct ShardTransport {
+    spec: LinkSpec,
+    oob: OutOfBandSpec,
+    links: LinkTable,
+}
+
+impl ShardTransport {
+    /// Creates a transport from the two channel specs.
+    pub fn new(spec: LinkSpec, oob: OutOfBandSpec) -> Self {
+        ShardTransport {
+            spec,
+            oob,
+            links: LinkTable::new(),
+        }
+    }
+
+    /// The smallest delay either channel can add to a message — the
+    /// conservative lookahead of the windowed barrier: no send made at
+    /// time `t` can arrive anywhere before `t + min_delay()`.
+    pub fn min_delay(&self) -> SimTime {
+        self.spec.propagation.min(self.oob.latency)
+    }
+
+    /// As [`Transport::send_link`], drawing loss from `rng`.
+    pub fn send_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bits: u64,
+        now: SimTime,
+        rng: &mut Rng,
+    ) -> Option<SimTime> {
+        self.links
+            .transmit(&self.spec, from, to, bits, now, rng)
+            .arrival()
+    }
+
+    /// As [`Transport::send_oob`], drawing loss from `rng`.
+    pub fn send_oob(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bits: u64,
+        now: SimTime,
+        rng: &mut Rng,
+    ) -> Option<SimTime> {
+        let _ = (from, to); // the direct channel has no per-pair state
+        self.oob.delay(bits, rng).map(|d| now + d)
+    }
+
+    /// Discards queue state for both directions of the `a`–`b` link.
+    pub fn reset_link(&mut self, a: NodeId, b: NodeId) {
+        self.links.reset_link(a, b);
+    }
+
+    /// The link-layer statistics (messages transmitted and lost).
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use eps_sim::RngFactory;
@@ -146,6 +218,35 @@ mod tests {
         let spec = LinkSpec::ethernet_10mbps(0.0);
         let at = t.send_link(a, b, 1000, SimTime::ZERO).unwrap();
         assert_eq!(at, spec.serialization_delay(1000) + spec.propagation);
+    }
+
+    #[test]
+    fn shard_transport_matches_net_transport_for_the_same_draws() {
+        // Same specs, same RNG stream → identical arrival times.
+        let mut net = transport(0.1);
+        let mut shard =
+            ShardTransport::new(LinkSpec::ethernet_10mbps(0.1), OutOfBandSpec::default());
+        let mut rng = RngFactory::new(1).stream("loss");
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        for i in 0..200u64 {
+            let now = SimTime::from_micros(i * 13);
+            let expected = net.send_link(a, b, 1000, now);
+            assert_eq!(shard.send_link(a, b, 1000, now, &mut rng), expected);
+        }
+    }
+
+    #[test]
+    fn shard_transport_min_delay_is_the_lookahead() {
+        let shard = ShardTransport::new(LinkSpec::ethernet_10mbps(0.0), OutOfBandSpec::default());
+        assert_eq!(shard.min_delay(), SimTime::from_micros(50));
+        let slow_links = ShardTransport::new(
+            LinkSpec {
+                propagation: SimTime::from_millis(5),
+                ..LinkSpec::ethernet_10mbps(0.0)
+            },
+            OutOfBandSpec::default(),
+        );
+        assert_eq!(slow_links.min_delay(), SimTime::from_micros(200));
     }
 
     #[test]

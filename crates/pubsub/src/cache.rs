@@ -22,7 +22,7 @@ use eps_overlay::NodeId;
 use eps_sim::Rng;
 
 use crate::event::{Event, EventId};
-use crate::pattern::PatternId;
+use crate::pattern::{PatternId, DENSE_UNIVERSE_MAX};
 
 /// Which cached event to sacrifice when the buffer is full.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -181,14 +181,76 @@ pub struct EventCache {
     events: HashMap<EventId, Event>,
     // Keyed lookups only — never iterated (see `events`).
     by_pattern_seq: HashMap<(NodeId, PatternId, u64), EventId>,
-    // Per-pattern index over the live cache contents, dense-indexed by
-    // `PatternId::index()` and kept exact (updated on insert and
-    // eviction), each list in insertion order: `ids_matching` — the
-    // digest-construction hot path — is a slice copy instead of a scan
-    // of the whole cache.
-    by_pattern: Vec<Vec<EventId>>,
+    // Per-pattern index over the live cache contents, kept exact
+    // (updated on insert and eviction), each list in insertion order:
+    // `ids_matching` — the digest-construction hot path — is a slice
+    // copy instead of a scan of the whole cache.
+    by_pattern: PatternIndex,
     inserted_total: u64,
     evicted_total: u64,
+}
+
+/// The per-pattern id index of one cache.
+///
+/// Dense-indexed by [`PatternId::index`] for small universes; at large
+/// universes (past [`DENSE_UNIVERSE_MAX`]) a cache of β events can
+/// only ever touch a few hundred patterns, so a `Vec` of Π empty
+/// `Vec`s per node would dominate the 10⁵–10⁶-node memory budget and a
+/// map over the occupied patterns is used instead. Keyed lookups only
+/// — never iterated, so the switch cannot change any observable
+/// output; within a pattern, ids keep insertion order in both layouts.
+#[derive(Clone)]
+enum PatternIndex {
+    Dense(Vec<Vec<EventId>>),
+    Sparse(HashMap<u16, Vec<EventId>>),
+}
+
+impl PatternIndex {
+    fn new(universe: usize) -> Self {
+        if universe > DENSE_UNIVERSE_MAX {
+            PatternIndex::Sparse(HashMap::new())
+        } else {
+            PatternIndex::Dense(Vec::new())
+        }
+    }
+
+    fn push(&mut self, pattern: PatternId, id: EventId) {
+        match self {
+            PatternIndex::Dense(lists) => {
+                let idx = pattern.index();
+                if idx >= lists.len() {
+                    lists.resize_with(idx + 1, Vec::new);
+                }
+                lists[idx].push(id);
+            }
+            PatternIndex::Sparse(lists) => lists.entry(pattern.value()).or_default().push(id),
+        }
+    }
+
+    fn remove(&mut self, pattern: PatternId, id: EventId) {
+        match self {
+            PatternIndex::Dense(lists) => {
+                if let Some(list) = lists.get_mut(pattern.index()) {
+                    list.retain(|&x| x != id);
+                }
+            }
+            PatternIndex::Sparse(lists) => {
+                if let Some(list) = lists.get_mut(&pattern.value()) {
+                    list.retain(|&x| x != id);
+                    if list.is_empty() {
+                        lists.remove(&pattern.value());
+                    }
+                }
+            }
+        }
+    }
+
+    fn get(&self, pattern: PatternId) -> Option<&Vec<EventId>> {
+        match self {
+            PatternIndex::Dense(lists) => lists.get(pattern.index()),
+            PatternIndex::Sparse(lists) => lists.get(&pattern.value()),
+        }
+    }
 }
 
 impl std::fmt::Debug for EventCache {
@@ -254,6 +316,20 @@ impl EventCache {
     /// Panics if a source-biased policy is configured without an
     /// owner, or with a share above 1000 ‰.
     pub fn with_policy(capacity: usize, policy: EvictionPolicy, owner: Option<NodeId>) -> Self {
+        Self::with_policy_sized(capacity, policy, owner, 0)
+    }
+
+    /// Like [`EventCache::with_policy`], with a pattern-universe size
+    /// hint (Π) that selects the per-pattern index layout: large
+    /// universes index only the occupied patterns instead of
+    /// allocating Π dense lists. Purely a layout hint — behavior is
+    /// identical for any value; `0` means "unknown" (dense).
+    pub fn with_policy_sized(
+        capacity: usize,
+        policy: EvictionPolicy,
+        owner: Option<NodeId>,
+        universe: usize,
+    ) -> Self {
         if matches!(policy, EvictionPolicy::SourceBiased { .. }) {
             assert!(owner.is_some(), "a source-biased cache must know its owner");
         }
@@ -264,7 +340,7 @@ impl EventCache {
             insertion: VecDeque::new(),
             events: HashMap::new(),
             by_pattern_seq: HashMap::new(),
-            by_pattern: Vec::new(),
+            by_pattern: PatternIndex::new(universe),
             inserted_total: 0,
             evicted_total: 0,
         }
@@ -310,11 +386,7 @@ impl EventCache {
         let id = event.id();
         for &(p, seq) in event.pattern_seqs() {
             self.by_pattern_seq.insert((id.source(), p, seq), id);
-            let idx = p.index();
-            if idx >= self.by_pattern.len() {
-                self.by_pattern.resize_with(idx + 1, Vec::new);
-            }
-            self.by_pattern[idx].push(id);
+            self.by_pattern.push(p, id);
         }
         let is_own = self.owner == Some(id.source());
         self.policy.note_insert(id, is_own);
@@ -336,9 +408,7 @@ impl EventCache {
         if let Some(event) = self.events.remove(&id) {
             for &(p, seq) in event.pattern_seqs() {
                 self.by_pattern_seq.remove(&(id.source(), p, seq));
-                if let Some(list) = self.by_pattern.get_mut(p.index()) {
-                    list.retain(|&x| x != id);
-                }
+                self.by_pattern.remove(p, id);
             }
         }
     }
@@ -372,10 +442,7 @@ impl EventCache {
     /// from the exact per-pattern index: a copy of the live id list,
     /// not a scan of the whole cache.
     pub fn ids_matching(&self, pattern: PatternId) -> Vec<EventId> {
-        self.by_pattern
-            .get(pattern.index())
-            .cloned()
-            .unwrap_or_default()
+        self.by_pattern.get(pattern).cloned().unwrap_or_default()
     }
 
     /// Iterates over cached events in insertion order.
@@ -598,6 +665,36 @@ mod tests {
         let live: Vec<EventId> = c.iter().map(|e| e.id()).collect();
         assert_eq!(live.len(), 4);
         assert!(live.iter().all(|&id| c.contains(id)));
+    }
+
+    #[test]
+    fn sparse_pattern_index_matches_dense_behavior() {
+        // Same operation sequence against a dense-hinted and a
+        // sparse-hinted cache: every observable must agree.
+        let mut dense = EventCache::with_policy_sized(3, EvictionPolicy::Fifo, None, 70);
+        let mut sparse =
+            EventCache::with_policy_sized(3, EvictionPolicy::Fifo, None, DENSE_UNIVERSE_MAX + 1);
+        for seq in 0..10 {
+            let e = ev(
+                (seq % 2) as u32,
+                seq,
+                &[(1, seq), ((seq % 3) as u16 + 2, seq)],
+            );
+            dense.insert(e.clone());
+            sparse.insert(e);
+        }
+        for p in 0..6u16 {
+            assert_eq!(
+                dense.ids_matching(PatternId::new(p)),
+                sparse.ids_matching(PatternId::new(p)),
+                "pattern {p}"
+            );
+        }
+        assert_eq!(dense.len(), sparse.len());
+        assert_eq!(dense.evicted_total(), sparse.evicted_total());
+        let d: Vec<EventId> = dense.iter().map(Event::id).collect();
+        let s: Vec<EventId> = sparse.iter().map(Event::id).collect();
+        assert_eq!(d, s);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use eps_overlay::NodeId;
 
 use crate::event::Event;
-use crate::pattern::PatternId;
+use crate::pattern::{PatternId, DENSE_UNIVERSE_MAX};
 
 /// Coordinates of one detected missing event: enough information to
 /// request it from any dispatcher that may have cached it.
@@ -67,16 +67,81 @@ pub struct LossDetector {
     /// Initial row width in patterns (the universe size hint); rows
     /// still grow past it if a larger pattern index is observed.
     width: usize,
-    /// Source slot → dense per-pattern expectation row. Cell `0` =
-    /// stream never received; otherwise the next expected sequence
-    /// number (always ≥ 1, see the module docs).
-    rows: Vec<Vec<u64>>,
+    /// Source slot → per-pattern expectation row. A cell holding `0`
+    /// (dense) or absent (sparse) = stream never received; otherwise
+    /// the next expected sequence number (always ≥ 1, see the module
+    /// docs).
+    rows: Vec<Row>,
     /// Source → row slot. Lookup-only (never iterated), so the
     /// HashMap's arbitrary ordering can't leak into any output.
     source_slots: HashMap<NodeId, usize>,
     /// Number of occupied cells across all rows (`stream_count`).
     streams: usize,
     detected_total: u64,
+}
+
+/// One source's expectation row.
+///
+/// Dense rows (Π cells up front) are optimal at the paper's Π = 70,
+/// but at large universes a dispatcher only tracks the streams of its
+/// locally subscribed patterns — a handful out of Π — so rows past
+/// [`DENSE_UNIVERSE_MAX`] store only occupied cells, sorted by pattern
+/// index. Keyed lookups only — never iterated — so the layout cannot
+/// change any observable output.
+#[derive(Clone, Debug)]
+enum Row {
+    Dense(Vec<u64>),
+    Sparse(Vec<(u16, u64)>),
+}
+
+impl Row {
+    /// The cell value; `0` means "stream never received".
+    fn get(&self, pattern: PatternId) -> u64 {
+        match self {
+            Row::Dense(cells) => cells.get(pattern.index()).copied().unwrap_or(0),
+            Row::Sparse(cells) => cells
+                .binary_search_by_key(&pattern.value(), |&(p, _)| p)
+                .map(|i| cells[i].1)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Stores a non-zero expectation.
+    fn set(&mut self, pattern: PatternId, value: u64) {
+        match self {
+            Row::Dense(cells) => {
+                let idx = pattern.index();
+                if idx >= cells.len() {
+                    cells.resize(idx + 1, 0);
+                }
+                cells[idx] = value;
+            }
+            Row::Sparse(cells) => match cells.binary_search_by_key(&pattern.value(), |&(p, _)| p) {
+                Ok(i) => cells[i].1 = value,
+                Err(i) => cells.insert(i, (pattern.value(), value)),
+            },
+        }
+    }
+
+    /// Clears the cell; returns `true` if it held an expectation.
+    fn forget(&mut self, pattern: PatternId) -> bool {
+        match self {
+            Row::Dense(cells) => match cells.get_mut(pattern.index()) {
+                Some(cell) if *cell != 0 => {
+                    *cell = 0;
+                    true
+                }
+                _ => false,
+            },
+            Row::Sparse(cells) => match cells.binary_search_by_key(&pattern.value(), |&(p, _)| p) {
+                Ok(i) => {
+                    cells.remove(i);
+                    true
+                }
+                Err(_) => false,
+            },
+        }
+    }
 }
 
 impl LossDetector {
@@ -101,7 +166,11 @@ impl LossDetector {
         let rows = &mut self.rows;
         let width = self.width;
         *self.source_slots.entry(source).or_insert_with(|| {
-            rows.push(vec![0; width]);
+            rows.push(if width > DENSE_UNIVERSE_MAX {
+                Row::Sparse(Vec::new())
+            } else {
+                Row::Dense(vec![0; width])
+            });
             rows.len() - 1
         })
     }
@@ -152,17 +221,13 @@ impl LossDetector {
                     s
                 }
             };
-            let idx = pattern.index();
             let row = &mut self.rows[s];
-            if idx >= row.len() {
-                row.resize(idx + 1, 0);
-            }
-            let cell = &mut row[idx];
-            if *cell == 0 {
+            let expected = row.get(pattern);
+            if expected == 0 {
                 // Stream never received before.
                 self.streams += 1;
                 if is_late(pattern) {
-                    *cell = seq + 1;
+                    row.set(pattern, seq + 1);
                     continue;
                 }
                 for missing in 0..seq {
@@ -172,19 +237,16 @@ impl LossDetector {
                         seq: missing,
                     });
                 }
-                *cell = seq + 1;
-            } else {
-                let expected = *cell;
-                if seq >= expected {
-                    for missing in expected..seq {
-                        losses.push(LossRecord {
-                            source,
-                            pattern,
-                            seq: missing,
-                        });
-                    }
-                    *cell = seq + 1;
+                row.set(pattern, seq + 1);
+            } else if seq >= expected {
+                for missing in expected..seq {
+                    losses.push(LossRecord {
+                        source,
+                        pattern,
+                        seq: missing,
+                    });
                 }
+                row.set(pattern, seq + 1);
             }
         }
         self.detected_total += losses.len() as u64;
@@ -196,13 +258,9 @@ impl LossDetector {
     /// re-subscription does not inherit stale expectations and report
     /// the unsubscribed gap as losses.
     pub fn forget_pattern(&mut self, pattern: PatternId) {
-        let idx = pattern.index();
         for row in &mut self.rows {
-            if let Some(cell) = row.get_mut(idx) {
-                if *cell != 0 {
-                    *cell = 0;
-                    self.streams -= 1;
-                }
+            if row.forget(pattern) {
+                self.streams -= 1;
             }
         }
     }
@@ -212,8 +270,7 @@ impl LossDetector {
     pub fn expected(&self, source: NodeId, pattern: PatternId) -> u64 {
         self.source_slots
             .get(&source)
-            .and_then(|&s| self.rows[s].get(pattern.index()))
-            .copied()
+            .map(|&s| self.rows[s].get(pattern))
             .unwrap_or(0)
     }
 
@@ -318,6 +375,38 @@ mod tests {
         // A fresh observation re-baselines from scratch.
         let losses = det.observe(&ev(0, 1, &[(1, 3)]), |_| true);
         assert_eq!(losses.len(), 3);
+    }
+
+    #[test]
+    fn sparse_rows_match_dense_behavior() {
+        // The same observation sequence against a dense-width and a
+        // sparse-width detector must agree on every observable,
+        // including late baselining and pattern forgetting.
+        let mut dense = LossDetector::with_universe(70);
+        let mut sparse = LossDetector::with_universe(DENSE_UNIVERSE_MAX + 1);
+        let steps: Vec<Event> = vec![
+            ev(0, 0, &[(1, 2), (3, 0)]),
+            ev(7, 1, &[(1, 4)]),
+            ev(0, 2, &[(1, 1)]), // late arrival
+            ev(0, 3, &[(3, 5), (9, 0)]),
+        ];
+        for (i, e) in steps.iter().enumerate() {
+            let late = |p: PatternId| p == PatternId::new(9);
+            let a = dense.observe_with(e, |_| true, late);
+            let b = sparse.observe_with(e, |_| true, late);
+            assert_eq!(a, b, "step {i}");
+        }
+        dense.forget_pattern(PatternId::new(1));
+        sparse.forget_pattern(PatternId::new(1));
+        assert_eq!(dense.stream_count(), sparse.stream_count());
+        assert_eq!(dense.detected_total(), sparse.detected_total());
+        for (src, p) in [(0u32, 1u16), (0, 3), (0, 9), (7, 1)] {
+            assert_eq!(
+                dense.expected(NodeId::new(src), PatternId::new(p)),
+                sparse.expected(NodeId::new(src), PatternId::new(p)),
+                "expected({src}, {p})"
+            );
+        }
     }
 
     #[test]

@@ -14,8 +14,137 @@ use eps_overlay::NodeId;
 use crate::cache::{EventCache, EvictionPolicy};
 use crate::detector::{LossDetector, LossRecord};
 use crate::event::{Event, EventId};
-use crate::pattern::PatternId;
+use crate::pattern::{PatternId, DENSE_UNIVERSE_MAX};
 use crate::table::{Interface, SubscriptionTable};
+
+/// Per-pattern publication sequence counters.
+///
+/// Small universes (the paper's Π = 70) use a dense array indexed by
+/// [`PatternId::index`]; past [`DENSE_UNIVERSE_MAX`] the per-node cost
+/// of `Π × 8` bytes starts to matter at 10⁵–10⁶-node populations, so a
+/// map holding only the patterns this node has actually published is
+/// used instead. Keyed lookups only — never iterated, so the switch
+/// cannot change any observable output.
+#[derive(Clone, Debug)]
+enum SeqCounters {
+    Dense(Vec<u64>),
+    Sparse(HashMap<u16, u64>),
+}
+
+impl SeqCounters {
+    fn new(universe: usize) -> Self {
+        if universe > DENSE_UNIVERSE_MAX {
+            SeqCounters::Sparse(HashMap::new())
+        } else {
+            SeqCounters::Dense(vec![0; universe])
+        }
+    }
+
+    /// Returns the next sequence number for `pattern` and advances it.
+    fn next(&mut self, pattern: PatternId) -> u64 {
+        match self {
+            SeqCounters::Dense(counters) => {
+                let idx = pattern.index();
+                if idx >= counters.len() {
+                    counters.resize(idx + 1, 0);
+                }
+                let seq = counters[idx];
+                counters[idx] += 1;
+                seq
+            }
+            SeqCounters::Sparse(counters) => {
+                let slot = counters.entry(pattern.value()).or_insert(0);
+                let seq = *slot;
+                *slot += 1;
+                seq
+            }
+        }
+    }
+}
+
+/// The subscription-forwarding memory: which (pattern, neighbor) pairs
+/// a `Subscribe` has been sent for and not retracted.
+///
+/// Subscription flooding makes this set dense — on a quiescent tree a
+/// dispatcher has sent almost every subscribed pattern to almost every
+/// neighbor — so it is stored as one pattern bitset per neighbor
+/// (Π/8 bytes each) instead of a hash set of pairs (~50 bytes per
+/// pair), a ~100× saving that the 10⁵–10⁶-node populations need.
+/// Membership operations only — never iterated, so the layout cannot
+/// change any observable output.
+#[derive(Clone, Debug, Default)]
+struct SentSet {
+    /// Neighbors with at least one mark, sorted by id.
+    slots: Vec<NodeId>,
+    /// Per-neighbor pattern bitsets, parallel to `slots`, grown on
+    /// demand.
+    bits: Vec<Vec<u64>>,
+}
+
+impl SentSet {
+    /// Marks (pattern, neighbor); returns `true` if newly marked.
+    fn insert(&mut self, pattern: PatternId, neighbor: NodeId) -> bool {
+        let slot = match self.slots.binary_search(&neighbor) {
+            Ok(slot) => slot,
+            Err(slot) => {
+                self.slots.insert(slot, neighbor);
+                self.bits.insert(slot, Vec::new());
+                slot
+            }
+        };
+        let idx = pattern.index();
+        let words = &mut self.bits[slot];
+        if words.len() <= idx / 64 {
+            words.resize(idx / 64 + 1, 0);
+        }
+        let bit = 1u64 << (idx % 64);
+        let new = words[idx / 64] & bit == 0;
+        words[idx / 64] |= bit;
+        new
+    }
+
+    fn contains(&self, pattern: PatternId, neighbor: NodeId) -> bool {
+        let Ok(slot) = self.slots.binary_search(&neighbor) else {
+            return false;
+        };
+        let idx = pattern.index();
+        self.bits[slot]
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+
+    fn remove(&mut self, pattern: PatternId, neighbor: NodeId) {
+        if let Ok(slot) = self.slots.binary_search(&neighbor) {
+            let idx = pattern.index();
+            if let Some(w) = self.bits[slot].get_mut(idx / 64) {
+                *w &= !(1u64 << (idx % 64));
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.bits.clear();
+    }
+
+    /// All marked pairs, sorted. Test-only introspection.
+    #[cfg(test)]
+    fn pairs(&self) -> Vec<(PatternId, NodeId)> {
+        let mut out = Vec::new();
+        for (slot, words) in self.bits.iter().enumerate() {
+            for (wi, &w) in words.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    out.push((PatternId::new((wi * 64 + b) as u16), self.slots[slot]));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
 
 /// Static per-dispatcher configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -173,11 +302,10 @@ pub struct Dispatcher {
     /// arbitrary ordering can't leak into any output.
     seen: HashSet<EventId>,
     next_event_seq: u64,
-    /// Per-pattern publication sequence counters, dense-indexed by
-    /// [`PatternId::index`].
-    pattern_counters: Vec<u64>,
-    /// Membership checks only — never iterated (see `seen`).
-    subs_sent: HashSet<(PatternId, NodeId)>,
+    /// Per-pattern publication sequence counters.
+    pattern_counters: SeqCounters,
+    /// Membership checks only — never iterated.
+    subs_sent: SentSet,
     /// Membership checks only — never iterated (see `seen`).
     late_patterns: HashSet<PatternId>,
     delivered_total: u64,
@@ -194,13 +322,18 @@ impl Dispatcher {
             id,
             config,
             table: SubscriptionTable::with_dims(config.pattern_universe, config.degree_hint),
-            cache: EventCache::with_policy(config.cache_capacity, config.eviction, Some(id)),
+            cache: EventCache::with_policy_sized(
+                config.cache_capacity,
+                config.eviction,
+                Some(id),
+                config.pattern_universe,
+            ),
             detector: LossDetector::with_universe(config.pattern_universe),
             routes: RouteBook::default(),
             seen: HashSet::new(),
             next_event_seq: 0,
-            pattern_counters: vec![0; config.pattern_universe],
-            subs_sent: HashSet::new(),
+            pattern_counters: SeqCounters::new(config.pattern_universe),
+            subs_sent: SentSet::default(),
             late_patterns: HashSet::new(),
             delivered_total: 0,
             published_total: 0,
@@ -308,12 +441,36 @@ impl Dispatcher {
         neighbors
             .iter()
             .filter(|&&n| Some(n) != from)
-            .filter(|&&n| self.subs_sent.insert((pattern, n)))
+            .filter(|&&n| self.subs_sent.insert(pattern, n))
             .map(|&n| Forward {
                 to: n,
                 msg: PubSubMessage::Subscribe(pattern),
             })
             .collect()
+    }
+
+    /// Installs a routing-table entry as if a `Subscribe(pattern)` had
+    /// arrived from `from`, without propagating anything. Used by the
+    /// direct subscription fill ([`crate::flood_subscriptions`]'s
+    /// closed-form equivalent for trees) to reach the flooded fixpoint
+    /// without exchanging messages.
+    pub(crate) fn install_route(&mut self, pattern: PatternId, from: NodeId) {
+        self.table.insert(pattern, Interface::Neighbor(from));
+    }
+
+    /// Records that a `Subscribe(pattern)` is considered sent to `to`,
+    /// without producing the message. Counterpart of
+    /// [`Dispatcher::install_route`] for the sender-side forwarding
+    /// memory that gates unsubscription propagation.
+    pub(crate) fn mark_subscription_sent(&mut self, pattern: PatternId, to: NodeId) {
+        self.subs_sent.insert(pattern, to);
+    }
+
+    /// All (pattern, neighbor) pairs currently marked as sent, sorted.
+    /// Test-only introspection for the direct-fill equivalence proof.
+    #[cfg(test)]
+    pub(crate) fn sent_pairs(&self) -> Vec<(PatternId, NodeId)> {
+        self.subs_sent.pairs()
     }
 
     /// A local client unsubscribes from `pattern`.
@@ -343,14 +500,14 @@ impl Dispatcher {
     ) -> Vec<Forward> {
         let mut out = Vec::new();
         for &n in neighbors.iter().filter(|&&n| Some(n) != from) {
-            if !self.subs_sent.contains(&(pattern, n)) {
+            if !self.subs_sent.contains(pattern, n) {
                 continue;
             }
             // Still needed if any interface other than `n` subscribes.
             let still_needed = self.table.has_local(pattern)
                 || !self.table.neighbors_for(pattern, Some(n)).is_empty();
             if !still_needed {
-                self.subs_sent.remove(&(pattern, n));
+                self.subs_sent.remove(pattern, n);
                 out.push(Forward {
                     to: n,
                     msg: PubSubMessage::Unsubscribe(pattern),
@@ -389,15 +546,7 @@ impl Dispatcher {
     pub fn publish(&mut self, content: &[PatternId]) -> (Event, EventReceipt) {
         let pattern_seqs: Vec<(PatternId, u64)> = content
             .iter()
-            .map(|&p| {
-                let idx = p.index();
-                if idx >= self.pattern_counters.len() {
-                    self.pattern_counters.resize(idx + 1, 0);
-                }
-                let seq = self.pattern_counters[idx];
-                self.pattern_counters[idx] += 1;
-                (p, seq)
-            })
+            .map(|&p| (p, self.pattern_counters.next(p)))
             .collect();
         let id = EventId::new(self.id, self.next_event_seq);
         self.next_event_seq += 1;

@@ -63,7 +63,7 @@ pub use dispatcher::{
 pub use event::{Event, EventId, ROUTE_HOP_BITS};
 pub use pattern::{PatternId, PatternSpace};
 pub use setup::{
-    flood_subscriptions, install_local_subscriptions, intended_recipients,
-    rebuild_subscription_routes, DispatcherHost,
+    flood_subscriptions, flood_subscriptions_direct, install_local_subscriptions,
+    intended_recipients, rebuild_subscription_routes, DispatcherHost,
 };
 pub use table::{Interface, SubscriptionTable};

@@ -8,6 +8,16 @@
 
 use eps_sim::Rng;
 
+/// Largest pattern universe (Π) for which per-pattern per-node state
+/// stays dense-indexed. Past this, auxiliary structures that would
+/// cost O(Π) per dispatcher regardless of occupancy (publication
+/// counters, cache pattern index, loss-detector rows) switch to sparse
+/// layouts holding only occupied patterns — a pure layout change, with
+/// behavior identical on both sides of the threshold. The paper's
+/// Π = 70 stays dense; the threshold only engages for the large-Π
+/// large-N scaling runs.
+pub(crate) const DENSE_UNIVERSE_MAX: usize = 4096;
+
 /// A content pattern: a single number out of the pattern universe.
 ///
 /// # Examples

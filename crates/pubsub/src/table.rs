@@ -17,18 +17,27 @@
 //!
 //! - each neighboring dispatcher gets a *slot* in a per-table registry
 //!   kept sorted by [`NodeId`], so slot order **is** id order;
-//! - each pattern is a dense [`PatternId::index`]-addressed entry
-//!   holding a local-subscriber flag and a *bitset* over the neighbor
-//!   slots ([`NeighborMask`], one inline word plus a spill vector for
-//!   degrees above 64);
+//! - the local-subscriber flags live in one bitset over the dense
+//!   [`PatternId::index`] space;
+//! - the per-pattern neighbor sets are stored structure-of-arrays: one
+//!   byte per pattern while the table has at most eight neighbor slots
+//!   ([`Rows::Narrow`] — the paper's trees have degree ≤ 4), upgraded
+//!   in place to a vector of multi-word bitsets ([`NeighborMask`])
+//!   the first time a ninth slot registers;
 //! - matching an event is an OR of at most `max_patterns_per_event`
-//!   masks followed by set-bit iteration — no tree walk, no sort, no
+//!   rows followed by set-bit iteration — no tree walk, no sort, no
 //!   dedup, no allocation.
 //!
-//! Every observable iteration order of the previous `BTreeMap`-based
-//! table is preserved: neighbors enumerate in ascending id order
-//! (sorted slots), patterns in ascending pattern-id order (dense index
-//! order). The golden determinism suite pins this bit-for-bit.
+//! Subscription forwarding floods every subscribed pattern to every
+//! dispatcher of the tree, so at large pattern universes the table is
+//! the dominant per-node allocation: the narrow layout costs ~1.14
+//! bytes per pattern instead of the ~40 an array-of-structs row would,
+//! which is what makes 10⁵–10⁶-node populations fit in memory.
+//!
+//! Every observable iteration order is preserved across layouts:
+//! neighbors enumerate in ascending id order (sorted slots), patterns
+//! in ascending pattern-id order (dense index order). The golden
+//! determinism suite pins this bit-for-bit.
 
 use eps_overlay::NodeId;
 
@@ -45,12 +54,16 @@ pub enum Interface {
     Neighbor(NodeId),
 }
 
-/// A bitset over the neighbor slots of one [`SubscriptionTable`].
+/// Number of neighbor slots the narrow (one byte per pattern) row
+/// layout can hold before upgrading to [`NeighborMask`] rows.
+const NARROW_SLOTS: usize = 8;
+
+/// A bitset over the neighbor slots of one [`SubscriptionTable`], used
+/// by the wide row layout.
 ///
-/// The first 64 slots live in an inline word (`w0`) — the common case,
-/// since the paper's overlays have degree ≤ 10 — and slots beyond that
-/// spill into a vector of further words, so any degree is handled
-/// without a hardcoded 64-neighbor assumption.
+/// The first 64 slots live in an inline word (`w0`) — the common case
+/// — and slots beyond that spill into a vector of further words, so
+/// any degree is handled without a hardcoded 64-neighbor assumption.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 struct NeighborMask {
     w0: u64,
@@ -94,20 +107,12 @@ impl NeighborMask {
 
     /// Set bits in ascending order. Since slots are kept sorted by
     /// node id, this is ascending-[`NodeId`] order.
-    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        std::iter::once(self.w0)
-            .chain(self.rest.iter().copied())
-            .enumerate()
-            .flat_map(|(wi, mut w)| {
-                std::iter::from_fn(move || {
-                    if w == 0 {
-                        return None;
-                    }
-                    let bit = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(wi * 64 + bit)
-                })
-            })
+    fn iter(&self) -> SetBits<'_> {
+        SetBits {
+            word: self.w0,
+            rest: self.rest.iter(),
+            base: 0,
+        }
     }
 
     /// Rebuilds the mask, sending each set bit `b` to `f(b)` (`None`
@@ -125,18 +130,37 @@ impl NeighborMask {
     }
 }
 
-/// One pattern's row: the local-subscriber flag plus the neighbor
-/// bitset.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-struct PatternEntry {
-    local: bool,
-    mask: NeighborMask,
+/// Iterator over the set bits of a word sequence, ascending.
+struct SetBits<'a> {
+    word: u64,
+    rest: std::slice::Iter<'a, u64>,
+    base: usize,
 }
 
-impl PatternEntry {
-    fn is_empty(&self) -> bool {
-        !self.local && self.mask.is_empty()
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
+                return Some(self.base + bit);
+            }
+            self.word = *self.rest.next()?;
+            self.base += 64;
+        }
     }
+}
+
+/// The per-pattern neighbor sets, structure-of-arrays.
+#[derive(Clone, Debug)]
+enum Rows {
+    /// One byte per pattern: bit `s` set means neighbor slot `s` is
+    /// subscribed. Valid while at most [`NARROW_SLOTS`] slots exist.
+    Narrow(Vec<u8>),
+    /// One multi-word bitset per pattern, for higher degrees.
+    Wide(Vec<NeighborMask>),
 }
 
 /// A dispatcher's subscription table (dense slot-indexed layout; see
@@ -155,16 +179,32 @@ impl PatternEntry {
 /// assert!(table.has_local(p));
 /// assert_eq!(table.neighbors_for(p, None), vec![NodeId::new(7)]);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SubscriptionTable {
     /// Slot → neighbor id, kept sorted ascending so that set-bit
     /// iteration enumerates neighbors in id order.
     slots: Vec<NodeId>,
-    /// Pattern rows, indexed by [`PatternId::index`]; grown on demand,
-    /// pre-sized by [`SubscriptionTable::with_dims`].
-    entries: Vec<PatternEntry>,
+    /// Local-subscriber flags, one bit per pattern index.
+    local: Vec<u64>,
+    /// Per-pattern neighbor sets, indexed by [`PatternId::index`].
+    rows: Rows,
+    /// Number of pattern rows allocated (grown on demand, pre-sized by
+    /// [`SubscriptionTable::with_dims`]).
+    patterns: usize,
     /// Number of non-empty pattern rows (`len()`).
     known: usize,
+}
+
+impl Default for SubscriptionTable {
+    fn default() -> Self {
+        SubscriptionTable {
+            slots: Vec::new(),
+            local: Vec::new(),
+            rows: Rows::Narrow(Vec::new()),
+            patterns: 0,
+            known: 0,
+        }
+    }
 }
 
 impl SubscriptionTable {
@@ -181,9 +221,88 @@ impl SubscriptionTable {
     /// either dimension on demand.
     pub fn with_dims(universe: usize, degree_hint: usize) -> Self {
         SubscriptionTable {
-            slots: Vec::with_capacity(degree_hint),
-            entries: vec![PatternEntry::default(); universe],
+            slots: Vec::with_capacity(degree_hint.min(1024)),
+            local: vec![0; universe.div_ceil(64)],
+            rows: if degree_hint <= NARROW_SLOTS {
+                Rows::Narrow(vec![0; universe])
+            } else {
+                Rows::Wide(vec![NeighborMask::default(); universe])
+            },
+            patterns: universe,
             known: 0,
+        }
+    }
+
+    /// Grows the pattern dimension to cover `idx`.
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.patterns {
+            self.patterns = idx + 1;
+            if self.local.len() * 64 < self.patterns {
+                self.local.resize(self.patterns.div_ceil(64), 0);
+            }
+            match &mut self.rows {
+                Rows::Narrow(rows) => rows.resize(idx + 1, 0),
+                Rows::Wide(rows) => rows.resize(idx + 1, NeighborMask::default()),
+            }
+        }
+    }
+
+    fn local_test(&self, idx: usize) -> bool {
+        self.local
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+
+    fn row_is_empty(&self, idx: usize) -> bool {
+        match &self.rows {
+            Rows::Narrow(rows) => rows.get(idx).is_none_or(|&b| b == 0),
+            Rows::Wide(rows) => rows.get(idx).is_none_or(|m| m.is_empty()),
+        }
+    }
+
+    fn entry_is_empty(&self, idx: usize) -> bool {
+        !self.local_test(idx) && self.row_is_empty(idx)
+    }
+
+    fn row_test(&self, idx: usize, slot: usize) -> bool {
+        match &self.rows {
+            Rows::Narrow(rows) => rows.get(idx).is_some_and(|&b| b & (1u8 << slot) != 0),
+            Rows::Wide(rows) => rows.get(idx).is_some_and(|m| m.test(slot)),
+        }
+    }
+
+    /// Set bits of one pattern row, ascending. Out-of-range patterns
+    /// yield an empty iterator.
+    fn row_bits(&self, idx: usize) -> SetBits<'_> {
+        match &self.rows {
+            Rows::Narrow(rows) => SetBits {
+                word: rows.get(idx).copied().unwrap_or(0) as u64,
+                rest: [].iter(),
+                base: 0,
+            },
+            Rows::Wide(rows) => match rows.get(idx) {
+                Some(m) => m.iter(),
+                None => SetBits {
+                    word: 0,
+                    rest: [].iter(),
+                    base: 0,
+                },
+            },
+        }
+    }
+
+    /// Converts narrow byte rows to wide mask rows (the first time a
+    /// ninth neighbor slot registers). Content-preserving.
+    fn upgrade_to_wide(&mut self) {
+        if let Rows::Narrow(rows) = &self.rows {
+            let wide = rows
+                .iter()
+                .map(|&b| NeighborMask {
+                    w0: b as u64,
+                    rest: Vec::new(),
+                })
+                .collect();
+            self.rows = Rows::Wide(wide);
         }
     }
 
@@ -194,29 +313,38 @@ impl SubscriptionTable {
 
     /// Registers `neighbor` and returns its slot. Slots stay sorted by
     /// node id; inserting in the middle renumbers the higher slots and
-    /// remaps every pattern mask — rare (subscription setup or overlay
+    /// remaps every pattern row — rare (subscription setup or overlay
     /// reconfiguration), never on the event-matching hot path.
     fn register(&mut self, neighbor: NodeId) -> usize {
         match self.slots.binary_search(&neighbor) {
             Ok(pos) => pos,
             Err(pos) => {
+                if matches!(self.rows, Rows::Narrow(_)) && self.slots.len() == NARROW_SLOTS {
+                    self.upgrade_to_wide();
+                }
                 self.slots.insert(pos, neighbor);
                 if pos + 1 < self.slots.len() {
-                    for entry in &mut self.entries {
-                        entry.mask.remap(|b| Some(if b >= pos { b + 1 } else { b }));
+                    match &mut self.rows {
+                        Rows::Narrow(rows) => {
+                            // Bits at or above `pos` move up one slot.
+                            // Pre-insert bits occupy slots below the
+                            // old length (< NARROW_SLOTS), so the
+                            // shift cannot overflow the byte.
+                            let low = (1u8 << pos) - 1;
+                            for b in rows.iter_mut() {
+                                *b = (*b & low) | ((*b & !low) << 1);
+                            }
+                        }
+                        Rows::Wide(rows) => {
+                            for mask in rows.iter_mut() {
+                                mask.remap(|b| Some(if b >= pos { b + 1 } else { b }));
+                            }
+                        }
                     }
                 }
                 pos
             }
         }
-    }
-
-    fn entry_mut(&mut self, pattern: PatternId) -> &mut PatternEntry {
-        let idx = pattern.index();
-        if idx >= self.entries.len() {
-            self.entries.resize(idx + 1, PatternEntry::default());
-        }
-        &mut self.entries[idx]
     }
 
     /// Records that `pattern` is subscribed via `iface`. Returns `true`
@@ -227,15 +355,30 @@ impl SubscriptionTable {
             Interface::Local => None,
             Interface::Neighbor(n) => Some(self.register(n)),
         };
-        let entry = self.entry_mut(pattern);
-        let was_empty = entry.is_empty();
+        let idx = pattern.index();
+        self.ensure(idx);
+        let was_empty = self.entry_is_empty(idx);
         let inserted = match slot {
-            None => !std::mem::replace(&mut entry.local, true),
-            Some(slot) => {
-                let new = !entry.mask.test(slot);
-                entry.mask.set(slot);
+            None => {
+                let word = &mut self.local[idx / 64];
+                let bit = 1u64 << (idx % 64);
+                let new = *word & bit == 0;
+                *word |= bit;
                 new
             }
+            Some(slot) => match &mut self.rows {
+                Rows::Narrow(rows) => {
+                    let bit = 1u8 << slot;
+                    let new = rows[idx] & bit == 0;
+                    rows[idx] |= bit;
+                    new
+                }
+                Rows::Wide(rows) => {
+                    let new = !rows[idx].test(slot);
+                    rows[idx].set(slot);
+                    new
+                }
+            },
         };
         if inserted && was_empty {
             self.known += 1;
@@ -252,18 +395,33 @@ impl SubscriptionTable {
                 None => return false,
             },
         };
-        let Some(entry) = self.entries.get_mut(pattern.index()) else {
+        let idx = pattern.index();
+        if idx >= self.patterns {
             return false;
-        };
+        }
         let removed = match slot {
-            None => std::mem::replace(&mut entry.local, false),
-            Some(slot) => {
-                let was = entry.mask.test(slot);
-                entry.mask.clear(slot);
+            None => {
+                let word = &mut self.local[idx / 64];
+                let bit = 1u64 << (idx % 64);
+                let was = *word & bit != 0;
+                *word &= !bit;
                 was
             }
+            Some(slot) => match &mut self.rows {
+                Rows::Narrow(rows) => {
+                    let bit = 1u8 << slot;
+                    let was = rows[idx] & bit != 0;
+                    rows[idx] &= !bit;
+                    was
+                }
+                Rows::Wide(rows) => {
+                    let was = rows[idx].test(slot);
+                    rows[idx].clear(slot);
+                    was
+                }
+            },
         };
-        if removed && entry.is_empty() {
+        if removed && self.entry_is_empty(idx) {
             self.known -= 1;
         }
         removed
@@ -277,11 +435,14 @@ impl SubscriptionTable {
             return Vec::new();
         };
         let mut affected = Vec::new();
-        for (idx, entry) in self.entries.iter_mut().enumerate() {
-            if entry.mask.test(slot) {
-                entry.mask.clear(slot);
+        for idx in 0..self.patterns {
+            if self.row_test(idx, slot) {
+                match &mut self.rows {
+                    Rows::Narrow(rows) => rows[idx] &= !(1u8 << slot),
+                    Rows::Wide(rows) => rows[idx].clear(slot),
+                }
                 affected.push(PatternId::new(idx as u16));
-                if entry.is_empty() {
+                if self.entry_is_empty(idx) {
                     self.known -= 1;
                 }
             }
@@ -289,27 +450,36 @@ impl SubscriptionTable {
         // Retire the slot and renumber the higher ones so the registry
         // never accumulates dead neighbors across reconfigurations.
         self.slots.remove(slot);
-        for entry in &mut self.entries {
-            entry.mask.remap(|b| match b.cmp(&slot) {
-                std::cmp::Ordering::Less => Some(b),
-                std::cmp::Ordering::Equal => None,
-                std::cmp::Ordering::Greater => Some(b - 1),
-            });
+        match &mut self.rows {
+            Rows::Narrow(rows) => {
+                let low = (1u8 << slot) - 1;
+                for b in rows.iter_mut() {
+                    *b = (*b & low) | ((*b >> (slot + 1)) << slot);
+                }
+            }
+            Rows::Wide(rows) => {
+                for mask in rows.iter_mut() {
+                    mask.remap(|b| match b.cmp(&slot) {
+                        std::cmp::Ordering::Less => Some(b),
+                        std::cmp::Ordering::Equal => None,
+                        std::cmp::Ordering::Greater => Some(b - 1),
+                    });
+                }
+            }
         }
         affected
     }
 
     /// `true` if a local client subscribes to `pattern`.
     pub fn has_local(&self, pattern: PatternId) -> bool {
-        self.entries.get(pattern.index()).is_some_and(|e| e.local)
+        self.local_test(pattern.index())
     }
 
     /// `true` if the table has any entry (local or remote) for
     /// `pattern`.
     pub fn knows(&self, pattern: PatternId) -> bool {
-        self.entries
-            .get(pattern.index())
-            .is_some_and(|e| !e.is_empty())
+        let idx = pattern.index();
+        idx < self.patterns && !self.entry_is_empty(idx)
     }
 
     /// The neighbor interfaces subscribed to `pattern`, excluding
@@ -327,10 +497,7 @@ impl SubscriptionTable {
         pattern: PatternId,
         exclude: Option<NodeId>,
     ) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries
-            .get(pattern.index())
-            .into_iter()
-            .flat_map(|e| e.mask.iter())
+        self.row_bits(pattern.index())
             .map(|slot| self.slots[slot])
             .filter(move |&n| Some(n) != exclude)
     }
@@ -349,7 +516,7 @@ impl SubscriptionTable {
     /// forwarding many events allocates nothing in steady state.
     ///
     /// This is the per-hop hot path: an OR of the event's pattern
-    /// masks, then set-bit iteration. The union is deduplicated and in
+    /// rows, then set-bit iteration. The union is deduplicated and in
     /// ascending id order by construction — no sort, no dedup.
     pub fn matching_neighbors_into(
         &self,
@@ -358,43 +525,62 @@ impl SubscriptionTable {
         out: &mut Vec<NodeId>,
     ) {
         out.clear();
-        if self.slots.len() <= 64 {
-            // Single-word fast path: the whole neighbor set fits w0.
-            let mut acc = 0u64;
-            for p in event.patterns() {
-                if let Some(e) = self.entries.get(p.index()) {
-                    acc |= e.mask.w0;
+        match &self.rows {
+            Rows::Narrow(rows) => {
+                let mut acc = 0u64;
+                for p in event.patterns() {
+                    acc |= rows.get(p.index()).copied().unwrap_or(0) as u64;
                 }
-            }
-            if let Some(f) = from {
-                if let Some(slot) = self.slot_of(f) {
-                    acc &= !(1u64 << slot);
-                }
-            }
-            while acc != 0 {
-                let slot = acc.trailing_zeros() as usize;
-                acc &= acc - 1;
-                out.push(self.slots[slot]);
-            }
-        } else {
-            let mut acc = NeighborMask::default();
-            for p in event.patterns() {
-                if let Some(e) = self.entries.get(p.index()) {
-                    acc.w0 |= e.mask.w0;
-                    if acc.rest.len() < e.mask.rest.len() {
-                        acc.rest.resize(e.mask.rest.len(), 0);
-                    }
-                    for (a, &w) in acc.rest.iter_mut().zip(&e.mask.rest) {
-                        *a |= w;
+                if let Some(f) = from {
+                    if let Some(slot) = self.slot_of(f) {
+                        acc &= !(1u64 << slot);
                     }
                 }
-            }
-            if let Some(f) = from {
-                if let Some(slot) = self.slot_of(f) {
-                    acc.clear(slot);
+                while acc != 0 {
+                    let slot = acc.trailing_zeros() as usize;
+                    acc &= acc - 1;
+                    out.push(self.slots[slot]);
                 }
             }
-            out.extend(acc.iter().map(|slot| self.slots[slot]));
+            Rows::Wide(rows) if self.slots.len() <= 64 => {
+                // Single-word fast path: the whole neighbor set fits w0.
+                let mut acc = 0u64;
+                for p in event.patterns() {
+                    if let Some(m) = rows.get(p.index()) {
+                        acc |= m.w0;
+                    }
+                }
+                if let Some(f) = from {
+                    if let Some(slot) = self.slot_of(f) {
+                        acc &= !(1u64 << slot);
+                    }
+                }
+                while acc != 0 {
+                    let slot = acc.trailing_zeros() as usize;
+                    acc &= acc - 1;
+                    out.push(self.slots[slot]);
+                }
+            }
+            Rows::Wide(rows) => {
+                let mut acc = NeighborMask::default();
+                for p in event.patterns() {
+                    if let Some(m) = rows.get(p.index()) {
+                        acc.w0 |= m.w0;
+                        if acc.rest.len() < m.rest.len() {
+                            acc.rest.resize(m.rest.len(), 0);
+                        }
+                        for (a, &w) in acc.rest.iter_mut().zip(&m.rest) {
+                            *a |= w;
+                        }
+                    }
+                }
+                if let Some(f) = from {
+                    if let Some(slot) = self.slot_of(f) {
+                        acc.clear(slot);
+                    }
+                }
+                out.extend(acc.iter().map(|slot| self.slots[slot]));
+            }
         }
     }
 
@@ -406,11 +592,9 @@ impl SubscriptionTable {
     /// Patterns with a local subscription, in order.
     pub fn local_patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
         // Dense row order is ascending pattern-id order.
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.local)
-            .map(|(idx, _)| PatternId::new(idx as u16))
+        (0..self.patterns)
+            .filter(|&idx| self.local_test(idx))
+            .map(|idx| PatternId::new(idx as u16))
     }
 
     /// Every pattern known to the table — locally subscribed or
@@ -419,11 +603,9 @@ impl SubscriptionTable {
     /// subscription table").
     pub fn all_patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
         // Dense row order is ascending pattern-id order.
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.is_empty())
-            .map(|(idx, _)| PatternId::new(idx as u16))
+        (0..self.patterns)
+            .filter(|&idx| !self.entry_is_empty(idx))
+            .map(|idx| PatternId::new(idx as u16))
     }
 
     /// Number of patterns known.
@@ -439,8 +621,9 @@ impl SubscriptionTable {
 
 /// Semantic equality: same patterns, each with the same local flag and
 /// neighbor set. Two tables built through different insertion
-/// histories (and therefore with different slot registries or row
-/// capacities) compare equal when their observable content matches.
+/// histories (and therefore with different slot registries, row
+/// layouts, or row capacities) compare equal when their observable
+/// content matches.
 impl PartialEq for SubscriptionTable {
     fn eq(&self, other: &Self) -> bool {
         if self.known != other.known {
@@ -622,5 +805,50 @@ mod tests {
         assert_eq!(a, b);
         b.insert(PatternId::new(7), Interface::Local);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn narrow_rows_upgrade_to_wide_at_the_ninth_slot() {
+        let mut t = SubscriptionTable::new();
+        let p = PatternId::new(3);
+        // Register nine neighbors out of order, crossing the upgrade
+        // boundary mid-insert; content must be preserved throughout.
+        for raw in [8u32, 1, 6, 3, 9, 0, 5, 7, 2] {
+            t.insert(p, Interface::Neighbor(NodeId::new(raw)));
+        }
+        let ids: Vec<u32> = t
+            .neighbors_for_iter(p, None)
+            .map(|n| n.index() as u32)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 5, 6, 7, 8, 9]);
+        // And a reference table built post-upgrade agrees semantically.
+        let mut r = SubscriptionTable::new();
+        for raw in 0..=9u32 {
+            if raw != 4 {
+                r.insert(p, Interface::Neighbor(NodeId::new(raw)));
+            }
+        }
+        assert_eq!(t, r);
+    }
+
+    #[test]
+    fn narrow_mid_insert_renumbers_and_removal_collapses() {
+        let mut t = SubscriptionTable::new();
+        let p = PatternId::new(0);
+        let q = PatternId::new(1);
+        t.insert(p, Interface::Neighbor(NodeId::new(10)));
+        t.insert(q, Interface::Neighbor(NodeId::new(30)));
+        // Mid-insert between the two registered slots.
+        t.insert(p, Interface::Neighbor(NodeId::new(20)));
+        assert_eq!(
+            t.neighbors_for(p, None),
+            vec![NodeId::new(10), NodeId::new(20)]
+        );
+        assert_eq!(t.neighbors_for(q, None), vec![NodeId::new(30)]);
+        // Removing the lowest slot shifts the others down.
+        let affected = t.remove_neighbor(NodeId::new(10));
+        assert_eq!(affected, vec![p]);
+        assert_eq!(t.neighbors_for(p, None), vec![NodeId::new(20)]);
+        assert_eq!(t.neighbors_for(q, None), vec![NodeId::new(30)]);
     }
 }

@@ -10,6 +10,9 @@
 //! - [`Engine`] — a cancellable pending-event queue with stable FIFO
 //!   tie-breaking (two events scheduled for the same instant fire in
 //!   scheduling order), generic over the message type;
+//! - [`KeyedEngine`] — the per-shard variant breaking same-instant
+//!   ties by an event-derived key instead of insertion order, so the
+//!   sharded runner's execution order is shard-count-invariant;
 //! - [`Rng`] / [`RngFactory`] — an in-tree xoshiro256++ generator and
 //!   named, independent, seed-stable random streams, so parameter
 //!   sweeps do not perturb unrelated random choices (and the build
@@ -45,11 +48,13 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+mod keyed;
 mod rng;
 mod stats;
 mod time;
 
 pub use engine::{Engine, EventId};
+pub use keyed::KeyedEngine;
 pub use rng::{Rng, RngFactory, SampleRange};
 pub use stats::{quantile, RatioBin, RatioSeries, Summary};
 pub use time::SimTime;

@@ -16,7 +16,10 @@ else
 fi
 
 echo "== tier-1: release build =="
-cargo build --release
+# --workspace: the root package makes a bare `cargo build` compile only
+# itself (+ member libs); the member *binaries* (net_cluster below)
+# need the whole workspace.
+cargo build --workspace --release
 
 echo "== tier-1: tests =="
 cargo test -q
@@ -35,9 +38,28 @@ echo "== tier-1: scenario bench (end-to-end runs per algorithm) =="
 cargo run --release -p eps-bench --bin scenario_bench -- \
     --out target/bench/BENCH_scenario.json
 
-echo "== tier-1: bench compare (advisory: regressions reported, not fatal) =="
+echo "== tier-1: bench compare (kernel gated at 25%, rest advisory) =="
+# The kernel microbenches are tight, allocation-free loops — stable
+# enough to gate hard with generous headroom. The gossip/scenario/net
+# files time whole protocol rounds and end-to-end runs, which are too
+# noisy on shared machines to fail CI; those stay advisory. Shared
+# hosts occasionally time-slice the vCPU (steal), uniformly doubling
+# every measurement — on a strict failure, re-measure once before
+# declaring a real regression.
+if ! cargo run --release -p eps-bench --bin bench_compare -- \
+    --strict --threshold 25 \
+    BENCH_kernel.json target/bench/BENCH_kernel.json; then
+    echo "kernel bench regressed; re-measuring once (transient host steal?)"
+    sleep 5
+    cargo run --release -p eps-bench --bin microbench -- \
+        --out target/bench/BENCH_kernel.json \
+        --gossip-out target/bench/BENCH_gossip.json \
+        --net-out target/bench/BENCH_net.json
+    cargo run --release -p eps-bench --bin bench_compare -- \
+        --strict --threshold 25 \
+        BENCH_kernel.json target/bench/BENCH_kernel.json
+fi
 cargo run --release -p eps-bench --bin bench_compare -- \
-    BENCH_kernel.json target/bench/BENCH_kernel.json \
     BENCH_gossip.json target/bench/BENCH_gossip.json \
     BENCH_scenario.json target/bench/BENCH_scenario.json \
     BENCH_net.json target/bench/BENCH_net.json
