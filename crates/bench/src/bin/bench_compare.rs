@@ -4,7 +4,8 @@
 //! [`eps_bench::timing::to_json`]'s output — no jq, no serde).
 //!
 //! ```text
-//! bench_compare [--threshold PCT] [--strict] BASELINE CURRENT [BASELINE CURRENT ...]
+//! bench_compare [--threshold PCT] [--strict] [--advisory-prefix PREFIX]...
+//!               BASELINE CURRENT [BASELINE CURRENT ...]
 //! ```
 //!
 //! Prints a delta table per file pair. A benchmark regresses when its
@@ -13,8 +14,12 @@
 //! used by `scripts/tier1.sh`) regressions are reported but the exit
 //! code stays zero — wall-clock benches on shared machines are too
 //! noisy to gate CI hard; `--strict` exits non-zero instead.
-//! Benchmarks present on only one side are listed but never fail the
-//! comparison (new benches appear, old ones retire).
+//! `--advisory-prefix` demotes matching benchmark names to
+//! advisory-only even under `--strict` — for entries (like the
+//! one-shot topology builds) whose single-iteration timings are too
+//! coarse to gate hard. Benchmarks present on only one side are listed
+//! but never fail the comparison (new benches appear, old ones
+//! retire).
 
 use std::process::ExitCode;
 
@@ -59,10 +64,12 @@ fn parse(path: &str) -> Result<Vec<Entry>, String> {
 }
 
 /// Compares one baseline/current pair; returns the regressed names.
+/// Names matching an advisory prefix are reported but never returned.
 fn compare(
     baseline_path: &str,
     current_path: &str,
     threshold_pct: f64,
+    advisory_prefixes: &[String],
 ) -> Result<Vec<String>, String> {
     let baseline = parse(baseline_path)?;
     let current = parse(current_path)?;
@@ -81,9 +88,14 @@ fn compare(
             continue;
         };
         let delta_pct = (c.median_ns - b.median_ns) / b.median_ns * 100.0;
+        let advisory = advisory_prefixes.iter().any(|p| b.name.starts_with(p));
         let flag = if delta_pct > threshold_pct {
-            regressions.push(b.name.clone());
-            "  REGRESSED"
+            if advisory {
+                "  regressed (advisory)"
+            } else {
+                regressions.push(b.name.clone());
+                "  REGRESSED"
+            }
         } else {
             ""
         };
@@ -106,6 +118,7 @@ fn compare(
 fn main() -> ExitCode {
     let mut threshold_pct = 10.0;
     let mut strict = false;
+    let mut advisory_prefixes: Vec<String> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -119,10 +132,18 @@ fn main() -> ExitCode {
                 }
             },
             "--strict" => strict = true,
+            "--advisory-prefix" => match iter.next() {
+                Some(p) => advisory_prefixes.push(p.clone()),
+                None => {
+                    eprintln!("error: --advisory-prefix needs a benchmark-name prefix");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if !other.starts_with('-') => files.push(other.to_owned()),
             other => {
                 eprintln!(
-                    "usage: bench_compare [--threshold PCT] [--strict] BASELINE CURRENT ...   \
+                    "usage: bench_compare [--threshold PCT] [--strict] \
+                     [--advisory-prefix PREFIX]... BASELINE CURRENT ...   \
                      (unknown arg '{other}')"
                 );
                 return ExitCode::FAILURE;
@@ -130,13 +151,16 @@ fn main() -> ExitCode {
         }
     }
     if files.is_empty() || !files.len().is_multiple_of(2) {
-        eprintln!("usage: bench_compare [--threshold PCT] [--strict] BASELINE CURRENT ...");
+        eprintln!(
+            "usage: bench_compare [--threshold PCT] [--strict] \
+             [--advisory-prefix PREFIX]... BASELINE CURRENT ..."
+        );
         return ExitCode::FAILURE;
     }
 
     let mut regressions = Vec::new();
     for pair in files.chunks(2) {
-        match compare(&pair[0], &pair[1], threshold_pct) {
+        match compare(&pair[0], &pair[1], threshold_pct, &advisory_prefixes) {
             Ok(mut r) => regressions.append(&mut r),
             Err(e) => {
                 eprintln!("error: {e}");

@@ -24,12 +24,12 @@ use eps_bench::timing::{bench, to_json, BenchResult};
 use eps_gossip::{codec, Algorithm, Envelope, GossipMessage};
 use eps_harness::{build_population, run_scenario, ScenarioConfig, SimNode};
 use eps_net::frame::{frame, FrameReader};
-use eps_overlay::NodeId;
+use eps_overlay::{NodeId, OverlayKind, Topology};
 use eps_pubsub::{
     Dispatcher, DispatcherConfig, Event, EventId, Interface, LossRecord, PatternId, PubSubMessage,
     SubscriptionTable,
 };
-use eps_sim::{Engine, Rng, SimTime};
+use eps_sim::{Engine, Rng, RngFactory, SimTime};
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_kernel.json");
@@ -83,6 +83,7 @@ fn main() -> ExitCode {
         rng_throughput(),
         scenario_mini(),
     ]);
+    results.extend(topology_build());
     let gossip_results = gossip_rounds();
     let net_results = vec![
         codec_encode_event(),
@@ -429,6 +430,36 @@ fn scenario_mini() -> BenchResult {
     });
     assert!(delivered > 0.0);
     result
+}
+
+/// Construction cost of each overlay builder at simulator scale: the
+/// setup the sharded runner's 10⁵-node runs pay before the first event
+/// fires. One full build per iteration; a fresh seed each time so no
+/// run benefits from a warm layout.
+fn topology_build() -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for (kind, max_degree) in [
+        (OverlayKind::Tree, 4usize),
+        (OverlayKind::BarabasiAlbert, 6),
+        (OverlayKind::WattsStrogatz, 6),
+    ] {
+        for (n, warmup, samples) in [(10_000usize, 2, 10), (100_000, 1, 3)] {
+            let mut seed = 0u64;
+            out.push(bench(
+                &format!("topology_build_{}/n{n}", kind.name()),
+                warmup,
+                samples,
+                1,
+                || {
+                    seed += 1;
+                    let mut rng = RngFactory::new(seed).stream("topology");
+                    let topo = Topology::build(kind, n, max_degree, &mut rng);
+                    assert_eq!(topo.len(), n, "builder produced the full graph");
+                },
+            ));
+        }
+    }
+    out
 }
 
 /// The wire codec's one-payload budget, matching the scenario default.

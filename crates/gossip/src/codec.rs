@@ -34,6 +34,7 @@
 //! | 7    | `Gossip(RandomPull)`    | gossiper, ttl, n, n × loss record          | P/8               |
 //! | 8    | `Request`               | n, n × fixed event id                      | 32 + 12·n         |
 //! | 9    | `Reply`                 | n, n × event body                          | Σ sizes, min 32   |
+//! | 10   | `CrossEvent`            | event body (below)                         | P/8 + 4·hops      |
 //!
 //! An *event body* is: seq, route length, route hops (fixed u32),
 //! pattern count, then (pattern, per-pattern seq) pairs. The source
@@ -137,6 +138,7 @@ const T_SOURCE_PULL: u8 = 6;
 const T_RANDOM_PULL: u8 = 7;
 const T_REQUEST: u8 = 8;
 const T_REPLY: u8 = 9;
+const T_CROSS_EVENT: u8 = 10;
 
 /// Upper bound on decoded list lengths (routes, digests, replies):
 /// rejects garbage that would otherwise ask for absurd allocations.
@@ -193,6 +195,10 @@ pub fn encode_into(env: &Envelope, payload_bits: u64, out: &mut Vec<u8>) -> Resu
         }
         Envelope::PubSub(PubSubMessage::Event(event)) => {
             out.push(T_EVENT);
+            put_event_body(out, event);
+        }
+        Envelope::CrossEvent(event) => {
+            out.push(T_CROSS_EVENT);
             put_event_body(out, event);
         }
         Envelope::Gossip(GossipMessage::PushDigest {
@@ -293,6 +299,7 @@ pub fn decode(buf: &[u8], payload_bits: u64) -> Result<Envelope, CodecError> {
         T_SUBSCRIBE => Envelope::PubSub(PubSubMessage::Subscribe(cur.pattern()?)),
         T_UNSUBSCRIBE => Envelope::PubSub(PubSubMessage::Unsubscribe(cur.pattern()?)),
         T_EVENT => Envelope::PubSub(PubSubMessage::Event(cur.event_body()?)),
+        T_CROSS_EVENT => Envelope::CrossEvent(cur.event_body()?),
         T_PUSH => {
             let gossiper = cur.node()?;
             let pattern = cur.pattern()?;
@@ -603,6 +610,8 @@ mod tests {
             Envelope::PubSub(PubSubMessage::Unsubscribe(PatternId::new(69))),
             Envelope::PubSub(PubSubMessage::Event(event(0, 1))),
             Envelope::PubSub(PubSubMessage::Event(event(9, 3))),
+            Envelope::CrossEvent(event(0, 1)),
+            Envelope::CrossEvent(event(4, 2)),
             Envelope::Gossip(GossipMessage::PushDigest {
                 gossiper: NodeId::new(1),
                 pattern: PatternId::new(4),

@@ -20,13 +20,19 @@ use eps_pubsub::{Event, EventId, PubSubMessage, ROUTE_HOP_BITS};
 use crate::codec::{CONTROL_BITS, EVENT_ID_BITS};
 use crate::message::GossipMessage;
 
-/// Which network a message travels on: the dispatching-tree overlay
-/// (subject to per-link loss, queueing, and breakage) or the
-/// out-of-band channel recovery uses to bypass a faulty tree.
+/// Which network a message travels on: the routing-view overlay links
+/// (subject to per-link loss, queueing, and breakage), a physical
+/// cross link the routing view does not use, or the out-of-band
+/// channel recovery uses to bypass a faulty tree.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Channel {
-    /// An overlay link of the dispatching tree.
+    /// An overlay link of the routing view (the dispatching tree).
     Tree,
+    /// A physical overlay link outside the routing view — the chords a
+    /// cyclic overlay has on top of its spanning tree. Simulated with
+    /// the same link model as `Tree`; carried over UDP (not a tree TCP
+    /// connection) by the socket runtime.
+    Cross,
     /// The direct dispatcher-to-dispatcher recovery channel.
     OutOfBand,
 }
@@ -38,6 +44,11 @@ pub enum Envelope {
     PubSub(PubSubMessage),
     /// An epidemic-recovery digest.
     Gossip(GossipMessage),
+    /// An event copy replicated over a physical cross link — the
+    /// redundant dissemination a cyclic overlay performs alongside the
+    /// routing tree, and the reason redundant-delivery suppression is
+    /// counted once cycles exist.
+    CrossEvent(Event),
     /// An out-of-band retransmission request for the identified events.
     Request(Vec<EventId>),
     /// An out-of-band retransmission carrying full event copies.
@@ -49,6 +60,7 @@ impl Envelope {
     pub fn channel(&self) -> Channel {
         match self {
             Envelope::PubSub(_) | Envelope::Gossip(_) => Channel::Tree,
+            Envelope::CrossEvent(_) => Channel::Cross,
             Envelope::Request(_) | Envelope::Reply(_) => Channel::OutOfBand,
         }
     }
@@ -63,7 +75,9 @@ impl Envelope {
         match self {
             Envelope::PubSub(PubSubMessage::Subscribe(_))
             | Envelope::PubSub(PubSubMessage::Unsubscribe(_)) => CONTROL_BITS,
-            Envelope::PubSub(PubSubMessage::Event(e)) => e.wire_bits(event_payload_bits),
+            Envelope::PubSub(PubSubMessage::Event(e)) | Envelope::CrossEvent(e) => {
+                e.wire_bits(event_payload_bits)
+            }
             // Per the paper, a gossip digest costs (at most) one event
             // message; publisher-steered digests also carry their route.
             Envelope::Gossip(GossipMessage::SourcePull { route, .. }) => {
@@ -169,5 +183,18 @@ mod tests {
         assert_eq!(gossip.channel(), Channel::Tree);
         assert_eq!(Envelope::Request(vec![]).channel(), Channel::OutOfBand);
         assert_eq!(Envelope::Reply(vec![]).channel(), Channel::OutOfBand);
+        assert_eq!(
+            Envelope::CrossEvent(event_with_route(0)).channel(),
+            Channel::Cross
+        );
+    }
+
+    #[test]
+    fn cross_events_cost_exactly_what_the_tree_copy_costs() {
+        let event = event_with_route(3);
+        assert_eq!(
+            Envelope::CrossEvent(event.clone()).wire_bits(1000),
+            Envelope::PubSub(PubSubMessage::Event(event)).wire_bits(1000)
+        );
     }
 }

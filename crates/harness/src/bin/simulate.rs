@@ -39,6 +39,8 @@ fn main() -> ExitCode {
                     algorithms.push(value()?.parse().map_err(|e| format!("{e}"))?)
                 }
                 "--nodes" | "-n" => config.nodes = parse(&value()?)?,
+                "--overlay" => config.overlay = value()?.parse()?,
+                "--max-degree" => config.max_degree = parse(&value()?)?,
                 "--seed" => config.seed = parse(&value()?)?,
                 "--eps" => config.link_error_rate = parse(&value()?)?,
                 "--beta" => config.buffer_size = parse(&value()?)?,
@@ -126,6 +128,9 @@ fn main() -> ExitCode {
             r.recovery_latency_mean, r.recovery_latency_p95
         );
         println!("  outstanding losses     {:>10}", r.outstanding_losses);
+        if config.overlay != eps_overlay::OverlayKind::Tree || r.duplicate_suppressed > 0 {
+            println!("  duplicates suppressed  {:>10}", r.duplicate_suppressed);
+        }
         if r.lost_evictions > 0 {
             println!("  lost-buffer evictions  {:>10}", r.lost_evictions);
         }
@@ -146,9 +151,14 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 fn print_usage() {
     eprintln!(
         "usage: simulate [--algorithm NAME]... [--nodes N] [--eps E] [--beta B]\n\
+         \t[--overlay tree|ba|ws] [--max-degree D]\n\
          \t[--pi-max P] [--publish-rate R] [--gossip-interval T] [--duration D]\n\
          \t[--rho RHO] [--churn C] [--p-forward P] [--p-source P] [--seed S] [--adaptive]\n\
          \t[--patterns PI] [--patterns-per-node P] [--jobs N] [--shards K]\n\
+         --overlay picks the physical graph builder: tree (acyclic, the paper's\n\
+         topology), ba (Barabasi-Albert scale-free), ws (Watts-Strogatz\n\
+         small-world); events route on the BFS view, cross links carry\n\
+         redundant copies that are counted as 'duplicates suppressed'\n\
          --patterns sets the pattern universe size Pi (content-model density);\n\
          --patterns-per-node is an alias for --pi-max\n\
          --shards K runs the scenario partitioned across K worker threads\n\

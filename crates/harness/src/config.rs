@@ -2,7 +2,7 @@
 //! knobs the evaluation sweeps.
 
 use eps_gossip::{Algorithm, GossipConfig};
-use eps_overlay::OutOfBandSpec;
+use eps_overlay::{OutOfBandSpec, OverlayKind, BA_ATTACHMENTS};
 use eps_pubsub::EvictionPolicy;
 use eps_sim::SimTime;
 
@@ -80,6 +80,11 @@ pub struct ScenarioConfig {
     pub nodes: usize,
     /// Maximum overlay degree (4 in every paper configuration).
     pub max_degree: usize,
+    /// Shape of the physical overlay graph. The paper's scenarios use
+    /// acyclic overlays (`Tree`); the cyclic kinds route events on a
+    /// derived spanning tree and replicate them across the remaining
+    /// physical cross links.
+    pub overlay: OverlayKind,
     /// Pattern universe size `Π`.
     pub pattern_universe: u16,
     /// Maximum patterns matched by one event (3 in the paper).
@@ -137,6 +142,7 @@ impl Default for ScenarioConfig {
             seed: 1,
             nodes: 100,
             max_degree: 4,
+            overlay: OverlayKind::Tree,
             pattern_universe: 70,
             max_patterns_per_event: 3,
             pi_max: 2,
@@ -170,6 +176,21 @@ impl ScenarioConfig {
     pub fn validate(&self) {
         assert!(self.nodes > 0, "need at least one dispatcher");
         assert!(self.max_degree >= 2, "degree bound must be at least 2");
+        match self.overlay {
+            OverlayKind::Tree => {}
+            OverlayKind::BarabasiAlbert => assert!(
+                self.max_degree >= 2 * BA_ATTACHMENTS,
+                "a Barabási–Albert overlay needs max_degree >= {}",
+                2 * BA_ATTACHMENTS
+            ),
+            OverlayKind::WattsStrogatz => {
+                assert!(self.nodes >= 5, "a Watts–Strogatz overlay needs >= 5 nodes");
+                assert!(
+                    self.max_degree >= 5,
+                    "a Watts–Strogatz overlay needs max_degree >= 5"
+                );
+            }
+        }
         assert!(self.pattern_universe > 0, "need a pattern universe");
         assert!(
             self.pi_max <= self.pattern_universe as usize,

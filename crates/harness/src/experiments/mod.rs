@@ -20,11 +20,13 @@
 //! | `ext-adaptive` | extension (Sec. IV-E) | adaptive gossip interval |
 //! | `ext-buffers`  | extension (ref \[13\])  | buffer replacement policies |
 //! | `ext-hybrid`   | extension (registry)   | push-pull hybrid vs combined pull |
+//! | `ext-overlays` | extension (arXiv 1112.0416) | tree vs BA vs WS overlays |
 
 mod common;
 mod ext_adaptive;
 mod ext_buffers;
 mod ext_hybrid;
+mod ext_overlays;
 mod fig10;
 mod fig2;
 mod fig3;
@@ -42,8 +44,8 @@ use std::path::PathBuf;
 pub use common::{time_series_table, ExperimentOptions, ExperimentOutput, Metric, SweepGrid};
 
 /// The available experiment ids: the paper's figures in order,
-/// followed by the two extension studies.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+/// followed by the extension studies.
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "summary",
     "fig2",
     "fig3a",
@@ -61,6 +63,7 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "ext-adaptive",
     "ext-buffers",
     "ext-hybrid",
+    "ext-overlays",
 ];
 
 /// Runs the experiment with the given id and writes its CSV tables
@@ -88,6 +91,7 @@ pub fn run_experiment(id: &str, opts: &ExperimentOptions) -> Result<ExperimentOu
         "ext-adaptive" => ext_adaptive::run(opts),
         "ext-buffers" => ext_buffers::run(opts),
         "ext-hybrid" => ext_hybrid::run(opts),
+        "ext-overlays" => ext_overlays::run(opts),
         other => return Err(format!("unknown experiment '{other}'")),
     };
     for (name, table) in &output.tables {

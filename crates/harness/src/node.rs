@@ -15,7 +15,7 @@ use eps_gossip::{Envelope, GossipAction, RecoveryAlgorithm};
 use eps_metrics::{DeliverySink, MessageCounters};
 use eps_overlay::NodeId;
 use eps_pubsub::{
-    Dispatcher, DispatcherConfig, DispatcherHost, PatternId, PatternSpace, PubSubMessage,
+    Dispatcher, DispatcherConfig, DispatcherHost, Event, PatternId, PatternSpace, PubSubMessage,
 };
 use eps_sim::{Rng, SimTime};
 
@@ -43,8 +43,14 @@ pub struct Outgoing {
 pub struct NodeCtx<'a> {
     /// Current virtual time.
     pub now: SimTime,
-    /// The node's current overlay neighbors.
+    /// The node's neighbors in the routing view (the dispatching
+    /// tree): where subscriptions and events are forwarded.
     pub neighbors: &'a [NodeId],
+    /// The node's neighbors in the physical overlay graph: the
+    /// neighborhood gossip rounds draw partners from. On tree
+    /// overlays this is the same slice as `neighbors`; on cyclic
+    /// overlays it additionally holds the cross links.
+    pub graph_neighbors: &'a [NodeId],
     /// The content model (for drawing event content).
     pub space: &'a PatternSpace,
     /// Current subscribers of each pattern, indexed by [`PatternId`].
@@ -78,6 +84,10 @@ pub struct SimNode {
     workload_rng: Rng,
     gossip_delay: SimTime,
     subscriptions: Vec<PatternId>,
+    /// The node's physical neighbors outside the routing view, each
+    /// with its current local subscriptions: the targets of
+    /// cross-link event replication. Empty on tree overlays.
+    cross_targets: Vec<(NodeId, Vec<PatternId>)>,
     /// Reusable buffer for drawn event content, so the publish tick
     /// does not allocate in steady state.
     content_scratch: Vec<PatternId>,
@@ -103,7 +113,27 @@ impl SimNode {
             workload_rng,
             gossip_delay: gossip_interval,
             subscriptions,
+            cross_targets: Vec::new(),
             content_scratch: Vec::new(),
+        }
+    }
+
+    /// Installs the node's cross-replication targets (its physical
+    /// cross-link neighbors with their local interests). Called at
+    /// assembly and again whenever the routing view is re-derived.
+    pub fn set_cross_targets(&mut self, targets: Vec<(NodeId, Vec<PatternId>)>) {
+        self.cross_targets = targets;
+    }
+
+    /// Updates the stored interest of one cross-link partner (after
+    /// that partner churned a subscription). A no-op if `partner` is
+    /// not a cross neighbor of this node.
+    pub fn update_cross_partner(&mut self, partner: NodeId, interest: Vec<PatternId>) {
+        for (chord, stored) in &mut self.cross_targets {
+            if *chord == partner {
+                *stored = interest;
+                return;
+            }
         }
     }
 
@@ -133,9 +163,13 @@ impl SimNode {
     /// in response.
     pub fn handle(&mut self, from: NodeId, env: Envelope, ctx: &mut NodeCtx) -> Vec<Outgoing> {
         match env {
-            Envelope::PubSub(PubSubMessage::Event(event)) => {
+            Envelope::PubSub(PubSubMessage::Event(event)) | Envelope::CrossEvent(event) => {
                 let receipt = self.dispatcher.on_event(event.clone(), Some(from));
                 if receipt.duplicate {
+                    // A redundant arrival: on cyclic overlays the same
+                    // event reaches a node both through the view and
+                    // over a cross link; suppress and count it.
+                    ctx.counters.count_duplicate_suppressed();
                     return Vec::new();
                 }
                 if receipt.delivered {
@@ -156,7 +190,12 @@ impl SimNode {
                         count: receipt.losses.len() as u32,
                     });
                 }
-                pubsub_out(receipt.forwards)
+                let mut out = pubsub_out(receipt.forwards);
+                // First sight of this event here: besides the view
+                // forwards, replicate it over interested cross links
+                // (excluding the link it just arrived on).
+                self.replicate_cross(&event, from, &mut out);
+                out
             }
             Envelope::PubSub(PubSubMessage::Subscribe(p)) => {
                 pubsub_out(self.dispatcher.on_subscribe(p, from, ctx.neighbors))
@@ -165,11 +204,13 @@ impl SimNode {
                 pubsub_out(self.dispatcher.on_unsubscribe(p, from, ctx.neighbors))
             }
             Envelope::Gossip(msg) => {
+                // Gossip spreads over the whole physical
+                // neighborhood, cross links included.
                 let actions = self.algorithm.on_gossip(
                     &self.dispatcher,
                     from,
                     msg,
-                    ctx.neighbors,
+                    ctx.graph_neighbors,
                     ctx.gossip_rng,
                 );
                 self.convert(actions, ctx.counters)
@@ -233,9 +274,26 @@ impl SimNode {
                 recovered: false,
             });
         }
-        let out = pubsub_out(receipt.forwards);
+        let mut out = pubsub_out(receipt.forwards);
+        // A fresh event starts on every interested cross link too.
+        self.replicate_cross(&event, self.id, &mut out);
         let delay = self.next_publish_delay(publish_rate);
         (out, delay)
+    }
+
+    /// Appends a [`Envelope::CrossEvent`] copy of `event` for every
+    /// cross-link partner whose stored interest matches it, except
+    /// `arrived_from` (no point echoing an event straight back).
+    /// Counting happens at the send layer, like tree event forwards.
+    fn replicate_cross(&self, event: &Event, arrived_from: NodeId, out: &mut Vec<Outgoing>) {
+        for (chord, interest) in &self.cross_targets {
+            if *chord != arrived_from && event.matches_any(interest.iter().copied()) {
+                out.push(Outgoing {
+                    to: *chord,
+                    env: Envelope::CrossEvent(event.clone()),
+                });
+            }
+        }
     }
 
     /// Exponential inter-arrival delay for this node's Poisson publish
@@ -258,9 +316,9 @@ impl SimNode {
         adaptive: Option<AdaptiveGossip>,
         ctx: &mut NodeCtx,
     ) -> (Vec<Outgoing>, SimTime) {
-        let actions = self
-            .algorithm
-            .on_round(&self.dispatcher, ctx.neighbors, ctx.gossip_rng);
+        let actions =
+            self.algorithm
+                .on_round(&self.dispatcher, ctx.graph_neighbors, ctx.gossip_rng);
         let next = match adaptive {
             None => interval,
             Some(adaptive) => {

@@ -11,10 +11,10 @@
 //! named stream of the config's master seed, so building a population
 //! consumes nothing from the streams the runners use afterwards.
 
-use eps_overlay::{NodeId, Topology};
+use eps_overlay::{NodeId, RoutingView, Topology};
 use eps_pubsub::{
-    flood_subscriptions, flood_subscriptions_direct, install_local_subscriptions, DispatcherConfig,
-    PatternId, PatternSpace,
+    flood_subscriptions_direct, install_local_subscriptions, DispatcherConfig, PatternId,
+    PatternSpace,
 };
 use eps_sim::RngFactory;
 
@@ -24,8 +24,15 @@ use crate::node::SimNode;
 /// A fully assembled, quiescent population: subscriptions are
 /// installed and flooded, no events have been published yet.
 pub struct Population {
-    /// The overlay tree the dispatchers live on.
+    /// The physical overlay graph the dispatchers live on: a tree in
+    /// the paper's scenarios, possibly cyclic for the complex-network
+    /// overlays. Link loss, breakage, and repair act here.
     pub topology: Topology,
+    /// The routing view derived from the physical graph: the spanning
+    /// tree events and subscriptions are routed on. Identical to
+    /// `topology` (the identity view) when the physical graph is a
+    /// tree.
+    pub view: RoutingView,
     /// The content model events and subscriptions are drawn from.
     pub space: PatternSpace,
     /// One node actor per dispatcher, indexed by [`NodeId::index`].
@@ -37,15 +44,34 @@ pub struct Population {
     pub subscribers_of: Vec<Vec<NodeId>>,
 }
 
+/// The cross-replication targets of `node`: its physical neighbors the
+/// routing view does not use, each paired with that neighbor's current
+/// local subscriptions (so the sender can replicate only events the
+/// chord partner has an interest in). Empty on tree overlays, where
+/// the view uses every physical link.
+pub fn cross_targets_for(
+    node: NodeId,
+    graph: &Topology,
+    view: &RoutingView,
+    subscriptions: &[Vec<PatternId>],
+) -> Vec<(NodeId, Vec<PatternId>)> {
+    view.cross_neighbors(graph, node)
+        .into_iter()
+        .map(|c| (c, subscriptions[c.index()].clone()))
+        .collect()
+}
+
 /// Builds the population a scenario (simulated or networked) starts
 /// from. Deterministic in `config.seed`.
 pub fn build_population(config: &ScenarioConfig) -> Population {
     let factory = RngFactory::new(config.seed);
-    let topology = Topology::random_tree(
+    let topology = Topology::build(
+        config.overlay,
         config.nodes,
         config.max_degree,
         &mut factory.stream("topology"),
     );
+    let view = RoutingView::derive(&topology);
     let space = PatternSpace::new(config.pattern_universe, config.max_patterns_per_event);
 
     // Paper, Section IV-A: "each dispatcher caches only events for
@@ -96,14 +122,16 @@ pub fn build_population(config: &ScenarioConfig) -> Population {
         })
         .collect();
     install_local_subscriptions(&mut nodes, &subscriptions);
-    if topology.is_tree() {
-        // Closed-form fixpoint: O(Π·N) installs instead of a
-        // message-at-a-time flood, the setup-time bottleneck at
-        // 10⁵–10⁶ nodes. State-identical to the flood (pinned by the
-        // eps-pubsub equivalence test and the golden suite).
-        flood_subscriptions_direct(&mut nodes, &topology);
-    } else {
-        flood_subscriptions(&mut nodes, &topology);
+    // Closed-form fixpoint: O(Π·N) installs instead of a
+    // message-at-a-time flood, the setup-time bottleneck at
+    // 10⁵–10⁶ nodes. State-identical to the flood (pinned by the
+    // eps-pubsub equivalence test and the golden suite). Routing
+    // state lives on the view, which is a tree by construction even
+    // when the physical graph is cyclic.
+    flood_subscriptions_direct(&mut nodes, view.tree());
+    for id in topology.nodes() {
+        let targets = cross_targets_for(id, &topology, &view, &subscriptions);
+        nodes[id.index()].set_cross_targets(targets);
     }
 
     let mut subscribers_of: Vec<Vec<NodeId>> = vec![Vec::new(); config.pattern_universe as usize];
@@ -115,6 +143,7 @@ pub fn build_population(config: &ScenarioConfig) -> Population {
 
     Population {
         topology,
+        view,
         space,
         nodes,
         subscriptions,

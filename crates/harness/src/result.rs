@@ -57,6 +57,10 @@ pub struct ScenarioResult {
     pub churn_events: u64,
     /// Subscription/unsubscription messages sent on overlay links.
     pub subscription_msgs: u64,
+    /// Redundant event arrivals suppressed by receivers. Structurally
+    /// zero on tree overlays; the redundancy cost of cyclic overlays,
+    /// where tree forwards and cross-link copies overlap.
+    pub duplicate_suppressed: u64,
     /// Deliveries to dispatchers that subscribed after the event was
     /// published (possible only under churn; not counted in rates).
     pub unexpected_deliveries: u64,
@@ -89,6 +93,7 @@ impl ScenarioResult {
             "reconfigurations",
             "churn_events",
             "subscription_msgs",
+            "duplicate_suppressed",
             "unexpected_deliveries",
         ]
     }
@@ -117,6 +122,7 @@ impl ScenarioResult {
             self.reconfigurations.to_string(),
             self.churn_events.to_string(),
             self.subscription_msgs.to_string(),
+            self.duplicate_suppressed.to_string(),
             self.unexpected_deliveries.to_string(),
         ]
     }
@@ -172,6 +178,7 @@ pub fn assemble(
         reconfigurations,
         churn_events,
         subscription_msgs: counters.subscription_total(),
+        duplicate_suppressed: counters.duplicate_suppressed(),
         unexpected_deliveries: tracker.unexpected_total(),
     }
 }

@@ -5,13 +5,15 @@
 
 use eps_gossip::{Channel, Envelope};
 use eps_metrics::{DeliveryTracker, MessageCounters};
-use eps_overlay::{plan_reconnection, LinkSpec, NetTransport, NodeId, Topology, Transport};
+use eps_overlay::{
+    plan_reconnection, LinkSpec, NetTransport, NodeId, RoutingView, Topology, Transport,
+};
 use eps_pubsub::{rebuild_subscription_routes, PatternId, PatternSpace, PubSubMessage};
 use eps_sim::{Engine, Rng, RngFactory, SimTime};
 
 use crate::config::ScenarioConfig;
 use crate::node::{NodeCtx, Outgoing, SimNode};
-use crate::population::{build_population, Population};
+use crate::population::{build_population, cross_targets_for, Population};
 use crate::result::{assemble, ScenarioResult};
 use crate::trace::{ScenarioTrace, TraceRecord};
 
@@ -80,7 +82,17 @@ enum SimEvent {
 struct Scenario {
     config: ScenarioConfig,
     engine: Engine<SimEvent>,
+    /// The physical overlay graph: the link model, breakage, and
+    /// repair act here, and gossip partners are drawn from it.
     topology: Topology,
+    /// The routing view: the spanning tree events and subscriptions
+    /// travel on. On tree overlays the physical topology itself is
+    /// used instead (`tree_overlay`), so view and graph stay one
+    /// object through break/repair exactly as before the split.
+    view: RoutingView,
+    /// `true` when the configured overlay is acyclic, i.e. the view
+    /// is the physical graph itself.
+    tree_overlay: bool,
     transport: Box<dyn Transport>,
     nodes: Vec<SimNode>,
     space: PatternSpace,
@@ -103,6 +115,7 @@ impl Scenario {
         // boots an identical one for the same seed.
         let Population {
             topology,
+            view,
             space,
             nodes,
             subscriptions: _,
@@ -123,6 +136,8 @@ impl Scenario {
         Scenario {
             engine: Engine::new(),
             topology,
+            view,
+            tree_overlay: config.overlay.is_tree(),
             transport,
             nodes,
             space,
@@ -214,9 +229,15 @@ impl Scenario {
     fn handle_deliver(&mut self, from: NodeId, to: NodeId, env: Envelope) {
         let mut ctx = NodeCtx {
             now: self.engine.now(),
-            // Borrowed straight from the topology (a disjoint field):
-            // no per-message Vec allocation on the delivery hot path.
-            neighbors: self.topology.neighbors(to),
+            // Borrowed straight from the topology / view (disjoint
+            // fields): no per-message Vec allocation on the delivery
+            // hot path.
+            neighbors: if self.tree_overlay {
+                self.topology.neighbors(to)
+            } else {
+                self.view.neighbors(to)
+            },
+            graph_neighbors: self.topology.neighbors(to),
             space: &self.space,
             subscribers_of: &self.subscribers_of,
             gossip_rng: &mut self.gossip_rng,
@@ -239,7 +260,12 @@ impl Scenario {
         let mut ctx = NodeCtx {
             now: self.engine.now(),
             // Borrowed, not copied — see `handle_deliver`.
-            neighbors: self.topology.neighbors(node),
+            neighbors: if self.tree_overlay {
+                self.topology.neighbors(node)
+            } else {
+                self.view.neighbors(node)
+            },
+            graph_neighbors: self.topology.neighbors(node),
             space: &self.space,
             subscribers_of: &self.subscribers_of,
             gossip_rng: &mut self.gossip_rng,
@@ -260,7 +286,12 @@ impl Scenario {
         let mut ctx = NodeCtx {
             now: self.engine.now(),
             // Borrowed, not copied — see `handle_deliver`.
-            neighbors: self.topology.neighbors(node),
+            neighbors: if self.tree_overlay {
+                self.topology.neighbors(node)
+            } else {
+                self.view.neighbors(node)
+            },
+            graph_neighbors: self.topology.neighbors(node),
             space: &self.space,
             subscribers_of: &self.subscribers_of,
             gossip_rng: &mut self.gossip_rng,
@@ -307,9 +338,25 @@ impl Scenario {
 
     fn apply_churn(&mut self, node: NodeId, old: PatternId, new: PatternId) {
         self.churn_events += 1;
-        let neighbors = self.topology.neighbors(node).to_vec();
+        // (Un)subscriptions propagate on the routing view, like every
+        // other piece of protocol traffic.
+        let neighbors = if self.tree_overlay {
+            self.topology.neighbors(node).to_vec()
+        } else {
+            self.view.neighbors(node).to_vec()
+        };
         let out = self.nodes[node.index()].apply_churn(old, new, &neighbors);
         self.send(node, out);
+        if !self.tree_overlay {
+            // Cross-link partners keep a copy of this node's interest
+            // to filter their replication; refresh it, charging one
+            // subscription message per cross link for the notice.
+            let interest = self.nodes[node.index()].subscriptions().to_vec();
+            for chord in self.view.cross_neighbors(&self.topology, node) {
+                self.counters.count_subscription(node);
+                self.nodes[chord.index()].update_cross_partner(node, interest.clone());
+            }
+        }
         // Keep the metrics' view of intended recipients current.
         self.subscribers_of[old.index()].retain(|&n| n != node);
         self.subscribers_of[new.index()].push(node);
@@ -343,7 +390,8 @@ impl Scenario {
     }
 
     fn handle_repair(&mut self) {
-        if let Some((x, y)) = plan_reconnection(&self.topology, &mut self.reconfig_rng) {
+        let reconnected = plan_reconnection(&self.topology, &mut self.reconfig_rng);
+        if let Some((x, y)) = reconnected {
             self.topology
                 .add_link(x, y)
                 .expect("reconnection endpoints have spare degree");
@@ -352,9 +400,33 @@ impl Scenario {
                 a: x,
                 b: y,
             });
-            // The reconfiguration protocol of [7] has completed:
-            // subscription routes are consistent with the new overlay.
-            rebuild_subscription_routes(&mut self.nodes, &self.topology);
+        }
+        if self.tree_overlay {
+            if reconnected.is_some() {
+                // The reconfiguration protocol of [7] has completed:
+                // subscription routes are consistent with the new
+                // overlay.
+                rebuild_subscription_routes(&mut self.nodes, &self.topology);
+            }
+        } else {
+            // Cyclic overlay: even when the graph stayed connected
+            // (no replacement link — the overlay thins gradually),
+            // the view may have been using the vanished link.
+            // Re-derive it, rebuild routes, and recompute each
+            // node's cross targets against the fresh tree/graph
+            // split.
+            self.view = RoutingView::derive(&self.topology);
+            rebuild_subscription_routes(&mut self.nodes, self.view.tree());
+            let interests: Vec<Vec<PatternId>> = self
+                .nodes
+                .iter()
+                .map(|n| n.subscriptions().to_vec())
+                .collect();
+            for i in 0..self.nodes.len() {
+                let id = NodeId::new(i as u32);
+                let targets = cross_targets_for(id, &self.topology, &self.view, &interests);
+                self.nodes[i].set_cross_targets(targets);
+            }
         }
     }
 
@@ -375,6 +447,21 @@ impl Scenario {
                     }
                     if !self.topology.has_link(from, to) {
                         // Broken link or stale route: the message is lost.
+                        continue;
+                    }
+                    let bits = env.wire_bits(self.config.event_payload_bits);
+                    if let Some(at) = self.transport.send_link(from, to, bits, self.engine.now()) {
+                        self.engine
+                            .schedule_at(at, SimEvent::Deliver { from, to, env });
+                    }
+                }
+                Channel::Cross => {
+                    // A cross-link event copy: same link model as the
+                    // tree (the chord is a physical link like any
+                    // other), counted as an event message.
+                    self.counters.count_event(from);
+                    if !self.topology.has_link(from, to) {
+                        // Broken chord or stale cross target: lost.
                         continue;
                     }
                     let bits = env.wire_bits(self.config.event_payload_bits);

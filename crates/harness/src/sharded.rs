@@ -47,13 +47,13 @@ use std::sync::Arc;
 
 use eps_gossip::{Channel, Envelope};
 use eps_metrics::{DeliveryLog, DeliveryTracker, MessageCounters};
-use eps_overlay::{plan_reconnection, LinkSpec, NodeId, ShardTransport, Topology};
+use eps_overlay::{plan_reconnection, LinkSpec, NodeId, RoutingView, ShardTransport, Topology};
 use eps_pubsub::{rebuild_subscription_routes, PatternId, PatternSpace, PubSubMessage};
 use eps_sim::{Engine, KeyedEngine, Rng, RngFactory, SimTime};
 
 use crate::config::ScenarioConfig;
 use crate::node::{NodeCtx, Outgoing, SimNode};
-use crate::population::{build_population, Population};
+use crate::population::{build_population, cross_targets_for, Population};
 use crate::result::{assemble, ScenarioResult};
 use crate::trace::ScenarioTrace;
 
@@ -116,6 +116,7 @@ pub fn run_scenario_sharded_with_stats(
     let factory = RngFactory::new(config.seed);
     let Population {
         topology,
+        view,
         space,
         nodes,
         subscriptions: _,
@@ -169,6 +170,8 @@ pub fn run_scenario_sharded_with_stats(
         config,
         shared: Arc::new(RunShared {
             topology,
+            view,
+            tree_overlay: config.overlay.is_tree(),
             space,
             subscribers_of,
         }),
@@ -335,7 +338,15 @@ enum GlobalEvent {
 /// only at barriers (break/repair/churn), when the coordinator holds
 /// the sole `Arc` handle.
 struct RunShared {
+    /// The physical overlay graph (link model, breakage, gossip
+    /// neighborhoods).
     topology: Topology,
+    /// The routing view derived from it. On tree overlays the
+    /// physical topology is used directly instead (`tree_overlay`),
+    /// so view and graph stay one object through break/repair.
+    view: RoutingView,
+    /// `true` when the configured overlay is acyclic.
+    tree_overlay: bool,
     space: PatternSpace,
     subscribers_of: Vec<Vec<NodeId>>,
 }
@@ -489,7 +500,12 @@ impl Shard {
         let li = self.local(node);
         let mut ctx = NodeCtx {
             now,
-            neighbors: shared.topology.neighbors(node),
+            neighbors: if shared.tree_overlay {
+                shared.topology.neighbors(node)
+            } else {
+                shared.view.neighbors(node)
+            },
+            graph_neighbors: shared.topology.neighbors(node),
             space: &shared.space,
             subscribers_of: &shared.subscribers_of,
             gossip_rng: &mut self.gossip_rngs[li],
@@ -525,6 +541,19 @@ impl Shard {
                     }
                     if !shared.topology.has_link(from, to) {
                         // Broken link or stale route: the message is lost.
+                        continue;
+                    }
+                    let bits = env.wire_bits(config.event_payload_bits);
+                    self.transport
+                        .send_link(from, to, bits, now, &mut self.net_rngs[li])
+                }
+                Channel::Cross => {
+                    // A cross-link event copy: same link model as the
+                    // tree (the chord is a physical link like any
+                    // other), counted as an event message.
+                    self.counters.count_event(from);
+                    if !shared.topology.has_link(from, to) {
+                        // Broken chord or stale cross target: lost.
                         continue;
                     }
                     let bits = env.wire_bits(config.event_payload_bits);
@@ -680,20 +709,46 @@ impl Coordinator<'_> {
 
     fn handle_repair(&mut self) {
         let shared = Arc::get_mut(&mut self.shared).expect("sole handle at a barrier");
-        if let Some((x, y)) = plan_reconnection(&shared.topology, &mut self.reconfig_rng) {
+        let reconnected = plan_reconnection(&shared.topology, &mut self.reconfig_rng);
+        if let Some((x, y)) = reconnected {
             shared
                 .topology
                 .add_link(x, y)
                 .expect("reconnection endpoints have spare degree");
-            // The reconfiguration protocol of [7] has completed:
-            // rebuild the routes over all nodes, gathered in id order
-            // across the shards (ranges are contiguous and ordered).
+        }
+        if shared.tree_overlay {
+            if reconnected.is_some() {
+                // The reconfiguration protocol of [7] has completed:
+                // rebuild the routes over all nodes, gathered in id
+                // order across the shards (ranges are contiguous and
+                // ordered).
+                let mut hosts: Vec<&mut SimNode> = self
+                    .shards
+                    .iter_mut()
+                    .flat_map(|s| s.as_mut().expect("shard home").nodes.iter_mut())
+                    .collect();
+                rebuild_subscription_routes(&mut hosts, &shared.topology);
+            }
+        } else {
+            // Cyclic overlay: even when the graph stayed connected
+            // (no replacement link — the overlay thins gradually),
+            // the view may have been using the vanished link.
+            // Re-derive it, rebuild routes, and recompute every
+            // node's cross targets; mirrors the serial runner.
+            shared.view = RoutingView::derive(&shared.topology);
             let mut hosts: Vec<&mut SimNode> = self
                 .shards
                 .iter_mut()
                 .flat_map(|s| s.as_mut().expect("shard home").nodes.iter_mut())
                 .collect();
-            rebuild_subscription_routes(&mut hosts, &shared.topology);
+            rebuild_subscription_routes(&mut hosts, shared.view.tree());
+            let interests: Vec<Vec<PatternId>> =
+                hosts.iter().map(|h| h.subscriptions().to_vec()).collect();
+            for (i, host) in hosts.iter_mut().enumerate() {
+                let id = NodeId::new(i as u32);
+                let targets = cross_targets_for(id, &shared.topology, &shared.view, &interests);
+                host.set_cross_targets(targets);
+            }
         }
     }
 
@@ -719,12 +774,39 @@ impl Coordinator<'_> {
                 if let Some(&new) = self.churn_rng.choose(&candidates) {
                     self.churn_events += 1;
                     let config = self.config;
-                    let neighbors = self.shared.topology.neighbors(node).to_vec();
+                    // (Un)subscriptions propagate on the routing view,
+                    // like every other piece of protocol traffic.
+                    let neighbors = if self.shared.tree_overlay {
+                        self.shared.topology.neighbors(node).to_vec()
+                    } else {
+                        self.shared.view.neighbors(node).to_vec()
+                    };
                     let handle = Arc::clone(&self.shared);
                     let shard = self.shard_mut(si);
                     let out = shard.nodes[li].apply_churn(old, new, &neighbors);
                     shard.send(node, now, out, &handle, config);
                     drop(handle);
+                    if !self.shared.tree_overlay {
+                        // Cross-link partners keep a copy of this
+                        // node's interest to filter their replication;
+                        // refresh it (partners may live on any shard —
+                        // sound at a barrier), charging one
+                        // subscription message per cross link.
+                        let interest = self.shards[si].as_ref().expect("home").nodes[li]
+                            .subscriptions()
+                            .to_vec();
+                        let chords = self
+                            .shared
+                            .view
+                            .cross_neighbors(&self.shared.topology, node);
+                        for chord in chords {
+                            self.shard_mut(si).counters.count_subscription(node);
+                            let ci = self.shard_of(chord);
+                            let cshard = self.shard_mut(ci);
+                            let cli = chord.index() - cshard.base as usize;
+                            cshard.nodes[cli].update_cross_partner(node, interest.clone());
+                        }
+                    }
                     let shared = self.shared_mut();
                     shared.subscribers_of[old.index()].retain(|&n| n != node);
                     shared.subscribers_of[new.index()].push(node);

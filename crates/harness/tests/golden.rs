@@ -1,6 +1,7 @@
 //! Golden determinism tests: the full [`ScenarioResult`] and the
 //! fig3-style CSV bytes are pinned for all six algorithms at two
-//! seeds, plus reconfiguration and churn variants. Any refactor of the
+//! seeds, plus reconfiguration, churn, and cyclic-overlay (BA/WS)
+//! variants. Any refactor of the
 //! runner must reproduce these bytes exactly — serially and under
 //! `par_map` — or consciously regenerate them with
 //! `UPDATE_GOLDEN=1 cargo test -p eps-harness --test golden`.
@@ -12,6 +13,7 @@ use eps_gossip::Algorithm;
 use eps_harness::experiments::time_series_table;
 use eps_harness::parallel::par_map;
 use eps_harness::{run_scenario, run_scenario_sharded, ScenarioConfig, ScenarioResult};
+use eps_overlay::OverlayKind;
 use eps_sim::SimTime;
 
 const SEEDS: [u64; 2] = [1, 999];
@@ -30,7 +32,8 @@ fn small(algorithm: Algorithm, seed: u64) -> ScenarioConfig {
 }
 
 /// The pinned cells: every algorithm on the small lossy config, plus
-/// one reconfiguration run and one churn run.
+/// one reconfiguration run, one churn run, and one run on each cyclic
+/// overlay (Barabási–Albert and Watts–Strogatz).
 fn cells(seed: u64) -> Vec<(String, ScenarioConfig)> {
     let mut cells: Vec<(String, ScenarioConfig)> = Algorithm::paper()
         .into_iter()
@@ -48,6 +51,21 @@ fn cells(seed: u64) -> Vec<(String, ScenarioConfig)> {
         "churn".to_owned(),
         ScenarioConfig {
             churn_interval: Some(SimTime::from_millis(300)),
+            ..small(Algorithm::combined_pull(), seed)
+        },
+    ));
+    cells.push((
+        "overlay-ba".to_owned(),
+        ScenarioConfig {
+            overlay: OverlayKind::BarabasiAlbert,
+            ..small(Algorithm::push(), seed)
+        },
+    ));
+    cells.push((
+        "overlay-ws".to_owned(),
+        ScenarioConfig {
+            overlay: OverlayKind::WattsStrogatz,
+            max_degree: 6,
             ..small(Algorithm::combined_pull(), seed)
         },
     ));
@@ -105,6 +123,7 @@ fn dump(label: &str, result: &ScenarioResult) -> String {
     let _ = writeln!(s, "reconfigurations={}", result.reconfigurations);
     let _ = writeln!(s, "churn_events={}", result.churn_events);
     let _ = writeln!(s, "subscription_msgs={}", result.subscription_msgs);
+    let _ = writeln!(s, "duplicate_suppressed={}", result.duplicate_suppressed);
     let _ = writeln!(s, "unexpected_deliveries={}", result.unexpected_deliveries);
     s
 }

@@ -35,6 +35,7 @@ pub struct MessageCounters {
     events_retransmitted: u64,
     events_recovered: u64,
     lost_evictions: u64,
+    duplicate_suppressed: u64,
 }
 
 impl MessageCounters {
@@ -49,6 +50,7 @@ impl MessageCounters {
             events_retransmitted: 0,
             events_recovered: 0,
             lost_evictions: 0,
+            duplicate_suppressed: 0,
         }
     }
 
@@ -101,6 +103,14 @@ impl MessageCounters {
         self.lost_evictions += n;
     }
 
+    /// An event copy arrived at a node that had already seen the event
+    /// and was suppressed. Structurally zero on tree overlays (one
+    /// path per node pair); the redundancy cost of cyclic overlays,
+    /// where tree forwards and cross-link copies overlap.
+    pub fn count_duplicate_suppressed(&mut self) {
+        self.duplicate_suppressed += 1;
+    }
+
     /// Total event messages on overlay links.
     pub fn event_total(&self) -> u64 {
         self.event_sent.iter().sum()
@@ -141,6 +151,11 @@ impl MessageCounters {
     /// buffers (visible under heavy churn rather than silent).
     pub fn lost_evictions(&self) -> u64 {
         self.lost_evictions
+    }
+
+    /// Total redundant event arrivals suppressed by receivers.
+    pub fn duplicate_suppressed(&self) -> u64 {
+        self.duplicate_suppressed
     }
 
     /// Mean gossip messages sent per dispatcher (Fig. 9 / 10, left).
@@ -201,6 +216,7 @@ impl MessageCounters {
         self.events_retransmitted += other.events_retransmitted;
         self.events_recovered += other.events_recovered;
         self.lost_evictions += other.lost_evictions;
+        self.duplicate_suppressed += other.duplicate_suppressed;
     }
 }
 
@@ -264,6 +280,7 @@ mod tests {
         b.count_subscription(NodeId::new(1));
         b.count_recovered();
         b.count_lost_evictions(2);
+        b.count_duplicate_suppressed();
         a.absorb(&b);
         assert_eq!(a.event_total(), 2);
         assert_eq!(a.gossip_total(), 1);
@@ -273,6 +290,7 @@ mod tests {
         assert_eq!(a.events_retransmitted(), 3);
         assert_eq!(a.events_recovered(), 1);
         assert_eq!(a.lost_evictions(), 2);
+        assert_eq!(a.duplicate_suppressed(), 1);
         assert_eq!(a.gossip_by_dispatcher(), &[0, 1]);
     }
 

@@ -119,6 +119,7 @@ impl Cluster {
         let scenario = &config.scenario;
         let Population {
             topology,
+            view,
             space,
             nodes,
             subscriptions: _,
@@ -150,7 +151,11 @@ impl Cluster {
             let runtime = NodeRuntime::new(
                 NodeSetup {
                     node,
-                    neighbors: topology.neighbors(id).to_vec(),
+                    // TCP tree links follow the routing view; the
+                    // physical neighborhood (gossip partners, cross
+                    // links over UDP) is passed alongside.
+                    neighbors: view.neighbors(id).to_vec(),
+                    graph_neighbors: topology.neighbors(id).to_vec(),
                     space,
                     subscribers_of: subscribers_of.clone(),
                     gossip_rng: factory.indexed_stream("net-gossip", i as u64),
@@ -267,6 +272,7 @@ pub fn run_process_node(
     assert!(index < config.scenario.nodes, "node index out of range");
     let Population {
         topology,
+        view,
         space,
         nodes,
         subscriptions: _,
@@ -283,7 +289,9 @@ pub fn run_process_node(
     let runtime = NodeRuntime::new(
         NodeSetup {
             node,
-            neighbors: topology.neighbors(id).to_vec(),
+            // TCP tree links follow the routing view; see `launch`.
+            neighbors: view.neighbors(id).to_vec(),
+            graph_neighbors: topology.neighbors(id).to_vec(),
             space,
             subscribers_of,
             gossip_rng: factory.indexed_stream("net-gossip", index as u64),

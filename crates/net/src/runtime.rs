@@ -115,7 +115,13 @@ struct PendingConn {
 pub(crate) struct NodeRuntime {
     pub id: NodeId,
     node: SimNode,
+    /// Routing-view neighbors: the peers this node keeps TCP tree
+    /// links to, and the targets of protocol forwards.
     neighbors: Vec<NodeId>,
+    /// Physical-graph neighbors: the neighborhood gossip draws
+    /// partners from. Equal to `neighbors` on tree overlays; the
+    /// extra members (cross links) are reached over UDP.
+    graph_neighbors: Vec<NodeId>,
     space: PatternSpace,
     subscribers_of: Vec<Vec<NodeId>>,
 
@@ -157,7 +163,10 @@ pub(crate) struct NodeRuntime {
 /// comes from the config passed alongside).
 pub(crate) struct NodeSetup {
     pub node: SimNode,
+    /// Routing-view neighbors (TCP tree links).
     pub neighbors: Vec<NodeId>,
+    /// Physical-graph neighbors (gossip neighborhood).
+    pub graph_neighbors: Vec<NodeId>,
     pub space: PatternSpace,
     pub subscribers_of: Vec<Vec<NodeId>>,
     pub gossip_rng: Rng,
@@ -222,6 +231,7 @@ impl NodeRuntime {
             id,
             node,
             neighbors: setup.neighbors,
+            graph_neighbors: setup.graph_neighbors,
             space: setup.space,
             subscribers_of: setup.subscribers_of,
             payload_bits: params.payload_bits,
@@ -521,13 +531,17 @@ impl NodeRuntime {
         };
         // Receive-side loss injection, the net analogue of the
         // simulator's per-link error rate ε. Applied to tree traffic
-        // only (the out-of-band channel is lossless in the paper's
-        // default configuration, and real loopback UDP nearly is).
-        if tree
+        // and to cross-link event copies, which the simulator runs
+        // through the same lossy link model even though this runtime
+        // carries them over UDP. The out-of-band recovery channel
+        // stays lossless (the paper's default configuration, and real
+        // loopback UDP nearly is).
+        if (tree
             && matches!(
                 env_msg,
                 Envelope::PubSub(PubSubMessage::Event(_)) | Envelope::Gossip(_)
             )
+            || matches!(env_msg, Envelope::CrossEvent(_)))
             && self.loss_rate > 0.0
             && self.loss_rng.random_bool(self.loss_rate)
         {
@@ -540,6 +554,7 @@ impl NodeRuntime {
             let mut ctx = NodeCtx {
                 now,
                 neighbors: &self.neighbors,
+                graph_neighbors: &self.graph_neighbors,
                 space: &self.space,
                 subscribers_of: &self.subscribers_of,
                 gossip_rng: &mut self.gossip_rng,
@@ -589,6 +604,7 @@ impl NodeRuntime {
                     let mut ctx = NodeCtx {
                         now,
                         neighbors: &self.neighbors,
+                        graph_neighbors: &self.graph_neighbors,
                         space: &self.space,
                         subscribers_of: &self.subscribers_of,
                         gossip_rng: &mut self.gossip_rng,
@@ -628,6 +644,7 @@ impl NodeRuntime {
                 let mut ctx = NodeCtx {
                     now,
                     neighbors: &self.neighbors,
+                    graph_neighbors: &self.graph_neighbors,
                     space: &self.space,
                     subscribers_of: &self.subscribers_of,
                     gossip_rng: &mut self.gossip_rng,
@@ -653,7 +670,9 @@ impl NodeRuntime {
             // classes are counted inside the node when the action is
             // decided).
             match &msg {
-                Envelope::PubSub(PubSubMessage::Event(_)) => self.counters.count_event(self.id),
+                Envelope::PubSub(PubSubMessage::Event(_)) | Envelope::CrossEvent(_) => {
+                    self.counters.count_event(self.id)
+                }
                 Envelope::PubSub(_) => self.counters.count_subscription(self.id),
                 _ => {}
             }
@@ -682,7 +701,10 @@ impl NodeRuntime {
             );
             match msg.channel() {
                 Channel::Tree => self.enqueue_tree(to, body),
-                Channel::OutOfBand => self.send_oob(to, &body),
+                // Cross links have no TCP connection (those follow
+                // the routing view); chord copies go as datagrams,
+                // like the recovery channel.
+                Channel::Cross | Channel::OutOfBand => self.send_oob(to, &body),
             }
         }
     }

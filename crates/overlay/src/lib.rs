@@ -4,9 +4,13 @@
 //! Reliable Content-Based Publish-Subscribe: An Evaluation”* (Costa et
 //! al., ICDCS 2004). It models the overlay the dispatchers live on:
 //!
-//! - [`Topology`] — an undirected, degree-bounded graph, normally an
-//!   unrooted tree (built by [`Topology::random_tree`], max degree 4 in
-//!   the paper's configurations);
+//! - [`Topology`] — an undirected, degree-bounded graph: the paper's
+//!   unrooted tree ([`Topology::random_tree`], max degree 4), plus the
+//!   cyclic complex-network builders [`Topology::barabasi_albert`] and
+//!   [`Topology::watts_strogatz`] selected via [`OverlayKind`];
+//! - [`RoutingView`] — the spanning tree a run routes on, derived from
+//!   the physical graph (identity on tree inputs, deterministic BFS
+//!   otherwise);
 //! - [`LinkSpec`]/[`LinkTable`] — 10 Mbit/s store-and-forward links
 //!   with FIFO serialization and per-message Bernoulli loss `ε`;
 //! - [`OutOfBandSpec`] — the direct unicast channel used by the gossip
@@ -41,9 +45,11 @@ mod node;
 mod reconfig;
 mod topology;
 mod transport;
+mod view;
 
 pub use link::{LinkSpec, LinkTable, OutOfBandSpec, Transmission};
 pub use node::{LinkId, NodeId};
 pub use reconfig::{plan_reconfiguration, plan_reconnection, ReconfigPlan};
-pub use topology::{Topology, TopologyError};
+pub use topology::{OverlayKind, Topology, TopologyError, BA_ATTACHMENTS, WS_BETA};
 pub use transport::{NetTransport, ShardTransport, Transport};
+pub use view::RoutingView;

@@ -35,6 +35,144 @@ impl std::fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// The overlay family a scenario runs on. `Tree` is the paper's
+/// degree-bounded random spanning tree; the other two are the cyclic
+/// complex-network overlays from Ferretti's gossip pub-sub study
+/// (arXiv 1112.0416): scale-free preferential attachment and
+/// small-world ring rewiring.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OverlayKind {
+    /// Incremental random spanning tree ([`Topology::random_tree`]).
+    #[default]
+    Tree,
+    /// Degree-capped Barabási–Albert preferential attachment
+    /// ([`Topology::barabasi_albert`]).
+    BarabasiAlbert,
+    /// Watts–Strogatz small-world ring rewiring
+    /// ([`Topology::watts_strogatz`]).
+    WattsStrogatz,
+}
+
+impl OverlayKind {
+    /// All overlay kinds, tree first.
+    pub fn all() -> [OverlayKind; 3] {
+        [
+            OverlayKind::Tree,
+            OverlayKind::BarabasiAlbert,
+            OverlayKind::WattsStrogatz,
+        ]
+    }
+
+    /// The canonical short name (the `--overlay` CLI value).
+    pub fn name(self) -> &'static str {
+        match self {
+            OverlayKind::Tree => "tree",
+            OverlayKind::BarabasiAlbert => "ba",
+            OverlayKind::WattsStrogatz => "ws",
+        }
+    }
+
+    /// `true` for the acyclic overlay: physical graph == routing view,
+    /// so no cross links and no redundant deliveries exist.
+    pub fn is_tree(self) -> bool {
+        self == OverlayKind::Tree
+    }
+}
+
+impl std::fmt::Display for OverlayKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for OverlayKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tree" => Ok(OverlayKind::Tree),
+            "ba" | "barabasi-albert" => Ok(OverlayKind::BarabasiAlbert),
+            "ws" | "watts-strogatz" => Ok(OverlayKind::WattsStrogatz),
+            other => Err(format!(
+                "unknown overlay '{other}' (expected tree, ba, or ws)"
+            )),
+        }
+    }
+}
+
+/// Attachment edges each new node brings in
+/// [`Topology::barabasi_albert`] — the classic BA `m`, giving a mean
+/// degree of `2m = 4` (the paper's tree degree bound).
+pub const BA_ATTACHMENTS: usize = 2;
+
+/// Bounded retries for one preferential (or fallback uniform) target
+/// draw in the graph builders before giving up on the slot.
+const BA_PREFERENTIAL_TRIES: usize = 16;
+
+/// Bounded retries for one rewiring target draw in
+/// [`Topology::watts_strogatz`] before keeping the original chord.
+const WS_REWIRE_TRIES: usize = 16;
+
+/// The default Watts–Strogatz rewiring probability used by
+/// [`Topology::build`]: enough long-range chords to collapse the path
+/// length while the ring clustering survives.
+pub const WS_BETA: f64 = 0.2;
+
+/// A set of node ids supporting O(1) insert, remove, and uniform
+/// random draw — the spare-degree candidate pool the graph builders
+/// sample attachment targets from. `pos[x]` is `x`'s index in `items`,
+/// or `u32::MAX` when absent.
+struct SpareSet {
+    items: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl SpareSet {
+    fn empty(n: usize) -> Self {
+        SpareSet {
+            items: Vec::with_capacity(n),
+            pos: vec![ABSENT; n],
+        }
+    }
+
+    fn full(n: usize) -> Self {
+        SpareSet {
+            items: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+        }
+    }
+
+    fn insert(&mut self, x: u32) {
+        if self.pos[x as usize] == ABSENT {
+            self.pos[x as usize] = self.items.len() as u32;
+            self.items.push(x);
+        }
+    }
+
+    fn remove(&mut self, x: u32) {
+        let p = self.pos[x as usize];
+        if p == ABSENT {
+            return;
+        }
+        self.items.swap_remove(p as usize);
+        if let Some(&moved) = self.items.get(p as usize) {
+            self.pos[moved as usize] = p;
+        }
+        self.pos[x as usize] = ABSENT;
+    }
+
+    fn draw(&self, rng: &mut Rng) -> Option<NodeId> {
+        if self.items.is_empty() {
+            None
+        } else {
+            let k = rng.random_below(self.items.len() as u64) as usize;
+            Some(NodeId::new(self.items[k]))
+        }
+    }
+}
+
 /// An undirected overlay graph with an optional per-node degree bound.
 ///
 /// The dispatching overlay of the paper is an *unrooted tree* with
@@ -84,22 +222,205 @@ impl Topology {
     /// Nodes are attached one at a time to a uniformly random existing
     /// node that still has spare degree — the same incremental growth
     /// model used in the simulations of the paper's reference \[7\].
+    /// The spare-degree candidates are kept in an indexed set drawn
+    /// from in O(1), so construction is O(N) overall (the previous
+    /// rejection-free scan of all attached nodes per step was O(N²) —
+    /// minutes at 10⁵ nodes).
     ///
     /// # Panics
     ///
     /// Panics under the same conditions as [`Topology::new`].
     pub fn random_tree(n: usize, max_degree: usize, rng: &mut Rng) -> Self {
         let mut topo = Topology::new(n, max_degree);
+        let mut spare = SpareSet::empty(n);
+        spare.insert(0);
         for i in 1..n {
-            let candidate = rng
-                .choose_iter(
-                    (0..i)
-                        .map(|j| NodeId::new(j as u32))
-                        .filter(|&j| topo.degree(j) < max_degree),
-                )
+            let parent = spare
+                .draw(rng)
                 .expect("a growing bounded-degree tree always has a node with spare degree");
-            topo.add_link(candidate, NodeId::new(i as u32))
-                .expect("candidate was checked for spare degree");
+            let node = NodeId::new(i as u32);
+            topo.add_link(parent, node)
+                .expect("parent was drawn from the spare-degree set");
+            if topo.degree(parent) >= max_degree {
+                spare.remove(parent.value());
+            }
+            // `max_degree >= 2`, so the fresh leaf always has spare.
+            spare.insert(node.value());
+        }
+        topo
+    }
+
+    /// Builds the overlay of the given kind: [`Topology::random_tree`]
+    /// for [`OverlayKind::Tree`], [`Topology::barabasi_albert`] with
+    /// two attachments per node for [`OverlayKind::BarabasiAlbert`],
+    /// and [`Topology::watts_strogatz`] at the default rewiring
+    /// probability [`WS_BETA`] for [`OverlayKind::WattsStrogatz`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the respective builder's conditions.
+    pub fn build(kind: OverlayKind, n: usize, max_degree: usize, rng: &mut Rng) -> Self {
+        match kind {
+            OverlayKind::Tree => Topology::random_tree(n, max_degree, rng),
+            OverlayKind::BarabasiAlbert => Topology::barabasi_albert(n, max_degree, rng),
+            OverlayKind::WattsStrogatz => Topology::watts_strogatz(n, max_degree, WS_BETA, rng),
+        }
+    }
+
+    /// Builds a degree-capped Barabási–Albert scale-free graph: after a
+    /// seed link `0–1`, each new node attaches to up to
+    /// [`BA_ATTACHMENTS`] distinct existing nodes drawn proportionally
+    /// to degree (endpoint-list sampling), restricted to nodes with
+    /// spare degree. When a bounded number of preferential draws all
+    /// hit saturated or duplicate targets, the draw falls back to a
+    /// uniform choice over the spare-degree pool, so the cap truncates
+    /// — but never stalls — the preferential hub growth.
+    ///
+    /// The result is connected (every node attaches at least once — at
+    /// mean degree `2·BA_ATTACHMENTS ≤ max_degree` a spare node always
+    /// exists by pigeonhole) and cyclic for `n ≥ 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Topology::new`], or if
+    /// `max_degree < 2 * BA_ATTACHMENTS` (the cap must admit the mean
+    /// degree, or late nodes cannot attach).
+    pub fn barabasi_albert(n: usize, max_degree: usize, rng: &mut Rng) -> Self {
+        assert!(
+            max_degree >= 2 * BA_ATTACHMENTS,
+            "degree cap must be at least the BA mean degree {}",
+            2 * BA_ATTACHMENTS
+        );
+        let mut topo = Topology::new(n, max_degree);
+        if n == 1 {
+            return topo;
+        }
+        topo.add_link(NodeId::new(0), NodeId::new(1))
+            .expect("seed link on fresh nodes");
+        // Each link contributes both endpoints, so a uniform draw from
+        // this list is a draw proportional to degree.
+        let mut endpoints: Vec<u32> = vec![0, 1];
+        let mut spare = SpareSet::empty(n);
+        spare.insert(0);
+        spare.insert(1);
+        for i in 2..n {
+            let node = NodeId::new(i as u32);
+            let mut chosen: [Option<NodeId>; BA_ATTACHMENTS] = [None; BA_ATTACHMENTS];
+            let mut picked = 0;
+            for _slot in 0..BA_ATTACHMENTS.min(i) {
+                let mut target = None;
+                for _ in 0..BA_PREFERENTIAL_TRIES {
+                    let k = rng.random_below(endpoints.len() as u64) as usize;
+                    let cand = NodeId::new(endpoints[k]);
+                    if cand != node
+                        && topo.degree(cand) < max_degree
+                        && !chosen[..picked].contains(&Some(cand))
+                    {
+                        target = Some(cand);
+                        break;
+                    }
+                }
+                if target.is_none() {
+                    for _ in 0..BA_PREFERENTIAL_TRIES {
+                        match spare.draw(rng) {
+                            None => break,
+                            Some(cand) if chosen[..picked].contains(&Some(cand)) => {}
+                            Some(cand) => {
+                                target = Some(cand);
+                                break;
+                            }
+                        }
+                    }
+                }
+                let Some(t) = target else { break };
+                topo.add_link(t, node).expect("target has spare degree");
+                endpoints.push(t.index() as u32);
+                endpoints.push(i as u32);
+                if topo.degree(t) >= max_degree {
+                    spare.remove(t.index() as u32);
+                }
+                chosen[picked] = Some(t);
+                picked += 1;
+            }
+            assert!(
+                picked >= 1,
+                "a spare-degree node always exists at mean degree 2·m ≤ cap"
+            );
+            if topo.degree(node) < max_degree {
+                spare.insert(i as u32);
+            }
+        }
+        topo
+    }
+
+    /// Builds a Watts–Strogatz small-world graph: a ring lattice where
+    /// each node links to its two nearest neighbors on either side
+    /// (`±1` and `±2`), then each `+2` chord is rewired with
+    /// probability `beta` to a uniform random non-adjacent node with
+    /// spare degree (the `±1` ring is never rewired, so the graph
+    /// stays connected). A rewire that finds no admissible target
+    /// after a bounded number of draws keeps the original chord.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Topology::new`], or if
+    /// `n < 5` (the `±2` lattice needs five distinct nodes) or
+    /// `max_degree < 5` (rewiring needs headroom above the lattice
+    /// degree of 4).
+    pub fn watts_strogatz(n: usize, max_degree: usize, beta: f64, rng: &mut Rng) -> Self {
+        assert!(n >= 5, "the ±2 ring lattice needs at least 5 nodes");
+        assert!(
+            max_degree >= 5,
+            "rewiring needs degree headroom above the lattice degree 4"
+        );
+        let mut topo = Topology::new(n, max_degree);
+        for i in 0..n {
+            let a = NodeId::new(i as u32);
+            topo.add_link(a, NodeId::new(((i + 1) % n) as u32))
+                .expect("ring link on fresh lattice");
+        }
+        for i in 0..n {
+            let a = NodeId::new(i as u32);
+            topo.add_link(a, NodeId::new(((i + 2) % n) as u32))
+                .expect("chord link on fresh lattice");
+        }
+        let mut spare = SpareSet::full(n);
+        for i in 0..n {
+            if topo.degree(NodeId::new(i as u32)) >= max_degree {
+                spare.remove(i as u32);
+            }
+        }
+        for i in 0..n {
+            let a = NodeId::new(i as u32);
+            let b = NodeId::new(((i + 2) % n) as u32);
+            if !rng.random_bool(beta) {
+                continue;
+            }
+            topo.remove_link(LinkId::new(a, b))
+                .expect("the +2 chord of i is only ever rewired at step i");
+            spare.insert(b.index() as u32);
+            if topo.degree(a) < max_degree {
+                spare.insert(a.index() as u32);
+            }
+            let mut target = None;
+            for _ in 0..WS_REWIRE_TRIES {
+                match spare.draw(rng) {
+                    None => break,
+                    Some(t) if t == a || topo.has_link(a, t) => {}
+                    Some(t) => {
+                        target = Some(t);
+                        break;
+                    }
+                }
+            }
+            // No admissible target — put the original chord back.
+            let t = target.unwrap_or(b);
+            topo.add_link(a, t).expect("target has spare degree");
+            for x in [a, t] {
+                if topo.degree(x) >= max_degree {
+                    spare.remove(x.index() as u32);
+                }
+            }
         }
         topo
     }
@@ -434,6 +755,70 @@ mod tests {
         let hops = t.mean_path_hops();
         assert!(hops > 1.0, "hops = {hops}");
         assert!(hops < 20.0, "hops = {hops}");
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_degree_capped_and_cyclic() {
+        for n in [5, 50, 200] {
+            let topo = Topology::barabasi_albert(n, 4, &mut rng());
+            assert!(topo.is_connected(), "n={n}");
+            assert!(topo.nodes().all(|x| topo.degree(x) <= 4), "n={n}");
+            assert!(topo.link_count() > n - 1, "n={n} has cycles");
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_prefers_high_degree_early_nodes() {
+        let topo = Topology::barabasi_albert(400, 8, &mut rng());
+        let early: usize = (0..20).map(|i| topo.degree(NodeId::new(i))).sum();
+        let late: usize = (380..400).map(|i| topo.degree(NodeId::new(i))).sum();
+        assert!(
+            early > late,
+            "preferential attachment favors old nodes: early {early} vs late {late}"
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_is_connected_degree_capped_and_rewired() {
+        let n = 100;
+        let topo = Topology::watts_strogatz(n, 6, 0.2, &mut rng());
+        assert!(topo.is_connected());
+        assert!(topo.nodes().all(|x| topo.degree(x) <= 6));
+        // The ±1 ring is never rewired.
+        for i in 0..n {
+            let a = NodeId::new(i as u32);
+            assert!(topo.has_link(a, NodeId::new(((i + 1) % n) as u32)));
+        }
+        // Some +2 chord moved (β=0.2 over 100 chords).
+        let moved = (0..n)
+            .filter(|&i| !topo.has_link(NodeId::new(i as u32), NodeId::new(((i + 2) % n) as u32)))
+            .count();
+        assert!(moved > 0, "rewiring happened");
+        // Rewiring conserves the link count: every removal re-adds one.
+        assert_eq!(topo.link_count(), 2 * n);
+    }
+
+    #[test]
+    fn builders_are_seed_deterministic() {
+        for kind in OverlayKind::all() {
+            let a = Topology::build(kind, 64, 6, &mut rng());
+            let b = Topology::build(kind, 64, 6, &mut rng());
+            let links_a: Vec<LinkId> = a.links().collect();
+            let links_b: Vec<LinkId> = b.links().collect();
+            assert_eq!(links_a, links_b, "{kind}");
+        }
+    }
+
+    #[test]
+    fn overlay_kind_round_trips_through_names() {
+        for kind in OverlayKind::all() {
+            assert_eq!(kind.name().parse::<OverlayKind>(), Ok(kind));
+        }
+        assert_eq!("barabasi-albert".parse(), Ok(OverlayKind::BarabasiAlbert));
+        assert_eq!("WS".parse(), Ok(OverlayKind::WattsStrogatz));
+        assert!("ring".parse::<OverlayKind>().is_err());
+        assert!(OverlayKind::Tree.is_tree());
+        assert!(!OverlayKind::BarabasiAlbert.is_tree());
     }
 
     #[test]

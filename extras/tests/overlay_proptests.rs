@@ -1,8 +1,22 @@
 //! Property-based tests of the overlay substrate.
 
-use eps_overlay::{plan_reconfiguration, plan_reconnection, LinkSpec, LinkTable, NodeId, Topology};
+use eps_overlay::{
+    plan_reconfiguration, plan_reconnection, LinkSpec, LinkTable, NodeId, OverlayKind, RoutingView,
+    Topology, BA_ATTACHMENTS,
+};
 use eps_sim::{RngFactory, SimTime};
 use proptest::prelude::*;
+
+/// The smallest admissible (n, max_degree) floor per builder: BA needs
+/// room for `2 * BA_ATTACHMENTS` links per node, WS needs the ring
+/// lattice (degree 4) plus one spare for rewiring.
+fn builder_floor(kind: OverlayKind) -> (usize, usize) {
+    match kind {
+        OverlayKind::Tree => (1, 2),
+        OverlayKind::BarabasiAlbert => (BA_ATTACHMENTS + 1, 2 * BA_ATTACHMENTS),
+        OverlayKind::WattsStrogatz => (5, 5),
+    }
+}
 
 proptest! {
     /// Random trees are always connected, acyclic, and degree-bounded,
@@ -22,6 +36,94 @@ proptest! {
         for link in topo.links() {
             prop_assert!(topo.neighbors(link.a()).contains(&link.b()));
             prop_assert!(topo.neighbors(link.b()).contains(&link.a()));
+        }
+    }
+
+    /// Every builder yields a connected, degree-bounded graph with
+    /// symmetric adjacency, for any admissible size, bound, and seed.
+    #[test]
+    fn every_builder_is_connected_and_degree_bounded(
+        kind_idx in 0usize..3,
+        n_extra in 0usize..200,
+        degree_extra in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let kind = OverlayKind::all()[kind_idx];
+        let (n_floor, degree_floor) = builder_floor(kind);
+        let n = n_floor + n_extra;
+        let max_degree = degree_floor + degree_extra;
+        let mut rng = RngFactory::new(seed).stream("topology");
+        let topo = Topology::build(kind, n, max_degree, &mut rng);
+        prop_assert_eq!(topo.len(), n);
+        prop_assert!(topo.is_connected());
+        prop_assert!(topo.nodes().all(|v| topo.degree(v) <= max_degree));
+        if kind.is_tree() {
+            prop_assert!(topo.is_tree());
+        }
+        for link in topo.links() {
+            prop_assert!(topo.neighbors(link.a()).contains(&link.b()));
+            prop_assert!(topo.neighbors(link.b()).contains(&link.a()));
+        }
+    }
+
+    /// Builders are pure functions of (kind, n, max_degree, seed): the
+    /// same inputs reproduce the identical link set and neighbor order.
+    #[test]
+    fn builders_are_seed_deterministic(
+        kind_idx in 0usize..3,
+        n_extra in 0usize..120,
+        seed in any::<u64>(),
+    ) {
+        let kind = OverlayKind::all()[kind_idx];
+        let (n_floor, degree_floor) = builder_floor(kind);
+        let n = n_floor + n_extra;
+        let build = || {
+            let mut rng = RngFactory::new(seed).stream("topology");
+            Topology::build(kind, n, degree_floor + 1, &mut rng)
+        };
+        let (a, b) = (build(), build());
+        prop_assert_eq!(a.link_count(), b.link_count());
+        for v in a.nodes() {
+            prop_assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    /// The routing view of a tree IS the tree: identity, same links,
+    /// same neighbor order. The view of a cyclic graph is a spanning
+    /// tree of it — every view link exists in the physical graph, and
+    /// the cross neighbors are exactly the physical remainder.
+    #[test]
+    fn routing_view_spans_the_graph_and_is_identity_on_trees(
+        kind_idx in 0usize..3,
+        n_extra in 0usize..120,
+        seed in any::<u64>(),
+    ) {
+        let kind = OverlayKind::all()[kind_idx];
+        let (n_floor, degree_floor) = builder_floor(kind);
+        let n = n_floor + n_extra;
+        let mut rng = RngFactory::new(seed).stream("topology");
+        let topo = Topology::build(kind, n, degree_floor + 1, &mut rng);
+        let view = RoutingView::derive(&topo);
+        prop_assert!(view.tree().is_tree());
+        prop_assert_eq!(view.tree().len(), n);
+        prop_assert_eq!(view.is_identity(), topo.is_tree());
+        if view.is_identity() {
+            prop_assert_eq!(view.tree().link_count(), topo.link_count());
+        }
+        for v in topo.nodes() {
+            if view.is_identity() {
+                prop_assert_eq!(view.neighbors(v), topo.neighbors(v));
+            }
+            // Every view link is physical; view + cross = physical.
+            let cross = view.cross_neighbors(&topo, v);
+            for &u in view.neighbors(v) {
+                prop_assert!(topo.has_link(v, u));
+                prop_assert!(!cross.contains(&u));
+            }
+            prop_assert_eq!(
+                view.neighbors(v).len() + cross.len(),
+                topo.degree(v)
+            );
         }
     }
 

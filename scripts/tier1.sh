@@ -42,12 +42,13 @@ echo "== tier-1: bench compare (kernel gated at 25%, rest advisory) =="
 # The kernel microbenches are tight, allocation-free loops — stable
 # enough to gate hard with generous headroom. The gossip/scenario/net
 # files time whole protocol rounds and end-to-end runs, which are too
-# noisy on shared machines to fail CI; those stay advisory. Shared
-# hosts occasionally time-slice the vCPU (steal), uniformly doubling
-# every measurement — on a strict failure, re-measure once before
-# declaring a real regression.
+# noisy on shared machines to fail CI; those stay advisory, as do the
+# one-build-per-iteration topology_build entries inside the kernel
+# file. Shared hosts occasionally time-slice the vCPU (steal),
+# uniformly doubling every measurement — on a strict failure,
+# re-measure once before declaring a real regression.
 if ! cargo run --release -p eps-bench --bin bench_compare -- \
-    --strict --threshold 25 \
+    --strict --threshold 25 --advisory-prefix topology_build \
     BENCH_kernel.json target/bench/BENCH_kernel.json; then
     echo "kernel bench regressed; re-measuring once (transient host steal?)"
     sleep 5
@@ -56,7 +57,7 @@ if ! cargo run --release -p eps-bench --bin bench_compare -- \
         --gossip-out target/bench/BENCH_gossip.json \
         --net-out target/bench/BENCH_net.json
     cargo run --release -p eps-bench --bin bench_compare -- \
-        --strict --threshold 25 \
+        --strict --threshold 25 --advisory-prefix topology_build \
         BENCH_kernel.json target/bench/BENCH_kernel.json
 fi
 cargo run --release -p eps-bench --bin bench_compare -- \
@@ -69,6 +70,24 @@ echo "== tier-1: loopback smoke (3-node tree over real sockets) =="
     --pattern-universe 6 --pi-max 2 --duration 0.8 --drain 2 --seed 11
 ./target/release/net_cluster --nodes 3 --algorithm combined-pull --eps 0.05 \
     --pattern-universe 6 --pi-max 2 --duration 0.8 --drain 2 --seed 13
+
+echo "== tier-1: overlay scenarios (duplicate-suppression invariant) =="
+# On a tree the routing view IS the physical graph: no cross links
+# exist, so the duplicate filter must absorb exactly zero redundant
+# copies. On the cyclic overlays the cross links replicate every
+# matching event, so the suppressed count must be positive.
+overlay_dups() {
+    ./target/release/simulate --overlay "$1" --max-degree "$2" --nodes 40 \
+        --duration 2 --seed 5 -a push 2>/dev/null \
+        | awk '/duplicates suppressed/ {print $3; found=1} END {if (!found) print 0}'
+}
+tree_dups=$(overlay_dups tree 4)
+ba_dups=$(overlay_dups ba 6)
+ws_dups=$(overlay_dups ws 6)
+echo "duplicates suppressed: tree=$tree_dups ba=$ba_dups ws=$ws_dups"
+[ "$tree_dups" -eq 0 ] || { echo "FAIL: tree overlay suppressed duplicates"; exit 1; }
+[ "$ba_dups" -gt 0 ] || { echo "FAIL: ba overlay suppressed no duplicates"; exit 1; }
+[ "$ws_dups" -gt 0 ] || { echo "FAIL: ws overlay suppressed no duplicates"; exit 1; }
 
 echo "== tier-1: docs build =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
