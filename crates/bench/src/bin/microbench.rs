@@ -26,8 +26,8 @@ use eps_harness::{build_population, run_scenario, ScenarioConfig, SimNode};
 use eps_net::frame::{frame, FrameReader};
 use eps_overlay::{NodeId, OverlayKind, Topology};
 use eps_pubsub::{
-    Dispatcher, DispatcherConfig, Event, EventId, Interface, LossRecord, PatternId, PubSubMessage,
-    SubscriptionTable,
+    ClientId, ClientRegistry, Dispatcher, DispatcherConfig, Event, EventId, Interface, LossRecord,
+    PatternId, PubSubMessage, SubscriptionTable,
 };
 use eps_sim::{Engine, Rng, RngFactory, SimTime};
 
@@ -84,7 +84,8 @@ fn main() -> ExitCode {
         scenario_mini(),
     ]);
     results.extend(topology_build());
-    let gossip_results = gossip_rounds();
+    let mut gossip_results = gossip_rounds();
+    gossip_results.extend(table_matching_aggregated());
     let net_results = vec![
         codec_encode_event(),
         codec_roundtrip(),
@@ -418,6 +419,115 @@ fn gossip_rounds() -> Vec<BenchResult> {
             result
         })
         .collect()
+}
+
+/// Broker-level matching under the client layer: `N` client
+/// subscriptions over a Π = 4096 universe collapse into at most Π
+/// aggregate filters, so the per-event routing decision — a
+/// [`SubscriptionTable`] match against the aggregate plus neighbor
+/// state — must stay flat as `N` grows 10⁴ → 10⁶ (the sublinearity the
+/// client layer exists for). Three entries per size land in the gossip
+/// JSON: the matching ns/event, the one-shot aggregate-filter count
+/// (unit: filters, not ns), and the local fan-out ns/event (which
+/// legitimately grows with deliveries, recorded for contrast). The
+/// one-shot counts are deterministic; the timings ride the advisory
+/// compare like every other gossip entry.
+fn table_matching_aggregated() -> Vec<BenchResult> {
+    const UNIVERSE: u64 = 4096;
+    const PATTERNS_PER_CLIENT: u64 = 4;
+    const EVENTS: u64 = 1_000;
+    let mut out = Vec::new();
+    let mut rng = Rng::from_seed(6);
+    let events: Vec<Event> = (0..EVENTS)
+        .map(|i| {
+            let mut patterns: Vec<u16> =
+                (0..3).map(|_| rng.random_below(UNIVERSE) as u16).collect();
+            patterns.sort_unstable();
+            patterns.dedup();
+            Event::new(
+                EventId::new(NodeId::new(0), i),
+                patterns
+                    .into_iter()
+                    .map(|p| (PatternId::new(p), i))
+                    .collect(),
+            )
+        })
+        .collect();
+    for (subs, label) in [
+        (10_000u64, "clients1e4"),
+        (100_000, "clients1e5"),
+        (1_000_000, "clients1e6"),
+    ] {
+        let clients = subs / PATTERNS_PER_CLIENT;
+        let mut pairs: Vec<(PatternId, ClientId)> = Vec::with_capacity(subs as usize);
+        for c in 0..clients {
+            for _ in 0..PATTERNS_PER_CLIENT {
+                pairs.push((
+                    PatternId::new(rng.random_below(UNIVERSE) as u16),
+                    ClientId::new(c as u32),
+                ));
+            }
+        }
+        // Subscribing in ascending (pattern, client) order keeps every
+        // insert an append, so building 10⁶ pairs stays linear.
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut registry = ClientRegistry::new();
+        for &(p, c) in &pairs {
+            registry.subscribe(c, p);
+        }
+        out.push(measured(
+            &format!("table_matching_aggregated/{label}/aggregate_filters"),
+            registry.aggregate_len() as f64,
+        ));
+
+        // The routing layer sees only the aggregate: one Local bit per
+        // aggregate filter, plus the usual neighbor state.
+        let mut table = SubscriptionTable::with_dims(UNIVERSE as usize, 10);
+        for p in registry.aggregate_patterns() {
+            table.insert(p, Interface::Local);
+        }
+        for p in (0..UNIVERSE as u16).step_by(8) {
+            table.insert(
+                PatternId::new(p),
+                Interface::Neighbor(NodeId::new(u32::from(p) % 10)),
+            );
+        }
+        let mut scratch = Vec::new();
+        let mut total = 0usize;
+        let result = bench(
+            &format!("table_matching_aggregated/{label}"),
+            2,
+            15,
+            EVENTS,
+            || {
+                for event in &events {
+                    table.matching_neighbors_into(event, Some(NodeId::new(1)), &mut scratch);
+                    total += scratch.len() + usize::from(table.matches_locally(event));
+                }
+            },
+        );
+        assert!(total > 0, "{label}: matching produced no routing decisions");
+        out.push(result);
+
+        let mut fanout = Vec::new();
+        let mut delivered = 0usize;
+        let fanout_result = bench(
+            &format!("table_matching_aggregated/{label}/client_fanout"),
+            2,
+            15,
+            EVENTS,
+            || {
+                for event in &events {
+                    registry.matching_clients_into(event, &mut fanout);
+                    delivered += fanout.len();
+                }
+            },
+        );
+        assert!(delivered > 0, "{label}: fan-out matched no clients");
+        out.push(fanout_result);
+    }
+    out
 }
 
 /// One miniature end-to-end run at the Figure 2 defaults (quick

@@ -46,6 +46,8 @@ fn main() -> ExitCode {
                 "--beta" => config.buffer_size = parse(&value()?)?,
                 "--pi-max" | "--patterns-per-node" => config.pi_max = parse(&value()?)?,
                 "--patterns" => config.pattern_universe = parse(&value()?)?,
+                "--clients" | "--clients-per-node" => config.clients_per_node = parse(&value()?)?,
+                "--zipf" => config.zipf_s = parse(&value()?)?,
                 "--publish-rate" => config.publish_rate = parse(&value()?)?,
                 "--gossip-interval" => {
                     config.gossip_interval = SimTime::from_secs_f64(parse(&value()?)?)
@@ -139,6 +141,13 @@ fn main() -> ExitCode {
             println!("  subscription swaps     {:>10}", r.churn_events);
             println!("  subscription messages  {:>10}", r.subscription_msgs);
         }
+        // Always printed: at --clients 1 these collapse to the
+        // single-subscriber numbers, and tier1.sh's aggregation smoke
+        // reads both cells to assert sublinear wire growth.
+        println!("  client subscriptions   {:>10}", r.client_subscriptions);
+        println!("  aggregate patterns     {:>10}", r.aggregate_patterns);
+        println!("  routing entries        {:>10}", r.routing_entries);
+        println!("  setup subscription msgs{:>10}", r.setup_subscription_msgs);
     }
     eprintln!("total wall time {elapsed:.1}s");
     ExitCode::SUCCESS
@@ -154,13 +163,18 @@ fn print_usage() {
          \t[--overlay tree|ba|ws] [--max-degree D]\n\
          \t[--pi-max P] [--publish-rate R] [--gossip-interval T] [--duration D]\n\
          \t[--rho RHO] [--churn C] [--p-forward P] [--p-source P] [--seed S] [--adaptive]\n\
-         \t[--patterns PI] [--patterns-per-node P] [--jobs N] [--shards K]\n\
+         \t[--patterns PI] [--patterns-per-node P] [--clients C] [--zipf S]\n\
+         \t[--jobs N] [--shards K]\n\
          --overlay picks the physical graph builder: tree (acyclic, the paper's\n\
          topology), ba (Barabasi-Albert scale-free), ws (Watts-Strogatz\n\
          small-world); events route on the BFS view, cross links carry\n\
          redundant copies that are counted as 'duplicates suppressed'\n\
          --patterns sets the pattern universe size Pi (content-model density);\n\
          --patterns-per-node is an alias for --pi-max\n\
+         --clients attaches C end-user clients to each dispatcher (default 1);\n\
+         each client draws its own pi-max subscriptions and the dispatcher\n\
+         routes on the aggregated (covering/merged) filter\n\
+         --zipf skews pattern popularity with exponent S (0 = uniform)\n\
          --shards K runs the scenario partitioned across K worker threads\n\
          (identical results for every K; built for 10^5-10^6 nodes)\n\
          algorithms (case-insensitive, aliases accepted): {}",

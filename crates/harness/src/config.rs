@@ -89,8 +89,21 @@ pub struct ScenarioConfig {
     pub pattern_universe: u16,
     /// Maximum patterns matched by one event (3 in the paper).
     pub max_patterns_per_event: usize,
-    /// Subscriptions per dispatcher `π_max`.
+    /// Subscriptions per dispatcher `π_max`. With more than one client
+    /// per dispatcher this bounds each *client's* subscription count;
+    /// the dispatcher's routing filter is the aggregate of its clients.
     pub pi_max: usize,
+    /// End-user clients attached to each dispatcher. The paper's model
+    /// is one client per dispatcher (`1`, the default); larger values
+    /// exercise subscription aggregation — per-client patterns are
+    /// merged into one broker-level filter, so routing state grows with
+    /// the number of *distinct* patterns, not the number of clients.
+    pub clients_per_node: usize,
+    /// Zipf exponent `s` for pattern popularity. `0.0` (the default)
+    /// keeps the paper's uniform content model; `s > 0` skews both
+    /// event content and subscription draws towards low-numbered
+    /// patterns with probability ∝ `1/rank^s`.
+    pub zipf_s: f64,
     /// Publish rate per dispatcher, events/second (Poisson process).
     pub publish_rate: f64,
     /// Per-link, per-message loss probability `ε`.
@@ -146,6 +159,8 @@ impl Default for ScenarioConfig {
             pattern_universe: 70,
             max_patterns_per_event: 3,
             pi_max: 2,
+            clients_per_node: 1,
+            zipf_s: 0.0,
             publish_rate: 50.0,
             link_error_rate: 0.1,
             reconfig_interval: None,
@@ -199,6 +214,14 @@ impl ScenarioConfig {
         assert!(
             self.max_patterns_per_event > 0,
             "events must carry patterns"
+        );
+        assert!(
+            self.clients_per_node > 0,
+            "each dispatcher needs at least one client"
+        );
+        assert!(
+            self.zipf_s >= 0.0 && self.zipf_s.is_finite(),
+            "zipf exponent must be a finite non-negative number"
         );
         assert!(
             self.publish_rate >= 0.0 && self.publish_rate.is_finite(),

@@ -1,0 +1,156 @@
+//! Extension experiment: the client layer at 10×–1000× the paper's
+//! subscriber scale.
+//!
+//! The paper evaluates one subscriber per dispatcher. This experiment
+//! attaches 1–1000 end-user clients to every dispatcher (so the
+//! heaviest cell fronts 1000× the paper's subscriber count) and
+//! measures what the covering/merging aggregation layer does to the
+//! broker-level state: client subscriptions collapse into at most
+//! Π aggregate filters per dispatcher, so routing-table size and
+//! subscription wire traffic must grow *sublinearly* in subscriber
+//! count — the `agg_filters`, `routing_entries`, and `sub_wire_bytes`
+//! columns against the linearly-growing `client_subs` column are the
+//! result. The sweep runs the uniform content model and a Zipf-skewed
+//! one (s = 1.2) side by side: skew concentrates clients on few hot
+//! patterns, so aggregation compresses *harder* under realistic
+//! popularity distributions.
+//!
+//! Expectation: `client_subs` grows ~linearly in the client count
+//! while `agg_filters` saturates near `min(clients · π_max, Π)` per
+//! dispatcher and `sub_wire_bytes` tracks the aggregate, not the
+//! clients — with the Zipf column saturating earlier at a smaller
+//! aggregate. Delivery, accounted per client-subscription, must not
+//! degrade as clients multiply.
+
+use eps_gossip::{codec, Algorithm, Envelope};
+use eps_pubsub::{PatternId, PubSubMessage};
+
+use super::common::{base_config, f0, f3, ExperimentOptions, ExperimentOutput, Metric, SweepGrid};
+use crate::config::ScenarioConfig;
+
+/// Clients per dispatcher: the paper's baseline, then 10×, 100×,
+/// 1000× its subscriber count.
+const CLIENTS: [usize; 4] = [1, 10, 100, 1000];
+
+/// The compared pattern-popularity models: the paper's uniform draw
+/// and a Zipf-skewed one.
+const DISTRIBUTIONS: [(&str, f64); 2] = [("uniform", 0.0), ("zipf1.2", 1.2)];
+
+/// Bytes one aggregated `Subscribe` envelope occupies on the wire
+/// (the codec's framed size, which the net runtime asserts equals
+/// `wire_bits / 8` on every send).
+fn subscribe_bytes(payload_bits: u64) -> u64 {
+    let env = Envelope::PubSub(PubSubMessage::Subscribe(PatternId::new(0)));
+    codec::encode(&env, payload_bits)
+        .expect("subscribe envelope encodes")
+        .len() as u64
+}
+
+/// Runs the clients × distribution grid and renders the aggregation
+/// table: routing-table size and subscription wire bytes vs.
+/// subscriber count, uniform vs. Zipf.
+pub fn run(opts: &ExperimentOptions) -> ExperimentOutput {
+    let base = base_config(opts);
+    let configs: Vec<ScenarioConfig> = CLIENTS
+        .iter()
+        .flat_map(|&clients| {
+            let base = base.clone();
+            DISTRIBUTIONS.iter().map(move |&(_, s)| ScenarioConfig {
+                clients_per_node: clients,
+                zipf_s: s,
+                algorithm: Algorithm::push(),
+                ..base.clone()
+            })
+        })
+        .collect();
+    let grid = SweepGrid::run(
+        opts,
+        "clients_per_node",
+        CLIENTS.iter().map(|c| c.to_string()).collect(),
+        DISTRIBUTIONS.iter().map(|(n, _)| (*n).to_owned()).collect(),
+        configs,
+    );
+
+    let wire_bytes_per_msg = subscribe_bytes(base.event_payload_bits);
+    let mut text = String::from(
+        "Extension — subscription aggregation: 1-1000 end-user clients per\n\
+         dispatcher, uniform vs Zipf(1.2) pattern popularity. Client\n\
+         subscriptions grow linearly; the covering/merging aggregate the\n\
+         routing layer sees (agg_filters, routing_entries) and the\n\
+         subscription setup traffic (sub_wire_bytes) must not.\n\n",
+    );
+    for (x, &clients) in CLIENTS.iter().enumerate() {
+        for (col, (name, _)) in DISTRIBUTIONS.iter().enumerate() {
+            let r = grid.cell(x, col);
+            text.push_str(&format!(
+                "  clients={:<5} {:<8} client_subs={:<8} agg_filters={:<7} \
+                 routing_entries={:<7} sub_wire_bytes={:<9} delivery={:.3}\n",
+                clients,
+                name,
+                r.client_subscriptions,
+                r.aggregate_patterns,
+                r.routing_entries,
+                r.setup_subscription_msgs * wire_bytes_per_msg,
+                r.delivery_rate,
+            ));
+        }
+    }
+    text.push('\n');
+    text.push_str(
+        "sublinearity: per 1000x client growth, aggregate filters and wire\n\
+         bytes grow by the table's ratio only (bounded by the pattern\n\
+         universe), while per-event matching stays on the aggregate —\n\
+         see table_matching_aggregated in BENCH_gossip.json.\n",
+    );
+
+    // `sub_wire_bytes` folds the constant per-message envelope size in
+    // via a closure-free metric: the messages column is exact; the
+    // bytes column is messages × the codec's framed Subscribe size,
+    // rendered in the text block above and derivable from the CSV.
+    let metrics = [
+        Metric {
+            suffix: "client_subs",
+            fmt: f0,
+            extract: |r| r.client_subscriptions as f64,
+        },
+        Metric {
+            suffix: "agg_filters",
+            fmt: f0,
+            extract: |r| r.aggregate_patterns as f64,
+        },
+        Metric {
+            suffix: "routing_entries",
+            fmt: f0,
+            extract: |r| r.routing_entries as f64,
+        },
+        Metric {
+            suffix: "sub_msgs",
+            fmt: f0,
+            extract: |r| r.setup_subscription_msgs as f64,
+        },
+        Metric {
+            suffix: "delivery",
+            fmt: f3,
+            extract: |r| r.delivery_rate,
+        },
+    ];
+    let mut tables = vec![("aggregation_grid".to_owned(), grid.table(&metrics))];
+    // A companion single-column table pinning the wire-byte constant
+    // so the committed CSV is self-contained.
+    let mut wire = eps_metrics::CsvTable::new(vec![
+        "subscribe_envelope_bytes".to_owned(),
+        "payload_bits".to_owned(),
+    ]);
+    wire.push_row(vec![
+        wire_bytes_per_msg.to_string(),
+        base.event_payload_bits.to_string(),
+    ]);
+    tables.push(("subscribe_envelope".to_owned(), wire));
+
+    ExperimentOutput {
+        id: "ext-aggregation",
+        title: "Extension: routing state vs subscriber count under aggregation",
+        tables,
+        text,
+    }
+}

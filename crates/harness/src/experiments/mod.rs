@@ -21,9 +21,11 @@
 //! | `ext-buffers`  | extension (ref \[13\])  | buffer replacement policies |
 //! | `ext-hybrid`   | extension (registry)   | push-pull hybrid vs combined pull |
 //! | `ext-overlays` | extension (arXiv 1112.0416) | tree vs BA vs WS overlays |
+//! | `ext-aggregation` | extension (arXiv 1811.07088) | routing state vs clients per dispatcher |
 
 mod common;
 mod ext_adaptive;
+mod ext_aggregation;
 mod ext_buffers;
 mod ext_hybrid;
 mod ext_overlays;
@@ -45,7 +47,7 @@ pub use common::{time_series_table, ExperimentOptions, ExperimentOutput, Metric,
 
 /// The available experiment ids: the paper's figures in order,
 /// followed by the extension studies.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "summary",
     "fig2",
     "fig3a",
@@ -64,6 +66,7 @@ pub const ALL_EXPERIMENTS: [&str; 18] = [
     "ext-buffers",
     "ext-hybrid",
     "ext-overlays",
+    "ext-aggregation",
 ];
 
 /// Runs the experiment with the given id and writes its CSV tables
@@ -92,6 +95,7 @@ pub fn run_experiment(id: &str, opts: &ExperimentOptions) -> Result<ExperimentOu
         "ext-buffers" => ext_buffers::run(opts),
         "ext-hybrid" => ext_hybrid::run(opts),
         "ext-overlays" => ext_overlays::run(opts),
+        "ext-aggregation" => ext_aggregation::run(opts),
         other => return Err(format!("unknown experiment '{other}'")),
     };
     for (name, table) in &output.tables {

@@ -37,9 +37,9 @@ mod sharded;
 mod trace;
 
 pub use config::{AdaptiveGossip, ScenarioConfig};
-pub use node::{NodeCtx, Outgoing, SimNode};
+pub use node::{routing_stats, NodeCtx, Outgoing, SimNode};
 pub use population::{build_population, Population};
-pub use result::{assemble, ScenarioResult};
+pub use result::{assemble, RoutingStats, ScenarioResult};
 pub use scenario::{run_scenario, run_scenario_traced};
 pub use sharded::{run_scenario_sharded, run_scenario_sharded_with_stats, ShardedRunStats};
 pub use trace::{ScenarioTrace, TraceRecord};

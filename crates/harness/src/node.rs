@@ -15,11 +15,13 @@ use eps_gossip::{Envelope, GossipAction, RecoveryAlgorithm};
 use eps_metrics::{DeliverySink, MessageCounters};
 use eps_overlay::NodeId;
 use eps_pubsub::{
-    Dispatcher, DispatcherConfig, DispatcherHost, Event, PatternId, PatternSpace, PubSubMessage,
+    ClientId, Dispatcher, DispatcherConfig, DispatcherHost, Event, PatternId, PatternSpace,
+    PubSubMessage,
 };
 use eps_sim::{Rng, SimTime};
 
 use crate::config::AdaptiveGossip;
+use crate::result::RoutingStats;
 use crate::trace::{ScenarioTrace, TraceRecord};
 
 /// One message a node wants the runner to put on a wire. The channel
@@ -53,8 +55,9 @@ pub struct NodeCtx<'a> {
     pub graph_neighbors: &'a [NodeId],
     /// The content model (for drawing event content).
     pub space: &'a PatternSpace,
-    /// Current subscribers of each pattern, indexed by [`PatternId`].
-    pub subscribers_of: &'a [Vec<NodeId>],
+    /// Current client-subscriptions of each pattern, indexed by
+    /// [`PatternId`]: sorted `(node, client)` pairs.
+    pub subscribers_of: &'a [Vec<(NodeId, ClientId)>],
     /// The shared gossip-decision RNG stream.
     pub gossip_rng: &'a mut Rng,
     /// Delivery bookkeeping: the live tracker in the serial runner, a
@@ -91,6 +94,8 @@ pub struct SimNode {
     /// Reusable buffer for drawn event content, so the publish tick
     /// does not allocate in steady state.
     content_scratch: Vec<PatternId>,
+    /// Reusable buffer for local-client fan-out on delivery.
+    client_scratch: Vec<ClientId>,
 }
 
 impl SimNode {
@@ -115,6 +120,7 @@ impl SimNode {
             subscriptions,
             cross_targets: Vec::new(),
             content_scratch: Vec::new(),
+            client_scratch: Vec::new(),
         }
     }
 
@@ -142,10 +148,15 @@ impl SimNode {
         self.id
     }
 
-    /// The node's current local subscriptions (kept current under
-    /// churn).
+    /// The dispatcher's current aggregate filter — the distinct union
+    /// of its clients' subscriptions (kept current under churn).
     pub fn subscriptions(&self) -> &[PatternId] {
         &self.subscriptions
+    }
+
+    /// The current subscriptions of one local client, ascending.
+    pub fn client_patterns(&self, client: ClientId) -> Vec<PatternId> {
+        self.dispatcher.clients().patterns_of(client).collect()
     }
 
     /// `Lost` entries the recovery algorithm is still chasing.
@@ -173,13 +184,7 @@ impl SimNode {
                     return Vec::new();
                 }
                 if receipt.delivered {
-                    ctx.tracker.delivered(event.id(), self.id, ctx.now);
-                    ctx.record(TraceRecord::Deliver {
-                        at: ctx.now,
-                        node: self.id,
-                        event: event.id(),
-                        recovered: false,
-                    });
+                    self.deliver_local(&event, false, ctx);
                 }
                 self.algorithm.on_event_received(&event);
                 if !receipt.losses.is_empty() {
@@ -226,14 +231,8 @@ impl SimNode {
                         continue;
                     }
                     if receipt.delivered {
-                        ctx.tracker.recovered(event.id(), self.id, ctx.now);
                         ctx.counters.count_recovered();
-                        ctx.record(TraceRecord::Deliver {
-                            at: ctx.now,
-                            node: self.id,
-                            event: event.id(),
-                            recovered: true,
-                        });
+                        self.deliver_local(&event, true, ctx);
                     }
                     self.algorithm.on_event_received(&event);
                     if !receipt.losses.is_empty() {
@@ -266,19 +265,38 @@ impl SimNode {
             expected,
         });
         if receipt.delivered {
-            ctx.tracker.delivered(event.id(), self.id, ctx.now);
-            ctx.record(TraceRecord::Deliver {
-                at: ctx.now,
-                node: self.id,
-                event: event.id(),
-                recovered: false,
-            });
+            self.deliver_local(&event, false, ctx);
         }
         let mut out = pubsub_out(receipt.forwards);
         // A fresh event starts on every interested cross link too.
         self.replicate_cross(&event, self.id, &mut out);
         let delay = self.next_publish_delay(publish_rate);
         (out, delay)
+    }
+
+    /// Accounts one delivery per matching local client: the event is
+    /// "delivered" to each interested client exactly once, so delivery
+    /// ratios are measured at client-subscription granularity. With
+    /// one client per dispatcher this is a single `c0` record — the
+    /// paper's per-dispatcher accounting.
+    fn deliver_local(&mut self, event: &Event, recovered: bool, ctx: &mut NodeCtx) {
+        self.dispatcher
+            .matching_clients_into(event, &mut self.client_scratch);
+        for i in 0..self.client_scratch.len() {
+            let client = self.client_scratch[i];
+            if recovered {
+                ctx.tracker.recovered(event.id(), self.id, client, ctx.now);
+            } else {
+                ctx.tracker.delivered(event.id(), self.id, client, ctx.now);
+            }
+            ctx.record(TraceRecord::Deliver {
+                at: ctx.now,
+                node: self.id,
+                client,
+                event: event.id(),
+                recovered,
+            });
+        }
     }
 
     /// Appends a [`Envelope::CrossEvent`] copy of `event` for every
@@ -337,22 +355,38 @@ impl SimNode {
         (out, next)
     }
 
-    /// Swaps local subscription `old` for `new` and returns the
-    /// (un)subscription messages to propagate. The caller keeps the
-    /// pattern → subscribers index current.
+    /// Swaps one local client's subscription `old` for `new` and
+    /// returns the (un)subscription messages to propagate, plus
+    /// whether the dispatcher's aggregate filter actually changed.
+    /// Routing state is only touched on refcount transitions: the
+    /// unsubscribe retracts `old` from the tree only when this client
+    /// was its last local holder, and the subscribe announces `new`
+    /// only when no other local client already covers it — so the
+    /// caller skips index and cross-partner updates when nothing
+    /// changed at broker level. The caller keeps the pattern →
+    /// subscribers index current.
     pub fn apply_churn(
         &mut self,
+        client: ClientId,
         old: PatternId,
         new: PatternId,
         neighbors: &[NodeId],
-    ) -> Vec<Outgoing> {
-        let unsubs = self.dispatcher.unsubscribe_local(old, neighbors);
-        let subs = self.dispatcher.subscribe_local_late(new, neighbors);
+    ) -> (Vec<Outgoing>, bool) {
+        let retracts = self.dispatcher.clients().refcount(old) == 1;
+        let announces = !self.dispatcher.clients().covers(new);
+        let unsubs = self.dispatcher.client_unsubscribe(client, old, neighbors);
+        let subs = self
+            .dispatcher
+            .client_subscribe_late(client, new, neighbors);
         let out = pubsub_out(unsubs.into_iter().chain(subs).collect());
-        self.subscriptions.retain(|&p| p != old);
-        self.subscriptions.push(new);
-        self.subscriptions.sort();
-        out
+        if retracts {
+            self.subscriptions.retain(|&p| p != old);
+        }
+        if announces {
+            self.subscriptions.push(new);
+            self.subscriptions.sort();
+        }
+        (out, retracts || announces)
     }
 
     /// Converts gossip actions into envelopes, counting each at the
@@ -397,6 +431,25 @@ impl DispatcherHost for SimNode {
     }
 }
 
+/// Samples end-of-run routing-state totals over a population: raw
+/// client subscriptions, the aggregate filters they compress into, and
+/// the subscription-table entries those filters induce overlay-wide.
+pub fn routing_stats<'a>(
+    nodes: impl IntoIterator<Item = &'a SimNode>,
+    setup_subscription_msgs: u64,
+) -> RoutingStats {
+    let mut stats = RoutingStats {
+        setup_subscription_msgs,
+        ..RoutingStats::default()
+    };
+    for node in nodes {
+        stats.client_subscriptions += node.dispatcher.clients().len() as u64;
+        stats.aggregate_patterns += node.dispatcher.clients().aggregate_len() as u64;
+        stats.routing_entries += node.dispatcher.table().len() as u64;
+    }
+    stats
+}
+
 fn pubsub_out(forwards: Vec<eps_pubsub::Forward>) -> Vec<Outgoing> {
     forwards
         .into_iter()
@@ -407,12 +460,12 @@ fn pubsub_out(forwards: Vec<eps_pubsub::Forward>) -> Vec<Outgoing> {
         .collect()
 }
 
-fn count_subscribers(subscribers_of: &[Vec<NodeId>], content: &[PatternId]) -> u32 {
-    let mut nodes: Vec<NodeId> = content
+fn count_subscribers(subscribers_of: &[Vec<(NodeId, ClientId)>], content: &[PatternId]) -> u32 {
+    let mut subscribers: Vec<(NodeId, ClientId)> = content
         .iter()
         .flat_map(|p| subscribers_of[p.index()].iter().copied())
         .collect();
-    nodes.sort();
-    nodes.dedup();
-    nodes.len() as u32
+    subscribers.sort_unstable();
+    subscribers.dedup();
+    subscribers.len() as u32
 }

@@ -13,8 +13,8 @@
 
 use eps_overlay::{NodeId, RoutingView, Topology};
 use eps_pubsub::{
-    flood_subscriptions_direct, install_local_subscriptions, DispatcherConfig, PatternId,
-    PatternSpace,
+    flood_subscriptions_direct, install_client_subscriptions, ClientId, DispatcherConfig,
+    PatternId, PatternSpace,
 };
 use eps_sim::RngFactory;
 
@@ -37,11 +37,22 @@ pub struct Population {
     pub space: PatternSpace,
     /// One node actor per dispatcher, indexed by [`NodeId::index`].
     pub nodes: Vec<SimNode>,
-    /// Each node's initial local subscriptions, indexed like `nodes`.
+    /// Each dispatcher's initial *aggregate* filter (the distinct
+    /// union of its clients' patterns), indexed like `nodes`. This is
+    /// what routing and cross-link replication see; with one client
+    /// per node it coincides with that client's subscription list.
     pub subscriptions: Vec<Vec<PatternId>>,
-    /// Current subscribers of each pattern, indexed by
-    /// [`eps_pubsub::PatternId::index`].
-    pub subscribers_of: Vec<Vec<NodeId>>,
+    /// Per-client initial subscriptions: `[node][client] -> patterns`.
+    pub client_subscriptions: Vec<Vec<Vec<PatternId>>>,
+    /// Current client-subscriptions of each pattern, indexed by
+    /// [`eps_pubsub::PatternId::index`]; each entry is a sorted list
+    /// of `(node, client)` pairs.
+    pub subscribers_of: Vec<Vec<(NodeId, ClientId)>>,
+    /// Subscription messages the setup flood would have sent to reach
+    /// quiescence — the wire cost of installing the aggregated
+    /// filters. Grows with distinct patterns per node, not with the
+    /// client count.
+    pub setup_subscription_msgs: u64,
 }
 
 /// The cross-replication targets of `node`: its physical neighbors the
@@ -72,7 +83,11 @@ pub fn build_population(config: &ScenarioConfig) -> Population {
         &mut factory.stream("topology"),
     );
     let view = RoutingView::derive(&topology);
-    let space = PatternSpace::new(config.pattern_universe, config.max_patterns_per_event);
+    let space = PatternSpace::with_zipf(
+        config.pattern_universe,
+        config.max_patterns_per_event,
+        config.zipf_s,
+    );
 
     // Paper, Section IV-A: "each dispatcher caches only events for
     // which it is either the publisher or a subscriber" — the
@@ -102,10 +117,29 @@ pub fn build_population(config: &ScenarioConfig) -> Population {
     }
 
     // Stable subscriptions, flooded to quiescence before the
-    // workload starts (the paper's setting).
+    // workload starts (the paper's setting). Drawn per client, in
+    // node-major order on one stream: with one client per node this
+    // consumes exactly the draws the pre-client-layer population did.
     let mut subs_rng = factory.stream("subscriptions");
-    let subscriptions: Vec<Vec<PatternId>> = (0..config.nodes)
-        .map(|_| space.random_subscriptions(config.pi_max, &mut subs_rng))
+    let client_subscriptions: Vec<Vec<Vec<PatternId>>> = (0..config.nodes)
+        .map(|_| {
+            (0..config.clients_per_node)
+                .map(|_| space.random_subscriptions(config.pi_max, &mut subs_rng))
+                .collect()
+        })
+        .collect();
+    // The broker-level aggregate each dispatcher routes on: distinct
+    // union of its clients' patterns (identical to the single client's
+    // list when there is one, which `random_subscriptions` already
+    // returns sorted and distinct).
+    let subscriptions: Vec<Vec<PatternId>> = client_subscriptions
+        .iter()
+        .map(|per_client| {
+            let mut union: Vec<PatternId> = per_client.iter().flatten().copied().collect();
+            union.sort_unstable();
+            union.dedup();
+            union
+        })
         .collect();
 
     let mut nodes: Vec<SimNode> = topology
@@ -121,23 +155,28 @@ pub fn build_population(config: &ScenarioConfig) -> Population {
             )
         })
         .collect();
-    install_local_subscriptions(&mut nodes, &subscriptions);
+    install_client_subscriptions(&mut nodes, &client_subscriptions);
     // Closed-form fixpoint: O(Π·N) installs instead of a
     // message-at-a-time flood, the setup-time bottleneck at
     // 10⁵–10⁶ nodes. State-identical to the flood (pinned by the
     // eps-pubsub equivalence test and the golden suite). Routing
     // state lives on the view, which is a tree by construction even
-    // when the physical graph is cyclic.
-    flood_subscriptions_direct(&mut nodes, view.tree());
+    // when the physical graph is cyclic. The returned message count is
+    // the flood's wire cost — aggregated filters only, so it measures
+    // distinct patterns, never raw client-subscription volume.
+    let setup_subscription_msgs = flood_subscriptions_direct(&mut nodes, view.tree());
     for id in topology.nodes() {
         let targets = cross_targets_for(id, &topology, &view, &subscriptions);
         nodes[id.index()].set_cross_targets(targets);
     }
 
-    let mut subscribers_of: Vec<Vec<NodeId>> = vec![Vec::new(); config.pattern_universe as usize];
-    for (i, subs) in subscriptions.iter().enumerate() {
-        for &p in subs {
-            subscribers_of[p.index()].push(NodeId::new(i as u32));
+    let mut subscribers_of: Vec<Vec<(NodeId, ClientId)>> =
+        vec![Vec::new(); config.pattern_universe as usize];
+    for (i, per_client) in client_subscriptions.iter().enumerate() {
+        for (c, subs) in per_client.iter().enumerate() {
+            for &p in subs {
+                subscribers_of[p.index()].push((NodeId::new(i as u32), ClientId::new(c as u32)));
+            }
         }
     }
 
@@ -147,13 +186,16 @@ pub fn build_population(config: &ScenarioConfig) -> Population {
         space,
         nodes,
         subscriptions,
+        client_subscriptions,
         subscribers_of,
+        setup_subscription_msgs,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eps_pubsub::DispatcherHost;
 
     #[test]
     fn same_seed_same_population() {
@@ -179,11 +221,82 @@ mod tests {
         let pop = build_population(&config);
         assert_eq!(pop.nodes.len(), 12);
         assert!(pop.topology.is_tree());
+        assert!(pop.setup_subscription_msgs > 0);
         // The subscribers index matches the installed subscriptions.
-        for (i, subs) in pop.subscriptions.iter().enumerate() {
-            for &p in subs {
-                assert!(pop.subscribers_of[p.index()].contains(&NodeId::new(i as u32)));
+        for (i, per_client) in pop.client_subscriptions.iter().enumerate() {
+            for (c, subs) in per_client.iter().enumerate() {
+                for &p in subs {
+                    assert!(pop.subscribers_of[p.index()]
+                        .contains(&(NodeId::new(i as u32), ClientId::new(c as u32))));
+                }
             }
         }
+    }
+
+    #[test]
+    fn one_client_population_matches_the_single_subscriber_model() {
+        let config = ScenarioConfig {
+            nodes: 12,
+            ..ScenarioConfig::default()
+        };
+        let pop = build_population(&config);
+        // The aggregate IS the single client's list.
+        for (union, per_client) in pop.subscriptions.iter().zip(&pop.client_subscriptions) {
+            assert_eq!(per_client.len(), 1);
+            assert_eq!(union, &per_client[0]);
+        }
+    }
+
+    #[test]
+    fn multi_client_aggregate_is_the_distinct_union() {
+        let config = ScenarioConfig {
+            nodes: 8,
+            clients_per_node: 6,
+            ..ScenarioConfig::default()
+        };
+        let pop = build_population(&config);
+        for (i, union) in pop.subscriptions.iter().enumerate() {
+            let mut expected: Vec<PatternId> = pop.client_subscriptions[i]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(union, &expected);
+            // The dispatcher's routing filter holds exactly the union.
+            let aggregate: Vec<PatternId> = pop.nodes[i]
+                .dispatcher()
+                .clients()
+                .aggregate_patterns()
+                .collect();
+            assert_eq!(&aggregate, union);
+        }
+        // More clients than patterns per node: aggregation must have
+        // compressed at least one node's filter below the raw count.
+        let raw: usize = pop.client_subscriptions.iter().flatten().flatten().count();
+        let aggregated: usize = pop.subscriptions.iter().map(Vec::len).sum();
+        assert!(aggregated < raw);
+    }
+
+    #[test]
+    fn zipf_population_skews_subscriptions() {
+        let uniform = build_population(&ScenarioConfig {
+            nodes: 60,
+            ..ScenarioConfig::default()
+        });
+        let skewed = build_population(&ScenarioConfig {
+            nodes: 60,
+            zipf_s: 1.5,
+            ..ScenarioConfig::default()
+        });
+        let mass_low = |pop: &Population| -> usize {
+            pop.subscribers_of
+                .iter()
+                .take(7)
+                .map(Vec::len)
+                .sum::<usize>()
+        };
+        assert!(mass_low(&skewed) > mass_low(&uniform));
     }
 }

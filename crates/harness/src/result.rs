@@ -64,6 +64,35 @@ pub struct ScenarioResult {
     /// Deliveries to dispatchers that subscribed after the event was
     /// published (possible only under churn; not counted in rates).
     pub unexpected_deliveries: u64,
+    /// End-of-run client subscriptions, summed over dispatchers — the
+    /// raw subscriber-side state the aggregation layer compresses.
+    pub client_subscriptions: u64,
+    /// End-of-run aggregate-filter patterns, summed over dispatchers —
+    /// the state that actually enters the routing layer. Equal to
+    /// `client_subscriptions` with one client per node; sublinear in
+    /// it as clients share patterns.
+    pub aggregate_patterns: u64,
+    /// End-of-run subscription-table entries (patterns known, local or
+    /// forwarded), summed over dispatchers.
+    pub routing_entries: u64,
+    /// Subscription messages the setup flood cost to install the
+    /// aggregated filters (tracked separately from runtime
+    /// [`ScenarioResult::subscription_msgs`]).
+    pub setup_subscription_msgs: u64,
+}
+
+/// End-of-run routing-state totals, sampled by each runner after its
+/// queue drains and handed to [`assemble`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Client subscriptions summed over dispatchers.
+    pub client_subscriptions: u64,
+    /// Aggregate-filter patterns summed over dispatchers.
+    pub aggregate_patterns: u64,
+    /// Subscription-table entries summed over dispatchers.
+    pub routing_entries: u64,
+    /// Setup-flood subscription messages (aggregated filters only).
+    pub setup_subscription_msgs: u64,
 }
 
 impl ScenarioResult {
@@ -95,6 +124,10 @@ impl ScenarioResult {
             "subscription_msgs",
             "duplicate_suppressed",
             "unexpected_deliveries",
+            "client_subscriptions",
+            "aggregate_patterns",
+            "routing_entries",
+            "setup_subscription_msgs",
         ]
     }
 
@@ -124,6 +157,10 @@ impl ScenarioResult {
             self.subscription_msgs.to_string(),
             self.duplicate_suppressed.to_string(),
             self.unexpected_deliveries.to_string(),
+            self.client_subscriptions.to_string(),
+            self.aggregate_patterns.to_string(),
+            self.routing_entries.to_string(),
+            self.setup_subscription_msgs.to_string(),
         ]
     }
 }
@@ -138,6 +175,7 @@ pub fn assemble(
     outstanding_losses: u64,
     reconfigurations: u64,
     churn_events: u64,
+    routing: RoutingStats,
 ) -> ScenarioResult {
     let window = config.measure_window();
     let series_raw = tracker.rate_series(config.series_bin);
@@ -180,5 +218,9 @@ pub fn assemble(
         subscription_msgs: counters.subscription_total(),
         duplicate_suppressed: counters.duplicate_suppressed(),
         unexpected_deliveries: tracker.unexpected_total(),
+        client_subscriptions: routing.client_subscriptions,
+        aggregate_patterns: routing.aggregate_patterns,
+        routing_entries: routing.routing_entries,
+        setup_subscription_msgs: routing.setup_subscription_msgs,
     }
 }

@@ -8,11 +8,11 @@ use eps_metrics::{DeliveryTracker, MessageCounters};
 use eps_overlay::{
     plan_reconnection, LinkSpec, NetTransport, NodeId, RoutingView, Topology, Transport,
 };
-use eps_pubsub::{rebuild_subscription_routes, PatternId, PatternSpace, PubSubMessage};
+use eps_pubsub::{rebuild_subscription_routes, ClientId, PatternId, PatternSpace, PubSubMessage};
 use eps_sim::{Engine, Rng, RngFactory, SimTime};
 
 use crate::config::ScenarioConfig;
-use crate::node::{NodeCtx, Outgoing, SimNode};
+use crate::node::{routing_stats, NodeCtx, Outgoing, SimNode};
 use crate::population::{build_population, cross_targets_for, Population};
 use crate::result::{assemble, ScenarioResult};
 use crate::trace::{ScenarioTrace, TraceRecord};
@@ -96,7 +96,8 @@ struct Scenario {
     transport: Box<dyn Transport>,
     nodes: Vec<SimNode>,
     space: PatternSpace,
-    subscribers_of: Vec<Vec<NodeId>>,
+    subscribers_of: Vec<Vec<(NodeId, ClientId)>>,
+    setup_subscription_msgs: u64,
     tracker: DeliveryTracker,
     counters: MessageCounters,
     gossip_rng: Rng,
@@ -119,7 +120,9 @@ impl Scenario {
             space,
             nodes,
             subscriptions: _,
+            client_subscriptions: _,
             subscribers_of,
+            setup_subscription_msgs,
         } = build_population(config);
 
         let transport = Box::new(NetTransport::new(
@@ -142,6 +145,7 @@ impl Scenario {
             nodes,
             space,
             subscribers_of,
+            setup_subscription_msgs,
             tracker: if config.churn_interval.is_some() {
                 // Churn makes "subscribed after publish, delivered on
                 // arrival" legitimate; don't treat it as a bug.
@@ -211,6 +215,7 @@ impl Scenario {
             outstanding,
             self.reconfigurations,
             self.churn_events,
+            routing_stats(&self.nodes, self.setup_subscription_msgs),
         );
         (result, self.trace)
     }
@@ -316,7 +321,18 @@ impl Scenario {
     fn handle_churn(&mut self) {
         if self.engine.now() < self.config.duration {
             let node = NodeId::new(self.churn_rng.random_range(0..self.config.nodes as u32));
-            let subs = self.nodes[node.index()].subscriptions();
+            // With one client per node the client pick is determined,
+            // so no draw is consumed — the churn stream stays
+            // byte-compatible with the pre-client-layer runner.
+            let client = if self.config.clients_per_node > 1 {
+                ClientId::new(
+                    self.churn_rng
+                        .random_range(0..self.config.clients_per_node as u32),
+                )
+            } else {
+                ClientId::new(0)
+            };
+            let subs = self.nodes[node.index()].client_patterns(client);
             if !subs.is_empty() {
                 let old = subs[self.churn_rng.random_range(0..subs.len())];
                 let candidates: Vec<PatternId> = self
@@ -325,7 +341,7 @@ impl Scenario {
                     .filter(|p| !subs.contains(p))
                     .collect();
                 if let Some(&new) = self.churn_rng.choose(&candidates) {
-                    self.apply_churn(node, old, new);
+                    self.apply_churn(node, client, old, new);
                 }
             }
             if let Some(churn) = self.config.churn_interval {
@@ -336,7 +352,7 @@ impl Scenario {
         }
     }
 
-    fn apply_churn(&mut self, node: NodeId, old: PatternId, new: PatternId) {
+    fn apply_churn(&mut self, node: NodeId, client: ClientId, old: PatternId, new: PatternId) {
         self.churn_events += 1;
         // (Un)subscriptions propagate on the routing view, like every
         // other piece of protocol traffic.
@@ -345,22 +361,26 @@ impl Scenario {
         } else {
             self.view.neighbors(node).to_vec()
         };
-        let out = self.nodes[node.index()].apply_churn(old, new, &neighbors);
+        let (out, aggregate_changed) =
+            self.nodes[node.index()].apply_churn(client, old, new, &neighbors);
         self.send(node, out);
-        if !self.tree_overlay {
+        if aggregate_changed && !self.tree_overlay {
             // Cross-link partners keep a copy of this node's interest
             // to filter their replication; refresh it, charging one
-            // subscription message per cross link for the notice.
+            // subscription message per cross link for the notice. A
+            // client swap absorbed by the aggregate changes nothing at
+            // broker level, so no notice goes out.
             let interest = self.nodes[node.index()].subscriptions().to_vec();
             for chord in self.view.cross_neighbors(&self.topology, node) {
                 self.counters.count_subscription(node);
                 self.nodes[chord.index()].update_cross_partner(node, interest.clone());
             }
         }
-        // Keep the metrics' view of intended recipients current.
-        self.subscribers_of[old.index()].retain(|&n| n != node);
-        self.subscribers_of[new.index()].push(node);
-        self.subscribers_of[new.index()].sort();
+        // Keep the metrics' view of intended recipients current, at
+        // client granularity.
+        self.subscribers_of[old.index()].retain(|&s| s != (node, client));
+        self.subscribers_of[new.index()].push((node, client));
+        self.subscribers_of[new.index()].sort_unstable();
     }
 
     fn handle_break(&mut self) {

@@ -48,11 +48,11 @@ use std::sync::Arc;
 use eps_gossip::{Channel, Envelope};
 use eps_metrics::{DeliveryLog, DeliveryTracker, MessageCounters};
 use eps_overlay::{plan_reconnection, LinkSpec, NodeId, RoutingView, ShardTransport, Topology};
-use eps_pubsub::{rebuild_subscription_routes, PatternId, PatternSpace, PubSubMessage};
+use eps_pubsub::{rebuild_subscription_routes, ClientId, PatternId, PatternSpace, PubSubMessage};
 use eps_sim::{Engine, KeyedEngine, Rng, RngFactory, SimTime};
 
 use crate::config::ScenarioConfig;
-use crate::node::{NodeCtx, Outgoing, SimNode};
+use crate::node::{routing_stats, NodeCtx, Outgoing, SimNode};
 use crate::population::{build_population, cross_targets_for, Population};
 use crate::result::{assemble, ScenarioResult};
 use crate::trace::ScenarioTrace;
@@ -120,7 +120,9 @@ pub fn run_scenario_sharded_with_stats(
         space,
         nodes,
         subscriptions: _,
+        client_subscriptions: _,
         subscribers_of,
+        setup_subscription_msgs,
     } = build_population(config);
 
     let link = LinkSpec {
@@ -262,6 +264,10 @@ pub fn run_scenario_sharded_with_stats(
         .into_iter()
         .map(|s| s.expect("all shards home after the run"))
         .collect();
+    let routing = routing_stats(
+        shards_done.iter().flat_map(|s| s.nodes.iter()),
+        setup_subscription_msgs,
+    );
     let outstanding: u64 = shards_done
         .iter()
         .flat_map(|s| s.nodes.iter())
@@ -294,6 +300,7 @@ pub fn run_scenario_sharded_with_stats(
         outstanding,
         coord.reconfigurations,
         coord.churn_events,
+        routing,
     );
     let stats = ShardedRunStats {
         events_processed,
@@ -348,7 +355,7 @@ struct RunShared {
     /// `true` when the configured overlay is acyclic.
     tree_overlay: bool,
     space: PatternSpace,
-    subscribers_of: Vec<Vec<NodeId>>,
+    subscribers_of: Vec<Vec<(NodeId, ClientId)>>,
 }
 
 /// One worker's slice of the run: a contiguous node range plus
@@ -758,11 +765,21 @@ impl Coordinator<'_> {
     fn handle_churn(&mut self, now: SimTime) {
         if now < self.config.duration {
             let node = NodeId::new(self.churn_rng.random_range(0..self.config.nodes as u32));
+            // Mirrors the serial runner: with one client per node no
+            // extra draw is consumed, keeping the churn stream
+            // byte-compatible with the pre-client-layer runner.
+            let client = if self.config.clients_per_node > 1 {
+                ClientId::new(
+                    self.churn_rng
+                        .random_range(0..self.config.clients_per_node as u32),
+                )
+            } else {
+                ClientId::new(0)
+            };
             let si = self.shard_of(node);
             let li = node.index() - self.shards[si].as_ref().expect("home").base as usize;
-            let subs: Vec<PatternId> = self.shards[si].as_ref().expect("home").nodes[li]
-                .subscriptions()
-                .to_vec();
+            let subs: Vec<PatternId> =
+                self.shards[si].as_ref().expect("home").nodes[li].client_patterns(client);
             if !subs.is_empty() {
                 let old = subs[self.churn_rng.random_range(0..subs.len())];
                 let candidates: Vec<PatternId> = self
@@ -783,10 +800,11 @@ impl Coordinator<'_> {
                     };
                     let handle = Arc::clone(&self.shared);
                     let shard = self.shard_mut(si);
-                    let out = shard.nodes[li].apply_churn(old, new, &neighbors);
+                    let (out, aggregate_changed) =
+                        shard.nodes[li].apply_churn(client, old, new, &neighbors);
                     shard.send(node, now, out, &handle, config);
                     drop(handle);
-                    if !self.shared.tree_overlay {
+                    if aggregate_changed && !self.shared.tree_overlay {
                         // Cross-link partners keep a copy of this
                         // node's interest to filter their replication;
                         // refresh it (partners may live on any shard —
@@ -808,9 +826,9 @@ impl Coordinator<'_> {
                         }
                     }
                     let shared = self.shared_mut();
-                    shared.subscribers_of[old.index()].retain(|&n| n != node);
-                    shared.subscribers_of[new.index()].push(node);
-                    shared.subscribers_of[new.index()].sort();
+                    shared.subscribers_of[old.index()].retain(|&s| s != (node, client));
+                    shared.subscribers_of[new.index()].push((node, client));
+                    shared.subscribers_of[new.index()].sort_unstable();
                 }
             }
             if let Some(churn) = self.config.churn_interval {

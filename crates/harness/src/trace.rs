@@ -2,7 +2,7 @@
 //! run, for debugging, visualisation, and white-box tests.
 
 use eps_overlay::{LinkId, NodeId};
-use eps_pubsub::EventId;
+use eps_pubsub::{ClientId, EventId};
 use eps_sim::SimTime;
 
 /// One traced occurrence inside a scenario.
@@ -20,12 +20,16 @@ pub enum TraceRecord {
         /// Intended recipients at publish time.
         expected: u32,
     },
-    /// An event was delivered to a dispatcher's local clients.
+    /// An event was delivered to one of a dispatcher's local clients.
+    /// An event reaching a dispatcher with several matching clients
+    /// produces one record per client.
     Deliver {
         /// Virtual time.
         at: SimTime,
-        /// The subscriber.
+        /// The subscribing dispatcher.
         node: NodeId,
+        /// The local client the delivery counts for.
+        client: ClientId,
         /// The event.
         event: EventId,
         /// `true` if it arrived through the recovery machinery rather

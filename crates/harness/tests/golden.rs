@@ -173,6 +173,66 @@ fn check_or_update(name: &str, actual: &str) {
     );
 }
 
+/// The client-layer cells: multi-client populations (with and without
+/// churn, plus a Zipf-skewed one) whose aggregate filters must stay
+/// deterministic. Pinned separately from [`cells`] on purpose — the
+/// pre-client golden files above double as the `clients = 1` identity
+/// contract: introducing the client layer must not move a single byte
+/// of them.
+fn client_cells(seed: u64) -> Vec<(String, ScenarioConfig)> {
+    vec![
+        (
+            "clients5".to_owned(),
+            ScenarioConfig {
+                clients_per_node: 5,
+                ..small(Algorithm::combined_pull(), seed)
+            },
+        ),
+        (
+            "clients5-churn".to_owned(),
+            ScenarioConfig {
+                clients_per_node: 5,
+                churn_interval: Some(SimTime::from_millis(300)),
+                ..small(Algorithm::push(), seed)
+            },
+        ),
+        (
+            "clients4-zipf".to_owned(),
+            ScenarioConfig {
+                clients_per_node: 4,
+                zipf_s: 1.2,
+                ..small(Algorithm::push(), seed)
+            },
+        ),
+    ]
+}
+
+/// [`dump`] plus the routing-state fields the client layer adds. The
+/// base dump stays untouched so the pre-client golden files keep their
+/// exact bytes.
+fn dump_with_routing(label: &str, result: &ScenarioResult) -> String {
+    let mut s = dump(label, result);
+    let _ = writeln!(s, "client_subscriptions={}", result.client_subscriptions);
+    let _ = writeln!(s, "aggregate_patterns={}", result.aggregate_patterns);
+    let _ = writeln!(s, "routing_entries={}", result.routing_entries);
+    let _ = writeln!(
+        s,
+        "setup_subscription_msgs={}",
+        result.setup_subscription_msgs
+    );
+    s
+}
+
+fn render_clients(seed: u64, results: &[ScenarioResult]) -> String {
+    let labeled = client_cells(seed);
+    let mut report = String::new();
+    for ((label, _), result) in labeled.iter().zip(results) {
+        report.push_str(&dump_with_routing(&format!("{label} seed={seed}"), result));
+        report.push('\n');
+    }
+    report
+}
+
 #[test]
 fn scenario_output_matches_golden_bytes() {
     for seed in SEEDS {
@@ -219,6 +279,43 @@ fn sharded_output_is_shard_count_invariant() {
             assert_eq!(
                 csv, sharded_csv,
                 "shards={shards} drifted from the shards=1 CSV"
+            );
+        }
+    }
+}
+
+/// Multi-client golden bytes: the aggregation layer pinned serially
+/// (including under `par_map`) and through the sharded runner at shard
+/// counts 1, 2 and 4 — churn at client granularity crosses the
+/// coordinator barrier, so its invariance is the interesting part.
+#[test]
+fn client_layer_output_matches_golden_bytes() {
+    for seed in SEEDS {
+        let configs: Vec<ScenarioConfig> = client_cells(seed).into_iter().map(|(_, c)| c).collect();
+        let serial: Vec<ScenarioResult> = configs.iter().map(run_scenario).collect();
+        let report = render_clients(seed, &serial);
+        check_or_update(&format!("results_clients_seed{seed}.txt"), &report);
+
+        let parallel = par_map(4, &configs, run_scenario);
+        let par_report = render_clients(seed, &parallel);
+        assert_eq!(report, par_report, "par_map drifted from serial results");
+
+        let baseline: Vec<ScenarioResult> =
+            configs.iter().map(|c| run_scenario_sharded(c, 1)).collect();
+        let sharded_report = render_clients(seed, &baseline);
+        check_or_update(
+            &format!("results_clients_sharded_seed{seed}.txt"),
+            &sharded_report,
+        );
+        for shards in [2, 4] {
+            let results: Vec<ScenarioResult> = configs
+                .iter()
+                .map(|c| run_scenario_sharded(c, shards))
+                .collect();
+            assert_eq!(
+                sharded_report,
+                render_clients(seed, &results),
+                "shards={shards} drifted from the shards=1 client-layer results"
             );
         }
     }

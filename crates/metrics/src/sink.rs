@@ -11,30 +11,36 @@
 //! bit-identical for every shard count.
 
 use eps_overlay::NodeId;
-use eps_pubsub::EventId;
+use eps_pubsub::{ClientId, EventId};
 use eps_sim::SimTime;
 
 use crate::delivery::DeliveryTracker;
 
 /// Consumer of per-event delivery bookkeeping, implemented by the live
 /// [`DeliveryTracker`] and by the sharded runner's [`DeliveryLog`].
+///
+/// Deliveries are accounted at *client-subscription* granularity: one
+/// record per `(node, client)` an event reaches. With one client per
+/// dispatcher the client is always `c0` and the accounting coincides
+/// with the paper's per-dispatcher model.
 pub trait DeliverySink {
-    /// A publication with its intended recipient count.
+    /// A publication with its intended recipient count (matching
+    /// `(node, client)` pairs at publish time).
     fn published(&mut self, id: EventId, at: SimTime, expected_recipients: u32);
-    /// A delivery through normal event forwarding.
-    fn delivered(&mut self, id: EventId, node: NodeId, now: SimTime);
-    /// A delivery that happened through recovery.
-    fn recovered(&mut self, id: EventId, node: NodeId, now: SimTime);
+    /// A delivery to one local client through normal event forwarding.
+    fn delivered(&mut self, id: EventId, node: NodeId, client: ClientId, now: SimTime);
+    /// A delivery to one local client through recovery.
+    fn recovered(&mut self, id: EventId, node: NodeId, client: ClientId, now: SimTime);
 }
 
 impl DeliverySink for DeliveryTracker {
     fn published(&mut self, id: EventId, at: SimTime, expected_recipients: u32) {
         DeliveryTracker::published(self, id, at, expected_recipients);
     }
-    fn delivered(&mut self, id: EventId, node: NodeId, _now: SimTime) {
+    fn delivered(&mut self, id: EventId, node: NodeId, _client: ClientId, _now: SimTime) {
         DeliveryTracker::delivered(self, id, node);
     }
-    fn recovered(&mut self, id: EventId, node: NodeId, now: SimTime) {
+    fn recovered(&mut self, id: EventId, node: NodeId, _client: ClientId, now: SimTime) {
         DeliveryTracker::recovered(self, id, node, now);
     }
 }
@@ -43,14 +49,17 @@ impl DeliverySink for DeliveryTracker {
 ///
 /// Recording is cheap (three `Vec::push` paths, no hashing) and
 /// order-free: [`DeliveryLog::replay_into`] sorts every record class
-/// by `(time, event, node)` before applying it, so the merged tracker
-/// is a pure function of the record *multiset* — which is what the
-/// shard-count-invariance guarantee of the sharded runner rests on.
+/// by `(time, event, node, client)` before applying it, so the merged
+/// tracker is a pure function of the record *multiset* — which is what
+/// the shard-count-invariance guarantee of the sharded runner rests
+/// on. With one client per dispatcher the client key is always `c0`,
+/// so the canonical order (and every replayed statistic) is identical
+/// to the pre-client-layer journal.
 #[derive(Clone, Debug, Default)]
 pub struct DeliveryLog {
     publishes: Vec<(SimTime, EventId, u32)>,
-    deliveries: Vec<(SimTime, EventId, NodeId)>,
-    recoveries: Vec<(SimTime, EventId, NodeId)>,
+    deliveries: Vec<(SimTime, EventId, NodeId, ClientId)>,
+    recoveries: Vec<(SimTime, EventId, NodeId, ClientId)>,
 }
 
 impl DeliveryLog {
@@ -91,10 +100,10 @@ impl DeliveryLog {
         for (at, id, expected) in publishes {
             DeliveryTracker::published(tracker, id, at, expected);
         }
-        for (_, id, node) in deliveries {
+        for (_, id, node, _client) in deliveries {
             DeliveryTracker::delivered(tracker, id, node);
         }
-        for (at, id, node) in recoveries {
+        for (at, id, node, _client) in recoveries {
             DeliveryTracker::recovered(tracker, id, node, at);
         }
     }
@@ -104,11 +113,11 @@ impl DeliverySink for DeliveryLog {
     fn published(&mut self, id: EventId, at: SimTime, expected_recipients: u32) {
         self.publishes.push((at, id, expected_recipients));
     }
-    fn delivered(&mut self, id: EventId, node: NodeId, now: SimTime) {
-        self.deliveries.push((now, id, node));
+    fn delivered(&mut self, id: EventId, node: NodeId, client: ClientId, now: SimTime) {
+        self.deliveries.push((now, id, node, client));
     }
-    fn recovered(&mut self, id: EventId, node: NodeId, now: SimTime) {
-        self.recoveries.push((now, id, node));
+    fn recovered(&mut self, id: EventId, node: NodeId, client: ClientId, now: SimTime) {
+        self.recoveries.push((now, id, node, client));
     }
 }
 
@@ -128,8 +137,18 @@ mod tests {
         for sink in sinks {
             sink.published(id(0), SimTime::from_millis(10), 2);
             sink.published(id(1), SimTime::from_millis(20), 1);
-            sink.delivered(id(0), NodeId::new(1), SimTime::from_millis(11));
-            sink.recovered(id(0), NodeId::new(2), SimTime::from_millis(30));
+            sink.delivered(
+                id(0),
+                NodeId::new(1),
+                ClientId::new(0),
+                SimTime::from_millis(11),
+            );
+            sink.recovered(
+                id(0),
+                NodeId::new(2),
+                ClientId::new(0),
+                SimTime::from_millis(30),
+            );
         }
         let mut merged = DeliveryTracker::new();
         DeliveryLog::replay_into(vec![log], &mut merged);
@@ -155,8 +174,18 @@ mod tests {
             for (i, &(at, eid, exp)) in records.iter().enumerate() {
                 let log = if i < split { &mut a } else { &mut b };
                 log.published(eid, at, exp);
-                log.delivered(eid, NodeId::new(1), at + SimTime::from_millis(1));
-                log.recovered(eid, NodeId::new(2), at + SimTime::from_millis(5));
+                log.delivered(
+                    eid,
+                    NodeId::new(1),
+                    ClientId::new(0),
+                    at + SimTime::from_millis(1),
+                );
+                log.recovered(
+                    eid,
+                    NodeId::new(2),
+                    ClientId::new(0),
+                    at + SimTime::from_millis(5),
+                );
             }
             let mut tracker = DeliveryTracker::new();
             DeliveryLog::replay_into(vec![a, b], &mut tracker);

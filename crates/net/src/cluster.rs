@@ -15,7 +15,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use eps_harness::{
-    assemble, build_population, Population, ScenarioConfig, ScenarioResult, TraceRecord,
+    assemble, build_population, routing_stats, Population, ScenarioConfig, ScenarioResult,
+    TraceRecord,
 };
 use eps_metrics::{DeliveryTracker, MessageCounters, NetCounters};
 use eps_sim::RngFactory;
@@ -105,6 +106,7 @@ pub struct Cluster {
     shared: Arc<Shared>,
     start: Instant,
     slots: Vec<Slot>,
+    setup_subscription_msgs: u64,
 }
 
 impl Cluster {
@@ -123,7 +125,9 @@ impl Cluster {
             space,
             nodes,
             subscriptions: _,
+            client_subscriptions: _,
             subscribers_of,
+            setup_subscription_msgs,
         } = build_population(scenario);
 
         let mut listeners = Vec::with_capacity(scenario.nodes);
@@ -176,6 +180,7 @@ impl Cluster {
             shared,
             start,
             slots,
+            setup_subscription_msgs,
         })
     }
 
@@ -237,7 +242,11 @@ impl Cluster {
                     .expect("node thread panicked")
             })
             .collect();
-        aggregate(&self.config.scenario, &runtimes)
+        aggregate(
+            &self.config.scenario,
+            &runtimes,
+            self.setup_subscription_msgs,
+        )
     }
 }
 
@@ -276,7 +285,9 @@ pub fn run_process_node(
         space,
         nodes,
         subscriptions: _,
+        client_subscriptions: _,
         subscribers_of,
+        setup_subscription_msgs,
     } = build_population(&config.scenario);
     let node = nodes
         .into_iter()
@@ -320,7 +331,11 @@ pub fn run_process_node(
         control,
         start,
     });
-    Ok(aggregate(&config.scenario, &[runtime]))
+    Ok(aggregate(
+        &config.scenario,
+        &[runtime],
+        setup_subscription_msgs,
+    ))
 }
 
 fn node_params(config: &NetConfig) -> NodeParams {
@@ -377,7 +392,11 @@ fn bind_with_retry<S>(mut bind: impl FnMut() -> std::io::Result<S>) -> std::io::
 /// `assemble` path the simulator uses: first all publishes (so the
 /// global tracker knows every event and its intended audience), then
 /// all deliveries.
-fn aggregate(scenario: &ScenarioConfig, runtimes: &[NodeRuntime]) -> NetRunReport {
+fn aggregate(
+    scenario: &ScenarioConfig,
+    runtimes: &[NodeRuntime],
+    setup_subscription_msgs: u64,
+) -> NetRunReport {
     let mut tracker = DeliveryTracker::new_tolerant();
     let mut counters = MessageCounters::new(scenario.nodes);
     let mut net = NetCounters::default();
@@ -407,10 +426,15 @@ fn aggregate(scenario: &ScenarioConfig, runtimes: &[NodeRuntime]) -> NetRunRepor
                 if let TraceRecord::Deliver {
                     at,
                     node,
+                    client: _,
                     event,
                     recovered,
                 } = *rec
                 {
+                    // One record per matching local client; the
+                    // tracker's per-(event, node) sets keep duplicate
+                    // arrivals out while each client record still
+                    // counts towards the delivered total.
                     if recovered {
                         tracker.recovered(event, node, at);
                     } else {
@@ -427,7 +451,11 @@ fn aggregate(scenario: &ScenarioConfig, runtimes: &[NodeRuntime]) -> NetRunRepor
         evictions += rt.lost_evictions();
     }
     counters.count_lost_evictions(evictions);
-    let result = assemble(scenario, &tracker, &counters, outstanding, 0, 0);
+    let routing = routing_stats(
+        runtimes.iter().map(|rt| rt.sim_node()),
+        setup_subscription_msgs,
+    );
+    let result = assemble(scenario, &tracker, &counters, outstanding, 0, 0, routing);
     NetRunReport {
         result,
         net,

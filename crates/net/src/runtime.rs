@@ -33,7 +33,7 @@ use eps_gossip::{Channel, Envelope};
 use eps_harness::{AdaptiveGossip, NodeCtx, Outgoing, ScenarioTrace, SimNode, TraceRecord};
 use eps_metrics::{DeliveryTracker, MessageCounters, NetCounters};
 use eps_overlay::{LinkId, NodeId};
-use eps_pubsub::{PatternSpace, PubSubMessage};
+use eps_pubsub::{ClientId, PatternSpace, PubSubMessage};
 use eps_sim::{Rng, SimTime};
 
 use crate::frame::{frame, FrameReader};
@@ -123,7 +123,7 @@ pub(crate) struct NodeRuntime {
     /// extra members (cross links) are reached over UDP.
     graph_neighbors: Vec<NodeId>,
     space: PatternSpace,
-    subscribers_of: Vec<Vec<NodeId>>,
+    subscribers_of: Vec<Vec<(NodeId, ClientId)>>,
 
     payload_bits: u64,
     loss_rate: f64,
@@ -168,7 +168,7 @@ pub(crate) struct NodeSetup {
     /// Physical-graph neighbors (gossip neighborhood).
     pub graph_neighbors: Vec<NodeId>,
     pub space: PatternSpace,
-    pub subscribers_of: Vec<Vec<NodeId>>,
+    pub subscribers_of: Vec<Vec<(NodeId, ClientId)>>,
     pub gossip_rng: Rng,
     pub loss_rng: Rng,
     pub listener: TcpListener,
@@ -256,6 +256,11 @@ impl NodeRuntime {
             pending: Vec::new(),
             registry_addrs: setup.registry_addrs,
         })
+    }
+
+    /// The wrapped node actor, for end-of-run routing-state sampling.
+    pub(crate) fn sim_node(&self) -> &SimNode {
+        &self.node
     }
 
     /// `Lost` entries this node's recovery algorithm still chases.

@@ -131,6 +131,57 @@ fn sim_and_loopback_agree_on_a_barabasi_albert_graph() {
     assert_eq!(report.net.decode_errors, 0, "codec never misparses");
 }
 
+/// The client-layer cross-validation cell: each dispatcher fronts
+/// three end-user clients, so subscription setup floods *aggregated*
+/// filters and delivery is accounted per client-subscription in both
+/// worlds. The shared population builder makes the routing-state
+/// accounting — client subscriptions, aggregate filters, table
+/// entries, setup subscription messages — identical by construction,
+/// and the wire run must still converge with the aggregated envelopes
+/// end to end. (No churn: `NetConfig::validate` forbids it.)
+#[test]
+fn sim_and_loopback_agree_with_multi_client_dispatchers() {
+    let scenario = ScenarioConfig {
+        clients_per_node: 3,
+        ..crossval_scenario()
+    };
+
+    let sim = run_scenario(&scenario);
+    assert!(
+        sim.client_subscriptions > sim.aggregate_patterns,
+        "covering engaged: {} client subscriptions over {} aggregate filters",
+        sim.client_subscriptions,
+        sim.aggregate_patterns
+    );
+
+    let report = run_cluster(NetConfig {
+        scenario: scenario.clone(),
+        drain: Duration::from_secs(4),
+        ..NetConfig::default()
+    })
+    .expect("cluster boots");
+
+    assert_eq!(
+        report.result.events_published, sim.events_published,
+        "same seed must publish the same event sequence in sim and net"
+    );
+    assert_eq!(
+        report.result.overall_delivery_rate, 1.0,
+        "the wire run converges to 100% at client granularity; got {:?}",
+        report.result
+    );
+    // Routing-state accounting comes from the shared population
+    // builder: the two worlds must agree exactly.
+    assert_eq!(report.result.client_subscriptions, sim.client_subscriptions);
+    assert_eq!(report.result.aggregate_patterns, sim.aggregate_patterns);
+    assert_eq!(report.result.routing_entries, sim.routing_entries);
+    assert_eq!(
+        report.result.setup_subscription_msgs,
+        sim.setup_subscription_msgs
+    );
+    assert_eq!(report.net.decode_errors, 0, "codec never misparses");
+}
+
 /// Determinism of the workload identity itself: two net runs with the
 /// same seed publish the same count, and a different seed does not.
 #[test]

@@ -1,0 +1,284 @@
+//! The client layer: end-user subscriptions fronted by one dispatcher.
+//!
+//! The paper evaluates one subscriber per dispatcher; production means
+//! each dispatcher (broker) fronting thousands to millions of end-user
+//! subscriptions. Following the subscription-aggregation line (Shi et
+//! al., arXiv 1811.07088; Shafique, arXiv 1604.06853), the dispatcher
+//! keeps a [`ClientRegistry`] of per-client subscriptions and exposes
+//! only the *aggregate filter* — the union of its clients' patterns —
+//! to the routing layer:
+//!
+//! - **Covering.** A client subscription whose pattern is already in
+//!   the aggregate (some other local client subscribes to it) adds no
+//!   routing state and sends no `Subscribe` up the tree.
+//! - **Refcounted retraction.** Unsubscription retracts a pattern from
+//!   the routing tree only when the *last* local client drops it, so
+//!   client churn behind a stable aggregate is wire-silent.
+//!
+//! The registry is one flat sorted vector of `(pattern, client)`
+//! pairs. The refcount of a pattern is the length of its contiguous
+//! range; local fan-out for an event merges the ranges of its (at
+//! most a handful of) patterns. This keeps the per-dispatcher memory
+//! at 4 bytes per client-subscription — the layout the 10⁵-node
+//! populations with large client counts need — while matching against
+//! the *aggregate* stays O(patterns per event), independent of the
+//! number of clients.
+
+use crate::event::Event;
+use crate::pattern::PatternId;
+
+/// Identifier of an end-user client local to one dispatcher.
+///
+/// Client identifiers are per-dispatcher: `(NodeId, ClientId)` is the
+/// globally unique subscriber identity.
+///
+/// # Examples
+///
+/// ```
+/// use eps_pubsub::ClientId;
+///
+/// let c = ClientId::new(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(c.to_string(), "c3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(u32);
+
+impl ClientId {
+    /// Creates a client id from its numeric value.
+    pub const fn new(value: u32) -> Self {
+        ClientId(value)
+    }
+
+    /// The numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The value as an array index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Per-dispatcher registry of client subscriptions, maintaining the
+/// aggregate filter by covering/merging with refcounted retraction.
+///
+/// [`ClientRegistry::subscribe`] and [`ClientRegistry::unsubscribe`]
+/// report whether the *aggregate* changed — exactly the transitions on
+/// which the dispatcher must (un)propagate routing state. With a
+/// single client the aggregate is that client's subscription set and
+/// every operation is a transition, which is what makes the client
+/// layer an identity at `clients = 1`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClientRegistry {
+    /// Sorted, distinct `(pattern, client)` pairs. Grouping by pattern
+    /// first makes the refcount of a pattern the length of one
+    /// contiguous range and local fan-out a bounded range merge.
+    index: Vec<(PatternId, ClientId)>,
+}
+
+impl ClientRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ClientRegistry::default()
+    }
+
+    /// Subscribes `client` to `pattern`. Returns `true` when the
+    /// pattern was *newly covered* — no other local client held it —
+    /// i.e. the aggregate filter grew and the dispatcher must install
+    /// routing state. Idempotent: re-subscribing is a no-op returning
+    /// `false`.
+    pub fn subscribe(&mut self, client: ClientId, pattern: PatternId) -> bool {
+        match self.index.binary_search(&(pattern, client)) {
+            Ok(_) => false,
+            Err(pos) => {
+                let covered = self.covers(pattern);
+                self.index.insert(pos, (pattern, client));
+                !covered
+            }
+        }
+    }
+
+    /// Unsubscribes `client` from `pattern`. Returns `true` when the
+    /// *last* local client dropped the pattern — the aggregate filter
+    /// shrank and the dispatcher must retract routing state. A client
+    /// that was not subscribed is a no-op returning `false`.
+    pub fn unsubscribe(&mut self, client: ClientId, pattern: PatternId) -> bool {
+        match self.index.binary_search(&(pattern, client)) {
+            Ok(pos) => {
+                self.index.remove(pos);
+                !self.covers(pattern)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The contiguous index range holding `pattern`'s pairs.
+    fn range_of(&self, pattern: PatternId) -> std::ops::Range<usize> {
+        let start = self.index.partition_point(|&(p, _)| p < pattern);
+        let end = start + self.index[start..].partition_point(|&(p, _)| p == pattern);
+        start..end
+    }
+
+    /// `true` if at least one local client subscribes to `pattern`.
+    pub fn covers(&self, pattern: PatternId) -> bool {
+        let start = self.index.partition_point(|&(p, _)| p < pattern);
+        self.index.get(start).is_some_and(|&(p, _)| p == pattern)
+    }
+
+    /// Number of local clients subscribed to `pattern`.
+    pub fn refcount(&self, pattern: PatternId) -> usize {
+        self.range_of(pattern).len()
+    }
+
+    /// Total client-subscription pairs held.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` if no client subscription is registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The aggregate filter: the distinct patterns any local client
+    /// subscribes to, ascending. This is exactly what the routing
+    /// layer sees.
+    pub fn aggregate_patterns(&self) -> impl Iterator<Item = PatternId> + '_ {
+        let mut last = None;
+        self.index.iter().filter_map(move |&(p, _)| {
+            if last == Some(p) {
+                None
+            } else {
+                last = Some(p);
+                Some(p)
+            }
+        })
+    }
+
+    /// Number of patterns in the aggregate filter (the routing state
+    /// this dispatcher contributes to the tree).
+    pub fn aggregate_len(&self) -> usize {
+        self.aggregate_patterns().count()
+    }
+
+    /// The patterns `client` subscribes to, ascending. A full scan —
+    /// meant for churn and introspection, not the event hot path.
+    pub fn patterns_of(&self, client: ClientId) -> impl Iterator<Item = PatternId> + '_ {
+        self.index
+            .iter()
+            .filter(move |&&(_, c)| c == client)
+            .map(|&(p, _)| p)
+    }
+
+    /// Local fan-out: appends to `out` every client matching `event`,
+    /// each exactly once, ascending. Clears `out` first. Cost is the
+    /// sum of the matched patterns' refcounts plus a sort — i.e.
+    /// proportional to the deliveries produced, never to the total
+    /// client count.
+    pub fn matching_clients_into(&self, event: &Event, out: &mut Vec<ClientId>) {
+        out.clear();
+        for pattern in event.patterns() {
+            out.extend(self.index[self.range_of(pattern)].iter().map(|&(_, c)| c));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use eps_overlay::NodeId;
+
+    fn event(patterns: &[u16]) -> Event {
+        Event::new(
+            EventId::new(NodeId::new(0), 0),
+            patterns.iter().map(|&p| (PatternId::new(p), 0)).collect(),
+        )
+    }
+
+    #[test]
+    fn first_subscription_grows_the_aggregate() {
+        let mut reg = ClientRegistry::new();
+        assert!(reg.subscribe(ClientId::new(0), PatternId::new(5)));
+        // Covered: a second client adds no routing state.
+        assert!(!reg.subscribe(ClientId::new(1), PatternId::new(5)));
+        assert_eq!(reg.refcount(PatternId::new(5)), 2);
+        assert_eq!(reg.aggregate_len(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn subscribe_is_idempotent() {
+        let mut reg = ClientRegistry::new();
+        assert!(reg.subscribe(ClientId::new(0), PatternId::new(5)));
+        assert!(!reg.subscribe(ClientId::new(0), PatternId::new(5)));
+        assert_eq!(reg.refcount(PatternId::new(5)), 1);
+    }
+
+    #[test]
+    fn retraction_waits_for_the_last_client() {
+        let mut reg = ClientRegistry::new();
+        reg.subscribe(ClientId::new(0), PatternId::new(5));
+        reg.subscribe(ClientId::new(1), PatternId::new(5));
+        assert!(!reg.unsubscribe(ClientId::new(0), PatternId::new(5)));
+        assert!(reg.covers(PatternId::new(5)));
+        assert!(reg.unsubscribe(ClientId::new(1), PatternId::new(5)));
+        assert!(!reg.covers(PatternId::new(5)));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_of_absent_pair_is_a_noop() {
+        let mut reg = ClientRegistry::new();
+        reg.subscribe(ClientId::new(0), PatternId::new(5));
+        assert!(!reg.unsubscribe(ClientId::new(1), PatternId::new(5)));
+        assert!(!reg.unsubscribe(ClientId::new(0), PatternId::new(6)));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn matching_clients_are_distinct_and_sorted() {
+        let mut reg = ClientRegistry::new();
+        // Client 2 matches via two patterns: delivered exactly once.
+        reg.subscribe(ClientId::new(2), PatternId::new(1));
+        reg.subscribe(ClientId::new(2), PatternId::new(3));
+        reg.subscribe(ClientId::new(0), PatternId::new(3));
+        reg.subscribe(ClientId::new(7), PatternId::new(9));
+        let mut out = Vec::new();
+        reg.matching_clients_into(&event(&[1, 3]), &mut out);
+        assert_eq!(out, vec![ClientId::new(0), ClientId::new(2)]);
+        reg.matching_clients_into(&event(&[4]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn aggregate_patterns_are_distinct_and_sorted() {
+        let mut reg = ClientRegistry::new();
+        reg.subscribe(ClientId::new(1), PatternId::new(9));
+        reg.subscribe(ClientId::new(0), PatternId::new(2));
+        reg.subscribe(ClientId::new(2), PatternId::new(9));
+        let agg: Vec<PatternId> = reg.aggregate_patterns().collect();
+        assert_eq!(agg, vec![PatternId::new(2), PatternId::new(9)]);
+        assert_eq!(reg.aggregate_len(), 2);
+    }
+
+    #[test]
+    fn patterns_of_scans_one_client() {
+        let mut reg = ClientRegistry::new();
+        reg.subscribe(ClientId::new(1), PatternId::new(9));
+        reg.subscribe(ClientId::new(1), PatternId::new(2));
+        reg.subscribe(ClientId::new(0), PatternId::new(4));
+        let pats: Vec<PatternId> = reg.patterns_of(ClientId::new(1)).collect();
+        assert_eq!(pats, vec![PatternId::new(2), PatternId::new(9)]);
+    }
+}

@@ -12,6 +12,7 @@ use std::collections::{HashMap, HashSet};
 use eps_overlay::NodeId;
 
 use crate::cache::{EventCache, EvictionPolicy};
+use crate::clients::{ClientId, ClientRegistry};
 use crate::detector::{LossDetector, LossRecord};
 use crate::event::{Event, EventId};
 use crate::pattern::{PatternId, DENSE_UNIVERSE_MAX};
@@ -295,6 +296,11 @@ pub struct Dispatcher {
     id: NodeId,
     config: DispatcherConfig,
     table: SubscriptionTable,
+    /// End-user client subscriptions behind this dispatcher. The
+    /// routing `table`'s `Local` bits hold exactly this registry's
+    /// aggregate filter; the per-pattern transitions reported by the
+    /// registry drive (un)propagation on the tree.
+    clients: ClientRegistry,
     cache: EventCache,
     detector: LossDetector,
     routes: RouteBook,
@@ -322,6 +328,7 @@ impl Dispatcher {
             id,
             config,
             table: SubscriptionTable::with_dims(config.pattern_universe, config.degree_hint),
+            clients: ClientRegistry::new(),
             cache: EventCache::with_policy_sized(
                 config.cache_capacity,
                 config.eviction,
@@ -400,6 +407,69 @@ impl Dispatcher {
     pub fn subscribe_local(&mut self, pattern: PatternId, neighbors: &[NodeId]) -> Vec<Forward> {
         self.table.insert(pattern, Interface::Local);
         self.propagate_subscription(pattern, None, neighbors)
+    }
+
+    /// An identified local client subscribes to `pattern`. Covering:
+    /// if another local client already holds the pattern, the aggregate
+    /// filter is unchanged and *nothing* is propagated — only a 0→1
+    /// refcount transition installs routing state via
+    /// [`Dispatcher::subscribe_local`].
+    pub fn client_subscribe(
+        &mut self,
+        client: ClientId,
+        pattern: PatternId,
+        neighbors: &[NodeId],
+    ) -> Vec<Forward> {
+        if self.clients.subscribe(client, pattern) {
+            self.subscribe_local(pattern, neighbors)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// [`Dispatcher::client_subscribe`] for a *mid-run* subscription
+    /// (client churn): a 0→1 transition goes through
+    /// [`Dispatcher::subscribe_local_late`] so loss detection starts
+    /// from the first event actually received.
+    pub fn client_subscribe_late(
+        &mut self,
+        client: ClientId,
+        pattern: PatternId,
+        neighbors: &[NodeId],
+    ) -> Vec<Forward> {
+        if self.clients.subscribe(client, pattern) {
+            self.subscribe_local_late(pattern, neighbors)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// An identified local client unsubscribes from `pattern`.
+    /// Refcounted retraction: routing state is removed (and
+    /// unsubscriptions propagated) only when the last local client
+    /// drops the pattern.
+    pub fn client_unsubscribe(
+        &mut self,
+        client: ClientId,
+        pattern: PatternId,
+        neighbors: &[NodeId],
+    ) -> Vec<Forward> {
+        if self.clients.unsubscribe(client, pattern) {
+            self.unsubscribe_local(pattern, neighbors)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The client-subscription registry backing the aggregate filter.
+    pub fn clients(&self) -> &ClientRegistry {
+        &self.clients
+    }
+
+    /// Appends to `out` every local client matching `event`, each
+    /// exactly once, ascending (local fan-out). Clears `out` first.
+    pub fn matching_clients_into(&self, event: &Event, out: &mut Vec<ClientId>) {
+        self.clients.matching_clients_into(event, out);
     }
 
     /// A local client subscribes to `pattern` *mid-run* (subscription
@@ -833,6 +903,61 @@ mod tests {
         let out = d.unsubscribe_local(p, &nbrs);
         let targets: Vec<NodeId> = out.iter().map(|f| f.to).collect();
         assert_eq!(targets, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn client_subscriptions_aggregate_before_routing() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let p = PatternId::new(1);
+        let nbrs = [NodeId::new(1)];
+        // First client: aggregate grows, subscription propagates.
+        let out = d.client_subscribe(ClientId::new(0), p, &nbrs);
+        assert_eq!(out.len(), 1);
+        // Covered by the aggregate: second client is wire-silent.
+        let out = d.client_subscribe(ClientId::new(1), p, &nbrs);
+        assert!(out.is_empty());
+        assert!(d.table().has_local(p));
+        // First unsubscribe: refcount 2→1, no retraction.
+        let out = d.client_unsubscribe(ClientId::new(0), p, &nbrs);
+        assert!(out.is_empty());
+        assert!(d.table().has_local(p));
+        // Last client drops it: retraction propagates.
+        let out = d.client_unsubscribe(ClientId::new(1), p, &nbrs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg, PubSubMessage::Unsubscribe(p));
+        assert!(!d.table().has_local(p));
+    }
+
+    #[test]
+    fn aggregate_filter_equals_table_local_bits() {
+        let mut d = Dispatcher::new(NodeId::new(0), cfg());
+        let nbrs = [NodeId::new(1)];
+        d.client_subscribe(ClientId::new(0), PatternId::new(3), &nbrs);
+        d.client_subscribe(ClientId::new(1), PatternId::new(3), &nbrs);
+        d.client_subscribe(ClientId::new(1), PatternId::new(7), &nbrs);
+        d.client_unsubscribe(ClientId::new(0), PatternId::new(3), &nbrs);
+        let aggregate: Vec<PatternId> = d.clients().aggregate_patterns().collect();
+        let local: Vec<PatternId> = d.table().local_patterns().collect();
+        assert_eq!(aggregate, local);
+        // Reset for reconfiguration preserves the aggregate.
+        d.reset_routing_state();
+        let local: Vec<PatternId> = d.table().local_patterns().collect();
+        assert_eq!(aggregate, local);
+    }
+
+    #[test]
+    fn client_fanout_delivers_each_matching_client_once() {
+        let mut d = Dispatcher::new(NodeId::new(1), cfg());
+        let (p, q) = (PatternId::new(1), PatternId::new(2));
+        d.client_subscribe(ClientId::new(4), p, &[]);
+        d.client_subscribe(ClientId::new(4), q, &[]);
+        d.client_subscribe(ClientId::new(2), q, &[]);
+        let e = Event::new(EventId::new(NodeId::new(0), 0), vec![(p, 0), (q, 0)]);
+        let receipt = d.on_event(e.clone(), Some(NodeId::new(0)));
+        assert!(receipt.delivered);
+        let mut out = Vec::new();
+        d.matching_clients_into(&e, &mut out);
+        assert_eq!(out, vec![ClientId::new(2), ClientId::new(4)]);
     }
 
     #[test]

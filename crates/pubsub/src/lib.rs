@@ -14,6 +14,9 @@
 //!   state: pattern → interfaces, with events routed on reverse paths;
 //! - [`EventCache`] — the β-bounded FIFO buffer of cached events;
 //! - [`LossDetector`]/[`LossRecord`] — sequence-gap loss detection;
+//! - [`ClientId`]/[`ClientRegistry`] — the client layer: per-broker
+//!   end-user subscriptions aggregated into the routing-level filter by
+//!   covering/merging, with refcounted retraction;
 //! - [`Dispatcher`] — the protocol logic tying it all together, pure
 //!   (message in → messages out) so it can be driven by the simulator
 //!   or by unit tests directly;
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod clients;
 mod detector;
 mod dispatcher;
 mod event;
@@ -56,6 +60,7 @@ mod setup;
 mod table;
 
 pub use cache::{EventCache, EvictionPolicy};
+pub use clients::{ClientId, ClientRegistry};
 pub use detector::{LossDetector, LossRecord};
 pub use dispatcher::{
     Dispatcher, DispatcherConfig, EventReceipt, Forward, PubSubMessage, RouteBook,
@@ -63,7 +68,7 @@ pub use dispatcher::{
 pub use event::{Event, EventId, ROUTE_HOP_BITS};
 pub use pattern::{PatternId, PatternSpace};
 pub use setup::{
-    flood_subscriptions, flood_subscriptions_direct, install_local_subscriptions,
-    intended_recipients, rebuild_subscription_routes, DispatcherHost,
+    flood_subscriptions, flood_subscriptions_direct, install_client_subscriptions,
+    install_local_subscriptions, intended_recipients, rebuild_subscription_routes, DispatcherHost,
 };
 pub use table::{Interface, SubscriptionTable};

@@ -6,7 +6,7 @@
 //! number. The system has `Π` patterns (70 by default) and an event
 //! matches at most 3 patterns.
 
-use eps_sim::Rng;
+use eps_sim::{Rng, Zipf};
 
 /// Largest pattern universe (Π) for which per-pattern per-node state
 /// stays dense-indexed. Past this, auxiliary structures that would
@@ -81,6 +81,10 @@ impl std::fmt::Display for PatternId {
 pub struct PatternSpace {
     universe: u16,
     max_patterns_per_event: usize,
+    /// Pattern-popularity skew: `None` is the paper's uniform model
+    /// (and draws byte-identically to it); `Some` draws pattern ranks
+    /// from a bounded Zipf law, with pattern 0 the most popular.
+    zipf: Option<Zipf>,
 }
 
 impl PatternSpace {
@@ -104,7 +108,33 @@ impl PatternSpace {
         PatternSpace {
             universe,
             max_patterns_per_event,
+            zipf: None,
         }
+    }
+
+    /// Creates a pattern space with Zipf-skewed pattern popularity of
+    /// exponent `s` (ROADMAP 4b: realistic workloads concentrate both
+    /// content and interest on few hot patterns). Pattern 0 is rank 1
+    /// (most popular). `s = 0` is exactly the uniform model — the
+    /// returned space equals [`PatternSpace::new`] and consumes the
+    /// same RNG draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`PatternSpace::new`] constraints, or if `s` is
+    /// negative or non-finite.
+    pub fn with_zipf(universe: u16, max_patterns_per_event: usize, s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be ≥ 0");
+        let mut space = PatternSpace::new(universe, max_patterns_per_event);
+        if s > 0.0 {
+            space.zipf = Some(Zipf::new(universe as u64, s));
+        }
+        space
+    }
+
+    /// The Zipf exponent, or 0 for the uniform model.
+    pub fn zipf_exponent(&self) -> f64 {
+        self.zipf.map_or(0.0, |z| z.exponent())
     }
 
     /// Number of patterns in the universe (Π).
@@ -138,10 +168,18 @@ impl PatternSpace {
     /// one buffer instead of allocating per publication.
     pub fn random_content_into(&self, rng: &mut Rng, out: &mut Vec<PatternId>) {
         out.clear();
-        out.extend(
-            (0..self.max_patterns_per_event)
-                .map(|_| PatternId::new(rng.random_range(0..self.universe))),
-        );
+        match self.zipf {
+            // The uniform path must stay byte-identical to the
+            // pre-Zipf model: same draws, same order.
+            None => out.extend(
+                (0..self.max_patterns_per_event)
+                    .map(|_| PatternId::new(rng.random_range(0..self.universe))),
+            ),
+            Some(zipf) => out.extend(
+                (0..self.max_patterns_per_event)
+                    .map(|_| PatternId::new(zipf.sample(rng) as u16 - 1)),
+            ),
+        }
         out.sort();
         out.dedup();
     }
@@ -159,10 +197,28 @@ impl PatternSpace {
             "cannot draw {count} distinct patterns from a universe of {}",
             self.universe
         );
-        rng.sample_indices(self.universe as usize, count)
-            .into_iter()
-            .map(|i| PatternId::new(i as u16))
-            .collect()
+        match self.zipf {
+            // Floyd's sampler, byte-identical to the pre-Zipf model.
+            None => rng
+                .sample_indices(self.universe as usize, count)
+                .into_iter()
+                .map(|i| PatternId::new(i as u16))
+                .collect(),
+            // Skewed interest: Zipf draws, rejecting repeats until
+            // `count` distinct patterns accumulate. With count ≪ Π
+            // (the π_max regime) the rejection loop terminates fast;
+            // the caller gets a sorted list either way.
+            Some(zipf) => {
+                let mut subs: Vec<PatternId> = Vec::with_capacity(count);
+                while subs.len() < count {
+                    let p = PatternId::new(zipf.sample(rng) as u16 - 1);
+                    if let Err(pos) = subs.binary_search(&p) {
+                        subs.insert(pos, p);
+                    }
+                }
+                subs
+            }
+        }
     }
 
     /// Expected number of subscribers per pattern for `n` dispatchers
@@ -248,5 +304,60 @@ mod tests {
     fn patterns_enumerates_universe() {
         let s = PatternSpace::new(7, 1);
         assert_eq!(s.patterns().count(), 7);
+    }
+
+    #[test]
+    fn zipf_zero_is_the_uniform_model_exactly() {
+        // The `--zipf 0` default must be a provable identity: same
+        // struct, same draws, same outputs.
+        let uniform = PatternSpace::new(70, 3);
+        let zipf0 = PatternSpace::with_zipf(70, 3, 0.0);
+        assert_eq!(uniform, zipf0);
+        let mut rng_a = RngFactory::new(11).stream("content");
+        let mut rng_b = RngFactory::new(11).stream("content");
+        for _ in 0..200 {
+            assert_eq!(
+                uniform.random_content(&mut rng_a),
+                zipf0.random_content(&mut rng_b)
+            );
+            assert_eq!(
+                uniform.random_subscriptions(2, &mut rng_a),
+                zipf0.random_subscriptions(2, &mut rng_b)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_content_is_sorted_distinct_and_skewed() {
+        let s = PatternSpace::with_zipf(70, 3, 1.5);
+        assert!((s.zipf_exponent() - 1.5).abs() < 1e-12);
+        let mut rng = RngFactory::new(13).stream("content");
+        let mut low = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2000 {
+            let c = s.random_content(&mut rng);
+            assert!((1..=3).contains(&c.len()));
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            assert!(c.iter().all(|p| p.value() < 70));
+            total += c.len();
+            low += c.iter().filter(|p| p.value() < 7).count();
+        }
+        // At s = 1.5 the top decile of patterns carries well over half
+        // the draws; uniform would give it 10%.
+        assert!(
+            low as f64 > 0.5 * total as f64,
+            "skew missing: {low}/{total} draws in the top decile"
+        );
+    }
+
+    #[test]
+    fn zipf_subscriptions_are_distinct_and_sorted() {
+        let s = PatternSpace::with_zipf(70, 3, 1.0);
+        let mut rng = RngFactory::new(17).stream("subs");
+        for count in [1, 2, 5, 20] {
+            let subs = s.random_subscriptions(count, &mut rng);
+            assert_eq!(subs.len(), count);
+            assert!(subs.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 }

@@ -241,6 +241,30 @@ pub fn install_local_subscriptions<H: DispatcherHost>(
     }
 }
 
+/// Records `clients[i][c]` as the subscriptions of client `c` of
+/// dispatcher `i` without propagating anything. The dispatcher's
+/// aggregate filter (its table's `Local` bits) becomes the union of
+/// its clients' patterns; with one client per dispatcher this is
+/// exactly [`install_local_subscriptions`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn install_client_subscriptions<H: DispatcherHost>(
+    hosts: &mut [H],
+    clients: &[Vec<Vec<PatternId>>],
+) {
+    assert_eq!(hosts.len(), clients.len());
+    for (h, per_client) in hosts.iter_mut().zip(clients) {
+        for (c, subs) in per_client.iter().enumerate() {
+            let client = crate::clients::ClientId::new(c as u32);
+            for &p in subs {
+                h.dispatcher_mut().client_subscribe(client, p, &[]);
+            }
+        }
+    }
+}
+
 /// Rebuilds all subscription routes from scratch for a (possibly
 /// reconfigured) topology: clears neighbor-derived state on every
 /// dispatcher, then re-floods local subscriptions.

@@ -55,6 +55,6 @@ mod time;
 
 pub use engine::{Engine, EventId};
 pub use keyed::KeyedEngine;
-pub use rng::{Rng, RngFactory, SampleRange};
+pub use rng::{Rng, RngFactory, SampleRange, Zipf};
 pub use stats::{quantile, RatioBin, RatioSeries, Summary};
 pub use time::SimTime;

@@ -159,6 +159,97 @@ impl Rng {
     }
 }
 
+/// A bounded Zipf distribution over the ranks `1..=n` with exponent
+/// `s ≥ 0`: `P(k) ∝ k^−s`. `s = 0` degenerates to uniform; larger `s`
+/// concentrates mass on the low ranks (the "popular" items).
+///
+/// Sampling uses Devroye-style rejection from the integral envelope of
+/// `x^−s`, so a draw is O(1) in `n` — no per-rank tables, which is what
+/// pattern universes of 10⁴–10⁵ need. Deterministic: a draw consumes
+/// one uniform for the envelope plus, for ranks `> 1`, one uniform per
+/// rejection test, all from the caller's [`Rng`] stream.
+///
+/// # Examples
+///
+/// ```
+/// use eps_sim::{Rng, Zipf};
+///
+/// let zipf = Zipf::new(70, 1.2);
+/// let mut rng = Rng::from_seed(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=70).contains(&rank));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    /// Total envelope mass: `∫₀ⁿ max(1, x)^−s dx`.
+    t: f64,
+}
+
+// `n`, `s` and `t` are finite by construction (asserted in `new`), so
+// the derived `PartialEq` is total on the values that can exist.
+impl Eq for Zipf {}
+
+impl Zipf {
+    /// Creates the distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be ≥ 0");
+        let n = n as f64;
+        // ∫₁ⁿ x^−s dx, plus 1 for the [0, 1) strip of the envelope.
+        let t = if (s - 1.0).abs() < 1e-12 {
+            1.0 + n.ln()
+        } else {
+            (n.powf(1.0 - s) - s) / (1.0 - s)
+        };
+        Zipf { n, s, t }
+    }
+
+    /// Number of ranks `n`.
+    pub fn ranks(&self) -> u64 {
+        self.n as u64
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Inverse CDF of the envelope density `max(1, x)^−s / t` at
+    /// envelope mass `m ∈ [0, t)`.
+    fn envelope_inv(&self, m: f64) -> f64 {
+        if m <= 1.0 {
+            m
+        } else if (self.s - 1.0).abs() < 1e-12 {
+            (m - 1.0).exp()
+        } else {
+            (m * (1.0 - self.s) + self.s).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        loop {
+            let x = self.envelope_inv(rng.random_f64() * self.t);
+            let k = x.ceil().max(1.0).min(self.n);
+            // Over [0, 1) the envelope equals the target: accept.
+            if k <= 1.0 {
+                return 1;
+            }
+            // Accept with probability (x / k)^s — the ratio of the
+            // target mass at rank k to the envelope at x.
+            if rng.random_f64() < (x / k).powf(self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
 /// Ranges [`Rng::random_range`] can draw from.
 pub trait SampleRange {
     /// The element type produced by sampling.
@@ -411,5 +502,65 @@ mod tests {
             let v = r.random_range(2.0..3.0);
             assert!((2.0..3.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn zipf_ranks_stay_in_bounds() {
+        let mut r = Rng::from_seed(37);
+        for &s in &[0.0, 0.5, 1.0, 1.5, 3.0] {
+            let zipf = Zipf::new(70, s);
+            for _ in 0..2000 {
+                let k = zipf.sample(&mut r);
+                assert!((1..=70).contains(&k), "s={s}: rank {k} out of range");
+            }
+        }
+        // Degenerate single-rank distribution.
+        let one = Zipf::new(1, 2.0);
+        assert_eq!(one.sample(&mut r), 1);
+    }
+
+    #[test]
+    fn zipf_frequencies_match_the_law() {
+        // At s = 1 over 1..=10, P(1)/P(2) = 2 and P(1) = 1/H₁₀ ≈ 0.34.
+        let zipf = Zipf::new(10, 1.0);
+        let mut r = Rng::from_seed(41);
+        let mut counts = [0usize; 10];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[(zipf.sample(&mut r) - 1) as usize] += 1;
+        }
+        let h10: f64 = (1..=10).map(|k| 1.0 / k as f64).sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let want = 1.0 / ((i + 1) as f64 * h10);
+            let got = c as f64 / draws as f64;
+            assert!(
+                (got - want).abs() < 0.01,
+                "rank {}: got {got:.4}, want {want:.4}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(8, 0.0);
+        let mut r = Rng::from_seed(43);
+        let mut counts = [0usize; 8];
+        for _ in 0..16_000 {
+            counts[(zipf.sample(&mut r) - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((1700..2300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut a = Rng::from_seed(47);
+        let mut b = Rng::from_seed(47);
+        let xs: Vec<u64> = (0..64).map(|_| zipf.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..64).map(|_| zipf.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
     }
 }

@@ -1,0 +1,192 @@
+//! Model-based test of the client layer: the same random op sequence
+//! (client subscribes, unsubscribes, and event deliveries) drives the
+//! flat sorted [`ClientRegistry`] and a naive per-client reference
+//! model (`BTreeMap<ClientId, BTreeSet<PatternId>>`), and every
+//! observable must agree op-for-op. This is the guard for the
+//! aggregation layer's two claims:
+//!
+//! - **Covering never loses a delivery.** The set of clients the
+//!   registry fans an event out to equals the clients whose own
+//!   subscription set matches the event — aggregation is invisible to
+//!   delivery semantics.
+//! - **Refcounted retraction never strands routing state.** After any
+//!   churn sequence, the aggregate filter equals the union of the
+//!   per-client sets, and a dispatcher driven through
+//!   `client_subscribe`/`client_unsubscribe` holds exactly the
+//!   aggregate in its routing table's local interface — nothing
+//!   lingers after the last client drops a pattern.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use eps_overlay::NodeId;
+use eps_pubsub::{
+    ClientId, ClientRegistry, Dispatcher, DispatcherConfig, Event, EventId, PatternId,
+};
+use proptest::prelude::*;
+
+/// One randomly generated client-layer operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Subscribe(u32, u16),
+    Unsubscribe(u32, u16),
+    Deliver(BTreeSet<u16>),
+}
+
+/// The reference model: each client's own subscription set, with
+/// emptied clients removed. The aggregate is derived, never cached —
+/// the registry's refcounting must reproduce it exactly.
+#[derive(Default)]
+struct Model {
+    clients: BTreeMap<ClientId, BTreeSet<PatternId>>,
+}
+
+impl Model {
+    /// `true` when the aggregate grew: no other client held `pattern`.
+    fn subscribe(&mut self, client: ClientId, pattern: PatternId) -> bool {
+        let covered = self.covers(pattern);
+        self.clients.entry(client).or_default().insert(pattern) && !covered
+    }
+
+    /// `true` when the aggregate shrank: the last holder dropped it.
+    fn unsubscribe(&mut self, client: ClientId, pattern: PatternId) -> bool {
+        let Some(set) = self.clients.get_mut(&client) else {
+            return false;
+        };
+        if !set.remove(&pattern) {
+            return false;
+        }
+        if set.is_empty() {
+            self.clients.remove(&client);
+        }
+        !self.covers(pattern)
+    }
+
+    fn covers(&self, pattern: PatternId) -> bool {
+        self.clients.values().any(|set| set.contains(&pattern))
+    }
+
+    fn refcount(&self, pattern: PatternId) -> usize {
+        self.clients
+            .values()
+            .filter(|set| set.contains(&pattern))
+            .count()
+    }
+
+    fn aggregate(&self) -> BTreeSet<PatternId> {
+        self.clients.values().flatten().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.clients.values().map(BTreeSet::len).sum()
+    }
+
+    /// Per-client delivery: every client whose own set intersects the
+    /// event's patterns, exactly once, ascending.
+    fn matching_clients(&self, event: &Event) -> Vec<ClientId> {
+        self.clients
+            .iter()
+            .filter(|(_, set)| event.patterns().any(|p| set.contains(&p)))
+            .map(|(&c, _)| c)
+            .collect()
+    }
+}
+
+fn event(patterns: &BTreeSet<u16>) -> Event {
+    Event::new(
+        EventId::new(NodeId::new(0), 0),
+        patterns
+            .iter()
+            .map(|&p| (PatternId::new(p), 0))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u32..8, 0u16..24).prop_map(|(c, p)| Op::Subscribe(c, p)),
+        2 => (0u32..8, 0u16..24).prop_map(|(c, p)| Op::Unsubscribe(c, p)),
+        1 => proptest::collection::btree_set(0u16..24, 1..4).prop_map(Op::Deliver),
+    ]
+}
+
+proptest! {
+    /// The registry and the per-client reference model agree on every
+    /// observable after every op: transition return values, covering,
+    /// refcounts, the aggregate filter, and event fan-out.
+    #[test]
+    fn registry_matches_per_client_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut registry = ClientRegistry::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Subscribe(c, p) => {
+                    let (client, pattern) = (ClientId::new(c), PatternId::new(p));
+                    prop_assert_eq!(
+                        registry.subscribe(client, pattern),
+                        model.subscribe(client, pattern),
+                        "aggregate-grew transition disagrees"
+                    );
+                }
+                Op::Unsubscribe(c, p) => {
+                    let (client, pattern) = (ClientId::new(c), PatternId::new(p));
+                    prop_assert_eq!(
+                        registry.unsubscribe(client, pattern),
+                        model.unsubscribe(client, pattern),
+                        "aggregate-shrank transition disagrees"
+                    );
+                }
+                Op::Deliver(patterns) => {
+                    let ev = event(&patterns);
+                    let mut out = Vec::new();
+                    registry.matching_clients_into(&ev, &mut out);
+                    prop_assert_eq!(
+                        out,
+                        model.matching_clients(&ev),
+                        "covering changed delivery semantics"
+                    );
+                }
+            }
+            prop_assert_eq!(registry.len(), model.len());
+            let aggregate: Vec<PatternId> = registry.aggregate_patterns().collect();
+            let expected: Vec<PatternId> = model.aggregate().into_iter().collect();
+            prop_assert_eq!(aggregate, expected, "aggregate filter drifted");
+            for p in 0u16..24 {
+                let pattern = PatternId::new(p);
+                prop_assert_eq!(registry.covers(pattern), model.covers(pattern));
+                prop_assert_eq!(registry.refcount(pattern), model.refcount(pattern));
+            }
+        }
+    }
+
+    /// A dispatcher driven through the client API holds exactly the
+    /// aggregate in its routing table: unsubscribe churn retracts a
+    /// pattern precisely when the last client drops it, stranding
+    /// nothing.
+    #[test]
+    fn dispatcher_routing_state_is_exactly_the_aggregate(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Subscribe(c, p) => {
+                    let (client, pattern) = (ClientId::new(c), PatternId::new(p));
+                    node.client_subscribe(client, pattern, &[]);
+                    model.subscribe(client, pattern);
+                }
+                Op::Unsubscribe(c, p) => {
+                    let (client, pattern) = (ClientId::new(c), PatternId::new(p));
+                    node.client_unsubscribe(client, pattern, &[]);
+                    model.unsubscribe(client, pattern);
+                }
+                Op::Deliver(_) => {}
+            }
+            let local: Vec<PatternId> = node.table().local_patterns().collect();
+            let expected: Vec<PatternId> = model.aggregate().into_iter().collect();
+            prop_assert_eq!(local, expected, "routing state drifted from the aggregate");
+        }
+    }
+}
