@@ -21,13 +21,16 @@ use std::sync::Arc;
 
 use eps_bench::mini;
 use eps_bench::timing::{bench, to_json, BenchResult};
-use eps_gossip::{codec, Algorithm, Envelope, GossipMessage};
+use eps_gossip::{
+    codec, Algorithm, DigestBody, DigestPolicy, Envelope, GossipConfig, GossipMessage,
+    NegativeDigest, PositiveDigest, SummaryDigestPolicy,
+};
 use eps_harness::{build_population, run_scenario, ScenarioConfig, SimNode};
 use eps_net::frame::{frame, FrameReader};
 use eps_overlay::{NodeId, OverlayKind, Topology};
 use eps_pubsub::{
     ClientId, ClientRegistry, Dispatcher, DispatcherConfig, Event, EventId, Interface, LossRecord,
-    PatternId, PubSubMessage, SubscriptionTable,
+    PatternId, PubSubMessage, SubscriptionTable, SummaryIndex,
 };
 use eps_sim::{Engine, Rng, RngFactory, SimTime};
 
@@ -85,6 +88,7 @@ fn main() -> ExitCode {
     ]);
     results.extend(topology_build());
     let mut gossip_results = gossip_rounds();
+    gossip_results.extend(digest_scaling());
     gossip_results.extend(table_matching_aggregated());
     let net_results = vec![
         codec_encode_event(),
@@ -361,6 +365,9 @@ fn gossip_node() -> Dispatcher {
         DispatcherConfig {
             cache_own_published: true,
             record_routes: true,
+            // The registry includes the summary-reconciliation family,
+            // whose digests read the cache's hash-range index.
+            summary_index: true,
             ..DispatcherConfig::default()
         },
     );
@@ -419,6 +426,165 @@ fn gossip_rounds() -> Vec<BenchResult> {
             result
         })
         .collect()
+}
+
+/// Cache sizes of the digest-cost sweep: 10²–10⁵ cached events, the
+/// axis the summary-reconciliation evaluation scales along (the
+/// paper's β = 1500 sits near the low end).
+const DIGEST_SWEEP: [usize; 4] = [100, 1_000, 10_000, 100_000];
+
+/// A dispatcher whose summary-indexed cache holds exactly `c` events,
+/// spread evenly over four locally subscribed patterns with in-order
+/// per-pattern sequence numbers (so filling it detects no losses).
+fn digest_node(c: usize) -> Dispatcher {
+    let mut node = Dispatcher::new(
+        NodeId::new(5),
+        DispatcherConfig {
+            cache_capacity: c,
+            summary_index: true,
+            ..DispatcherConfig::default()
+        },
+    );
+    for p in 1..=4u16 {
+        node.subscribe_local(PatternId::new(p), &[]);
+    }
+    for seq in 0..c as u64 {
+        let pattern = PatternId::new(1 + (seq % 4) as u16);
+        let event = Event::new(EventId::new(NodeId::new(0), seq), vec![(pattern, seq / 4)]);
+        node.on_event(event, Some(NodeId::new(1)));
+    }
+    node
+}
+
+/// Digest construction cost versus cache size: the before/after curve
+/// of summary reconciliation. The linear digests re-announce cached
+/// ids (push) or outstanding losses (pull) entry by entry, so their
+/// per-round build cost — like their wire size — grows O(C); the
+/// summary digest emits one root aggregate from the incremental
+/// hash-range index, so it stays flat. `summary_index_maintain` prices
+/// what that index costs the cache on every insert/evict to make the
+/// flat build possible. The `summary_*` entries are demoted to
+/// advisory in `bench_compare` (see `scripts/tier1.sh`): sub-µs
+/// map-churn loops are too noisy on shared hosts to gate.
+fn digest_scaling() -> Vec<BenchResult> {
+    const PATTERNS: u64 = 4;
+    let mut out = Vec::new();
+    for c in DIGEST_SWEEP {
+        let node = digest_node(c);
+
+        // Linear push: every matching cached id, untruncated (positive
+        // digests never shrink — the paper charges each gossip message
+        // one event-size regardless).
+        let mut push = PositiveDigest::new();
+        let mut sink = 0usize;
+        let result = bench(
+            &format!("digest_build/linear_push/c{c}"),
+            2,
+            15,
+            PATTERNS,
+            || {
+                for p in 1..=4u16 {
+                    if let Some(DigestBody::Positive(ids)) =
+                        push.build_for_pattern(&node, PatternId::new(p), usize::MAX)
+                    {
+                        sink += ids.len();
+                    }
+                }
+            },
+        );
+        assert!(sink >= c, "push digests covered the cache");
+        out.push(result);
+
+        // Linear pull: a `Lost` buffer scaled with the cache (the
+        // recovery window the buffer must remember grows with β), with
+        // expiry disabled so repeated builds see a steady buffer.
+        let config = GossipConfig {
+            max_attempts: u32::MAX,
+            lost_capacity: Some(c),
+            ..GossipConfig::default()
+        };
+        let mut pull = NegativeDigest::new(&config);
+        let losses: Vec<LossRecord> = (0..c as u64)
+            .map(|i| LossRecord {
+                source: NodeId::new(0),
+                pattern: PatternId::new(1 + (i % PATTERNS) as u16),
+                seq: 1_000_000 + i,
+            })
+            .collect();
+        pull.on_losses(&losses);
+        let mut sink = 0usize;
+        let result = bench(
+            &format!("digest_build/linear_pull/c{c}"),
+            2,
+            15,
+            PATTERNS,
+            || {
+                for p in 1..=4u16 {
+                    if let Some(DigestBody::Negative(entries)) =
+                        pull.build_for_pattern(&node, PatternId::new(p), usize::MAX)
+                    {
+                        sink += entries.len();
+                    }
+                }
+            },
+        );
+        assert!(sink >= c, "pull digests covered the loss buffer");
+        out.push(result);
+
+        // Summary digest: one root aggregate per round, read straight
+        // off the maintained index — O(1) in C.
+        let mut summary = SummaryDigestPolicy::push(&GossipConfig::default());
+        let mut sink = 0usize;
+        let result = bench(
+            &format!("summary_digest_build/c{c}"),
+            2,
+            15,
+            PATTERNS,
+            || {
+                for p in 1..=4u16 {
+                    if let Some(DigestBody::Summary { ranges, .. }) =
+                        summary.build_for_pattern(&node, PatternId::new(p), 128)
+                    {
+                        sink += ranges.len();
+                    }
+                }
+            },
+        );
+        assert!(sink > 0, "summary digests produced root aggregates");
+        out.push(result);
+
+        // Index maintenance at resident size C: one add + remove pair
+        // per churned id (each is LEVEL_COUNT map updates; XOR makes
+        // removal restore the aggregates exactly, so the loop is
+        // state-preserving).
+        const CHURN: u64 = 1_000;
+        let mut index = SummaryIndex::new();
+        let pattern = PatternId::new(1);
+        for i in 0..c as u64 {
+            index.add(pattern, EventId::new(NodeId::new(0), i));
+        }
+        let before = index.root(pattern);
+        let result = bench(
+            &format!("summary_index_maintain/c{c}"),
+            2,
+            15,
+            2 * CHURN,
+            || {
+                for k in 0..CHURN {
+                    let id = EventId::new(NodeId::new(1), k);
+                    index.add(pattern, id);
+                    index.remove(pattern, id);
+                }
+            },
+        );
+        assert_eq!(
+            (before.count, before.hash),
+            (index.root(pattern).count, index.root(pattern).hash),
+            "add/remove churn restored the root aggregate"
+        );
+        out.push(result);
+    }
+    out
 }
 
 /// Broker-level matching under the client layer: `N` client

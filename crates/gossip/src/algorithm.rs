@@ -8,7 +8,7 @@
 use std::fmt;
 
 use eps_overlay::NodeId;
-use eps_pubsub::{Dispatcher, Event, EventId, LossRecord};
+use eps_pubsub::{Dispatcher, Event, EventId, LossRecord, PatternId, RangeRef};
 use eps_sim::Rng;
 
 use crate::message::{GossipAction, GossipMessage};
@@ -74,6 +74,15 @@ pub trait RecoveryAlgorithm: fmt::Debug + Send {
         } else {
             vec![GossipAction::Reply { to: from, events }]
         }
+    }
+
+    /// An out-of-band [`crate::Envelope::RangeRequest`] arrived: a
+    /// peer asks this dispatcher to refine hash-tree ranges of
+    /// `pattern`'s cache summary in its next gossip round. Only the
+    /// summary-reconciliation strategies react; the default ignores
+    /// it.
+    fn on_range_request(&mut self, from: NodeId, pattern: PatternId, ranges: &[RangeRef]) {
+        let _ = (from, pattern, ranges);
     }
 
     /// Number of outstanding `Lost` entries (0 for strategies without

@@ -35,6 +35,18 @@
 //! | 8    | `Request`               | n, n × fixed event id                      | 32 + 12·n         |
 //! | 9    | `Reply`                 | n, n × event body                          | Σ sizes, min 32   |
 //! | 10   | `CrossEvent`            | event body (below)                         | P/8 + 4·hops      |
+//! | 11   | `Gossip(SummaryDigest)` | gossiper, pattern, n, n × range summary, m, m × range detail | 32 + 21·n + Σ(9 + 12·ids) |
+//! | 12   | `RangeRequest`          | pattern, n, n × range ref                  | 32 + 5·n          |
+//!
+//! A *range summary* is fixed-width: level `u8`, index `u32` LE, count
+//! `u64` LE, hash `u64` LE — 21 bytes = [`SUMMARY_RANGE_BITS`]. A
+//! *range detail* is a fixed 9-byte header (level `u8`, index `u32`
+//! LE, id count `u32` LE = [`SUMMARY_DETAIL_BITS`]) followed by fixed
+//! 12-byte event ids (as in a `Request`). A *range ref* is level `u8`
+//! plus index `u32` LE — 5 bytes = [`RANGE_REF_BITS`]. Summary
+//! digests are the one gossip kind accounted exactly rather than at
+//! the flat event-payload rate, so they can never overflow and
+//! [`fit`] always leaves them alone.
 //!
 //! An *event body* is: seq, route length, route hops (fixed u32),
 //! pattern count, then (pattern, per-pattern seq) pairs. The source
@@ -51,7 +63,10 @@
 use std::sync::Arc;
 
 use eps_overlay::NodeId;
-use eps_pubsub::{Event, EventId, LossRecord, PatternId, PubSubMessage};
+use eps_pubsub::summary::LEAF_LEVEL;
+use eps_pubsub::{
+    Event, EventId, LossRecord, PatternId, PubSubMessage, RangeDetail, RangeRef, RangeSummary,
+};
 
 use crate::envelope::Envelope;
 use crate::message::GossipMessage;
@@ -68,6 +83,20 @@ pub const CONTROL_BITS: u64 = 256;
 /// Wire size of one event identifier in a `Request`, in bits: a
 /// 32-bit source plus a 64-bit sequence number, encoded fixed-width.
 pub const EVENT_ID_BITS: u64 = 96;
+
+/// Wire size of one hash-tree range aggregate in a summary digest, in
+/// bits: level (8) + index (32) + count (64) + XOR hash (64),
+/// fixed-width.
+pub const SUMMARY_RANGE_BITS: u64 = 168;
+
+/// Wire size of one expanded-range header in a summary digest, in
+/// bits: level (8) + index (32) + id count (32), fixed-width; the ids
+/// themselves follow at [`EVENT_ID_BITS`] each.
+pub const SUMMARY_DETAIL_BITS: u64 = 72;
+
+/// Wire size of one range reference in a `RangeRequest`, in bits:
+/// level (8) + index (32), fixed-width.
+pub const RANGE_REF_BITS: u64 = 40;
 
 /// A decoding or encoding failure. Encoding fails only on content
 /// that exceeds its accounted size ([`CodecError::Overflow`]) or an
@@ -139,6 +168,8 @@ const T_RANDOM_PULL: u8 = 7;
 const T_REQUEST: u8 = 8;
 const T_REPLY: u8 = 9;
 const T_CROSS_EVENT: u8 = 10;
+const T_SUMMARY: u8 = 11;
+const T_RANGE_REQUEST: u8 = 12;
 
 /// Upper bound on decoded list lengths (routes, digests, replies):
 /// rejects garbage that would otherwise ask for absurd allocations.
@@ -265,6 +296,39 @@ pub fn encode_into(env: &Envelope, payload_bits: u64, out: &mut Vec<u8>) -> Resu
                 put_event_body(out, event);
             }
         }
+        Envelope::Gossip(GossipMessage::SummaryDigest {
+            gossiper,
+            pattern,
+            ranges,
+            details,
+        }) => {
+            out.push(T_SUMMARY);
+            put_varint(out, u64::from(gossiper.value()));
+            put_varint(out, u64::from(pattern.value()));
+            put_varint(out, ranges.len() as u64);
+            for r in ranges.iter() {
+                put_range_ref(out, r.range);
+                out.extend_from_slice(&r.count.to_le_bytes());
+                out.extend_from_slice(&r.hash.to_le_bytes());
+            }
+            put_varint(out, details.len() as u64);
+            for d in details.iter() {
+                put_range_ref(out, d.range);
+                out.extend_from_slice(&(d.ids.len() as u32).to_le_bytes());
+                for id in &d.ids {
+                    out.extend_from_slice(&id.source().value().to_le_bytes());
+                    out.extend_from_slice(&id.seq().to_le_bytes());
+                }
+            }
+        }
+        Envelope::RangeRequest { pattern, ranges } => {
+            out.push(T_RANGE_REQUEST);
+            put_varint(out, u64::from(pattern.value()));
+            put_varint(out, ranges.len() as u64);
+            for &r in ranges {
+                put_range_ref(out, r);
+            }
+        }
     }
     if out.len() > target {
         return Err(CodecError::Overflow {
@@ -373,6 +437,49 @@ pub fn decode(buf: &[u8], payload_bits: u64) -> Result<Envelope, CodecError> {
             }
             Envelope::Reply(events)
         }
+        T_SUMMARY => {
+            let gossiper = cur.node()?;
+            let pattern = cur.pattern()?;
+            let nranges = cur.list_len()?;
+            let mut ranges = Vec::with_capacity(nranges);
+            for _ in 0..nranges {
+                let range = cur.range_ref()?;
+                let count = cur.u64_le()?;
+                let hash = cur.u64_le()?;
+                ranges.push(RangeSummary { range, count, hash });
+            }
+            let ndetails = cur.list_len()?;
+            let mut details = Vec::with_capacity(ndetails);
+            for _ in 0..ndetails {
+                let range = cur.range_ref()?;
+                let nids = cur.u32_le()?;
+                if u64::from(nids) > MAX_LIST {
+                    return Err(CodecError::Malformed("list length is implausible"));
+                }
+                let mut ids = Vec::with_capacity(nids as usize);
+                for _ in 0..nids {
+                    let source = NodeId::new(cur.u32_le()?);
+                    let seq = cur.u64_le()?;
+                    ids.push(EventId::new(source, seq));
+                }
+                details.push(RangeDetail { range, ids });
+            }
+            Envelope::Gossip(GossipMessage::SummaryDigest {
+                gossiper,
+                pattern,
+                ranges: Arc::new(ranges),
+                details: Arc::new(details),
+            })
+        }
+        T_RANGE_REQUEST => {
+            let pattern = cur.pattern()?;
+            let n = cur.list_len()?;
+            let mut ranges = Vec::with_capacity(n);
+            for _ in 0..n {
+                ranges.push(cur.range_ref()?);
+            }
+            Envelope::RangeRequest { pattern, ranges }
+        }
         other => return Err(CodecError::BadType(other)),
     };
     let expected = (env.wire_bits(payload_bits) / 8) as usize;
@@ -451,6 +558,11 @@ fn put_event_body(out: &mut Vec<u8>, event: &Event) {
     }
 }
 
+fn put_range_ref(out: &mut Vec<u8>, range: RangeRef) {
+    out.push(range.level());
+    out.extend_from_slice(&range.index().to_le_bytes());
+}
+
 fn put_losses(out: &mut Vec<u8>, lost: &[LossRecord]) {
     put_varint(out, lost.len() as u64);
     for rec in lost {
@@ -520,6 +632,18 @@ impl Cursor<'_> {
             return Err(CodecError::Malformed("list length is implausible"));
         }
         Ok(n as usize)
+    }
+
+    fn range_ref(&mut self) -> Result<RangeRef, CodecError> {
+        let level = self.u8()?;
+        let index = self.u32_le()?;
+        if level > LEAF_LEVEL {
+            return Err(CodecError::Malformed("range level too deep"));
+        }
+        if u64::from(index) >= 1u64 << (4 * u32::from(level)) {
+            return Err(CodecError::Malformed("range index out of range for level"));
+        }
+        Ok(RangeRef::new(level, index))
     }
 
     fn losses(&mut self) -> Result<Vec<LossRecord>, CodecError> {
@@ -652,6 +776,48 @@ mod tests {
             Envelope::Request(vec![EventId::new(NodeId::new(7), u64::MAX)]),
             Envelope::Reply(vec![]),
             Envelope::Reply(vec![event(0, 1), event(5, 2)]),
+            Envelope::Gossip(GossipMessage::SummaryDigest {
+                gossiper: NodeId::new(4),
+                pattern: PatternId::new(6),
+                ranges: Arc::new(vec![]),
+                details: Arc::new(vec![]),
+            }),
+            Envelope::Gossip(GossipMessage::SummaryDigest {
+                gossiper: NodeId::new(4),
+                pattern: PatternId::new(6),
+                ranges: Arc::new(vec![
+                    RangeSummary {
+                        range: RangeRef::ROOT,
+                        count: 42,
+                        hash: 0xdead_beef_cafe_f00d,
+                    },
+                    RangeSummary {
+                        range: RangeRef::new(3, 0xabc),
+                        count: 7,
+                        hash: u64::MAX,
+                    },
+                ]),
+                details: Arc::new(vec![
+                    RangeDetail {
+                        range: RangeRef::new(LEAF_LEVEL, 0xfffff),
+                        ids: (0..5)
+                            .map(|i| EventId::new(NodeId::new(i), 900 + u64::from(i)))
+                            .collect(),
+                    },
+                    RangeDetail {
+                        range: RangeRef::new(2, 0),
+                        ids: vec![],
+                    },
+                ]),
+            }),
+            Envelope::RangeRequest {
+                pattern: PatternId::new(6),
+                ranges: vec![],
+            },
+            Envelope::RangeRequest {
+                pattern: PatternId::new(6),
+                ranges: vec![RangeRef::ROOT, RangeRef::new(1, 15), RangeRef::new(5, 1)],
+            },
         ]
     }
 
@@ -770,6 +936,78 @@ mod tests {
         let empty = encode(&Envelope::Request(vec![]), P).unwrap();
         let one = encode(&Envelope::Request(vec![EventId::new(NodeId::new(1), 2)]), P).unwrap();
         assert_eq!(one.len() - empty.len(), (EVENT_ID_BITS / 8) as usize);
+    }
+
+    #[test]
+    fn summary_fixed_widths_match_their_accounted_constants() {
+        // One range aggregate = 21 bytes, one detail header = 9, one
+        // range ref = 5.
+        assert_eq!(SUMMARY_RANGE_BITS / 8, 21);
+        assert_eq!(SUMMARY_DETAIL_BITS / 8, 9);
+        assert_eq!(RANGE_REF_BITS / 8, 5);
+        let base = Envelope::RangeRequest {
+            pattern: PatternId::new(1),
+            ranges: vec![],
+        };
+        let one = Envelope::RangeRequest {
+            pattern: PatternId::new(1),
+            ranges: vec![RangeRef::new(2, 200)],
+        };
+        let grown = encode(&one, P).unwrap().len() - encode(&base, P).unwrap().len();
+        assert_eq!(grown, (RANGE_REF_BITS / 8) as usize);
+    }
+
+    #[test]
+    fn invalid_range_refs_are_rejected() {
+        // A level-1 range only has indices 0..16; index 16 is invalid.
+        let mut buf = vec![WIRE_VERSION, T_RANGE_REQUEST];
+        put_varint(&mut buf, 1); // pattern
+        put_varint(&mut buf, 1); // one range
+        buf.push(1); // level 1
+        buf.extend_from_slice(&16u32.to_le_bytes());
+        buf.resize((CONTROL_BITS / 8 + RANGE_REF_BITS / 8) as usize, 0);
+        assert_eq!(
+            decode(&buf, P).unwrap_err(),
+            CodecError::Malformed("range index out of range for level")
+        );
+        let mut deep = vec![WIRE_VERSION, T_RANGE_REQUEST];
+        put_varint(&mut deep, 1);
+        put_varint(&mut deep, 1);
+        deep.push(LEAF_LEVEL + 1);
+        deep.extend_from_slice(&0u32.to_le_bytes());
+        deep.resize((CONTROL_BITS / 8 + RANGE_REF_BITS / 8) as usize, 0);
+        assert_eq!(
+            decode(&deep, P).unwrap_err(),
+            CodecError::Malformed("range level too deep")
+        );
+    }
+
+    #[test]
+    fn summary_digests_never_overflow_the_codec() {
+        // The exact accounting means even a huge digest encodes at its
+        // own accounted size — fit() must leave it untouched.
+        let env = Envelope::Gossip(GossipMessage::SummaryDigest {
+            gossiper: NodeId::new(0),
+            pattern: PatternId::new(0),
+            ranges: Arc::new(
+                (0..200u32)
+                    .map(|i| RangeSummary {
+                        range: RangeRef::new(3, i),
+                        count: u64::from(i),
+                        hash: u64::from(i) * 77,
+                    })
+                    .collect(),
+            ),
+            details: Arc::new(vec![RangeDetail {
+                range: RangeRef::new(5, 9),
+                ids: (0..500).map(|i| EventId::new(NodeId::new(1), i)).collect(),
+            }]),
+        });
+        let bytes = encode(&env, P).unwrap();
+        assert_eq!(bytes.len() as u64 * 8, env.wire_bits(P));
+        let (fitted, dropped) = fit(env.clone(), P);
+        assert_eq!(dropped, 0);
+        assert_eq!(fitted, env);
     }
 
     #[test]

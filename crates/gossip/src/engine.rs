@@ -131,6 +131,15 @@ impl<D: DigestPolicy, S: SteeringPolicy> RecoveryAlgorithm for GossipEngine<D, S
         }
     }
 
+    fn on_range_request(
+        &mut self,
+        from: NodeId,
+        pattern: eps_pubsub::PatternId,
+        ranges: &[eps_pubsub::RangeRef],
+    ) {
+        self.digest.on_range_request(from, pattern, ranges);
+    }
+
     fn outstanding_losses(&self) -> usize {
         self.digest.outstanding_losses()
     }
@@ -199,7 +208,7 @@ mod tests {
             "manual-mux",
             config,
             NegativeDigest::new(&config),
-            MuxSteering::new(SourceSteering, PatternSteering),
+            MuxSteering::new(SourceSteering::default(), PatternSteering::default()),
         );
 
         let node = pull_node();
@@ -244,7 +253,7 @@ mod tests {
             "test",
             GossipConfig::default(),
             NegativeDigest::new(&GossipConfig::default()),
-            PatternSteering,
+            PatternSteering::default(),
         );
         let missing = EventId::new(NodeId::new(9), 99);
         let actions = engine.on_request(&node, NodeId::new(2), &[cached, missing]);
@@ -270,7 +279,7 @@ mod tests {
             "test",
             config,
             NegativeDigest::new(&config),
-            PatternSteering,
+            PatternSteering::default(),
         );
         assert!(engine.is_idle());
         engine.on_losses(&[record(0, 1, 3)]);
@@ -288,8 +297,12 @@ mod tests {
     fn unknown_wire_forms_are_dropped() {
         let node = pull_node();
         let config = GossipConfig::default();
-        let mut engine =
-            GossipEngine::new("test", config, NegativeDigest::new(&config), SourceSteering);
+        let mut engine = GossipEngine::new(
+            "test",
+            config,
+            NegativeDigest::new(&config),
+            SourceSteering::default(),
+        );
         let mut rng = RngFactory::new(1).stream("gossip");
         // Source steering does not speak RandomPull.
         let msg = GossipMessage::RandomPull {

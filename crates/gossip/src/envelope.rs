@@ -15,9 +15,11 @@
 //!   requested event id; a reply carries full event copies, with the
 //!   same fixed floor.
 
-use eps_pubsub::{Event, EventId, PubSubMessage, ROUTE_HOP_BITS};
+use eps_pubsub::{Event, EventId, PatternId, PubSubMessage, RangeRef, ROUTE_HOP_BITS};
 
-use crate::codec::{CONTROL_BITS, EVENT_ID_BITS};
+use crate::codec::{
+    CONTROL_BITS, EVENT_ID_BITS, RANGE_REF_BITS, SUMMARY_DETAIL_BITS, SUMMARY_RANGE_BITS,
+};
 use crate::message::GossipMessage;
 
 /// Which network a message travels on: the routing-view overlay links
@@ -53,6 +55,15 @@ pub enum Envelope {
     Request(Vec<EventId>),
     /// An out-of-band retransmission carrying full event copies.
     Reply(Vec<Event>),
+    /// An out-of-band summary-refinement request: asks a gossiper to
+    /// expand the given hash-tree ranges of `pattern` in its next
+    /// round (summary reconciliation's recursion step).
+    RangeRequest {
+        /// The pattern whose summary disagreed.
+        pattern: PatternId,
+        /// The ranges to expand.
+        ranges: Vec<RangeRef>,
+    },
 }
 
 impl Envelope {
@@ -61,7 +72,9 @@ impl Envelope {
         match self {
             Envelope::PubSub(_) | Envelope::Gossip(_) => Channel::Tree,
             Envelope::CrossEvent(_) => Channel::Cross,
-            Envelope::Request(_) | Envelope::Reply(_) => Channel::OutOfBand,
+            Envelope::Request(_) | Envelope::Reply(_) | Envelope::RangeRequest { .. } => {
+                Channel::OutOfBand
+            }
         }
     }
 
@@ -83,8 +96,26 @@ impl Envelope {
             Envelope::Gossip(GossipMessage::SourcePull { route, .. }) => {
                 event_payload_bits + ROUTE_HOP_BITS * route.len() as u64
             }
+            // Summary digests are the exception to the flat-payload
+            // rule: their whole point is a wire cost proportional to
+            // what is actually carried — a fixed header plus each
+            // range aggregate and each expanded id — so they are
+            // accounted exactly, not at the event-payload flat rate.
+            Envelope::Gossip(GossipMessage::SummaryDigest {
+                ranges, details, ..
+            }) => {
+                CONTROL_BITS
+                    + SUMMARY_RANGE_BITS * ranges.len() as u64
+                    + details
+                        .iter()
+                        .map(|d| SUMMARY_DETAIL_BITS + EVENT_ID_BITS * d.ids.len() as u64)
+                        .sum::<u64>()
+            }
             Envelope::Gossip(_) => event_payload_bits,
             Envelope::Request(ids) => CONTROL_BITS + EVENT_ID_BITS * ids.len() as u64,
+            Envelope::RangeRequest { ranges, .. } => {
+                CONTROL_BITS + RANGE_REF_BITS * ranges.len() as u64
+            }
             Envelope::Reply(events) => events
                 .iter()
                 .map(|e| e.wire_bits(event_payload_bits))
@@ -187,6 +218,57 @@ mod tests {
             Envelope::CrossEvent(event_with_route(0)).channel(),
             Channel::Cross
         );
+    }
+
+    #[test]
+    fn summary_digests_cost_exactly_what_they_carry() {
+        use eps_pubsub::{RangeDetail, RangeSummary};
+
+        let root = RangeRef::ROOT;
+        let empty = Envelope::Gossip(GossipMessage::SummaryDigest {
+            gossiper: NodeId::new(0),
+            pattern: PatternId::new(0),
+            ranges: Arc::new(vec![]),
+            details: Arc::new(vec![]),
+        });
+        assert_eq!(empty.wire_bits(1000), 256);
+        let digest = Envelope::Gossip(GossipMessage::SummaryDigest {
+            gossiper: NodeId::new(0),
+            pattern: PatternId::new(0),
+            ranges: Arc::new(vec![
+                RangeSummary::empty(root),
+                RangeSummary::empty(root.child(3)),
+            ]),
+            details: Arc::new(vec![
+                RangeDetail {
+                    range: root.child(1),
+                    ids: vec![EventId::new(NodeId::new(0), 7); 5],
+                },
+                RangeDetail {
+                    range: root.child(2),
+                    ids: vec![],
+                },
+            ]),
+        });
+        // Header + 2 aggregates + 2 detail headers + 5 ids — and, per
+        // the family's design goal, independent of the payload size.
+        assert_eq!(digest.wire_bits(1000), 256 + 2 * 168 + 2 * 72 + 5 * 96);
+        assert_eq!(digest.wire_bits(8000), digest.wire_bits(1000));
+    }
+
+    #[test]
+    fn range_requests_cost_header_plus_ranges() {
+        let empty = Envelope::RangeRequest {
+            pattern: PatternId::new(3),
+            ranges: vec![],
+        };
+        assert_eq!(empty.wire_bits(1000), 256);
+        assert_eq!(empty.channel(), Channel::OutOfBand);
+        let req = Envelope::RangeRequest {
+            pattern: PatternId::new(3),
+            ranges: vec![RangeRef::ROOT.child(0), RangeRef::ROOT.child(9)],
+        };
+        assert_eq!(req.wire_bits(1000), 256 + 2 * 40);
     }
 
     #[test]

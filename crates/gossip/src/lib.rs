@@ -56,6 +56,7 @@ mod lost;
 mod message;
 mod policy;
 mod registry;
+mod summary;
 
 pub use algorithm::{NoRecovery, RecoveryAlgorithm};
 pub use codec::CodecError;
@@ -69,3 +70,4 @@ pub use policy::{
     PatternSteering, PositiveDigest, RandomSteering, SourceSteering, SteeringPolicy,
 };
 pub use registry::{Algorithm, AlgorithmBuilder, AlgorithmDef, ParseAlgorithmError};
+pub use summary::{SummaryDigestPolicy, SummaryMode, DETAIL_THRESHOLD, MAX_QUEUED_RANGES};

@@ -211,18 +211,37 @@ impl LostBuffer {
     /// The distinct patterns with outstanding entries, in order
     /// (ascending pattern id — dense index order).
     pub fn patterns(&self) -> Vec<PatternId> {
-        self.by_pattern
-            .iter()
-            .enumerate()
-            .filter(|(_, set)| !set.is_empty())
-            .map(|(idx, _)| PatternId::new(idx as u16))
-            .collect()
+        let mut out = Vec::new();
+        self.patterns_into(&mut out);
+        out
+    }
+
+    /// Clears `out` and fills it with [`LostBuffer::patterns`] — the
+    /// allocation-free form the steering scratch buffers reuse every
+    /// gossip round.
+    pub fn patterns_into(&self, out: &mut Vec<PatternId>) {
+        out.clear();
+        out.extend(
+            self.by_pattern
+                .iter()
+                .enumerate()
+                .filter(|(_, set)| !set.is_empty())
+                .map(|(idx, _)| PatternId::new(idx as u16)),
+        );
     }
 
     /// The distinct sources with outstanding entries, in order
     /// (ascending node id — `BTreeMap` key order).
     pub fn sources(&self) -> Vec<NodeId> {
-        self.source_counts.keys().copied().collect()
+        let mut out = Vec::new();
+        self.sources_into(&mut out);
+        out
+    }
+
+    /// Clears `out` and fills it with [`LostBuffer::sources`].
+    pub fn sources_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.source_counts.keys().copied());
     }
 
     /// Selects up to `limit` outstanding entries for `pattern`,

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use eps_overlay::NodeId;
-use eps_pubsub::{Event, EventId, LossRecord, PatternId};
+use eps_pubsub::{Event, EventId, LossRecord, PatternId, RangeDetail, RangeRef, RangeSummary};
 
 /// A gossip message travelling the dispatching tree.
 ///
@@ -57,6 +57,29 @@ pub enum GossipMessage {
         /// Remaining hop budget.
         ttl: u32,
     },
+    /// Summary reconciliation: hash-range tree aggregates of the
+    /// gossiper's cache for `pattern`, instead of a linear id list.
+    /// Routed and forwarded exactly like a push digest; receivers
+    /// compare each range against their own tree and ask the gossiper
+    /// (out-of-band, via [`crate::Envelope::RangeRequest`]) to refine
+    /// the ones that differ — the refinement arrives in the gossiper's
+    /// *next* round, so a mismatch narrows across successive rounds
+    /// rather than assuming a synchronous RPC.
+    SummaryDigest {
+        /// The dispatcher that started the round.
+        gossiper: NodeId,
+        /// The pattern the digest (and its routing) is labelled with.
+        pattern: PatternId,
+        /// Compact range aggregates (always at least the root; plus
+        /// the children of any ranges peers asked to refine). Shared,
+        /// since the digest is forwarded unchanged along the tree.
+        ranges: Arc<Vec<RangeSummary>>,
+        /// Fully expanded ranges: complete id lists for ranges small
+        /// enough that listing beats recursion — including empty
+        /// lists, which tell pull-mode receivers the gossiper holds
+        /// nothing there.
+        details: Arc<Vec<RangeDetail>>,
+    },
 }
 
 impl GossipMessage {
@@ -66,7 +89,8 @@ impl GossipMessage {
             GossipMessage::PushDigest { gossiper, .. }
             | GossipMessage::PullDigest { gossiper, .. }
             | GossipMessage::SourcePull { gossiper, .. }
-            | GossipMessage::RandomPull { gossiper, .. } => gossiper,
+            | GossipMessage::RandomPull { gossiper, .. }
+            | GossipMessage::SummaryDigest { gossiper, .. } => gossiper,
         }
     }
 }
@@ -98,6 +122,17 @@ pub enum GossipAction {
         /// The event copies.
         events: Vec<Event>,
     },
+    /// Ask the gossiper, out-of-band, to refine the given summary
+    /// ranges in its next round (reaction to a mismatching
+    /// [`GossipMessage::SummaryDigest`] aggregate).
+    RequestDetail {
+        /// The gossiper whose summary disagreed.
+        to: NodeId,
+        /// The pattern the summary was about.
+        pattern: PatternId,
+        /// The ranges to expand.
+        ranges: Vec<RangeRef>,
+    },
 }
 
 #[cfg(test)]
@@ -128,6 +163,12 @@ mod tests {
                 gossiper: g,
                 lost: vec![],
                 ttl: 3,
+            },
+            GossipMessage::SummaryDigest {
+                gossiper: g,
+                pattern: PatternId::new(0),
+                ranges: Arc::new(vec![]),
+                details: Arc::new(vec![]),
             },
         ];
         assert!(msgs.iter().all(|m| m.gossiper() == g));

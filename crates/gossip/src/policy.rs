@@ -28,7 +28,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use eps_overlay::NodeId;
-use eps_pubsub::{Dispatcher, Event, EventId, LossRecord, PatternId};
+use eps_pubsub::{
+    Dispatcher, Event, EventId, LossRecord, PatternId, RangeDetail, RangeRef, RangeSummary,
+};
 use eps_sim::Rng;
 
 use crate::config::GossipConfig;
@@ -43,6 +45,18 @@ pub enum DigestBody {
     /// "I am missing these events" — outstanding `Lost` entries
     /// (pull).
     Negative(Vec<LossRecord>),
+    /// "My cache for this pattern aggregates to these hashes" — the
+    /// hash-range tree digest of summary reconciliation: compact range
+    /// aggregates plus fully expanded ranges (see
+    /// [`crate::SummaryDigestPolicy`]). Both halves are shared since
+    /// the digest is forwarded unchanged along the tree.
+    Summary {
+        /// Range aggregates (the root, plus children of ranges peers
+        /// asked to refine).
+        ranges: Arc<Vec<RangeSummary>>,
+        /// Fully expanded ranges with their complete id lists.
+        details: Arc<Vec<RangeDetail>>,
+    },
 }
 
 impl DigestBody {
@@ -61,6 +75,12 @@ impl DigestBody {
                 gossiper,
                 pattern,
                 lost,
+            },
+            DigestBody::Summary { ranges, details } => GossipMessage::SummaryDigest {
+                gossiper,
+                pattern,
+                ranges,
+                details,
             },
         }
     }
@@ -91,9 +111,27 @@ pub trait DigestPolicy: fmt::Debug + Send {
     /// The patterns a pattern-steered round may be labelled with.
     fn pattern_candidates(&self, node: &Dispatcher) -> Vec<PatternId>;
 
+    /// Clears `out` and fills it with [`DigestPolicy::pattern_candidates`],
+    /// same contents in the same order. The steering policies call this
+    /// once per gossip round through a reused scratch buffer, so
+    /// implementations should override it to fill without allocating;
+    /// the default delegates to the allocating form.
+    fn pattern_candidates_into(&self, node: &Dispatcher, out: &mut Vec<PatternId>) {
+        out.clear();
+        out.extend(self.pattern_candidates(node));
+    }
+
     /// The sources a source-steered round may target.
     fn source_candidates(&self) -> Vec<NodeId> {
         Vec::new()
+    }
+
+    /// Clears `out` and fills it with [`DigestPolicy::source_candidates`]
+    /// (same per-round scratch-buffer contract as
+    /// [`DigestPolicy::pattern_candidates_into`]).
+    fn source_candidates_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.source_candidates());
     }
 
     /// Builds the digest for a round labelled with `pattern`, or
@@ -101,6 +139,19 @@ pub trait DigestPolicy: fmt::Debug + Send {
     /// (positive digests are never truncated — the paper's overhead
     /// accounting charges every gossip message one event-size
     /// regardless).
+    ///
+    /// **Truncation contract for negative digests.** When more than
+    /// `limit` entries are outstanding for `pattern`, implementations
+    /// must select the *first* `limit` entries in (source, seq) order —
+    /// the oldest losses per source — deterministically, never a random
+    /// or insertion-ordered subset. Oldest-first matters because caches
+    /// evict FIFO: the oldest losses are the ones closest to becoming
+    /// unrecoverable, so they go on the wire first. The newer entries
+    /// are *deferred*, never hidden: selection charges one attempt to
+    /// each selected entry, and entries that exhaust `max_attempts` are
+    /// dropped from the buffer, so every over-limit entry surfaces in a
+    /// later round once the entries ahead of it are recovered or
+    /// abandoned (pinned by a regression test in this module).
     fn build_for_pattern(
         &mut self,
         node: &Dispatcher,
@@ -148,6 +199,14 @@ pub trait DigestPolicy: fmt::Debug + Send {
     /// An out-of-band request arrived (push's activity signal for
     /// adaptive gossip).
     fn note_request(&mut self) {}
+
+    /// An out-of-band [`crate::Envelope::RangeRequest`] arrived: `from`
+    /// asks this gossiper to refine `ranges` of `pattern`'s summary in
+    /// its next round. Only summary digests react; everything else
+    /// ignores it.
+    fn on_range_request(&mut self, from: NodeId, pattern: PatternId, ranges: &[RangeRef]) {
+        let _ = (from, pattern, ranges);
+    }
 
     /// Outstanding `Lost` entries (0 without a `Lost` buffer).
     fn outstanding_losses(&self) -> usize {
@@ -328,6 +387,11 @@ impl DigestPolicy for PositiveDigest {
         node.table().all_patterns().collect()
     }
 
+    fn pattern_candidates_into(&self, node: &Dispatcher, out: &mut Vec<PatternId>) {
+        out.clear();
+        out.extend(node.table().all_patterns());
+    }
+
     fn build_for_pattern(
         &mut self,
         node: &Dispatcher,
@@ -439,8 +503,16 @@ impl DigestPolicy for NegativeDigest {
         self.lost.patterns()
     }
 
+    fn pattern_candidates_into(&self, _node: &Dispatcher, out: &mut Vec<PatternId>) {
+        self.lost.patterns_into(out);
+    }
+
     fn source_candidates(&self) -> Vec<NodeId> {
         self.lost.sources()
+    }
+
+    fn source_candidates_into(&self, out: &mut Vec<NodeId>) {
+        self.lost.sources_into(out);
     }
 
     fn build_for_pattern(
@@ -576,11 +648,27 @@ impl DigestPolicy for AlternatingDigest {
         }
     }
 
+    fn pattern_candidates_into(&self, node: &Dispatcher, out: &mut Vec<PatternId>) {
+        if self.positive_phase {
+            self.positive.pattern_candidates_into(node, out);
+        } else {
+            self.negative.pattern_candidates_into(node, out);
+        }
+    }
+
     fn source_candidates(&self) -> Vec<NodeId> {
         if self.positive_phase {
             self.positive.source_candidates()
         } else {
             self.negative.source_candidates()
+        }
+    }
+
+    fn source_candidates_into(&self, out: &mut Vec<NodeId>) {
+        if self.positive_phase {
+            self.positive.source_candidates_into(out);
+        } else {
+            self.negative.source_candidates_into(out);
         }
     }
 
@@ -633,6 +721,8 @@ impl DigestPolicy for AlternatingDigest {
         match body {
             DigestBody::Positive(_) => self.positive.absorb(node, gossiper, pattern, body),
             DigestBody::Negative(_) => self.negative.absorb(node, gossiper, pattern, body),
+            // Summary bodies belong to the summary family only.
+            DigestBody::Summary { .. } => None,
         }
     }
 
@@ -671,8 +761,13 @@ impl DigestPolicy for AlternatingDigest {
 /// it were an event matching that pattern, except that each hop
 /// forwards it only to a random subset of the matching neighbors
 /// (`P_forward`). Used by push, subscriber-pull, and the hybrid.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PatternSteering;
+#[derive(Clone, Debug, Default)]
+pub struct PatternSteering {
+    /// Per-round candidate scratch, refilled via
+    /// [`DigestPolicy::pattern_candidates_into`] so the steady-state
+    /// round allocates nothing.
+    candidates: Vec<PatternId>,
+}
 
 impl SteeringPolicy for PatternSteering {
     fn round(
@@ -683,8 +778,8 @@ impl SteeringPolicy for PatternSteering {
         config: &GossipConfig,
         rng: &mut Rng,
     ) -> Vec<GossipAction> {
-        let candidates = digest.pattern_candidates(node);
-        let Some(&pattern) = rng.choose(&candidates) else {
+        digest.pattern_candidates_into(node, &mut self.candidates);
+        let Some(&pattern) = rng.choose(&self.candidates) else {
             return Vec::new(); // Nothing to gossip about: skip the round.
         };
         let Some(body) = digest.build_for_pattern(node, pattern, config.digest_max) else {
@@ -721,6 +816,12 @@ impl SteeringPolicy for PatternSteering {
                 pattern,
                 lost,
             } => (gossiper, pattern, DigestBody::Negative(lost)),
+            GossipMessage::SummaryDigest {
+                gossiper,
+                pattern,
+                ranges,
+                details,
+            } => (gossiper, pattern, DigestBody::Summary { ranges, details }),
             _ => return None,
         };
         let Some(absorbed) = digest.absorb(node, gossiper, Some(pattern), body) else {
@@ -749,8 +850,12 @@ impl SteeringPolicy for PatternSteering {
 /// reconfiguration — the two paths "share at least the first portion
 /// or, in the worst case, the publisher" — so intermediate caches
 /// often short-circuit the recovery.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SourceSteering;
+#[derive(Clone, Debug, Default)]
+pub struct SourceSteering {
+    /// Per-round candidate scratch (same contract as
+    /// [`PatternSteering`]'s).
+    sources: Vec<NodeId>,
+}
 
 impl SteeringPolicy for SourceSteering {
     fn round(
@@ -761,13 +866,13 @@ impl SteeringPolicy for SourceSteering {
         config: &GossipConfig,
         rng: &mut Rng,
     ) -> Vec<GossipAction> {
-        let sources = digest.source_candidates();
-        // Only sources we know a route back to are actionable this round.
-        let routable: Vec<NodeId> = sources
-            .into_iter()
-            .filter(|&s| node.routes().route_to(s).is_some())
-            .collect();
-        let Some(&source) = rng.choose(&routable) else {
+        digest.source_candidates_into(&mut self.sources);
+        // Only sources we know a route back to are actionable this
+        // round (in-place retain keeps the candidate order, so the RNG
+        // draw is the one the allocating path made).
+        self.sources
+            .retain(|&s| node.routes().route_to(s).is_some());
+        let Some(&source) = rng.choose(&self.sources) else {
             return Vec::new();
         };
         let Some(DigestBody::Negative(entries)) =
@@ -1212,6 +1317,50 @@ mod tests {
     }
 
     #[test]
+    fn negative_digest_truncates_oldest_first_and_never_starves_newest() {
+        // The truncation contract documented on
+        // `DigestPolicy::build_for_pattern`: over-limit digests carry
+        // the oldest (lowest (source, seq)) entries, and every deferred
+        // newer entry still reaches the wire in a later round.
+        let config = GossipConfig {
+            max_attempts: 2,
+            ..cfg()
+        };
+        let node = Dispatcher::new(NodeId::new(1), DispatcherConfig::default());
+        let mut digest = NegativeDigest::new(&config);
+        let p = PatternId::new(1);
+        for seq in 0..10 {
+            digest.on_losses(&[record(0, 1, seq)]);
+        }
+        match digest.build_for_pattern(&node, p, 4) {
+            Some(DigestBody::Negative(entries)) => {
+                let oldest: Vec<LossRecord> = (0..4).map(|s| record(0, 1, s)).collect();
+                assert_eq!(entries, oldest, "truncation must keep the oldest first");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Keep gossiping without any recovery: attempts expire the
+        // entries at the front of the order, and every newer entry —
+        // including the newest — surfaces before the buffer drains.
+        let mut seen_on_wire: Vec<u64> = vec![];
+        for _ in 0..20 {
+            if let Some(DigestBody::Negative(entries)) = digest.build_for_pattern(&node, p, 4) {
+                seen_on_wire.extend(entries.iter().map(|r| r.seq));
+            }
+            if digest.outstanding_losses() == 0 {
+                break;
+            }
+        }
+        assert_eq!(digest.outstanding_losses(), 0);
+        for seq in 0..10 {
+            assert!(
+                seen_on_wire.contains(&seq),
+                "deferred entry seq {seq} never reached the wire: {seen_on_wire:?}"
+            );
+        }
+    }
+
+    #[test]
     fn alternating_digest_flips_phase_each_round() {
         let mut node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
         let p = PatternId::new(1);
@@ -1258,7 +1407,7 @@ mod tests {
     fn pattern_steering_skips_round_without_candidates() {
         let node = Dispatcher::new(NodeId::new(0), DispatcherConfig::default());
         let mut digest = NegativeDigest::new(&cfg());
-        let mut steering = PatternSteering;
+        let mut steering = PatternSteering::default();
         let mut rng = RngFactory::new(3).stream("gossip");
         assert!(steering
             .round(&mut digest, &node, &[], &cfg(), &mut rng)
@@ -1273,7 +1422,7 @@ mod tests {
         node.on_subscribe(p, NodeId::new(2), &[]);
         let mut digest = NegativeDigest::new(&cfg());
         digest.on_losses(&[record(7, 1, 0)]);
-        let mut steering = PatternSteering;
+        let mut steering = PatternSteering::default();
         let mut rng = RngFactory::new(1).stream("gossip");
         let actions = steering.round(&mut digest, &node, &[], &cfg(), &mut rng);
         assert_eq!(actions.len(), 1);
@@ -1305,7 +1454,7 @@ mod tests {
         node.on_event(e, Some(NodeId::new(3)));
         let mut digest = NegativeDigest::new(&cfg());
         digest.on_losses(&[record(0, 1, 5)]);
-        let mut steering = SourceSteering;
+        let mut steering = SourceSteering::default();
         let mut rng = RngFactory::new(1).stream("gossip");
         let actions = steering.round(&mut digest, &node, &[], &cfg(), &mut rng);
         assert_eq!(actions.len(), 1);
@@ -1329,7 +1478,7 @@ mod tests {
         let node = Dispatcher::new(NodeId::new(5), DispatcherConfig::default());
         let mut digest = NegativeDigest::new(&cfg());
         digest.on_losses(&[record(7, 1, 0)]);
-        let mut steering = SourceSteering;
+        let mut steering = SourceSteering::default();
         let mut rng = RngFactory::new(1).stream("gossip");
         assert!(steering
             .round(&mut digest, &node, &[], &cfg(), &mut rng)
@@ -1411,7 +1560,7 @@ mod tests {
             ..GossipConfig::default()
         };
         let mut digest = NegativeDigest::new(&config);
-        let mut mux = MuxSteering::new(SourceSteering, PatternSteering);
+        let mut mux = MuxSteering::new(SourceSteering::default(), PatternSteering::default());
         let mut rng = RngFactory::new(9).stream("gossip");
         let (mut saw_pull, mut saw_source) = (false, false);
         for seq in 0..200u64 {
@@ -1448,7 +1597,7 @@ mod tests {
         };
         let mut digest = NegativeDigest::new(&config);
         digest.on_losses(&[record(0, 1, 5)]);
-        let mut mux = MuxSteering::new(SourceSteering, PatternSteering);
+        let mut mux = MuxSteering::new(SourceSteering::default(), PatternSteering::default());
         let mut rng = RngFactory::new(9).stream("gossip");
         let actions = mux.round(&mut digest, &node, &[], &config, &mut rng);
         assert!(
@@ -1467,7 +1616,7 @@ mod tests {
     fn mux_steering_skips_round_without_work() {
         let node = Dispatcher::new(NodeId::new(5), DispatcherConfig::default());
         let mut digest = NegativeDigest::new(&cfg());
-        let mut mux = MuxSteering::new(SourceSteering, PatternSteering);
+        let mut mux = MuxSteering::new(SourceSteering::default(), PatternSteering::default());
         let mut rng = RngFactory::new(9).stream("gossip");
         assert!(mux
             .round(&mut digest, &node, &[], &cfg(), &mut rng)

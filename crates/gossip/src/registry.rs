@@ -19,10 +19,17 @@
 //! | `combined-pull`   | negative              | mux(source, pattern)          |
 //! | `publisher-pull`  | negative              | source                        |
 //! | `push-pull`       | alternating pos/neg   | pattern                       |
+//! | `summary-push`    | summary (push mode)   | pattern                       |
+//! | `summary-pull`    | summary (pull mode)   | pattern                       |
 //!
 //! `push-pull` is the first dividend of the decomposition: a hybrid
 //! strategy registered purely by composing existing stages — no new
-//! wire format, no new algorithm struct.
+//! wire format, no new algorithm struct. The `summary-*` extensions
+//! (aliases `merkle-push` / `merkle-pull`) replace the linear id list
+//! with hash-range tree aggregates, making anti-entropy wire cost
+//! sublinear in cache size; they require the dispatcher to maintain a
+//! [`eps_pubsub::SummaryIndex`], declared via
+//! [`Algorithm::needs_summary_index`].
 
 use std::fmt;
 use std::str::FromStr;
@@ -35,6 +42,7 @@ use crate::policy::{
     AlternatingDigest, MuxSteering, NegativeDigest, PatternSteering, PositiveDigest,
     RandomSteering, SourceSteering,
 };
+use crate::summary::SummaryDigestPolicy;
 
 /// Constructor for per-dispatcher strategy instances.
 pub type AlgorithmBuilder = dyn Fn(GossipConfig) -> Box<dyn RecoveryAlgorithm> + Send + Sync;
@@ -53,6 +61,10 @@ pub struct AlgorithmDef {
     /// Whether event messages must record their route (source steering
     /// reverses it).
     pub needs_route_recording: bool,
+    /// Whether dispatchers must maintain the incremental hash-range
+    /// [`eps_pubsub::SummaryIndex`] over their event cache (the
+    /// summary-reconciliation strategies compare and refine it).
+    pub needs_summary_index: bool,
     /// Builds a fresh per-dispatcher instance.
     pub build: Arc<AlgorithmBuilder>,
 }
@@ -64,6 +76,7 @@ impl fmt::Debug for AlgorithmDef {
             .field("aliases", &self.aliases)
             .field("needs_publisher_cache", &self.needs_publisher_cache)
             .field("needs_route_recording", &self.needs_route_recording)
+            .field("needs_summary_index", &self.needs_summary_index)
             .finish_non_exhaustive()
     }
 }
@@ -169,6 +182,12 @@ impl Algorithm {
         self.0.needs_route_recording
     }
 
+    /// Whether dispatchers must maintain the incremental cache summary
+    /// index for this strategy.
+    pub fn needs_summary_index(&self) -> bool {
+        self.0.needs_summary_index
+    }
+
     /// Builds a fresh per-dispatcher instance of this strategy.
     ///
     /// # Panics
@@ -213,6 +232,19 @@ impl Algorithm {
     /// negative digests on pattern steering.
     pub fn push_pull() -> Algorithm {
         Algorithm::named("push-pull").expect("built-in")
+    }
+
+    /// Summary reconciliation, push mode (extension): hash-range tree
+    /// digests on pattern steering, receivers fetch their deficit.
+    pub fn summary_push() -> Algorithm {
+        Algorithm::named("summary-push").expect("built-in")
+    }
+
+    /// Summary reconciliation, pull mode (extension): hash-range tree
+    /// digests on pattern steering, receivers serve the gossiper's
+    /// deficit.
+    pub fn summary_pull() -> Algorithm {
+        Algorithm::named("summary-pull").expect("built-in")
     }
 }
 
@@ -296,6 +328,22 @@ fn def(
         aliases: aliases.iter().map(|s| (*s).to_owned()).collect(),
         needs_publisher_cache: needs_source_infra,
         needs_route_recording: needs_source_infra,
+        needs_summary_index: false,
+        build: Arc::new(build),
+    }))
+}
+
+fn summary_def(
+    name: &str,
+    aliases: &[&str],
+    build: impl Fn(GossipConfig) -> Box<dyn RecoveryAlgorithm> + Send + Sync + 'static,
+) -> Algorithm {
+    Algorithm(Arc::new(AlgorithmDef {
+        name: name.to_owned(),
+        aliases: aliases.iter().map(|s| (*s).to_owned()).collect(),
+        needs_publisher_cache: false,
+        needs_route_recording: false,
+        needs_summary_index: true,
         build: Arc::new(build),
     }))
 }
@@ -318,7 +366,7 @@ fn builtins() -> Vec<Algorithm> {
                 "push",
                 cfg,
                 PositiveDigest::new(),
-                PatternSteering,
+                PatternSteering::default(),
             ))
         }),
         def("subscriber-pull", &["sub-pull"], false, |cfg| {
@@ -326,7 +374,7 @@ fn builtins() -> Vec<Algorithm> {
                 "subscriber-pull",
                 cfg,
                 NegativeDigest::new(&cfg),
-                PatternSteering,
+                PatternSteering::default(),
             ))
         }),
         def("combined-pull", &["combined"], true, |cfg| {
@@ -334,7 +382,7 @@ fn builtins() -> Vec<Algorithm> {
                 "combined-pull",
                 cfg,
                 NegativeDigest::new(&cfg),
-                MuxSteering::new(SourceSteering, PatternSteering),
+                MuxSteering::new(SourceSteering::default(), PatternSteering::default()),
             ))
         }),
         def("publisher-pull", &["pub-pull"], true, |cfg| {
@@ -342,7 +390,7 @@ fn builtins() -> Vec<Algorithm> {
                 "publisher-pull",
                 cfg,
                 NegativeDigest::new(&cfg),
-                SourceSteering,
+                SourceSteering::default(),
             ))
         }),
         def("push-pull", &["hybrid"], false, |cfg| {
@@ -350,7 +398,23 @@ fn builtins() -> Vec<Algorithm> {
                 "push-pull",
                 cfg,
                 AlternatingDigest::new(&cfg),
-                PatternSteering,
+                PatternSteering::default(),
+            ))
+        }),
+        summary_def("summary-push", &["merkle-push"], |cfg| {
+            Box::new(GossipEngine::new(
+                "summary-push",
+                cfg,
+                SummaryDigestPolicy::push(&cfg),
+                PatternSteering::default(),
+            ))
+        }),
+        summary_def("summary-pull", &["merkle-pull"], |cfg| {
+            Box::new(GossipEngine::new(
+                "summary-pull",
+                cfg,
+                SummaryDigestPolicy::pull(&cfg),
+                PatternSteering::default(),
             ))
         }),
     ]
@@ -416,6 +480,30 @@ mod tests {
     }
 
     #[test]
+    fn summary_entries_declare_their_index_and_stay_out_of_paper_order() {
+        for algo in [Algorithm::summary_push(), Algorithm::summary_pull()] {
+            assert!(algo.needs_summary_index());
+            assert!(!algo.needs_publisher_cache());
+            assert!(!algo.needs_route_recording());
+            assert!(
+                !Algorithm::paper().contains(&algo),
+                "extensions must not perturb paper reproductions"
+            );
+        }
+        for paper in Algorithm::paper() {
+            assert!(!paper.needs_summary_index());
+        }
+        assert_eq!(
+            Algorithm::named("merkle-push").unwrap(),
+            Algorithm::summary_push()
+        );
+        assert_eq!(
+            Algorithm::named("Merkle-Pull").unwrap(),
+            Algorithm::summary_pull()
+        );
+    }
+
+    #[test]
     fn build_constructs_every_entry() {
         for algo in Algorithm::all() {
             let instance = algo.build(GossipConfig::default());
@@ -432,6 +520,7 @@ mod tests {
             aliases: vec!["trp".to_owned()],
             needs_publisher_cache: false,
             needs_route_recording: false,
+            needs_summary_index: false,
             build: Arc::new(|cfg| {
                 Box::new(GossipEngine::new(
                     "test-random-push",

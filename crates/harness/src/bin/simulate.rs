@@ -56,6 +56,7 @@ fn main() -> ExitCode {
                 "--rho" => {
                     config.reconfig_interval = Some(SimTime::from_secs_f64(parse(&value()?)?))
                 }
+                "--payload-bits" => config.event_payload_bits = parse(&value()?)?,
                 "--p-forward" => config.gossip.p_forward = parse(&value()?)?,
                 "--p-source" => config.gossip.p_source = parse(&value()?)?,
                 "--adaptive" => {
@@ -130,6 +131,14 @@ fn main() -> ExitCode {
             r.recovery_latency_mean, r.recovery_latency_p95
         );
         println!("  outstanding losses     {:>10}", r.outstanding_losses);
+        // The anti-entropy wire-cost axis: digests, out-of-band
+        // requests, and the control total the summary-reconciliation
+        // evaluation compares on (replies carry event copies and are
+        // excluded from the control figure).
+        println!("  gossip wire bits       {:>10}", r.gossip_wire_bits);
+        println!("  request wire bits      {:>10}", r.request_wire_bits);
+        println!("  reply wire bits        {:>10}", r.reply_wire_bits);
+        println!("  recovery control bits  {:>10}", r.recovery_control_bits());
         if config.overlay != eps_overlay::OverlayKind::Tree || r.duplicate_suppressed > 0 {
             println!("  duplicates suppressed  {:>10}", r.duplicate_suppressed);
         }
@@ -163,6 +172,7 @@ fn print_usage() {
          \t[--overlay tree|ba|ws] [--max-degree D]\n\
          \t[--pi-max P] [--publish-rate R] [--gossip-interval T] [--duration D]\n\
          \t[--rho RHO] [--churn C] [--p-forward P] [--p-source P] [--seed S] [--adaptive]\n\
+         \t[--payload-bits P]\n\
          \t[--patterns PI] [--patterns-per-node P] [--clients C] [--zipf S]\n\
          \t[--jobs N] [--shards K]\n\
          --overlay picks the physical graph builder: tree (acyclic, the paper's\n\

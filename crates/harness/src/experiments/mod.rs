@@ -22,6 +22,7 @@
 //! | `ext-hybrid`   | extension (registry)   | push-pull hybrid vs combined pull |
 //! | `ext-overlays` | extension (arXiv 1112.0416) | tree vs BA vs WS overlays |
 //! | `ext-aggregation` | extension (arXiv 1811.07088) | routing state vs clients per dispatcher |
+//! | `ext-summary` | extension (ROADMAP item 2) | summary-reconciliation wire cost vs cache size |
 
 mod common;
 mod ext_adaptive;
@@ -29,6 +30,7 @@ mod ext_aggregation;
 mod ext_buffers;
 mod ext_hybrid;
 mod ext_overlays;
+mod ext_summary;
 mod fig10;
 mod fig2;
 mod fig3;
@@ -47,7 +49,7 @@ pub use common::{time_series_table, ExperimentOptions, ExperimentOutput, Metric,
 
 /// The available experiment ids: the paper's figures in order,
 /// followed by the extension studies.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "summary",
     "fig2",
     "fig3a",
@@ -67,6 +69,7 @@ pub const ALL_EXPERIMENTS: [&str; 19] = [
     "ext-hybrid",
     "ext-overlays",
     "ext-aggregation",
+    "ext-summary",
 ];
 
 /// Runs the experiment with the given id and writes its CSV tables
@@ -96,6 +99,7 @@ pub fn run_experiment(id: &str, opts: &ExperimentOptions) -> Result<ExperimentOu
         "ext-hybrid" => ext_hybrid::run(opts),
         "ext-overlays" => ext_overlays::run(opts),
         "ext-aggregation" => ext_aggregation::run(opts),
+        "ext-summary" => ext_summary::run(opts),
         other => return Err(format!("unknown experiment '{other}'")),
     };
     for (name, table) in &output.tables {

@@ -224,6 +224,12 @@ impl SimNode {
                 let actions = self.algorithm.on_request(&self.dispatcher, from, &ids);
                 self.convert(actions, ctx.counters)
             }
+            Envelope::RangeRequest { pattern, ranges } => {
+                // A summary-refinement request: queued by the
+                // algorithm, answered inside its next gossip round.
+                self.algorithm.on_range_request(from, pattern, &ranges);
+                Vec::new()
+            }
             Envelope::Reply(events) => {
                 for event in events {
                     let receipt = self.dispatcher.on_recovered_event(event.clone());
@@ -415,6 +421,17 @@ impl SimNode {
                     Outgoing {
                         to,
                         env: Envelope::Reply(events),
+                    }
+                }
+                GossipAction::RequestDetail {
+                    to,
+                    pattern,
+                    ranges,
+                } => {
+                    counters.count_request(self.id);
+                    Outgoing {
+                        to,
+                        env: Envelope::RangeRequest { pattern, ranges },
                     }
                 }
             })

@@ -98,6 +98,7 @@ pub fn build_population(config: &ScenarioConfig) -> Population {
         cache_capacity: config.buffer_size,
         cache_own_published: true,
         record_routes: config.algorithm.needs_route_recording(),
+        summary_index: config.algorithm.needs_summary_index(),
         eviction: config.eviction,
         // Size the dense per-pattern tables and neighbor-slot
         // registries from the scenario's pattern space and overlay

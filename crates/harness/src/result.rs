@@ -79,6 +79,16 @@ pub struct ScenarioResult {
     /// aggregated filters (tracked separately from runtime
     /// [`ScenarioResult::subscription_msgs`]).
     pub setup_subscription_msgs: u64,
+    /// Bits of gossip digests put on overlay links. Separates a
+    /// summary digest (costed by what it carries) from a linear one
+    /// (a flat event payload) — the wire-cost axis the
+    /// summary-reconciliation evaluation compares on.
+    pub gossip_wire_bits: u64,
+    /// Bits of out-of-band requests (event-id requests and summary
+    /// range-refinement requests).
+    pub request_wire_bits: u64,
+    /// Bits of out-of-band replies (the retransmitted event copies).
+    pub reply_wire_bits: u64,
 }
 
 /// End-of-run routing-state totals, sampled by each runner after its
@@ -128,6 +138,9 @@ impl ScenarioResult {
             "aggregate_patterns",
             "routing_entries",
             "setup_subscription_msgs",
+            "gossip_wire_bits",
+            "request_wire_bits",
+            "reply_wire_bits",
         ]
     }
 
@@ -161,7 +174,16 @@ impl ScenarioResult {
             self.aggregate_patterns.to_string(),
             self.routing_entries.to_string(),
             self.setup_subscription_msgs.to_string(),
+            self.gossip_wire_bits.to_string(),
+            self.request_wire_bits.to_string(),
+            self.reply_wire_bits.to_string(),
         ]
+    }
+
+    /// Bits of recovery-control traffic: gossip digests plus
+    /// out-of-band requests, excluding the event copies replies carry.
+    pub fn recovery_control_bits(&self) -> u64 {
+        self.gossip_wire_bits + self.request_wire_bits
     }
 }
 
@@ -222,5 +244,8 @@ pub fn assemble(
         aggregate_patterns: routing.aggregate_patterns,
         routing_entries: routing.routing_entries,
         setup_subscription_msgs: routing.setup_subscription_msgs,
+        gossip_wire_bits: counters.gossip_wire_bits(),
+        request_wire_bits: counters.request_wire_bits(),
+        reply_wire_bits: counters.reply_wire_bits(),
     }
 }

@@ -458,18 +458,24 @@ impl Scenario {
         for Outgoing { to, env } in out {
             match env.channel() {
                 Channel::Tree => {
+                    let bits = env.wire_bits(self.config.event_payload_bits);
                     match &env {
                         Envelope::PubSub(PubSubMessage::Event(_)) => {
                             self.counters.count_event(from)
                         }
                         Envelope::PubSub(_) => self.counters.count_subscription(from),
-                        _ => {} // gossip is counted at the action level
+                        // Gossip *messages* are counted at the action
+                        // level; their wire *bits* are charged here,
+                        // where the size is known — like the message
+                        // counts, before link state is consulted (a
+                        // digest lost to a broken link was still sent).
+                        Envelope::Gossip(_) => self.counters.count_gossip_bits(bits),
+                        _ => {}
                     }
                     if !self.topology.has_link(from, to) {
                         // Broken link or stale route: the message is lost.
                         continue;
                     }
-                    let bits = env.wire_bits(self.config.event_payload_bits);
                     if let Some(at) = self.transport.send_link(from, to, bits, self.engine.now()) {
                         self.engine
                             .schedule_at(at, SimEvent::Deliver { from, to, env });
@@ -492,6 +498,13 @@ impl Scenario {
                 }
                 Channel::OutOfBand => {
                     let bits = env.wire_bits(self.config.event_payload_bits);
+                    match &env {
+                        Envelope::Request(_) | Envelope::RangeRequest { .. } => {
+                            self.counters.count_request_bits(bits)
+                        }
+                        Envelope::Reply(_) => self.counters.count_reply_bits(bits),
+                        _ => {}
+                    }
                     if let Some(at) = self.transport.send_oob(from, to, bits, self.engine.now()) {
                         self.engine
                             .schedule_at(at, SimEvent::Deliver { from, to, env });

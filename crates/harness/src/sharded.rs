@@ -539,18 +539,23 @@ impl Shard {
         for Outgoing { to, env } in out {
             let arrival = match env.channel() {
                 Channel::Tree => {
+                    let bits = env.wire_bits(config.event_payload_bits);
                     match &env {
                         Envelope::PubSub(PubSubMessage::Event(_)) => {
                             self.counters.count_event(from)
                         }
                         Envelope::PubSub(_) => self.counters.count_subscription(from),
-                        _ => {} // gossip is counted at the action level
+                        // Gossip *messages* are counted at the action
+                        // level; their wire *bits* are charged here —
+                        // mirrors the serial runner: before link state,
+                        // a digest lost to a broken link was still sent.
+                        Envelope::Gossip(_) => self.counters.count_gossip_bits(bits),
+                        _ => {}
                     }
                     if !shared.topology.has_link(from, to) {
                         // Broken link or stale route: the message is lost.
                         continue;
                     }
-                    let bits = env.wire_bits(config.event_payload_bits);
                     self.transport
                         .send_link(from, to, bits, now, &mut self.net_rngs[li])
                 }
@@ -569,6 +574,13 @@ impl Shard {
                 }
                 Channel::OutOfBand => {
                     let bits = env.wire_bits(config.event_payload_bits);
+                    match &env {
+                        Envelope::Request(_) | Envelope::RangeRequest { .. } => {
+                            self.counters.count_request_bits(bits)
+                        }
+                        Envelope::Reply(_) => self.counters.count_reply_bits(bits),
+                        _ => {}
+                    }
                     self.transport
                         .send_oob(from, to, bits, now, &mut self.net_rngs[li])
                 }
@@ -876,6 +888,9 @@ mod tests {
         );
         assert_eq!(a.outstanding_losses, b.outstanding_losses);
         assert_eq!(a.subscription_msgs, b.subscription_msgs);
+        assert_eq!(a.gossip_wire_bits, b.gossip_wire_bits);
+        assert_eq!(a.request_wire_bits, b.request_wire_bits);
+        assert_eq!(a.reply_wire_bits, b.reply_wire_bits);
         assert_eq!(a.series.len(), b.series.len());
         for (x, y) in a.series.iter().zip(&b.series) {
             assert_eq!(x.0.to_bits(), y.0.to_bits());

@@ -233,6 +233,48 @@ fn render_clients(seed: u64, results: &[ScenarioResult]) -> String {
     report
 }
 
+/// The summary-reconciliation cells: both hash-tree digest modes on
+/// the small lossy config. Pinned separately from [`cells`] — those
+/// golden files double as the "summary reconciliation is purely
+/// additive" contract: registering the new algorithms and the summary
+/// index must not move a single byte of them.
+fn summary_cells(seed: u64) -> Vec<(String, ScenarioConfig)> {
+    vec![
+        (
+            "summary-push".to_owned(),
+            small(Algorithm::summary_push(), seed),
+        ),
+        (
+            "summary-pull".to_owned(),
+            small(Algorithm::summary_pull(), seed),
+        ),
+    ]
+}
+
+/// [`dump`] plus the wire-bit fields the summary evaluation reads.
+/// The base dump stays untouched so the pre-summary golden files keep
+/// their exact bytes.
+fn dump_with_wire_bits(label: &str, result: &ScenarioResult) -> String {
+    let mut s = dump(label, result);
+    let _ = writeln!(s, "gossip_wire_bits={}", result.gossip_wire_bits);
+    let _ = writeln!(s, "request_wire_bits={}", result.request_wire_bits);
+    let _ = writeln!(s, "reply_wire_bits={}", result.reply_wire_bits);
+    s
+}
+
+fn render_summary(seed: u64, results: &[ScenarioResult]) -> String {
+    let labeled = summary_cells(seed);
+    let mut report = String::new();
+    for ((label, _), result) in labeled.iter().zip(results) {
+        report.push_str(&dump_with_wire_bits(
+            &format!("{label} seed={seed}"),
+            result,
+        ));
+        report.push('\n');
+    }
+    report
+}
+
 #[test]
 fn scenario_output_matches_golden_bytes() {
     for seed in SEEDS {
@@ -288,6 +330,45 @@ fn sharded_output_is_shard_count_invariant() {
 /// (including under `par_map`) and through the sharded runner at shard
 /// counts 1, 2 and 4 — churn at client granularity crosses the
 /// coordinator barrier, so its invariance is the interesting part.
+/// Summary-reconciliation golden bytes: both digest modes pinned
+/// serially (including under `par_map`) and through the sharded runner
+/// at shard counts 1, 2 and 4 — the range-refinement requests cross
+/// shard boundaries at the barrier, so their invariance is the
+/// interesting part.
+#[test]
+fn summary_reconciliation_output_matches_golden_bytes() {
+    for seed in SEEDS {
+        let configs: Vec<ScenarioConfig> =
+            summary_cells(seed).into_iter().map(|(_, c)| c).collect();
+        let serial: Vec<ScenarioResult> = configs.iter().map(run_scenario).collect();
+        let report = render_summary(seed, &serial);
+        check_or_update(&format!("results_summary_seed{seed}.txt"), &report);
+
+        let parallel = par_map(4, &configs, run_scenario);
+        let par_report = render_summary(seed, &parallel);
+        assert_eq!(report, par_report, "par_map drifted from serial results");
+
+        let baseline: Vec<ScenarioResult> =
+            configs.iter().map(|c| run_scenario_sharded(c, 1)).collect();
+        let sharded_report = render_summary(seed, &baseline);
+        check_or_update(
+            &format!("results_summary_sharded_seed{seed}.txt"),
+            &sharded_report,
+        );
+        for shards in [2, 4] {
+            let results: Vec<ScenarioResult> = configs
+                .iter()
+                .map(|c| run_scenario_sharded(c, shards))
+                .collect();
+            assert_eq!(
+                sharded_report,
+                render_summary(seed, &results),
+                "shards={shards} drifted from the shards=1 summary results"
+            );
+        }
+    }
+}
+
 #[test]
 fn client_layer_output_matches_golden_bytes() {
     for seed in SEEDS {

@@ -36,6 +36,9 @@ pub struct MessageCounters {
     events_recovered: u64,
     lost_evictions: u64,
     duplicate_suppressed: u64,
+    gossip_wire_bits: u64,
+    request_wire_bits: u64,
+    reply_wire_bits: u64,
 }
 
 impl MessageCounters {
@@ -51,6 +54,9 @@ impl MessageCounters {
             events_recovered: 0,
             lost_evictions: 0,
             duplicate_suppressed: 0,
+            gossip_wire_bits: 0,
+            request_wire_bits: 0,
+            reply_wire_bits: 0,
         }
     }
 
@@ -89,6 +95,26 @@ impl MessageCounters {
     /// A subscription/unsubscription message was sent by `from`.
     pub fn count_subscription(&mut self, from: NodeId) {
         self.subscription_sent[from.index()] += 1;
+    }
+
+    /// `bits` of gossip-digest traffic were put on an overlay link.
+    /// Unlike the per-message counts, the bit counters separate a
+    /// summary digest (size proportional to what it carries) from a
+    /// linear one (a flat event payload regardless of content) — the
+    /// axis the summary-reconciliation evaluation compares on.
+    pub fn count_gossip_bits(&mut self, bits: u64) {
+        self.gossip_wire_bits += bits;
+    }
+
+    /// `bits` of out-of-band request traffic (id requests and
+    /// summary range-refinement requests) were put on the wire.
+    pub fn count_request_bits(&mut self, bits: u64) {
+        self.request_wire_bits += bits;
+    }
+
+    /// `bits` of out-of-band reply traffic were put on the wire.
+    pub fn count_reply_bits(&mut self, bits: u64) {
+        self.reply_wire_bits += bits;
     }
 
     /// An event copy delivered through recovery (was missing, arrived
@@ -158,6 +184,29 @@ impl MessageCounters {
         self.duplicate_suppressed
     }
 
+    /// Total bits of gossip digests put on overlay links.
+    pub fn gossip_wire_bits(&self) -> u64 {
+        self.gossip_wire_bits
+    }
+
+    /// Total bits of out-of-band requests (ids and range refinements).
+    pub fn request_wire_bits(&self) -> u64 {
+        self.request_wire_bits
+    }
+
+    /// Total bits of out-of-band replies.
+    pub fn reply_wire_bits(&self) -> u64 {
+        self.reply_wire_bits
+    }
+
+    /// Total bits of recovery-control traffic: gossip digests plus
+    /// out-of-band requests, excluding the event copies replies carry.
+    /// The headline axis of the summary-reconciliation evaluation —
+    /// O(C) per linear digest versus O(log C + Δ) per summary digest.
+    pub fn recovery_control_bits(&self) -> u64 {
+        self.gossip_wire_bits + self.request_wire_bits
+    }
+
     /// Mean gossip messages sent per dispatcher (Fig. 9 / 10, left).
     pub fn gossip_per_dispatcher(&self) -> f64 {
         if self.gossip_sent.is_empty() {
@@ -217,6 +266,9 @@ impl MessageCounters {
         self.events_recovered += other.events_recovered;
         self.lost_evictions += other.lost_evictions;
         self.duplicate_suppressed += other.duplicate_suppressed;
+        self.gossip_wire_bits += other.gossip_wire_bits;
+        self.request_wire_bits += other.request_wire_bits;
+        self.reply_wire_bits += other.reply_wire_bits;
     }
 }
 
@@ -281,6 +333,10 @@ mod tests {
         b.count_recovered();
         b.count_lost_evictions(2);
         b.count_duplicate_suppressed();
+        b.count_gossip_bits(1000);
+        b.count_request_bits(300);
+        b.count_reply_bits(2000);
+        a.count_gossip_bits(24);
         a.absorb(&b);
         assert_eq!(a.event_total(), 2);
         assert_eq!(a.gossip_total(), 1);
@@ -292,6 +348,10 @@ mod tests {
         assert_eq!(a.lost_evictions(), 2);
         assert_eq!(a.duplicate_suppressed(), 1);
         assert_eq!(a.gossip_by_dispatcher(), &[0, 1]);
+        assert_eq!(a.gossip_wire_bits(), 1024);
+        assert_eq!(a.request_wire_bits(), 300);
+        assert_eq!(a.reply_wire_bits(), 2000);
+        assert_eq!(a.recovery_control_bits(), 1324);
     }
 
     #[test]

@@ -699,11 +699,23 @@ impl NodeRuntime {
             };
             // The cross-validation invariant: on-the-wire bytes are
             // the simulator's wire_bits, always.
+            let bits = msg.wire_bits(self.payload_bits);
             assert_eq!(
                 body.len() as u64 * 8,
-                msg.wire_bits(self.payload_bits),
+                bits,
                 "codec framed size diverged from wire_bits"
             );
+            // Wire-bit accounting mirrors the simulator's send layer,
+            // charged on the post-fit envelope — the bits that actually
+            // hit the wire.
+            match &msg {
+                Envelope::Gossip(_) => self.counters.count_gossip_bits(bits),
+                Envelope::Request(_) | Envelope::RangeRequest { .. } => {
+                    self.counters.count_request_bits(bits)
+                }
+                Envelope::Reply(_) => self.counters.count_reply_bits(bits),
+                _ => {}
+            }
             match msg.channel() {
                 Channel::Tree => self.enqueue_tree(to, body),
                 // Cross links have no TCP connection (those follow

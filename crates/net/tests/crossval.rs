@@ -13,7 +13,7 @@ use eps_gossip::{Algorithm, Envelope, GossipMessage};
 use eps_harness::{run_scenario, ScenarioConfig};
 use eps_net::{run_cluster, NetConfig};
 use eps_overlay::{NodeId, OverlayKind};
-use eps_pubsub::{Event, EventId, LossRecord, PatternId};
+use eps_pubsub::{Event, EventId, LossRecord, PatternId, RangeDetail, RangeRef, RangeSummary};
 use eps_sim::SimTime;
 
 fn loss() -> LossRecord {
@@ -182,6 +182,61 @@ fn sim_and_loopback_agree_with_multi_client_dispatchers() {
     assert_eq!(report.net.decode_errors, 0, "codec never misparses");
 }
 
+/// The summary-reconciliation cross-validation cell: `summary-push`
+/// runs its hash-tree digests and range-refinement requests through
+/// the live codec over real sockets. The run must converge like the
+/// linear digests do, with the digest traffic accounted in wire bits
+/// on both sides (the runtime asserts framed size == `wire_bits` on
+/// every send, so convergence here proves the summary envelopes
+/// round-trip at their accounted size under load).
+#[test]
+fn sim_and_loopback_agree_with_summary_reconciliation() {
+    let scenario = ScenarioConfig {
+        algorithm: Algorithm::summary_push(),
+        ..crossval_scenario()
+    };
+
+    let sim = run_scenario(&scenario);
+    // Summary recovery resolves a mismatch over several rounds
+    // (root → refine → detail → request), so a loss near the window's
+    // edge can finish just past it — the bar sits slightly below the
+    // linear cells' 0.99. Everything is eventually chased down:
+    // no loss records remain outstanding.
+    assert!(
+        sim.delivery_rate >= 0.98,
+        "simulated summary-push at ε=0.05 recovers the window; got {}",
+        sim.delivery_rate
+    );
+    assert_eq!(sim.outstanding_losses, 0, "sim chased every loss");
+    assert!(sim.events_recovered > 0, "sim recovery engaged");
+    assert!(sim.gossip_wire_bits > 0, "sim accounted digest bits");
+
+    let report = run_cluster(NetConfig {
+        scenario: scenario.clone(),
+        drain: Duration::from_secs(4),
+        ..NetConfig::default()
+    })
+    .expect("cluster boots");
+
+    assert_eq!(
+        report.result.events_published, sim.events_published,
+        "same seed must publish the same event sequence in sim and net"
+    );
+    assert_eq!(
+        report.result.overall_delivery_rate, 1.0,
+        "the wire run converges to 100% under summary reconciliation; got {:?}",
+        report.result
+    );
+    assert!(report.net.injected_drops > 0, "loss injection exercised");
+    assert!(report.result.events_recovered > 0, "net recovery engaged");
+    assert!(
+        report.result.gossip_wire_bits > 0,
+        "summary digests were accounted in wire bits on the wire run"
+    );
+    assert_eq!(report.net.decode_errors, 0, "codec never misparses");
+    assert_eq!(report.trace_dropped, 0, "trace capacity sufficed");
+}
+
 /// Determinism of the workload identity itself: two net runs with the
 /// same seed publish the same count, and a different seed does not.
 #[test]
@@ -256,6 +311,26 @@ fn framed_sizes_equal_wire_bits_for_every_message_class() {
         Envelope::Request(vec![EventId::new(NodeId::new(2), 9); 3]),
         Envelope::Reply(vec![event]),
         Envelope::Reply(vec![]),
+        Envelope::Gossip(GossipMessage::SummaryDigest {
+            gossiper: NodeId::new(1),
+            pattern: PatternId::new(3),
+            ranges: Arc::new(vec![
+                RangeSummary {
+                    range: RangeRef::ROOT,
+                    count: 41,
+                    hash: 0xDEAD_BEEF_0BAD_F00D,
+                },
+                RangeSummary::empty(RangeRef::ROOT.child(7)),
+            ]),
+            details: Arc::new(vec![RangeDetail {
+                range: RangeRef::ROOT.child(2),
+                ids: vec![EventId::new(NodeId::new(2), 9); 4],
+            }]),
+        }),
+        Envelope::RangeRequest {
+            pattern: PatternId::new(3),
+            ranges: vec![RangeRef::ROOT, RangeRef::ROOT.child(15)],
+        },
     ];
     for env in &samples {
         let body = codec::encode(env, payload_bits).expect("encodes");

@@ -23,6 +23,7 @@ use eps_sim::Rng;
 
 use crate::event::{Event, EventId};
 use crate::pattern::{PatternId, DENSE_UNIVERSE_MAX};
+use crate::summary::SummaryIndex;
 
 /// Which cached event to sacrifice when the buffer is full.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -186,6 +187,12 @@ pub struct EventCache {
     // `ids_matching` — the digest-construction hot path — is a slice
     // copy instead of a scan of the whole cache.
     by_pattern: PatternIndex,
+    // Hash-range summary forest over the cached ids, maintained
+    // incrementally on insert/evict (O(log C) per operation — never
+    // rebuilt per round). `None` unless the recovery algorithm needs
+    // it: the trees cost memory per cached event, so only the
+    // summary-digest family pays for them.
+    summary: Option<SummaryIndex>,
     inserted_total: u64,
     evicted_total: u64,
 }
@@ -294,6 +301,7 @@ impl Clone for EventCache {
             events: self.events.clone(),
             by_pattern_seq: self.by_pattern_seq.clone(),
             by_pattern: self.by_pattern.clone(),
+            summary: self.summary.clone(),
             inserted_total: self.inserted_total,
             evicted_total: self.evicted_total,
         }
@@ -341,6 +349,7 @@ impl EventCache {
             events: HashMap::new(),
             by_pattern_seq: HashMap::new(),
             by_pattern: PatternIndex::new(universe),
+            summary: None,
             inserted_total: 0,
             evicted_total: 0,
         }
@@ -387,6 +396,9 @@ impl EventCache {
         for &(p, seq) in event.pattern_seqs() {
             self.by_pattern_seq.insert((id.source(), p, seq), id);
             self.by_pattern.push(p, id);
+            if let Some(summary) = &mut self.summary {
+                summary.add(p, id);
+            }
         }
         let is_own = self.owner == Some(id.source());
         self.policy.note_insert(id, is_own);
@@ -409,6 +421,9 @@ impl EventCache {
             for &(p, seq) in event.pattern_seqs() {
                 self.by_pattern_seq.remove(&(id.source(), p, seq));
                 self.by_pattern.remove(p, id);
+                if let Some(summary) = &mut self.summary {
+                    summary.remove(p, id);
+                }
             }
         }
     }
@@ -448,6 +463,38 @@ impl EventCache {
     /// Iterates over cached events in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
         self.insertion.iter().filter_map(|id| self.events.get(id))
+    }
+
+    /// Turns on the hash-range summary index (see
+    /// [`crate::summary`]). From here on, every insert and eviction
+    /// updates the per-pattern trees incrementally. Events already
+    /// cached are indexed now, once — there is no per-round rebuild.
+    pub fn enable_summary_index(&mut self) {
+        let mut index = SummaryIndex::new();
+        for event in self.insertion.iter().filter_map(|id| self.events.get(id)) {
+            for &(p, _) in event.pattern_seqs() {
+                index.add(p, event.id());
+            }
+        }
+        self.summary = Some(index);
+    }
+
+    /// `true` if [`EventCache::enable_summary_index`] has been called.
+    pub fn has_summary_index(&self) -> bool {
+        self.summary.is_some()
+    }
+
+    /// The hash-range summary index over the cached ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was never enabled — the summary digest
+    /// family must be registered with `needs_summary_index` so the
+    /// dispatcher turns it on at construction.
+    pub fn summary_index(&self) -> &SummaryIndex {
+        self.summary
+            .as_ref()
+            .expect("summary index not enabled; the algorithm must declare needs_summary_index")
     }
 }
 
@@ -695,6 +742,48 @@ mod tests {
         let d: Vec<EventId> = dense.iter().map(Event::id).collect();
         let s: Vec<EventId> = sparse.iter().map(Event::id).collect();
         assert_eq!(d, s);
+    }
+
+    #[test]
+    fn summary_index_tracks_insert_and_eviction_exactly() {
+        use crate::summary::RangeRef;
+
+        let mut c = EventCache::new(3);
+        c.enable_summary_index();
+        for seq in 0..10 {
+            c.insert(ev(0, seq, &[(1, seq), ((seq % 2) as u16 + 2, seq)]));
+            // After every operation the tree must agree with the exact
+            // per-pattern index, pattern by pattern.
+            for p in [1u16, 2, 3] {
+                let pattern = PatternId::new(p);
+                let ids = c.ids_matching(pattern);
+                let root = c.summary_index().root(pattern);
+                assert_eq!(root.count, ids.len() as u64, "pattern {p} count");
+                let mut from_tree = c.summary_index().ids_in(pattern, RangeRef::ROOT);
+                let mut expected = ids;
+                from_tree.sort();
+                expected.sort();
+                assert_eq!(from_tree, expected, "pattern {p} ids");
+            }
+        }
+    }
+
+    #[test]
+    fn enable_summary_index_indexes_existing_contents() {
+        let mut c = EventCache::new(8);
+        for seq in 0..5 {
+            c.insert(ev(0, seq, &[(1, seq)]));
+        }
+        assert!(!c.has_summary_index());
+        c.enable_summary_index();
+        assert_eq!(c.summary_index().root(PatternId::new(1)).count, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn summary_index_panics_when_disabled() {
+        let c = EventCache::new(8);
+        let _ = c.summary_index();
     }
 
     #[test]

@@ -170,6 +170,11 @@ pub struct DispatcherConfig {
     /// Expected overlay degree: pre-sizes the neighbor-slot registry.
     /// `0` means "unknown, grow on demand".
     pub degree_hint: usize,
+    /// Whether the event cache maintains the incremental hash-range
+    /// summary index (required by the summary-reconciliation digests;
+    /// costs O(log C) per insert/evict and per-event tree memory, so
+    /// off unless the algorithm declares it).
+    pub summary_index: bool,
 }
 
 impl Default for DispatcherConfig {
@@ -181,6 +186,7 @@ impl Default for DispatcherConfig {
             eviction: EvictionPolicy::Fifo,
             pattern_universe: 0,
             degree_hint: 0,
+            summary_index: false,
         }
     }
 }
@@ -324,17 +330,21 @@ pub struct Dispatcher {
 impl Dispatcher {
     /// Creates a dispatcher with empty state.
     pub fn new(id: NodeId, config: DispatcherConfig) -> Self {
+        let mut cache = EventCache::with_policy_sized(
+            config.cache_capacity,
+            config.eviction,
+            Some(id),
+            config.pattern_universe,
+        );
+        if config.summary_index {
+            cache.enable_summary_index();
+        }
         Dispatcher {
             id,
             config,
             table: SubscriptionTable::with_dims(config.pattern_universe, config.degree_hint),
             clients: ClientRegistry::new(),
-            cache: EventCache::with_policy_sized(
-                config.cache_capacity,
-                config.eviction,
-                Some(id),
-                config.pattern_universe,
-            ),
+            cache,
             detector: LossDetector::with_universe(config.pattern_universe),
             routes: RouteBook::default(),
             seen: HashSet::new(),

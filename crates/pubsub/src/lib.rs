@@ -57,6 +57,7 @@ mod dispatcher;
 mod event;
 mod pattern;
 mod setup;
+pub mod summary;
 mod table;
 
 pub use cache::{EventCache, EvictionPolicy};
@@ -71,4 +72,5 @@ pub use setup::{
     flood_subscriptions, flood_subscriptions_direct, install_client_subscriptions,
     install_local_subscriptions, intended_recipients, rebuild_subscription_routes, DispatcherHost,
 };
+pub use summary::{CacheSummary, RangeDetail, RangeRef, RangeSummary, SummaryIndex};
 pub use table::{Interface, SubscriptionTable};

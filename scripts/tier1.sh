@@ -61,10 +61,12 @@ if ! cargo run --release -p eps-bench --bin bench_compare -- \
         BENCH_kernel.json target/bench/BENCH_kernel.json
 fi
 # --advisory-prefix keeps the client-layer matching entries (which
-# include one-shot aggregate-filter counts) advisory even if this
-# comparison is ever promoted to --strict.
+# include one-shot aggregate-filter counts) and the sub-µs summary
+# map-churn loops advisory even if this comparison is ever promoted
+# to --strict.
 cargo run --release -p eps-bench --bin bench_compare -- \
     --advisory-prefix table_matching_aggregated \
+    --advisory-prefix summary_ \
     BENCH_gossip.json target/bench/BENCH_gossip.json \
     BENCH_scenario.json target/bench/BENCH_scenario.json \
     BENCH_net.json target/bench/BENCH_net.json
@@ -119,17 +121,48 @@ awk -v a="$multi_delivery" -v b="$base_delivery" 'BEGIN {exit !(a >= b)}' \
 [ "$multi_submsgs" -lt $((100 * base_submsgs)) ] \
     || { echo "FAIL: subscription wire traffic grew linearly in client count"; exit 1; }
 
+echo "== tier-1: summary reconciliation smoke (wire cost at a 100x cache) =="
+# combined-pull vs summary-pull with beta = 150000 (100x the paper's
+# 1500). A linear digest is charged the paper's flat one-event rate, so
+# its arm provisions the payload for a full-cache announcement:
+# header + 96 bits per id for this cache's per-pattern share
+# (beta / Pi). The summary arm keeps the 1024-bit default because its
+# digests are accounted exactly (a root aggregate plus only the ranges
+# that differ). The claim under test is the headline O(C) -> O(log C)
+# reduction: summary recovery-control bits (gossip + requests) must be
+# under 25% of linear's, at equal-or-better window delivery.
+LINEAR_PAYLOAD=$((256 + 96 * 150000 / 70))
+cache100_cell() {
+    ./target/release/simulate --nodes 40 --duration 2 --seed 5 --eps 0.05 \
+        --beta 150000 -a "$1" "${@:2}" 2>/dev/null
+}
+linear_cell=$(cache100_cell combined-pull --payload-bits "$LINEAR_PAYLOAD")
+summary_cell=$(cache100_cell summary-pull)
+linear_bits=$(echo "$linear_cell" | awk '/recovery control bits/ {print $4}')
+summary_bits=$(echo "$summary_cell" | awk '/recovery control bits/ {print $4}')
+linear_delivery=$(echo "$linear_cell" | awk '/delivery rate \(window\)/ {print $4}')
+summary_delivery=$(echo "$summary_cell" | awk '/delivery rate \(window\)/ {print $4}')
+echo "recovery control bits: linear=$linear_bits summary=$summary_bits;" \
+     "delivery: linear=$linear_delivery summary=$summary_delivery"
+[ "$((4 * summary_bits))" -lt "$linear_bits" ] \
+    || { echo "FAIL: summary wire cost not under 25% of linear at a 100x cache"; exit 1; }
+awk -v s="$summary_delivery" -v l="$linear_delivery" 'BEGIN {exit !(s >= l)}' \
+    || { echo "FAIL: summary delivery fell below linear"; exit 1; }
+
 echo "== tier-1: extras (proptests; needs registry access) =="
 # The extras package pulls proptest/criterion from crates.io, so it
 # only builds where the registry is reachable (or vendored). When it
 # resolves, run the proptest suites -- including the client-layer
-# model equivalence (client_aggregation_proptests). Offline hosts
-# still run its in-workspace twin (crates/pubsub/tests/client_model.rs)
-# in the workspace test pass above.
+# model equivalence (client_aggregation_proptests) and the summary
+# reconciliation properties (summary_reconciliation_proptests).
+# Offline hosts still run the in-workspace twins
+# (crates/pubsub/tests/client_model.rs,
+# crates/gossip/tests/summary_model.rs) in the workspace test pass
+# above.
 if cargo metadata --manifest-path extras/Cargo.toml --offline >/dev/null 2>&1; then
     cargo test --manifest-path extras/Cargo.toml -q
 else
-    echo "extras dependencies unavailable offline; skipping (in-workspace model test covers the client layer)"
+    echo "extras dependencies unavailable offline; skipping (in-workspace model twins cover the client and summary layers)"
 fi
 
 echo "== tier-1: docs build =="
