@@ -1,0 +1,275 @@
+//! `net_load` — saturation load generator for the epoll reactor
+//! runtime: boots a large dispatcher population in one process and
+//! sweeps the per-node publish rate upward until the cluster misses
+//! its service objective, then records the numbers of the best
+//! passing stage in the common bench-JSON shape so `bench_compare`
+//! tracks them across commits.
+//!
+//! ```text
+//! net_load [--nodes N] [--workers W] [--seed S] [--duration SECS]
+//!          [--drain SECS] [--rates R1,R2,...]
+//!          [--out FILE | --merge-into FILE]
+//! ```
+//!
+//! The objective a stage must meet: overall delivery >= 0.95 and p99
+//! publish-to-delivery latency <= 250 ms. Three entries are emitted,
+//! all encoded lower-is-better so the comparer's one rule fits:
+//!
+//! - `net_load_interdelivery_ns` — mean wall-clock nanoseconds between
+//!   deliveries at the best passing stage (the reciprocal of the
+//!   deliveries/sec throughput headline, which prints to stderr).
+//! - `net_load_p99_delivery_ns` — the stage's p99 delivery latency.
+//! - `net_load_rss_per_node_bytes` — peak resident set (`VmHWM`)
+//!   divided by the population size: the per-dispatcher memory bill.
+//!
+//! With `--merge-into`, the entries are spliced into an existing
+//! bench-JSON file (replacing same-named entries), so the reactor
+//! numbers land beside the codec microbenches in `BENCH_net.json`.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use eps_bench::timing::{to_json, BenchResult};
+use eps_gossip::Algorithm;
+use eps_harness::ScenarioConfig;
+use eps_net::{run_reactor_cluster, NetConfig};
+use eps_sim::SimTime;
+
+/// Delivery-rate floor a stage must hold to count as sustained.
+const SLO_DELIVERY: f64 = 0.95;
+/// p99 publish-to-delivery latency ceiling for a passing stage.
+const SLO_P99: Duration = Duration::from_millis(250);
+
+/// One completed sweep stage.
+struct Stage {
+    rate: f64,
+    delivered: u64,
+    deliveries_per_sec: f64,
+    p99: Duration,
+    delivery_rate: f64,
+    passed: bool,
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!(
+                "usage: net_load [--nodes N] [--workers W] [--seed S] \
+                 [--duration SECS] [--drain SECS] [--rates R1,R2,...] \
+                 [--out FILE | --merge-into FILE]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut nodes = 1000usize;
+    let mut workers = 2usize;
+    let mut seed = 29u64;
+    let mut duration = 0.6f64;
+    let mut drain = 20.0f64;
+    let mut rates = vec![1.0f64, 2.0, 4.0];
+    let mut out: Option<String> = None;
+    let mut merge_into: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || iter.next().cloned().ok_or(format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--nodes" | "-n" => nodes = parse(&value()?)?,
+            "--workers" => workers = parse(&value()?)?,
+            "--seed" => seed = parse(&value()?)?,
+            "--duration" => duration = parse(&value()?)?,
+            "--drain" => drain = parse(&value()?)?,
+            "--rates" => {
+                rates = value()?
+                    .split(',')
+                    .map(|r| parse(r.trim()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out = Some(value()?),
+            "--merge-into" => merge_into = Some(value()?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if rates.is_empty() {
+        return Err("--rates needs at least one publish rate".into());
+    }
+
+    // The sweep climbs until a stage misses the objective; every stage
+    // reruns the full population so the fd/timer/buffer machinery is
+    // exercised at scale each time, not just at the highest rate.
+    let mut stages: Vec<Stage> = Vec::new();
+    for &rate in &rates {
+        let stage = run_stage(nodes, workers, seed, duration, drain, rate)?;
+        eprintln!(
+            "rate {:>6.1}/node: {:>8.0} deliveries/s, p99 {:>7.1} ms, \
+             delivery {:.4} ({} delivered) {}",
+            rate,
+            stage.deliveries_per_sec,
+            stage.p99.as_secs_f64() * 1e3,
+            stage.delivery_rate,
+            stage.delivered,
+            if stage.passed { "PASS" } else { "MISS" }
+        );
+        let failed = !stage.passed;
+        stages.push(stage);
+        if failed {
+            break;
+        }
+    }
+
+    // Best passing stage; if even the first rate missed, report it
+    // anyway (a tracked number beats an absent one) but say so.
+    let best = stages.iter().rev().find(|s| s.passed).unwrap_or_else(|| {
+        eprintln!("warning: no stage met the objective; recording the first stage");
+        &stages[0]
+    });
+    let rss_per_node = peak_rss_bytes().map(|rss| rss / nodes as f64);
+    eprintln!(
+        "saturation: {:.0} deliveries/s at {:.1}/node over {} dispatchers \
+         on {} workers (p99 {:.1} ms{})",
+        best.deliveries_per_sec,
+        best.rate,
+        nodes,
+        workers,
+        best.p99.as_secs_f64() * 1e3,
+        match rss_per_node {
+            Some(r) => format!(", peak RSS {:.0} KiB/node", r / 1024.0),
+            None => String::new(),
+        }
+    );
+
+    let mut results = vec![
+        measured("net_load_interdelivery_ns", 1e9 / best.deliveries_per_sec),
+        measured("net_load_p99_delivery_ns", best.p99.as_nanos() as f64),
+    ];
+    if let Some(r) = rss_per_node {
+        results.push(measured("net_load_rss_per_node_bytes", r));
+    }
+    match (out, merge_into) {
+        (Some(path), None) => {
+            std::fs::write(&path, to_json(&results)).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        (None, Some(path)) => {
+            merge(&path, &results)?;
+            eprintln!("merged {} entries into {path}", results.len());
+        }
+        (None, None) => print!("{}", to_json(&results)),
+        (Some(_), Some(_)) => return Err("--out and --merge-into are exclusive".into()),
+    }
+    Ok(())
+}
+
+/// Runs one sweep stage: the thousand-dispatcher scale shape (sparse
+/// one-pattern subscriptions over a universe the size of the
+/// population, lossless links so the byte budget is throughput, not
+/// recovery) at the given per-node publish rate.
+fn run_stage(
+    nodes: usize,
+    workers: usize,
+    seed: u64,
+    duration: f64,
+    drain: f64,
+    rate: f64,
+) -> Result<Stage, String> {
+    let wall = SimTime::from_secs_f64(duration);
+    let config = NetConfig {
+        scenario: ScenarioConfig {
+            seed,
+            nodes,
+            max_degree: 6,
+            publish_rate: rate,
+            link_error_rate: 0.0,
+            pattern_universe: nodes.min(u16::MAX as usize) as u16,
+            pi_max: 1,
+            duration: wall,
+            warmup: wall.mul_f64(0.125),
+            cooldown: wall.mul_f64(0.125),
+            gossip_interval: SimTime::from_millis(100),
+            algorithm: Algorithm::push(),
+            ..ScenarioConfig::default()
+        },
+        drain: Duration::from_secs_f64(drain),
+        ..NetConfig::default()
+    };
+    let start = Instant::now();
+    let report = run_reactor_cluster(config, workers).map_err(|e| format!("reactor: {e}"))?;
+    let elapsed = start.elapsed();
+    if report.net.decode_errors > 0 || report.trace_dropped > 0 {
+        return Err(format!(
+            "stage at rate {rate} corrupted: {} decode errors, {} trace drops",
+            report.net.decode_errors, report.trace_dropped
+        ));
+    }
+    let delivered = report.latency.samples;
+    if delivered == 0 {
+        return Err(format!("stage at rate {rate} delivered nothing"));
+    }
+    let p99 = report.latency.p99;
+    let delivery_rate = report.result.overall_delivery_rate;
+    Ok(Stage {
+        rate,
+        delivered,
+        deliveries_per_sec: delivered as f64 / elapsed.as_secs_f64(),
+        p99,
+        delivery_rate,
+        passed: delivery_rate >= SLO_DELIVERY && p99 <= SLO_P99,
+    })
+}
+
+/// A direct measurement in the bench-JSON shape: the "median" is the
+/// measured value itself, in the unit the entry's name carries.
+fn measured(name: &str, value: f64) -> BenchResult {
+    BenchResult {
+        name: name.to_owned(),
+        samples: 1,
+        iters_per_sample: 1,
+        median_ns: value,
+        min_ns: value,
+        mean_ns: value,
+    }
+}
+
+/// This process's peak resident set (`VmHWM`), in bytes. `None` on
+/// hosts without procfs.
+fn peak_rss_bytes() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024.0)
+}
+
+/// Splices `fresh` into an existing `to_json`-shaped file: existing
+/// entry lines are kept verbatim (minus any same-named entry being
+/// replaced), the new ones appended, and the standard envelope
+/// rebuilt — so repeated merges are idempotent and `bench_compare`'s
+/// line scanner keeps working.
+fn merge(path: &str, fresh: &[BenchResult]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut entries: Vec<String> = text
+        .lines()
+        .filter(|l| l.contains("\"name\":"))
+        .filter(|l| !fresh.iter().any(|r| l.contains(&format!("\"{}\"", r.name))))
+        .map(|l| l.trim().trim_end_matches(',').to_owned())
+        .collect();
+    for line in to_json(fresh).lines().filter(|l| l.contains("\"name\":")) {
+        entries.push(line.trim().trim_end_matches(',').to_owned());
+    }
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, entry) in entries.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(entry);
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse '{s}'"))
+}

@@ -36,6 +36,17 @@
 //!   them) — gossiper-deficit recovery. Empty [`RangeDetail`] lists
 //!   matter here: they are how a gossiper says "I have nothing in this
 //!   range", letting any dispatcher on the route serve its surplus.
+//!
+//! Pull rounds announce the gossiper's **seen** view — the live cache
+//! plus its eviction tombstones ([`eps_pubsub::EventCache::seen_summary`])
+//! — and receivers compare their own seen view against it. An id the
+//! gossiper consumed and then evicted is still part of its announced
+//! aggregates, so peers stop re-serving that surplus round after round
+//! (the gossiper's `has_seen` filter would discard every copy anyway).
+//! Serving itself stays strictly live: only resident events can back a
+//! [`crate::GossipAction::Reply`]. A cache that never evicts has an
+//! empty tombstone set, making the seen view bit-identical to the live
+//! one — the pre-tombstone wire behavior.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
@@ -153,6 +164,46 @@ impl SummaryDigestPolicy {
         }
     }
 
+    /// The view this policy's digests announce and compare: push works
+    /// on the live cache (its digests invite fetches, which only
+    /// resident events can serve); pull works on the *seen* view —
+    /// live plus eviction tombstones — so peers stop re-serving
+    /// surplus the cache has already consumed and evicted.
+    fn view_summarize(
+        &self,
+        node: &Dispatcher,
+        pattern: PatternId,
+        range: RangeRef,
+    ) -> eps_pubsub::RangeSummary {
+        match self.mode {
+            SummaryMode::Push => node.cache().summary_index().summarize(pattern, range),
+            SummaryMode::Pull => node.cache().seen_summary(pattern, range),
+        }
+    }
+
+    /// The complete id list of `range` under the mode's view (see
+    /// [`SummaryDigestPolicy::view_summarize`]).
+    fn view_ids_in(&self, node: &Dispatcher, pattern: PatternId, range: RangeRef) -> Vec<EventId> {
+        match self.mode {
+            SummaryMode::Push => node.cache().summary_index().ids_in(pattern, range),
+            SummaryMode::Pull => node.cache().seen_ids_in(pattern, range),
+        }
+    }
+
+    /// Pops the next queued refinement for `pattern`, keeping the
+    /// global counter and the per-pattern map in step.
+    fn pop_queued(&mut self, pattern: PatternId) -> Option<RangeRef> {
+        let queue = self.detail_out.get_mut(&pattern)?;
+        let range = queue.pop_first();
+        if range.is_some() {
+            self.queued -= 1;
+        }
+        if queue.is_empty() {
+            self.detail_out.remove(&pattern);
+        }
+        range
+    }
+
     /// Serves `ids` (a provable gossiper deficit) from the cache as a
     /// single deduplicated reply, capped at `serve_cap` events.
     fn serve_ids(&self, node: &Dispatcher, to: NodeId, ids: &[EventId]) -> Option<GossipAction> {
@@ -201,8 +252,7 @@ impl DigestPolicy for SummaryDigestPolicy {
         pattern: PatternId,
         limit: usize,
     ) -> Option<DigestBody> {
-        let index = node.cache().summary_index();
-        let root = index.root(pattern);
+        let root = self.view_summarize(node, pattern, RangeRef::ROOT);
         if self.mode == SummaryMode::Push && root.count == 0 && self.queued == 0 {
             // Nothing to announce and nobody waiting on a refinement.
             // (Pull rounds still go out empty: "I have nothing" is
@@ -211,35 +261,29 @@ impl DigestPolicy for SummaryDigestPolicy {
         }
         let mut ranges = vec![root];
         let mut details: Vec<RangeDetail> = Vec::new();
-        if let Some(queue) = self.detail_out.get_mut(&pattern) {
-            // Drain queued refinements while the entry budget lasts.
-            // The last expansion may overshoot `limit` by one fanout of
-            // children — a soft cap, guaranteeing progress even with a
-            // tiny digest_max.
-            while ranges.len() + details.len() < limit {
-                let Some(range) = queue.pop_first() else {
-                    break;
-                };
-                self.queued -= 1;
-                let summary = index.summarize(pattern, range);
-                if range.is_leaf() || summary.count <= DETAIL_THRESHOLD {
-                    // Small enough to list outright — including the
-                    // empty list, which pull receivers need to see.
-                    details.push(RangeDetail {
-                        range,
-                        ids: index.ids_in(pattern, range),
-                    });
-                } else {
-                    // Refine by one level. All children are included —
-                    // empty ones too — so receivers can tell "gossiper
-                    // holds nothing here" from "not yet refined".
-                    for i in 0..eps_pubsub::summary::FANOUT {
-                        ranges.push(index.summarize(pattern, range.child(i)));
-                    }
+        // Drain queued refinements while the entry budget lasts. The
+        // last expansion may overshoot `limit` by one fanout of
+        // children — a soft cap, guaranteeing progress even with a
+        // tiny digest_max.
+        while ranges.len() + details.len() < limit {
+            let Some(range) = self.pop_queued(pattern) else {
+                break;
+            };
+            let summary = self.view_summarize(node, pattern, range);
+            if range.is_leaf() || summary.count <= DETAIL_THRESHOLD {
+                // Small enough to list outright — including the
+                // empty list, which pull receivers need to see.
+                details.push(RangeDetail {
+                    range,
+                    ids: self.view_ids_in(node, pattern, range),
+                });
+            } else {
+                // Refine by one level. All children are included —
+                // empty ones too — so receivers can tell "gossiper
+                // holds nothing here" from "not yet refined".
+                for i in 0..eps_pubsub::summary::FANOUT {
+                    ranges.push(self.view_summarize(node, pattern, range.child(i)));
                 }
-            }
-            if queue.is_empty() {
-                self.detail_out.remove(&pattern);
             }
         }
         Some(DigestBody::Summary {
@@ -285,7 +329,11 @@ impl DigestPolicy for SummaryDigestPolicy {
             let mut refine: Vec<RangeRef> = Vec::new();
             let mut serve: Vec<EventId> = Vec::new();
             for summary in ranges.iter() {
-                let ours = local.summarize(pattern, summary.range);
+                // Pull compares seen view against seen view, so two
+                // caches that merely evicted differently — but saw the
+                // same ids — have nothing to exchange. Serving below
+                // stays live-only: `local.ids_in` lists residents.
+                let ours = self.view_summarize(node, pattern, summary.range);
                 if ours.count == summary.count && ours.hash == summary.hash {
                     continue; // Identical content in this range.
                 }

@@ -254,9 +254,11 @@ fn eviction_churn_leaves_no_unseen_deficits() {
             feed(&mut a.node, 1_000..1_016);
             feed(&mut b.node, 2_000..2_012);
 
-            // Pull mode keeps re-serving already-seen surplus (the
-            // receiver deduplicates), so quiescence is not guaranteed
-            // here — run to the bound and check coverage instead.
+            // Eviction tombstones keep pull from re-serving surplus a
+            // peer has already seen, but ids evicted before the other
+            // side ever saw them leave a permanent seen-set divergence
+            // that keeps refinement traffic alive — so run to the
+            // bound and check coverage rather than quiescence.
             let bound = round_bound(128, GossipConfig::default().digest_max);
             for _ in 0..bound {
                 let opening = a.algo.on_round(&a.node, &[b.node.id()], &mut rng);
@@ -273,6 +275,41 @@ fn eviction_churn_leaves_no_unseen_deficits() {
                 assert!(a.node.has_seen(id), "unseen deficit at a: {id:?} ({label})");
             }
         }
+    }
+}
+
+#[test]
+fn pull_goes_quiet_once_evicted_surplus_is_seen() {
+    // A consumed every event but its small cache evicted two thirds of
+    // them; B holds all of them live. Before eviction tombstones, A's
+    // pull rounds announced only the live residue, so B proved a
+    // "deficit" and re-served the evicted surplus every round forever
+    // (A's `has_seen` filter discarded each copy on arrival). With the
+    // seen view — live cache plus tombstones — both sides' aggregates
+    // agree, and a window of symmetric rounds must move nothing at
+    // all: no replies, no requests, no refinement traffic.
+    let mut a = peer(0, 1, 32, summary_engine(true, false));
+    let mut b = peer(1, 0, 1500, summary_engine(true, false));
+    feed(&mut a.node, 0..96);
+    feed(&mut b.node, 0..96);
+    assert_eq!(
+        a.node.cache().evicted_total(),
+        64,
+        "the small cache churned"
+    );
+    assert_eq!(a.node.cache().tombstoned(pattern()), 64);
+
+    let mut rng = Rng::from_seed(31);
+    for round in 0..12 {
+        let opening = a.algo.on_round(&a.node, &[b.node.id()], &mut rng);
+        let work = apply(&mut a, &mut b, opening, &mut rng);
+        let reply_round = b.algo.on_round(&b.node, &[a.node.id()], &mut rng);
+        let reply_work = apply(&mut b, &mut a, reply_round, &mut rng);
+        assert_eq!(
+            work + reply_work,
+            0,
+            "round {round} re-served evicted surplus"
+        );
     }
 }
 

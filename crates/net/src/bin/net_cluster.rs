@@ -30,7 +30,9 @@ use std::time::Duration;
 use eps_gossip::Algorithm;
 use eps_harness::{AdaptiveGossip, ScenarioResult};
 use eps_metrics::NetCounters;
-use eps_net::{run_cluster, run_process_node, Cluster, NetConfig, NodeAddrs};
+use eps_net::{
+    run_cluster_as, run_process_node, Cluster, NetConfig, NodeAddrs, ReactorCluster, RuntimeKind,
+};
 use eps_sim::SimTime;
 
 fn main() -> ExitCode {
@@ -49,6 +51,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut restarts: Vec<usize> = Vec::new();
     let mut peers: Vec<SocketAddr> = Vec::new();
     let mut listen: Option<SocketAddr> = None;
+    let mut runtime = RuntimeKind::Thread;
+    let mut workers: Option<usize> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -81,12 +85,19 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
             }
             "--listen" => listen = Some(parse(&value()?)?),
+            "--runtime" => runtime = value()?.parse()?,
+            "--workers" => workers = Some(parse(&value()?)?),
             "--help" | "-h" => {
                 print_usage();
                 return Ok(());
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    match (&mut runtime, workers) {
+        (RuntimeKind::Reactor { workers: w }, Some(n)) => *w = n,
+        (RuntimeKind::Thread, Some(_)) => return Err("--workers requires --runtime reactor".into()),
+        _ => {}
     }
     // Short runs: shrink the default measurement margins so the
     // window stays non-empty (same rule as the `simulate` binary).
@@ -99,14 +110,17 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let report = match (listen, peers.is_empty()) {
         (None, true) => {
             if restarts.is_empty() {
-                run_cluster(config).map_err(|e| format!("cluster failed: {e}"))?
+                run_cluster_as(config, runtime).map_err(|e| format!("cluster failed: {e}"))?
             } else {
-                run_with_restarts(config, &restarts)?
+                run_with_restarts(config, &restarts, runtime)?
             }
         }
         (Some(listen), false) => {
             if !restarts.is_empty() {
                 return Err("--restart only applies to single-process runs".into());
+            }
+            if runtime != RuntimeKind::Thread {
+                return Err("--runtime reactor only applies to single-process runs".into());
             }
             run_one_process(config, listen, peers)?
         }
@@ -129,6 +143,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
 fn run_with_restarts(
     config: NetConfig,
     restarts: &[usize],
+    runtime: RuntimeKind,
 ) -> Result<eps_net::NetRunReport, String> {
     let nodes = config.scenario.nodes;
     for &index in restarts {
@@ -137,17 +152,33 @@ fn run_with_restarts(
         }
     }
     let wall = Duration::from_nanos(config.scenario.duration.as_nanos());
-    let mut cluster = Cluster::launch(config).map_err(|e| format!("cluster failed: {e}"))?;
     // Let the workload establish itself, then knock the nodes over one
     // at a time in the first half of the run, leaving the rest of the
     // duration plus the drain budget for recovery.
-    std::thread::sleep(wall.mul_f64(0.25));
-    for &index in restarts {
-        cluster
-            .restart_node(index, Duration::from_millis(150))
-            .map_err(|e| format!("restart of node {index} failed: {e}"))?;
+    match runtime {
+        RuntimeKind::Thread => {
+            let mut cluster =
+                Cluster::launch(config).map_err(|e| format!("cluster failed: {e}"))?;
+            std::thread::sleep(wall.mul_f64(0.25));
+            for &index in restarts {
+                cluster
+                    .restart_node(index, Duration::from_millis(150))
+                    .map_err(|e| format!("restart of node {index} failed: {e}"))?;
+            }
+            Ok(cluster.finish())
+        }
+        RuntimeKind::Reactor { workers } => {
+            let mut cluster = ReactorCluster::launch(config, workers)
+                .map_err(|e| format!("reactor failed: {e}"))?;
+            std::thread::sleep(wall.mul_f64(0.25));
+            for &index in restarts {
+                cluster
+                    .restart_node(index, Duration::from_millis(150))
+                    .map_err(|e| format!("restart of node {index} failed: {e}"))?;
+            }
+            Ok(cluster.finish())
+        }
     }
-    Ok(cluster.finish())
 }
 
 fn run_one_process(
@@ -199,6 +230,7 @@ fn print_usage() {
          \t[--beta B] [--pi-max P] [--pattern-universe U] [--publish-rate R]\n\
          \t[--gossip-interval T] [--duration D] [--adaptive] [--drain D]\n\
          \t[--queue-capacity Q] [--restart IDX]...\n\
+         \t[--runtime thread|reactor] [--workers W]   (reactor worker pool)\n\
          \t[--peers A1,A2,... --listen ADDR]   (multi-process mode)\n\
          algorithms (case-insensitive, aliases accepted): {}",
         Algorithm::all()

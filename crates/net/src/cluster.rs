@@ -7,7 +7,15 @@
 //! the harness's shared `build_population`, so a [`NetConfig`] with
 //! the same seed as a simulator run boots the *identical* population —
 //! the basis of the sim-vs-wire cross-validation tests.
+//!
+//! Two runtimes execute that population: the thread-per-node
+//! [`Cluster`] here (the reference), and the epoll
+//! [`crate::ReactorCluster`] (thousands of dispatchers per process).
+//! Both boot through [`boot_population`] and report through
+//! [`aggregate_cores`], so a [`RuntimeKind`] choice changes scheduling
+//! and socket mechanics — never protocol state or accounting.
 
+use std::collections::HashMap;
 use std::net::{TcpListener, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -19,10 +27,11 @@ use eps_harness::{
     TraceRecord,
 };
 use eps_metrics::{DeliveryTracker, MessageCounters, NetCounters};
-use eps_sim::RngFactory;
+use eps_sim::{Rng, RngFactory};
 
+use crate::core::{CoreSetup, NodeCore, NodeParams, RunEnv, Shared};
 pub use crate::runtime::NodeAddrs;
-use crate::runtime::{NodeParams, NodeRuntime, NodeSetup, RunEnv, Shared};
+use crate::runtime::{NodeRuntime, NodeSetup};
 
 /// One real-socket run: the simulator's scenario parameters plus the
 /// knobs only a socket runtime has.
@@ -79,6 +88,49 @@ impl NetConfig {
     }
 }
 
+/// Which runtime executes a cluster: the thread-per-node reference
+/// loop, or the epoll reactor multiplexing every socket onto a fixed
+/// worker pool. Same protocol cores either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// One thread per dispatcher (`crate::Cluster`).
+    Thread,
+    /// The epoll reactor with this many worker threads
+    /// (`crate::ReactorCluster`); clamped to the node count.
+    Reactor {
+        /// Worker threads sharing the node slices.
+        workers: usize,
+    },
+}
+
+impl std::str::FromStr for RuntimeKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "thread" | "threads" => Ok(RuntimeKind::Thread),
+            "reactor" | "epoll" => Ok(RuntimeKind::Reactor { workers: 2 }),
+            other => Err(format!("unknown runtime '{other}' (thread | reactor)")),
+        }
+    }
+}
+
+/// End-to-end delivery latency over one run: publish-to-deliver wall
+/// time, sampled at every client delivery record (first copies and
+/// recoveries alike). The simulator has no wall clock, so this lives
+/// beside [`ScenarioResult`] rather than inside it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeliveryLatency {
+    /// Delivery records sampled.
+    pub samples: u64,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th-percentile latency (nearest-rank).
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+}
+
 /// What a finished cluster run reports: the simulator's result schema
 /// assembled from the same code path, plus the socket-layer counters.
 #[derive(Clone, Debug)]
@@ -91,6 +143,97 @@ pub struct NetRunReport {
     /// Trace records that did not fit `trace_capacity` (non-zero means
     /// the result under-counts and the capacity should be raised).
     pub trace_dropped: u64,
+    /// Publish-to-deliver latency percentiles (wall clock).
+    pub latency: DeliveryLatency,
+}
+
+/// One booted-but-not-running node: the protocol core plus its bound
+/// sockets and dial-jitter stream. Both runtimes consume these.
+pub(crate) struct BootNode {
+    pub core: NodeCore,
+    pub listener: TcpListener,
+    pub udp: UdpSocket,
+    pub dial_rng: Rng,
+}
+
+/// A fully booted population: every socket bound (so the address
+/// registry is complete before the first dial), every core built.
+pub(crate) struct Boot {
+    pub registry: Vec<NodeAddrs>,
+    pub nodes: Vec<BootNode>,
+    pub setup_subscription_msgs: u64,
+}
+
+/// Builds the population and binds every node's sockets on ephemeral
+/// loopback ports. Shared by both runtimes: the cores a reactor run
+/// starts from are bit-identical to a thread run's.
+pub(crate) fn boot_population(config: &NetConfig) -> std::io::Result<Boot> {
+    config.validate();
+    let scenario = &config.scenario;
+    let Population {
+        topology,
+        view,
+        space,
+        nodes,
+        subscriptions: _,
+        client_subscriptions: _,
+        subscribers_of,
+        setup_subscription_msgs,
+    } = build_population(scenario);
+
+    let mut listeners = Vec::with_capacity(scenario.nodes);
+    let mut udps = Vec::with_capacity(scenario.nodes);
+    let mut registry = Vec::with_capacity(scenario.nodes);
+    for _ in 0..scenario.nodes {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let udp = UdpSocket::bind("127.0.0.1:0")?;
+        registry.push(NodeAddrs {
+            tcp: listener.local_addr()?,
+            udp: udp.local_addr()?,
+        });
+        listeners.push(listener);
+        udps.push(udp);
+    }
+
+    let factory = RngFactory::new(scenario.seed);
+    let mut boot_nodes = Vec::with_capacity(scenario.nodes);
+    for (i, (node, (listener, udp))) in nodes
+        .into_iter()
+        .zip(listeners.into_iter().zip(udps))
+        .enumerate()
+    {
+        let id = node.id();
+        let core = NodeCore::new(
+            CoreSetup {
+                node,
+                // TCP tree links follow the routing view; the
+                // physical neighborhood (gossip partners, cross
+                // links over UDP) is passed alongside.
+                neighbors: view.neighbors(id).to_vec(),
+                graph_neighbors: topology.neighbors(id).to_vec(),
+                space,
+                subscribers_of: subscribers_of.clone(),
+                gossip_rng: factory.indexed_stream("net-gossip", i as u64),
+                loss_rng: factory.indexed_stream("net-loss", i as u64),
+                counters_width: scenario.nodes,
+                trace_capacity: config.trace_capacity,
+            },
+            node_params(config),
+        );
+        boot_nodes.push(BootNode {
+            core,
+            listener,
+            udp,
+            // A non-protocol stream: jittering dial retries must not
+            // perturb the gossip/loss draws the crossval suite pins.
+            dial_rng: factory.indexed_stream("net-dial", i as u64),
+        });
+    }
+    Ok(Boot {
+        registry,
+        nodes: boot_nodes,
+        setup_subscription_msgs,
+    })
 }
 
 struct Slot {
@@ -117,60 +260,23 @@ impl Cluster {
     /// (peers may still *connect* in any order, and reconnects after a
     /// restart go through the retry/backoff path).
     pub fn launch(config: NetConfig) -> std::io::Result<Cluster> {
-        config.validate();
-        let scenario = &config.scenario;
-        let Population {
-            topology,
-            view,
-            space,
+        let Boot {
+            registry,
             nodes,
-            subscriptions: _,
-            client_subscriptions: _,
-            subscribers_of,
             setup_subscription_msgs,
-        } = build_population(scenario);
-
-        let mut listeners = Vec::with_capacity(scenario.nodes);
-        let mut udps = Vec::with_capacity(scenario.nodes);
-        let mut registry = Vec::with_capacity(scenario.nodes);
-        for _ in 0..scenario.nodes {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            let udp = UdpSocket::bind("127.0.0.1:0")?;
-            registry.push(NodeAddrs {
-                tcp: listener.local_addr()?,
-                udp: udp.local_addr()?,
-            });
-            listeners.push(listener);
-            udps.push(udp);
-        }
-
-        let factory = RngFactory::new(scenario.seed);
+        } = boot_population(&config)?;
         let shared = Arc::new(Shared::default());
         let start = Instant::now();
-        let mut slots = Vec::with_capacity(scenario.nodes);
-        let mut node_iter = nodes.into_iter();
-        for (i, (listener, udp)) in listeners.into_iter().zip(udps).enumerate() {
-            let node = node_iter.next().expect("one SimNode per dispatcher");
-            let id = node.id();
+        let mut slots = Vec::with_capacity(nodes.len());
+        for (i, boot) in nodes.into_iter().enumerate() {
             let runtime = NodeRuntime::new(
+                boot.core,
                 NodeSetup {
-                    node,
-                    // TCP tree links follow the routing view; the
-                    // physical neighborhood (gossip partners, cross
-                    // links over UDP) is passed alongside.
-                    neighbors: view.neighbors(id).to_vec(),
-                    graph_neighbors: topology.neighbors(id).to_vec(),
-                    space,
-                    subscribers_of: subscribers_of.clone(),
-                    gossip_rng: factory.indexed_stream("net-gossip", i as u64),
-                    loss_rng: factory.indexed_stream("net-loss", i as u64),
-                    listener,
-                    udp,
-                    counters_width: scenario.nodes,
-                    trace_capacity: config.trace_capacity,
+                    listener: boot.listener,
+                    udp: boot.udp,
+                    dial_rng: boot.dial_rng,
                     registry_addrs: registry.clone(),
                 },
-                node_params(&config),
             )?;
             slots.push(spawn(runtime, &shared, start, i)?);
         }
@@ -217,21 +323,9 @@ impl Cluster {
     /// (bounded by the drain budget), stops every node, and assembles
     /// the report.
     pub fn finish(mut self) -> NetRunReport {
-        let n = self.config.scenario.nodes as u64;
-        let wall = Duration::from_nanos(self.config.scenario.duration.as_nanos());
-        let deadline = self.start + wall + self.config.drain;
-        loop {
-            let published_all = self.shared.publishers_done.load(Ordering::Relaxed) >= n;
-            let converged = published_all
-                && self.shared.delivered.load(Ordering::Relaxed)
-                    >= self.shared.expected.load(Ordering::Relaxed);
-            if converged || Instant::now() >= deadline {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        wait_for_convergence(&self.shared, &self.config, self.start);
         self.shared.stop_all.store(true, Ordering::Relaxed);
-        let runtimes: Vec<NodeRuntime> = self
+        let cores: Vec<NodeCore> = self
             .slots
             .drain(..)
             .map(|mut s| {
@@ -240,13 +334,28 @@ impl Cluster {
                     .expect("node is running")
                     .join()
                     .expect("node thread panicked")
+                    .core
             })
             .collect();
-        aggregate(
-            &self.config.scenario,
-            &runtimes,
-            self.setup_subscription_msgs,
-        )
+        aggregate_cores(&self.config.scenario, &cores, self.setup_subscription_msgs)
+    }
+}
+
+/// Polls the shared progress counters until the workload has finished
+/// and every intended delivery has happened, or the drain budget runs
+/// out. Both runtimes' coordinators stop through this.
+pub(crate) fn wait_for_convergence(shared: &Shared, config: &NetConfig, start: Instant) {
+    let n = config.scenario.nodes as u64;
+    let wall = Duration::from_nanos(config.scenario.duration.as_nanos());
+    let deadline = start + wall + config.drain;
+    loop {
+        let published_all = shared.publishers_done.load(Ordering::Relaxed) >= n;
+        let converged = published_all
+            && shared.delivered.load(Ordering::Relaxed) >= shared.expected.load(Ordering::Relaxed);
+        if converged || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
     }
 }
 
@@ -254,6 +363,14 @@ impl Cluster {
 /// the one-call entry point tests and the binary use.
 pub fn run_cluster(config: NetConfig) -> std::io::Result<NetRunReport> {
     Ok(Cluster::launch(config)?.finish())
+}
+
+/// [`run_cluster`] with an explicit runtime choice.
+pub fn run_cluster_as(config: NetConfig, kind: RuntimeKind) -> std::io::Result<NetRunReport> {
+    match kind {
+        RuntimeKind::Thread => run_cluster(config),
+        RuntimeKind::Reactor { workers } => crate::reactor::run_reactor_cluster(config, workers),
+    }
 }
 
 /// Runs node `index` of a *multi-process* cluster in the current
@@ -297,8 +414,8 @@ pub fn run_process_node(
     let udp = UdpSocket::bind(registry[index].udp)?;
     let factory = RngFactory::new(config.scenario.seed);
     let id = node.id();
-    let runtime = NodeRuntime::new(
-        NodeSetup {
+    let core = NodeCore::new(
+        CoreSetup {
             node,
             // TCP tree links follow the routing view; see `launch`.
             neighbors: view.neighbors(id).to_vec(),
@@ -307,13 +424,19 @@ pub fn run_process_node(
             subscribers_of,
             gossip_rng: factory.indexed_stream("net-gossip", index as u64),
             loss_rng: factory.indexed_stream("net-loss", index as u64),
-            listener,
-            udp,
             counters_width: config.scenario.nodes,
             trace_capacity: config.trace_capacity,
-            registry_addrs: registry,
         },
         node_params(config),
+    );
+    let runtime = NodeRuntime::new(
+        core,
+        NodeSetup {
+            listener,
+            udp,
+            dial_rng: factory.indexed_stream("net-dial", index as u64),
+            registry_addrs: registry,
+        },
     )?;
     let shared = Arc::new(Shared::default());
     let control = Arc::new(AtomicBool::new(false));
@@ -331,14 +454,14 @@ pub fn run_process_node(
         control,
         start,
     });
-    Ok(aggregate(
+    Ok(aggregate_cores(
         &config.scenario,
-        &[runtime],
+        &[runtime.core],
         setup_subscription_msgs,
     ))
 }
 
-fn node_params(config: &NetConfig) -> NodeParams {
+pub(crate) fn node_params(config: &NetConfig) -> NodeParams {
     let s = &config.scenario;
     NodeParams {
         payload_bits: s.event_payload_bits,
@@ -374,7 +497,9 @@ fn spawn(
 
 /// Rebinding a just-freed address can race the kernel's cleanup;
 /// retry briefly instead of failing the restart.
-fn bind_with_retry<S>(mut bind: impl FnMut() -> std::io::Result<S>) -> std::io::Result<S> {
+pub(crate) fn bind_with_retry<S>(
+    mut bind: impl FnMut() -> std::io::Result<S>,
+) -> std::io::Result<S> {
     let mut last = None;
     for _ in 0..40 {
         match bind() {
@@ -391,10 +516,11 @@ fn bind_with_retry<S>(mut bind: impl FnMut() -> std::io::Result<S>) -> std::io::
 /// Merges every node's sinks into one report, through the same
 /// `assemble` path the simulator uses: first all publishes (so the
 /// global tracker knows every event and its intended audience), then
-/// all deliveries.
-fn aggregate(
+/// all deliveries. Runtime-agnostic: both the thread cluster and the
+/// reactor hand their finished cores here.
+pub(crate) fn aggregate_cores(
     scenario: &ScenarioConfig,
-    runtimes: &[NodeRuntime],
+    cores: &[NodeCore],
     setup_subscription_msgs: u64,
 ) -> NetRunReport {
     let mut tracker = DeliveryTracker::new_tolerant();
@@ -403,9 +529,11 @@ fn aggregate(
     let mut trace_dropped = 0;
     let mut outstanding = 0;
     let mut evictions = 0;
+    let mut published_at = HashMap::new();
+    let mut latencies_ns: Vec<u64> = Vec::new();
 
-    for rt in runtimes {
-        if let Some(trace) = &rt.trace {
+    for core in cores {
+        if let Some(trace) = &core.trace {
             trace_dropped += trace.dropped();
             for rec in trace.records() {
                 if let TraceRecord::Publish {
@@ -416,12 +544,13 @@ fn aggregate(
                 } = *rec
                 {
                     tracker.published(event, at, expected);
+                    published_at.insert(event, at);
                 }
             }
         }
     }
-    for rt in runtimes {
-        if let Some(trace) = &rt.trace {
+    for core in cores {
+        if let Some(trace) = &core.trace {
             for rec in trace.records() {
                 if let TraceRecord::Deliver {
                     at,
@@ -440,19 +569,22 @@ fn aggregate(
                     } else {
                         tracker.delivered(event, node);
                     }
+                    if let Some(&pub_at) = published_at.get(&event) {
+                        latencies_ns.push(at.as_nanos().saturating_sub(pub_at.as_nanos()));
+                    }
                 }
             }
         }
     }
-    for rt in runtimes {
-        counters.absorb(&rt.counters);
-        net.absorb(&rt.net);
-        outstanding += rt.outstanding_losses();
-        evictions += rt.lost_evictions();
+    for core in cores {
+        counters.absorb(&core.counters);
+        net.absorb(&core.net);
+        outstanding += core.outstanding_losses();
+        evictions += core.lost_evictions();
     }
     counters.count_lost_evictions(evictions);
     let routing = routing_stats(
-        runtimes.iter().map(|rt| rt.sim_node()),
+        cores.iter().map(|core| core.sim_node()),
         setup_subscription_msgs,
     );
     let result = assemble(scenario, &tracker, &counters, outstanding, 0, 0, routing);
@@ -460,5 +592,24 @@ fn aggregate(
         result,
         net,
         trace_dropped,
+        latency: latency_percentiles(&mut latencies_ns),
+    }
+}
+
+/// Nearest-rank percentiles over the publish-to-deliver samples.
+fn latency_percentiles(latencies_ns: &mut [u64]) -> DeliveryLatency {
+    if latencies_ns.is_empty() {
+        return DeliveryLatency::default();
+    }
+    latencies_ns.sort_unstable();
+    let at = |pct: u64| {
+        let idx = ((latencies_ns.len() as u64 - 1) * pct / 100) as usize;
+        Duration::from_nanos(latencies_ns[idx])
+    };
+    DeliveryLatency {
+        samples: latencies_ns.len() as u64,
+        p50: at(50),
+        p99: at(99),
+        max: Duration::from_nanos(*latencies_ns.last().expect("non-empty")),
     }
 }

@@ -45,11 +45,23 @@
 //! println!("delivery rate: {}", report.result.overall_delivery_rate);
 //! ```
 
+// `unsafe` is denied crate-wide, with exactly one exemption: the
+// `syscalls` module, which holds the raw `epoll`/`timerfd` syscall
+// shims the reactor runtime is built on (the zero-dependency stance
+// rules out the libc crate). Everything above that module — including
+// the whole reactor — stays safe code.
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 mod cluster;
+mod core;
 pub mod frame;
+pub mod reactor;
 mod runtime;
+mod syscalls;
 
-pub use cluster::{run_cluster, run_process_node, Cluster, NetConfig, NetRunReport, NodeAddrs};
+pub use cluster::{
+    run_cluster, run_cluster_as, run_process_node, Cluster, DeliveryLatency, NetConfig,
+    NetRunReport, NodeAddrs, RuntimeKind,
+};
+pub use reactor::{run_reactor_cluster, ReactorCluster};

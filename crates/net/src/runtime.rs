@@ -1,10 +1,11 @@
-//! The per-node runtime: one thread that owns one [`SimNode`] and
-//! drives it from real sockets and wall-clock timers instead of a
-//! virtual-time event queue.
+//! The thread-per-node reference runtime: one thread that owns one
+//! [`NodeCore`] and drives it from real sockets and wall-clock timers
+//! instead of a virtual-time event queue.
 //!
 //! The protocol stack is *exactly* the simulator's — the same
 //! `Dispatcher`, the same `GossipEngine`, the same `SimNode` actor
-//! boundary. Only the outside changes:
+//! boundary (all wrapped in the shared [`NodeCore`], which the epoll
+//! reactor drives too). Only the outside changes:
 //!
 //! - tree links are nonblocking TCP connections (the lower-id endpoint
 //!   dials, the higher-id endpoint accepts; see
@@ -18,24 +19,23 @@
 //! - outbound tree traffic sits in a bounded per-link queue; overflow
 //!   is counted, not buffered forever;
 //! - a dialer whose peer is not up (yet, or again) retries with
-//!   exponential backoff, so a cluster tolerates any boot order and
-//!   node restarts.
+//!   jittered exponential backoff, so a cluster tolerates any boot
+//!   order and node restarts;
+//! - an idle iteration sleeps until the next protocol timer deadline
+//!   (capped so socket traffic is still noticed promptly), not a fixed
+//!   poll interval.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use eps_gossip::codec;
-use eps_gossip::{Channel, Envelope};
-use eps_harness::{AdaptiveGossip, NodeCtx, Outgoing, ScenarioTrace, SimNode, TraceRecord};
-use eps_metrics::{DeliveryTracker, MessageCounters, NetCounters};
+use eps_gossip::Channel;
 use eps_overlay::{LinkId, NodeId};
-use eps_pubsub::{ClientId, PatternSpace, PubSubMessage};
 use eps_sim::{Rng, SimTime};
 
+use crate::core::{jittered_backoff, NodeCore, Outbound, RunEnv};
 use crate::frame::{frame, FrameReader};
 
 /// Where one node listens: its TCP (tree links) and UDP (out-of-band)
@@ -48,35 +48,14 @@ pub struct NodeAddrs {
     pub udp: SocketAddr,
 }
 
-/// Run-wide shared state: the stop flag and the adaptive-stop
-/// progress counters the coordinator polls.
-#[derive(Debug, Default)]
-pub(crate) struct Shared {
-    /// Set once by the coordinator; every node thread exits its loop.
-    pub stop_all: AtomicBool,
-    /// Intended deliveries, summed over all publishes so far.
-    pub expected: AtomicU64,
-    /// Actual deliveries (first copies only, recovered or not).
-    pub delivered: AtomicU64,
-    /// Nodes whose publish schedule is exhausted.
-    pub publishers_done: AtomicU64,
-}
-
-/// Everything a node thread borrows from the cluster for one run.
-#[derive(Clone)]
-pub(crate) struct RunEnv {
-    pub shared: Arc<Shared>,
-    /// Per-node stop flag (restart support: stops one node only).
-    pub control: Arc<AtomicBool>,
-    /// The cluster's common time origin; wall time since `start` plays
-    /// the role of the simulator's virtual time.
-    pub start: Instant,
-}
-
 const DIAL_TIMEOUT: Duration = Duration::from_millis(20);
-const BACKOFF_START: Duration = Duration::from_millis(10);
-const BACKOFF_CAP: Duration = Duration::from_millis(500);
-const IDLE_SLEEP: Duration = Duration::from_micros(200);
+pub(crate) const BACKOFF_START: Duration = Duration::from_millis(10);
+pub(crate) const BACKOFF_CAP: Duration = Duration::from_millis(500);
+/// Upper bound on one idle sleep. The protocol deadline can be tens of
+/// milliseconds out, but socket traffic arrives unannounced — this cap
+/// bounds the added receive latency of a sleeping node. (The reactor
+/// has no such cap: epoll wakes it on readiness.)
+const IDLE_SLEEP_CAP: Duration = Duration::from_millis(1);
 /// Datagrams drained per loop iteration (bounds one node's share of
 /// the iteration without starving its timers).
 const UDP_BATCH: usize = 64;
@@ -108,48 +87,13 @@ struct PendingConn {
     got: usize,
 }
 
-/// One node of the cluster: the simulator's node actor plus its
-/// sockets, timers, per-node RNG streams, and per-node metrics sinks.
-/// Returned intact when the thread stops, so a restart carries the
-/// protocol state across.
+/// One node of the cluster: the shared protocol core plus its sockets
+/// and dial state. Returned intact when the thread stops, so a restart
+/// carries the protocol state across.
 pub(crate) struct NodeRuntime {
     pub id: NodeId,
-    node: SimNode,
-    /// Routing-view neighbors: the peers this node keeps TCP tree
-    /// links to, and the targets of protocol forwards.
-    neighbors: Vec<NodeId>,
-    /// Physical-graph neighbors: the neighborhood gossip draws
-    /// partners from. Equal to `neighbors` on tree overlays; the
-    /// extra members (cross links) are reached over UDP.
-    graph_neighbors: Vec<NodeId>,
-    space: PatternSpace,
-    subscribers_of: Vec<Vec<(NodeId, ClientId)>>,
-
-    payload_bits: u64,
-    loss_rate: f64,
-    publish_rate: f64,
-    gossip_interval: SimTime,
-    adaptive: Option<AdaptiveGossip>,
-    duration: SimTime,
-    queue_capacity: usize,
-
-    gossip_rng: Rng,
-    loss_rng: Rng,
-
-    pub tracker: DeliveryTracker,
-    pub counters: MessageCounters,
-    pub net: NetCounters,
-    pub trace: Option<ScenarioTrace>,
-
-    /// Virtual time of the next publish tick (`None` = schedule
-    /// exhausted). Mirrors the simulator: the first tick is one
-    /// workload-RNG draw after zero, each tick renews iff
-    /// `tick + delay < duration`, and the last scheduled tick fires
-    /// even past `duration`.
-    publish_vnext: Option<SimTime>,
-    publish_done_reported: bool,
-    gossip_vnext: SimTime,
-
+    pub core: NodeCore,
+    dial_rng: Rng,
     listener: Option<TcpListener>,
     udp: Option<UdpSocket>,
     links: Vec<Link>,
@@ -159,43 +103,23 @@ pub(crate) struct NodeRuntime {
     registry_addrs: Vec<NodeAddrs>,
 }
 
-/// Constructor parameters that are per-node (everything scenario-wide
-/// comes from the config passed alongside).
+/// Socket-side constructor parameters; the protocol side is the
+/// already-built [`NodeCore`].
 pub(crate) struct NodeSetup {
-    pub node: SimNode,
-    /// Routing-view neighbors (TCP tree links).
-    pub neighbors: Vec<NodeId>,
-    /// Physical-graph neighbors (gossip neighborhood).
-    pub graph_neighbors: Vec<NodeId>,
-    pub space: PatternSpace,
-    pub subscribers_of: Vec<Vec<(NodeId, ClientId)>>,
-    pub gossip_rng: Rng,
-    pub loss_rng: Rng,
     pub listener: TcpListener,
     pub udp: UdpSocket,
-    pub counters_width: usize,
-    pub trace_capacity: usize,
+    pub dial_rng: Rng,
     /// Every node's socket addresses, indexed by node id.
     pub registry_addrs: Vec<NodeAddrs>,
 }
 
-pub(crate) struct NodeParams {
-    pub payload_bits: u64,
-    pub loss_rate: f64,
-    pub publish_rate: f64,
-    pub gossip_interval: SimTime,
-    pub adaptive: Option<AdaptiveGossip>,
-    pub duration: SimTime,
-    pub queue_capacity: usize,
-}
-
 impl NodeRuntime {
-    pub(crate) fn new(setup: NodeSetup, params: NodeParams) -> std::io::Result<Self> {
+    pub(crate) fn new(core: NodeCore, setup: NodeSetup) -> std::io::Result<Self> {
         setup.listener.set_nonblocking(true)?;
         setup.udp.set_nonblocking(true)?;
-        let id = setup.node.id();
-        let links = setup
-            .neighbors
+        let id = core.id;
+        let links = core
+            .neighbors()
             .iter()
             .map(|&peer| {
                 let link = LinkId::new(id, peer);
@@ -211,66 +135,16 @@ impl NodeRuntime {
                 }
             })
             .collect();
-        let mut node = setup.node;
-        // The simulator seeds each publish process with one delay draw
-        // before anything else touches the workload stream; replay
-        // that exactly so the publication sequences coincide.
-        let publish_vnext = if params.publish_rate > 0.0 {
-            Some(node.next_publish_delay(params.publish_rate))
-        } else {
-            None
-        };
-        let mut gossip_rng = setup.gossip_rng;
-        // Stagger gossip phases uniformly over one interval, as the
-        // simulator does (from this node's own stream — a documented
-        // sim/net divergence; see DESIGN.md).
-        let gossip_vnext = params
-            .gossip_interval
-            .mul_f64(gossip_rng.random_range(0.0..1.0));
         Ok(NodeRuntime {
             id,
-            node,
-            neighbors: setup.neighbors,
-            graph_neighbors: setup.graph_neighbors,
-            space: setup.space,
-            subscribers_of: setup.subscribers_of,
-            payload_bits: params.payload_bits,
-            loss_rate: params.loss_rate,
-            publish_rate: params.publish_rate,
-            gossip_interval: params.gossip_interval,
-            adaptive: params.adaptive,
-            duration: params.duration,
-            queue_capacity: params.queue_capacity,
-            gossip_rng,
-            loss_rng: setup.loss_rng,
-            tracker: DeliveryTracker::new(),
-            counters: MessageCounters::new(setup.counters_width),
-            net: NetCounters::default(),
-            trace: Some(ScenarioTrace::new(setup.trace_capacity)),
-            publish_vnext,
-            publish_done_reported: false,
-            gossip_vnext,
+            core,
+            dial_rng: setup.dial_rng,
             listener: Some(setup.listener),
             udp: Some(setup.udp),
             links,
             pending: Vec::new(),
             registry_addrs: setup.registry_addrs,
         })
-    }
-
-    /// The wrapped node actor, for end-of-run routing-state sampling.
-    pub(crate) fn sim_node(&self) -> &SimNode {
-        &self.node
-    }
-
-    /// `Lost` entries this node's recovery algorithm still chases.
-    pub(crate) fn outstanding_losses(&self) -> u64 {
-        self.node.outstanding_losses() as u64
-    }
-
-    /// `Lost` entries evicted under the capacity bound.
-    pub(crate) fn lost_evictions(&self) -> u64 {
-        self.node.lost_evictions()
     }
 
     /// Drops the sockets and all live connections so the cluster can
@@ -303,9 +177,7 @@ impl NodeRuntime {
     /// returns itself so the cluster can aggregate (or restart it).
     pub(crate) fn run(mut self, env: RunEnv) -> NodeRuntime {
         let mut scratch = vec![0u8; 64 * 1024];
-        if self.publish_vnext.is_none() {
-            self.report_publish_done(&env);
-        }
+        self.core.bootstrap(&env.shared);
         loop {
             if env.shared.stop_all.load(Ordering::Relaxed) || env.control.load(Ordering::Relaxed) {
                 break;
@@ -319,21 +191,33 @@ impl NodeRuntime {
             worked |= self.tick_timers(&env);
             self.flush_links();
             if !worked {
-                std::thread::sleep(IDLE_SLEEP);
+                self.idle_sleep(&env);
             }
         }
         self
     }
 
-    fn now_virtual(&self, env: &RunEnv) -> SimTime {
-        SimTime::from_nanos(env.start.elapsed().as_nanos() as u64)
+    /// Sleeps until the next thing this node *knows* is due — the
+    /// core's protocol-timer deadline or the earliest dial retry —
+    /// capped by [`IDLE_SLEEP_CAP`] because socket arrivals give no
+    /// advance notice.
+    fn idle_sleep(&self, env: &RunEnv) {
+        let now = Instant::now();
+        let deadline = env.start + Duration::from_nanos(self.core.next_deadline().as_nanos());
+        let mut until = deadline.saturating_duration_since(now);
+        for link in &self.links {
+            if link.dialer && link.conn.is_none() {
+                until = until.min(link.next_attempt.saturating_duration_since(now));
+            }
+        }
+        let until = until.min(IDLE_SLEEP_CAP);
+        if !until.is_zero() {
+            std::thread::sleep(until);
+        }
     }
 
-    fn report_publish_done(&mut self, env: &RunEnv) {
-        if !self.publish_done_reported {
-            self.publish_done_reported = true;
-            env.shared.publishers_done.fetch_add(1, Ordering::Relaxed);
-        }
+    fn now_virtual(&self, env: &RunEnv) -> SimTime {
+        SimTime::from_nanos(env.start.elapsed().as_nanos() as u64)
     }
 
     // ---- connection management -------------------------------------
@@ -349,7 +233,7 @@ impl NodeRuntime {
                     if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
                         continue;
                     }
-                    self.net.accepted_conns += 1;
+                    self.core.net.accepted_conns += 1;
                     self.pending.push(PendingConn {
                         stream,
                         hello: [0; 4],
@@ -414,9 +298,9 @@ impl NodeRuntime {
             if !link.dialer || link.conn.is_some() || now < link.next_attempt {
                 continue;
             }
-            self.net.connect_attempts += 1;
+            self.core.net.connect_attempts += 1;
             if link.attempts_this_session > 0 {
-                self.net.connect_retries += 1;
+                self.core.net.connect_retries += 1;
             }
             link.attempts_this_session += 1;
             let addr = self.registry_addrs[link.peer.index()].tcp;
@@ -440,7 +324,7 @@ impl NodeRuntime {
                     }
                 }
                 Err(_) => {
-                    link.next_attempt = now + link.backoff;
+                    link.next_attempt = now + jittered_backoff(link.backoff, &mut self.dial_rng);
                     link.backoff = (link.backoff * 2).min(BACKOFF_CAP);
                 }
             }
@@ -459,15 +343,17 @@ impl NodeRuntime {
                     let from = NodeId::new(u32::from_le_bytes(
                         scratch[..4].try_into().expect("4-byte prefix"),
                     ));
-                    self.net.datagrams_received += 1;
+                    self.core.net.datagrams_received += 1;
                     let body = &scratch[4..n];
-                    self.net.bytes_received += body.len() as u64;
+                    self.core.net.bytes_received += body.len() as u64;
                     let body = body.to_vec();
-                    self.handle_body(from, &body, false, env);
+                    let now = self.now_virtual(env);
+                    let out = self.core.handle_body(from, &body, false, now, &env.shared);
+                    self.dispatch(out);
                 }
                 Ok(_) => {
                     // Shorter than a sender prefix: not ours.
-                    self.net.decode_errors += 1;
+                    self.core.net.decode_errors += 1;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(_) => break,
@@ -506,7 +392,7 @@ impl NodeRuntime {
                         Ok(Some(body)) => bodies.push(body),
                         Ok(None) => break,
                         Err(_) => {
-                            self.net.decode_errors += 1;
+                            self.core.net.decode_errors += 1;
                             drop_conn = true;
                             break;
                         }
@@ -518,224 +404,49 @@ impl NodeRuntime {
                 self.links[i].write_pos = 0;
             }
             for body in bodies {
-                self.net.frames_received += 1;
-                self.net.bytes_received += body.len() as u64;
-                self.handle_body(peer, &body, true, env);
+                self.core.net.frames_received += 1;
+                self.core.net.bytes_received += body.len() as u64;
+                let now = self.now_virtual(env);
+                let out = self.core.handle_body(peer, &body, true, now, &env.shared);
+                self.dispatch(out);
             }
         }
         worked
-    }
-
-    fn handle_body(&mut self, from: NodeId, body: &[u8], tree: bool, env: &RunEnv) {
-        let env_msg = match codec::decode(body, self.payload_bits) {
-            Ok(m) => m,
-            Err(_) => {
-                self.net.decode_errors += 1;
-                return;
-            }
-        };
-        // Receive-side loss injection, the net analogue of the
-        // simulator's per-link error rate ε. Applied to tree traffic
-        // and to cross-link event copies, which the simulator runs
-        // through the same lossy link model even though this runtime
-        // carries them over UDP. The out-of-band recovery channel
-        // stays lossless (the paper's default configuration, and real
-        // loopback UDP nearly is).
-        if (tree
-            && matches!(
-                env_msg,
-                Envelope::PubSub(PubSubMessage::Event(_)) | Envelope::Gossip(_)
-            )
-            || matches!(env_msg, Envelope::CrossEvent(_)))
-            && self.loss_rate > 0.0
-            && self.loss_rng.random_bool(self.loss_rate)
-        {
-            self.net.injected_drops += 1;
-            return;
-        }
-        let now = self.now_virtual(env);
-        let before = self.trace_len();
-        let out = {
-            let mut ctx = NodeCtx {
-                now,
-                neighbors: &self.neighbors,
-                graph_neighbors: &self.graph_neighbors,
-                space: &self.space,
-                subscribers_of: &self.subscribers_of,
-                gossip_rng: &mut self.gossip_rng,
-                tracker: &mut self.tracker,
-                counters: &mut self.counters,
-                trace: &mut self.trace,
-            };
-            self.node.handle(from, env_msg, &mut ctx)
-        };
-        let delivered = self.delivers_since(before);
-        if delivered > 0 {
-            env.shared.delivered.fetch_add(delivered, Ordering::Relaxed);
-        }
-        self.route(out);
-    }
-
-    fn trace_len(&self) -> usize {
-        self.trace.as_ref().map(|t| t.len()).unwrap_or(0)
-    }
-
-    /// Deliver records appended since `before` — the increment for the
-    /// adaptive-stop counter. Scans only the new tail, so the cost per
-    /// message stays constant.
-    fn delivers_since(&self, before: usize) -> u64 {
-        self.trace
-            .as_ref()
-            .map(|t| {
-                t.records()[before.min(t.len())..]
-                    .iter()
-                    .filter(|r| matches!(r, TraceRecord::Deliver { .. }))
-                    .count() as u64
-            })
-            .unwrap_or(0)
     }
 
     // ---- timers ------------------------------------------------------
 
     fn tick_timers(&mut self, env: &RunEnv) -> bool {
-        let mut worked = false;
         let now = self.now_virtual(env);
-        if let Some(vnext) = self.publish_vnext {
-            if now >= vnext {
-                worked = true;
-                let expected_before = self.tracker.expected_total();
-                let trace_before = self.trace_len();
-                let (out, delay) = {
-                    let mut ctx = NodeCtx {
-                        now,
-                        neighbors: &self.neighbors,
-                        graph_neighbors: &self.graph_neighbors,
-                        space: &self.space,
-                        subscribers_of: &self.subscribers_of,
-                        gossip_rng: &mut self.gossip_rng,
-                        tracker: &mut self.tracker,
-                        counters: &mut self.counters,
-                        trace: &mut self.trace,
-                    };
-                    self.node.tick_publish(self.publish_rate, &mut ctx)
-                };
-                let expected = self.tracker.expected_total() - expected_before;
-                if expected > 0 {
-                    env.shared.expected.fetch_add(expected, Ordering::Relaxed);
-                }
-                let delivered = self.delivers_since(trace_before);
-                if delivered > 0 {
-                    env.shared.delivered.fetch_add(delivered, Ordering::Relaxed);
-                }
-                self.route(out);
-                // Renewal uses the *scheduled* virtual time, exactly
-                // like the simulator's queue — wall-clock jitter must
-                // not change how many events a seed publishes.
-                if vnext + delay < self.duration {
-                    self.publish_vnext = Some(vnext + delay);
-                } else {
-                    self.publish_vnext = None;
-                    self.report_publish_done(env);
-                }
-            }
-        }
-        // Gossip keeps running through the drain window (unlike the
-        // simulator, whose ticks stop renewing at `duration`): real
-        // recovery needs rounds to finish the job. Documented as a
-        // sim/net equivalence rule.
-        while now >= self.gossip_vnext {
-            worked = true;
-            let (out, next) = {
-                let mut ctx = NodeCtx {
-                    now,
-                    neighbors: &self.neighbors,
-                    graph_neighbors: &self.graph_neighbors,
-                    space: &self.space,
-                    subscribers_of: &self.subscribers_of,
-                    gossip_rng: &mut self.gossip_rng,
-                    tracker: &mut self.tracker,
-                    counters: &mut self.counters,
-                    trace: &mut self.trace,
-                };
-                self.node
-                    .tick_gossip(self.gossip_interval, self.adaptive, &mut ctx)
-            };
-            self.route(out);
-            self.gossip_vnext += next;
-        }
+        let (worked, out) = self.core.tick_timers(now, &env.shared);
+        self.dispatch(out);
         worked
     }
 
     // ---- send path ---------------------------------------------------
 
-    fn route(&mut self, out: Vec<Outgoing>) {
-        for Outgoing { to, env: msg } in out {
-            // Event and subscription traffic is counted at the send
-            // layer, mirroring the simulator's `Scenario::send` (gossip
-            // classes are counted inside the node when the action is
-            // decided).
-            match &msg {
-                Envelope::PubSub(PubSubMessage::Event(_)) | Envelope::CrossEvent(_) => {
-                    self.counters.count_event(self.id)
-                }
-                Envelope::PubSub(_) => self.counters.count_subscription(self.id),
-                _ => {}
-            }
-            // Enforce the paper's digest budget before encoding; a
-            // trimmed digest is re-announced by later rounds.
-            let (msg, dropped) = codec::fit(msg, self.payload_bits);
-            if dropped > 0 {
-                self.net.digest_truncations += 1;
-                self.net.route_drops += dropped;
-            }
-            let body = match codec::encode(&msg, self.payload_bits) {
-                Ok(b) => b,
-                Err(_) => {
-                    // Unencodable after fitting — accounting bug, not
-                    // a transient; surface it in the counters.
-                    self.net.decode_errors += 1;
-                    continue;
-                }
-            };
-            // The cross-validation invariant: on-the-wire bytes are
-            // the simulator's wire_bits, always.
-            let bits = msg.wire_bits(self.payload_bits);
-            assert_eq!(
-                body.len() as u64 * 8,
-                bits,
-                "codec framed size diverged from wire_bits"
-            );
-            // Wire-bit accounting mirrors the simulator's send layer,
-            // charged on the post-fit envelope — the bits that actually
-            // hit the wire.
-            match &msg {
-                Envelope::Gossip(_) => self.counters.count_gossip_bits(bits),
-                Envelope::Request(_) | Envelope::RangeRequest { .. } => {
-                    self.counters.count_request_bits(bits)
-                }
-                Envelope::Reply(_) => self.counters.count_reply_bits(bits),
-                _ => {}
-            }
-            match msg.channel() {
-                Channel::Tree => self.enqueue_tree(to, body),
+    fn dispatch(&mut self, out: Vec<Outbound>) {
+        for send in out {
+            match send.channel {
+                Channel::Tree => self.enqueue_tree(send.to, send.body),
                 // Cross links have no TCP connection (those follow
                 // the routing view); chord copies go as datagrams,
                 // like the recovery channel.
-                Channel::Cross | Channel::OutOfBand => self.send_oob(to, &body),
+                Channel::Cross | Channel::OutOfBand => self.send_oob(send.to, &send.body),
             }
         }
     }
 
     fn enqueue_tree(&mut self, to: NodeId, body: Vec<u8>) {
-        let capacity = self.queue_capacity;
+        let capacity = self.core.queue_capacity;
         let Some(link) = self.links.iter_mut().find(|l| l.peer == to) else {
             // Not a neighbor: stale route. The simulator drops these
             // on broken links; here the static tree makes it rare.
-            self.net.queue_drops += 1;
+            self.core.net.queue_drops += 1;
             return;
         };
         if link.outbox.len() >= capacity {
-            self.net.queue_drops += 1;
+            self.core.net.queue_drops += 1;
             return;
         }
         link.outbox.push_back(frame(&body));
@@ -743,7 +454,7 @@ impl NodeRuntime {
 
     fn send_oob(&mut self, to: NodeId, body: &[u8]) {
         let Some(udp) = &self.udp else {
-            self.net.queue_drops += 1;
+            self.core.net.queue_drops += 1;
             return;
         };
         let mut datagram = Vec::with_capacity(4 + body.len());
@@ -751,14 +462,14 @@ impl NodeRuntime {
         datagram.extend_from_slice(body);
         match udp.send_to(&datagram, self.registry_addrs[to.index()].udp) {
             Ok(_) => {
-                self.net.datagrams_sent += 1;
-                self.net.bytes_sent += body.len() as u64;
+                self.core.net.datagrams_sent += 1;
+                self.core.net.bytes_sent += body.len() as u64;
             }
             Err(_) => {
                 // Includes WouldBlock and oversized datagrams: the
                 // out-of-band channel sheds load instead of blocking
                 // the node loop.
-                self.net.queue_drops += 1;
+                self.core.net.queue_drops += 1;
             }
         }
     }
@@ -772,8 +483,8 @@ impl NodeRuntime {
                     Ok(n) => {
                         link.write_pos += n;
                         if link.write_pos == front.len() {
-                            self.net.frames_sent += 1;
-                            self.net.bytes_sent += (front.len() - 4) as u64;
+                            self.core.net.frames_sent += 1;
+                            self.core.net.bytes_sent += (front.len() - 4) as u64;
                             link.outbox.pop_front();
                             link.write_pos = 0;
                         }

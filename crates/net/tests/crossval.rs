@@ -11,7 +11,7 @@ use std::time::Duration;
 use eps_gossip::codec;
 use eps_gossip::{Algorithm, Envelope, GossipMessage};
 use eps_harness::{run_scenario, ScenarioConfig};
-use eps_net::{run_cluster, NetConfig};
+use eps_net::{run_cluster, run_cluster_as, NetConfig, RuntimeKind};
 use eps_overlay::{NodeId, OverlayKind};
 use eps_pubsub::{Event, EventId, LossRecord, PatternId, RangeDetail, RangeRef, RangeSummary};
 use eps_sim::SimTime;
@@ -235,6 +235,64 @@ fn sim_and_loopback_agree_with_summary_reconciliation() {
     );
     assert_eq!(report.net.decode_errors, 0, "codec never misparses");
     assert_eq!(report.trace_dropped, 0, "trace capacity sufficed");
+}
+
+/// The runtime-equivalence cell: the same seed through the simulator,
+/// the thread-per-node runtime, and the epoll reactor. The two socket
+/// runtimes share one protocol core (`NodeCore`), one population
+/// boot, and one aggregation path — so the workload identity and all
+/// boot-derived routing state must be *equal*, not merely close, and
+/// both must converge. This is the contract that lets the reactor
+/// replace thread-per-node without re-validating the protocol.
+#[test]
+fn reactor_and_thread_runtimes_agree_with_sim_on_the_same_seed() {
+    let scenario = crossval_scenario();
+    let sim = run_scenario(&scenario);
+
+    let config = || NetConfig {
+        scenario: scenario.clone(),
+        drain: Duration::from_secs(4),
+        ..NetConfig::default()
+    };
+    let thread = run_cluster_as(config(), RuntimeKind::Thread).expect("thread cluster boots");
+    let reactor =
+        run_cluster_as(config(), RuntimeKind::Reactor { workers: 2 }).expect("reactor boots");
+
+    for (name, report) in [("thread", &thread), ("reactor", &reactor)] {
+        assert_eq!(
+            report.result.events_published, sim.events_published,
+            "{name}: same seed must publish the same event sequence as sim"
+        );
+        assert_eq!(
+            report.result.overall_delivery_rate, 1.0,
+            "{name}: the wire run converges to 100%; got {:?}",
+            report.result
+        );
+        assert!(
+            report.net.injected_drops > 0,
+            "{name}: loss injection exercised"
+        );
+        assert_eq!(report.net.decode_errors, 0, "{name}: codec never misparses");
+        assert_eq!(report.trace_dropped, 0, "{name}: trace capacity sufficed");
+    }
+    // Boot-derived state is bit-identical across runtimes, not just
+    // statistically alike.
+    assert_eq!(
+        reactor.result.routing_entries,
+        thread.result.routing_entries
+    );
+    assert_eq!(
+        reactor.result.client_subscriptions,
+        thread.result.client_subscriptions
+    );
+    assert_eq!(
+        reactor.result.aggregate_patterns,
+        thread.result.aggregate_patterns
+    );
+    assert_eq!(
+        reactor.result.setup_subscription_msgs,
+        thread.result.setup_subscription_msgs
+    );
 }
 
 /// Determinism of the workload identity itself: two net runs with the

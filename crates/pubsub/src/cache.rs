@@ -23,7 +23,7 @@ use eps_sim::Rng;
 
 use crate::event::{Event, EventId};
 use crate::pattern::{PatternId, DENSE_UNIVERSE_MAX};
-use crate::summary::SummaryIndex;
+use crate::summary::{RangeRef, RangeSummary, SummaryIndex};
 
 /// Which cached event to sacrifice when the buffer is full.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -193,6 +193,15 @@ pub struct EventCache {
     // it: the trees cost memory per cached event, so only the
     // summary-digest family pays for them.
     summary: Option<SummaryIndex>,
+    // Eviction tombstones: the summary forest over ids this cache has
+    // admitted and since evicted (re-admitting an id clears its
+    // tombstone, so live and tombstoned sets stay disjoint). Together
+    // with `summary` they form the *seen* view pull-mode summary
+    // reconciliation announces, so peers stop re-serving surplus this
+    // cache has already consumed. Enabled with the summary index; a
+    // tombstone is three words per evicted id — far below the events
+    // the cache itself holds.
+    tombstones: Option<SummaryIndex>,
     inserted_total: u64,
     evicted_total: u64,
 }
@@ -302,6 +311,7 @@ impl Clone for EventCache {
             by_pattern_seq: self.by_pattern_seq.clone(),
             by_pattern: self.by_pattern.clone(),
             summary: self.summary.clone(),
+            tombstones: self.tombstones.clone(),
             inserted_total: self.inserted_total,
             evicted_total: self.evicted_total,
         }
@@ -350,6 +360,7 @@ impl EventCache {
             by_pattern_seq: HashMap::new(),
             by_pattern: PatternIndex::new(universe),
             summary: None,
+            tombstones: None,
             inserted_total: 0,
             evicted_total: 0,
         }
@@ -399,6 +410,11 @@ impl EventCache {
             if let Some(summary) = &mut self.summary {
                 summary.add(p, id);
             }
+            // A re-admitted id moves from tombstoned back to live, so
+            // the seen view never double-counts it.
+            if let Some(tombstones) = &mut self.tombstones {
+                tombstones.discard(p, id);
+            }
         }
         let is_own = self.owner == Some(id.source());
         self.policy.note_insert(id, is_own);
@@ -423,6 +439,9 @@ impl EventCache {
                 self.by_pattern.remove(p, id);
                 if let Some(summary) = &mut self.summary {
                     summary.remove(p, id);
+                }
+                if let Some(tombstones) = &mut self.tombstones {
+                    tombstones.add(p, id);
                 }
             }
         }
@@ -477,6 +496,9 @@ impl EventCache {
             }
         }
         self.summary = Some(index);
+        // Evictions from here on are tombstoned; anything evicted
+        // before enabling predates the recovery algorithm entirely.
+        self.tombstones = Some(SummaryIndex::new());
     }
 
     /// `true` if [`EventCache::enable_summary_index`] has been called.
@@ -495,6 +517,55 @@ impl EventCache {
         self.summary
             .as_ref()
             .expect("summary index not enabled; the algorithm must declare needs_summary_index")
+    }
+
+    /// The aggregate of `pattern`'s **seen** view over `range`: every
+    /// id this cache has ever admitted — the live residents plus the
+    /// eviction tombstones. The two sets are disjoint (re-admitting an
+    /// evicted id clears its tombstone), so counts add and hashes XOR.
+    /// Pull-mode summary reconciliation announces and compares this
+    /// view: a peer must not serve surplus the cache has already
+    /// consumed and evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary index was never enabled (see
+    /// [`EventCache::summary_index`]).
+    pub fn seen_summary(&self, pattern: PatternId, range: RangeRef) -> RangeSummary {
+        let live = self.summary_index().summarize(pattern, range);
+        match &self.tombstones {
+            Some(tombstones) => {
+                let dead = tombstones.summarize(pattern, range);
+                RangeSummary {
+                    range,
+                    count: live.count + dead.count,
+                    hash: live.hash ^ dead.hash,
+                }
+            }
+            None => live,
+        }
+    }
+
+    /// The complete seen-view id list of `range` under `pattern`: the
+    /// live residents (in leaf/insertion order) followed by the
+    /// tombstoned ids — the pull-mode expansion of a small range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary index was never enabled.
+    pub fn seen_ids_in(&self, pattern: PatternId, range: RangeRef) -> Vec<EventId> {
+        let mut ids = self.summary_index().ids_in(pattern, range);
+        if let Some(tombstones) = &self.tombstones {
+            ids.extend(tombstones.ids_in(pattern, range));
+        }
+        ids
+    }
+
+    /// Evicted ids currently tombstoned under `pattern`.
+    pub fn tombstoned(&self, pattern: PatternId) -> u64 {
+        self.tombstones
+            .as_ref()
+            .map_or(0, |t| t.root(pattern).count)
     }
 }
 
@@ -784,6 +855,42 @@ mod tests {
     fn summary_index_panics_when_disabled() {
         let c = EventCache::new(8);
         let _ = c.summary_index();
+    }
+
+    #[test]
+    fn seen_view_unions_live_and_tombstoned_ids() {
+        let mut c = EventCache::new(2);
+        c.enable_summary_index();
+        let p = PatternId::new(1);
+        for seq in 0..5 {
+            c.insert(ev(0, seq, &[(1, seq)]));
+        }
+        // 3 evicted, 2 live; the seen view covers all 5.
+        assert_eq!(c.tombstoned(p), 3);
+        let root = c.seen_summary(p, RangeRef::ROOT);
+        assert_eq!(root.count, 5);
+        let mut ids = c.seen_ids_in(p, RangeRef::ROOT);
+        ids.sort();
+        let expected: Vec<EventId> = (0..5).map(|s| EventId::new(NodeId::new(0), s)).collect();
+        assert_eq!(ids, expected);
+        let hash = expected
+            .iter()
+            .fold(0u64, |acc, &id| acc ^ crate::summary::mix_event_id(id));
+        assert_eq!(root.hash, hash, "disjoint sets XOR into the union hash");
+    }
+
+    #[test]
+    fn readmitting_an_evicted_id_clears_its_tombstone() {
+        let mut c = EventCache::new(1);
+        c.enable_summary_index();
+        let p = PatternId::new(1);
+        c.insert(ev(0, 0, &[(1, 0)]));
+        c.insert(ev(0, 1, &[(1, 1)])); // evicts seq 0
+        assert_eq!(c.tombstoned(p), 1);
+        c.insert(ev(0, 0, &[(1, 0)])); // readmits seq 0, evicts seq 1
+        assert_eq!(c.tombstoned(p), 1, "seq 1 tombstoned, seq 0 revived");
+        assert_eq!(c.seen_summary(p, RangeRef::ROOT).count, 2);
+        assert!(c.contains(EventId::new(NodeId::new(0), 0)));
     }
 
     #[test]

@@ -247,6 +247,13 @@ impl CacheSummary {
         }
     }
 
+    /// `true` if `id` is resident in the tree.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.leaves
+            .get(&index_at(mix_event_id(id), LEAF_LEVEL))
+            .is_some_and(|ids| ids.contains(&id))
+    }
+
     /// Total ids in the tree.
     pub fn len(&self) -> u64 {
         self.levels[0].get(&0).map_or(0, |agg| agg.count)
@@ -344,6 +351,23 @@ impl SummaryIndex {
         } else {
             debug_assert!(false, "removing {id} from absent pattern tree");
         }
+    }
+
+    /// Removes `id` from `pattern`'s tree if it is recorded there;
+    /// returns whether anything was removed. Unlike
+    /// [`SummaryIndex::remove`], an absent id is a clean no-op.
+    pub fn discard(&mut self, pattern: PatternId, id: EventId) -> bool {
+        if self.contains(pattern, id) {
+            self.remove(pattern, id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` if `id` is recorded under `pattern`.
+    pub fn contains(&self, pattern: PatternId, id: EventId) -> bool {
+        self.trees.get(&pattern).is_some_and(|t| t.contains(id))
     }
 
     /// The tree for `pattern`, if any event for it is cached.

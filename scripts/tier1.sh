@@ -60,13 +60,24 @@ if ! cargo run --release -p eps-bench --bin bench_compare -- \
         --strict --threshold 25 --advisory-prefix topology_build \
         BENCH_kernel.json target/bench/BENCH_kernel.json
 fi
+echo "== tier-1: net_load (reactor saturation at 1000 dispatchers) =="
+# One stage at the committed baseline rate: the full sweep is for
+# finding the saturation knee offline; CI re-measures the knee stage
+# and merges its entries beside the codec microbenches, where the
+# advisory compare below tracks them. Runs after the kernel gate so a
+# strict-retry microbench rerun cannot clobber the merged entries.
+cargo run --release -p eps-bench --bin net_load -- \
+    --nodes 1000 --workers 2 --rates 2 --duration 0.6 --drain 20 \
+    --merge-into target/bench/BENCH_net.json
+
 # --advisory-prefix keeps the client-layer matching entries (which
-# include one-shot aggregate-filter counts) and the sub-µs summary
-# map-churn loops advisory even if this comparison is ever promoted
-# to --strict.
+# include one-shot aggregate-filter counts), the sub-µs summary
+# map-churn loops, and the whole-cluster net_load saturation numbers
+# advisory even if this comparison is ever promoted to --strict.
 cargo run --release -p eps-bench --bin bench_compare -- \
     --advisory-prefix table_matching_aggregated \
     --advisory-prefix summary_ \
+    --advisory-prefix net_load \
     BENCH_gossip.json target/bench/BENCH_gossip.json \
     BENCH_scenario.json target/bench/BENCH_scenario.json \
     BENCH_net.json target/bench/BENCH_net.json
@@ -76,6 +87,14 @@ echo "== tier-1: loopback smoke (3-node tree over real sockets) =="
     --pattern-universe 6 --pi-max 2 --duration 0.8 --drain 2 --seed 11
 ./target/release/net_cluster --nodes 3 --algorithm combined-pull --eps 0.05 \
     --pattern-universe 6 --pi-max 2 --duration 0.8 --drain 2 --seed 13
+
+echo "== tier-1: reactor smoke (same scenarios on the epoll runtime) =="
+./target/release/net_cluster --nodes 3 --algorithm push --eps 0.05 \
+    --pattern-universe 6 --pi-max 2 --duration 0.8 --drain 2 --seed 11 \
+    --runtime reactor --workers 2
+./target/release/net_cluster --nodes 3 --algorithm combined-pull --eps 0.05 \
+    --pattern-universe 6 --pi-max 2 --duration 0.8 --drain 2 --seed 13 \
+    --runtime reactor --workers 2
 
 echo "== tier-1: overlay scenarios (duplicate-suppression invariant) =="
 # On a tree the routing view IS the physical graph: no cross links
